@@ -1,0 +1,92 @@
+// Ablation C — point-estimator resilience under a stealthy attack.
+//
+// The paper fuses intervals before estimating; common practice instead
+// averages sensor readings.  This bench measures the estimate bias
+// |estimate - true value| for the Marzullo fused midpoint against the
+// mean / median / precision-weighted baselines, over Monte Carlo rounds with
+// the expectation-maximising stealthy attacker under the Descending schedule
+// (her strongest position).  The fused midpoint and median should degrade
+// gracefully; the mean and the precision-weighted mean absorb the full bias
+// of the compromised (most precise!) sensor.
+
+#include <cstdio>
+
+#include "core/brooks_iyengar.h"
+#include "core/estimate.h"
+#include "sim/protocol.h"
+#include "support/ascii.h"
+#include "support/stats.h"
+
+int main() {
+  const arsf::SystemConfig system = arsf::make_config({5.0, 11.0, 17.0});
+  const arsf::sched::Order order = arsf::sched::descending_order(system);
+  const std::vector<arsf::SensorId> attacked = {0};  // most precise sensor
+  const arsf::attack::AttackSetup setup =
+      arsf::attack::make_setup(system, arsf::Quantizer{1.0}, attacked, order);
+
+  arsf::attack::ExpectationPolicy policy;
+  arsf::support::Rng rng{0xab1a7e5ULL};
+  arsf::support::Rng world{0x5eedULL};
+
+  const std::vector<arsf::Estimator> estimators = {
+      arsf::Estimator::kFusedMidpoint, arsf::Estimator::kMeanMidpoint,
+      arsf::Estimator::kMedianMidpoint, arsf::Estimator::kWeightedMidpoint};
+  std::vector<arsf::support::RunningStats> bias_attacked(estimators.size() + 1);
+  std::vector<arsf::support::RunningStats> bias_clean(estimators.size() + 1);
+  const std::size_t bi_index = estimators.size();  // Brooks-Iyengar baseline
+
+  constexpr int kRounds = 4000;
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<arsf::TickInterval> readings(system.n());
+    for (arsf::SensorId id = 0; id < system.n(); ++id) {
+      const arsf::Tick width = setup.widths[id];
+      const arsf::Tick lo = world.uniform_int(-width, 0);
+      readings[id] = arsf::TickInterval{lo, lo + width};
+    }
+    const auto attacked_round = arsf::sim::run_tick_round(setup, readings, &policy, rng);
+
+    auto to_doubles = [](const std::vector<arsf::TickInterval>& ticks) {
+      std::vector<arsf::Interval> doubles;
+      for (const auto& iv : ticks) {
+        doubles.push_back({static_cast<double>(iv.lo), static_cast<double>(iv.hi)});
+      }
+      return doubles;
+    };
+    const auto spoofed = to_doubles(attacked_round.transmitted);
+    const auto honest = to_doubles(readings);
+    for (std::size_t e = 0; e < estimators.size(); ++e) {
+      // True value is 0 by construction.
+      if (const auto est = arsf::estimate(spoofed, system.f, estimators[e])) {
+        bias_attacked[e].add(std::abs(*est));
+      }
+      if (const auto est = arsf::estimate(honest, system.f, estimators[e])) {
+        bias_clean[e].add(std::abs(*est));
+      }
+    }
+    // Brooks-Iyengar weighted estimate (the paper's reference [6] baseline).
+    if (const auto est = arsf::brooks_iyengar(spoofed, system.f).estimate) {
+      bias_attacked[bi_index].add(std::abs(*est));
+    }
+    if (const auto est = arsf::brooks_iyengar(honest, system.f).estimate) {
+      bias_clean[bi_index].add(std::abs(*est));
+    }
+  }
+
+  std::printf("Ablation C — estimator bias |estimate - truth| under a stealthy attack\n");
+  std::printf("(n=3, L={5,11,17}, attacked = width-5 sensor, Descending schedule, %d rounds)\n\n",
+              kRounds);
+  arsf::support::TextTable table{
+      {"estimator", "mean |bias| clean", "mean |bias| attacked", "degradation"}};
+  for (std::size_t e = 0; e <= estimators.size(); ++e) {
+    const std::string name =
+        e < estimators.size() ? arsf::to_string(estimators[e]) : "brooks-iyengar [6]";
+    table.add_row({name, arsf::support::format_number(bias_clean[e].mean(), 3),
+                   arsf::support::format_number(bias_attacked[e].mean(), 3),
+                   arsf::support::format_number(
+                       bias_attacked[e].mean() - bias_clean[e].mean(), 3)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Check: the weighted mean (which trusts the most precise = compromised sensor)\n");
+  std::printf("degrades the most; the fused midpoint and median stay bounded.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Extension experiment — random faults in addition to attacks.
+//
+// The paper's conclusion announces this as future work: "Since we assumed
+// uncompromised sensors always provide correct measurements, an extension of
+// this work will introduce random faults in addition to attacks."  This
+// bench runs the combined scenario: the stealthy expectation-maximising
+// attacker compromises the most precise sensor while every *uncompromised*
+// sensor is subject to a random fault process.  Reported per fault rate:
+//
+//   * containment — how often the fusion interval still holds the truth
+//     (the Marzullo guarantee needs actual liars <= f; rounds where
+//     faults + attacks exceed f are exactly where containment is lost);
+//   * discard rates — faulty sensors are discarded by the non-overlap
+//     detector, healthy sensors are not, and the certificate-following
+//     attacker is NEVER flagged even when the bus carries faulty intervals.
+
+#include <cstdio>
+
+#include "sim/resilience.h"
+#include "support/ascii.h"
+
+int main() {
+  arsf::sim::ResilienceConfig base;
+  base.system = arsf::make_config({5.0, 8.0, 11.0, 14.0, 17.0});  // n=5, f=2
+  base.schedule = arsf::sched::ScheduleKind::kAscending;
+  base.fa = 1;
+  base.rounds = 8'000;
+  base.fault.kind = arsf::sensors::FaultKind::kOffset;
+  base.fault.magnitude = 30.0;  // well outside every interval: a hard fault
+  base.fault.p_recover = 0.2;
+
+  std::printf("Extension — faults + attacks (n=5, f=2, fa=1 attacked, offset faults on the\n");
+  std::printf("uncompromised sensors; %zu rounds per row; Ascending schedule)\n\n", base.rounds);
+
+  arsf::support::TextTable table{{"fault p_enter", "containment", "E|S|", "faulty rounds",
+                                  "faulty flagged", "healthy flagged", "attacker flagged",
+                                  "over budget"}};
+
+  for (const double p_enter : {0.0, 0.01, 0.05, 0.1, 0.2}) {
+    arsf::sim::ResilienceConfig config = base;
+    config.fault.p_enter = p_enter;
+    arsf::attack::ExpectationPolicy policy;
+    config.policy = &policy;
+    const auto result = arsf::sim::run_resilience(config);
+
+    const double flagged_rate =
+        result.faulty_present
+            ? 100.0 * static_cast<double>(result.faulty_flagged) /
+                  static_cast<double>(result.faulty_present)
+            : 0.0;
+    table.add_row({arsf::support::format_number(p_enter, 2),
+                   arsf::support::format_number(100.0 * result.containment_rate(), 2) + "%",
+                   arsf::support::format_number(result.width.mean(), 2),
+                   std::to_string(result.faulty_present),
+                   arsf::support::format_number(flagged_rate, 1) + "%",
+                   std::to_string(result.healthy_flagged),
+                   std::to_string(result.attacked_flagged),
+                   std::to_string(result.over_budget)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("Checks: containment is 100%% at fault rate 0 and degrades with the number of\n");
+  std::printf("over-budget rounds (faults + attacks > f, where Marzullo's guarantee genuinely\n");
+  std::printf("ends); hard faults are discarded by the non-overlap detector.  Finding: while\n");
+  std::printf("the budget holds, the attacker's stealth certificates survive faults on the\n");
+  std::printf("bus — but in over-budget rounds even healthy sensors and the careful attacker\n");
+  std::printf("can be flagged, motivating the paper's footnote-1 fault model over time.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Regenerates Figure 2 of the paper: with partial knowledge there is, in
+// general, NO attack policy that is optimal for every completion.
+//
+// The attacker (width-4 sensor, sinusoid in the paper) has seen s1 only and
+// transmits before s2.  For every stealthy placement of her interval the
+// harness finds a completion (a placement of the unseen s2) under which a
+// different placement would have been strictly better — so no single move
+// dominates, exactly the paper's argument around a1(1)/a1(2).
+
+#include <cstdio>
+
+#include "core/fusion.h"
+#include "support/ascii.h"
+
+int main() {
+  using arsf::Tick;
+  using arsf::TickInterval;
+
+  // n=3, f=1.  Seen: s1 = [0, 10].  Her correct reading Delta = [3, 5]
+  // (width 2; her sensor width is 4, so she has slack).  Unseen: s2 of
+  // width 6 containing the true value t in Delta.
+  const int f = 1;
+  const TickInterval s1{0, 10};
+  const TickInterval delta{3, 5};
+  const Tick attacked_width = 4;
+  const Tick unseen_width = 6;
+
+  std::printf("Figure 2 — no optimal policy without full knowledge (n=3, f=1)\n\n");
+  arsf::support::IntervalDiagram diagram{64};
+  diagram.add("s1 (seen)", s1.lo, s1.hi);
+  diagram.add("Delta", delta.lo, delta.hi, true);
+  std::printf("%s\n", diagram.render().c_str());
+
+  auto fused_width = [&](const TickInterval& attack, const TickInterval& s2) {
+    const std::vector<TickInterval> all = {s1, attack, s2};
+    const Tick width = arsf::fused_width_ticks(all, f);
+    return width > 0 ? width : Tick{0};
+  };
+
+  // Stealthy placements: contain Delta (passive certificate) or share a
+  // point with s1 (active certificate; her slot passes the paper's gate:
+  // transmitted = 1 >= n - f - far = 1).
+  std::vector<TickInterval> candidates;
+  for (Tick lo = s1.lo - attacked_width; lo <= s1.hi; ++lo) {
+    const TickInterval candidate{lo, lo + attacked_width};
+    if (candidate.contains(delta) || candidate.intersects(s1)) candidates.push_back(candidate);
+  }
+
+  std::printf("%zu stealthy placements; regret = best-response width minus this placement's\n",
+              candidates.size());
+  std::printf("width under that placement's worst-case completion:\n\n");
+  std::printf("  candidate a1     worst completion s2    width there   best there   regret\n");
+
+  bool any_dominant = false;
+  Tick max_regret = 0;
+  for (const auto& candidate : candidates) {
+    Tick worst_regret = 0;
+    TickInterval worst_s2 = TickInterval::empty_interval();
+    Tick at_worst = 0;
+    Tick best_at_worst = 0;
+    for (Tick t = delta.lo; t <= delta.hi; ++t) {
+      for (Tick lo2 = t - unseen_width; lo2 <= t; ++lo2) {
+        const TickInterval s2{lo2, lo2 + unseen_width};
+        const Tick mine = fused_width(candidate, s2);
+        Tick best = 0;
+        for (const auto& other : candidates) best = std::max(best, fused_width(other, s2));
+        if (best - mine > worst_regret) {
+          worst_regret = best - mine;
+          worst_s2 = s2;
+          at_worst = mine;
+          best_at_worst = best;
+        }
+      }
+    }
+    if (worst_regret == 0) any_dominant = true;
+    max_regret = std::max(max_regret, worst_regret);
+    // Print the extremes and a few middles to keep the output readable.
+    if (candidate.lo % 3 == 0 || worst_regret == 0) {
+      std::printf("  %-15s  %-21s  %-12lld  %-11lld  %lld\n",
+                  arsf::to_string(candidate).c_str(),
+                  worst_regret > 0 ? arsf::to_string(worst_s2).c_str() : "(dominant)",
+                  static_cast<long long>(at_worst), static_cast<long long>(best_at_worst),
+                  static_cast<long long>(worst_regret));
+    }
+  }
+
+  std::printf("\nShape check (paper): every placement is suboptimal under SOME completion -> %s\n",
+              any_dominant ? "FAIL (a dominant placement exists)" : "PASS");
+  std::printf("largest regret over placements: %lld ticks\n", static_cast<long long>(max_regret));
+  return 0;
+}

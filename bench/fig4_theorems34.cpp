@@ -1,0 +1,100 @@
+// Regenerates Figure 4 of the paper: the worst-case analysis of Theorems 3
+// and 4, computed by exhaustive configuration search on the tick grid.
+//
+//   (a) attacking the fa LARGEST intervals does not change the worst case
+//       (|SF| = |Sna|);
+//   (b) attacking the fa SMALLEST intervals achieves the global worst case
+//       |Swc_fa| over every attacked set.
+
+#include <cstdio>
+
+#include <numeric>
+
+#include "sim/worstcase.h"
+#include "support/ascii.h"
+
+namespace {
+
+std::vector<arsf::SensorId> extreme_widths(const std::vector<arsf::Tick>& widths,
+                                           std::size_t fa, bool largest) {
+  std::vector<arsf::SensorId> ids(widths.size());
+  std::iota(ids.begin(), ids.end(), arsf::SensorId{0});
+  std::sort(ids.begin(), ids.end(), [&](arsf::SensorId a, arsf::SensorId b) {
+    return largest ? widths[a] > widths[b] : widths[a] < widths[b];
+  });
+  ids.resize(fa);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 4 — Theorems 3 and 4 by exhaustive worst-case search\n\n");
+
+  const std::vector<std::vector<arsf::Tick>> families = {
+      {2, 3, 5}, {1, 4, 4}, {2, 2, 6}, {2, 3, 4, 5}, {1, 2, 3, 6}, {2, 2, 3, 4, 5},
+  };
+
+  arsf::support::TextTable table{
+      {"widths", "f=fa", "|Sna|", "|SF| largest", "|SF| smallest", "|Swc|", "Thm3", "Thm4"}};
+  bool all_pass = true;
+
+  for (const auto& widths : families) {
+    const int n = static_cast<int>(widths.size());
+    const int f = arsf::max_bounded_f(n);
+    const auto fa = static_cast<std::size_t>(f);
+
+    const arsf::Tick clean = arsf::sim::worst_case_no_attack(widths, f);
+
+    arsf::sim::WorstCaseConfig largest_config;
+    largest_config.widths = widths;
+    largest_config.f = f;
+    largest_config.attacked = extreme_widths(widths, fa, /*largest=*/true);
+    const arsf::Tick largest = arsf::sim::worst_case_fusion(largest_config).max_width;
+
+    arsf::sim::WorstCaseConfig smallest_config = largest_config;
+    smallest_config.attacked = extreme_widths(widths, fa, /*largest=*/false);
+    const arsf::Tick smallest = arsf::sim::worst_case_fusion(smallest_config).max_width;
+
+    const arsf::Tick global = arsf::sim::worst_case_over_sets(widths, f, fa);
+
+    const bool thm3 = largest == clean;
+    const bool thm4 = smallest == global;
+    all_pass &= thm3 && thm4;
+
+    std::string widths_text = "{";
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      if (i) widths_text += ",";
+      widths_text += std::to_string(widths[i]);
+    }
+    widths_text += "}";
+    table.add_row({widths_text, std::to_string(f), std::to_string(clean),
+                   std::to_string(largest), std::to_string(smallest), std::to_string(global),
+                   thm3 ? "PASS" : "FAIL", thm4 ? "PASS" : "FAIL"});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // Illustrative configuration matching the figure: the argmax placement
+  // when the smallest interval is attacked.
+  arsf::sim::WorstCaseConfig illustration;
+  illustration.widths = {2, 3, 5};
+  illustration.f = 1;
+  illustration.attacked = {0};
+  const auto result = arsf::sim::worst_case_fusion(illustration);
+  arsf::support::IntervalDiagram diagram{56};
+  for (std::size_t i = 0; i < result.argmax.size(); ++i) {
+    diagram.add("s" + std::to_string(i) + (i == 0 ? " [attacked]" : ""),
+                static_cast<double>(result.argmax[i].lo),
+                static_cast<double>(result.argmax[i].hi), i == 0);
+  }
+  const arsf::TickInterval fused = arsf::fused_interval_ticks(result.argmax, illustration.f);
+  diagram.add_separator();
+  diagram.add("S(N,f=1)", static_cast<double>(fused.lo), static_cast<double>(fused.hi));
+  std::printf("worst-case configuration, widths {2,3,5}, smallest attacked:\n%s\n",
+              diagram.render().c_str());
+
+  std::printf("Shape check (paper): Theorem 3 and Theorem 4 hold on every family -> %s\n",
+              all_pass ? "PASS" : "FAIL");
+  return 0;
+}

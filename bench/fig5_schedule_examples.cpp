@@ -1,0 +1,108 @@
+// Regenerates Figure 5 of the paper: two hand-constructed situations showing
+// that NEITHER schedule is better in every single round — Ascending wins one,
+// Descending wins the other.  (Table I then shows Ascending wins on
+// average.)  For each example the harness runs the full protocol round under
+// both schedules with the expectation-maximising attacker and draws the
+// resulting intervals.
+//
+// The mechanism, following the paper's Fig. 5 discussion:
+//  (a) when the large intervals sit asymmetrically around the precise ones,
+//      seeing them first (Descending) tells the attacker which side to
+//      attack -> Ascending is better for the system;
+//  (b) when the correct intervals pin the fusion interval regardless, the
+//      attacker's best move under Descending is no better than her blind
+//      move under Ascending can be.
+
+#include <cstdio>
+
+#include "sim/protocol.h"
+#include "support/ascii.h"
+
+namespace {
+
+using arsf::Tick;
+using arsf::TickInterval;
+
+struct Outcome {
+  Tick width;
+  std::vector<TickInterval> transmitted;
+};
+
+Outcome run(const arsf::SystemConfig& system, const arsf::sched::Order& order,
+            const std::vector<TickInterval>& readings, std::uint64_t seed) {
+  const arsf::attack::AttackSetup setup =
+      arsf::attack::make_setup(system, arsf::Quantizer{1.0}, {0}, order);
+  arsf::attack::ExpectationPolicy policy;
+  arsf::support::Rng rng{seed};
+  const auto result = arsf::sim::run_tick_round(setup, readings, &policy, rng);
+  return {result.fused.is_empty() ? Tick{0} : result.fused.width(), result.transmitted};
+}
+
+void draw(const char* title, const std::vector<TickInterval>& transmitted, int f) {
+  arsf::support::IntervalDiagram diagram{56};
+  for (std::size_t i = 0; i < transmitted.size(); ++i) {
+    diagram.add((i == 0 ? "a1 [attacked]" : "s" + std::to_string(i)),
+                static_cast<double>(transmitted[i].lo),
+                static_cast<double>(transmitted[i].hi), i == 0);
+  }
+  const TickInterval fused = arsf::fused_interval_ticks(transmitted, f);
+  diagram.add_separator();
+  diagram.add("S(N,f)", static_cast<double>(fused.lo), static_cast<double>(fused.hi));
+  std::printf("%s\n%s\n", title, diagram.render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 5 — neither schedule wins every single round\n\n");
+
+  // (a) Ascending better: attacker owns the width-4 sensor; the two large
+  // intervals hang far to one side, so seeing them (Descending) reveals
+  // exactly where to attack.
+  {
+    const arsf::SystemConfig system = arsf::make_config({4.0, 10.0, 10.0});
+    // The two wide intervals hang on opposite sides; seeing them (Descending)
+    // tells the attacker which flank of the precise estimate is exposed.
+    const std::vector<TickInterval> readings = {{-2, 2}, {-10, 0}, {0, 10}};
+    const Outcome ascending = run(system, arsf::sched::ascending_order(system), readings, 1);
+    const Outcome descending = run(system, arsf::sched::descending_order(system), readings, 1);
+    std::printf("(a) widths {4,10,10}, wide intervals on opposite flanks\n");
+    draw("    Ascending round:", ascending.transmitted, system.f);
+    draw("    Descending round:", descending.transmitted, system.f);
+    std::printf("    |S| ascending = %lld, descending = %lld -> %s\n\n",
+                static_cast<long long>(ascending.width),
+                static_cast<long long>(descending.width),
+                ascending.width < descending.width
+                    ? "Ascending better for the system (paper's Fig. 5a)"
+                    : "unexpected");
+  }
+
+  // (b) Descending better: n=4, the attacked sensor sits mid-schedule in
+  // both orders.  Under Ascending she has already seen the two precise
+  // intervals (which reveal the profitable side); under Descending she has
+  // seen only the big symmetric interval, which — as the paper puts it —
+  // "does not necessarily bring the attacker any useful information".
+  {
+    const arsf::SystemConfig system = arsf::make_config({6.0, 4.0, 5.0, 12.0});
+    // Both precise intervals hang left of the truth; the width-12 interval
+    // is symmetric and uninformative.
+    const std::vector<TickInterval> readings = {{-3, 3}, {-4, 0}, {-5, 0}, {-6, 6}};
+    const Outcome ascending = run(system, arsf::sched::ascending_order(system), readings, 1);
+    const Outcome descending = run(system, arsf::sched::descending_order(system), readings, 1);
+    std::printf("(b) widths {6,4,5,12}, attacked sensor (width 6) mid-schedule\n");
+    draw("    Ascending round (seen: the two precise sensors):", ascending.transmitted,
+         system.f);
+    draw("    Descending round (seen: only the width-12 sensor):", descending.transmitted,
+         system.f);
+    std::printf("    |S| ascending = %lld, descending = %lld -> %s\n\n",
+                static_cast<long long>(ascending.width),
+                static_cast<long long>(descending.width),
+                descending.width <= ascending.width
+                    ? "Descending better for the system here (paper's Fig. 5b)"
+                    : "unexpected");
+  }
+
+  std::printf("Table I (bench/table1_schedule_comparison) shows the average case, where\n");
+  std::printf("Ascending is never worse — the paper's recommendation.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Performance microbenchmarks for the fusion core (google-benchmark):
+// sweep-line fusion vs n and f, the tick hot path, detection, estimators.
+
+#include <benchmark/benchmark.h>
+
+#include "core/bounds.h"
+#include "core/detection.h"
+#include "core/estimate.h"
+#include "support/rng.h"
+
+namespace {
+
+std::vector<arsf::TickInterval> random_ticks(std::size_t n, arsf::support::Rng& rng) {
+  std::vector<arsf::TickInterval> intervals;
+  intervals.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const arsf::Tick width = rng.uniform_int(1, 50);
+    const arsf::Tick lo = rng.uniform_int(-width, 0);  // all contain 0
+    intervals.push_back({lo, lo + width});
+  }
+  return intervals;
+}
+
+std::vector<arsf::Interval> random_doubles(std::size_t n, arsf::support::Rng& rng) {
+  std::vector<arsf::Interval> intervals;
+  intervals.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double width = rng.uniform_real(0.5, 50.0);
+    const double lo = rng.uniform_real(-width, 0.0);
+    intervals.push_back({lo, lo + width});
+  }
+  return intervals;
+}
+
+void BM_FusedWidthTicks(benchmark::State& state) {
+  arsf::support::Rng rng{42};
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const int f = arsf::max_bounded_f(static_cast<int>(n));
+  const auto intervals = random_ticks(n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arsf::fused_width_ticks(intervals, f));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FusedWidthTicks)->Arg(3)->Arg(5)->Arg(8)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_MarzulloFuseWithSegments(benchmark::State& state) {
+  arsf::support::Rng rng{42};
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const int f = arsf::max_bounded_f(static_cast<int>(n));
+  const auto intervals = random_doubles(n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arsf::fuse(intervals, f));
+  }
+}
+BENCHMARK(BM_MarzulloFuseWithSegments)->Arg(3)->Arg(5)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_FuseSweepOverF(benchmark::State& state) {
+  arsf::support::Rng rng{7};
+  const auto intervals = random_doubles(16, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arsf::fuse_all_f(intervals));
+  }
+}
+BENCHMARK(BM_FuseSweepOverF);
+
+void BM_FuseAndDetect(benchmark::State& state) {
+  arsf::support::Rng rng{11};
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto intervals = random_doubles(n, rng);
+  const int f = arsf::max_bounded_f(static_cast<int>(n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arsf::fuse_and_detect(intervals, f));
+  }
+}
+BENCHMARK(BM_FuseAndDetect)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_Estimators(benchmark::State& state) {
+  arsf::support::Rng rng{13};
+  const auto intervals = random_doubles(8, rng);
+  const auto estimator = static_cast<arsf::Estimator>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arsf::estimate(intervals, 3, estimator));
+  }
+}
+BENCHMARK(BM_Estimators)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+// Performance microbenchmarks for the attacker machinery and the simulation
+// engines (google-benchmark): policy decision cost with/without memoisation,
+// full protocol rounds, exhaustive enumeration throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "sim/enumerate.h"
+#include "sim/protocol.h"
+
+namespace {
+
+struct Scenario {
+  arsf::SystemConfig system = arsf::make_config({5.0, 11.0, 17.0});
+  arsf::attack::AttackSetup setup;
+  std::vector<arsf::TickInterval> readings;
+
+  explicit Scenario(bool descending) {
+    const auto order = descending ? arsf::sched::descending_order(system)
+                                  : arsf::sched::ascending_order(system);
+    setup = arsf::attack::make_setup(system, arsf::Quantizer{1.0}, {0}, order);
+    readings = {{-4, 1}, {-5, 6}, {-10, 7}};
+  }
+};
+
+void BM_PolicyDecideFullInfo(benchmark::State& state) {
+  Scenario scenario{/*descending=*/true};
+  arsf::support::Rng rng{1};
+  for (auto _ : state) {
+    arsf::attack::ExpectationPolicy policy;  // cold cache each iteration
+    const auto result =
+        arsf::sim::run_tick_round(scenario.setup, scenario.readings, &policy, rng);
+    benchmark::DoNotOptimize(result.fused);
+  }
+}
+BENCHMARK(BM_PolicyDecideFullInfo);
+
+void BM_PolicyDecideBayesian(benchmark::State& state) {
+  Scenario scenario{/*descending=*/false};
+  arsf::support::Rng rng{1};
+  for (auto _ : state) {
+    arsf::attack::ExpectationPolicy policy;  // cold cache: full posterior sweep
+    const auto result =
+        arsf::sim::run_tick_round(scenario.setup, scenario.readings, &policy, rng);
+    benchmark::DoNotOptimize(result.fused);
+  }
+}
+BENCHMARK(BM_PolicyDecideBayesian);
+
+void BM_PolicyDecideMemoized(benchmark::State& state) {
+  Scenario scenario{/*descending=*/false};
+  arsf::support::Rng rng{1};
+  arsf::attack::ExpectationPolicy policy;  // warm cache across iterations
+  for (auto _ : state) {
+    const auto result =
+        arsf::sim::run_tick_round(scenario.setup, scenario.readings, &policy, rng);
+    benchmark::DoNotOptimize(result.fused);
+  }
+}
+BENCHMARK(BM_PolicyDecideMemoized);
+
+void BM_TickRoundNoAttack(benchmark::State& state) {
+  Scenario scenario{/*descending=*/false};
+  arsf::support::Rng rng{1};
+  for (auto _ : state) {
+    const auto result =
+        arsf::sim::run_tick_round(scenario.setup, scenario.readings, nullptr, rng);
+    benchmark::DoNotOptimize(result.fused);
+  }
+}
+BENCHMARK(BM_TickRoundNoAttack);
+
+void BM_EnumerateRowN3(benchmark::State& state) {
+  // One full Table I cell: exhaustive enumeration with the Bayesian
+  // attacker, n=3 (1296 worlds).
+  for (auto _ : state) {
+    arsf::sim::EnumerateConfig config;
+    config.system = arsf::make_config({5.0, 11.0, 17.0});
+    config.order = arsf::sched::descending_order(config.system);
+    config.attacked = {0};
+    arsf::attack::ExpectationPolicy policy;
+    config.policy = &policy;
+    benchmark::DoNotOptimize(arsf::sim::enumerate_expected_width(config));
+  }
+}
+BENCHMARK(BM_EnumerateRowN3)->Unit(benchmark::kMillisecond);
+
+void BM_BusBackedRound(benchmark::State& state) {
+  const arsf::SystemConfig system = arsf::make_config({5.0, 11.0, 17.0});
+  arsf::attack::ExpectationPolicy policy;
+  arsf::sim::FusionRound round{system, arsf::Quantizer{1.0}, {0}, &policy};
+  round.bus().clear_log();
+  const std::vector<arsf::Interval> readings = {{-4, 1}, {-5, 6}, {-10, 7}};
+  arsf::support::Rng rng{1};
+  const auto order = arsf::sched::descending_order(system);
+  std::uint64_t index = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(round.run(order, readings, rng, index++));
+    round.bus().clear_log();
+  }
+}
+BENCHMARK(BM_BusBackedRound);
+
+}  // namespace
+
+BENCHMARK_MAIN();

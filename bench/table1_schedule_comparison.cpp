@@ -1,0 +1,86 @@
+// Reproduces Table I of the paper: expected fusion-interval width under the
+// Ascending vs the Descending communication schedule, for eight (widths, fa)
+// configurations, by exhaustive enumeration of all measurement combinations
+// on the integer grid (the paper's own methodology, Section IV-A).
+//
+// The attacker compromises the fa most precise sensors (Theorem 4's
+// strongest choice; width ties resolved in her favour) and plays the
+// Bayesian expectation-maximising policy of problem (2); when her slots come
+// last she has full knowledge and the policy solves problem (1) exactly.
+//
+//   ./table1_schedule_comparison [--csv out.csv] [--rows 8]
+
+#include <chrono>
+#include <cstdio>
+
+#include "sim/experiment.h"
+#include "support/ascii.h"
+#include "support/cli.h"
+#include "support/csv.h"
+
+namespace {
+
+std::string widths_text(const std::vector<double>& widths) {
+  std::string text = "{";
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    if (i) text += ",";
+    text += arsf::support::format_number(widths[i], 0);
+  }
+  return text + "}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using Clock = std::chrono::steady_clock;
+  const arsf::support::ArgParser args{argc, argv};
+  const auto max_rows = static_cast<std::size_t>(args.get_int("rows", 8));
+  const std::string csv_path = args.get_string("csv", "");
+
+  const auto configs = arsf::sim::paper_table1_configs();
+  const auto reference = arsf::sim::paper_table1_reference();
+
+  std::printf("Table I — comparison of sensor communication schedules\n");
+  std::printf("E|S| by exhaustive enumeration, f = ceil(n/2)-1, attacked = fa most precise\n\n");
+
+  arsf::support::TextTable table{{"config", "E|S| Asc", "E|S| Desc", "paper Asc", "paper Desc",
+                                  "E|S| clean", "worlds", "detect", "sec"}};
+  std::unique_ptr<arsf::support::CsvWriter> csv;
+  if (!csv_path.empty()) {
+    csv = std::make_unique<arsf::support::CsvWriter>(csv_path);
+    csv->write_row({"n", "fa", "widths", "ascending", "descending", "paper_ascending",
+                    "paper_descending", "no_attack", "worlds"});
+  }
+
+  for (std::size_t i = 0; i < configs.size() && i < max_rows; ++i) {
+    const auto& [widths, fa] = configs[i];
+    const auto start = Clock::now();
+    const arsf::sim::Table1Row row = arsf::sim::compare_schedules(widths, fa);
+    const double seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+
+    const std::string config_text = "n=" + std::to_string(widths.size()) +
+                                    ", fa=" + std::to_string(fa) + ", L=" + widths_text(widths);
+    table.add_row({config_text, arsf::support::format_number(row.e_ascending, 2),
+                   arsf::support::format_number(row.e_descending, 2),
+                   arsf::support::format_number(reference[i].ascending, 2),
+                   arsf::support::format_number(reference[i].descending, 2),
+                   arsf::support::format_number(row.e_no_attack, 2),
+                   std::to_string(row.worlds), std::to_string(row.detected),
+                   arsf::support::format_number(seconds, 2)});
+    if (csv) {
+      csv->write_row({std::to_string(widths.size()), std::to_string(fa), widths_text(widths),
+                      arsf::support::format_number(row.e_ascending, 6),
+                      arsf::support::format_number(row.e_descending, 6),
+                      arsf::support::format_number(reference[i].ascending, 2),
+                      arsf::support::format_number(reference[i].descending, 2),
+                      arsf::support::format_number(row.e_no_attack, 6),
+                      std::to_string(row.worlds)});
+    }
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Shape checks (paper's claims): Descending >= Ascending on every row;\n");
+  std::printf("gaps grow when interval widths differ strongly; zero detection events.\n");
+  return 0;
+}

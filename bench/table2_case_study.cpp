@@ -1,0 +1,71 @@
+// Reproduces Table II of the paper: the LandShark platoon case study.
+//
+// Three vehicles cruise at v = 10 mph; one encoder (the most precise
+// sensor) of the middle vehicle is compromised.  For each communication
+// schedule the harness reports the percentage of fusion rounds whose fusion
+// interval exceeded v + 0.5 mph or dropped below v - 0.5 mph — the two rows
+// of Table II — next to the paper's numbers.
+//
+//   ./table2_case_study [--rounds 10000] [--seed N] [--csv out.csv]
+
+#include <cstdio>
+
+#include "support/ascii.h"
+#include "support/cli.h"
+#include "support/csv.h"
+#include "vehicle/casestudy.h"
+
+int main(int argc, char** argv) {
+  const arsf::support::ArgParser args{argc, argv};
+
+  arsf::vehicle::CaseStudyConfig base;
+  base.rounds = static_cast<std::size_t>(args.get_int("rounds", 10'000));
+  base.seed = static_cast<std::uint64_t>(args.get_int("seed", 0x1a2db4d5LL));
+  const std::string csv_path = args.get_string("csv", "");
+
+  std::printf("Table II — LandShark platoon case study (%zu rounds per schedule)\n", base.rounds);
+  std::printf("v = 10 mph, delta1 = delta2 = 0.5 mph; sensors {gps 1, camera 2, encoder 0.2 x2};\n");
+  std::printf("attacked: one encoder of the middle vehicle, expectation-maximising stealthy policy\n\n");
+
+  const auto rows = arsf::vehicle::reproduce_table2(base);
+  const auto reference = arsf::vehicle::paper_table2_reference();
+
+  arsf::support::TextTable table{{"metric", "Ascending", "Descending", "Random"}};
+  auto fmt = [](double x) { return arsf::support::format_number(x, 2) + "%"; };
+  table.add_row({"> 10.5 mph (measured)", fmt(rows[0].second.pct_upper),
+                 fmt(rows[1].second.pct_upper), fmt(rows[2].second.pct_upper)});
+  table.add_row({"> 10.5 mph (paper)", fmt(reference[0].upper), fmt(reference[1].upper),
+                 fmt(reference[2].upper)});
+  table.add_row({"< 9.5 mph (measured)", fmt(rows[0].second.pct_lower),
+                 fmt(rows[1].second.pct_lower), fmt(rows[2].second.pct_lower)});
+  table.add_row({"< 9.5 mph (paper)", fmt(reference[0].lower), fmt(reference[1].lower),
+                 fmt(reference[2].lower)});
+  table.add_row({"mean fused width (mph)",
+                 arsf::support::format_number(rows[0].second.fused_width.mean(), 3),
+                 arsf::support::format_number(rows[1].second.fused_width.mean(), 3),
+                 arsf::support::format_number(rows[2].second.fused_width.mean(), 3)});
+  table.add_row({"attacker detections", std::to_string(rows[0].second.detected_rounds),
+                 std::to_string(rows[1].second.detected_rounds),
+                 std::to_string(rows[2].second.detected_rounds)});
+  std::printf("%s\n", table.render().c_str());
+
+  if (!csv_path.empty()) {
+    arsf::support::CsvWriter csv{csv_path};
+    csv.write_row({"schedule", "pct_upper", "pct_lower", "paper_upper", "paper_lower",
+                   "mean_width", "detected"});
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      csv.write_row({arsf::sched::to_string(rows[i].first),
+                     arsf::support::format_number(rows[i].second.pct_upper, 4),
+                     arsf::support::format_number(rows[i].second.pct_lower, 4),
+                     arsf::support::format_number(reference[i].upper, 2),
+                     arsf::support::format_number(reference[i].lower, 2),
+                     arsf::support::format_number(rows[i].second.fused_width.mean(), 4),
+                     std::to_string(rows[i].second.detected_rounds)});
+    }
+  }
+
+  std::printf("Shape checks (paper's claims): Ascending pins the attacked encoder to the truth\n");
+  std::printf("(0%% violations); Descending hands it full knowledge (largest violation rate);\n");
+  std::printf("Random sits in between at roughly a third of Descending.\n");
+  return 0;
+}

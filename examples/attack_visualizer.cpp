@@ -1,0 +1,91 @@
+// Attack visualizer: runs one protocol round step by step and draws what the
+// attacker saw, what she transmitted, the fusion interval, and the detector's
+// verdict — the paper's Figs. 2-5 as an interactive tool.
+//
+//   ./attack_visualizer [--widths 5,11,17] [--schedule descending]
+//                       [--policy expectation|shift|random|naive] [--seed N]
+
+#include <cstdio>
+
+#include "sim/protocol.h"
+#include "support/ascii.h"
+#include "support/cli.h"
+
+namespace {
+
+std::unique_ptr<arsf::attack::AttackPolicy> parse_policy(const std::string& name) {
+  if (name == "shift") {
+    return std::make_unique<arsf::attack::ShiftPolicy>(arsf::attack::ShiftPolicy::Side::kRight);
+  }
+  if (name == "random") return std::make_unique<arsf::attack::RandomFeasiblePolicy>();
+  if (name == "naive") return std::make_unique<arsf::attack::NaiveOffsetPolicy>(25);
+  return arsf::attack::make_expectation_policy();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const arsf::support::ArgParser args{argc, argv};
+  const std::vector<double> widths = args.get_double_list("widths", {5, 11, 17});
+  const std::string schedule_name = args.get_string("schedule", "descending");
+  const std::string policy_name = args.get_string("policy", "expectation");
+  arsf::support::Rng rng{static_cast<std::uint64_t>(args.get_int("seed", 3))};
+
+  const arsf::SystemConfig system = arsf::make_config(widths);
+  const arsf::sched::Order order = schedule_name == "ascending"
+                                       ? arsf::sched::ascending_order(system)
+                                       : arsf::sched::descending_order(system);
+  const auto attacked = arsf::sched::choose_attacked_set(
+      system, order, 1, arsf::sched::AttackedSetRule::kSmallestWidths);
+  auto policy = parse_policy(policy_name);
+
+  // Draw a random world (true value 0).
+  const auto setup = arsf::attack::make_setup(system, arsf::Quantizer{1.0}, attacked, order);
+  std::vector<arsf::TickInterval> readings(system.n());
+  for (arsf::SensorId id = 0; id < system.n(); ++id) {
+    const arsf::Tick lo = rng.uniform_int(-setup.widths[id], 0);
+    readings[id] = {lo, lo + setup.widths[id]};
+  }
+
+  std::printf("attack visualizer: schedule=%s, policy=%s, attacked sensor s%zu (width %s)\n",
+              schedule_name.c_str(), policy->name().c_str(), attacked[0],
+              arsf::support::format_number(system.sensors[attacked[0]].width).c_str());
+  std::printf("true value: 0 (marked '*'); attacker's slot: %zu of %zu\n\n",
+              arsf::sched::slot_of(order, attacked[0]) + 1, system.n());
+
+  const auto result = arsf::sim::run_tick_round(setup, readings, policy.get(), rng);
+
+  arsf::support::IntervalDiagram diagram{64};
+  for (std::size_t slot = 0; slot < order.size(); ++slot) {
+    const arsf::SensorId id = order[slot];
+    const bool is_attacked = id == attacked[0];
+    std::string label = "slot " + std::to_string(slot + 1) + ": s" + std::to_string(id);
+    if (is_attacked) label += " [ATTACKED]";
+    diagram.add(label, static_cast<double>(result.transmitted[id].lo),
+                static_cast<double>(result.transmitted[id].hi), is_attacked);
+  }
+  diagram.add_separator();
+  if (!result.fused.is_empty()) {
+    diagram.add("fusion S(N,f=" + std::to_string(system.f) + ")",
+                static_cast<double>(result.fused.lo), static_cast<double>(result.fused.hi));
+  } else {
+    diagram.add_empty("fusion");
+  }
+  diagram.set_marker(0.0, '*');
+  std::printf("%s\n", diagram.render().c_str());
+
+  std::printf("attacker's correct reading was %s; she transmitted %s\n",
+              arsf::to_string(readings[attacked[0]]).c_str(),
+              arsf::to_string(result.transmitted[attacked[0]]).c_str());
+  const auto clean_width = arsf::fused_width_ticks(readings, system.f);
+  std::printf("fused width: %lld (honest round would have been %lld)\n",
+              static_cast<long long>(result.fused.is_empty() ? 0 : result.fused.width()),
+              static_cast<long long>(clean_width));
+  std::printf("detector verdict: %s\n",
+              result.attacked_detected
+                  ? "ATTACK DETECTED (interval discarded) — try --policy expectation"
+                  : "no sensor flagged (attack stealthy)");
+  std::printf("\nTry: --policy naive (gets caught), --schedule ascending (attacker first),\n");
+  std::printf("     --widths 2,9,10 (precision disparity) or a different --seed.\n");
+  return 0;
+}

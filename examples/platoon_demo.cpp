@@ -1,0 +1,103 @@
+// Platoon demo: the paper's case-study scenario as an interactive example.
+//
+// Three LandSharks cruise at v mph; one encoder of the middle vehicle is
+// compromised.  The demo runs a short mission under a chosen schedule and
+// prints a timeline of the middle vehicle's fused speed interval, the safety
+// envelope, and every supervisor preemption.
+//
+//   ./platoon_demo [--schedule ascending|descending|random] [--rounds 150]
+//                  [--speed 10] [--seed N] [--no-attack]
+
+#include <cstdio>
+
+#include "support/cli.h"
+#include "vehicle/casestudy.h"
+
+namespace {
+
+arsf::sched::ScheduleKind parse_schedule(const std::string& name) {
+  if (name == "descending") return arsf::sched::ScheduleKind::kDescending;
+  if (name == "random") return arsf::sched::ScheduleKind::kRandom;
+  return arsf::sched::ScheduleKind::kAscending;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const arsf::support::ArgParser args{argc, argv};
+  const auto kind = parse_schedule(args.get_string("schedule", "descending"));
+  const auto rounds = static_cast<std::size_t>(args.get_int("rounds", 150));
+  const double target = args.get_double("speed", 10.0);
+  const bool attack = !args.has("no-attack");
+
+  arsf::vehicle::LandSharkSensing sensing = arsf::vehicle::make_landshark_sensing();
+  arsf::support::Rng rng{static_cast<std::uint64_t>(args.get_int("seed", 7))};
+
+  auto generator = arsf::sched::ScheduleGenerator::of_kind(kind, sensing.config, rng.next());
+  const auto representative = kind == arsf::sched::ScheduleKind::kRandom
+                                  ? arsf::sched::ascending_order(sensing.config)
+                                  : generator.next();
+  const auto attacked =
+      attack ? arsf::sched::choose_attacked_set(sensing.config, representative, 1,
+                                                arsf::sched::AttackedSetRule::kSmallestWidths)
+             : std::vector<arsf::SensorId>{};
+
+  arsf::attack::ExpectationPolicy policy{
+      arsf::vehicle::CaseStudyConfig::default_policy_options()};
+  arsf::vehicle::SpeedPipeline pipeline{sensing, attacked, attack ? &policy : nullptr};
+
+  arsf::vehicle::PlatoonParams platoon_params;
+  platoon_params.target_speed = target;
+  arsf::vehicle::Platoon platoon{platoon_params};
+  arsf::vehicle::SafetySupervisor supervisor{
+      arsf::vehicle::SafetyEnvelope{target, 0.5, 0.5}};
+
+  std::printf("Platoon demo: schedule=%s, attacked sensor=%s, target %.1f mph\n",
+              arsf::sched::to_string(kind).c_str(),
+              attacked.empty() ? "(none)"
+                               : sensing.config.sensors[attacked[0]].name.c_str(),
+              target);
+  std::printf("safety envelope: [%.1f, %.1f] mph\n\n", target - 0.5, target + 0.5);
+  std::printf("round  true-speed  fused-interval       estimate  gap-ahead  note\n");
+
+  double estimate = target;
+  std::vector<double> commands(platoon.size(), 0.0);
+  for (std::size_t round = 0; round < rounds; ++round) {
+    const auto& order = generator.next();
+    for (std::size_t v = 0; v < platoon.size(); ++v) {
+      const bool is_target_vehicle = v == 1;
+      const auto measured = pipeline.measure(platoon.speed(v), order, rng, round);
+      const double vehicle_estimate = measured.estimate.value_or(platoon.speed(v));
+      double command = platoon.controller_command(v, vehicle_estimate, 0.1);
+      if (is_target_vehicle) {
+        const arsf::Interval fused =
+            measured.fusion.interval.value_or(arsf::Interval::empty_interval());
+        const auto upper_before = supervisor.upper_violations();
+        const auto lower_before = supervisor.lower_violations();
+        command = supervisor.supervise(command, fused);
+        estimate = vehicle_estimate;
+        if (round % 10 == 0 || supervisor.upper_violations() != upper_before ||
+            supervisor.lower_violations() != lower_before) {
+          const char* note = supervisor.upper_violations() != upper_before
+                                 ? "PREEMPT: envelope upper bound violated"
+                             : supervisor.lower_violations() != lower_before
+                                 ? "PREEMPT: envelope lower bound violated"
+                                 : "";
+          std::printf("%5zu  %9.3f  [%7.3f, %7.3f]  %8.3f  %9.2f  %s\n", round,
+                      platoon.speed(1), fused.lo, fused.hi, estimate, platoon.gap(1), note);
+        }
+      }
+      commands[v] = command;
+    }
+    platoon.step_with_commands(commands, 0.1);
+  }
+
+  std::printf("\nsummary: %llu upper / %llu lower envelope violations in %llu rounds",
+              static_cast<unsigned long long>(supervisor.upper_violations()),
+              static_cast<unsigned long long>(supervisor.lower_violations()),
+              static_cast<unsigned long long>(supervisor.rounds()));
+  std::printf("%s\n", platoon.collided() ? " — COLLISION!" : "; no collision.");
+  std::printf("Try --schedule ascending: the attacked encoder transmits first and is pinned\n");
+  std::printf("to the truth, eliminating the violations.\n");
+  return 0;
+}

@@ -1,0 +1,34 @@
+#include "attack/context.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace arsf::attack {
+
+AttackSetup make_setup(const SystemConfig& config, const Quantizer& quant,
+                       std::vector<SensorId> attacked, sched::Order order) {
+  config.validate();
+  if (!sched::is_valid_order(order, config.n())) {
+    throw std::invalid_argument("make_setup: order is not a permutation of the sensors");
+  }
+  std::sort(attacked.begin(), attacked.end());
+  if (std::adjacent_find(attacked.begin(), attacked.end()) != attacked.end()) {
+    throw std::invalid_argument("make_setup: duplicate attacked sensor id");
+  }
+  for (SensorId id : attacked) {
+    if (id >= config.n()) throw std::invalid_argument("make_setup: attacked id out of range");
+  }
+  if (static_cast<int>(attacked.size()) > config.f) {
+    throw std::invalid_argument("make_setup: fa must not exceed f (paper assumption)");
+  }
+
+  AttackSetup setup;
+  setup.n = static_cast<int>(config.n());
+  setup.f = config.f;
+  setup.widths = tick_widths(config, quant);
+  setup.attacked = std::move(attacked);
+  setup.order = std::move(order);
+  return setup;
+}
+
+}  // namespace arsf::attack

@@ -1,0 +1,92 @@
+#pragma once
+// Attacker knowledge model (paper, Sections II-B-1 and III-A).
+//
+// All attacker-side computation happens on the integer tick grid (exact
+// arithmetic; the paper's own expectation is computed on a discretised real
+// line).  The simulation driver assembles an AttackContext at each of the
+// attacker's transmission slots; policies consume it and return the interval
+// to transmit.
+//
+// What the attacker knows (and nothing more):
+//   * the system parameters: n, f, every sensor's width, the slot order;
+//   * which sensors she compromised and their *correct* readings — their
+//     intersection is Delta, which must contain the true value;
+//   * every interval already transmitted on the broadcast bus;
+//   * her own previously transmitted (possibly spoofed) intervals.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.h"
+#include "core/interval.h"
+#include "schedule/schedule.h"
+
+namespace arsf::attack {
+
+/// Static round setup shared by every decision in a round.
+struct AttackSetup {
+  int n = 0;                        ///< total number of sensors
+  int f = 0;                        ///< fusion parameter (f < ceil(n/2))
+  std::vector<Tick> widths;         ///< widths by SensorId
+  std::vector<SensorId> attacked;   ///< compromised sensor ids (sorted)
+  sched::Order order;               ///< slot order for this round
+
+  [[nodiscard]] std::size_t fa() const { return attacked.size(); }
+};
+
+/// Builds the round setup from a system configuration: tick widths via
+/// @p quant, attacked ids sorted, order validated.  Throws
+/// std::invalid_argument on inconsistencies (bad order, attacked id out of
+/// range, fa > f).
+[[nodiscard]] AttackSetup make_setup(const SystemConfig& config, const Quantizer& quant,
+                                     std::vector<SensorId> attacked, sched::Order order);
+
+/// Knowledge snapshot at one of the attacker's slots.
+struct AttackContext {
+  const AttackSetup* setup = nullptr;
+
+  /// Intersection of the correct readings of all compromised sensors; the
+  /// true value is guaranteed to lie inside.
+  TickInterval delta;
+
+  /// Correct intervals already transmitted (in slot order).
+  std::vector<TickInterval> seen;
+
+  /// Her own already-transmitted intervals (in slot order).
+  std::vector<TickInterval> my_sent;
+
+  /// Slot she is deciding for (0-based; == remaining_slots.front()).
+  std::size_t current_slot = 0;
+
+  /// Her remaining slots, ascending (first is current_slot), with the widths
+  /// and correct readings of the sensors owning them.
+  std::vector<std::size_t> remaining_slots;
+  std::vector<Tick> remaining_widths;
+  std::vector<TickInterval> remaining_readings;
+
+  /// Widths of the correct sensors that transmit *after* current_slot
+  /// (multiset; the attacker knows widths from the schedule but not values).
+  std::vector<Tick> unseen_widths;
+
+  /// Oracle channel: actual placements of the unseen correct intervals.
+  /// Empty in honest play; filled only for the "oracle" upper-bound policy.
+  std::vector<TickInterval> unseen_actual;
+
+  [[nodiscard]] int transmitted() const {
+    return static_cast<int>(seen.size() + my_sent.size());
+  }
+  /// Number of not-yet-sent compromised intervals (paper's `far`),
+  /// including the one being decided.
+  [[nodiscard]] int far() const { return static_cast<int>(remaining_slots.size()); }
+
+  /// Posterior support of the true value given everything she has seen:
+  /// Delta intersected with every seen correct interval.  Non-empty in any
+  /// reachable state (the true value lies in all of them).
+  [[nodiscard]] TickInterval truth_support() const {
+    TickInterval support = delta;
+    for (const auto& iv : seen) support = support.intersect(iv);
+    return support;
+  }
+};
+
+}  // namespace arsf::attack

@@ -1,0 +1,386 @@
+#include "attack/expectation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "core/fusion.h"
+
+namespace arsf::attack {
+
+namespace {
+
+/// Flattened storage for the posterior completions (placements of the unseen
+/// correct intervals).  stride == number of unseen sensors; count >= 1.
+struct Completions {
+  std::vector<TickInterval> flat;
+  std::size_t stride = 0;
+  std::size_t count = 1;  // stride == 0 -> one empty completion
+};
+
+/// Exact number of posterior atoms: |I*| x prod(w_u + 1), saturating.
+std::uint64_t exact_completion_count(const TickInterval& support,
+                                     std::span<const Tick> unseen_widths) {
+  std::uint64_t count = static_cast<std::uint64_t>(support.width()) + 1;
+  for (Tick w : unseen_widths) {
+    const auto factor = static_cast<std::uint64_t>(w) + 1;
+    if (count > std::numeric_limits<std::uint64_t>::max() / factor) {
+      return std::numeric_limits<std::uint64_t>::max();
+    }
+    count *= factor;
+  }
+  return count;
+}
+
+Completions build_exact_completions(const TickInterval& support,
+                                    std::span<const Tick> unseen_widths) {
+  Completions comps;
+  comps.stride = unseen_widths.size();
+  if (comps.stride == 0) return comps;
+
+  const auto total = exact_completion_count(support, unseen_widths);
+  comps.count = static_cast<std::size_t>(total);
+  comps.flat.reserve(comps.count * comps.stride);
+
+  // Odometer over (t, lower offsets): each unseen interval has lower bound
+  // t - offset with offset in [0, w].
+  std::vector<Tick> offsets(comps.stride, 0);
+  for (Tick t = support.lo; t <= support.hi; ++t) {
+    std::fill(offsets.begin(), offsets.end(), 0);
+    for (;;) {
+      for (std::size_t u = 0; u < comps.stride; ++u) {
+        const Tick lo = t - offsets[u];
+        comps.flat.push_back(TickInterval{lo, lo + unseen_widths[u]});
+      }
+      // Advance the odometer.
+      std::size_t digit = 0;
+      while (digit < comps.stride) {
+        if (offsets[digit] < unseen_widths[digit]) {
+          ++offsets[digit];
+          break;
+        }
+        offsets[digit] = 0;
+        ++digit;
+      }
+      if (digit == comps.stride) break;
+    }
+  }
+  return comps;
+}
+
+Completions build_sampled_completions(const TickInterval& support,
+                                      std::span<const Tick> unseen_widths, std::size_t target,
+                                      support::Rng& rng) {
+  Completions comps;
+  comps.stride = unseen_widths.size();
+  comps.count = target;
+  comps.flat.reserve(target * comps.stride);
+  for (std::size_t s = 0; s < target; ++s) {
+    const Tick t = rng.uniform_int(support.lo, support.hi);
+    for (Tick w : unseen_widths) {
+      const Tick lo = t - rng.uniform_int(0, w);
+      comps.flat.push_back(TickInterval{lo, lo + w});
+    }
+  }
+  return comps;
+}
+
+Completions build_completions(const AttackContext& ctx, const ExpectationOptions& options,
+                              support::Rng& sample_rng) {
+  // With faulty (non-malicious) sensors on the bus the seen intervals need
+  // not share a point with Delta; the attacker's measurement model is then
+  // inconsistent and she falls back to her own sensors' evidence.
+  TickInterval support = ctx.truth_support();
+  if (support.is_empty()) support = ctx.delta;
+  if (ctx.unseen_widths.empty()) return Completions{};
+  const auto exact = exact_completion_count(support, ctx.unseen_widths);
+  if (options.max_completions == 0 || exact <= options.max_completions) {
+    return build_exact_completions(support, ctx.unseen_widths);
+  }
+  return build_sampled_completions(support, ctx.unseen_widths, options.max_completions,
+                                   sample_rng);
+}
+
+/// Candidate lower bounds for planned interval @p j of a @p plan_size-joint
+/// plan.  Exact with no unseen sensors via breakpoints; exact on the grid
+/// otherwise (stride 1), approximate for larger strides.
+std::vector<Tick> candidate_lows(const AttackContext& ctx, std::size_t j,
+                                 std::size_t plan_size, bool have_unseen,
+                                 const ExpectationOptions& options) {
+  const Tick width = ctx.remaining_widths[j];
+  const StealthMode mode = mode_for_slot(*ctx.setup, ctx.remaining_slots[j]);
+  const TickInterval passive = passive_lo_range(ctx.delta, width);
+
+  std::vector<Tick> lows;
+  auto push_range_endpoints = [&](const TickInterval& range) {
+    if (!range.is_empty()) {
+      lows.push_back(range.lo);
+      lows.push_back(range.hi);
+    }
+  };
+  push_range_endpoints(passive);
+  lows.push_back(ctx.remaining_readings[j].lo);  // always feasible fallback
+
+  if (mode == StealthMode::kPassive) {
+    // Whole passive range (it is at most width - |delta| + 1 points).
+    for (Tick lo = passive.lo; lo <= passive.hi; ++lo) lows.push_back(lo);
+  } else {
+    const TickInterval range = candidate_lo_range(ctx, width);
+    if (!have_unseen) {
+      // Breakpoints: objective is piecewise linear in this interval's lower
+      // bound with slope changes only where one of its endpoints crosses a
+      // known endpoint (possibly shifted by a sibling width).
+      std::vector<Tick> endpoints;
+      auto push_interval = [&](const TickInterval& iv) {
+        endpoints.push_back(iv.lo);
+        endpoints.push_back(iv.hi);
+      };
+      push_interval(ctx.delta);
+      for (const auto& iv : ctx.seen) push_interval(iv);
+      for (const auto& iv : ctx.my_sent) push_interval(iv);
+      const std::size_t base = endpoints.size();
+      for (std::size_t k = 0; k < plan_size; ++k) {
+        if (k == j) continue;
+        const Tick sibling = ctx.remaining_widths[k];
+        for (std::size_t e = 0; e < base; ++e) {
+          endpoints.push_back(endpoints[e] - sibling);
+          endpoints.push_back(endpoints[e] + sibling);
+        }
+      }
+      for (Tick e : endpoints) {
+        for (const Tick lo : {e, static_cast<Tick>(e - width)}) {
+          if (range.contains(lo)) lows.push_back(lo);
+        }
+      }
+      push_range_endpoints(range);
+    } else {
+      const Tick stride = std::max<Tick>(1, options.candidate_stride);
+      for (Tick lo = range.lo; lo <= range.hi; lo += stride) lows.push_back(lo);
+      push_range_endpoints(range);
+    }
+  }
+
+  std::sort(lows.begin(), lows.end());
+  lows.erase(std::unique(lows.begin(), lows.end()), lows.end());
+  return lows;
+}
+
+/// Mean fused width (ticks) of the full sensor set under @p plan across all
+/// completions.  @p buffer is reused between calls.
+double evaluate_plan(const AttackContext& ctx, std::span<const TickInterval> plan,
+                     const Completions& comps, std::vector<TickInterval>& buffer) {
+  buffer.clear();
+  buffer.insert(buffer.end(), ctx.seen.begin(), ctx.seen.end());
+  buffer.insert(buffer.end(), ctx.my_sent.begin(), ctx.my_sent.end());
+  for (std::size_t j = 0; j < ctx.remaining_slots.size(); ++j) {
+    buffer.push_back(j < plan.size() ? plan[j] : ctx.remaining_readings[j]);
+  }
+  const std::size_t base = buffer.size();
+  buffer.resize(base + comps.stride);
+
+  double total = 0.0;
+  for (std::size_t c = 0; c < comps.count; ++c) {
+    for (std::size_t u = 0; u < comps.stride; ++u) {
+      buffer[base + u] = comps.flat[c * comps.stride + u];
+    }
+    const Tick width = fused_width_ticks(buffer, ctx.setup->f);
+    total += width > 0 ? static_cast<double>(width) : 0.0;
+  }
+  return total / static_cast<double>(comps.count);
+}
+
+/// Joint optimisation over the candidate grid; returns the best feasible
+/// plan (the always-feasible correct readings are the baseline).
+/// @param grid_candidates  force grid candidate generation even without
+///                         unseen sensors (OraclePolicy: the pinned
+///                         completion contributes breakpoints that
+///                         candidate_lows does not know about).
+std::vector<TickInterval> optimize_plan(const AttackContext& ctx, std::size_t plan_size,
+                                        const Completions& comps,
+                                        const ExpectationOptions& options, support::Rng& rng,
+                                        bool grid_candidates) {
+  const bool have_unseen = grid_candidates || comps.stride > 0;
+  std::vector<std::vector<Tick>> lows(plan_size);
+  for (std::size_t j = 0; j < plan_size; ++j) {
+    lows[j] = candidate_lows(ctx, j, plan_size, have_unseen, options);
+  }
+
+  // Baseline: the correct readings.  They always hold their own passive
+  // certificate, but when earlier intervals were sent on an *active*
+  // certificate that leaned on a planned sibling placement, the readings may
+  // fail to protect them — so the baseline is subject to plan_feasible like
+  // every other candidate ("she may have to protect her earlier intervals").
+  std::vector<TickInterval> buffer;
+  std::vector<TickInterval> best(ctx.remaining_readings.begin(),
+                                 ctx.remaining_readings.begin() +
+                                     static_cast<std::ptrdiff_t>(plan_size));
+  double best_value = -1.0;
+  bool have_feasible = false;
+  if (plan_feasible(ctx, best)) {
+    best_value = evaluate_plan(ctx, best, comps, buffer);
+    have_feasible = true;
+  }
+  std::vector<std::vector<TickInterval>> ties;
+  if (have_feasible) ties.push_back(best);
+
+  std::vector<std::size_t> index(plan_size, 0);
+  std::vector<TickInterval> plan(plan_size);
+  for (;;) {
+    for (std::size_t j = 0; j < plan_size; ++j) {
+      const Tick lo = lows[j][index[j]];
+      plan[j] = TickInterval{lo, lo + ctx.remaining_widths[j]};
+    }
+    if (plan_feasible(ctx, plan)) {
+      const double value = evaluate_plan(ctx, plan, comps, buffer);
+      if (!have_feasible || value > best_value + 1e-9) {
+        have_feasible = true;
+        best_value = value;
+        best = plan;
+        if (options.random_tie_break) {
+          ties.clear();
+          ties.push_back(plan);
+        }
+      } else if (options.random_tie_break && value > best_value - 1e-9) {
+        ties.push_back(plan);
+      }
+    }
+    // Advance the odometer over candidate indices.
+    std::size_t digit = 0;
+    while (digit < plan_size) {
+      if (++index[digit] < lows[digit].size()) break;
+      index[digit] = 0;
+      ++digit;
+    }
+    if (digit == plan_size) break;
+  }
+  if (options.random_tie_break && ties.size() > 1) {
+    const auto pick = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(ties.size()) - 1));
+    return ties[pick];
+  }
+  return best;
+}
+
+}  // namespace
+
+std::size_t ExpectationPolicy::KeyHash::operator()(const std::vector<Tick>& key) const noexcept {
+  std::uint64_t state = 0x51ab5e1fULL ^ (static_cast<std::uint64_t>(key.size()) << 32);
+  std::uint64_t hash = 0;
+  for (Tick value : key) {
+    state ^= static_cast<std::uint64_t>(value) + 0x9e3779b97f4a7c15ULL + (state << 6);
+    hash ^= support::splitmix64(state);
+  }
+  return static_cast<std::size_t>(hash);
+}
+
+ExpectationPolicy::ExpectationPolicy(ExpectationOptions options)
+    : options_(options), sample_rng_(options.sample_seed) {}
+
+void ExpectationPolicy::reset() {
+  memo_.clear();
+  sample_rng_.reseed(options_.sample_seed);
+}
+
+namespace {
+
+/// Translation-canonical memo key: all coordinates are shifted by -base so
+/// that worlds differing only by a translation share one decision.
+std::vector<Tick> make_memo_key(const AttackContext& ctx, std::size_t plan_size) {
+  const Tick base = ctx.delta.lo;
+  std::vector<Tick> key;
+  key.reserve(16 + 2 * (ctx.seen.size() + ctx.my_sent.size()) + ctx.unseen_widths.size());
+  key.push_back(ctx.setup->n);
+  key.push_back(ctx.setup->f);
+  key.push_back(static_cast<Tick>(ctx.current_slot));
+  key.push_back(static_cast<Tick>(plan_size));
+  for (SensorId id : ctx.setup->attacked) {
+    key.push_back(static_cast<Tick>(sched::slot_of(ctx.setup->order, id)));
+  }
+  key.push_back(ctx.delta.hi - base);
+
+  auto push_sorted = [&](std::span<const TickInterval> intervals) {
+    std::vector<std::pair<Tick, Tick>> pairs;
+    pairs.reserve(intervals.size());
+    for (const auto& iv : intervals) pairs.emplace_back(iv.lo - base, iv.hi - base);
+    std::sort(pairs.begin(), pairs.end());
+    key.push_back(static_cast<Tick>(pairs.size()));
+    for (const auto& [lo, hi] : pairs) {
+      key.push_back(lo);
+      key.push_back(hi);
+    }
+  };
+  push_sorted(ctx.seen);
+  push_sorted(ctx.my_sent);
+
+  key.push_back(static_cast<Tick>(ctx.remaining_slots.size()));
+  for (std::size_t j = 0; j < ctx.remaining_slots.size(); ++j) {
+    key.push_back(static_cast<Tick>(ctx.remaining_slots[j]));
+    key.push_back(ctx.remaining_widths[j]);
+    if (j >= plan_size) {
+      // Tail intervals stay at their correct readings, which then influence
+      // the objective; identical plans with different tails must not alias.
+      key.push_back(ctx.remaining_readings[j].lo - base);
+    }
+  }
+  std::vector<Tick> unseen(ctx.unseen_widths.begin(), ctx.unseen_widths.end());
+  std::sort(unseen.begin(), unseen.end());
+  for (Tick w : unseen) key.push_back(w);
+  return key;
+}
+
+}  // namespace
+
+TickInterval ExpectationPolicy::decide(const AttackContext& ctx, support::Rng& rng) {
+  assert(!ctx.remaining_slots.empty());
+  const std::size_t plan_size = std::min(options_.max_joint, ctx.remaining_slots.size());
+
+  std::vector<Tick> key;
+  if (options_.memoize) {
+    key = make_memo_key(ctx, plan_size);
+    const auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second.translated(ctx.delta.lo);
+  }
+
+  const Completions comps = build_completions(ctx, options_, sample_rng_);
+  const auto plan =
+      optimize_plan(ctx, plan_size, comps, options_, rng, /*grid_candidates=*/false);
+  const TickInterval decision = plan.front();
+
+  if (options_.memoize) memo_.emplace(std::move(key), decision.translated(-ctx.delta.lo));
+  return decision;
+}
+
+double ExpectationPolicy::expected_width_of_plan(const AttackContext& ctx,
+                                                 std::span<const TickInterval> plan) {
+  const Completions comps = build_completions(ctx, options_, sample_rng_);
+  std::vector<TickInterval> buffer;
+  return evaluate_plan(ctx, plan, comps, buffer);
+}
+
+OraclePolicy::OraclePolicy(ExpectationOptions options) : options_(options) {}
+
+TickInterval OraclePolicy::decide(const AttackContext& ctx, support::Rng& rng) {
+  assert(ctx.unseen_actual.size() == ctx.unseen_widths.size() &&
+         "OraclePolicy requires the driver to fill unseen_actual");
+  Completions comps;
+  comps.stride = ctx.unseen_actual.size();
+  comps.count = 1;
+  comps.flat = ctx.unseen_actual;
+  // The pinned completion contributes breakpoints that candidate_lows does
+  // not consult, so force grid candidates to stay exact (oracle runs are not
+  // the hot path).
+  ExpectationOptions options = options_;
+  options.candidate_stride = 1;
+  const std::size_t plan_size = std::min(options.max_joint, ctx.remaining_slots.size());
+  return optimize_plan(ctx, plan_size, comps, options, rng, /*grid_candidates=*/true).front();
+}
+
+std::unique_ptr<AttackPolicy> make_expectation_policy(ExpectationOptions options) {
+  return std::make_unique<ExpectationPolicy>(options);
+}
+
+std::unique_ptr<AttackPolicy> make_oracle_policy(ExpectationOptions options) {
+  return std::make_unique<OraclePolicy>(options);
+}
+
+}  // namespace arsf::attack

@@ -1,0 +1,114 @@
+#pragma once
+// Optimising attack policies: the paper's problems (1) and (2).
+//
+// ExpectationPolicy implements problem (2): at each of her slots the attacker
+// jointly plans her remaining intervals to maximise
+//
+//     E_{CRk} |S_{N,f}|
+//
+// where the expectation runs over the placements of the correct intervals
+// she has not seen yet.  Her posterior (uniform measurement model on the
+// tick grid) is: the true value t is uniform over Delta intersected with all
+// seen correct intervals, and given t every unseen correct interval's lower
+// bound is uniform on [t - w, t].  Only the interval for the current slot is
+// committed; later slots re-solve with fresh information (receding horizon —
+// the paper solves "an instance of (2) for each compromised interval").
+//
+// When the attacker's slot comes after every correct sensor there is nothing
+// unseen, the expectation collapses, and the policy solves problem (1)
+// exactly — the optimal attack with full knowledge.
+//
+// Every plan is constrained to hold stealth certificates (attack/stealth.h),
+// so the optimisation never risks detection, matching the paper's "maximise
+// the fusion interval while staying undetected".
+//
+// Implementation notes:
+//   * everything is exact integer-tick arithmetic;
+//   * decisions are memoised under translation canonicalisation (shifting
+//     all coordinates by -delta.lo), which collapses most of the worlds the
+//     exhaustive enumeration engine visits onto few distinct decisions;
+//   * with no unseen sensors the objective is piecewise linear in each
+//     planned lower bound with breakpoints at known endpoints, so only
+//     breakpoint candidates are evaluated (exact); with unseen sensors the
+//     objective is piecewise linear between *grid* points, so the full grid
+//     is enumerated (exact) unless a stride/sampling budget is configured;
+//   * max_completions > 0 (Monte Carlo subsampling of the posterior) bounds
+//     the cost on fine grids, e.g. the continuous-domain case study.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "attack/policies.h"
+
+namespace arsf::attack {
+
+struct ExpectationOptions {
+  /// How many of her remaining intervals are planned jointly (the rest of
+  /// the tail is assumed correct until its own slot re-solves).
+  std::size_t max_joint = 2;
+  /// 0 = exact enumeration of the posterior; otherwise subsample this many
+  /// completions (deterministic internal stream, see sample_seed).
+  std::size_t max_completions = 0;
+  /// Grid stride for candidate lower bounds (1 = exact; >1 trades accuracy
+  /// for speed on fine grids; breakpoint candidates are always included).
+  Tick candidate_stride = 1;
+  /// Memoise decisions under translation canonicalisation.
+  bool memoize = true;
+  /// Seed of the private sampling stream used when max_completions > 0.
+  std::uint64_t sample_seed = 0x900dcafeULL;
+  /// Pick uniformly among expectation-maximising plans instead of the first
+  /// one found (an indifferent attacker; balances left/right extensions in
+  /// the case study).  Uses the rng passed to decide().
+  bool random_tie_break = false;
+};
+
+class ExpectationPolicy final : public AttackPolicy {
+ public:
+  explicit ExpectationPolicy(ExpectationOptions options = {});
+
+  [[nodiscard]] TickInterval decide(const AttackContext& ctx, support::Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "expectation"; }
+  void reset() override;
+
+  /// Expected fused width (in ticks) of an explicit plan under the
+  /// attacker's posterior — exposed for tests and the figure binaries.
+  [[nodiscard]] double expected_width_of_plan(const AttackContext& ctx,
+                                              std::span<const TickInterval> plan);
+
+  /// Number of distinct canonical decision states cached so far.
+  [[nodiscard]] std::size_t memo_size() const noexcept { return memo_.size(); }
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const std::vector<Tick>& key) const noexcept;
+  };
+
+  ExpectationOptions options_;
+  support::Rng sample_rng_;
+  std::unordered_map<std::vector<Tick>, TickInterval, KeyHash> memo_;
+};
+
+/// Upper-bound oracle: solves problem (1) against the *actual* placements of
+/// the unseen correct intervals (ctx.unseen_actual), i.e. an attacker with
+/// full knowledge regardless of schedule.  Used by ablations to separate
+/// "information denied by the schedule" from "power denied by stealth".
+class OraclePolicy final : public AttackPolicy {
+ public:
+  explicit OraclePolicy(ExpectationOptions options = {});
+
+  [[nodiscard]] TickInterval decide(const AttackContext& ctx, support::Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "oracle"; }
+
+ private:
+  ExpectationOptions options_;
+};
+
+/// Factory helpers for readability at call sites.
+[[nodiscard]] std::unique_ptr<AttackPolicy> make_expectation_policy(ExpectationOptions o = {});
+[[nodiscard]] std::unique_ptr<AttackPolicy> make_oracle_policy(ExpectationOptions o = {});
+
+}  // namespace arsf::attack

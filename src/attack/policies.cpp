@@ -1,0 +1,56 @@
+#include "attack/policies.h"
+
+#include <algorithm>
+
+namespace arsf::attack {
+
+std::vector<TickInterval> feasible_candidates(const AttackContext& ctx) {
+  const Tick width = ctx.remaining_widths.front();
+  const TickInterval range = candidate_lo_range(ctx, width);
+  std::vector<TickInterval> candidates;
+  std::vector<TickInterval> plan(1);
+  for (Tick lo = range.lo; lo <= range.hi; ++lo) {
+    plan[0] = TickInterval{lo, lo + width};
+    if (plan_feasible(ctx, plan)) candidates.push_back(plan[0]);
+  }
+  return candidates;
+}
+
+TickInterval CorrectPolicy::decide(const AttackContext& ctx, support::Rng& rng) {
+  (void)rng;
+  return ctx.remaining_readings.front();
+}
+
+TickInterval ShiftPolicy::decide(const AttackContext& ctx, support::Rng& rng) {
+  (void)rng;
+  const auto candidates = feasible_candidates(ctx);
+  if (candidates.empty()) return ctx.remaining_readings.front();
+  const bool go_right = side_ == Side::kRight ||
+                        (side_ == Side::kAlternate && ctx.my_sent.size() % 2 == 0);
+  // Candidates are ordered by lower bound; extremes are the maximal shifts.
+  return go_right ? candidates.back() : candidates.front();
+}
+
+std::string ShiftPolicy::name() const {
+  switch (side_) {
+    case Side::kLeft: return "shift-left";
+    case Side::kRight: return "shift-right";
+    case Side::kAlternate: return "shift-alternate";
+  }
+  return "shift";
+}
+
+TickInterval RandomFeasiblePolicy::decide(const AttackContext& ctx, support::Rng& rng) {
+  const auto candidates = feasible_candidates(ctx);
+  if (candidates.empty()) return ctx.remaining_readings.front();
+  const auto index = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(candidates.size()) - 1));
+  return candidates[index];
+}
+
+TickInterval NaiveOffsetPolicy::decide(const AttackContext& ctx, support::Rng& rng) {
+  (void)rng;
+  return ctx.remaining_readings.front().translated(offset_);
+}
+
+}  // namespace arsf::attack

@@ -1,0 +1,83 @@
+#pragma once
+// Attack policy interface and the simple (non-optimising) policies.
+//
+// A policy decides, at each of the attacker's slots, which interval to
+// transmit for the compromised sensor owning that slot.  All built-in
+// policies only ever return moves carrying a stealth certificate
+// (attack/stealth.h), so they are never flagged by the detector; the
+// deliberately non-stealthy NaiveOffsetPolicy exists to demonstrate that the
+// detector does catch certificate-free attacks.
+
+#include <memory>
+#include <string>
+
+#include "attack/context.h"
+#include "attack/stealth.h"
+#include "support/rng.h"
+
+namespace arsf::attack {
+
+class AttackPolicy {
+ public:
+  virtual ~AttackPolicy() = default;
+
+  /// Interval to transmit at ctx.current_slot (width must equal
+  /// ctx.remaining_widths.front(); widths are public knowledge, a wrong
+  /// width would be trivially detected).
+  [[nodiscard]] virtual TickInterval decide(const AttackContext& ctx, support::Rng& rng) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Clears memoisation/caches between experiments (default: no-op).
+  virtual void reset() {}
+};
+
+/// Benign baseline: always transmits the sensor's correct reading.
+class CorrectPolicy final : public AttackPolicy {
+ public:
+  [[nodiscard]] TickInterval decide(const AttackContext& ctx, support::Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "correct"; }
+};
+
+/// Greedy one-sided heuristic: shifts the interval as far as a stealth
+/// certificate allows towards the configured side.
+class ShiftPolicy final : public AttackPolicy {
+ public:
+  enum class Side { kLeft, kRight, kAlternate };
+
+  explicit ShiftPolicy(Side side = Side::kRight) : side_(side) {}
+
+  [[nodiscard]] TickInterval decide(const AttackContext& ctx, support::Rng& rng) override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  Side side_;
+};
+
+/// Uniformly random certificate-holding move (a weak but stealthy attacker).
+class RandomFeasiblePolicy final : public AttackPolicy {
+ public:
+  [[nodiscard]] TickInterval decide(const AttackContext& ctx, support::Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "random-feasible"; }
+};
+
+/// Certificate-free strawman: offsets its reading by a fixed number of ticks
+/// regardless of stealth.  Used to validate the detector.
+class NaiveOffsetPolicy final : public AttackPolicy {
+ public:
+  explicit NaiveOffsetPolicy(Tick offset) : offset_(offset) {}
+
+  [[nodiscard]] TickInterval decide(const AttackContext& ctx, support::Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "naive-offset"; }
+
+ private:
+  Tick offset_;
+};
+
+/// Enumerates every candidate placement for the current interval that holds
+/// a stealth certificate given the context (other planned intervals default
+/// to correct readings).  Shared by the simple policies; the optimising
+/// policies build richer candidate sets internally.
+[[nodiscard]] std::vector<TickInterval> feasible_candidates(const AttackContext& ctx);
+
+}  // namespace arsf::attack

@@ -1,0 +1,116 @@
+#include "attack/stealth.h"
+
+#include <algorithm>
+
+namespace arsf::attack {
+
+StealthMode mode_for_slot(const AttackSetup& setup, std::size_t slot) {
+  int far = 0;
+  for (SensorId id : setup.attacked) {
+    if (sched::slot_of(setup.order, id) >= slot) ++far;
+  }
+  const int transmitted = static_cast<int>(slot);
+  return transmitted >= setup.n - setup.f - far ? StealthMode::kActive : StealthMode::kPassive;
+}
+
+bool passive_feasible(const TickInterval& candidate, const TickInterval& delta) {
+  return candidate.contains(delta);
+}
+
+int max_point_overlap_within(const TickInterval& within, std::span<const TickInterval> others) {
+  if (within.is_empty()) return 0;
+  // Sweep the clipped endpoint events; starts before ends at equal points.
+  std::vector<std::pair<Tick, int>> events;
+  events.reserve(2 * others.size());
+  for (const auto& other : others) {
+    const TickInterval clipped = other.intersect(within);
+    if (clipped.is_empty()) continue;
+    events.emplace_back(clipped.lo, +1);
+    events.emplace_back(clipped.hi, -1);
+  }
+  std::sort(events.begin(), events.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first < b.first;
+    return a.second > b.second;
+  });
+  int count = 0;
+  int best = 0;
+  for (const auto& [x, delta] : events) {
+    (void)x;
+    count += delta;
+    best = std::max(best, count);
+  }
+  return best;
+}
+
+bool active_feasible(const TickInterval& candidate, std::span<const TickInterval> others,
+                     int need) {
+  if (need <= 0) return true;
+  return max_point_overlap_within(candidate, others) >= need;
+}
+
+TickInterval passive_lo_range(const TickInterval& delta, Tick width) {
+  return TickInterval{delta.hi - width, delta.lo};
+}
+
+TickInterval candidate_lo_range(const AttackContext& ctx, Tick width) {
+  TickInterval hull = ctx.delta;
+  for (const auto& iv : ctx.seen) hull = hull.hull(iv);
+  for (const auto& iv : ctx.my_sent) hull = hull.hull(iv);
+  Tick sibling = 0;
+  for (std::size_t j = 1; j < ctx.remaining_widths.size(); ++j) {
+    sibling = std::max(sibling, ctx.remaining_widths[j]);
+  }
+  return TickInterval{hull.lo - width - sibling, hull.hi + sibling};
+}
+
+bool plan_feasible(const AttackContext& ctx, std::span<const TickInterval> plan) {
+  const AttackSetup& setup = *ctx.setup;
+  const int need = setup.n - setup.f - 1;
+
+  // Full list of her intervals with the slot each occupies.
+  struct Mine {
+    TickInterval interval;
+    std::size_t slot;
+  };
+  std::vector<Mine> mine;
+  mine.reserve(ctx.my_sent.size() + ctx.remaining_slots.size());
+  {
+    // Reconstruct the slots of already-sent intervals: they are her attacked
+    // slots before current_slot, in order.
+    std::vector<std::size_t> my_slots;
+    for (SensorId id : setup.attacked) my_slots.push_back(sched::slot_of(setup.order, id));
+    std::sort(my_slots.begin(), my_slots.end());
+    std::size_t sent_index = 0;
+    for (std::size_t slot : my_slots) {
+      if (slot < ctx.current_slot && sent_index < ctx.my_sent.size()) {
+        mine.push_back({ctx.my_sent[sent_index], slot});
+        ++sent_index;
+      }
+    }
+  }
+  for (std::size_t j = 0; j < ctx.remaining_slots.size(); ++j) {
+    // Plan prefix; the tail defaults to correct readings (passively safe).
+    const TickInterval iv = j < plan.size() ? plan[j] : ctx.remaining_readings[j];
+    mine.push_back({iv, ctx.remaining_slots[j]});
+  }
+
+  // Known-position others for the certificates: seen corrects + all of her
+  // intervals except the one under test.
+  std::vector<TickInterval> others;
+  others.reserve(ctx.seen.size() + mine.size());
+  for (std::size_t i = 0; i < mine.size(); ++i) {
+    const Mine& candidate = mine[i];
+    if (passive_feasible(candidate.interval, ctx.delta)) continue;
+    // Active certificate requires the mode gate at the interval's slot.
+    if (mode_for_slot(setup, candidate.slot) != StealthMode::kActive) return false;
+    others.clear();
+    others.insert(others.end(), ctx.seen.begin(), ctx.seen.end());
+    for (std::size_t k = 0; k < mine.size(); ++k) {
+      if (k != i) others.push_back(mine[k].interval);
+    }
+    if (!active_feasible(candidate.interval, others, need)) return false;
+  }
+  return true;
+}
+
+}  // namespace arsf::attack

@@ -1,0 +1,69 @@
+#pragma once
+// Stealth constraints (paper, Section III-A-1).
+//
+// Detection discards any interval that does not intersect the fusion
+// interval, so the attacker only plays moves that *guarantee* intersection:
+//
+//   * Passive mode — her interval contains Delta.  Since the true value t is
+//     in Delta and in every correct interval, t lies in >= n-fa >= n-f
+//     intervals, hence in the fusion interval; her interval contains t too.
+//   * Active mode — allowed from the paper's gate
+//     `transmitted >= n - f - far`; her interval shares a common point p with
+//     at least n-f-1 other intervals whose placements are known or under her
+//     control.  Then p lies in >= n-f intervals (them plus hers), hence in
+//     the fusion interval.
+//
+// Both certificates are sufficient conditions for zero detection probability
+// regardless of where the unseen correct intervals land; the enumeration
+// tests verify this exhaustively.
+
+#include <span>
+#include <vector>
+
+#include "attack/context.h"
+
+namespace arsf::attack {
+
+enum class StealthMode { kPassive, kActive };
+
+/// Paper's mode gate for a decision at @p slot: every earlier slot has
+/// transmitted (transmitted == slot) and far counts her slots >= slot.
+[[nodiscard]] StealthMode mode_for_slot(const AttackSetup& setup, std::size_t slot);
+
+/// Passive certificate: candidate contains Delta.
+[[nodiscard]] bool passive_feasible(const TickInterval& candidate, const TickInterval& delta);
+
+/// Maximum number of @p others sharing a single common point inside
+/// @p within (closed-interval semantics).
+[[nodiscard]] int max_point_overlap_within(const TickInterval& within,
+                                           std::span<const TickInterval> others);
+
+/// Active certificate: some point of @p candidate lies in >= need of
+/// @p others.
+[[nodiscard]] bool active_feasible(const TickInterval& candidate,
+                                   std::span<const TickInterval> others, int need);
+
+/// Inclusive range of candidate lower bounds for an interval of width
+/// @p width that contains @p delta (the passive feasible set).
+/// Empty (lo > hi) iff width < |delta|, which cannot happen for the sensor
+/// that produced a reading of the same width.
+[[nodiscard]] TickInterval passive_lo_range(const TickInterval& delta, Tick width);
+
+/// Candidate lower-bound range wide enough to contain every placement of a
+/// width-@p width interval that could hold any certificate: the hull of
+/// (delta, seen, sent) expanded by this width plus the widest remaining
+/// sibling (an active certificate may lean on a sibling's future placement).
+[[nodiscard]] TickInterval candidate_lo_range(const AttackContext& ctx, Tick width);
+
+/// Checks a complete plan for the attacker's intervals: every already-sent
+/// interval and every planned interval must hold a stealth certificate,
+/// where the "known others" of each interval are the seen correct intervals,
+/// her other sent intervals and the other planned intervals.
+///
+/// @param ctx        decision context (provides seen/sent/delta/slots).
+/// @param plan       placements for her remaining intervals, parallel to
+///                   ctx.remaining_slots (may be a prefix: the tail defaults
+///                   to the correct readings, which are always feasible).
+[[nodiscard]] bool plan_feasible(const AttackContext& ctx, std::span<const TickInterval> plan);
+
+}  // namespace arsf::attack

@@ -1,0 +1,52 @@
+#include "bus/bus.h"
+
+#include <algorithm>
+
+namespace arsf::bus {
+
+void SharedBus::attach(BusListener& listener) { listeners_.push_back(&listener); }
+
+void SharedBus::detach(BusListener& listener) {
+  listeners_.erase(std::remove(listeners_.begin(), listeners_.end(), &listener),
+                   listeners_.end());
+}
+
+void SharedBus::queue(Frame frame) { queue_.push_back(std::move(frame)); }
+
+bool SharedBus::run_slot(std::size_t slot, Frame* delivered) {
+  // Collect the contenders for this slot.
+  std::vector<std::size_t> contenders;
+  for (std::size_t i = 0; i < queue_.size(); ++i) {
+    if (queue_[i].slot == slot) contenders.push_back(i);
+  }
+  if (contenders.empty()) return false;
+
+  std::size_t winner = contenders.front();
+  for (std::size_t i = 1; i < contenders.size(); ++i) {
+    if (wins_arbitration(queue_[contenders[i]], queue_[winner])) winner = contenders[i];
+  }
+  if (contenders.size() > 1) {
+    stats_.arbitration_conflicts += contenders.size() - 1;
+    // Losers retry in the next slot, as a CAN node would after losing
+    // arbitration.
+    for (std::size_t idx : contenders) {
+      if (idx != winner) ++queue_[idx].slot;
+    }
+  }
+
+  Frame frame = queue_[winner];
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(winner));
+  deliver(frame);
+  if (delivered != nullptr) *delivered = frame;
+  return true;
+}
+
+void SharedBus::broadcast(const Frame& frame) { deliver(frame); }
+
+void SharedBus::deliver(const Frame& frame) {
+  ++stats_.frames_delivered;
+  if (keep_log_) log_.push_back(frame);
+  for (BusListener* listener : listeners_) listener->on_frame(frame);
+}
+
+}  // namespace arsf::bus

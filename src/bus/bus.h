@@ -1,0 +1,91 @@
+#pragma once
+// Shared broadcast bus with slotted rounds (the protocol substrate).
+//
+// One fusion round = n slots, one per sensor, ordered by the communication
+// schedule (arsf::sched::Order).  Within a slot the owning node transmits one
+// frame; the bus delivers it synchronously to *every* attached listener —
+// including promiscuous snoopers, which is exactly how the paper's attacker
+// learns the already-transmitted intervals before her own slot.
+//
+// Contention (two nodes queuing frames in the same slot, e.g. a babbling
+// node) is resolved by CAN priority arbitration; losers stay queued for the
+// next slot, and the event is recorded so tests and monitors can observe it.
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "bus/frame.h"
+#include "schedule/schedule.h"
+
+namespace arsf::bus {
+
+/// Receives every frame on the bus (sensors, controller, attacker taps).
+class BusListener {
+ public:
+  virtual ~BusListener() = default;
+  virtual void on_frame(const Frame& frame) = 0;
+};
+
+/// Statistics over the lifetime of a bus instance.
+struct BusStats {
+  std::uint64_t frames_delivered = 0;
+  std::uint64_t arbitration_conflicts = 0;
+  std::uint64_t rounds_completed = 0;
+};
+
+class SharedBus {
+ public:
+  /// @param keep_log  retain every delivered frame (tests/visualisation).
+  explicit SharedBus(bool keep_log = true) : keep_log_(keep_log) {}
+
+  SharedBus(const SharedBus&) = delete;
+  SharedBus& operator=(const SharedBus&) = delete;
+
+  /// Attaches a listener; the caller keeps ownership and must outlive the
+  /// bus or detach first.
+  void attach(BusListener& listener);
+  void detach(BusListener& listener);
+
+  /// Queues @p frame for transmission in its slot.  Frames queued for the
+  /// same slot contend via CAN arbitration.
+  void queue(Frame frame);
+
+  /// Runs one slot: arbitrates queued frames for @p slot, delivers the
+  /// winner to all listeners, returns it.  Frames losing arbitration are
+  /// re-queued for the following slot.  Returns false if nothing transmitted.
+  bool run_slot(std::size_t slot, Frame* delivered = nullptr);
+
+  /// Convenience: delivers @p frame immediately (no queueing/arbitration).
+  void broadcast(const Frame& frame);
+
+  /// Marks the end of a fusion round (statistics only).
+  void end_round() { ++stats_.rounds_completed; }
+
+  [[nodiscard]] const std::vector<Frame>& log() const noexcept { return log_; }
+  void clear_log() { log_.clear(); }
+  [[nodiscard]] const BusStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+
+ private:
+  void deliver(const Frame& frame);
+
+  bool keep_log_;
+  std::vector<BusListener*> listeners_;
+  std::deque<Frame> queue_;
+  std::vector<Frame> log_;
+  BusStats stats_;
+};
+
+/// Adapter: wraps a callable as a listener (handy for snoopers in tests and
+/// for the attacker's bus tap).
+class CallbackListener final : public BusListener {
+ public:
+  explicit CallbackListener(std::function<void(const Frame&)> fn) : fn_(std::move(fn)) {}
+  void on_frame(const Frame& frame) override { fn_(frame); }
+
+ private:
+  std::function<void(const Frame&)> fn_;
+};
+
+}  // namespace arsf::bus

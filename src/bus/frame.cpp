@@ -1,0 +1,20 @@
+#include "bus/frame.h"
+
+#include <sstream>
+
+namespace arsf::bus {
+
+std::string to_string(const Frame& frame) {
+  std::ostringstream out;
+  out << "frame{id=0x" << std::hex << frame.can_id << std::dec << " sender=" << frame.sender
+      << " slot=" << frame.slot << " round=" << frame.round << " measurement="
+      << frame.measurement << " interval=" << arsf::to_string(frame.interval) << "}";
+  return out.str();
+}
+
+bool wins_arbitration(const Frame& a, const Frame& b) {
+  if (a.can_id != b.can_id) return a.can_id < b.can_id;
+  return a.sender < b.sender;
+}
+
+}  // namespace arsf::bus

@@ -1,0 +1,37 @@
+#pragma once
+// CAN-flavoured bus frames.
+//
+// The paper's threat model hinges on one property of in-vehicle networks:
+// every message on the shared bus is visible to every connected component
+// (Section I: "In the presence of a shared bus where messages are broadcast
+// to all components...").  The frames here model the metadata that matters
+// for the fusion protocol — sender, slot, round, measurement payload — plus
+// a CAN-style 11-bit identifier used for priority arbitration when two nodes
+// contend for the same slot.
+
+#include <cstdint>
+#include <string>
+
+#include "core/interval.h"
+
+namespace arsf::bus {
+
+using CanId = std::uint32_t;
+inline constexpr CanId kMaxCanId = 0x7FF;  // 11-bit standard identifier
+
+struct Frame {
+  CanId can_id = 0;            ///< lower value = higher arbitration priority
+  std::size_t sender = 0;      ///< SensorId of the transmitting node
+  double measurement = 0.0;    ///< raw numeric measurement
+  Interval interval;           ///< controller-side interval for the payload
+  std::uint64_t round = 0;     ///< fusion round counter
+  std::size_t slot = 0;        ///< slot index within the round
+};
+
+[[nodiscard]] std::string to_string(const Frame& frame);
+
+/// CAN arbitration: the frame with the numerically lower identifier wins;
+/// ties (same id) resolve by sender id to keep the model deterministic.
+[[nodiscard]] bool wins_arbitration(const Frame& a, const Frame& b);
+
+}  // namespace arsf::bus

@@ -1,0 +1,41 @@
+#include "core/bounds.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace arsf {
+
+namespace {
+
+template <typename T>
+T two_largest_widths(std::span<const BasicInterval<T>> intervals) {
+  if (intervals.empty()) {
+    throw std::invalid_argument("theorem2_bound: need at least one correct interval");
+  }
+  T largest{};
+  T second{};
+  bool have_largest = false;
+  for (const auto& iv : intervals) {
+    const T w = iv.width();
+    if (!have_largest || w > largest) {
+      second = have_largest ? largest : T{};
+      largest = w;
+      have_largest = true;
+    } else if (w > second) {
+      second = w;
+    }
+  }
+  return intervals.size() == 1 ? largest : static_cast<T>(largest + second);
+}
+
+}  // namespace
+
+double theorem2_bound(std::span<const Interval> correct_intervals) {
+  return two_largest_widths<double>(correct_intervals);
+}
+
+Tick theorem2_bound_ticks(std::span<const TickInterval> correct_intervals) {
+  return two_largest_widths<Tick>(correct_intervals);
+}
+
+}  // namespace arsf

@@ -1,0 +1,43 @@
+#pragma once
+// Width guarantees for Marzullo fusion (paper, Section II-A) and the paper's
+// Theorem 2 worst-case bound.
+//
+// From Marzullo's analysis, restated by the paper:
+//   * f < ceil(n/3)  ->  |S_{N,f}| is bounded by the width of some *correct*
+//                        interval;
+//   * f < ceil(n/2)  ->  |S_{N,f}| is bounded by the width of some interval
+//                        (not necessarily correct);
+//   * f >= ceil(n/2) ->  the fusion interval can be arbitrarily large and may
+//                        not contain the true value.
+// The paper therefore always requires f < ceil(n/2); max_bounded_f gives the
+// largest admissible f (the evaluation uses exactly this value).
+
+#include <span>
+
+#include "core/interval.h"
+
+namespace arsf {
+
+/// ceil(n/k) for positive integers.
+[[nodiscard]] constexpr int ceil_div(int n, int k) { return (n + k - 1) / k; }
+
+/// Largest f with the bounded-width guarantee: ceil(n/2) - 1.
+[[nodiscard]] constexpr int max_bounded_f(int n) { return ceil_div(n, 2) - 1; }
+
+/// True iff |S| is guaranteed bounded by some correct interval's width.
+[[nodiscard]] constexpr bool width_bounded_by_correct(int n, int f) {
+  return f < ceil_div(n, 3);
+}
+
+/// True iff |S| is guaranteed bounded by some interval's width.
+[[nodiscard]] constexpr bool width_bounded_by_any(int n, int f) {
+  return f < ceil_div(n, 2);
+}
+
+/// Theorem 2: with f < ceil(n/2), |S_{N,f}| <= |sc1| + |sc2| where sc1, sc2
+/// are the two largest-width *correct* intervals.  For n-fa == 1 the single
+/// correct width is returned.
+[[nodiscard]] double theorem2_bound(std::span<const Interval> correct_intervals);
+[[nodiscard]] Tick theorem2_bound_ticks(std::span<const TickInterval> correct_intervals);
+
+}  // namespace arsf

@@ -1,0 +1,77 @@
+#include "core/brooks_iyengar.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace arsf {
+
+BrooksIyengarResult brooks_iyengar(std::span<const Interval> intervals, int f) {
+  const int n = static_cast<int>(intervals.size());
+  if (n < 1) throw std::invalid_argument("brooks_iyengar: need at least one interval");
+  if (f < 0 || f >= n) throw std::invalid_argument("brooks_iyengar: require 0 <= f < n");
+  for (const auto& iv : intervals) {
+    if (iv.is_empty()) throw std::invalid_argument("brooks_iyengar: empty input interval");
+  }
+
+  // Sweep all endpoints, tracking the overlap count on every elementary
+  // segment; keep maximal runs with count >= n-f as weighted regions.
+  struct Event {
+    double x;
+    int delta;
+  };
+  std::vector<Event> events;
+  events.reserve(2 * static_cast<std::size_t>(n));
+  for (const auto& iv : intervals) {
+    events.push_back({iv.lo, +1});
+    events.push_back({iv.hi, -1});
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.x != b.x) return a.x < b.x;
+    return a.delta > b.delta;  // starts before ends: closed intervals
+  });
+
+  BrooksIyengarResult result;
+  result.threshold = n - f;
+
+  int count = 0;
+  double previous = 0.0;
+  bool have_previous = false;
+  for (const Event& event : events) {
+    if (have_previous && count >= result.threshold && event.x >= previous) {
+      // Elementary segment [previous, event.x] carries `count` overlaps;
+      // merge with the last region when contiguous and equally weighted.
+      if (!result.regions.empty() && result.regions.back().count == count &&
+          result.regions.back().range.hi == previous) {
+        result.regions.back().range.hi = event.x;
+      } else {
+        result.regions.push_back({Interval{previous, event.x}, count});
+      }
+    }
+    count += event.delta;
+    previous = event.x;
+    have_previous = true;
+  }
+
+  if (!result.regions.empty()) {
+    result.interval = Interval{result.regions.front().range.lo,
+                               result.regions.back().range.hi};
+    double weight_sum = 0.0;
+    double value_sum = 0.0;
+    for (const auto& region : result.regions) {
+      // Weight by count times extent; degenerate (point) regions get the
+      // count itself so single-point agreement still contributes.
+      const double extent = std::max(region.range.width(), 1e-12);
+      const double weight = static_cast<double>(region.count) * extent;
+      weight_sum += weight;
+      value_sum += weight * region.range.midpoint();
+    }
+    result.estimate = value_sum / weight_sum;
+  }
+  return result;
+}
+
+BrooksIyengarResult brooks_iyengar(const std::vector<Interval>& intervals, int f) {
+  return brooks_iyengar(std::span<const Interval>{intervals}, f);
+}
+
+}  // namespace arsf

@@ -1,0 +1,37 @@
+#include "core/config.h"
+
+#include <cmath>
+
+namespace arsf {
+
+SystemConfig make_config(std::span<const double> widths, int f) {
+  SystemConfig config;
+  config.sensors.reserve(widths.size());
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    config.sensors.push_back(SensorSpec{"s" + std::to_string(i), widths[i], false});
+  }
+  config.f = f >= 0 ? f : max_bounded_f(static_cast<int>(widths.size()));
+  config.validate();
+  return config;
+}
+
+SystemConfig make_config(std::initializer_list<double> widths, int f) {
+  return make_config(std::span<const double>{widths.begin(), widths.size()}, f);
+}
+
+std::vector<Tick> tick_widths(const SystemConfig& config, const Quantizer& quant) {
+  std::vector<Tick> ticks;
+  ticks.reserve(config.sensors.size());
+  for (const auto& sensor : config.sensors) {
+    const double exact = sensor.width / quant.step;
+    const Tick rounded = static_cast<Tick>(std::llround(exact));
+    if (std::abs(exact - static_cast<double>(rounded)) > 1e-9) {
+      throw std::invalid_argument("tick_widths: width " + std::to_string(sensor.width) +
+                                  " is not a multiple of step " + std::to_string(quant.step));
+    }
+    ticks.push_back(rounded);
+  }
+  return ticks;
+}
+
+}  // namespace arsf

@@ -1,0 +1,70 @@
+#pragma once
+// System configuration types shared by the scheduling, attack and simulation
+// layers: per-sensor interval specifications and the fused system setup.
+//
+// Interval widths are "known and fixed" a-priori (paper, Section II-B): they
+// come from manufacturer precision guarantees, implementation guarantees and
+// sampling jitter, not from run-time data.  Everything downstream (schedules,
+// attacked-set selection, attacker candidate grids) keys off these widths.
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/bounds.h"
+#include "core/interval.h"
+
+namespace arsf {
+
+using SensorId = std::size_t;
+
+/// Static description of one abstract sensor.
+struct SensorSpec {
+  std::string name;      ///< e.g. "gps", "encoder-left"
+  double width = 0.0;    ///< guaranteed interval width (2*precision + jitter)
+  bool trusted = false;  ///< hard to spoof (paper: e.g. IMU); see TrustedLast
+
+  [[nodiscard]] bool valid() const { return width > 0.0; }
+};
+
+/// The fused sensing subsystem: sensor specs plus the fusion parameter f.
+struct SystemConfig {
+  std::vector<SensorSpec> sensors;
+  int f = 0;
+
+  [[nodiscard]] std::size_t n() const { return sensors.size(); }
+
+  [[nodiscard]] std::vector<double> widths() const {
+    std::vector<double> ws;
+    ws.reserve(sensors.size());
+    for (const auto& s : sensors) ws.push_back(s.width);
+    return ws;
+  }
+
+  /// Throws std::invalid_argument unless 1 <= n, every width > 0, and
+  /// 0 <= f < ceil(n/2) (the paper's boundedness requirement).
+  void validate() const {
+    if (sensors.empty()) throw std::invalid_argument("SystemConfig: no sensors");
+    for (const auto& s : sensors) {
+      if (!s.valid()) throw std::invalid_argument("SystemConfig: sensor width must be > 0");
+    }
+    const int n_int = static_cast<int>(sensors.size());
+    if (f < 0 || f > max_bounded_f(n_int)) {
+      throw std::invalid_argument("SystemConfig: require 0 <= f < ceil(n/2)");
+    }
+  }
+};
+
+/// Builds a config from widths alone (names auto-generated "s0","s1",...);
+/// f defaults to the paper's evaluation choice ceil(n/2)-1 when passed -1.
+[[nodiscard]] SystemConfig make_config(std::span<const double> widths, int f = -1);
+[[nodiscard]] SystemConfig make_config(std::initializer_list<double> widths, int f = -1);
+
+/// Integer tick widths of a config under a quantiser; throws if any width is
+/// not an integer multiple of the step (the exact-enumeration engines require
+/// exact grids).
+[[nodiscard]] std::vector<Tick> tick_widths(const SystemConfig& config, const Quantizer& quant);
+
+}  // namespace arsf

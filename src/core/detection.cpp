@@ -1,0 +1,41 @@
+#include "core/detection.h"
+
+namespace arsf {
+
+namespace {
+
+template <typename T>
+DetectionReport detect_impl(std::span<const BasicInterval<T>> intervals,
+                            const BasicInterval<T>& fusion) {
+  DetectionReport report;
+  report.flagged.assign(intervals.size(), false);
+  if (fusion.is_empty()) {
+    report.fusion_empty = true;
+    return report;
+  }
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    if (!intervals[i].intersects(fusion)) {
+      report.flagged[i] = true;
+      ++report.num_flagged;
+    }
+  }
+  return report;
+}
+
+}  // namespace
+
+DetectionReport detect(std::span<const Interval> intervals, const FusionResult& fusion) {
+  const Interval fused = fusion.interval.value_or(Interval::empty_interval());
+  return detect_impl<double>(intervals, fused);
+}
+
+DetectionReport detect_ticks(std::span<const TickInterval> intervals,
+                             const TickInterval& fusion) {
+  return detect_impl<Tick>(intervals, fusion);
+}
+
+DetectionReport fuse_and_detect(std::span<const Interval> intervals, int f) {
+  return detect(intervals, fuse(intervals, f));
+}
+
+}  // namespace arsf

@@ -1,0 +1,39 @@
+#pragma once
+// Attack/fault detection (paper, Section III-A-1).
+//
+// "the detection mechanism the system uses is to check for overlap with the
+//  fusion interval; if an interval does not intersect the fusion interval,
+//  then it must be compromised."
+//
+// DetectionReport flags every such interval.  When the fusion region is
+// empty (possible when more than f sensors actually lie), detection is
+// inconclusive and `fusion_empty` is set instead of flagging anyone.
+
+#include <span>
+#include <vector>
+
+#include "core/fusion.h"
+#include "core/interval.h"
+
+namespace arsf {
+
+struct DetectionReport {
+  /// flagged[i] == true -> sensor i's interval does not intersect the fusion
+  /// interval and is discarded as compromised.
+  std::vector<bool> flagged;
+  int num_flagged = 0;
+  bool fusion_empty = false;
+
+  [[nodiscard]] bool any() const { return num_flagged > 0; }
+};
+
+/// Flags intervals that do not intersect @p fusion.
+[[nodiscard]] DetectionReport detect(std::span<const Interval> intervals,
+                                     const FusionResult& fusion);
+[[nodiscard]] DetectionReport detect_ticks(std::span<const TickInterval> intervals,
+                                           const TickInterval& fusion);
+
+/// Fuses then detects in one call.
+[[nodiscard]] DetectionReport fuse_and_detect(std::span<const Interval> intervals, int f);
+
+}  // namespace arsf

@@ -1,0 +1,72 @@
+#include "core/estimate.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "support/stats.h"
+
+namespace arsf {
+
+std::string to_string(Estimator estimator) {
+  switch (estimator) {
+    case Estimator::kFusedMidpoint: return "fused-midpoint";
+    case Estimator::kMeanMidpoint: return "mean-midpoint";
+    case Estimator::kMedianMidpoint: return "median-midpoint";
+    case Estimator::kWeightedMidpoint: return "weighted-midpoint";
+  }
+  return "unknown";
+}
+
+std::optional<double> estimate(std::span<const Interval> intervals, int f, Estimator estimator) {
+  switch (estimator) {
+    case Estimator::kFusedMidpoint: return fused_midpoint(intervals, f);
+    case Estimator::kMeanMidpoint: return mean_midpoint(intervals);
+    case Estimator::kMedianMidpoint: return median_midpoint(intervals);
+    case Estimator::kWeightedMidpoint: return weighted_midpoint(intervals);
+  }
+  throw std::invalid_argument("estimate: unknown estimator");
+}
+
+std::optional<double> fused_midpoint(std::span<const Interval> intervals, int f) {
+  const FusionResult result = fuse(intervals, f);
+  if (!result.interval) return std::nullopt;
+  return result.interval->midpoint();
+}
+
+namespace {
+
+std::vector<double> midpoints(std::span<const Interval> intervals) {
+  std::vector<double> mids;
+  mids.reserve(intervals.size());
+  for (const auto& iv : intervals) mids.push_back(iv.midpoint());
+  return mids;
+}
+
+}  // namespace
+
+double mean_midpoint(std::span<const Interval> intervals) {
+  const auto mids = midpoints(intervals);
+  return support::mean_of(mids);
+}
+
+double median_midpoint(std::span<const Interval> intervals) {
+  auto mids = midpoints(intervals);
+  return support::median_of(mids);
+}
+
+double weighted_midpoint(std::span<const Interval> intervals) {
+  // Weight 1/width; a zero-width interval is a perfectly precise sensor and
+  // dominates, which we honour by returning its midpoint directly.
+  double weight_sum = 0.0;
+  double value_sum = 0.0;
+  for (const auto& iv : intervals) {
+    const double width = iv.width();
+    if (width <= 0.0) return iv.midpoint();
+    const double weight = 1.0 / width;
+    weight_sum += weight;
+    value_sum += weight * iv.midpoint();
+  }
+  return weight_sum > 0.0 ? value_sum / weight_sum : 0.0;
+}
+
+}  // namespace arsf

@@ -1,0 +1,40 @@
+#pragma once
+// Point estimators on top of interval fusion.
+//
+// The controller ultimately feeds a single number into the control law; the
+// paper's case study uses the fusion interval midpoint.  The remaining
+// estimators are the standard non-resilient baselines (mean / median /
+// precision-weighted mean of the interval midpoints) used by the ablation
+// bench to show how much a stealthy attacker can bias them compared with the
+// Marzullo midpoint.
+
+#include <optional>
+#include <span>
+#include <string>
+
+#include "core/fusion.h"
+#include "core/interval.h"
+
+namespace arsf {
+
+enum class Estimator {
+  kFusedMidpoint,     ///< midpoint of the Marzullo fusion interval
+  kMeanMidpoint,      ///< arithmetic mean of interval midpoints
+  kMedianMidpoint,    ///< median of interval midpoints
+  kWeightedMidpoint,  ///< midpoints weighted by 1/width (precision weighting)
+};
+
+[[nodiscard]] std::string to_string(Estimator estimator);
+
+/// Applies @p estimator; returns nullopt when the estimate is undefined
+/// (kFusedMidpoint with an empty fusion region).
+[[nodiscard]] std::optional<double> estimate(std::span<const Interval> intervals, int f,
+                                             Estimator estimator);
+
+/// Individual estimators (see enum for semantics).
+[[nodiscard]] std::optional<double> fused_midpoint(std::span<const Interval> intervals, int f);
+[[nodiscard]] double mean_midpoint(std::span<const Interval> intervals);
+[[nodiscard]] double median_midpoint(std::span<const Interval> intervals);
+[[nodiscard]] double weighted_midpoint(std::span<const Interval> intervals);
+
+}  // namespace arsf

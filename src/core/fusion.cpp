@@ -1,0 +1,120 @@
+#include "core/fusion.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+
+namespace arsf {
+
+FusionResult fuse(std::span<const Interval> intervals, int f) {
+  return marzullo_fuse<double>(intervals, f);
+}
+
+FusionResult fuse(const std::vector<Interval>& intervals, int f) {
+  return marzullo_fuse<double>(std::span<const Interval>{intervals}, f);
+}
+
+TickFusionResult fuse_ticks(std::span<const TickInterval> intervals, int f) {
+  return marzullo_fuse<Tick>(intervals, f);
+}
+
+TickFusionResult fuse_ticks(const std::vector<TickInterval>& intervals, int f) {
+  return marzullo_fuse<Tick>(std::span<const TickInterval>{intervals}, f);
+}
+
+std::vector<FusionResult> fuse_all_f(std::span<const Interval> intervals) {
+  std::vector<FusionResult> results;
+  results.reserve(intervals.size());
+  for (int f = 0; f < static_cast<int>(intervals.size()); ++f) {
+    results.push_back(fuse(intervals, f));
+  }
+  return results;
+}
+
+namespace {
+
+// The enumeration engines fuse millions of small interval sets; this path
+// avoids the event vector of marzullo_fuse by sorting lows and highs
+// separately on the stack (insertion sort: n is single-digit in practice).
+constexpr std::size_t kStackFusion = 16;
+
+void insertion_sort(Tick* data, std::size_t n) noexcept {
+  for (std::size_t i = 1; i < n; ++i) {
+    const Tick key = data[i];
+    std::size_t j = i;
+    while (j > 0 && data[j - 1] > key) {
+      data[j] = data[j - 1];
+      --j;
+    }
+    data[j] = key;
+  }
+}
+
+TickInterval sweep_ticks(const Tick* lows, const Tick* highs, std::size_t n,
+                         int threshold) noexcept {
+  // Two-pointer merge of the sorted endpoint lists; starts are processed
+  // before ends at equal coordinates (closed intervals).
+  std::size_t i = 0;
+  std::size_t j = 0;
+  int count = 0;
+  bool found_lo = false;
+  Tick fused_lo = 0;
+  Tick fused_hi = 0;
+  bool found_hi = false;
+  while (j < n) {
+    if (i < n && lows[i] <= highs[j]) {
+      ++count;
+      if (count == threshold && !found_lo) {
+        fused_lo = lows[i];
+        found_lo = true;
+      }
+      ++i;
+    } else {
+      if (count == threshold) {
+        fused_hi = highs[j];
+        found_hi = true;
+      }
+      --count;
+      ++j;
+    }
+  }
+  if (!found_lo || !found_hi) return TickInterval::empty_interval();
+  return TickInterval{fused_lo, fused_hi};
+}
+
+}  // namespace
+
+TickInterval fused_interval_ticks(std::span<const TickInterval> intervals, int f) noexcept {
+  const std::size_t n = intervals.size();
+  assert(n >= 1 && f >= 0 && f < static_cast<int>(n));
+  const int threshold = static_cast<int>(n) - f;
+
+  if (n <= kStackFusion) {
+    std::array<Tick, kStackFusion> lows;
+    std::array<Tick, kStackFusion> highs;
+    for (std::size_t k = 0; k < n; ++k) {
+      lows[k] = intervals[k].lo;
+      highs[k] = intervals[k].hi;
+    }
+    insertion_sort(lows.data(), n);
+    insertion_sort(highs.data(), n);
+    return sweep_ticks(lows.data(), highs.data(), n, threshold);
+  }
+
+  std::vector<Tick> lows(n);
+  std::vector<Tick> highs(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    lows[k] = intervals[k].lo;
+    highs[k] = intervals[k].hi;
+  }
+  std::sort(lows.begin(), lows.end());
+  std::sort(highs.begin(), highs.end());
+  return sweep_ticks(lows.data(), highs.data(), n, threshold);
+}
+
+Tick fused_width_ticks(std::span<const TickInterval> intervals, int f) noexcept {
+  const TickInterval fused = fused_interval_ticks(intervals, f);
+  return fused.is_empty() ? Tick{-1} : fused.width();
+}
+
+}  // namespace arsf

@@ -1,0 +1,134 @@
+#pragma once
+// Marzullo's fault-tolerant sensor fusion (K. Marzullo, TOCS 1990), as used by
+// the paper (Section II-A).
+//
+// Given n closed intervals and a bound f on the number of faulty/compromised
+// sensors, the fusion interval is
+//
+//     [ smallest point contained in >= n-f intervals,
+//       largest  point contained in >= n-f intervals ].
+//
+// The implementation is a sweep over the 2n sorted endpoints (O(n log n)).
+// Besides the fusion interval itself, the result exposes the maximal
+// *segments* where the overlap count reaches n-f (the fusion interval is
+// their convex hull; for f >= 1 the covered region may be disconnected) and
+// the maximum overlap count encountered, which callers can use to pick a
+// larger f when the region is empty.
+
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "core/interval.h"
+
+namespace arsf {
+
+template <typename T>
+struct BasicFusionResult {
+  /// Convex hull of all points contained in >= n-f intervals; empty optional
+  /// when no point reaches the threshold.
+  std::optional<BasicInterval<T>> interval;
+  /// Maximal segments with overlap count >= n-f, in ascending order.
+  std::vector<BasicInterval<T>> segments;
+  /// The threshold n-f that was applied.
+  int threshold = 0;
+  /// Maximum overlap count over the whole line (<= n).
+  int max_overlap = 0;
+
+  [[nodiscard]] bool has_value() const { return interval.has_value(); }
+  /// Width of the fusion interval; 0 when empty.
+  [[nodiscard]] T width() const { return interval ? interval->width() : T{}; }
+};
+
+using FusionResult = BasicFusionResult<double>;
+using TickFusionResult = BasicFusionResult<Tick>;
+
+/// Marzullo fusion of @p intervals assuming at most @p f faulty sensors.
+///
+/// Preconditions: 1 <= n, 0 <= f < n.  Empty input intervals are rejected
+/// (a sensor always reports *some* interval; faulty means "does not contain
+/// the true value", not "empty").  Throws std::invalid_argument on violation.
+///
+/// Note (paper, Section II-A): the fusion interval is guaranteed bounded by
+/// the width of some interval only when f < ceil(n/2); the caller is expected
+/// to configure f accordingly (see core/bounds.h).
+template <typename T>
+[[nodiscard]] BasicFusionResult<T> marzullo_fuse(std::span<const BasicInterval<T>> intervals,
+                                                 int f) {
+  const int n = static_cast<int>(intervals.size());
+  if (n < 1) throw std::invalid_argument("marzullo_fuse: need at least one interval");
+  if (f < 0 || f >= n) throw std::invalid_argument("marzullo_fuse: require 0 <= f < n");
+  for (const auto& iv : intervals) {
+    if (iv.is_empty()) throw std::invalid_argument("marzullo_fuse: empty input interval");
+  }
+
+  // Sweep events: +1 at lo, -1 at hi.  At equal coordinates starts are
+  // processed before ends so that closed intervals touching at a point are
+  // counted as overlapping there.
+  struct Event {
+    T x;
+    int delta;  // +1 start, -1 end
+  };
+  std::vector<Event> events;
+  events.reserve(2 * static_cast<std::size_t>(n));
+  for (const auto& iv : intervals) {
+    events.push_back({iv.lo, +1});
+    events.push_back({iv.hi, -1});
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.x != b.x) return a.x < b.x;
+    return a.delta > b.delta;  // starts first
+  });
+
+  BasicFusionResult<T> result;
+  result.threshold = n - f;
+
+  int count = 0;
+  T segment_start{};
+  bool in_segment = false;
+  for (const Event& event : events) {
+    if (event.delta > 0) {
+      ++count;
+      result.max_overlap = std::max(result.max_overlap, count);
+      if (count == result.threshold && !in_segment) {
+        segment_start = event.x;
+        in_segment = true;
+      }
+    } else {
+      if (count == result.threshold && in_segment) {
+        result.segments.push_back(BasicInterval<T>{segment_start, event.x});
+        in_segment = false;
+      }
+      --count;
+    }
+  }
+
+  if (!result.segments.empty()) {
+    result.interval =
+        BasicInterval<T>{result.segments.front().lo, result.segments.back().hi};
+  }
+  return result;
+}
+
+/// Convenience overloads for containers.
+[[nodiscard]] FusionResult fuse(std::span<const Interval> intervals, int f);
+[[nodiscard]] FusionResult fuse(const std::vector<Interval>& intervals, int f);
+[[nodiscard]] TickFusionResult fuse_ticks(std::span<const TickInterval> intervals, int f);
+[[nodiscard]] TickFusionResult fuse_ticks(const std::vector<TickInterval>& intervals, int f);
+
+/// Fusion intervals for every f in [0, n-1] (Fig. 1 of the paper).
+[[nodiscard]] std::vector<FusionResult> fuse_all_f(std::span<const Interval> intervals);
+
+/// Width of the fusion interval for tick inputs without materialising
+/// segments — the hot path of the enumeration engines.  Returns -1 when the
+/// fusion region is empty.  Same preconditions as marzullo_fuse, but they are
+/// asserted (not thrown): callers are internal engines with validated input.
+[[nodiscard]] Tick fused_width_ticks(std::span<const TickInterval> intervals, int f) noexcept;
+
+/// Fusion interval bounds for tick inputs on the hot path; returns the empty
+/// interval when no point reaches the threshold.
+[[nodiscard]] TickInterval fused_interval_ticks(std::span<const TickInterval> intervals,
+                                                int f) noexcept;
+
+}  // namespace arsf

@@ -1,0 +1,22 @@
+#include "core/interval.h"
+
+#include "support/ascii.h"
+
+namespace arsf {
+
+std::string to_string(const Interval& iv) {
+  if (iv.is_empty()) return "(empty)";
+  return "[" + support::format_number(iv.lo) + ", " + support::format_number(iv.hi) + "]";
+}
+
+std::string to_string(const TickInterval& iv) {
+  if (iv.is_empty()) return "(empty)";
+  return "[" + std::to_string(iv.lo) + ", " + std::to_string(iv.hi) + "]";
+}
+
+bool approx_equal(const Interval& a, const Interval& b, double eps) {
+  if (a.is_empty() || b.is_empty()) return a.is_empty() && b.is_empty();
+  return std::abs(a.lo - b.lo) <= eps && std::abs(a.hi - b.hi) <= eps;
+}
+
+}  // namespace arsf

@@ -1,0 +1,117 @@
+#pragma once
+// Closed real intervals — the "abstract sensor" representation of the paper.
+//
+// Every sensor measurement is converted by the controller into a closed
+// interval guaranteed to contain the true value whenever the sensor is
+// correct (Section II-B of the paper).  The library works with two
+// instantiations of the same template:
+//
+//   * arsf::Interval      — double endpoints, the public API type;
+//   * arsf::TickInterval  — int64 "tick" endpoints used by the exhaustive
+//     enumeration and attacker-optimisation engines, which discretise the
+//     real line exactly as the paper's simulations do (footnote 5).
+//
+// An interval is *empty* iff lo > hi; the canonical empty interval is
+// returned by BasicInterval<T>::empty_interval().
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+namespace arsf {
+
+using Tick = std::int64_t;
+
+template <typename T>
+struct BasicInterval {
+  T lo{};
+  T hi{};
+
+  constexpr BasicInterval() = default;
+  constexpr BasicInterval(T lo_in, T hi_in) : lo(lo_in), hi(hi_in) {}
+
+  /// Canonical empty interval (lo > hi).
+  [[nodiscard]] static constexpr BasicInterval empty_interval() {
+    return BasicInterval{T{1}, T{0}};
+  }
+
+  /// Interval of width w centred at m (the controller's construction from a
+  /// measurement m with precision guarantee w/2).
+  [[nodiscard]] static constexpr BasicInterval centered(T midpoint, T width) {
+    return BasicInterval{static_cast<T>(midpoint - width / 2),
+                         static_cast<T>(midpoint + width / 2)};
+  }
+
+  [[nodiscard]] constexpr bool is_empty() const { return lo > hi; }
+  [[nodiscard]] constexpr T width() const { return is_empty() ? T{} : static_cast<T>(hi - lo); }
+  [[nodiscard]] constexpr T midpoint() const { return static_cast<T>(lo + (hi - lo) / 2); }
+
+  [[nodiscard]] constexpr bool contains(T x) const { return !is_empty() && lo <= x && x <= hi; }
+  [[nodiscard]] constexpr bool contains(const BasicInterval& other) const {
+    return other.is_empty() || (!is_empty() && lo <= other.lo && other.hi <= hi);
+  }
+  /// Closed intervals: touching endpoints count as intersecting.
+  [[nodiscard]] constexpr bool intersects(const BasicInterval& other) const {
+    return !is_empty() && !other.is_empty() && lo <= other.hi && other.lo <= hi;
+  }
+
+  [[nodiscard]] constexpr BasicInterval intersect(const BasicInterval& other) const {
+    if (is_empty() || other.is_empty()) return empty_interval();
+    const BasicInterval result{std::max(lo, other.lo), std::min(hi, other.hi)};
+    return result.is_empty() ? empty_interval() : result;
+  }
+
+  /// Convex hull; the hull of anything with the empty interval is the other
+  /// operand.
+  [[nodiscard]] constexpr BasicInterval hull(const BasicInterval& other) const {
+    if (is_empty()) return other;
+    if (other.is_empty()) return *this;
+    return BasicInterval{std::min(lo, other.lo), std::max(hi, other.hi)};
+  }
+
+  [[nodiscard]] constexpr BasicInterval translated(T delta) const {
+    if (is_empty()) return *this;
+    return BasicInterval{static_cast<T>(lo + delta), static_cast<T>(hi + delta)};
+  }
+
+  friend constexpr bool operator==(const BasicInterval& a, const BasicInterval& b) {
+    if (a.is_empty() && b.is_empty()) return true;
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+};
+
+using Interval = BasicInterval<double>;
+using TickInterval = BasicInterval<Tick>;
+
+/// Maps between continuous values and integer ticks on a uniform grid.
+///
+/// The enumeration/optimisation engines work on ticks; `step` is the grid
+/// resolution (the paper: "we have discretized the real line with a
+/// sufficiently high precision").
+struct Quantizer {
+  double step = 1.0;
+
+  [[nodiscard]] Tick to_tick(double x) const {
+    return static_cast<Tick>(std::llround(x / step));
+  }
+  [[nodiscard]] double to_value(Tick t) const { return static_cast<double>(t) * step; }
+
+  [[nodiscard]] TickInterval to_ticks(const Interval& iv) const {
+    if (iv.is_empty()) return TickInterval::empty_interval();
+    return TickInterval{to_tick(iv.lo), to_tick(iv.hi)};
+  }
+  [[nodiscard]] Interval to_interval(const TickInterval& iv) const {
+    if (iv.is_empty()) return Interval::empty_interval();
+    return Interval{to_value(iv.lo), to_value(iv.hi)};
+  }
+};
+
+/// "[lo, hi]" or "(empty)".
+[[nodiscard]] std::string to_string(const Interval& iv);
+[[nodiscard]] std::string to_string(const TickInterval& iv);
+
+/// True if |a.lo - b.lo| and |a.hi - b.hi| are both within eps (or both empty).
+[[nodiscard]] bool approx_equal(const Interval& a, const Interval& b, double eps = 1e-9);
+
+}  // namespace arsf

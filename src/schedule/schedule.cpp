@@ -1,0 +1,170 @@
+#include "schedule/schedule.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace arsf::sched {
+
+std::string to_string(ScheduleKind kind) {
+  switch (kind) {
+    case ScheduleKind::kAscending: return "ascending";
+    case ScheduleKind::kDescending: return "descending";
+    case ScheduleKind::kRandom: return "random";
+    case ScheduleKind::kFixed: return "fixed";
+    case ScheduleKind::kTrustedLast: return "trusted-last";
+  }
+  return "unknown";
+}
+
+namespace {
+
+Order identity_order(std::size_t n) {
+  Order order(n);
+  std::iota(order.begin(), order.end(), SensorId{0});
+  return order;
+}
+
+}  // namespace
+
+Order ascending_order(const SystemConfig& config) {
+  Order order = identity_order(config.n());
+  std::stable_sort(order.begin(), order.end(), [&](SensorId a, SensorId b) {
+    return config.sensors[a].width < config.sensors[b].width;
+  });
+  return order;
+}
+
+Order descending_order(const SystemConfig& config) {
+  Order order = identity_order(config.n());
+  std::stable_sort(order.begin(), order.end(), [&](SensorId a, SensorId b) {
+    return config.sensors[a].width > config.sensors[b].width;
+  });
+  return order;
+}
+
+Order random_order(std::size_t n, support::Rng& rng) {
+  auto perm = rng.permutation(n);
+  return Order(perm.begin(), perm.end());
+}
+
+Order trusted_last_order(const SystemConfig& config) {
+  Order order = ascending_order(config);
+  std::stable_partition(order.begin(), order.end(),
+                        [&](SensorId id) { return !config.sensors[id].trusted; });
+  return order;
+}
+
+bool is_valid_order(const Order& order, std::size_t n) {
+  if (order.size() != n) return false;
+  std::vector<bool> seen(n, false);
+  for (SensorId id : order) {
+    if (id >= n || seen[id]) return false;
+    seen[id] = true;
+  }
+  return true;
+}
+
+std::size_t slot_of(const Order& order, SensorId id) {
+  for (std::size_t slot = 0; slot < order.size(); ++slot) {
+    if (order[slot] == id) return slot;
+  }
+  throw std::out_of_range("slot_of: sensor not in order");
+}
+
+ScheduleGenerator ScheduleGenerator::fixed(Order order) {
+  const std::size_t n = order.size();
+  return ScheduleGenerator{ScheduleKind::kFixed, std::move(order), n, 0};
+}
+
+ScheduleGenerator ScheduleGenerator::of_kind(ScheduleKind kind, const SystemConfig& config,
+                                             std::uint64_t seed) {
+  switch (kind) {
+    case ScheduleKind::kAscending:
+      return ScheduleGenerator{kind, ascending_order(config), config.n(), seed};
+    case ScheduleKind::kDescending:
+      return ScheduleGenerator{kind, descending_order(config), config.n(), seed};
+    case ScheduleKind::kTrustedLast:
+      return ScheduleGenerator{kind, trusted_last_order(config), config.n(), seed};
+    case ScheduleKind::kRandom:
+      return ScheduleGenerator{kind, identity_order(config.n()), config.n(), seed};
+    case ScheduleKind::kFixed:
+      return ScheduleGenerator{kind, identity_order(config.n()), config.n(), seed};
+  }
+  throw std::invalid_argument("ScheduleGenerator: unknown kind");
+}
+
+const Order& ScheduleGenerator::next() {
+  if (kind_ == ScheduleKind::kRandom) order_ = random_order(n_, rng_);
+  return order_;
+}
+
+std::string to_string(AttackedSetRule rule) {
+  switch (rule) {
+    case AttackedSetRule::kSmallestWidths: return "smallest-widths";
+    case AttackedSetRule::kLargestWidths: return "largest-widths";
+    case AttackedSetRule::kRandom: return "random";
+    case AttackedSetRule::kLastSlots: return "last-slots";
+    case AttackedSetRule::kFirstSlots: return "first-slots";
+  }
+  return "unknown";
+}
+
+std::vector<SensorId> choose_attacked_set(const SystemConfig& config, const Order& order,
+                                          std::size_t fa, AttackedSetRule rule,
+                                          support::Rng* rng) {
+  const std::size_t n = config.n();
+  if (fa > n) throw std::invalid_argument("choose_attacked_set: fa > n");
+
+  std::vector<SensorId> ids = [&] {
+    std::vector<SensorId> all(n);
+    std::iota(all.begin(), all.end(), SensorId{0});
+    return all;
+  }();
+
+  auto slot_or_id = [&](SensorId id) {
+    // Fall back to id ordering when no slot order is supplied.
+    return order.empty() ? id : slot_of(order, id);
+  };
+
+  switch (rule) {
+    case AttackedSetRule::kSmallestWidths:
+      std::sort(ids.begin(), ids.end(), [&](SensorId a, SensorId b) {
+        if (config.sensors[a].width != config.sensors[b].width) {
+          return config.sensors[a].width < config.sensors[b].width;
+        }
+        return slot_or_id(a) > slot_or_id(b);  // tie: later slot favours attacker
+      });
+      break;
+    case AttackedSetRule::kLargestWidths:
+      std::sort(ids.begin(), ids.end(), [&](SensorId a, SensorId b) {
+        if (config.sensors[a].width != config.sensors[b].width) {
+          return config.sensors[a].width > config.sensors[b].width;
+        }
+        return slot_or_id(a) > slot_or_id(b);
+      });
+      break;
+    case AttackedSetRule::kLastSlots:
+      std::sort(ids.begin(), ids.end(),
+                [&](SensorId a, SensorId b) { return slot_or_id(a) > slot_or_id(b); });
+      break;
+    case AttackedSetRule::kFirstSlots:
+      std::sort(ids.begin(), ids.end(),
+                [&](SensorId a, SensorId b) { return slot_or_id(a) < slot_or_id(b); });
+      break;
+    case AttackedSetRule::kRandom: {
+      if (rng == nullptr) {
+        throw std::invalid_argument("choose_attacked_set: kRandom needs an Rng");
+      }
+      std::vector<std::size_t> perm = rng->permutation(n);
+      ids.assign(perm.begin(), perm.end());
+      break;
+    }
+  }
+
+  ids.resize(fa);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace arsf::sched

@@ -1,0 +1,100 @@
+#pragma once
+// Communication schedules (paper, Section IV).
+//
+// Sensors transmit on the shared bus in fixed slots; the only information
+// available a-priori for ordering them is the interval widths.  The paper
+// studies:
+//
+//   * Ascending  — most precise (smallest interval) sensors first.  The
+//     paper's recommendation: an attacker who compromises the precise
+//     sensors (her best move, Thms 3/4) is forced to transmit before seeing
+//     any correct interval.
+//   * Descending — least precise first; the attacker of precise sensors
+//     transmits last with full knowledge.
+//   * Random     — fresh random order every round (discussed with Table II).
+//   * TrustedLast — hard-to-spoof sensors (e.g. IMU) last so nobody learns
+//     their measurements beforehand (paper, Section IV-C).
+//
+// Ties between equal widths are broken by sensor id (deterministic); the
+// experiment layer can still hand the attacker the most favourable sensor
+// among equals via AttackedSetRule.
+
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "support/rng.h"
+
+namespace arsf::sched {
+
+/// Transmission order: order[k] is the SensorId that owns slot k.
+using Order = std::vector<SensorId>;
+
+enum class ScheduleKind { kAscending, kDescending, kRandom, kFixed, kTrustedLast };
+
+[[nodiscard]] std::string to_string(ScheduleKind kind);
+
+/// Sorts by (width ascending, id ascending).
+[[nodiscard]] Order ascending_order(const SystemConfig& config);
+/// Sorts by (width descending, id ascending).
+[[nodiscard]] Order descending_order(const SystemConfig& config);
+/// Uniform random permutation.
+[[nodiscard]] Order random_order(std::size_t n, support::Rng& rng);
+/// Untrusted sensors in ascending-width order first, trusted sensors last
+/// (also ascending among themselves).
+[[nodiscard]] Order trusted_last_order(const SystemConfig& config);
+
+/// True iff @p order is a permutation of {0..n-1}.
+[[nodiscard]] bool is_valid_order(const Order& order, std::size_t n);
+
+/// Slot index of @p id within @p order; throws std::out_of_range if absent.
+[[nodiscard]] std::size_t slot_of(const Order& order, SensorId id);
+
+/// Produces the order for each fusion round.  Fixed kinds return the same
+/// order every round; kRandom reshuffles (seeded, reproducible).
+class ScheduleGenerator {
+ public:
+  /// Fixed generator from an explicit order.
+  static ScheduleGenerator fixed(Order order);
+  /// Generator for a named kind.  @p seed only matters for kRandom.
+  static ScheduleGenerator of_kind(ScheduleKind kind, const SystemConfig& config,
+                                   std::uint64_t seed = 0x5eedULL);
+
+  /// Order to use for the next round (kRandom draws a fresh permutation).
+  [[nodiscard]] const Order& next();
+  /// Last order handed out (valid after the first next()).
+  [[nodiscard]] const Order& current() const { return order_; }
+  [[nodiscard]] ScheduleKind kind() const { return kind_; }
+
+ private:
+  ScheduleGenerator(ScheduleKind kind, Order order, std::size_t n, std::uint64_t seed)
+      : kind_(kind), order_(std::move(order)), n_(n), rng_(seed) {}
+
+  ScheduleKind kind_;
+  Order order_;
+  std::size_t n_;
+  support::Rng rng_;
+};
+
+/// Which sensors the attacker compromises (the paper leaves this to the
+/// threat model; Theorems 3/4 argue the smallest widths are the strongest
+/// choice, which is the evaluation default).
+enum class AttackedSetRule {
+  kSmallestWidths,  ///< fa smallest widths; ties -> latest slot (attacker-favourable)
+  kLargestWidths,   ///< fa largest widths; ties -> latest slot
+  kRandom,          ///< uniformly random fa-subset
+  kLastSlots,       ///< the fa sensors transmitting last
+  kFirstSlots,      ///< the fa sensors transmitting first
+};
+
+[[nodiscard]] std::string to_string(AttackedSetRule rule);
+
+/// Chooses the attacked set per @p rule.  @p order is the (typical) slot
+/// order used to resolve ties / slot-based rules; @p rng is required only for
+/// kRandom.  Result is sorted by id.
+[[nodiscard]] std::vector<SensorId> choose_attacked_set(const SystemConfig& config,
+                                                        const Order& order, std::size_t fa,
+                                                        AttackedSetRule rule,
+                                                        support::Rng* rng = nullptr);
+
+}  // namespace arsf::sched

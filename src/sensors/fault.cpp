@@ -1,0 +1,78 @@
+#include "sensors/fault.h"
+
+namespace arsf::sensors {
+
+std::string to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kStuckAt: return "stuck-at";
+    case FaultKind::kOffset: return "offset";
+    case FaultKind::kDrift: return "drift";
+    case FaultKind::kDropout: return "dropout";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(std::vector<FaultProcess> processes, std::uint64_t seed)
+    : processes_(std::move(processes)), states_(processes_.size()), rng_(seed) {}
+
+Reading FaultInjector::apply(std::size_t id, const AbstractSensor& sensor, Reading healthy,
+                             std::uint64_t round) {
+  if (id >= processes_.size()) return healthy;
+  const FaultProcess& process = processes_[id];
+  State& state = states_[id];
+  if (process.kind == FaultKind::kNone) return healthy;
+
+  // Two-state Markov transition.
+  if (!state.active) {
+    if (rng_.chance(process.p_enter)) {
+      state.active = true;
+      state.stuck_value = healthy.measurement;
+      state.fault_started = round;
+    }
+  } else if (rng_.chance(process.p_recover)) {
+    state.active = false;
+  }
+  if (!state.active) return healthy;
+
+  double faulty_measurement = healthy.measurement;
+  switch (process.kind) {
+    case FaultKind::kStuckAt:
+      faulty_measurement = state.stuck_value;
+      break;
+    case FaultKind::kOffset:
+      faulty_measurement = healthy.measurement + process.magnitude;
+      break;
+    case FaultKind::kDrift:
+      faulty_measurement = healthy.measurement +
+                           process.magnitude * static_cast<double>(round - state.fault_started);
+      break;
+    case FaultKind::kDropout:
+      faulty_measurement =
+          healthy.measurement + rng_.uniform_real(-process.magnitude, process.magnitude);
+      break;
+    case FaultKind::kNone:
+      break;
+  }
+
+  Reading faulty;
+  faulty.measurement = faulty_measurement;
+  faulty.interval = sensor.interval_for(faulty_measurement);
+  return faulty;
+}
+
+bool FaultInjector::faulty(std::size_t id) const {
+  return id < states_.size() && states_[id].active;
+}
+
+int FaultInjector::num_faulty() const {
+  int count = 0;
+  for (const auto& state : states_) count += state.active ? 1 : 0;
+  return count;
+}
+
+void FaultInjector::reset() {
+  for (auto& state : states_) state = State{};
+}
+
+}  // namespace arsf::sensors

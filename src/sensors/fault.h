@@ -1,0 +1,70 @@
+#pragma once
+// Random (non-malicious) fault injection.
+//
+// The paper's conclusion announces this as the planned extension: "Since we
+// assumed uncompromised sensors always provide correct measurements, an
+// extension of this work will introduce random faults in addition to
+// attacks."  This module implements that extension; the ablation bench and
+// tests use it to study detection behaviour when faults and attacks coexist.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sensors/sensor.h"
+#include "support/rng.h"
+
+namespace arsf::sensors {
+
+enum class FaultKind {
+  kNone,
+  kStuckAt,   ///< reports a frozen stale value
+  kOffset,    ///< constant bias larger than the guaranteed bound
+  kDrift,     ///< bias growing linearly with time
+  kDropout,   ///< reports an arbitrary (uniform) value in a wide range
+};
+
+[[nodiscard]] std::string to_string(FaultKind kind);
+
+/// Per-sensor fault process: each round the sensor enters/leaves a fault
+/// state with the configured probabilities (a two-state Markov chain).
+struct FaultProcess {
+  FaultKind kind = FaultKind::kNone;
+  double p_enter = 0.0;      ///< P(healthy -> faulty) per round
+  double p_recover = 0.0;    ///< P(faulty -> healthy) per round
+  double magnitude = 0.0;    ///< offset size / drift rate / dropout range
+};
+
+/// Applies fault processes to a sensor suite's readings.
+class FaultInjector {
+ public:
+  FaultInjector(std::vector<FaultProcess> processes, std::uint64_t seed);
+
+  /// Transforms the healthy reading of sensor @p id at round @p round.
+  /// Returns the (possibly faulty) reading; the interval is rebuilt around
+  /// the faulty measurement with the sensor's advertised width, so a faulty
+  /// sensor's interval may NOT contain the true value.
+  [[nodiscard]] Reading apply(std::size_t id, const AbstractSensor& sensor, Reading healthy,
+                              std::uint64_t round);
+
+  /// Whether sensor @p id is currently in a fault state.
+  [[nodiscard]] bool faulty(std::size_t id) const;
+
+  /// Number of sensors currently faulty.
+  [[nodiscard]] int num_faulty() const;
+
+  void reset();
+
+ private:
+  struct State {
+    bool active = false;
+    double stuck_value = 0.0;
+    std::uint64_t fault_started = 0;
+  };
+
+  std::vector<FaultProcess> processes_;
+  std::vector<State> states_;
+  support::Rng rng_;
+};
+
+}  // namespace arsf::sensors

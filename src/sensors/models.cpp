@@ -1,0 +1,64 @@
+#include "sensors/models.h"
+
+#include <cmath>
+
+namespace arsf::sensors {
+
+double encoder_interval_width(const EncoderSpec& spec) {
+  // Pulse counting over the sample window quantises speed in steps of
+  // circumference / (cycles * window); converted from m/s to mph.
+  constexpr double kMphPerMps = 2.236936;
+  const double resolution_mps =
+      spec.wheel_circumference_m /
+      (static_cast<double>(spec.cycles_per_rev) * spec.sample_window_s);
+  const double resolution_mph = resolution_mps * kMphPerMps;
+  // Multiplicative error terms are budgeted at the nominal operating speed
+  // (the paper quotes a single fixed width, so the budget is fixed too).
+  const double proportional =
+      2.0 * (spec.measuring_error + spec.sampling_jitter) * spec.nominal_speed_mph;
+  // One quantisation step of total uncertainty plus the proportional terms;
+  // with the defaults: 0.0521 m/s -> 0.1165 mph quantisation, 0.11 mph
+  // proportional, rounded up to a guaranteed 0.2 mph by taking ceil to one
+  // decimal as a manufacturer would.
+  const double raw = resolution_mph * 0.75 + proportional;
+  return std::ceil(raw * 10.0) / 10.0;
+}
+
+AbstractSensor make_gps(double width_mph, double bus_grid) {
+  return AbstractSensor{SensorSpec{"gps", width_mph, false}, NoiseModel::kUniform,
+                        1.0 / 3.0, 0.0, bus_grid};
+}
+
+AbstractSensor make_camera(double width_mph, double bus_grid) {
+  return AbstractSensor{SensorSpec{"camera", width_mph, false}, NoiseModel::kTruncGaussian,
+                        1.0 / 3.0, 0.0, bus_grid};
+}
+
+AbstractSensor make_encoder(const EncoderSpec& spec, const std::string& name, double bus_grid) {
+  const double width = encoder_interval_width(spec);
+  constexpr double kMphPerMps = 2.236936;
+  const double resolution_mph =
+      spec.wheel_circumference_m /
+      (static_cast<double>(spec.cycles_per_rev) * spec.sample_window_s) * kMphPerMps;
+  return AbstractSensor{SensorSpec{name, width, false}, NoiseModel::kQuantized,
+                        1.0 / 3.0, resolution_mph, bus_grid};
+}
+
+std::vector<AbstractSensor> landshark_suite(double bus_grid) {
+  std::vector<AbstractSensor> suite;
+  suite.push_back(make_gps(1.0, bus_grid));
+  suite.push_back(make_camera(2.0, bus_grid));
+  suite.push_back(make_encoder({}, "encoder-left", bus_grid));
+  suite.push_back(make_encoder({}, "encoder-right", bus_grid));
+  return suite;
+}
+
+SystemConfig landshark_config() {
+  SystemConfig config;
+  for (const auto& sensor : landshark_suite()) config.sensors.push_back(sensor.spec());
+  config.f = max_bounded_f(static_cast<int>(config.sensors.size()));  // = 1
+  config.validate();
+  return config;
+}
+
+}  // namespace arsf::sensors

@@ -1,0 +1,58 @@
+#pragma once
+// Concrete sensor models for the LandShark case study (paper, Section IV-B).
+//
+// The paper's interval widths:
+//   * GPS speed estimate     — 1 mph   (determined empirically);
+//   * camera speed estimate  — 2 mph   (determined empirically);
+//   * each wheel encoder     — 0.2 mph (derived from the manufacturer spec:
+//     192 cycles per revolution, 0.5% measuring error, 0.05% sampling
+//     jitter — see encoder_interval_width for the derivation).
+
+#include <vector>
+
+#include "sensors/sensor.h"
+
+namespace arsf::sensors {
+
+/// Parameters of a wheel-encoder speed estimate.
+struct EncoderSpec {
+  int cycles_per_rev = 192;       ///< manufacturer: pulses per wheel revolution
+  double wheel_circumference_m = 1.0;
+  double sample_window_s = 0.1;   ///< speed = counted pulses over this window
+  double measuring_error = 0.005; ///< 0.5% of reading
+  double sampling_jitter = 0.0005;///< 0.05% of reading (timing uncertainty)
+  double nominal_speed_mph = 10.0;///< speed at which the width is budgeted
+};
+
+/// Total guaranteed interval width (mph) for an encoder: quantisation
+/// resolution + 2 * (measuring error + jitter) at the nominal speed.
+/// With the paper's parameters this evaluates to ~0.2 mph.
+[[nodiscard]] double encoder_interval_width(const EncoderSpec& spec);
+
+/// Fixed-point bus encoding step shared by the LandShark suite (mph); keeps
+/// transmitted interval endpoints exactly representable in the attacker's
+/// and controller's tick arithmetic.
+inline constexpr double kLandSharkBusGrid = 0.01;
+
+/// GPS speed sensor, width 1 mph by default (paper's empirical bound).
+[[nodiscard]] AbstractSensor make_gps(double width_mph = 1.0,
+                                      double bus_grid = kLandSharkBusGrid);
+
+/// Camera (visual odometry) speed sensor, width 2 mph by default.
+[[nodiscard]] AbstractSensor make_camera(double width_mph = 2.0,
+                                         double bus_grid = kLandSharkBusGrid);
+
+/// Wheel encoder speed sensor; quantised noise model.
+[[nodiscard]] AbstractSensor make_encoder(const EncoderSpec& spec = {},
+                                          const std::string& name = "encoder",
+                                          double bus_grid = kLandSharkBusGrid);
+
+/// The paper's four-sensor LandShark suite:
+/// {gps (1 mph), camera (2 mph), encoder-left (0.2), encoder-right (0.2)}.
+[[nodiscard]] std::vector<AbstractSensor> landshark_suite(
+    double bus_grid = kLandSharkBusGrid);
+
+/// SystemConfig for the suite with the paper's f = ceil(4/2) - 1 = 1.
+[[nodiscard]] SystemConfig landshark_config();
+
+}  // namespace arsf::sensors

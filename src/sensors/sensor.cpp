@@ -1,0 +1,74 @@
+#include "sensors/sensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace arsf::sensors {
+
+std::string to_string(NoiseModel model) {
+  switch (model) {
+    case NoiseModel::kUniform: return "uniform";
+    case NoiseModel::kTruncGaussian: return "truncated-gaussian";
+    case NoiseModel::kQuantized: return "quantized";
+  }
+  return "unknown";
+}
+
+AbstractSensor::AbstractSensor(SensorSpec spec, NoiseModel model, double sigma_frac,
+                               double resolution, double bus_grid)
+    : spec_(std::move(spec)),
+      model_(model),
+      sigma_frac_(sigma_frac),
+      resolution_(resolution),
+      bus_grid_(bus_grid) {
+  if (!spec_.valid()) throw std::invalid_argument("AbstractSensor: width must be > 0");
+  if (model_ == NoiseModel::kQuantized && resolution_ <= 0.0) {
+    throw std::invalid_argument("AbstractSensor: quantized model needs resolution > 0");
+  }
+}
+
+double AbstractSensor::encode_for_bus(double measurement, double true_value) const {
+  if (bus_grid_ <= 0.0) return measurement;
+  const double bound = half_width();
+  const double snapped = std::round(measurement / bus_grid_) * bus_grid_;
+  // Snapping moves the value by at most grid/2; clamp back into the
+  // guaranteed band — onto *grid points* inside the band, so the encoded
+  // value is exact fixed-point and the interval still contains true_value.
+  const double lo_grid = std::ceil((true_value - bound) / bus_grid_) * bus_grid_;
+  const double hi_grid = std::floor((true_value + bound) / bus_grid_) * bus_grid_;
+  return std::clamp(snapped, lo_grid, hi_grid);
+}
+
+Reading AbstractSensor::sample(double true_value, support::Rng& rng) const {
+  const double bound = half_width();
+  double measurement = true_value;
+  switch (model_) {
+    case NoiseModel::kUniform:
+      measurement = true_value + rng.uniform_real(-bound, bound);
+      break;
+    case NoiseModel::kTruncGaussian:
+      measurement = true_value + rng.truncated_gaussian(0.0, sigma_frac_ * bound, bound);
+      break;
+    case NoiseModel::kQuantized: {
+      // Continuous error, then snap the *measurement* to the resolution grid;
+      // the snap itself may push the error past the bound, so clamp.
+      const double raw = true_value + rng.uniform_real(-bound, bound);
+      double snapped = std::round(raw / resolution_) * resolution_;
+      measurement = std::clamp(snapped, true_value - bound, true_value + bound);
+      break;
+    }
+  }
+  measurement = encode_for_bus(measurement, true_value);
+  Reading reading;
+  reading.measurement = measurement;
+  reading.interval = interval_for(measurement);
+  return reading;
+}
+
+Interval AbstractSensor::interval_for(double measurement) const {
+  const double bound = half_width();
+  return Interval{measurement - bound, measurement + bound};
+}
+
+}  // namespace arsf::sensors

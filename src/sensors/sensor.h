@@ -1,0 +1,76 @@
+#pragma once
+// Abstract sensor models (paper, Section II-B).
+//
+// A sensor samples the true value of the physical variable with bounded
+// error; the controller turns the numeric measurement m into the interval
+// [m - w/2, m + w/2] where w is the sensor's fixed, a-priori known interval
+// width.  As long as |measurement error| <= w/2 the interval contains the
+// true value — the "correct sensor" guarantee everything else builds on.
+//
+// Noise models all respect the bound (the guarantee must hold with
+// probability 1):
+//   * kUniform         — error ~ U[-w/2, +w/2] (paper's simulations);
+//   * kTruncGaussian   — truncated normal, sigma = w/6 by default;
+//   * kQuantized       — uniform error then snapped to the sensor's
+//                        quantisation resolution (wheel encoders).
+
+#include <string>
+
+#include "core/config.h"
+#include "core/interval.h"
+#include "support/rng.h"
+
+namespace arsf::sensors {
+
+enum class NoiseModel { kUniform, kTruncGaussian, kQuantized };
+
+[[nodiscard]] std::string to_string(NoiseModel model);
+
+/// One reading: the numeric measurement plus the derived interval.
+struct Reading {
+  double measurement = 0.0;
+  Interval interval;  ///< [measurement - w/2, measurement + w/2]
+};
+
+/// Samples bounded-noise measurements and builds guaranteed intervals.
+class AbstractSensor {
+ public:
+  /// @param spec        width/name/trust as used system-wide.
+  /// @param model       noise model (see enum).
+  /// @param sigma_frac  for kTruncGaussian: sigma as a fraction of the
+  ///                    half-width (default 1/3 -> ~3-sigma bound).
+  /// @param resolution  for kQuantized: measurement grid size.
+  /// @param bus_grid    fixed-point encoding step of the bus payload
+  ///                    (0 = none).  Measurements are snapped to this grid
+  ///                    and clamped back into [true - w/2, true + w/2], so
+  ///                    the interval guarantee survives the encoding and the
+  ///                    transmitted endpoints are exactly representable in
+  ///                    attacker/controller tick arithmetic.
+  explicit AbstractSensor(SensorSpec spec, NoiseModel model = NoiseModel::kUniform,
+                          double sigma_frac = 1.0 / 3.0, double resolution = 0.0,
+                          double bus_grid = 0.0);
+
+  /// Draws a measurement of @p true_value; the returned interval is
+  /// guaranteed to contain @p true_value.
+  [[nodiscard]] Reading sample(double true_value, support::Rng& rng) const;
+
+  /// Interval for an externally supplied measurement (used when replaying a
+  /// spoofed measurement through the same construction the controller uses).
+  [[nodiscard]] Interval interval_for(double measurement) const;
+
+  [[nodiscard]] const SensorSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] double width() const noexcept { return spec_.width; }
+  [[nodiscard]] double half_width() const noexcept { return 0.5 * spec_.width; }
+  [[nodiscard]] NoiseModel model() const noexcept { return model_; }
+
+ private:
+  [[nodiscard]] double encode_for_bus(double measurement, double true_value) const;
+
+  SensorSpec spec_;
+  NoiseModel model_;
+  double sigma_frac_;
+  double resolution_;
+  double bus_grid_;
+};
+
+}  // namespace arsf::sensors

@@ -1,0 +1,104 @@
+#include "sim/enumerate.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace arsf::sim {
+
+std::uint64_t world_count(const SystemConfig& system, const Quantizer& quant) {
+  const auto widths = tick_widths(system, quant);
+  std::uint64_t count = 1;
+  for (Tick w : widths) {
+    const auto factor = static_cast<std::uint64_t>(w) + 1;
+    if (count > std::numeric_limits<std::uint64_t>::max() / factor) {
+      return std::numeric_limits<std::uint64_t>::max();
+    }
+    count *= factor;
+  }
+  return count;
+}
+
+EnumerateResult enumerate_expected_width(const EnumerateConfig& config) {
+  config.system.validate();
+  const std::size_t n = config.system.n();
+  if (!sched::is_valid_order(config.order, n)) {
+    throw std::invalid_argument("enumerate_expected_width: invalid order");
+  }
+  const std::uint64_t worlds = world_count(config.system, config.quant);
+  if (worlds > config.max_worlds) {
+    throw std::invalid_argument("enumerate_expected_width: world count " +
+                                std::to_string(worlds) + " exceeds max_worlds");
+  }
+
+  const attack::AttackSetup setup =
+      attack::make_setup(config.system, config.quant, config.attacked, config.order);
+  const std::vector<Tick>& widths = setup.widths;
+
+  if (config.policy != nullptr) config.policy->reset();
+
+  EnumerateResult result;
+  result.worlds = worlds;
+  result.min_width = std::numeric_limits<double>::infinity();
+  result.max_width = -std::numeric_limits<double>::infinity();
+
+  double attacked_sum = 0.0;
+  double clean_sum = 0.0;
+
+  // Odometer over lower bounds: reading i spans [lo_i, lo_i + w_i] with
+  // lo_i in [-w_i, 0] (the true value is pinned at 0).
+  std::vector<Tick> lows(n);
+  std::vector<TickInterval> readings(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    lows[i] = -widths[i];
+    readings[i] = TickInterval{lows[i], lows[i] + widths[i]};
+  }
+
+  support::Rng rng{0xdecafbadULL};  // policies on the exact path ignore it
+
+  for (;;) {
+    // Clean (no-attack) width for the same world.
+    const Tick clean_width = fused_width_ticks(readings, setup.f);
+    clean_sum += clean_width > 0 ? static_cast<double>(clean_width) : 0.0;
+
+    double width_value = 0.0;
+    if (config.attacked.empty() || config.policy == nullptr) {
+      width_value = clean_width > 0 ? static_cast<double>(clean_width) : 0.0;
+      if (clean_width < 0) ++result.empty_fusion_worlds;
+    } else {
+      const TickRoundResult round =
+          run_tick_round(setup, readings, config.policy, rng, config.oracle);
+      if (round.fused.is_empty()) {
+        ++result.empty_fusion_worlds;
+      } else {
+        width_value = static_cast<double>(round.fused.width());
+      }
+      if (round.attacked_detected) ++result.detected_worlds;
+    }
+    attacked_sum += width_value;
+    result.min_width = std::min(result.min_width, width_value);
+    result.max_width = std::max(result.max_width, width_value);
+
+    // Advance the world odometer.
+    std::size_t digit = 0;
+    while (digit < n) {
+      if (lows[digit] < 0) {
+        ++lows[digit];
+        readings[digit] = TickInterval{lows[digit], lows[digit] + widths[digit]};
+        break;
+      }
+      lows[digit] = -widths[digit];
+      readings[digit] = TickInterval{lows[digit], lows[digit] + widths[digit]};
+      ++digit;
+    }
+    if (digit == n) break;
+  }
+
+  const double scale = config.quant.step / static_cast<double>(worlds);
+  result.expected_width = attacked_sum * scale;
+  result.expected_width_no_attack = clean_sum * scale;
+  result.min_width *= config.quant.step;
+  result.max_width *= config.quant.step;
+  return result;
+}
+
+}  // namespace arsf::sim

@@ -1,0 +1,64 @@
+#include "sim/experiment.h"
+
+namespace arsf::sim {
+
+Table1Row compare_schedules(std::span<const double> widths, std::size_t fa,
+                            const attack::ExpectationOptions& policy_options, double step) {
+  const SystemConfig system = make_config(widths);  // f = ceil(n/2) - 1
+
+  Table1Row row;
+  row.widths.assign(widths.begin(), widths.end());
+  row.fa = fa;
+
+  for (const sched::ScheduleKind kind :
+       {sched::ScheduleKind::kAscending, sched::ScheduleKind::kDescending}) {
+    EnumerateConfig config;
+    config.system = system;
+    config.quant = Quantizer{step};
+    config.order = kind == sched::ScheduleKind::kAscending ? sched::ascending_order(system)
+                                                           : sched::descending_order(system);
+    config.attacked = sched::choose_attacked_set(system, config.order, fa,
+                                                 sched::AttackedSetRule::kSmallestWidths);
+    attack::ExpectationPolicy policy{policy_options};
+    config.policy = &policy;
+
+    const EnumerateResult result = enumerate_expected_width(config);
+    if (kind == sched::ScheduleKind::kAscending) {
+      row.e_ascending = result.expected_width;
+    } else {
+      row.e_descending = result.expected_width;
+    }
+    row.e_no_attack = result.expected_width_no_attack;  // identical both runs
+    row.worlds = result.worlds;
+    row.detected += result.detected_worlds;
+  }
+  return row;
+}
+
+std::span<const std::pair<std::vector<double>, std::size_t>> paper_table1_configs() {
+  static const std::vector<std::pair<std::vector<double>, std::size_t>> configs = {
+      {{5, 11, 17}, 1},          {{5, 11, 11}, 1},
+      {{5, 8, 17, 20}, 1},       {{5, 8, 8, 11}, 1},
+      {{5, 5, 5, 5, 20}, 1},     {{5, 5, 5, 14, 20}, 1},
+      {{5, 5, 5, 5, 20}, 2},     {{5, 5, 5, 14, 17}, 2},
+  };
+  return configs;
+}
+
+std::span<const Table1Reference> paper_table1_reference() {
+  static const std::vector<Table1Reference> reference = {
+      {10.77, 13.58}, {9.43, 10.16}, {7.66, 8.75}, {6.32, 6.53},
+      {5.40, 5.57},   {6.33, 7.03},  {5.22, 5.31}, {6.87, 7.74},
+  };
+  return reference;
+}
+
+std::vector<Table1Row> reproduce_table1(const attack::ExpectationOptions& policy_options) {
+  std::vector<Table1Row> rows;
+  for (const auto& [widths, fa] : paper_table1_configs()) {
+    rows.push_back(compare_schedules(widths, fa, policy_options));
+  }
+  return rows;
+}
+
+}  // namespace arsf::sim

@@ -1,0 +1,50 @@
+#pragma once
+// Schedule-comparison experiment harness (paper, Section IV-A / Table I).
+//
+// A row fixes the interval widths L and the number of attacked sensors fa
+// (with f = ceil(n/2) - 1, the paper's choice), compromises the fa most
+// precise sensors (Theorem 4's strongest choice; ties resolved in the
+// attacker's favour), and computes the exact expected fusion width under the
+// Ascending and the Descending schedule by exhaustive enumeration with the
+// Bayesian attacker of attack/expectation.h.
+
+#include <span>
+#include <utility>
+
+#include "attack/expectation.h"
+#include "sim/enumerate.h"
+
+namespace arsf::sim {
+
+struct Table1Row {
+  std::vector<double> widths;  ///< interval lengths L
+  std::size_t fa = 1;          ///< number of attacked sensors
+  double e_ascending = 0.0;    ///< E|S| under the Ascending schedule
+  double e_descending = 0.0;   ///< E|S| under the Descending schedule
+  double e_no_attack = 0.0;    ///< E|S| with everyone correct (baseline)
+  std::uint64_t worlds = 0;    ///< enumerated worlds per schedule
+  std::uint64_t detected = 0;  ///< detection events across both runs (expect 0)
+};
+
+/// Computes one row.  @p step is the discretisation grid (1 = paper's
+/// integer widths).  Policy options allow bounding cost on fine grids.
+[[nodiscard]] Table1Row compare_schedules(std::span<const double> widths, std::size_t fa,
+                                          const attack::ExpectationOptions& policy_options = {},
+                                          double step = 1.0);
+
+/// The paper's eight Table I configurations (widths, fa).
+[[nodiscard]] std::span<const std::pair<std::vector<double>, std::size_t>>
+paper_table1_configs();
+
+/// Paper-reported expectations for the same rows {ascending, descending}.
+struct Table1Reference {
+  double ascending;
+  double descending;
+};
+[[nodiscard]] std::span<const Table1Reference> paper_table1_reference();
+
+/// Runs all eight configurations.
+[[nodiscard]] std::vector<Table1Row> reproduce_table1(
+    const attack::ExpectationOptions& policy_options = {});
+
+}  // namespace arsf::sim

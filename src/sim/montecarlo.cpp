@@ -1,0 +1,65 @@
+#include "sim/montecarlo.h"
+
+namespace arsf::sim {
+
+MonteCarloResult run_monte_carlo(const MonteCarloConfig& config) {
+  config.system.validate();
+  const std::size_t n = config.system.n();
+  const std::vector<Tick> widths = tick_widths(config.system, config.quant);
+
+  support::Rng rng{config.seed};
+  support::Rng schedule_rng = rng.split();
+  support::Rng world_rng = rng.split();
+  support::Rng policy_rng = rng.split();
+
+  sched::ScheduleGenerator generator =
+      config.fixed_order.empty()
+          ? sched::ScheduleGenerator::of_kind(config.schedule, config.system, schedule_rng.next())
+          : sched::ScheduleGenerator::fixed(config.fixed_order);
+
+  // The attacked set is fixed across rounds; ties are resolved against a
+  // representative order (ascending for kRandom, where slots vary anyway).
+  const sched::Order representative = config.fixed_order.empty() &&
+                                              config.schedule != sched::ScheduleKind::kRandom
+                                          ? generator.next()
+                                          : sched::ascending_order(config.system);
+  MonteCarloResult result;
+  result.attacked = sched::choose_attacked_set(config.system, representative, config.fa,
+                                               config.attacked_rule, &rng);
+
+  if (config.policy != nullptr) config.policy->reset();
+
+  std::vector<TickInterval> readings(n);
+  for (std::size_t round = 0; round < config.rounds; ++round) {
+    const sched::Order& order = generator.next();
+    const attack::AttackSetup setup =
+        attack::make_setup(config.system, config.quant, result.attacked, order);
+
+    for (std::size_t i = 0; i < n; ++i) {
+      const Tick lo = world_rng.uniform_int(-widths[i], 0);
+      readings[i] = TickInterval{lo, lo + widths[i]};
+    }
+
+    const Tick clean = fused_width_ticks(readings, setup.f);
+    result.width_no_attack.add(clean > 0 ? static_cast<double>(clean) * config.quant.step : 0.0);
+
+    if (result.attacked.empty() || config.policy == nullptr) {
+      result.width.add(clean > 0 ? static_cast<double>(clean) * config.quant.step : 0.0);
+      if (clean < 0) ++result.empty_fusion_rounds;
+      continue;
+    }
+
+    const TickRoundResult tick_round =
+        run_tick_round(setup, readings, config.policy, policy_rng, config.oracle);
+    if (tick_round.fused.is_empty()) {
+      ++result.empty_fusion_rounds;
+      result.width.add(0.0);
+    } else {
+      result.width.add(static_cast<double>(tick_round.fused.width()) * config.quant.step);
+    }
+    if (tick_round.attacked_detected) ++result.detected_rounds;
+  }
+  return result;
+}
+
+}  // namespace arsf::sim

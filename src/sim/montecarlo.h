@@ -1,0 +1,42 @@
+#pragma once
+// Monte Carlo expectation engine.
+//
+// Samples worlds instead of enumerating them — for configurations whose
+// world count is too large for sim/enumerate.h (many sensors, fine grids)
+// and for per-round Random schedules, which exhaustive enumeration does not
+// cover.  Sampling is seeded and fully reproducible.
+
+#include "schedule/schedule.h"
+#include "sim/protocol.h"
+#include "support/stats.h"
+
+namespace arsf::sim {
+
+struct MonteCarloConfig {
+  SystemConfig system;
+  Quantizer quant{1.0};
+  sched::ScheduleKind schedule = sched::ScheduleKind::kAscending;
+  /// Used instead of `schedule` when non-empty (kFixed semantics).
+  sched::Order fixed_order;
+  sched::AttackedSetRule attacked_rule = sched::AttackedSetRule::kSmallestWidths;
+  std::size_t fa = 1;
+  attack::AttackPolicy* policy = nullptr;
+  bool oracle = false;
+  std::size_t rounds = 10'000;
+  std::uint64_t seed = 0x5eedf00dULL;
+};
+
+struct MonteCarloResult {
+  support::RunningStats width;            ///< fused width under attack (value units)
+  support::RunningStats width_no_attack;  ///< same worlds, everyone correct
+  std::uint64_t detected_rounds = 0;
+  std::uint64_t empty_fusion_rounds = 0;
+  std::vector<SensorId> attacked;         ///< the compromised set used
+};
+
+/// Runs @p config.rounds sampled worlds.  For kRandom the slot order is
+/// redrawn every round; the attacked set is chosen once up front from the
+/// rule (the attacker cannot re-compromise sensors per round).
+[[nodiscard]] MonteCarloResult run_monte_carlo(const MonteCarloConfig& config);
+
+}  // namespace arsf::sim

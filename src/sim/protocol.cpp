@@ -1,0 +1,142 @@
+#include "sim/protocol.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+namespace arsf::sim {
+
+TickRoundResult run_tick_round(const attack::AttackSetup& setup,
+                               std::span<const TickInterval> readings_by_id,
+                               attack::AttackPolicy* policy, support::Rng& rng, bool oracle) {
+  const std::size_t n = static_cast<std::size_t>(setup.n);
+  assert(readings_by_id.size() == n);
+
+  auto is_attacked = [&](SensorId id) {
+    return std::binary_search(setup.attacked.begin(), setup.attacked.end(), id);
+  };
+
+  // Delta: intersection of the attacked sensors' correct readings.
+  TickInterval delta{std::numeric_limits<Tick>::min(), std::numeric_limits<Tick>::max()};
+  for (SensorId id : setup.attacked) delta = delta.intersect(readings_by_id[id]);
+
+  TickRoundResult result;
+  result.transmitted.assign(n, TickInterval::empty_interval());
+
+  std::vector<TickInterval> seen;          // correct intervals so far (slot order)
+  std::vector<TickInterval> my_sent;       // attacker's transmitted intervals
+  seen.reserve(n);
+
+  for (std::size_t slot = 0; slot < n; ++slot) {
+    const SensorId id = setup.order[slot];
+    if (!is_attacked(id) || policy == nullptr) {
+      result.transmitted[id] = readings_by_id[id];
+      if (!is_attacked(id)) seen.push_back(readings_by_id[id]);
+      else my_sent.push_back(readings_by_id[id]);
+      continue;
+    }
+
+    attack::AttackContext ctx;
+    ctx.setup = &setup;
+    ctx.delta = delta;
+    ctx.seen = seen;
+    ctx.my_sent = my_sent;
+    ctx.current_slot = slot;
+    for (std::size_t s = slot; s < n; ++s) {
+      const SensorId later = setup.order[s];
+      if (is_attacked(later)) {
+        ctx.remaining_slots.push_back(s);
+        ctx.remaining_widths.push_back(setup.widths[later]);
+        ctx.remaining_readings.push_back(readings_by_id[later]);
+      } else if (s > slot) {
+        ctx.unseen_widths.push_back(setup.widths[later]);
+        if (oracle) ctx.unseen_actual.push_back(readings_by_id[later]);
+      }
+    }
+
+    const TickInterval decision = policy->decide(ctx, rng);
+    if (decision.width() != setup.widths[id]) {
+      throw std::logic_error("attack policy returned an interval of the wrong width");
+    }
+    result.transmitted[id] = decision;
+    my_sent.push_back(decision);
+  }
+
+  result.fused = fused_interval_ticks(result.transmitted, setup.f);
+  if (!result.fused.is_empty()) {
+    for (SensorId id = 0; id < n; ++id) {
+      if (!result.transmitted[id].intersects(result.fused)) {
+        if (is_attacked(id)) {
+          result.attacked_detected = true;
+        } else {
+          result.correct_flagged = true;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+FusionRound::FusionRound(SystemConfig system, Quantizer quant, std::vector<SensorId> attacked,
+                         attack::AttackPolicy* policy, bool oracle)
+    : system_(std::move(system)),
+      quant_(quant),
+      attacked_(std::move(attacked)),
+      policy_(policy),
+      oracle_(oracle) {
+  std::sort(attacked_.begin(), attacked_.end());
+  system_.validate();
+  (void)tick_widths(system_, quant_);  // validates widths are on the grid
+}
+
+RoundResult FusionRound::run(const sched::Order& order,
+                             std::span<const Interval> correct_intervals, support::Rng& rng,
+                             std::uint64_t round_index) {
+  const std::size_t n = system_.n();
+  if (correct_intervals.size() != n) {
+    throw std::invalid_argument("FusionRound::run: wrong number of readings");
+  }
+  const attack::AttackSetup setup = attack::make_setup(system_, quant_, attacked_, order);
+
+  std::vector<TickInterval> readings(n);
+  for (SensorId id = 0; id < n; ++id) readings[id] = quant_.to_ticks(correct_intervals[id]);
+
+  const TickRoundResult ticks = run_tick_round(setup, readings, policy_, rng, oracle_);
+
+  RoundResult result;
+  result.transmitted.assign(n, Interval::empty_interval());
+
+  // Replay the round over the shared bus.  Every payload is derived from the
+  // tick representation — the controller works in the bus's fixed-point
+  // encoding — so continuous-domain fusion/detection agrees bit-for-bit with
+  // the tick engine (no 1-ulp tangency artefacts at the attacker's maximal
+  // stealthy placements).
+  for (std::size_t slot = 0; slot < n; ++slot) {
+    const SensorId id = order[slot];
+    const Interval payload = quant_.to_interval(ticks.transmitted[id]);
+    bus::Frame frame;
+    frame.can_id = static_cast<bus::CanId>(0x100 + id);
+    frame.sender = id;
+    frame.measurement = payload.midpoint();
+    frame.interval = payload;
+    frame.round = round_index;
+    frame.slot = slot;
+    bus_.queue(frame);
+    bus_.run_slot(slot);
+    result.transmitted[id] = payload;
+  }
+  bus_.end_round();
+
+  result.fusion = fuse(result.transmitted, system_.f);
+  result.detection = detect(result.transmitted, result.fusion);
+  if (result.fusion.interval) result.estimate = result.fusion.interval->midpoint();
+  for (SensorId id : attacked_) {
+    if (id < result.detection.flagged.size() && result.detection.flagged[id]) {
+      result.attacked_detected = true;
+    }
+  }
+  return result;
+}
+
+}  // namespace arsf::sim

@@ -1,0 +1,92 @@
+#pragma once
+// Fusion-round drivers.
+//
+// run_tick_round executes one complete round of the paper's protocol on the
+// integer tick grid: sensors transmit in slot order, the attacker's policy
+// decides at each compromised slot from exactly the knowledge the broadcast
+// bus gives her, then the controller fuses all n intervals and runs
+// detection.  This is the engine under both the exhaustive-enumeration and
+// Monte Carlo experiments.
+//
+// FusionRound is the continuous-domain wrapper used by the vehicle case
+// study and the examples: it quantises sensor readings for the attacker,
+// delegates to run_tick_round, and replays the resulting frames over the
+// CAN-like SharedBus so the full substrate (arbitration, snooping, logging)
+// is exercised.
+
+#include <optional>
+
+#include "attack/expectation.h"
+#include "bus/bus.h"
+#include "core/detection.h"
+#include "core/estimate.h"
+
+namespace arsf::sim {
+
+struct TickRoundResult {
+  /// Interval each sensor actually transmitted, indexed by SensorId.
+  std::vector<TickInterval> transmitted;
+  /// Fusion of the transmitted intervals (empty interval if no point reaches
+  /// the n-f threshold).
+  TickInterval fused;
+  /// True iff detection flagged at least one *attacked* sensor.
+  bool attacked_detected = false;
+  /// True iff detection flagged at least one *correct* sensor (possible only
+  /// when faults are injected upstream).
+  bool correct_flagged = false;
+};
+
+/// Runs one protocol round on the tick grid.
+///
+/// @param setup            round setup (n, f, widths, attacked, order).
+/// @param readings_by_id   each sensor's *correct* reading (interval of its
+///                         spec width containing the true value); attacked
+///                         sensors' readings are what the attacker observes.
+/// @param policy           attacker policy; nullptr transmits readings as-is.
+/// @param rng              randomness source handed to the policy.
+/// @param oracle           fill AttackContext::unseen_actual (OraclePolicy).
+[[nodiscard]] TickRoundResult run_tick_round(const attack::AttackSetup& setup,
+                                             std::span<const TickInterval> readings_by_id,
+                                             attack::AttackPolicy* policy, support::Rng& rng,
+                                             bool oracle = false);
+
+/// Continuous-domain round result.
+struct RoundResult {
+  std::vector<Interval> transmitted;  ///< by SensorId
+  FusionResult fusion;
+  DetectionReport detection;
+  std::optional<double> estimate;  ///< fused midpoint (nullopt if region empty)
+  bool attacked_detected = false;
+};
+
+/// Bus-backed continuous-domain protocol driver (see file comment).
+class FusionRound {
+ public:
+  /// @param system    sensor widths and f (validated).
+  /// @param quant     attacker grid; every width must be a multiple of step.
+  /// @param attacked  compromised sensor ids.
+  /// @param policy    attacker policy (nullptr -> everyone correct).
+  FusionRound(SystemConfig system, Quantizer quant, std::vector<SensorId> attacked,
+              attack::AttackPolicy* policy, bool oracle = false);
+
+  /// Runs one round.  @p correct_intervals are the per-sensor correct
+  /// readings by id (each of the sensor's spec width).
+  [[nodiscard]] RoundResult run(const sched::Order& order,
+                                std::span<const Interval> correct_intervals,
+                                support::Rng& rng, std::uint64_t round_index = 0);
+
+  [[nodiscard]] const bus::SharedBus& bus() const noexcept { return bus_; }
+  [[nodiscard]] bus::SharedBus& bus() noexcept { return bus_; }
+  [[nodiscard]] const SystemConfig& system() const noexcept { return system_; }
+  [[nodiscard]] const std::vector<SensorId>& attacked() const noexcept { return attacked_; }
+
+ private:
+  SystemConfig system_;
+  Quantizer quant_;
+  std::vector<SensorId> attacked_;
+  attack::AttackPolicy* policy_;
+  bool oracle_;
+  bus::SharedBus bus_;
+};
+
+}  // namespace arsf::sim

@@ -1,0 +1,138 @@
+#include "sim/resilience.h"
+
+#include <algorithm>
+
+#include "sim/protocol.h"
+
+namespace arsf::sim {
+
+namespace {
+
+/// Tick-domain fault state machine mirroring sensors::FaultProcess (the
+/// double-domain injector lives in sensors/fault.h; the experiment engines
+/// work on the exact grid).
+struct TickFaultState {
+  bool active = false;
+  TickInterval stuck;
+  std::uint64_t since = 0;
+};
+
+TickInterval apply_fault(const sensors::FaultProcess& process, TickFaultState& state,
+                         const TickInterval& healthy, std::uint64_t round,
+                         support::Rng& rng) {
+  if (process.kind == sensors::FaultKind::kNone) return healthy;
+  if (!state.active) {
+    if (rng.chance(process.p_enter)) {
+      state.active = true;
+      state.stuck = healthy;
+      state.since = round;
+    }
+  } else if (rng.chance(process.p_recover)) {
+    state.active = false;
+  }
+  if (!state.active) return healthy;
+
+  const auto magnitude = static_cast<Tick>(process.magnitude);
+  switch (process.kind) {
+    case sensors::FaultKind::kStuckAt:
+      return state.stuck;
+    case sensors::FaultKind::kOffset:
+      return healthy.translated(magnitude);
+    case sensors::FaultKind::kDrift:
+      return healthy.translated(magnitude * static_cast<Tick>(round - state.since));
+    case sensors::FaultKind::kDropout:
+      return healthy.translated(rng.uniform_int(-magnitude, magnitude));
+    case sensors::FaultKind::kNone:
+      break;
+  }
+  return healthy;
+}
+
+}  // namespace
+
+ResilienceResult run_resilience(const ResilienceConfig& config) {
+  config.system.validate();
+  const std::size_t n = config.system.n();
+  const std::vector<Tick> widths = tick_widths(config.system, config.quant);
+
+  support::Rng rng{config.seed};
+  support::Rng world_rng = rng.split();
+  support::Rng fault_rng = rng.split();
+  support::Rng policy_rng = rng.split();
+
+  sched::ScheduleGenerator generator =
+      sched::ScheduleGenerator::of_kind(config.schedule, config.system, rng.next());
+  const sched::Order representative = config.schedule == sched::ScheduleKind::kRandom
+                                          ? sched::ascending_order(config.system)
+                                          : generator.next();
+  const std::vector<SensorId> attacked =
+      config.fa > 0 ? sched::choose_attacked_set(config.system, representative, config.fa,
+                                                 sched::AttackedSetRule::kSmallestWidths)
+                    : std::vector<SensorId>{};
+  auto is_attacked = [&](SensorId id) {
+    return std::binary_search(attacked.begin(), attacked.end(), id);
+  };
+
+  if (config.policy != nullptr) config.policy->reset();
+
+  std::vector<TickFaultState> fault_states(n);
+  std::vector<TickInterval> readings(n);   // what the attacker reads / honest values
+  std::vector<TickInterval> on_bus(n);     // after fault corruption
+  ResilienceResult result;
+  result.rounds = config.rounds;
+
+  for (std::uint64_t round = 0; round < config.rounds; ++round) {
+    const sched::Order& order = generator.next();
+    const attack::AttackSetup setup =
+        attack::make_setup(config.system, config.quant, attacked, order);
+
+    int active_faults = 0;
+    for (SensorId id = 0; id < n; ++id) {
+      const Tick lo = world_rng.uniform_int(-widths[id], 0);
+      readings[id] = TickInterval{lo, lo + widths[id]};
+      if (is_attacked(id)) {
+        on_bus[id] = readings[id];  // the policy decides inside the round
+        continue;
+      }
+      on_bus[id] = apply_fault(config.fault, fault_states[id], readings[id], round, fault_rng);
+      if (fault_states[id].active) ++active_faults;
+    }
+    if (active_faults > 0) ++result.faulty_present;
+    if (active_faults + static_cast<int>(attacked.size()) > config.system.f) {
+      ++result.over_budget;
+    }
+
+    // The attacker observes the *transmitted* (possibly faulty) intervals but
+    // her own sensors still read the truth.
+    std::vector<TickInterval> round_inputs = on_bus;
+    for (SensorId id : attacked) round_inputs[id] = readings[id];
+    const TickRoundResult tick_round = run_tick_round(
+        setup, round_inputs, config.fa > 0 ? config.policy : nullptr, policy_rng);
+
+    if (tick_round.fused.is_empty()) {
+      ++result.empty_fusion;
+      result.width.add(0.0);
+      continue;
+    }
+    result.width.add(static_cast<double>(tick_round.fused.width()) * config.quant.step);
+    if (tick_round.fused.contains(Tick{0})) ++result.truth_contained;
+    if (tick_round.attacked_detected) ++result.attacked_flagged;
+
+    bool any_faulty_flagged = false;
+    bool any_healthy_flagged = false;
+    for (SensorId id = 0; id < n; ++id) {
+      if (is_attacked(id)) continue;
+      if (tick_round.transmitted[id].intersects(tick_round.fused)) continue;
+      if (fault_states[id].active) {
+        any_faulty_flagged = true;
+      } else {
+        any_healthy_flagged = true;
+      }
+    }
+    if (any_faulty_flagged) ++result.faulty_flagged;
+    if (any_healthy_flagged) ++result.healthy_flagged;
+  }
+  return result;
+}
+
+}  // namespace arsf::sim

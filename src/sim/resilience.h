@@ -1,0 +1,56 @@
+#pragma once
+// Faults + attacks combined — the extension the paper announces in its
+// conclusion: "Since we assumed uncompromised sensors always provide correct
+// measurements, an extension of this work will introduce random faults in
+// addition to attacks."
+//
+// The experiment runs Monte Carlo fusion rounds in which the *uncompromised*
+// sensors are subject to random fault processes (sensors/fault.h) while the
+// attacker simultaneously plays her stealthy policy, and measures:
+//
+//   * soundness  — how often the fusion interval still contains the truth
+//     (guaranteed only while actual liars (faulty + attacked) <= f);
+//   * detection  — how often faulty sensors are discarded, and whether the
+//     stealthy attacker is ever flagged (she is not: her certificates do not
+//     depend on the other sensors being correct);
+//   * width      — how much uncertainty faults add on top of the attack.
+
+#include "attack/expectation.h"
+#include "schedule/schedule.h"
+#include "sensors/fault.h"
+#include "support/stats.h"
+
+namespace arsf::sim {
+
+struct ResilienceConfig {
+  SystemConfig system;
+  Quantizer quant{1.0};
+  sched::ScheduleKind schedule = sched::ScheduleKind::kAscending;
+  std::size_t fa = 1;                     ///< compromised sensors (0 = none)
+  attack::AttackPolicy* policy = nullptr;
+  /// Fault process applied to every *uncompromised* sensor.
+  sensors::FaultProcess fault;
+  std::size_t rounds = 5'000;
+  std::uint64_t seed = 0xfa017ULL;
+};
+
+struct ResilienceResult {
+  std::uint64_t rounds = 0;
+  std::uint64_t truth_contained = 0;       ///< fusion interval contains truth
+  std::uint64_t empty_fusion = 0;          ///< no point reached n-f overlaps
+  std::uint64_t attacked_flagged = 0;      ///< stealthy attacker caught (expect 0)
+  std::uint64_t faulty_present = 0;        ///< rounds with >= 1 active fault
+  std::uint64_t faulty_flagged = 0;        ///< rounds where a faulty sensor was discarded
+  std::uint64_t healthy_flagged = 0;       ///< healthy correct sensor discarded (expect 0)
+  std::uint64_t over_budget = 0;           ///< rounds with faulty+attacked > f
+  support::RunningStats width;
+
+  [[nodiscard]] double containment_rate() const {
+    return rounds ? static_cast<double>(truth_contained) / static_cast<double>(rounds) : 0.0;
+  }
+};
+
+/// Runs the combined faults + attacks experiment.
+[[nodiscard]] ResilienceResult run_resilience(const ResilienceConfig& config);
+
+}  // namespace arsf::sim

@@ -1,0 +1,119 @@
+#include "sim/worstcase.h"
+
+#include <algorithm>
+
+namespace arsf::sim {
+
+namespace {
+
+struct Ranges {
+  std::vector<TickInterval> lo_range;  ///< allowed lower bounds per sensor
+};
+
+Ranges placement_ranges(const WorstCaseConfig& config) {
+  // Correct interval i contains 0: lo in [-w_i, 0].  Attacked intervals can
+  // only influence the fusion interval if they intersect the span correct
+  // intervals can reach, which is [-W, W] with W = max width; allow the full
+  // touching range.
+  Tick max_width = 0;
+  for (Tick w : config.widths) max_width = std::max(max_width, w);
+
+  Ranges ranges;
+  ranges.lo_range.reserve(config.widths.size());
+  for (SensorId id = 0; id < config.widths.size(); ++id) {
+    const bool attacked = std::binary_search(config.attacked.begin(), config.attacked.end(), id);
+    const Tick w = config.widths[id];
+    if (attacked) {
+      ranges.lo_range.push_back(TickInterval{-max_width - w, max_width});
+    } else {
+      ranges.lo_range.push_back(TickInterval{-w, 0});
+    }
+  }
+  return ranges;
+}
+
+}  // namespace
+
+WorstCaseResult worst_case_fusion(const WorstCaseConfig& config) {
+  const std::size_t n = config.widths.size();
+  WorstCaseResult result;
+  if (n == 0) return result;
+
+  const Ranges ranges = placement_ranges(config);
+  result.configurations = 1;
+  for (const auto& range : ranges.lo_range) {
+    result.configurations *= static_cast<std::uint64_t>(range.width()) + 1;
+  }
+
+  std::vector<Tick> lows(n);
+  std::vector<TickInterval> intervals(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    lows[i] = ranges.lo_range[i].lo;
+    intervals[i] = TickInterval{lows[i], lows[i] + config.widths[i]};
+  }
+
+  for (;;) {
+    const TickInterval fused = fused_interval_ticks(intervals, config.f);
+    if (!fused.is_empty()) {
+      bool admissible = true;
+      if (config.require_undetected) {
+        for (SensorId id : config.attacked) {
+          if (!intervals[id].intersects(fused)) {
+            admissible = false;
+            break;
+          }
+        }
+      }
+      if (admissible && fused.width() > result.max_width) {
+        result.max_width = fused.width();
+        result.argmax = intervals;
+      }
+    }
+
+    std::size_t digit = 0;
+    while (digit < n) {
+      if (lows[digit] < ranges.lo_range[digit].hi) {
+        ++lows[digit];
+        intervals[digit] = TickInterval{lows[digit], lows[digit] + config.widths[digit]};
+        break;
+      }
+      lows[digit] = ranges.lo_range[digit].lo;
+      intervals[digit] = TickInterval{lows[digit], lows[digit] + config.widths[digit]};
+      ++digit;
+    }
+    if (digit == n) break;
+  }
+  return result;
+}
+
+Tick worst_case_no_attack(std::span<const Tick> widths, int f) {
+  WorstCaseConfig config;
+  config.widths.assign(widths.begin(), widths.end());
+  config.f = f;
+  return worst_case_fusion(config).max_width;
+}
+
+Tick worst_case_over_sets(std::span<const Tick> widths, int f, std::size_t fa,
+                          std::vector<SensorId>* best_set) {
+  const std::size_t n = widths.size();
+  Tick best = -1;
+
+  // Enumerate fa-subsets via a bitmask (n is small for exhaustive search).
+  for (std::uint64_t mask = 0; mask < (1ULL << n); ++mask) {
+    if (static_cast<std::size_t>(__builtin_popcountll(mask)) != fa) continue;
+    WorstCaseConfig config;
+    config.widths.assign(widths.begin(), widths.end());
+    config.f = f;
+    for (std::size_t id = 0; id < n; ++id) {
+      if (mask & (1ULL << id)) config.attacked.push_back(id);
+    }
+    const Tick value = worst_case_fusion(config).max_width;
+    if (value > best) {
+      best = value;
+      if (best_set != nullptr) *best_set = config.attacked;
+    }
+  }
+  return best;
+}
+
+}  // namespace arsf::sim

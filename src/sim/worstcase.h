@@ -1,0 +1,49 @@
+#pragma once
+// Exhaustive worst-case configuration search (paper, Section III-B).
+//
+// Searches the tick grid for the configuration maximising the fusion-interval
+// width.  Correct intervals must contain the true value (pinned at 0);
+// attacked intervals may sit anywhere but — when require_undetected is set —
+// must intersect the resulting fusion interval (otherwise detection discards
+// them, contradicting the attacker's stealth goal).
+//
+// This is the empirical machinery behind Theorems 3 and 4:
+//   * Thm 3: worst case with the fa *largest* intervals attacked equals the
+//     no-attack worst case |Sna|;
+//   * Thm 4: the global worst case |Swc_fa| over every attacked set is
+//     achieved by attacking the fa *smallest* intervals.
+
+#include <span>
+#include <vector>
+
+#include "core/config.h"
+#include "core/fusion.h"
+
+namespace arsf::sim {
+
+struct WorstCaseConfig {
+  std::vector<Tick> widths;        ///< by SensorId
+  int f = 0;
+  std::vector<SensorId> attacked;  ///< fixed attacked set F (may be empty)
+  bool require_undetected = true;  ///< attacked intervals must intersect S
+};
+
+struct WorstCaseResult {
+  Tick max_width = -1;                 ///< -1 if every configuration fused empty
+  std::vector<TickInterval> argmax;    ///< a configuration achieving it
+  std::uint64_t configurations = 0;    ///< search-space size
+};
+
+/// Exhaustive maximum of |S_{N,f}| over all grid configurations for a fixed
+/// attacked set.
+[[nodiscard]] WorstCaseResult worst_case_fusion(const WorstCaseConfig& config);
+
+/// No-attack worst case |Sna| (every interval correct).
+[[nodiscard]] Tick worst_case_no_attack(std::span<const Tick> widths, int f);
+
+/// Global worst case |Swc_fa| over every attacked set of size fa; if
+/// @p best_set is non-null it receives one maximising set.
+[[nodiscard]] Tick worst_case_over_sets(std::span<const Tick> widths, int f, std::size_t fa,
+                                        std::vector<SensorId>* best_set = nullptr);
+
+}  // namespace arsf::sim

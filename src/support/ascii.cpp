@@ -1,0 +1,163 @@
+#include "support/ascii.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace arsf::support {
+
+void IntervalDiagram::add(std::string label, double lo, double hi, bool attacked) {
+  rows_.push_back(DiagramRow{std::move(label), lo, hi, attacked, false});
+}
+
+void IntervalDiagram::add_empty(std::string label) {
+  DiagramRow row;
+  row.label = std::move(label);
+  row.empty = true;
+  rows_.push_back(std::move(row));
+}
+
+void IntervalDiagram::add_separator() { rows_.push_back(std::nullopt); }
+
+void IntervalDiagram::set_marker(double x, char glyph) { markers_.push_back({x, glyph}); }
+
+std::string IntervalDiagram::render() const {
+  double lo = 0.0;
+  double hi = 0.0;
+  bool any = false;
+  for (const auto& row : rows_) {
+    if (!row || row->empty) continue;
+    if (!any) {
+      lo = row->lo;
+      hi = row->hi;
+      any = true;
+    } else {
+      lo = std::min(lo, row->lo);
+      hi = std::max(hi, row->hi);
+    }
+  }
+  for (const auto& marker : markers_) {
+    if (!any) {
+      lo = hi = marker.x;
+      any = true;
+    } else {
+      lo = std::min(lo, marker.x);
+      hi = std::max(hi, marker.x);
+    }
+  }
+  if (!any) return "(empty diagram)\n";
+  if (hi - lo < 1e-12) {
+    lo -= 1.0;
+    hi += 1.0;
+  }
+
+  std::size_t label_width = 0;
+  for (const auto& row : rows_) {
+    if (row) label_width = std::max(label_width, row->label.size());
+  }
+  label_width += 2;
+
+  const double span = hi - lo;
+  auto column_of = [&](double x) {
+    const double t = (x - lo) / span;
+    auto col = static_cast<std::ptrdiff_t>(std::lround(t * static_cast<double>(columns_ - 1)));
+    return static_cast<std::size_t>(
+        std::clamp<std::ptrdiff_t>(col, 0, static_cast<std::ptrdiff_t>(columns_) - 1));
+  };
+
+  std::ostringstream out;
+  for (const auto& row : rows_) {
+    if (!row) {
+      out << std::string(label_width, ' ') << std::string(columns_, '-') << '\n';
+      continue;
+    }
+    std::string line(columns_, ' ');
+    if (!row->empty) {
+      const std::size_t a = column_of(row->lo);
+      const std::size_t b = column_of(row->hi);
+      const char body = row->attacked ? '~' : '=';
+      for (std::size_t c = a; c <= b; ++c) line[c] = body;
+      line[a] = '|';
+      line[b] = '|';
+    }
+    for (const auto& marker : markers_) {
+      const std::size_t c = column_of(marker.x);
+      if (line[c] == ' ') line[c] = ':';
+    }
+    std::string label = row->label;
+    label.resize(label_width, ' ');
+    out << label << line;
+    if (row->empty) {
+      out << "(empty)";
+    } else {
+      out << "  [" << format_number(row->lo) << ", " << format_number(row->hi) << "]";
+    }
+    out << '\n';
+  }
+
+  // Axis with min/max labels and marker glyphs.
+  std::string axis(columns_, '.');
+  for (const auto& marker : markers_) axis[column_of(marker.x)] = marker.glyph;
+  out << std::string(label_width, ' ') << axis << '\n';
+  out << std::string(label_width, ' ') << format_number(lo);
+  const std::string hi_text = format_number(hi);
+  const std::size_t pad =
+      columns_ > format_number(lo).size() + hi_text.size()
+          ? columns_ - format_number(lo).size() - hi_text.size()
+          : 1;
+  out << std::string(pad, ' ') << hi_text << '\n';
+  return out.str();
+}
+
+std::string describe_interval(const std::string& label, double lo, double hi) {
+  std::ostringstream out;
+  out << label << ": [" << format_number(lo) << ", " << format_number(hi) << "] (width "
+      << format_number(hi - lo) << ")";
+  return out.str();
+}
+
+std::string format_number(double x, int max_decimals) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", max_decimals, x);
+  std::string text{buffer};
+  if (text.find('.') != std::string::npos) {
+    while (!text.empty() && text.back() == '0') text.pop_back();
+    if (!text.empty() && text.back() == '.') text.pop_back();
+  }
+  if (text == "-0") text = "0";
+  return text;
+}
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+  auto print_row = [&](std::ostringstream& out, const std::vector<std::string>& cells) {
+    out << '|';
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      std::string cell = c < cells.size() ? cells[c] : "";
+      cell.resize(widths[c], ' ');
+      out << ' ' << cell << " |";
+    }
+    out << '\n';
+  };
+  std::ostringstream out;
+  print_row(out, headers_);
+  out << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) out << std::string(widths[c] + 2, '-') << '|';
+  out << '\n';
+  for (const auto& row : rows_) print_row(out, row);
+  return out.str();
+}
+
+}  // namespace arsf::support

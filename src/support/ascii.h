@@ -1,0 +1,69 @@
+#pragma once
+// ASCII renderer for interval diagrams.
+//
+// The paper's figures (Fig. 1-5) are interval diagrams: one labelled row per
+// sensor interval plus a fusion-interval row below a dashed separator.  The
+// bench binaries regenerate those figures in the terminal with this canvas.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace arsf::support {
+
+/// One row of an interval diagram.
+struct DiagramRow {
+  std::string label;      ///< e.g. "s1 (w=5)" or "a1 [attacked]"
+  double lo = 0.0;
+  double hi = 0.0;
+  bool attacked = false;  ///< attacked rows render with '~' (paper's sinusoid)
+  bool empty = false;     ///< renders as "(empty)"
+};
+
+/// Renders labelled intervals on a shared horizontal axis.
+class IntervalDiagram {
+ public:
+  /// @param columns  width of the drawing area (excluding labels).
+  explicit IntervalDiagram(std::size_t columns = 64) : columns_(columns) {}
+
+  void add(std::string label, double lo, double hi, bool attacked = false);
+  void add_empty(std::string label);
+  /// Inserts the dashed separator the paper draws between sensor intervals
+  /// and fusion intervals.
+  void add_separator();
+  /// Marks a vertical reference line (e.g. the true value).
+  void set_marker(double x, char glyph = '*');
+
+  /// Renders all rows plus an axis line with min/max tick labels.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  struct Marker {
+    double x;
+    char glyph;
+  };
+
+  std::size_t columns_;
+  std::vector<std::optional<DiagramRow>> rows_;  // nullopt == separator
+  std::vector<Marker> markers_;
+};
+
+/// Convenience: renders a single line of 'label: [lo, hi] (width w)'.
+[[nodiscard]] std::string describe_interval(const std::string& label, double lo, double hi);
+
+/// Formats a double with fixed precision, trimming trailing zeros.
+[[nodiscard]] std::string format_number(double x, int max_decimals = 4);
+
+/// Simple fixed-width table printer used by the table-reproduction benches.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> cells);
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace arsf::support

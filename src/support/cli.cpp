@@ -1,0 +1,90 @@
+#include "support/cli.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace arsf::support {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  program_ = argc > 0 ? argv[0] : "";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      options_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    // `--key value` unless the next token is another option or missing.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      options_[arg] = argv[i + 1];
+      ++i;
+    } else {
+      options_[arg] = "";
+    }
+  }
+}
+
+bool ArgParser::has(const std::string& name) const {
+  queried_[name] = true;
+  return options_.count(name) > 0;
+}
+
+std::string ArgParser::get_string(const std::string& name, std::string fallback) const {
+  queried_[name] = true;
+  const auto it = options_.find(name);
+  return it == options_.end() ? std::move(fallback) : it->second;
+}
+
+std::int64_t ArgParser::get_int(const std::string& name, std::int64_t fallback) const {
+  queried_[name] = true;
+  const auto it = options_.find(name);
+  if (it == options_.end() || it->second.empty()) return fallback;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double ArgParser::get_double(const std::string& name, double fallback) const {
+  queried_[name] = true;
+  const auto it = options_.find(name);
+  if (it == options_.end() || it->second.empty()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool ArgParser::get_bool(const std::string& name, bool fallback) const {
+  queried_[name] = true;
+  const auto it = options_.find(name);
+  if (it == options_.end()) return fallback;
+  if (it->second.empty() || it->second == "1" || it->second == "true" || it->second == "yes") {
+    return true;
+  }
+  return false;
+}
+
+std::vector<double> ArgParser::get_double_list(const std::string& name,
+                                               std::vector<double> fallback) const {
+  queried_[name] = true;
+  const auto it = options_.find(name);
+  if (it == options_.end() || it->second.empty()) return fallback;
+  std::vector<double> values;
+  std::stringstream stream(it->second);
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    if (!token.empty()) values.push_back(std::strtod(token.c_str(), nullptr));
+  }
+  return values;
+}
+
+std::vector<std::string> ArgParser::unknown() const {
+  std::vector<std::string> names;
+  for (const auto& [name, value] : options_) {
+    (void)value;
+    if (!queried_.count(name)) names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace arsf::support

@@ -1,0 +1,46 @@
+#pragma once
+// Tiny command-line parser for the examples and bench binaries.
+//
+// Supports `--flag`, `--key value` and `--key=value`; unknown arguments are
+// reported so typos do not silently fall back to defaults.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace arsf::support {
+
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const* argv);
+
+  /// True if --name was passed (with or without a value).
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  [[nodiscard]] std::string get_string(const std::string& name, std::string fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& name, double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Comma-separated list of doubles, e.g. --widths 5,11,17.
+  [[nodiscard]] std::vector<double> get_double_list(const std::string& name,
+                                                    std::vector<double> fallback) const;
+
+  /// Positional arguments (everything not starting with --).
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept { return positional_; }
+
+  /// Arguments that looked like options but were never queried do not exist;
+  /// call after all get_* calls to reject typos. Returns the unknown names.
+  [[nodiscard]] std::vector<std::string> unknown() const;
+
+  [[nodiscard]] const std::string& program() const noexcept { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> options_;
+  mutable std::map<std::string, bool> queried_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace arsf::support

@@ -1,0 +1,46 @@
+#include "support/csv.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace arsf::support {
+
+CsvWriter::CsvWriter(const std::string& path) : file_(path), out_(&file_) {
+  if (!file_) throw std::runtime_error("CsvWriter: cannot open " + path);
+}
+
+CsvWriter::CsvWriter(std::ostream& out) : out_(&out) {}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) *out_ << ',';
+    *out_ << escape(cells[i]);
+  }
+  *out_ << '\n';
+  ++rows_;
+}
+
+void CsvWriter::write_numeric_row(const std::vector<double>& cells) {
+  std::vector<std::string> text;
+  text.reserve(cells.size());
+  for (double x : cells) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%.12g", x);
+    text.emplace_back(buffer);
+  }
+  write_row(text);
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quotes = field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string quoted = "\"";
+  for (char ch : field) {
+    if (ch == '"') quoted += '"';
+    quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace arsf::support

@@ -1,0 +1,33 @@
+#pragma once
+// Minimal CSV writer for experiment outputs (benches can dump their series
+// next to the pretty-printed tables so results are machine-readable).
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace arsf::support {
+
+/// RFC-4180-style CSV writer (quotes fields containing separators/quotes).
+class CsvWriter {
+ public:
+  /// Opens @p path for writing; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+  /// Writes to an already-open stream owned by the caller.
+  explicit CsvWriter(std::ostream& out);
+
+  void write_row(const std::vector<std::string>& cells);
+  /// Convenience: formats doubles with enough digits to round-trip.
+  void write_numeric_row(const std::vector<double>& cells);
+
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  [[nodiscard]] static std::string escape(const std::string& field);
+
+  std::ofstream file_;
+  std::ostream* out_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace arsf::support

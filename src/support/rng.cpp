@@ -1,0 +1,58 @@
+#include "support/rng.h"
+
+#include <cmath>
+
+namespace arsf::support {
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next());  // full 64-bit range
+  // Lemire-style rejection sampling: unbiased for every span.
+  const std::uint64_t limit = (~span + 1) % span;  // 2^64 mod span
+  std::uint64_t draw = next();
+  while (draw < limit) draw = next();
+  return lo + static_cast<std::int64_t>(draw % span);
+}
+
+double Rng::uniform_real(double lo, double hi) noexcept {
+  return lo + (hi - lo) * unit();
+}
+
+double Rng::gaussian() noexcept {
+  // Polar method; expected 1.27 iterations.
+  for (;;) {
+    const double u = 2.0 * unit() - 1.0;
+    const double v = 2.0 * unit() - 1.0;
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+double Rng::truncated_gaussian(double mean, double sigma, double bound) noexcept {
+  if (bound <= 0.0) return mean;
+  if (sigma <= 0.0) return mean;
+  // Rejection sampling; for the sigma/bound ratios used by the sensor models
+  // (bound >= sigma) acceptance probability is at least 68%.
+  for (;;) {
+    const double draw = sigma * gaussian();
+    if (draw >= -bound && draw <= bound) return mean + draw;
+  }
+}
+
+void Rng::shuffle(std::span<std::size_t> items) noexcept {
+  for (std::size_t i = items.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(items[i - 1], items[j]);
+  }
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  shuffle(order);
+  return order;
+}
+
+}  // namespace arsf::support

@@ -1,0 +1,101 @@
+#pragma once
+// Deterministic, seedable pseudo-random number generation.
+//
+// All stochastic components of the library (Random schedules, Monte Carlo
+// engines, sensor noise, fault injection) draw from arsf::support::Rng so that
+// every experiment is reproducible from a single 64-bit seed.  The generator
+// is xoshiro256++ (Blackman & Vigna), seeded through SplitMix64; both are
+// implemented here so the library has no dependency on <random>'s unspecified
+// distribution algorithms (libstdc++ and libc++ produce different streams).
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace arsf::support {
+
+/// SplitMix64 step: used for seeding and for hashing small keys.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256++ generator with explicit, portable semantics.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four-word state from a single seed via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0xa5f152ac00c0ffeeULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    for (auto& word : state_) word = splitmix64(seed);
+    // xoshiro must not start from the all-zero state; splitmix64 of any seed
+    // cannot produce four zero words, but keep the guarantee explicit.
+    if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+  }
+
+  /// Raw 64 random bits.
+  [[nodiscard]] std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // UniformRandomBitGenerator interface so <algorithm> shuffles accept Rng.
+  [[nodiscard]] std::uint64_t operator()() noexcept { return next(); }
+  [[nodiscard]] static constexpr std::uint64_t min() noexcept { return 0; }
+  [[nodiscard]] static constexpr std::uint64_t max() noexcept { return ~0ULL; }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform real in [lo, hi).
+  [[nodiscard]] double uniform_real(double lo, double hi) noexcept;
+
+  /// Uniform real in [0, 1).
+  [[nodiscard]] double unit() noexcept {
+    // 53 top bits -> exactly representable double in [0,1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw.
+  [[nodiscard]] bool chance(double p) noexcept { return unit() < p; }
+
+  /// Standard normal via polar Box-Muller (no cached spare: deterministic
+  /// stream position regardless of call pattern).
+  [[nodiscard]] double gaussian() noexcept;
+
+  /// Normal truncated to [mean - bound, mean + bound]; used for sensor noise
+  /// whose interval guarantee must hold with probability 1.
+  [[nodiscard]] double truncated_gaussian(double mean, double sigma, double bound) noexcept;
+
+  /// Fisher-Yates shuffle of an index vector.
+  void shuffle(std::span<std::size_t> items) noexcept;
+
+  /// Random permutation of {0, ..., n-1}.
+  [[nodiscard]] std::vector<std::size_t> permutation(std::size_t n);
+
+  /// Derives an independent child generator (for per-component streams).
+  [[nodiscard]] Rng split() noexcept {
+    return Rng{next() ^ 0x9e3779b97f4a7c15ULL};
+  }
+
+ private:
+  [[nodiscard]] static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace arsf::support

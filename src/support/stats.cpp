@@ -1,0 +1,129 @@
+#include "support/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace arsf::support {
+
+void RunningStats::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(count_);
+  const auto nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  return count_ >= 2 ? m2_ / static_cast<double>(count_) : 0.0;
+}
+
+double RunningStats::sample_variance() const noexcept {
+  return count_ >= 2 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(sample_variance()); }
+
+double RunningStats::sem() const noexcept {
+  return count_ >= 2 ? stddev() / std::sqrt(static_cast<double>(count_)) : 0.0;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins == 0 ? 1 : bins, 0.0) {
+  if (hi_ <= lo_) hi_ = lo_ + 1.0;
+}
+
+void Histogram::add(double x, double weight) noexcept {
+  const double t = (x - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size());
+  auto idx = static_cast<std::ptrdiff_t>(std::floor(t));
+  idx = std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(idx)] += weight;
+  total_ += weight;
+}
+
+double Histogram::bin_lo(std::size_t i) const noexcept {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t i) const noexcept { return bin_lo(i + 1); }
+
+double Histogram::quantile(double q) const noexcept {
+  if (total_ <= 0.0) return lo_;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * total_;
+  double seen = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (seen + counts_[i] >= target) {
+      const double frac = counts_[i] > 0.0 ? (target - seen) / counts_[i] : 0.0;
+      return bin_lo(i) + frac * (bin_hi(i) - bin_lo(i));
+    }
+    seen += counts_[i];
+  }
+  return hi_;
+}
+
+std::string Histogram::render(std::size_t width) const {
+  double peak = 0.0;
+  for (double c : counts_) peak = std::max(peak, c);
+  std::ostringstream out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar =
+        peak > 0.0 ? static_cast<std::size_t>(counts_[i] / peak * static_cast<double>(width)) : 0;
+    out << '[';
+    out.precision(3);
+    out.width(8);
+    out << bin_lo(i) << ',';
+    out.width(8);
+    out << bin_hi(i) << ") ";
+    out << std::string(bar, '#') << '\n';
+  }
+  return out.str();
+}
+
+double mean_of(std::span<const double> xs) noexcept {
+  double sum = 0.0;
+  double comp = 0.0;  // Kahan compensation
+  for (double x : xs) {
+    const double y = x - comp;
+    const double t = sum + y;
+    comp = (t - sum) - y;
+    sum = t;
+  }
+  return xs.empty() ? 0.0 : sum / static_cast<double>(xs.size());
+}
+
+double median_of(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> copy(xs.begin(), xs.end());
+  const std::size_t mid = copy.size() / 2;
+  std::nth_element(copy.begin(), copy.begin() + static_cast<std::ptrdiff_t>(mid), copy.end());
+  const double hi = copy[mid];
+  if (copy.size() % 2 == 1) return hi;
+  std::nth_element(copy.begin(), copy.begin() + static_cast<std::ptrdiff_t>(mid) - 1,
+                   copy.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (copy[mid - 1] + hi);
+}
+
+}  // namespace arsf::support

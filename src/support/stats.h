@@ -1,0 +1,91 @@
+#pragma once
+// Streaming statistics used by the experiment harnesses: Welford running
+// moments, normal-approximation confidence intervals, and fixed-bin
+// histograms for fusion-width distributions.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace arsf::support {
+
+/// Numerically stable running mean/variance (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  /// Population variance (divide by n); 0 for fewer than 2 samples.
+  [[nodiscard]] double variance() const noexcept;
+  /// Sample variance (divide by n-1); 0 for fewer than 2 samples.
+  [[nodiscard]] double sample_variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ ? max_ : 0.0; }
+  /// Standard error of the mean.
+  [[nodiscard]] double sem() const noexcept;
+  /// Half-width of the ~95% normal-approximation confidence interval.
+  [[nodiscard]] double ci95_halfwidth() const noexcept { return 1.959964 * sem(); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact weighted average accumulator for exhaustive-enumeration experiments
+/// (integer weights; mean is a ratio of exact sums as far as doubles allow).
+class WeightedMean {
+ public:
+  void add(double value, double weight = 1.0) noexcept {
+    sum_ += value * weight;
+    weight_ += weight;
+  }
+  [[nodiscard]] double mean() const noexcept { return weight_ > 0.0 ? sum_ / weight_ : 0.0; }
+  [[nodiscard]] double total_weight() const noexcept { return weight_; }
+
+ private:
+  double sum_ = 0.0;
+  double weight_ = 0.0;
+};
+
+/// Fixed-width-bin histogram over [lo, hi); out-of-range samples clamp into
+/// the edge bins so mass is never dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, double weight = 1.0) noexcept;
+
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] double bin_lo(std::size_t i) const noexcept;
+  [[nodiscard]] double bin_hi(std::size_t i) const noexcept;
+  [[nodiscard]] double count(std::size_t i) const noexcept { return counts_[i]; }
+  [[nodiscard]] double total() const noexcept { return total_; }
+  /// Smallest x such that at least q of the mass lies at or below x
+  /// (piecewise-constant-within-bin interpolation).
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+  /// Multi-line ASCII rendering (for example/bench output).
+  [[nodiscard]] std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+/// Exact mean of a span (Kahan-compensated).
+[[nodiscard]] double mean_of(std::span<const double> xs) noexcept;
+
+/// Median (copies and partially sorts).
+[[nodiscard]] double median_of(std::span<const double> xs);
+
+}  // namespace arsf::support

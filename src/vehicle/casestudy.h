@@ -1,0 +1,71 @@
+#pragma once
+// Table II case-study runner (paper, Section IV-B).
+//
+// Three LandSharks drive in a platoon at v = 10 mph.  One sensor of the
+// middle vehicle is compromised (the paper assumes at most one attacked
+// sensor; the default rule picks an encoder — the most precise sensor,
+// Theorem 4's strongest choice).  For each communication schedule
+// (Ascending / Descending / Random) the runner counts the percentage of
+// fusion rounds whose fusion interval exceeds v + delta1 = 10.5 mph or drops
+// below v - delta2 = 9.5 mph — the two rows of Table II.
+
+#include "sim/montecarlo.h"
+#include "support/stats.h"
+#include "vehicle/landshark.h"
+#include "vehicle/platoon.h"
+
+namespace arsf::vehicle {
+
+struct CaseStudyConfig {
+  sched::ScheduleKind schedule = sched::ScheduleKind::kAscending;
+  std::size_t rounds = 10'000;
+  std::uint64_t seed = 0x1a2db4d5ULL;
+  double target_speed = 10.0;  ///< v (mph)
+  double delta_upper = 0.5;    ///< delta1
+  double delta_lower = 0.5;    ///< delta2
+  double dt = 0.1;             ///< seconds per fusion round
+  double quant_step = 0.01;    ///< attacker grid (mph)
+  bool attack_enabled = true;
+  sched::AttackedSetRule attacked_rule = sched::AttackedSetRule::kSmallestWidths;
+  attack::ExpectationOptions policy_options = default_policy_options();
+
+  /// Cost-bounded Bayesian attacker for the continuous domain: posterior
+  /// subsampling, strided candidates, indifferent tie-breaking.
+  [[nodiscard]] static attack::ExpectationOptions default_policy_options() {
+    attack::ExpectationOptions options;
+    options.max_joint = 1;          // fa = 1 in the case study
+    options.max_completions = 48;
+    options.candidate_stride = 4;
+    options.memoize = false;        // continuous domain: keys never repeat
+    options.random_tie_break = true;
+    return options;
+  }
+};
+
+struct CaseStudyResult {
+  double pct_upper = 0.0;  ///< % rounds with fusion upper bound > v + delta1
+  double pct_lower = 0.0;  ///< % rounds with fusion lower bound < v - delta2
+  std::uint64_t rounds = 0;
+  std::uint64_t detected_rounds = 0;   ///< attacker flagged (expect 0)
+  std::vector<SensorId> attacked;      ///< compromised sensor ids
+  support::RunningStats fused_width;   ///< fusion-interval width (mph)
+  support::RunningStats true_speed;    ///< attacked vehicle's actual speed
+  support::RunningStats estimate_bias; ///< estimate - true speed
+  bool collided = false;
+};
+
+[[nodiscard]] CaseStudyResult run_case_study(const CaseStudyConfig& config);
+
+/// Runs Ascending, Descending and Random with the same base configuration.
+[[nodiscard]] std::vector<std::pair<sched::ScheduleKind, CaseStudyResult>> reproduce_table2(
+    CaseStudyConfig base = {});
+
+/// Paper-reported Table II percentages {upper, lower} for
+/// {Ascending, Descending, Random}.
+struct Table2Reference {
+  double upper;
+  double lower;
+};
+[[nodiscard]] std::span<const Table2Reference> paper_table2_reference();
+
+}  // namespace arsf::vehicle

@@ -1,0 +1,33 @@
+#include "vehicle/controller.h"
+
+#include <algorithm>
+
+namespace arsf::vehicle {
+
+double PIController::update(double error, double dt) {
+  const double tentative_integral = integral_ + error * dt;
+  double command = kp_ * error + ki_ * tentative_integral;
+  if (command > limit_) {
+    command = limit_;  // anti-windup: do not integrate past saturation
+  } else if (command < -limit_) {
+    command = -limit_;
+  } else {
+    integral_ = tentative_integral;
+  }
+  return command;
+}
+
+double SafetySupervisor::supervise(double low_level_command, const Interval& fused) {
+  ++rounds_;
+  const bool upper = envelope_.violates_upper(fused);
+  const bool lower = envelope_.violates_lower(fused);
+  if (upper) ++upper_violations_;
+  if (lower) ++lower_violations_;
+  // Preemption: when the envelope cannot be guaranteed, steer conservatively
+  // back towards the target rather than trusting the low-level command.
+  if (upper && !lower) return std::min(low_level_command, -1.0);
+  if (lower && !upper) return std::max(low_level_command, 1.0);
+  return low_level_command;
+}
+
+}  // namespace arsf::vehicle

@@ -1,0 +1,77 @@
+#pragma once
+// Low-level cruise controller and high-level safety supervisor
+// (paper, Section IV-B).
+//
+// Each LandShark runs a low-level controller holding speed at the platoon
+// target v.  Two safety constraints are encoded on the *fusion interval*:
+// if its upper bound exceeds v + delta1 or its lower bound drops below
+// v - delta2, a high-level algorithm preempts the low-level controller.
+// Table II counts exactly these two violation events per schedule.
+
+#include <cstdint>
+
+#include "core/interval.h"
+
+namespace arsf::vehicle {
+
+/// PI controller with output clamping and integrator anti-windup.
+class PIController {
+ public:
+  PIController(double kp, double ki, double output_limit)
+      : kp_(kp), ki_(ki), limit_(output_limit) {}
+
+  /// One update from tracking error (target - estimate); returns the
+  /// acceleration command in mph/s.
+  double update(double error, double dt);
+
+  void reset() noexcept { integral_ = 0.0; }
+  [[nodiscard]] double integral() const noexcept { return integral_; }
+
+ private:
+  double kp_;
+  double ki_;
+  double limit_;
+  double integral_ = 0.0;
+};
+
+/// Safety envelope checks on the fusion interval.
+struct SafetyEnvelope {
+  double target = 10.0;  ///< platoon speed v (mph)
+  double delta_upper = 0.5;  ///< delta1: max overshoot before preemption
+  double delta_lower = 0.5;  ///< delta2: max undershoot before preemption
+
+  [[nodiscard]] double upper_bound() const noexcept { return target + delta_upper; }
+  [[nodiscard]] double lower_bound() const noexcept { return target - delta_lower; }
+
+  [[nodiscard]] bool violates_upper(const Interval& fused) const {
+    return !fused.is_empty() && fused.hi > upper_bound();
+  }
+  [[nodiscard]] bool violates_lower(const Interval& fused) const {
+    return !fused.is_empty() && fused.lo < lower_bound();
+  }
+};
+
+/// High-level supervisor: preempts the low-level command when the fusion
+/// interval leaves the envelope (brakes on upper violations, accelerates on
+/// lower ones), and keeps violation counts for Table II.
+class SafetySupervisor {
+ public:
+  explicit SafetySupervisor(SafetyEnvelope envelope) : envelope_(envelope) {}
+
+  /// Filters the low-level command given the current fusion interval.
+  double supervise(double low_level_command, const Interval& fused);
+
+  [[nodiscard]] const SafetyEnvelope& envelope() const noexcept { return envelope_; }
+  [[nodiscard]] std::uint64_t upper_violations() const noexcept { return upper_violations_; }
+  [[nodiscard]] std::uint64_t lower_violations() const noexcept { return lower_violations_; }
+  [[nodiscard]] std::uint64_t rounds() const noexcept { return rounds_; }
+  void reset_counts() noexcept { upper_violations_ = lower_violations_ = rounds_ = 0; }
+
+ private:
+  SafetyEnvelope envelope_;
+  std::uint64_t upper_violations_ = 0;
+  std::uint64_t lower_violations_ = 0;
+  std::uint64_t rounds_ = 0;
+};
+
+}  // namespace arsf::vehicle

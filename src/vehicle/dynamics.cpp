@@ -1,0 +1,15 @@
+#include "vehicle/dynamics.h"
+
+#include <algorithm>
+
+namespace arsf::vehicle {
+
+double Longitudinal::step(double u, double dt) {
+  u = std::clamp(u, -params_.max_brake, params_.max_accel);
+  const double accel = u - params_.drag * speed_;
+  speed_ += accel * dt;
+  speed_ = std::max(speed_, 0.0);  // no reverse in the platoon scenario
+  return speed_;
+}
+
+}  // namespace arsf::vehicle

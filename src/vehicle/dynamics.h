@@ -1,0 +1,40 @@
+#pragma once
+// Longitudinal vehicle dynamics for the LandShark case study.
+//
+// The paper's evaluation only needs a plant whose speed a low-level
+// controller can hold near the target; a first-order longitudinal model with
+// quadratic-free drag and actuator limits is sufficient and standard:
+//
+//     v' = (u - c_drag * v) ,  u clamped to [-max_brake, max_accel]
+//
+// Units are mph and seconds throughout (matching the paper's numbers).
+
+namespace arsf::vehicle {
+
+struct VehicleParams {
+  double drag = 0.08;        ///< 1/s, linear drag coefficient
+  double max_accel = 3.0;    ///< mph/s
+  double max_brake = 5.0;    ///< mph/s
+  double initial_speed = 0.0;
+};
+
+/// First-order longitudinal speed model.
+class Longitudinal {
+ public:
+  explicit Longitudinal(VehicleParams params = {})
+      : params_(params), speed_(params.initial_speed) {}
+
+  /// Advances the model by @p dt seconds under acceleration command @p u
+  /// (mph/s, clamped to the actuator limits).  Returns the new speed.
+  double step(double u, double dt);
+
+  [[nodiscard]] double speed() const noexcept { return speed_; }
+  [[nodiscard]] const VehicleParams& params() const noexcept { return params_; }
+  void set_speed(double v) noexcept { speed_ = v; }
+
+ private:
+  VehicleParams params_;
+  double speed_;
+};
+
+}  // namespace arsf::vehicle

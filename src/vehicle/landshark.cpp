@@ -1,0 +1,29 @@
+#include "vehicle/landshark.h"
+
+namespace arsf::vehicle {
+
+LandSharkSensing make_landshark_sensing(double quant_step) {
+  LandSharkSensing sensing;
+  sensing.suite = sensors::landshark_suite(/*bus_grid=*/quant_step);
+  sensing.config = sensors::landshark_config();
+  sensing.quant = Quantizer{quant_step};
+  (void)tick_widths(sensing.config, sensing.quant);  // validate grid fit
+  return sensing;
+}
+
+SpeedPipeline::SpeedPipeline(LandSharkSensing sensing, std::vector<SensorId> attacked,
+                             attack::AttackPolicy* policy)
+    : sensing_(std::move(sensing)),
+      round_(sensing_.config, sensing_.quant, std::move(attacked), policy) {}
+
+sim::RoundResult SpeedPipeline::measure(double true_speed, const sched::Order& order,
+                                        support::Rng& rng, std::uint64_t round_index) {
+  std::vector<Interval> readings;
+  readings.reserve(sensing_.suite.size());
+  for (const auto& sensor : sensing_.suite) {
+    readings.push_back(sensor.sample(true_speed, rng).interval);
+  }
+  return round_.run(order, readings, rng, round_index);
+}
+
+}  // namespace arsf::vehicle

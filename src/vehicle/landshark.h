@@ -1,0 +1,44 @@
+#pragma once
+// LandShark sensing pipeline: the four speed sensors of the case study wired
+// to the bus-backed fusion protocol.
+
+#include "attack/expectation.h"
+#include "schedule/schedule.h"
+#include "sensors/models.h"
+#include "sim/protocol.h"
+
+namespace arsf::vehicle {
+
+/// Static description of a LandShark's speed-sensing subsystem.
+struct LandSharkSensing {
+  std::vector<sensors::AbstractSensor> suite;  ///< gps, camera, encoder x2
+  SystemConfig config;                         ///< widths {1, 2, 0.2, 0.2}, f = 1
+  Quantizer quant{0.01};                       ///< attacker grid (mph)
+};
+
+[[nodiscard]] LandSharkSensing make_landshark_sensing(double quant_step = 0.01);
+
+/// Per-vehicle sensing-and-fusion pipeline.  Samples every sensor at the
+/// true speed, runs one protocol round over the shared bus (with the
+/// attacker's policy deciding at the compromised slots) and returns the
+/// fused result.
+class SpeedPipeline {
+ public:
+  /// @param attacked  compromised sensor ids (empty -> benign pipeline).
+  /// @param policy    attacker policy (may be nullptr).
+  SpeedPipeline(LandSharkSensing sensing, std::vector<SensorId> attacked,
+                attack::AttackPolicy* policy);
+
+  /// One measurement round at the given true speed.
+  [[nodiscard]] sim::RoundResult measure(double true_speed, const sched::Order& order,
+                                         support::Rng& rng, std::uint64_t round_index);
+
+  [[nodiscard]] const LandSharkSensing& sensing() const noexcept { return sensing_; }
+  [[nodiscard]] const sim::FusionRound& round_driver() const noexcept { return round_; }
+
+ private:
+  LandSharkSensing sensing_;
+  sim::FusionRound round_;
+};
+
+}  // namespace arsf::vehicle

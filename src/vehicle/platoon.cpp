@@ -1,0 +1,68 @@
+#include "vehicle/platoon.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace arsf::vehicle {
+
+Platoon::Platoon(PlatoonParams params) : params_(params) {
+  if (params_.size < 1) throw std::invalid_argument("Platoon: need at least one vehicle");
+  members_.reserve(params_.size);
+  VehicleParams vp = params_.vehicle;
+  vp.initial_speed = params_.target_speed;  // platoon starts at cruise
+  for (std::size_t i = 0; i < params_.size; ++i) {
+    // Leader at the largest position; gaps descending behind it.
+    const double position =
+        static_cast<double>(params_.size - 1 - i) * params_.initial_gap;
+    members_.emplace_back(vp, params_.kp, params_.ki, params_.command_limit, position);
+  }
+}
+
+void Platoon::step(std::span<const double> speed_estimates, double dt) {
+  if (speed_estimates.size() != members_.size()) {
+    throw std::invalid_argument("Platoon::step: one estimate per vehicle required");
+  }
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    PlatoonMember& member = members_[i];
+    const double command = controller_command(i, speed_estimates[i], dt);
+    member.dynamics.step(command, dt);
+    member.position += member.dynamics.speed() * dt;
+  }
+  if (min_gap() <= 0.0) collided_ = true;
+}
+
+void Platoon::step_with_commands(std::span<const double> commands, double dt) {
+  if (commands.size() != members_.size()) {
+    throw std::invalid_argument("Platoon::step_with_commands: one command per vehicle");
+  }
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    PlatoonMember& member = members_[i];
+    member.dynamics.step(commands[i], dt);
+    member.position += member.dynamics.speed() * dt;
+  }
+  if (min_gap() <= 0.0) collided_ = true;
+}
+
+double Platoon::controller_command(std::size_t i, double estimate, double dt) {
+  PlatoonMember& member = members_.at(i);
+  // Drag feedforward holds cruise without waiting for the integrator, so the
+  // platoon does not dip below the safety envelope during start-up.
+  const double feedforward = params_.vehicle.drag * params_.target_speed;
+  return feedforward + member.controller.update(params_.target_speed - estimate, dt);
+}
+
+double Platoon::gap(std::size_t i) const {
+  if (i == 0 || i >= members_.size()) {
+    throw std::out_of_range("Platoon::gap: follower index required");
+  }
+  return members_[i - 1].position - members_[i].position;
+}
+
+double Platoon::min_gap() const {
+  double smallest = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 1; i < members_.size(); ++i) smallest = std::min(smallest, gap(i));
+  return smallest;
+}
+
+}  // namespace arsf::vehicle

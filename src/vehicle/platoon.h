@@ -1,0 +1,72 @@
+#pragma once
+// Three-LandShark platoon (paper, Section IV-B).
+//
+// The leader sets a speed target v for all vehicles; every vehicle runs a
+// low-level controller holding its own speed at v using its *fused* speed
+// estimate.  Speeding beyond v + delta1 risks rear-ending the vehicle ahead
+// (or the leader hitting an obstacle); dropping below v - delta2 risks being
+// hit from behind.  The platoon model tracks positions so tests can assert
+// the geometric consequences (gap shrinkage/collisions) of estimate bias.
+
+#include <span>
+#include <vector>
+
+#include "vehicle/controller.h"
+#include "vehicle/dynamics.h"
+
+namespace arsf::vehicle {
+
+struct PlatoonParams {
+  std::size_t size = 3;
+  double target_speed = 10.0;    ///< v (mph)
+  double initial_gap = 20.0;     ///< inter-vehicle gap (mph-seconds ~ distance)
+  double kp = 1.2;
+  double ki = 0.4;
+  double command_limit = 3.0;    ///< mph/s
+  VehicleParams vehicle{};
+};
+
+/// One vehicle's kinematic state within the platoon.
+struct PlatoonMember {
+  Longitudinal dynamics;
+  PIController controller;
+  double position = 0.0;  ///< along-track position (mph-seconds)
+
+  PlatoonMember(const VehicleParams& params, double kp, double ki, double limit,
+                double initial_position)
+      : dynamics(params), controller(kp, ki, limit), position(initial_position) {}
+};
+
+class Platoon {
+ public:
+  explicit Platoon(PlatoonParams params = {});
+
+  /// Advances all vehicles by @p dt.  @p speed_estimates[i] is vehicle i's
+  /// fused speed estimate (what its controller believes); pass the true
+  /// speeds for an ideal-sensing platoon.
+  void step(std::span<const double> speed_estimates, double dt);
+
+  /// Advances all vehicles with externally supplied acceleration commands
+  /// (the case study routes PI output through the safety supervisor first).
+  void step_with_commands(std::span<const double> commands, double dt);
+
+  /// PI command vehicle @p i would issue for @p estimate (exposed so callers
+  /// using step_with_commands share the same controller state).
+  [[nodiscard]] double controller_command(std::size_t i, double estimate, double dt);
+
+  [[nodiscard]] std::size_t size() const noexcept { return members_.size(); }
+  [[nodiscard]] double speed(std::size_t i) const { return members_[i].dynamics.speed(); }
+  [[nodiscard]] double position(std::size_t i) const { return members_[i].position; }
+  /// Gap between vehicle i and the one ahead of it (i >= 1).
+  [[nodiscard]] double gap(std::size_t i) const;
+  [[nodiscard]] double min_gap() const;
+  [[nodiscard]] bool collided() const noexcept { return collided_; }
+  [[nodiscard]] const PlatoonParams& params() const noexcept { return params_; }
+
+ private:
+  PlatoonParams params_;
+  std::vector<PlatoonMember> members_;  ///< index 0 = leader
+  bool collided_ = false;
+};
+
+}  // namespace arsf::vehicle

@@ -1,0 +1,144 @@
+// Parameterised property sweeps over whole attack campaigns: for families of
+// width sets the exhaustive-enumeration engine verifies, across EVERY world
+// on the grid,
+//
+//   * the certificate-following attacker is never detected;
+//   * the fusion interval always contains the true value (fa <= f);
+//   * attacking never shrinks the expected fusion width;
+//   * the paper's headline: E|S| under Descending >= under Ascending;
+//   * more information never hurts the attacker (oracle >= Bayesian,
+//     Descending-with-full-info >= blind play).
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "sim/enumerate.h"
+
+namespace arsf::sim {
+namespace {
+
+struct SweepCase {
+  std::vector<double> widths;
+  std::size_t fa;
+};
+
+class AttackerSweep : public ::testing::TestWithParam<SweepCase> {
+ protected:
+  [[nodiscard]] SystemConfig system() const { return make_config(GetParam().widths); }
+
+  [[nodiscard]] EnumerateResult run(const sched::Order& order, bool oracle = false) const {
+    EnumerateConfig config;
+    config.system = system();
+    config.order = order;
+    config.attacked = sched::choose_attacked_set(config.system, order, GetParam().fa,
+                                                 sched::AttackedSetRule::kSmallestWidths);
+    attack::ExpectationPolicy bayes;
+    attack::OraclePolicy oracle_policy;
+    config.oracle = oracle;
+    config.policy = oracle ? static_cast<attack::AttackPolicy*>(&oracle_policy)
+                           : static_cast<attack::AttackPolicy*>(&bayes);
+    return enumerate_expected_width(config);
+  }
+};
+
+TEST_P(AttackerSweep, NeverDetectedInAnyWorld) {
+  for (const auto& order :
+       {sched::ascending_order(system()), sched::descending_order(system())}) {
+    const EnumerateResult result = run(order);
+    EXPECT_EQ(result.detected_worlds, 0u);
+    EXPECT_EQ(result.empty_fusion_worlds, 0u);
+  }
+}
+
+TEST_P(AttackerSweep, AttackNeverShrinksExpectation) {
+  for (const auto& order :
+       {sched::ascending_order(system()), sched::descending_order(system())}) {
+    const EnumerateResult result = run(order);
+    EXPECT_GE(result.expected_width, result.expected_width_no_attack - 1e-12);
+  }
+}
+
+TEST_P(AttackerSweep, DescendingAtLeastAscending) {
+  const double ascending = run(sched::ascending_order(system())).expected_width;
+  const double descending = run(sched::descending_order(system())).expected_width;
+  EXPECT_GE(descending, ascending - 1e-9);
+}
+
+TEST_P(AttackerSweep, OracleDominatesBayesian) {
+  // Extra knowledge (the actual future placements) can only help.
+  for (const auto& order :
+       {sched::ascending_order(system()), sched::descending_order(system())}) {
+    const double bayes = run(order).expected_width;
+    const double oracle = run(order, /*oracle=*/true).expected_width;
+    EXPECT_GE(oracle, bayes - 1e-9);
+    const EnumerateResult oracle_result = run(order, true);
+    EXPECT_EQ(oracle_result.detected_worlds, 0u);
+  }
+}
+
+TEST_P(AttackerSweep, WorstCaseWorldRespectsTheorem2) {
+  // The maximum width over all worlds stays within |sc1| + |sc2| of the
+  // correct sensors (Theorem 2), under both schedules.
+  const SystemConfig config = system();
+  const auto attacked = sched::choose_attacked_set(
+      config, sched::ascending_order(config), GetParam().fa,
+      sched::AttackedSetRule::kSmallestWidths);
+  std::vector<double> correct_widths;
+  for (SensorId id = 0; id < config.n(); ++id) {
+    if (std::find(attacked.begin(), attacked.end(), id) == attacked.end()) {
+      correct_widths.push_back(config.sensors[id].width);
+    }
+  }
+  std::sort(correct_widths.rbegin(), correct_widths.rend());
+  const double bound = correct_widths.size() >= 2
+                           ? correct_widths[0] + correct_widths[1]
+                           : correct_widths[0];
+  for (const auto& order :
+       {sched::ascending_order(config), sched::descending_order(config)}) {
+    EXPECT_LE(run(order).max_width, bound + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, AttackerSweep,
+    ::testing::Values(SweepCase{{3, 5, 9}, 1}, SweepCase{{4, 4, 4}, 1},
+                      SweepCase{{2, 7, 8}, 1}, SweepCase{{3, 4, 5, 6}, 1},
+                      SweepCase{{2, 3, 3, 8}, 1}, SweepCase{{3, 3, 4, 5, 6}, 2},
+                      SweepCase{{2, 2, 5, 5, 7}, 2}),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      std::string name = "w";
+      for (double w : info.param.widths) {
+        name += std::to_string(static_cast<int>(w)) + "_";
+      }
+      return name + "fa" + std::to_string(info.param.fa);
+    });
+
+// Slot-position sweep: the attacker's expected gain is monotone in how late
+// her slot is (more seen intervals = more information = more power).  This
+// is the information-monotonicity argument behind the Ascending schedule.
+TEST(AttackerInformation, LaterSlotNeverHurts) {
+  const SystemConfig system = make_config({5.0, 9.0, 13.0});
+  double previous = -1.0;
+  for (std::size_t attacker_slot = 0; attacker_slot < 3; ++attacker_slot) {
+    // Build an order placing the attacked sensor (id 0) at the given slot,
+    // the others in ascending width order around it.
+    sched::Order order;
+    std::vector<SensorId> rest = {1, 2};
+    for (std::size_t slot = 0, next = 0; slot < 3; ++slot) {
+      order.push_back(slot == attacker_slot ? SensorId{0} : rest[next++]);
+    }
+    EnumerateConfig config;
+    config.system = system;
+    config.order = order;
+    config.attacked = {0};
+    attack::ExpectationPolicy policy;
+    config.policy = &policy;
+    const double width = enumerate_expected_width(config).expected_width;
+    EXPECT_GE(width, previous - 1e-9) << "slot " << attacker_slot;
+    previous = width;
+  }
+}
+
+}  // namespace
+}  // namespace arsf::sim

@@ -1,0 +1,78 @@
+// Unit tests for the fusion width guarantees and the Theorem 2 bound
+// (core/bounds.h).
+
+#include <gtest/gtest.h>
+
+#include "core/bounds.h"
+#include "core/fusion.h"
+
+namespace arsf {
+namespace {
+
+TEST(Bounds, CeilDiv) {
+  EXPECT_EQ(ceil_div(3, 2), 2);
+  EXPECT_EQ(ceil_div(4, 2), 2);
+  EXPECT_EQ(ceil_div(5, 3), 2);
+  EXPECT_EQ(ceil_div(6, 3), 2);
+  EXPECT_EQ(ceil_div(7, 3), 3);
+}
+
+TEST(Bounds, MaxBoundedF) {
+  // The paper's evaluation choice f = ceil(n/2) - 1.
+  EXPECT_EQ(max_bounded_f(3), 1);
+  EXPECT_EQ(max_bounded_f(4), 1);
+  EXPECT_EQ(max_bounded_f(5), 2);
+  EXPECT_EQ(max_bounded_f(6), 2);
+  EXPECT_EQ(max_bounded_f(7), 3);
+}
+
+TEST(Bounds, GuaranteeRegions) {
+  // n=7: f<ceil(7/3)=3 -> bounded by correct; f<ceil(7/2)=4 -> bounded by any.
+  EXPECT_TRUE(width_bounded_by_correct(7, 2));
+  EXPECT_FALSE(width_bounded_by_correct(7, 3));
+  EXPECT_TRUE(width_bounded_by_any(7, 3));
+  EXPECT_FALSE(width_bounded_by_any(7, 4));
+}
+
+TEST(Bounds, Theorem2Value) {
+  const std::vector<Interval> correct = {{0, 5}, {0, 11}, {0, 17}};
+  EXPECT_DOUBLE_EQ(theorem2_bound(correct), 17 + 11);
+  const std::vector<TickInterval> ticks = {{0, 5}, {0, 11}, {0, 17}};
+  EXPECT_EQ(theorem2_bound_ticks(ticks), 28);
+}
+
+TEST(Bounds, Theorem2SingleCorrect) {
+  const std::vector<Interval> correct = {{0, 7}};
+  EXPECT_DOUBLE_EQ(theorem2_bound(correct), 7.0);
+}
+
+TEST(Bounds, Theorem2Throws) {
+  EXPECT_THROW((void)theorem2_bound({}), std::invalid_argument);
+}
+
+TEST(Bounds, Theorem2TightCase) {
+  // The bound is achieved when two correct intervals intersect at exactly
+  // one point (the true value) and an attacked interval bridges them.
+  // Correct: [-5, 0], [0, 4]; attacked width 9 placed to cover both; f=1.
+  const std::vector<Interval> intervals = {{-5, 0}, {0, 4}, {-5, 4}};
+  const auto result = fuse(intervals, 1);
+  ASSERT_TRUE(result.interval);
+  const std::vector<Interval> correct = {{-5, 0}, {0, 4}};
+  EXPECT_DOUBLE_EQ(result.width(), theorem2_bound(correct));  // 5 + 4 = 9
+}
+
+TEST(Bounds, FusionRespectsTheorem2OnRandomConfigs) {
+  // For f < ceil(n/2) and any placement of attacked intervals that pass
+  // detection, |S| <= |sc1| + |sc2|.  Exercise a grid of attacked positions.
+  const std::vector<TickInterval> correct = {{-4, 0}, {-1, 5}, {0, 7}};
+  for (Tick lo = -20; lo <= 20; ++lo) {
+    std::vector<TickInterval> intervals = correct;
+    intervals.push_back(TickInterval{lo, lo + 6});  // attacked, n=4, f=1
+    const TickInterval fused = fused_interval_ticks(intervals, 1);
+    if (fused.is_empty()) continue;
+    EXPECT_LE(fused.width(), theorem2_bound_ticks(correct)) << "lo=" << lo;
+  }
+}
+
+}  // namespace
+}  // namespace arsf

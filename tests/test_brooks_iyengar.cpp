@@ -1,0 +1,115 @@
+// Unit tests for the Brooks-Iyengar baseline fuser (core/brooks_iyengar.h).
+
+#include <gtest/gtest.h>
+
+#include "core/bounds.h"
+#include "core/brooks_iyengar.h"
+#include "core/fusion.h"
+#include "support/rng.h"
+
+namespace arsf {
+namespace {
+
+TEST(BrooksIyengar, IntervalMatchesMarzullo) {
+  // The conservative output interval is by construction the Marzullo fusion
+  // interval (hull of the >= n-f regions).
+  const std::vector<Interval> intervals = {{0, 6}, {1, 8}, {2, 10}, {5, 12}};
+  for (int f = 0; f < 4; ++f) {
+    const auto bi = brooks_iyengar(intervals, f);
+    const auto marzullo = fuse(intervals, f);
+    ASSERT_EQ(bi.interval.has_value(), marzullo.interval.has_value()) << "f=" << f;
+    if (bi.interval) {
+      EXPECT_EQ(*bi.interval, *marzullo.interval) << "f=" << f;
+    }
+    EXPECT_EQ(bi.threshold, marzullo.threshold);
+  }
+}
+
+TEST(BrooksIyengar, EstimateInsideInterval) {
+  const std::vector<Interval> intervals = {{0, 6}, {1, 8}, {2, 10}};
+  const auto result = brooks_iyengar(intervals, 1);
+  ASSERT_TRUE(result.estimate);
+  ASSERT_TRUE(result.interval);
+  EXPECT_GE(*result.estimate, result.interval->lo);
+  EXPECT_LE(*result.estimate, result.interval->hi);
+}
+
+TEST(BrooksIyengar, RegionsCarryCounts) {
+  // Intervals [0,4], [2,6], [3,10], f=1 (threshold 2): regions where >= 2
+  // overlap: [2,4] (counts 2..3) and [3,6] overlap... elementary segments:
+  // [2,3] count 2, [3,4] count 3, [4,6] count 2.
+  const std::vector<Interval> intervals = {{0, 4}, {2, 6}, {3, 10}};
+  const auto result = brooks_iyengar(intervals, 1);
+  ASSERT_EQ(result.regions.size(), 3u);
+  EXPECT_EQ(result.regions[0].count, 2);
+  EXPECT_EQ(result.regions[0].range, (Interval{2, 3}));
+  EXPECT_EQ(result.regions[1].count, 3);
+  EXPECT_EQ(result.regions[1].range, (Interval{3, 4}));
+  EXPECT_EQ(result.regions[2].count, 2);
+  EXPECT_EQ(result.regions[2].range, (Interval{4, 6}));
+  // The estimate leans towards the triple-overlap region.
+  ASSERT_TRUE(result.estimate);
+  EXPECT_NEAR(*result.estimate, (2.5 * 2 + 3.5 * 3 + 5.0 * 2 * 2) / (2 + 3 + 4), 1e-12);
+}
+
+TEST(BrooksIyengar, WeightsPreferHeavyAgreement) {
+  // Four sensors agree tightly around 0, one hangs right; with f=1 the
+  // estimate stays near the heavy cluster, closer than the plain midpoint of
+  // the fusion interval.
+  const std::vector<Interval> intervals = {{-1, 1}, {-1.2, 0.8}, {-0.8, 1.2},
+                                           {-1, 1}, {0.9, 2.9}};
+  const auto result = brooks_iyengar(intervals, 1);
+  const auto marzullo = fuse(intervals, 1);
+  ASSERT_TRUE(result.estimate);
+  ASSERT_TRUE(marzullo.interval);
+  EXPECT_LT(std::abs(*result.estimate), std::abs(marzullo.interval->midpoint()));
+}
+
+TEST(BrooksIyengar, EmptyRegionSet) {
+  const std::vector<Interval> intervals = {{0, 1}, {10, 11}, {20, 21}};
+  const auto result = brooks_iyengar(intervals, 1);
+  EXPECT_FALSE(result.interval);
+  EXPECT_FALSE(result.estimate);
+  EXPECT_TRUE(result.regions.empty());
+}
+
+TEST(BrooksIyengar, PointAgreementRegions) {
+  // Two intervals touching at one point, f=0: a degenerate region.
+  const std::vector<Interval> intervals = {{0, 5}, {5, 9}};
+  const auto result = brooks_iyengar(intervals, 0);
+  ASSERT_TRUE(result.interval);
+  EXPECT_EQ(*result.interval, (Interval{5, 5}));
+  ASSERT_TRUE(result.estimate);
+  EXPECT_NEAR(*result.estimate, 5.0, 1e-9);
+}
+
+TEST(BrooksIyengar, RejectsInvalidInput) {
+  const std::vector<Interval> intervals = {{0, 1}, {1, 2}};
+  EXPECT_THROW((void)brooks_iyengar(intervals, -1), std::invalid_argument);
+  EXPECT_THROW((void)brooks_iyengar(intervals, 2), std::invalid_argument);
+  EXPECT_THROW((void)brooks_iyengar(std::vector<Interval>{}, 0), std::invalid_argument);
+}
+
+TEST(BrooksIyengar, ContainsTruthWithBoundedLiars) {
+  arsf::support::Rng rng{77};
+  for (int trial = 0; trial < 1000; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(3, 6));
+    const int f = max_bounded_f(n);
+    const int liars = static_cast<int>(rng.uniform_int(0, f));
+    std::vector<Interval> intervals;
+    for (int i = 0; i < n; ++i) {
+      const double width = rng.uniform_real(1.0, 8.0);
+      const double lo = i < liars ? rng.uniform_real(-20.0, 20.0)
+                                  : rng.uniform_real(-width, 0.0);
+      intervals.push_back({lo, lo + width});
+    }
+    const auto result = brooks_iyengar(intervals, f);
+    ASSERT_TRUE(result.interval);
+    EXPECT_TRUE(result.interval->contains(0.0)) << "trial " << trial;
+    ASSERT_TRUE(result.estimate);
+    EXPECT_TRUE(result.interval->contains(*result.estimate));
+  }
+}
+
+}  // namespace
+}  // namespace arsf

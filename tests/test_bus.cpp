@@ -1,0 +1,128 @@
+// Unit tests for the shared broadcast bus substrate (bus/bus.h): slotted
+// delivery, CAN priority arbitration, promiscuous snooping, frame logging.
+
+#include <gtest/gtest.h>
+
+#include "bus/bus.h"
+
+namespace arsf::bus {
+namespace {
+
+Frame make_frame(CanId id, std::size_t sender, std::size_t slot) {
+  Frame frame;
+  frame.can_id = id;
+  frame.sender = sender;
+  frame.slot = slot;
+  frame.interval = Interval{0.0, 1.0};
+  return frame;
+}
+
+TEST(Bus, BroadcastReachesAllListeners) {
+  SharedBus bus;
+  int count_a = 0;
+  int count_b = 0;
+  CallbackListener a{[&](const Frame&) { ++count_a; }};
+  CallbackListener b{[&](const Frame&) { ++count_b; }};
+  bus.attach(a);
+  bus.attach(b);
+  bus.broadcast(make_frame(0x10, 0, 0));
+  EXPECT_EQ(count_a, 1);
+  EXPECT_EQ(count_b, 1);
+  EXPECT_EQ(bus.stats().frames_delivered, 1u);
+}
+
+TEST(Bus, DetachStopsDelivery) {
+  SharedBus bus;
+  int count = 0;
+  CallbackListener listener{[&](const Frame&) { ++count; }};
+  bus.attach(listener);
+  bus.broadcast(make_frame(0x10, 0, 0));
+  bus.detach(listener);
+  bus.broadcast(make_frame(0x11, 1, 0));
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Bus, SlotDeliversOwnedFrame) {
+  SharedBus bus;
+  bus.queue(make_frame(0x20, 2, 1));
+  Frame delivered;
+  EXPECT_FALSE(bus.run_slot(0));           // nothing queued for slot 0
+  EXPECT_TRUE(bus.run_slot(1, &delivered));
+  EXPECT_EQ(delivered.sender, 2u);
+  EXPECT_EQ(bus.pending(), 0u);
+}
+
+TEST(Bus, ArbitrationLowestIdWins) {
+  SharedBus bus;
+  bus.queue(make_frame(0x300, 0, 0));
+  bus.queue(make_frame(0x100, 1, 0));  // higher priority (lower id)
+  bus.queue(make_frame(0x200, 2, 0));
+  Frame delivered;
+  ASSERT_TRUE(bus.run_slot(0, &delivered));
+  EXPECT_EQ(delivered.sender, 1u);
+  EXPECT_EQ(bus.stats().arbitration_conflicts, 2u);
+  // Losers retry in the next slot, again by priority.
+  ASSERT_TRUE(bus.run_slot(1, &delivered));
+  EXPECT_EQ(delivered.sender, 2u);
+  ASSERT_TRUE(bus.run_slot(2, &delivered));
+  EXPECT_EQ(delivered.sender, 0u);
+  EXPECT_EQ(bus.pending(), 0u);
+}
+
+TEST(Bus, ArbitrationTieBreaksBySender) {
+  const Frame a = make_frame(0x100, 3, 0);
+  const Frame b = make_frame(0x100, 1, 0);
+  EXPECT_TRUE(wins_arbitration(b, a));
+  EXPECT_FALSE(wins_arbitration(a, b));
+}
+
+TEST(Bus, SnooperSeesEverythingBeforeItsSlot) {
+  // The attacker's eavesdropping pattern: a listener accumulates every frame
+  // even though it never transmits.
+  SharedBus bus;
+  std::vector<std::size_t> seen;
+  CallbackListener snooper{[&](const Frame& frame) { seen.push_back(frame.sender); }};
+  bus.attach(snooper);
+  for (std::size_t slot = 0; slot < 4; ++slot) {
+    bus.queue(make_frame(static_cast<CanId>(0x100 + slot), slot, slot));
+    bus.run_slot(slot);
+  }
+  EXPECT_EQ(seen, (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(Bus, LogRecordsFramesInOrder) {
+  SharedBus bus{/*keep_log=*/true};
+  bus.broadcast(make_frame(0x1, 0, 0));
+  bus.broadcast(make_frame(0x2, 1, 1));
+  ASSERT_EQ(bus.log().size(), 2u);
+  EXPECT_EQ(bus.log()[0].sender, 0u);
+  EXPECT_EQ(bus.log()[1].sender, 1u);
+  bus.clear_log();
+  EXPECT_TRUE(bus.log().empty());
+}
+
+TEST(Bus, LogDisabled) {
+  SharedBus bus{/*keep_log=*/false};
+  bus.broadcast(make_frame(0x1, 0, 0));
+  EXPECT_TRUE(bus.log().empty());
+  EXPECT_EQ(bus.stats().frames_delivered, 1u);
+}
+
+TEST(Bus, RoundCounter) {
+  SharedBus bus;
+  bus.end_round();
+  bus.end_round();
+  EXPECT_EQ(bus.stats().rounds_completed, 2u);
+}
+
+TEST(Frame, ToStringContainsFields) {
+  Frame frame = make_frame(0xAB, 3, 2);
+  frame.measurement = 9.5;
+  const std::string text = to_string(frame);
+  EXPECT_NE(text.find("sender=3"), std::string::npos);
+  EXPECT_NE(text.find("slot=2"), std::string::npos);
+  EXPECT_NE(text.find("0xab"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace arsf::bus

@@ -1,0 +1,107 @@
+// Tests for the Table II case-study runner (vehicle/casestudy.h): the
+// paper's qualitative result — Ascending eliminates safety-bound violations,
+// Descending maximises them, Random sits in between — plus pipeline wiring.
+
+#include <gtest/gtest.h>
+
+#include "vehicle/casestudy.h"
+
+namespace arsf::vehicle {
+namespace {
+
+CaseStudyConfig quick_config(sched::ScheduleKind kind) {
+  CaseStudyConfig config;
+  config.schedule = kind;
+  config.rounds = 1200;
+  config.seed = 2024;
+  return config;
+}
+
+TEST(CaseStudy, AscendingEliminatesViolations) {
+  const CaseStudyResult result = run_case_study(quick_config(sched::ScheduleKind::kAscending));
+  EXPECT_EQ(result.rounds, 1200u);
+  EXPECT_DOUBLE_EQ(result.pct_upper, 0.0);
+  EXPECT_DOUBLE_EQ(result.pct_lower, 0.0);
+  EXPECT_EQ(result.detected_rounds, 0u);
+  EXPECT_FALSE(result.collided);
+}
+
+TEST(CaseStudy, TableIIOrdering) {
+  const CaseStudyResult ascending =
+      run_case_study(quick_config(sched::ScheduleKind::kAscending));
+  const CaseStudyResult descending =
+      run_case_study(quick_config(sched::ScheduleKind::kDescending));
+  const CaseStudyResult random = run_case_study(quick_config(sched::ScheduleKind::kRandom));
+
+  // Descending hands the attacker full knowledge: by far the most violations.
+  EXPECT_GT(descending.pct_upper, 5.0);
+  EXPECT_GT(descending.pct_lower, 5.0);
+  // Random sits strictly between the two fixed schedules (paper, Table II).
+  EXPECT_GT(random.pct_upper + random.pct_lower,
+            ascending.pct_upper + ascending.pct_lower);
+  EXPECT_LT(random.pct_upper + random.pct_lower,
+            descending.pct_upper + descending.pct_lower);
+  // The attack stays stealthy everywhere.
+  EXPECT_EQ(descending.detected_rounds, 0u);
+  EXPECT_EQ(random.detected_rounds, 0u);
+}
+
+TEST(CaseStudy, AttackedSensorIsAnEncoder) {
+  const CaseStudyResult result = run_case_study(quick_config(sched::ScheduleKind::kAscending));
+  ASSERT_EQ(result.attacked.size(), 1u);
+  // LandShark ids: 0 gps, 1 camera, 2/3 encoders (the most precise sensors).
+  EXPECT_GE(result.attacked[0], 2u);
+}
+
+TEST(CaseStudy, AttackInflatesFusedWidth) {
+  const CaseStudyResult attacked =
+      run_case_study(quick_config(sched::ScheduleKind::kDescending));
+  CaseStudyConfig clean_config = quick_config(sched::ScheduleKind::kDescending);
+  clean_config.attack_enabled = false;
+  const CaseStudyResult clean = run_case_study(clean_config);
+  EXPECT_GT(attacked.fused_width.mean(), clean.fused_width.mean() + 0.1);
+  EXPECT_DOUBLE_EQ(clean.pct_upper, 0.0);
+  EXPECT_DOUBLE_EQ(clean.pct_lower, 0.0);
+}
+
+TEST(CaseStudy, SpeedStaysNearTargetDespiteAttack) {
+  // The supervisor + controller keep the platoon near 10 mph even under the
+  // strongest schedule for the attacker.
+  const CaseStudyResult result =
+      run_case_study(quick_config(sched::ScheduleKind::kDescending));
+  EXPECT_NEAR(result.true_speed.mean(), 10.0, 0.2);
+  EXPECT_FALSE(result.collided);
+}
+
+TEST(CaseStudy, DeterministicGivenSeed) {
+  const CaseStudyResult a = run_case_study(quick_config(sched::ScheduleKind::kRandom));
+  const CaseStudyResult b = run_case_study(quick_config(sched::ScheduleKind::kRandom));
+  EXPECT_DOUBLE_EQ(a.pct_upper, b.pct_upper);
+  EXPECT_DOUBLE_EQ(a.pct_lower, b.pct_lower);
+  EXPECT_DOUBLE_EQ(a.fused_width.mean(), b.fused_width.mean());
+}
+
+TEST(CaseStudy, ReproduceTable2ReturnsAllSchedules) {
+  CaseStudyConfig base;
+  base.rounds = 300;
+  const auto rows = reproduce_table2(base);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].first, sched::ScheduleKind::kAscending);
+  EXPECT_EQ(rows[1].first, sched::ScheduleKind::kDescending);
+  EXPECT_EQ(rows[2].first, sched::ScheduleKind::kRandom);
+  EXPECT_EQ(paper_table2_reference().size(), 3u);
+}
+
+TEST(Pipeline, MeasureProducesValidRound) {
+  LandSharkSensing sensing = make_landshark_sensing();
+  SpeedPipeline pipeline{sensing, {}, nullptr};
+  support::Rng rng{5};
+  const auto result = pipeline.measure(10.0, sched::ascending_order(sensing.config), rng, 0);
+  ASSERT_TRUE(result.fusion.interval);
+  EXPECT_TRUE(result.fusion.interval->contains(10.0));
+  ASSERT_TRUE(result.estimate);
+  EXPECT_NEAR(*result.estimate, 10.0, 0.6);
+}
+
+}  // namespace
+}  // namespace arsf::vehicle

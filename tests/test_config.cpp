@@ -1,0 +1,59 @@
+// Unit tests for SystemConfig validation and tick-width derivation
+// (core/config.h).
+
+#include <gtest/gtest.h>
+
+#include "core/config.h"
+
+namespace arsf {
+namespace {
+
+TEST(Config, MakeConfigDefaults) {
+  const SystemConfig config = make_config({5.0, 11.0, 17.0});
+  EXPECT_EQ(config.n(), 3u);
+  EXPECT_EQ(config.f, 1);  // ceil(3/2) - 1
+  EXPECT_EQ(config.sensors[0].name, "s0");
+  EXPECT_EQ(config.widths(), (std::vector<double>{5, 11, 17}));
+}
+
+TEST(Config, MakeConfigExplicitF) {
+  const SystemConfig config = make_config({1.0, 1.0, 1.0, 1.0, 1.0}, 2);
+  EXPECT_EQ(config.f, 2);
+}
+
+TEST(Config, ValidateRejectsBadF) {
+  // f must stay below ceil(n/2) for the boundedness guarantee.
+  EXPECT_THROW((void)make_config({1.0, 2.0, 3.0}, 2), std::invalid_argument);
+  SystemConfig config = make_config({1.0, 2.0, 3.0});
+  config.f = -1;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(Config, ValidateRejectsBadWidths) {
+  SystemConfig config;
+  config.sensors = {{"a", 1.0, false}, {"b", 0.0, false}};
+  config.f = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.sensors.clear();
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(Config, TickWidthsExact) {
+  const SystemConfig config = make_config({1.0, 2.0, 0.2, 0.2}, 1);
+  const auto ticks = tick_widths(config, Quantizer{0.01});
+  EXPECT_EQ(ticks, (std::vector<Tick>{100, 200, 20, 20}));
+}
+
+TEST(Config, TickWidthsRejectOffGrid) {
+  const SystemConfig config = make_config({1.0, 0.25, 0.2}, 1);
+  EXPECT_THROW((void)tick_widths(config, Quantizer{0.1}), std::invalid_argument);
+}
+
+TEST(Config, SensorSpecValidity) {
+  EXPECT_TRUE((SensorSpec{"x", 0.5, false}).valid());
+  EXPECT_FALSE((SensorSpec{"x", 0.0, false}).valid());
+  EXPECT_FALSE((SensorSpec{"x", -1.0, true}).valid());
+}
+
+}  // namespace
+}  // namespace arsf

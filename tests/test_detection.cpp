@@ -1,0 +1,71 @@
+// Unit tests for the non-overlap detection mechanism (core/detection.h):
+// "if an interval does not intersect the fusion interval, then it must be
+//  compromised" (paper, Section III-A-1).
+
+#include <gtest/gtest.h>
+
+#include "core/detection.h"
+
+namespace arsf {
+namespace {
+
+TEST(Detection, FlagsOutlier) {
+  // Four agreeing sensors plus one far-off interval, f=1.
+  const std::vector<Interval> intervals = {{0, 2}, {1, 3}, {0.5, 2.5}, {1, 2}, {10, 12}};
+  const auto report = fuse_and_detect(intervals, 1);
+  EXPECT_FALSE(report.fusion_empty);
+  EXPECT_EQ(report.num_flagged, 1);
+  EXPECT_TRUE(report.flagged[4]);
+  EXPECT_TRUE(report.any());
+}
+
+TEST(Detection, NoFalsePositivesWhenAllCorrect) {
+  // All intervals share the true value 1.5; nothing may be flagged for any f.
+  const std::vector<Interval> intervals = {{1, 2}, {0, 3}, {1.4, 1.6}, {-1, 4}};
+  for (int f = 0; f < 4; ++f) {
+    const auto report = fuse_and_detect(intervals, f);
+    EXPECT_EQ(report.num_flagged, 0) << "f=" << f;
+    EXPECT_FALSE(report.any());
+  }
+}
+
+TEST(Detection, TangentIntervalIsNotFlagged) {
+  // Touching the fusion interval at a single point counts as intersecting —
+  // the attacker's maximal stealthy placement must survive detection.
+  const std::vector<Interval> intervals = {{0, 4}, {1, 5}, {5, 9}};
+  const auto fusion = fuse(intervals, 1);
+  ASSERT_TRUE(fusion.interval);
+  EXPECT_DOUBLE_EQ(fusion.interval->hi, 5.0);
+  const auto report = detect(intervals, fusion);
+  EXPECT_EQ(report.num_flagged, 0);
+}
+
+TEST(Detection, EmptyFusionIsInconclusive) {
+  const std::vector<Interval> intervals = {{0, 1}, {10, 11}, {20, 21}};
+  const auto report = fuse_and_detect(intervals, 1);
+  EXPECT_TRUE(report.fusion_empty);
+  EXPECT_EQ(report.num_flagged, 0);
+}
+
+TEST(Detection, TickPathMatchesDoublePath) {
+  const std::vector<Interval> doubles = {{0, 4}, {1, 5}, {9, 13}};
+  const std::vector<TickInterval> ticks = {{0, 4}, {1, 5}, {9, 13}};
+  const auto double_report = fuse_and_detect(doubles, 1);
+  const TickInterval fused = fused_interval_ticks(ticks, 1);
+  const auto tick_report = detect_ticks(ticks, fused);
+  ASSERT_EQ(double_report.flagged.size(), tick_report.flagged.size());
+  for (std::size_t i = 0; i < ticks.size(); ++i) {
+    EXPECT_EQ(double_report.flagged[i], tick_report.flagged[i]) << "sensor " << i;
+  }
+}
+
+TEST(Detection, MultipleOutliers) {
+  const std::vector<Interval> intervals = {{0, 2}, {0.5, 2.5}, {1, 3}, {-20, -18}, {20, 22}};
+  const auto report = fuse_and_detect(intervals, 2);
+  EXPECT_EQ(report.num_flagged, 2);
+  EXPECT_TRUE(report.flagged[3]);
+  EXPECT_TRUE(report.flagged[4]);
+}
+
+}  // namespace
+}  // namespace arsf

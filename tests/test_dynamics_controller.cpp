@@ -1,0 +1,104 @@
+// Unit tests for the vehicle substrate: longitudinal dynamics, PI cruise
+// controller and the safety supervisor (vehicle/dynamics.h, controller.h).
+
+#include <gtest/gtest.h>
+
+#include "vehicle/controller.h"
+#include "vehicle/dynamics.h"
+
+namespace arsf::vehicle {
+namespace {
+
+TEST(Dynamics, DragDeceleratesWithoutInput) {
+  Longitudinal model{VehicleParams{.drag = 0.1, .initial_speed = 10.0}};
+  for (int i = 0; i < 10; ++i) model.step(0.0, 0.1);
+  EXPECT_LT(model.speed(), 10.0);
+  EXPECT_GT(model.speed(), 8.5);
+}
+
+TEST(Dynamics, CommandSaturation) {
+  Longitudinal model{VehicleParams{.max_accel = 2.0, .max_brake = 4.0}};
+  model.step(100.0, 1.0);  // clamped to +2
+  EXPECT_NEAR(model.speed(), 2.0, 1e-9);
+  model.step(-100.0, 0.25);  // clamped to -4
+  EXPECT_NEAR(model.speed(), 2.0 - 0.25 * (4.0 + 0.08 * 2.0), 0.05);
+}
+
+TEST(Dynamics, NoReverse) {
+  Longitudinal model{VehicleParams{.initial_speed = 0.5}};
+  for (int i = 0; i < 20; ++i) model.step(-5.0, 0.5);
+  EXPECT_DOUBLE_EQ(model.speed(), 0.0);
+}
+
+TEST(Dynamics, EquilibriumUnderFeedforward) {
+  VehicleParams params{.drag = 0.08, .initial_speed = 10.0};
+  Longitudinal model{params};
+  for (int i = 0; i < 100; ++i) model.step(params.drag * 10.0, 0.1);
+  EXPECT_NEAR(model.speed(), 10.0, 1e-9);
+}
+
+TEST(PIController, ConvergesToTarget) {
+  Longitudinal model{VehicleParams{.drag = 0.08, .initial_speed = 0.0}};
+  PIController controller{1.0, 0.5, 3.0};
+  for (int i = 0; i < 600; ++i) {
+    const double command = controller.update(10.0 - model.speed(), 0.1);
+    model.step(command, 0.1);
+  }
+  EXPECT_NEAR(model.speed(), 10.0, 0.05);
+}
+
+TEST(PIController, AntiWindupBoundsIntegral) {
+  PIController controller{1.0, 1.0, 2.0};
+  // Saturate with a huge error for many steps; the integral must not grow.
+  for (int i = 0; i < 100; ++i) (void)controller.update(1000.0, 0.1);
+  EXPECT_LE(controller.integral(), 2.0 / 1.0 + 1e-9);
+  // After saturation, recovery is immediate rather than delayed by windup.
+  const double command = controller.update(-1.0, 0.1);
+  EXPECT_LT(command, 2.0);
+}
+
+TEST(PIController, ResetClearsIntegral) {
+  PIController controller{0.0, 1.0, 10.0};
+  (void)controller.update(2.0, 1.0);
+  EXPECT_GT(controller.integral(), 0.0);
+  controller.reset();
+  EXPECT_DOUBLE_EQ(controller.integral(), 0.0);
+}
+
+TEST(SafetyEnvelope, ViolationPredicates) {
+  const SafetyEnvelope envelope{10.0, 0.5, 0.5};
+  EXPECT_DOUBLE_EQ(envelope.upper_bound(), 10.5);
+  EXPECT_DOUBLE_EQ(envelope.lower_bound(), 9.5);
+  EXPECT_TRUE(envelope.violates_upper(Interval{9.0, 10.6}));
+  EXPECT_FALSE(envelope.violates_upper(Interval{9.0, 10.5}));  // boundary ok
+  EXPECT_TRUE(envelope.violates_lower(Interval{9.4, 10.0}));
+  EXPECT_FALSE(envelope.violates_lower(Interval{9.5, 10.0}));
+  EXPECT_FALSE(envelope.violates_upper(Interval::empty_interval()));
+}
+
+TEST(SafetySupervisor, CountsAndPreempts) {
+  SafetySupervisor supervisor{SafetyEnvelope{10.0, 0.5, 0.5}};
+  // In-envelope: command passes through.
+  EXPECT_DOUBLE_EQ(supervisor.supervise(1.5, Interval{9.6, 10.4}), 1.5);
+  // Upper violation: braking preemption (command forced <= -1).
+  EXPECT_LE(supervisor.supervise(2.0, Interval{9.6, 11.0}), -1.0);
+  // Lower violation: acceleration preemption (command forced >= +1).
+  EXPECT_GE(supervisor.supervise(-2.0, Interval{9.0, 10.4}), 1.0);
+  EXPECT_EQ(supervisor.upper_violations(), 1u);
+  EXPECT_EQ(supervisor.lower_violations(), 1u);
+  EXPECT_EQ(supervisor.rounds(), 3u);
+  supervisor.reset_counts();
+  EXPECT_EQ(supervisor.rounds(), 0u);
+}
+
+TEST(SafetySupervisor, BothSidesViolatedPassesCommand) {
+  // A fusion interval violating both bounds gives no directional
+  // information; the supervisor counts both and leaves the command alone.
+  SafetySupervisor supervisor{SafetyEnvelope{10.0, 0.5, 0.5}};
+  EXPECT_DOUBLE_EQ(supervisor.supervise(0.7, Interval{9.0, 11.0}), 0.7);
+  EXPECT_EQ(supervisor.upper_violations(), 1u);
+  EXPECT_EQ(supervisor.lower_violations(), 1u);
+}
+
+}  // namespace
+}  // namespace arsf::vehicle

@@ -1,0 +1,119 @@
+// Unit tests for the exact enumeration engine (sim/enumerate.h).
+
+#include <gtest/gtest.h>
+
+#include "sim/enumerate.h"
+
+namespace arsf::sim {
+namespace {
+
+TEST(Enumerate, WorldCount) {
+  EXPECT_EQ(world_count(make_config({5.0, 11.0, 17.0}), Quantizer{1.0}), 6u * 12u * 18u);
+  EXPECT_EQ(world_count(make_config({1.0, 1.0, 1.0}), Quantizer{0.5}), 27u);
+}
+
+TEST(Enumerate, NoAttackMatchesDirectAverage) {
+  // Independent direct computation of E|S| for n=3 f=1 all-correct.
+  const SystemConfig system = make_config({3.0, 4.0, 5.0});
+  double total = 0.0;
+  std::uint64_t count = 0;
+  for (Tick a = -3; a <= 0; ++a) {
+    for (Tick b = -4; b <= 0; ++b) {
+      for (Tick c = -5; c <= 0; ++c) {
+        const std::vector<TickInterval> world = {{a, a + 3}, {b, b + 4}, {c, c + 5}};
+        total += static_cast<double>(fused_width_ticks(world, 1));
+        ++count;
+      }
+    }
+  }
+  EnumerateConfig config;
+  config.system = system;
+  config.order = sched::ascending_order(system);
+  const EnumerateResult result = enumerate_expected_width(config);
+  EXPECT_EQ(result.worlds, count);
+  EXPECT_NEAR(result.expected_width, total / static_cast<double>(count), 1e-12);
+  EXPECT_NEAR(result.expected_width_no_attack, result.expected_width, 1e-12);
+  EXPECT_EQ(result.detected_worlds, 0u);
+}
+
+TEST(Enumerate, AttackNeverShrinksExpectation) {
+  const SystemConfig system = make_config({4.0, 6.0, 9.0});
+  for (const auto& order : {sched::ascending_order(system), sched::descending_order(system)}) {
+    EnumerateConfig config;
+    config.system = system;
+    config.order = order;
+    config.attacked = {0};
+    attack::ExpectationPolicy policy;
+    config.policy = &policy;
+    const EnumerateResult result = enumerate_expected_width(config);
+    EXPECT_GE(result.expected_width, result.expected_width_no_attack - 1e-12);
+    EXPECT_EQ(result.detected_worlds, 0u);
+    EXPECT_EQ(result.empty_fusion_worlds, 0u);
+  }
+}
+
+TEST(Enumerate, OracleDominatesBayesian) {
+  const SystemConfig system = make_config({4.0, 6.0, 9.0});
+  EnumerateConfig config;
+  config.system = system;
+  config.order = sched::ascending_order(system);
+  config.attacked = {0};
+
+  attack::ExpectationPolicy bayes;
+  config.policy = &bayes;
+  const double bayes_width = enumerate_expected_width(config).expected_width;
+
+  attack::OraclePolicy oracle;
+  config.policy = &oracle;
+  config.oracle = true;
+  const double oracle_width = enumerate_expected_width(config).expected_width;
+
+  EXPECT_GE(oracle_width, bayes_width - 1e-9);
+}
+
+TEST(Enumerate, StepScalesResults) {
+  // Same configuration expressed on a finer grid: expectation in value units
+  // converges to the same scale (not equal — finer grid, more placements —
+  // but must stay within a tick of the coarse result).
+  const SystemConfig system = make_config({2.0, 3.0, 4.0});
+  EnumerateConfig coarse;
+  coarse.system = system;
+  coarse.order = sched::ascending_order(system);
+  const double coarse_width = enumerate_expected_width(coarse).expected_width;
+
+  EnumerateConfig fine = coarse;
+  fine.quant = Quantizer{0.5};
+  const double fine_width = enumerate_expected_width(fine).expected_width;
+  EXPECT_NEAR(fine_width, coarse_width, 0.5);
+}
+
+TEST(Enumerate, GuardsAgainstHugeWorlds) {
+  EnumerateConfig config;
+  config.system = make_config({100.0, 100.0, 100.0, 100.0, 100.0});
+  config.order = sched::ascending_order(config.system);
+  config.max_worlds = 1000;
+  EXPECT_THROW((void)enumerate_expected_width(config), std::invalid_argument);
+}
+
+TEST(Enumerate, RejectsBadOrder) {
+  EnumerateConfig config;
+  config.system = make_config({2.0, 3.0, 4.0});
+  config.order = {0, 0, 1};
+  EXPECT_THROW((void)enumerate_expected_width(config), std::invalid_argument);
+}
+
+TEST(Enumerate, MinMaxBracketMean) {
+  const SystemConfig system = make_config({3.0, 5.0, 7.0});
+  EnumerateConfig config;
+  config.system = system;
+  config.order = sched::descending_order(system);
+  config.attacked = {0};
+  attack::ExpectationPolicy policy;
+  config.policy = &policy;
+  const EnumerateResult result = enumerate_expected_width(config);
+  EXPECT_LE(result.min_width, result.expected_width);
+  EXPECT_GE(result.max_width, result.expected_width);
+}
+
+}  // namespace
+}  // namespace arsf::sim

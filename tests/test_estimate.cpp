@@ -1,0 +1,74 @@
+// Unit tests for the point estimators (core/estimate.h), including the
+// resilience property that motivates fusing before estimating.
+
+#include <gtest/gtest.h>
+
+#include "core/estimate.h"
+
+namespace arsf {
+namespace {
+
+TEST(Estimate, FusedMidpoint) {
+  const std::vector<Interval> intervals = {{0, 6}, {1, 8}, {2, 10}};
+  const auto value = fused_midpoint(intervals, 1);
+  ASSERT_TRUE(value);
+  EXPECT_DOUBLE_EQ(*value, 4.5);  // fusion = [1, 8]
+}
+
+TEST(Estimate, FusedMidpointEmptyRegion) {
+  const std::vector<Interval> intervals = {{0, 1}, {10, 11}, {20, 21}};
+  EXPECT_FALSE(fused_midpoint(intervals, 1));
+}
+
+TEST(Estimate, MeanAndMedian) {
+  const std::vector<Interval> intervals = {{0, 2}, {2, 4}, {7, 9}};  // midpoints 1, 3, 8
+  EXPECT_DOUBLE_EQ(mean_midpoint(intervals), 4.0);
+  EXPECT_DOUBLE_EQ(median_midpoint(intervals), 3.0);
+}
+
+TEST(Estimate, WeightedPrefersPreciseSensors) {
+  // Widths 1 (midpoint 10) and 10 (midpoint 11): the precise sensor
+  // dominates the weighted mean, pulling it towards 10.
+  const std::vector<Interval> intervals = {{9.5, 10.5}, {6.0, 16.0}};
+  const double weighted = weighted_midpoint(intervals);
+  EXPECT_NEAR(weighted, 10.0 + 1.0 / 11.0, 1e-9);  // weights 1 vs 1/10
+  EXPECT_LT(weighted, mean_midpoint(intervals));   // mean = 10.5
+}
+
+TEST(Estimate, WeightedZeroWidthDominates) {
+  const std::vector<Interval> intervals = {{7, 7}, {0, 10}};
+  EXPECT_DOUBLE_EQ(weighted_midpoint(intervals), 7.0);
+}
+
+TEST(Estimate, DispatchMatchesDirectCalls) {
+  const std::vector<Interval> intervals = {{0, 2}, {1, 3}, {2, 6}};
+  EXPECT_EQ(estimate(intervals, 1, Estimator::kFusedMidpoint), fused_midpoint(intervals, 1));
+  EXPECT_DOUBLE_EQ(*estimate(intervals, 1, Estimator::kMeanMidpoint), mean_midpoint(intervals));
+  EXPECT_DOUBLE_EQ(*estimate(intervals, 1, Estimator::kMedianMidpoint),
+                   median_midpoint(intervals));
+  EXPECT_DOUBLE_EQ(*estimate(intervals, 1, Estimator::kWeightedMidpoint),
+                   weighted_midpoint(intervals));
+}
+
+TEST(Estimate, ResilienceOfFusedMidpointVsMean) {
+  // True value 0; three honest sensors and one stealthy attacked interval
+  // pushed as far right as it can while still touching the fusion interval.
+  // The mean estimator absorbs the full bias; the fused midpoint barely
+  // moves because the fusion interval is pinned by the honest majority.
+  const std::vector<Interval> honest = {{-1, 1}, {-0.8, 1.2}, {-1.2, 0.8}};
+  std::vector<Interval> attacked = honest;
+  attacked.push_back(Interval{0.8, 2.8});  // touches the fusion region at 0.8
+  const double fused_bias = *fused_midpoint(attacked, 1);
+  const double mean_bias = mean_midpoint(attacked);
+  EXPECT_LT(std::abs(fused_bias), std::abs(mean_bias));
+}
+
+TEST(Estimate, Names) {
+  EXPECT_EQ(to_string(Estimator::kFusedMidpoint), "fused-midpoint");
+  EXPECT_EQ(to_string(Estimator::kMeanMidpoint), "mean-midpoint");
+  EXPECT_EQ(to_string(Estimator::kMedianMidpoint), "median-midpoint");
+  EXPECT_EQ(to_string(Estimator::kWeightedMidpoint), "weighted-midpoint");
+}
+
+}  // namespace
+}  // namespace arsf

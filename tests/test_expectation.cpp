@@ -1,0 +1,212 @@
+// Unit tests for the optimising policies (attack/expectation.h): problem (1)
+// exactness with full knowledge, problem (2) behaviour under uncertainty,
+// memoisation, and the oracle upper bound.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "attack/expectation.h"
+#include "core/fusion.h"
+#include "test_helpers.h"
+
+namespace arsf::attack {
+namespace {
+
+using testing::make_context;
+using testing::make_setup;
+
+// Brute-force optimum of problem (1): attacker sees everything, single
+// attacked interval; maximise the final fused width over every stealthy
+// placement on a wide grid.
+Tick brute_force_full_info(const AttackSetup& setup,
+                           const std::vector<TickInterval>& readings, SensorId attacked_id) {
+  const std::size_t slot = sched::slot_of(setup.order, attacked_id);
+  const auto ctx = make_context(setup, readings, slot);
+  Tick best = -1;
+  for (Tick lo = -60; lo <= 60; ++lo) {
+    const TickInterval candidate{lo, lo + setup.widths[attacked_id]};
+    const std::vector<TickInterval> plan = {candidate};
+    if (!plan_feasible(ctx, plan)) continue;
+    std::vector<TickInterval> all = readings;
+    all[attacked_id] = candidate;
+    best = std::max(best, fused_width_ticks(all, setup.f));
+  }
+  return best;
+}
+
+TEST(Expectation, SolvesProblem1WhenLast) {
+  // Attacker (width 5) transmits last and sees both correct intervals: the
+  // policy must achieve the brute-force optimum of problem (1).
+  const auto setup = make_setup({5, 11, 17}, {0}, {2, 1, 0});
+  support::Rng rng{1};
+  support::Rng world_rng{99};
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<TickInterval> readings(3);
+    for (SensorId id = 0; id < 3; ++id) {
+      const Tick lo = world_rng.uniform_int(-setup.widths[id], 0);
+      readings[id] = TickInterval{lo, lo + setup.widths[id]};
+    }
+    ExpectationPolicy policy;
+    const auto ctx = make_context(setup, readings, 2);
+    const TickInterval decision = policy.decide(ctx, rng);
+    std::vector<TickInterval> all = readings;
+    all[0] = decision;
+    const Tick achieved = fused_width_ticks(all, setup.f);
+    const Tick optimum = brute_force_full_info(setup, readings, 0);
+    EXPECT_EQ(achieved, optimum) << "trial " << trial;
+  }
+}
+
+TEST(Expectation, PassiveFirstSlotWithNoSlackSendsTruth) {
+  // fa=1, attacker first: delta is her own reading and has her full width,
+  // so the only stealthy interval is the truth (Table I's Ascending pin).
+  const auto setup = make_setup({5, 11, 17}, {0}, {0, 1, 2});
+  const std::vector<TickInterval> readings = {{-4, 1}, {-5, 6}, {-10, 7}};
+  ExpectationPolicy policy;
+  support::Rng rng{1};
+  const auto ctx = make_context(setup, readings, 0);
+  EXPECT_EQ(policy.decide(ctx, rng), readings[0]);
+}
+
+TEST(Expectation, TwoCompromisedGainSlackFromDelta) {
+  // fa=2: delta is the intersection of two width-5 readings, so unless the
+  // readings coincide there is room to shift while containing delta.
+  const auto setup = make_setup({5, 5, 5, 14, 17}, {0, 1}, {0, 1, 2, 3, 4}, 2);
+  const std::vector<TickInterval> readings = {{-5, 0}, {-2, 3}, {-4, 1}, {-10, 4}, {-12, 5}};
+  // delta = [-2, 0].
+  ExpectationPolicy policy;
+  support::Rng rng{1};
+  const auto ctx = make_context(setup, readings, 0);
+  const TickInterval decision = policy.decide(ctx, rng);
+  EXPECT_TRUE(decision.contains(TickInterval{-2, 0}));  // passive certificate
+  EXPECT_EQ(decision.width(), 5);
+}
+
+TEST(Expectation, MemoizationReusesCanonicalStates) {
+  const auto setup = make_setup({5, 11, 17}, {0}, {0, 1, 2});
+  ExpectationPolicy policy;
+  support::Rng rng{1};
+  const std::vector<TickInterval> readings_a = {{-4, 1}, {-5, 6}, {-10, 7}};
+  const auto ctx_a = make_context(setup, readings_a, 0);
+  (void)policy.decide(ctx_a, rng);
+  const std::size_t after_first = policy.memo_size();
+  EXPECT_EQ(after_first, 1u);
+  // A translated world must hit the same canonical entry.
+  std::vector<TickInterval> readings_b;
+  for (const auto& iv : readings_a) readings_b.push_back(iv.translated(7));
+  const auto ctx_b = make_context(setup, readings_b, 0);
+  const TickInterval decision_b = policy.decide(ctx_b, rng);
+  EXPECT_EQ(policy.memo_size(), after_first);
+  // And the decision must be the translated decision.
+  const TickInterval decision_a = policy.decide(ctx_a, rng);
+  EXPECT_EQ(decision_b, decision_a.translated(7));
+}
+
+TEST(Expectation, ResetClearsMemo) {
+  const auto setup = make_setup({5, 11, 17}, {0}, {0, 1, 2});
+  ExpectationPolicy policy;
+  support::Rng rng{1};
+  const std::vector<TickInterval> readings = {{-4, 1}, {-5, 6}, {-10, 7}};
+  (void)policy.decide(make_context(setup, readings, 0), rng);
+  EXPECT_GT(policy.memo_size(), 0u);
+  policy.reset();
+  EXPECT_EQ(policy.memo_size(), 0u);
+}
+
+TEST(Expectation, ExpectedWidthOfPlanMatchesManualAverage) {
+  // One unseen width-2 sensor; verify the posterior average by hand.
+  const auto setup = make_setup({2, 3, 2}, {0}, {0, 1, 2});
+  const std::vector<TickInterval> readings = {{-1, 1}, {-2, 1}, {-1, 1}};
+  const auto ctx = make_context(setup, readings, 0);
+  ExpectationPolicy policy;
+  const std::vector<TickInterval> plan = {readings[0]};
+
+  // Manual: t uniform over delta=[-1,1]; unseen: s1 (width 3) lower in
+  // [t-3, t]; s2 (width 2) lower in [t-2, t]; fixed: plan = [-1,1]; f=1.
+  double manual_total = 0.0;
+  std::size_t manual_count = 0;
+  for (Tick t = -1; t <= 1; ++t) {
+    for (Tick lo1 = t - 3; lo1 <= t; ++lo1) {
+      for (Tick lo2 = t - 2; lo2 <= t; ++lo2) {
+        const std::vector<TickInterval> all = {{-1, 1}, {lo1, lo1 + 3}, {lo2, lo2 + 2}};
+        const Tick width = fused_width_ticks(all, 1);
+        manual_total += width > 0 ? static_cast<double>(width) : 0.0;
+        ++manual_count;
+      }
+    }
+  }
+  const double manual = manual_total / static_cast<double>(manual_count);
+  EXPECT_NEAR(policy.expected_width_of_plan(ctx, plan), manual, 1e-12);
+}
+
+TEST(Expectation, SampledCompletionsApproximateExact) {
+  const auto setup = make_setup({5, 11, 17}, {0}, {1, 0, 2});
+  const std::vector<TickInterval> readings = {{-4, 1}, {-5, 6}, {-10, 7}};
+  const auto ctx = make_context(setup, readings, 1);
+
+  ExpectationPolicy exact;
+  ExpectationOptions sampled_options;
+  sampled_options.max_completions = 400;
+  ExpectationPolicy sampled{sampled_options};
+
+  const std::vector<TickInterval> plan = {readings[0]};
+  const double exact_value = exact.expected_width_of_plan(ctx, plan);
+  const double sampled_value = sampled.expected_width_of_plan(ctx, plan);
+  EXPECT_NEAR(sampled_value, exact_value, 0.15 * exact_value + 0.5);
+}
+
+TEST(Expectation, OracleAtLeastAsStrongAsBayesian) {
+  // With the actual future placements revealed, the oracle's achieved width
+  // must never fall below the honest Bayesian attacker's on the same world.
+  const auto setup = make_setup({5, 11, 17}, {0}, {1, 0, 2});
+  support::Rng rng{3};
+  support::Rng world_rng{17};
+  double oracle_total = 0.0;
+  double bayes_total = 0.0;
+  for (int trial = 0; trial < 60; ++trial) {
+    std::vector<TickInterval> readings(3);
+    for (SensorId id = 0; id < 3; ++id) {
+      const Tick lo = world_rng.uniform_int(-setup.widths[id], 0);
+      readings[id] = TickInterval{lo, lo + setup.widths[id]};
+    }
+    const auto ctx = make_context(setup, readings, 1);
+    ExpectationPolicy bayes;
+    OraclePolicy oracle;
+    auto achieved = [&](AttackPolicy& policy) {
+      std::vector<TickInterval> all = readings;
+      all[0] = policy.decide(ctx, rng);
+      const Tick width = fused_width_ticks(all, setup.f);
+      return width > 0 ? static_cast<double>(width) : 0.0;
+    };
+    bayes_total += achieved(bayes);
+    oracle_total += achieved(oracle);
+  }
+  EXPECT_GE(oracle_total, bayes_total - 1e-9);
+}
+
+TEST(Expectation, RandomTieBreakExploresBothSides) {
+  // A symmetric full-information state has left- and right-extending optima;
+  // with random_tie_break the policy must pick both across repetitions.
+  const auto setup = make_setup({4, 8, 8}, {0}, {2, 1, 0});
+  const std::vector<TickInterval> readings = {{-2, 2}, {-4, 4}, {-4, 4}};
+  ExpectationOptions options;
+  options.random_tie_break = true;
+  options.memoize = false;
+  ExpectationPolicy policy{options};
+  support::Rng rng{11};
+  std::set<Tick> lows;
+  for (int i = 0; i < 60; ++i) {
+    const auto ctx = make_context(setup, readings, 2);
+    lows.insert(policy.decide(ctx, rng).lo);
+  }
+  EXPECT_GT(lows.size(), 1u);
+}
+
+TEST(Expectation, FactoryNames) {
+  EXPECT_EQ(make_expectation_policy()->name(), "expectation");
+  EXPECT_EQ(make_oracle_policy()->name(), "oracle");
+}
+
+}  // namespace
+}  // namespace arsf::attack

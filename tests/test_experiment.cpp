@@ -1,0 +1,76 @@
+// Tests for the Table I experiment harness (sim/experiment.h) and the
+// schedule-comparison plumbing it relies on.
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.h"
+
+namespace arsf::sim {
+namespace {
+
+TEST(Experiment, PaperConfigsMatchTable1Layout) {
+  const auto configs = paper_table1_configs();
+  const auto reference = paper_table1_reference();
+  ASSERT_EQ(configs.size(), 8u);
+  ASSERT_EQ(reference.size(), 8u);
+  // n ranges over 3..5, fa over 1..2, widths within the paper's {5..20}
+  // step-3 grid, and fa <= f = ceil(n/2)-1.
+  for (const auto& [widths, fa] : configs) {
+    EXPECT_GE(widths.size(), 3u);
+    EXPECT_LE(widths.size(), 5u);
+    EXPECT_GE(fa, 1u);
+    EXPECT_LE(static_cast<int>(fa), max_bounded_f(static_cast<int>(widths.size())));
+    for (double w : widths) {
+      EXPECT_GE(w, 5.0);
+      EXPECT_LE(w, 20.0);
+      EXPECT_DOUBLE_EQ(std::fmod(w - 5.0, 3.0), 0.0);  // 5, 8, 11, 14, 17, 20
+    }
+  }
+  // The paper's own rows satisfy its headline claim.
+  for (const auto& row : reference) EXPECT_GE(row.descending, row.ascending);
+}
+
+TEST(Experiment, RowIsDeterministic) {
+  const std::vector<double> widths = {5, 11, 17};
+  const Table1Row a = compare_schedules(widths, 1);
+  const Table1Row b = compare_schedules(widths, 1);
+  EXPECT_DOUBLE_EQ(a.e_ascending, b.e_ascending);
+  EXPECT_DOUBLE_EQ(a.e_descending, b.e_descending);
+  EXPECT_EQ(a.worlds, b.worlds);
+}
+
+TEST(Experiment, FinerStepRefinesNotBreaks) {
+  // Halving the grid step doubles the tick widths; the expectation in value
+  // units must stay close (the discretisation converges).
+  const std::vector<double> widths = {3, 4, 5};
+  const Table1Row coarse = compare_schedules(widths, 1, {}, 1.0);
+  const Table1Row fine = compare_schedules(widths, 1, {}, 0.5);
+  EXPECT_NEAR(fine.e_ascending, coarse.e_ascending, 0.5);
+  EXPECT_NEAR(fine.e_descending, coarse.e_descending, 0.8);
+  EXPECT_GE(fine.e_descending, fine.e_ascending - 1e-9);
+}
+
+TEST(Experiment, PolicyOptionsThreadThrough) {
+  // Sampled completions with a tight budget still produce a valid row (the
+  // values may differ slightly from exact, but ordering and stealth hold).
+  attack::ExpectationOptions options;
+  options.max_completions = 64;
+  const std::vector<double> widths = {5, 8, 11};
+  const Table1Row row = compare_schedules(widths, 1, options);
+  EXPECT_EQ(row.detected, 0u);
+  EXPECT_GE(row.e_descending, row.e_ascending - 0.3);
+  EXPECT_GT(row.e_ascending, 0.0);
+}
+
+TEST(Experiment, Fa2UsesJointPlanning) {
+  // A fa=2 row runs end-to-end with zero detections and a defensible
+  // ordering (descending at least ascending).
+  const std::vector<double> widths = {4, 4, 5, 6, 7};
+  const Table1Row row = compare_schedules(widths, 2);
+  EXPECT_EQ(row.detected, 0u);
+  EXPECT_GE(row.e_descending, row.e_ascending - 1e-9);
+  EXPECT_GE(row.e_ascending, row.e_no_attack - 1e-12);
+}
+
+}  // namespace
+}  // namespace arsf::sim

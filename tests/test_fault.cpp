@@ -1,0 +1,134 @@
+// Unit tests for random fault injection (sensors/fault.h) — the paper's
+// announced extension — and its interaction with fusion and detection.
+
+#include <gtest/gtest.h>
+
+#include "core/detection.h"
+#include "sensors/fault.h"
+#include "sensors/models.h"
+
+namespace arsf::sensors {
+namespace {
+
+AbstractSensor unit_sensor() {
+  return AbstractSensor{SensorSpec{"s", 1.0, false}, NoiseModel::kUniform};
+}
+
+TEST(Fault, NoneIsIdentity) {
+  FaultInjector injector{{FaultProcess{}}, 1};
+  support::Rng rng{1};
+  const auto sensor = unit_sensor();
+  const Reading healthy = sensor.sample(10.0, rng);
+  const Reading result = injector.apply(0, sensor, healthy, 0);
+  EXPECT_DOUBLE_EQ(result.measurement, healthy.measurement);
+  EXPECT_FALSE(injector.faulty(0));
+}
+
+TEST(Fault, OffsetBreaksGuaranteeWhileActive) {
+  FaultProcess process;
+  process.kind = FaultKind::kOffset;
+  process.p_enter = 1.0;   // fault immediately
+  process.p_recover = 0.0; // never recover
+  process.magnitude = 5.0;
+  FaultInjector injector{{process}, 2};
+  support::Rng rng{2};
+  const auto sensor = unit_sensor();
+  const Reading healthy = sensor.sample(10.0, rng);
+  const Reading faulty = injector.apply(0, sensor, healthy, 0);
+  EXPECT_TRUE(injector.faulty(0));
+  EXPECT_DOUBLE_EQ(faulty.measurement, healthy.measurement + 5.0);
+  EXPECT_FALSE(faulty.interval.contains(10.0));
+  EXPECT_NEAR(faulty.interval.width(), 1.0, 1e-12);  // advertised width kept
+}
+
+TEST(Fault, StuckAtFreezesValue) {
+  FaultProcess process;
+  process.kind = FaultKind::kStuckAt;
+  process.p_enter = 1.0;
+  FaultInjector injector{{process}, 3};
+  support::Rng rng{3};
+  const auto sensor = unit_sensor();
+  const Reading first = injector.apply(0, sensor, sensor.sample(10.0, rng), 0);
+  const Reading later = injector.apply(0, sensor, sensor.sample(42.0, rng), 1);
+  EXPECT_DOUBLE_EQ(later.measurement, first.measurement);
+}
+
+TEST(Fault, DriftGrowsWithRounds) {
+  FaultProcess process;
+  process.kind = FaultKind::kDrift;
+  process.p_enter = 1.0;
+  process.magnitude = 0.5;
+  FaultInjector injector{{process}, 4};
+  support::Rng rng{4};
+  const auto sensor = unit_sensor();
+  Reading base = sensor.sample(10.0, rng);
+  base.measurement = 10.0;
+  base.interval = sensor.interval_for(10.0);
+  const Reading at0 = injector.apply(0, sensor, base, 0);
+  const Reading at4 = injector.apply(0, sensor, base, 4);
+  EXPECT_DOUBLE_EQ(at0.measurement, 10.0);
+  EXPECT_DOUBLE_EQ(at4.measurement, 12.0);  // 0.5/round * 4 rounds
+}
+
+TEST(Fault, RecoveryReturnsHealthy) {
+  FaultProcess process;
+  process.kind = FaultKind::kOffset;
+  process.p_enter = 1.0;
+  process.p_recover = 1.0;  // recovers after one round in fault
+  process.magnitude = 3.0;
+  FaultInjector injector{{process}, 5};
+  support::Rng rng{5};
+  const auto sensor = unit_sensor();
+  const Reading r0 = injector.apply(0, sensor, sensor.sample(10.0, rng), 0);
+  EXPECT_TRUE(injector.faulty(0));
+  (void)r0;
+  const Reading healthy = sensor.sample(10.0, rng);
+  const Reading r1 = injector.apply(0, sensor, healthy, 1);
+  EXPECT_FALSE(injector.faulty(0));
+  EXPECT_DOUBLE_EQ(r1.measurement, healthy.measurement);
+}
+
+TEST(Fault, NumFaultyAndReset) {
+  FaultProcess on;
+  on.kind = FaultKind::kOffset;
+  on.p_enter = 1.0;
+  on.magnitude = 1.0;
+  FaultInjector injector{{on, on, FaultProcess{}}, 6};
+  support::Rng rng{6};
+  const auto sensor = unit_sensor();
+  for (std::size_t id = 0; id < 3; ++id) {
+    (void)injector.apply(id, sensor, sensor.sample(0.0, rng), 0);
+  }
+  EXPECT_EQ(injector.num_faulty(), 2);
+  injector.reset();
+  EXPECT_EQ(injector.num_faulty(), 0);
+}
+
+TEST(Fault, DetectionCatchesLargeFaults) {
+  // Five sensors, one faulted far away: fusion with f=1 flags it.
+  support::Rng rng{7};
+  const auto sensor = unit_sensor();
+  FaultProcess process;
+  process.kind = FaultKind::kOffset;
+  process.p_enter = 1.0;
+  process.magnitude = 10.0;
+  FaultInjector injector{{process, {}, {}, {}, {}}, 8};
+
+  std::vector<Interval> intervals;
+  for (std::size_t id = 0; id < 5; ++id) {
+    Reading reading = sensor.sample(0.0, rng);
+    reading = injector.apply(id, sensor, reading, 0);
+    intervals.push_back(reading.interval);
+  }
+  const auto report = fuse_and_detect(intervals, 1);
+  EXPECT_EQ(report.num_flagged, 1);
+  EXPECT_TRUE(report.flagged[0]);
+}
+
+TEST(Fault, Names) {
+  EXPECT_EQ(to_string(FaultKind::kStuckAt), "stuck-at");
+  EXPECT_EQ(to_string(FaultKind::kDropout), "dropout");
+}
+
+}  // namespace
+}  // namespace arsf::sensors

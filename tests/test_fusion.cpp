@@ -1,0 +1,134 @@
+// Unit tests for Marzullo fusion (core/fusion.h): the examples of the
+// paper's Section II-A, sweep corner cases, and the tick hot path.
+
+#include <gtest/gtest.h>
+
+#include "core/fusion.h"
+
+namespace arsf {
+namespace {
+
+TEST(Fusion, F0IsIntersection) {
+  const std::vector<Interval> intervals = {{0, 10}, {2, 8}, {4, 12}};
+  const auto result = fuse(intervals, 0);
+  ASSERT_TRUE(result.interval);
+  EXPECT_EQ(result.interval->lo, 4);
+  EXPECT_EQ(result.interval->hi, 8);
+  EXPECT_EQ(result.threshold, 3);
+  EXPECT_EQ(result.max_overlap, 3);
+}
+
+TEST(Fusion, FNMinus1IsConvexHull) {
+  const std::vector<Interval> intervals = {{0, 1}, {5, 6}, {10, 11}};
+  const auto result = fuse(intervals, 2);
+  ASSERT_TRUE(result.interval);
+  EXPECT_EQ(result.interval->lo, 0);
+  EXPECT_EQ(result.interval->hi, 11);
+}
+
+TEST(Fusion, UncertaintyGrowsWithF) {
+  // Fig. 1 structure: five intervals, fusion widens as f increases.
+  const std::vector<Interval> intervals = {{0, 4}, {1, 5}, {2, 7}, {3, 8}, {3.5, 9}};
+  const auto all = fuse_all_f(intervals);
+  ASSERT_EQ(all.size(), intervals.size());
+  double previous = -1.0;
+  for (const auto& result : all) {
+    ASSERT_TRUE(result.interval);
+    EXPECT_GE(result.width(), previous);
+    previous = result.width();
+  }
+}
+
+TEST(Fusion, EmptyRegionWhenTooFewOverlap) {
+  // Three pairwise-disjoint intervals, f=1: no point lies in two of them.
+  const std::vector<Interval> intervals = {{0, 1}, {10, 11}, {20, 21}};
+  const auto result = fuse(intervals, 1);
+  EXPECT_FALSE(result.interval);
+  EXPECT_TRUE(result.segments.empty());
+  EXPECT_EQ(result.max_overlap, 1);
+}
+
+TEST(Fusion, DisconnectedRegionHullIsReported) {
+  // Two clusters of two intervals each; f=2 of n=4 -> threshold 2; the
+  // region has two segments and the fusion interval is their hull.
+  const std::vector<Interval> intervals = {{0, 2}, {1, 3}, {10, 12}, {11, 13}};
+  const auto result = fuse(intervals, 2);
+  ASSERT_TRUE(result.interval);
+  EXPECT_EQ(result.segments.size(), 2u);
+  EXPECT_EQ(result.segments[0], (Interval{1, 2}));
+  EXPECT_EQ(result.segments[1], (Interval{11, 12}));
+  EXPECT_EQ(*result.interval, (Interval{1, 12}));
+}
+
+TEST(Fusion, TouchingEndpointsCount) {
+  // Closed intervals: [0,5] and [5,10] share the point 5.
+  const std::vector<Interval> intervals = {{0, 5}, {5, 10}};
+  const auto result = fuse(intervals, 0);
+  ASSERT_TRUE(result.interval);
+  EXPECT_EQ(*result.interval, (Interval{5, 5}));
+}
+
+TEST(Fusion, ZeroWidthIntervalsSupported) {
+  const std::vector<Interval> intervals = {{5, 5}, {4, 6}, {5, 7}};
+  const auto result = fuse(intervals, 0);
+  ASSERT_TRUE(result.interval);
+  EXPECT_EQ(*result.interval, (Interval{5, 5}));
+}
+
+TEST(Fusion, SingleSensor) {
+  const std::vector<Interval> intervals = {{3, 9}};
+  const auto result = fuse(intervals, 0);
+  ASSERT_TRUE(result.interval);
+  EXPECT_EQ(*result.interval, (Interval{3, 9}));
+}
+
+TEST(Fusion, PaperExampleMedianStructure) {
+  // n=3, f=1 with pairwise-overlapping intervals: the fusion interval is
+  // [2nd smallest lower bound, 2nd largest upper bound].
+  const std::vector<Interval> intervals = {{0, 6}, {1, 8}, {2, 10}};
+  const auto result = fuse(intervals, 1);
+  ASSERT_TRUE(result.interval);
+  EXPECT_EQ(*result.interval, (Interval{1, 8}));
+}
+
+TEST(Fusion, RejectsInvalidArguments) {
+  const std::vector<Interval> intervals = {{0, 1}, {1, 2}};
+  EXPECT_THROW((void)fuse(intervals, -1), std::invalid_argument);
+  EXPECT_THROW((void)fuse(intervals, 2), std::invalid_argument);
+  EXPECT_THROW((void)fuse(std::vector<Interval>{}, 0), std::invalid_argument);
+  const std::vector<Interval> with_empty = {{0, 1}, Interval::empty_interval()};
+  EXPECT_THROW((void)fuse(with_empty, 0), std::invalid_argument);
+}
+
+TEST(FusionTicks, MatchesTemplatePath) {
+  const std::vector<TickInterval> intervals = {{-5, 0}, {-3, 8}, {-9, 2}, {1, 6}, {-2, 2}};
+  for (int f = 0; f < 5; ++f) {
+    const auto reference = fuse_ticks(intervals, f);
+    const TickInterval fast = fused_interval_ticks(intervals, f);
+    if (reference.interval) {
+      EXPECT_EQ(*reference.interval, fast) << "f=" << f;
+      EXPECT_EQ(reference.interval->width(), fused_width_ticks(intervals, f));
+    } else {
+      EXPECT_TRUE(fast.is_empty()) << "f=" << f;
+      EXPECT_EQ(fused_width_ticks(intervals, f), -1);
+    }
+  }
+}
+
+TEST(FusionTicks, HeapPathBeyondStackLimit) {
+  // More than 16 intervals exercises the vector fallback.
+  std::vector<TickInterval> intervals;
+  for (Tick i = 0; i < 24; ++i) intervals.push_back(TickInterval{i, i + 24});
+  const TickInterval fused = fused_interval_ticks(intervals, 0);
+  EXPECT_EQ(fused, (TickInterval{23, 24}));
+  const TickInterval hull = fused_interval_ticks(intervals, 23);
+  EXPECT_EQ(hull, (TickInterval{0, 47}));
+}
+
+TEST(FusionTicks, EmptyRegionReportsMinusOne) {
+  const std::vector<TickInterval> intervals = {{0, 1}, {5, 6}, {10, 11}};
+  EXPECT_EQ(fused_width_ticks(intervals, 1), -1);
+}
+
+}  // namespace
+}  // namespace arsf

@@ -1,0 +1,196 @@
+// Property-based tests for Marzullo fusion: parameterised sweeps over
+// (n, f, seed) checking the algebraic invariants on randomly generated
+// configurations.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/fusion.h"
+#include "support/rng.h"
+
+namespace arsf {
+namespace {
+
+std::vector<TickInterval> random_intervals(int n, support::Rng& rng, Tick span = 12) {
+  std::vector<TickInterval> intervals;
+  intervals.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const Tick lo = rng.uniform_int(-span, span);
+    const Tick width = rng.uniform_int(0, span);
+    intervals.push_back(TickInterval{lo, lo + width});
+  }
+  return intervals;
+}
+
+class FusionProperty : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {
+ protected:
+  [[nodiscard]] int n() const { return std::get<0>(GetParam()); }
+  [[nodiscard]] std::uint64_t seed() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(FusionProperty, F0IsExactIntersectionWhenNonEmpty) {
+  support::Rng rng{seed()};
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto intervals = random_intervals(n(), rng);
+    TickInterval intersection = intervals[0];
+    for (const auto& iv : intervals) intersection = intersection.intersect(iv);
+    const auto result = fuse_ticks(intervals, 0);
+    if (intersection.is_empty()) {
+      EXPECT_FALSE(result.interval);
+    } else {
+      ASSERT_TRUE(result.interval);
+      EXPECT_EQ(*result.interval, intersection);
+    }
+  }
+}
+
+TEST_P(FusionProperty, FNMinus1IsConvexHull) {
+  support::Rng rng{seed() ^ 0x1};
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto intervals = random_intervals(n(), rng);
+    TickInterval hull = TickInterval::empty_interval();
+    for (const auto& iv : intervals) hull = hull.hull(iv);
+    const auto result = fuse_ticks(intervals, n() - 1);
+    ASSERT_TRUE(result.interval);
+    EXPECT_EQ(*result.interval, hull);
+  }
+}
+
+TEST_P(FusionProperty, MonotoneInF) {
+  support::Rng rng{seed() ^ 0x2};
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto intervals = random_intervals(n(), rng);
+    TickInterval previous = TickInterval::empty_interval();
+    for (int f = 0; f < n(); ++f) {
+      const TickInterval fused = fused_interval_ticks(intervals, f);
+      if (!previous.is_empty()) {
+        ASSERT_FALSE(fused.is_empty());
+        EXPECT_TRUE(fused.contains(previous)) << "f=" << f;
+      }
+      previous = fused;
+    }
+  }
+}
+
+TEST_P(FusionProperty, TranslationInvariance) {
+  support::Rng rng{seed() ^ 0x3};
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto intervals = random_intervals(n(), rng);
+    const Tick shift = rng.uniform_int(-50, 50);
+    std::vector<TickInterval> shifted;
+    for (const auto& iv : intervals) shifted.push_back(iv.translated(shift));
+    for (int f = 0; f < n(); ++f) {
+      const TickInterval base = fused_interval_ticks(intervals, f);
+      const TickInterval moved = fused_interval_ticks(shifted, f);
+      if (base.is_empty()) {
+        EXPECT_TRUE(moved.is_empty());
+      } else {
+        EXPECT_EQ(moved, base.translated(shift));
+      }
+    }
+  }
+}
+
+TEST_P(FusionProperty, PermutationInvariance) {
+  support::Rng rng{seed() ^ 0x4};
+  for (int trial = 0; trial < 100; ++trial) {
+    auto intervals = random_intervals(n(), rng);
+    const TickInterval base = fused_interval_ticks(intervals, n() / 2);
+    auto perm = rng.permutation(intervals.size());
+    std::vector<TickInterval> shuffled;
+    for (std::size_t idx : perm) shuffled.push_back(intervals[idx]);
+    EXPECT_EQ(fused_interval_ticks(shuffled, n() / 2), base);
+  }
+}
+
+TEST_P(FusionProperty, FusionIntervalIsHullOfSegments) {
+  support::Rng rng{seed() ^ 0x5};
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto intervals = random_intervals(n(), rng);
+    for (int f = 0; f < n(); ++f) {
+      const auto result = fuse_ticks(intervals, f);
+      if (!result.interval) {
+        EXPECT_TRUE(result.segments.empty());
+        continue;
+      }
+      ASSERT_FALSE(result.segments.empty());
+      EXPECT_EQ(result.interval->lo, result.segments.front().lo);
+      EXPECT_EQ(result.interval->hi, result.segments.back().hi);
+      // Segments are disjoint and ordered.
+      for (std::size_t s = 1; s < result.segments.size(); ++s) {
+        EXPECT_GT(result.segments[s].lo, result.segments[s - 1].hi);
+      }
+      // Segment endpoints coincide with input endpoints.
+      for (const auto& segment : result.segments) {
+        bool lo_is_endpoint = false;
+        bool hi_is_endpoint = false;
+        for (const auto& iv : intervals) {
+          lo_is_endpoint |= segment.lo == iv.lo;
+          hi_is_endpoint |= segment.hi == iv.hi;
+        }
+        EXPECT_TRUE(lo_is_endpoint);
+        EXPECT_TRUE(hi_is_endpoint);
+      }
+    }
+  }
+}
+
+TEST_P(FusionProperty, EverySegmentPointLiesInEnoughIntervals) {
+  support::Rng rng{seed() ^ 0x6};
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto intervals = random_intervals(n(), rng, 8);
+    for (int f = 0; f < n(); ++f) {
+      const auto result = fuse_ticks(intervals, f);
+      for (const auto& segment : result.segments) {
+        for (Tick p = segment.lo; p <= segment.hi; ++p) {
+          int count = 0;
+          for (const auto& iv : intervals) count += iv.contains(p) ? 1 : 0;
+          ASSERT_GE(count, result.threshold) << "point " << p << " f=" << f;
+        }
+      }
+      // Points just outside the hull never reach the threshold.
+      if (result.interval) {
+        for (const Tick p : {result.interval->lo - 1, result.interval->hi + 1}) {
+          int count = 0;
+          for (const auto& iv : intervals) count += iv.contains(p) ? 1 : 0;
+          EXPECT_LT(count, result.threshold);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(FusionProperty, DoubleAndTickPathsAgreeOnIntegerData) {
+  support::Rng rng{seed() ^ 0x7};
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto ticks = random_intervals(n(), rng);
+    std::vector<Interval> doubles;
+    for (const auto& iv : ticks) {
+      doubles.push_back(Interval{static_cast<double>(iv.lo), static_cast<double>(iv.hi)});
+    }
+    for (int f = 0; f < n(); ++f) {
+      const auto tick_result = fused_interval_ticks(ticks, f);
+      const auto double_result = fuse(doubles, f);
+      if (tick_result.is_empty()) {
+        EXPECT_FALSE(double_result.interval);
+      } else {
+        ASSERT_TRUE(double_result.interval);
+        EXPECT_DOUBLE_EQ(double_result.interval->lo, static_cast<double>(tick_result.lo));
+        EXPECT_DOUBLE_EQ(double_result.interval->hi, static_cast<double>(tick_result.hi));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FusionProperty,
+    ::testing::Combine(::testing::Values(2, 3, 4, 5, 7, 10),
+                       ::testing::Values(0xAAu, 0xBBu, 0xCCu)),
+    [](const ::testing::TestParamInfo<FusionProperty::ParamType>& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace arsf

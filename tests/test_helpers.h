@@ -1,0 +1,61 @@
+#pragma once
+// Shared fixtures for the attack/sim test suites: compact builders for
+// AttackSetup / AttackContext so individual tests read like the paper's
+// examples.
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "attack/context.h"
+#include "schedule/schedule.h"
+
+namespace arsf::testing {
+
+/// Builds a setup from integer widths with f = ceil(n/2) - 1 (or explicit f),
+/// a given slot order and attacked set.
+inline attack::AttackSetup make_setup(std::vector<Tick> widths, std::vector<SensorId> attacked,
+                                      sched::Order order, int f = -1) {
+  attack::AttackSetup setup;
+  setup.n = static_cast<int>(widths.size());
+  setup.f = f >= 0 ? f : max_bounded_f(setup.n);
+  setup.widths = std::move(widths);
+  setup.attacked = std::move(attacked);
+  setup.order = std::move(order);
+  return setup;
+}
+
+/// Assembles the context the protocol driver would hand to a policy at
+/// @p slot, given every sensor's correct reading (indexed by id).
+inline attack::AttackContext make_context(const attack::AttackSetup& setup,
+                                          const std::vector<TickInterval>& readings_by_id,
+                                          std::size_t slot,
+                                          std::vector<TickInterval> my_sent = {}) {
+  attack::AttackContext ctx;
+  ctx.setup = &setup;
+  ctx.delta = TickInterval{std::numeric_limits<Tick>::min(), std::numeric_limits<Tick>::max()};
+  for (SensorId id : setup.attacked) ctx.delta = ctx.delta.intersect(readings_by_id[id]);
+  ctx.current_slot = slot;
+  ctx.my_sent = std::move(my_sent);
+  auto is_attacked = [&](SensorId id) {
+    return std::find(setup.attacked.begin(), setup.attacked.end(), id) != setup.attacked.end();
+  };
+  for (std::size_t s = 0; s < setup.order.size(); ++s) {
+    const SensorId id = setup.order[s];
+    if (s < slot) {
+      if (!is_attacked(id)) ctx.seen.push_back(readings_by_id[id]);
+      continue;
+    }
+    if (is_attacked(id)) {
+      ctx.remaining_slots.push_back(s);
+      ctx.remaining_widths.push_back(setup.widths[id]);
+      ctx.remaining_readings.push_back(readings_by_id[id]);
+    } else if (s > slot) {
+      ctx.unseen_widths.push_back(setup.widths[id]);
+      ctx.unseen_actual.push_back(readings_by_id[id]);
+    }
+  }
+  return ctx;
+}
+
+}  // namespace arsf::testing

@@ -1,0 +1,76 @@
+// End-to-end integration tests: full Table I rows on small configurations,
+// cross-checks between independent computation paths, and the paper's
+// headline claim (Ascending never worse than Descending) on the enumerated
+// grid.
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.h"
+
+namespace arsf {
+namespace {
+
+// Closed-form cross-check: with everyone correct, n=3 and f=1, the fusion
+// interval is [median lower bound, median upper bound]; by symmetry the
+// expected width is 2 * E[median(U{0..w1}, U{0..w2}, U{0..w3})].
+double expected_median_of_discrete_uniforms(Tick w1, Tick w2, Tick w3) {
+  double total = 0.0;
+  for (Tick a = 0; a <= w1; ++a) {
+    for (Tick b = 0; b <= w2; ++b) {
+      for (Tick c = 0; c <= w3; ++c) {
+        Tick lo = std::min({a, b, c});
+        Tick hi = std::max({a, b, c});
+        total += static_cast<double>(a + b + c - lo - hi);
+      }
+    }
+  }
+  return total / static_cast<double>((w1 + 1) * (w2 + 1) * (w3 + 1));
+}
+
+TEST(Integration, NoAttackExpectationMatchesClosedForm) {
+  const std::vector<double> widths = {5, 11, 17};
+  const sim::Table1Row row = sim::compare_schedules(widths, 1);
+  const double closed_form = 2.0 * expected_median_of_discrete_uniforms(5, 11, 17);
+  EXPECT_NEAR(row.e_no_attack, closed_form, 1e-9);
+}
+
+TEST(Integration, Table1RowN3) {
+  const std::vector<double> widths = {5, 11, 17};
+  const sim::Table1Row row = sim::compare_schedules(widths, 1);
+
+  // Under Ascending the attacked most-precise sensor transmits first; with
+  // fa=1 the passive rule pins her to the correct reading, so the attacked
+  // expectation equals the no-attack expectation.
+  EXPECT_NEAR(row.e_ascending, row.e_no_attack, 1e-9);
+  // Descending hands her full knowledge: strictly more uncertainty.
+  EXPECT_GT(row.e_descending, row.e_ascending + 0.1);
+  // No world may flag the stealthy attacker.
+  EXPECT_EQ(row.detected, 0u);
+  // World count: prod(w+1) = 6*12*18.
+  EXPECT_EQ(row.worlds, 6u * 12u * 18u);
+}
+
+TEST(Integration, Table1RowN4) {
+  const std::vector<double> widths = {5, 8, 8, 11};
+  const sim::Table1Row row = sim::compare_schedules(widths, 1);
+  EXPECT_GE(row.e_descending, row.e_ascending - 1e-9);
+  EXPECT_GE(row.e_ascending, row.e_no_attack - 1e-9);
+  EXPECT_EQ(row.detected, 0u);
+}
+
+TEST(Integration, AscendingNeverWorseAcrossWidthSets) {
+  // The paper's Table I shape on a family of small configurations
+  // (exhaustive enumeration, exact expectations).
+  const std::vector<std::vector<double>> families = {
+      {3, 5, 9}, {4, 4, 10}, {2, 7, 8}, {3, 3, 3},
+  };
+  for (const auto& widths : families) {
+    const sim::Table1Row row = sim::compare_schedules(widths, 1);
+    EXPECT_GE(row.e_descending, row.e_ascending - 1e-9)
+        << "widths {" << widths[0] << "," << widths[1] << "," << widths[2] << "}";
+    EXPECT_EQ(row.detected, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace arsf

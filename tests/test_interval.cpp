@@ -1,0 +1,116 @@
+// Unit tests for the closed-interval algebra (core/interval.h).
+
+#include <gtest/gtest.h>
+
+#include "core/interval.h"
+
+namespace arsf {
+namespace {
+
+TEST(Interval, BasicAccessors) {
+  const Interval iv{2.0, 7.0};
+  EXPECT_FALSE(iv.is_empty());
+  EXPECT_DOUBLE_EQ(iv.width(), 5.0);
+  EXPECT_DOUBLE_EQ(iv.midpoint(), 4.5);
+}
+
+TEST(Interval, EmptyCanonical) {
+  const auto empty = Interval::empty_interval();
+  EXPECT_TRUE(empty.is_empty());
+  EXPECT_DOUBLE_EQ(empty.width(), 0.0);
+  EXPECT_FALSE(empty.contains(0.0));
+}
+
+TEST(Interval, Centered) {
+  const auto iv = Interval::centered(10.0, 4.0);
+  EXPECT_DOUBLE_EQ(iv.lo, 8.0);
+  EXPECT_DOUBLE_EQ(iv.hi, 12.0);
+}
+
+TEST(Interval, ContainsPoint) {
+  const Interval iv{-1.0, 1.0};
+  EXPECT_TRUE(iv.contains(-1.0));  // closed at both ends
+  EXPECT_TRUE(iv.contains(1.0));
+  EXPECT_TRUE(iv.contains(0.0));
+  EXPECT_FALSE(iv.contains(1.0001));
+}
+
+TEST(Interval, ContainsInterval) {
+  const Interval outer{0.0, 10.0};
+  EXPECT_TRUE(outer.contains(Interval{2.0, 8.0}));
+  EXPECT_TRUE(outer.contains(outer));                  // reflexive
+  EXPECT_TRUE(outer.contains(Interval::empty_interval()));  // vacuous
+  EXPECT_FALSE(outer.contains(Interval{-1.0, 5.0}));
+  EXPECT_FALSE(Interval::empty_interval().contains(Interval{0.0, 0.0}));
+}
+
+TEST(Interval, IntersectsIsSymmetricAndClosed) {
+  const Interval a{0.0, 5.0};
+  const Interval b{5.0, 9.0};
+  const Interval c{5.1, 9.0};
+  EXPECT_TRUE(a.intersects(b));  // touching endpoints intersect
+  EXPECT_TRUE(b.intersects(a));
+  EXPECT_FALSE(a.intersects(c));
+  EXPECT_FALSE(a.intersects(Interval::empty_interval()));
+}
+
+TEST(Interval, Intersect) {
+  const Interval a{0.0, 5.0};
+  const Interval b{3.0, 9.0};
+  EXPECT_EQ(a.intersect(b), (Interval{3.0, 5.0}));
+  EXPECT_EQ(a.intersect(Interval{5.0, 6.0}), (Interval{5.0, 5.0}));
+  EXPECT_TRUE(a.intersect(Interval{6.0, 7.0}).is_empty());
+  EXPECT_TRUE(a.intersect(Interval::empty_interval()).is_empty());
+}
+
+TEST(Interval, Hull) {
+  const Interval a{0.0, 2.0};
+  const Interval b{8.0, 9.0};
+  EXPECT_EQ(a.hull(b), (Interval{0.0, 9.0}));
+  EXPECT_EQ(a.hull(Interval::empty_interval()), a);
+  EXPECT_EQ(Interval::empty_interval().hull(b), b);
+}
+
+TEST(Interval, Translation) {
+  const Interval a{1.0, 3.0};
+  EXPECT_EQ(a.translated(2.5), (Interval{3.5, 5.5}));
+  EXPECT_TRUE(Interval::empty_interval().translated(5.0).is_empty());
+}
+
+TEST(Interval, EqualityTreatsAllEmptiesEqual) {
+  EXPECT_EQ(Interval::empty_interval(), (Interval{9.0, 3.0}));
+  EXPECT_NE((Interval{0.0, 1.0}), (Interval{0.0, 2.0}));
+}
+
+TEST(TickInterval, IntegerSemantics) {
+  const TickInterval iv{-5, 5};
+  EXPECT_EQ(iv.width(), 10);
+  EXPECT_EQ(iv.midpoint(), 0);
+  EXPECT_TRUE(iv.contains(Tick{-5}));
+  EXPECT_EQ(iv.intersect(TickInterval{5, 7}), (TickInterval{5, 5}));
+}
+
+TEST(Quantizer, RoundTrip) {
+  const Quantizer quant{0.01};
+  EXPECT_EQ(quant.to_tick(10.0), 1000);
+  EXPECT_DOUBLE_EQ(quant.to_value(1000), 10.0);
+  const Interval iv{9.99, 10.51};
+  const TickInterval ticks = quant.to_ticks(iv);
+  EXPECT_EQ(ticks, (TickInterval{999, 1051}));
+  EXPECT_TRUE(approx_equal(quant.to_interval(ticks), iv, 1e-12));
+}
+
+TEST(Quantizer, EmptyPassesThrough) {
+  const Quantizer quant{0.5};
+  EXPECT_TRUE(quant.to_ticks(Interval::empty_interval()).is_empty());
+  EXPECT_TRUE(quant.to_interval(TickInterval::empty_interval()).is_empty());
+}
+
+TEST(Interval, ToString) {
+  EXPECT_EQ(to_string(Interval{1.5, 2.0}), "[1.5, 2]");
+  EXPECT_EQ(to_string(Interval::empty_interval()), "(empty)");
+  EXPECT_EQ(to_string(TickInterval{-3, 4}), "[-3, 4]");
+}
+
+}  // namespace
+}  // namespace arsf

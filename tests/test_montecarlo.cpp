@@ -1,0 +1,118 @@
+// Unit tests for the Monte Carlo engine (sim/montecarlo.h).
+
+#include <gtest/gtest.h>
+
+#include "sim/enumerate.h"
+#include "sim/montecarlo.h"
+
+namespace arsf::sim {
+namespace {
+
+TEST(MonteCarlo, ReproducibleGivenSeed) {
+  MonteCarloConfig config;
+  config.system = make_config({5.0, 11.0, 17.0});
+  config.rounds = 500;
+  config.seed = 1234;
+  attack::ExpectationPolicy policy_a;
+  config.policy = &policy_a;
+  const auto a = run_monte_carlo(config);
+  attack::ExpectationPolicy policy_b;
+  config.policy = &policy_b;
+  const auto b = run_monte_carlo(config);
+  EXPECT_DOUBLE_EQ(a.width.mean(), b.width.mean());
+  EXPECT_EQ(a.detected_rounds, b.detected_rounds);
+}
+
+TEST(MonteCarlo, ConvergesToEnumeration) {
+  // MC estimate of the no-attack expectation must approach the exact value.
+  const SystemConfig system = make_config({5.0, 11.0, 17.0});
+  EnumerateConfig exact_config;
+  exact_config.system = system;
+  exact_config.order = sched::ascending_order(system);
+  const double exact = enumerate_expected_width(exact_config).expected_width;
+
+  MonteCarloConfig config;
+  config.system = system;
+  config.rounds = 40'000;
+  config.fa = 0;
+  const auto result = run_monte_carlo(config);
+  EXPECT_NEAR(result.width.mean(), exact, 4.0 * result.width.sem() + 0.02);
+}
+
+TEST(MonteCarlo, AttackedConvergesToEnumeration) {
+  const SystemConfig system = make_config({5.0, 11.0, 17.0});
+  EnumerateConfig exact_config;
+  exact_config.system = system;
+  exact_config.order = sched::descending_order(system);
+  exact_config.attacked = {0};
+  attack::ExpectationPolicy exact_policy;
+  exact_config.policy = &exact_policy;
+  const double exact = enumerate_expected_width(exact_config).expected_width;
+
+  MonteCarloConfig config;
+  config.system = system;
+  config.schedule = sched::ScheduleKind::kDescending;
+  config.rounds = 20'000;
+  config.fa = 1;
+  attack::ExpectationPolicy policy;
+  config.policy = &policy;
+  const auto result = run_monte_carlo(config);
+  EXPECT_EQ(result.attacked, (std::vector<SensorId>{0}));
+  EXPECT_NEAR(result.width.mean(), exact, 4.0 * result.width.sem() + 0.05);
+  EXPECT_EQ(result.detected_rounds, 0u);
+}
+
+TEST(MonteCarlo, RandomScheduleBetweenAscendingAndDescending) {
+  // The paper's observation behind Table II: a per-round random order sits
+  // between the two fixed schedules in expectation.
+  MonteCarloConfig base;
+  base.system = make_config({5.0, 11.0, 17.0});
+  base.rounds = 15'000;
+  base.fa = 1;
+
+  auto run_with = [&](sched::ScheduleKind kind) {
+    MonteCarloConfig config = base;
+    config.schedule = kind;
+    attack::ExpectationPolicy policy;
+    config.policy = &policy;
+    return run_monte_carlo(config).width.mean();
+  };
+  const double ascending = run_with(sched::ScheduleKind::kAscending);
+  const double descending = run_with(sched::ScheduleKind::kDescending);
+  const double random = run_with(sched::ScheduleKind::kRandom);
+  EXPECT_LT(ascending, descending);
+  EXPECT_GT(random, ascending - 0.1);
+  EXPECT_LT(random, descending + 0.1);
+}
+
+TEST(MonteCarlo, FixedOrderOverridesKind) {
+  MonteCarloConfig config;
+  config.system = make_config({5.0, 11.0, 17.0});
+  config.rounds = 2'000;
+  config.fa = 1;
+  config.fixed_order = sched::descending_order(config.system);
+  config.schedule = sched::ScheduleKind::kAscending;  // ignored
+  attack::ExpectationPolicy policy;
+  config.policy = &policy;
+  const auto fixed = run_monte_carlo(config);
+
+  MonteCarloConfig by_kind = config;
+  by_kind.fixed_order.clear();
+  by_kind.schedule = sched::ScheduleKind::kDescending;
+  attack::ExpectationPolicy policy2;
+  by_kind.policy = &policy2;
+  const auto kind = run_monte_carlo(by_kind);
+  EXPECT_NEAR(fixed.width.mean(), kind.width.mean(), 1e-12);
+}
+
+TEST(MonteCarlo, NoPolicyMeansClean) {
+  MonteCarloConfig config;
+  config.system = make_config({5.0, 11.0, 17.0});
+  config.rounds = 1'000;
+  config.fa = 1;  // attacked set chosen, but nobody lies without a policy
+  const auto result = run_monte_carlo(config);
+  EXPECT_DOUBLE_EQ(result.width.mean(), result.width_no_attack.mean());
+}
+
+}  // namespace
+}  // namespace arsf::sim

@@ -1,0 +1,89 @@
+// Unit tests for the three-vehicle platoon model (vehicle/platoon.h).
+
+#include <gtest/gtest.h>
+
+#include "vehicle/platoon.h"
+
+namespace arsf::vehicle {
+namespace {
+
+TEST(Platoon, InitialGeometry) {
+  PlatoonParams params;
+  params.size = 3;
+  params.initial_gap = 20.0;
+  Platoon platoon{params};
+  EXPECT_EQ(platoon.size(), 3u);
+  EXPECT_DOUBLE_EQ(platoon.position(0), 40.0);  // leader ahead
+  EXPECT_DOUBLE_EQ(platoon.position(1), 20.0);
+  EXPECT_DOUBLE_EQ(platoon.position(2), 0.0);
+  EXPECT_DOUBLE_EQ(platoon.gap(1), 20.0);
+  EXPECT_DOUBLE_EQ(platoon.gap(2), 20.0);
+  EXPECT_DOUBLE_EQ(platoon.min_gap(), 20.0);
+  EXPECT_FALSE(platoon.collided());
+}
+
+TEST(Platoon, HoldsSpeedWithTrueEstimates) {
+  Platoon platoon{PlatoonParams{}};
+  const std::vector<double> truths(3, 10.0);
+  for (int i = 0; i < 500; ++i) {
+    std::vector<double> estimates;
+    for (std::size_t v = 0; v < 3; ++v) estimates.push_back(platoon.speed(v));
+    platoon.step(estimates, 0.1);
+  }
+  for (std::size_t v = 0; v < 3; ++v) EXPECT_NEAR(platoon.speed(v), 10.0, 0.05);
+  EXPECT_NEAR(platoon.min_gap(), 20.0, 0.5);
+  EXPECT_FALSE(platoon.collided());
+}
+
+TEST(Platoon, BiasedEstimateShrinksGap) {
+  // The middle vehicle believes it is slower than it is -> speeds up ->
+  // closes on the leader.
+  Platoon platoon{PlatoonParams{}};
+  for (int i = 0; i < 300; ++i) {
+    std::vector<double> estimates = {platoon.speed(0), platoon.speed(1) - 1.0,
+                                     platoon.speed(2)};
+    platoon.step(estimates, 0.1);
+  }
+  EXPECT_LT(platoon.gap(1), 20.0);
+  EXPECT_GT(platoon.speed(1), platoon.speed(0));
+}
+
+TEST(Platoon, SustainedBiasCausesCollision) {
+  PlatoonParams params;
+  params.initial_gap = 3.0;  // tight platoon
+  Platoon platoon{params};
+  for (int i = 0; i < 2000 && !platoon.collided(); ++i) {
+    std::vector<double> estimates = {platoon.speed(0), platoon.speed(1) - 2.0,
+                                     platoon.speed(2)};
+    platoon.step(estimates, 0.1);
+  }
+  EXPECT_TRUE(platoon.collided());
+}
+
+TEST(Platoon, StepWithCommandsMatchesManualDynamics) {
+  Platoon platoon{PlatoonParams{}};
+  const std::vector<double> commands = {1.0, 0.5, 0.0};
+  const double v0 = platoon.speed(0);
+  platoon.step_with_commands(commands, 0.1);
+  // v' = u - drag*v.
+  EXPECT_NEAR(platoon.speed(0), v0 + 0.1 * (1.0 - 0.08 * v0), 1e-9);
+}
+
+TEST(Platoon, ControllerCommandUsesSharedState) {
+  Platoon platoon{PlatoonParams{}};
+  // Feedforward holds cruise: at the target the command is ~drag * target.
+  const double command = platoon.controller_command(1, 10.0, 0.1);
+  EXPECT_NEAR(command, 0.08 * 10.0, 0.05);
+}
+
+TEST(Platoon, Validation) {
+  EXPECT_THROW((Platoon{PlatoonParams{.size = 0}}), std::invalid_argument);
+  Platoon platoon{PlatoonParams{}};
+  EXPECT_THROW((void)platoon.gap(0), std::out_of_range);
+  const std::vector<double> wrong(2, 10.0);
+  EXPECT_THROW(platoon.step(wrong, 0.1), std::invalid_argument);
+  EXPECT_THROW(platoon.step_with_commands(wrong, 0.1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace arsf::vehicle

@@ -1,0 +1,103 @@
+// Unit tests for the simple attack policies (attack/policies.h).
+
+#include <gtest/gtest.h>
+
+#include "attack/policies.h"
+#include "test_helpers.h"
+
+namespace arsf::attack {
+namespace {
+
+using testing::make_context;
+using testing::make_setup;
+
+// n=3, widths {5, 11, 17}, attacker owns the width-5 sensor.
+struct LastSlotCase {
+  AttackSetup setup = make_setup({5, 11, 17}, {0}, {2, 1, 0});
+  std::vector<TickInterval> readings = {{-2, 3}, {-5, 6}, {-10, 7}};
+  AttackContext ctx = make_context(setup, readings, 2);
+};
+
+TEST(Policies, CorrectReturnsReading) {
+  LastSlotCase c;
+  support::Rng rng{1};
+  CorrectPolicy policy;
+  EXPECT_EQ(policy.decide(c.ctx, rng), c.readings[0]);
+  EXPECT_EQ(policy.name(), "correct");
+}
+
+TEST(Policies, FeasibleCandidatesAreAllStealthy) {
+  LastSlotCase c;
+  const auto candidates = feasible_candidates(c.ctx);
+  ASSERT_FALSE(candidates.empty());
+  for (const auto& candidate : candidates) {
+    EXPECT_EQ(candidate.width(), 5);
+    const std::vector<TickInterval> plan = {candidate};
+    EXPECT_TRUE(plan_feasible(c.ctx, plan)) << to_string(candidate);
+  }
+  // The correct reading is always among them.
+  EXPECT_NE(std::find(candidates.begin(), candidates.end(), c.readings[0]), candidates.end());
+}
+
+TEST(Policies, ShiftRightPicksMaximalLowerBound) {
+  LastSlotCase c;
+  support::Rng rng{1};
+  ShiftPolicy right{ShiftPolicy::Side::kRight};
+  const TickInterval decision = right.decide(c.ctx, rng);
+  const auto candidates = feasible_candidates(c.ctx);
+  EXPECT_EQ(decision, candidates.back());
+  ShiftPolicy left{ShiftPolicy::Side::kLeft};
+  EXPECT_EQ(left.decide(c.ctx, rng), candidates.front());
+  EXPECT_LT(candidates.front().lo, candidates.back().lo);
+}
+
+TEST(Policies, ShiftInPassiveModeStaysAroundDelta) {
+  // Attacker first: passive, so every candidate contains delta = reading.
+  const auto setup = make_setup({5, 11, 17}, {0}, {0, 1, 2});
+  const std::vector<TickInterval> readings = {{-2, 3}, {-5, 6}, {-10, 7}};
+  const auto ctx = make_context(setup, readings, 0);
+  support::Rng rng{1};
+  ShiftPolicy right{ShiftPolicy::Side::kRight};
+  // Width equals |delta|: the only stealthy move is the truth.
+  EXPECT_EQ(right.decide(ctx, rng), readings[0]);
+}
+
+TEST(Policies, RandomFeasibleStaysFeasible) {
+  LastSlotCase c;
+  support::Rng rng{7};
+  RandomFeasiblePolicy policy;
+  for (int i = 0; i < 50; ++i) {
+    const TickInterval decision = policy.decide(c.ctx, rng);
+    const std::vector<TickInterval> plan = {decision};
+    EXPECT_TRUE(plan_feasible(c.ctx, plan));
+  }
+}
+
+TEST(Policies, RandomFeasibleActuallyVaries) {
+  LastSlotCase c;
+  support::Rng rng{7};
+  RandomFeasiblePolicy policy;
+  std::set<Tick> lows;
+  for (int i = 0; i < 100; ++i) lows.insert(policy.decide(c.ctx, rng).lo);
+  EXPECT_GT(lows.size(), 3u);
+}
+
+TEST(Policies, NaiveOffsetIgnoresStealth) {
+  LastSlotCase c;
+  support::Rng rng{1};
+  NaiveOffsetPolicy policy{40};
+  const TickInterval decision = policy.decide(c.ctx, rng);
+  EXPECT_EQ(decision, c.readings[0].translated(40));
+  const std::vector<TickInterval> plan = {decision};
+  EXPECT_FALSE(plan_feasible(c.ctx, plan));  // certificate-free by design
+}
+
+TEST(Policies, Names) {
+  EXPECT_EQ(ShiftPolicy{ShiftPolicy::Side::kLeft}.name(), "shift-left");
+  EXPECT_EQ(ShiftPolicy{ShiftPolicy::Side::kAlternate}.name(), "shift-alternate");
+  EXPECT_EQ(RandomFeasiblePolicy{}.name(), "random-feasible");
+  EXPECT_EQ(NaiveOffsetPolicy{1}.name(), "naive-offset");
+}
+
+}  // namespace
+}  // namespace arsf::attack

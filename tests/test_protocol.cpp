@@ -1,0 +1,135 @@
+// Unit tests for the fusion-round drivers (sim/protocol.h): tick round
+// semantics, bus replay, detection bookkeeping, width validation.
+
+#include <gtest/gtest.h>
+
+#include "sim/protocol.h"
+#include "test_helpers.h"
+
+namespace arsf::sim {
+namespace {
+
+using testing::make_setup;
+
+TEST(TickRound, AllCorrectWithoutPolicy) {
+  const auto setup = make_setup({5, 11, 17}, {}, {0, 1, 2});
+  const std::vector<TickInterval> readings = {{-2, 3}, {-5, 6}, {-10, 7}};
+  support::Rng rng{1};
+  const auto result = run_tick_round(setup, readings, nullptr, rng);
+  EXPECT_EQ(result.transmitted, readings);
+  EXPECT_FALSE(result.fused.is_empty());
+  EXPECT_FALSE(result.attacked_detected);
+  EXPECT_FALSE(result.correct_flagged);
+  // Same as fusing directly.
+  EXPECT_EQ(result.fused, fused_interval_ticks(readings, setup.f));
+}
+
+TEST(TickRound, AttackedSensorUsesPolicy) {
+  const auto setup = make_setup({5, 11, 17}, {0}, {2, 1, 0});
+  const std::vector<TickInterval> readings = {{-2, 3}, {-5, 6}, {-10, 7}};
+  support::Rng rng{1};
+  attack::ExpectationPolicy policy;
+  const auto result = run_tick_round(setup, readings, &policy, rng);
+  // Attacked sensor transmitted something of the right width, and the fused
+  // width can only grow relative to the honest round.
+  EXPECT_EQ(result.transmitted[0].width(), 5);
+  EXPECT_GE(result.fused.width(), fused_interval_ticks(readings, setup.f).width());
+  EXPECT_FALSE(result.attacked_detected);
+}
+
+TEST(TickRound, FusionContainsTruthDespiteAttack) {
+  // The true value (0 by construction) lies in >= n - fa >= n - f correct
+  // intervals, so it is always inside the fused interval.
+  const auto setup = make_setup({5, 11, 17}, {0}, {2, 1, 0});
+  support::Rng rng{5};
+  support::Rng world{6};
+  attack::ExpectationPolicy policy;
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<TickInterval> readings(3);
+    for (SensorId id = 0; id < 3; ++id) {
+      const Tick lo = world.uniform_int(-setup.widths[id], 0);
+      readings[id] = TickInterval{lo, lo + setup.widths[id]};
+    }
+    const auto result = run_tick_round(setup, readings, &policy, rng);
+    EXPECT_TRUE(result.fused.contains(Tick{0}));
+  }
+}
+
+TEST(TickRound, WrongWidthPolicyIsRejected) {
+  class BadPolicy final : public attack::AttackPolicy {
+   public:
+    TickInterval decide(const attack::AttackContext&, support::Rng&) override {
+      return TickInterval{0, 1};  // wrong width
+    }
+    std::string name() const override { return "bad"; }
+  };
+  const auto setup = make_setup({5, 11, 17}, {0}, {0, 1, 2});
+  const std::vector<TickInterval> readings = {{-2, 3}, {-5, 6}, {-10, 7}};
+  support::Rng rng{1};
+  BadPolicy bad;
+  EXPECT_THROW((void)run_tick_round(setup, readings, &bad, rng), std::logic_error);
+}
+
+TEST(TickRound, NaiveAttackerGetsDetected) {
+  const auto setup = make_setup({5, 11, 17}, {0}, {2, 1, 0});
+  const std::vector<TickInterval> readings = {{-2, 3}, {-5, 6}, {-10, 7}};
+  support::Rng rng{1};
+  attack::NaiveOffsetPolicy naive{50};
+  const auto result = run_tick_round(setup, readings, &naive, rng);
+  EXPECT_TRUE(result.attacked_detected);
+}
+
+TEST(FusionRound, ReplaysOverBusAndFuses) {
+  const SystemConfig system = make_config({5.0, 11.0, 17.0});
+  FusionRound round{system, Quantizer{1.0}, {}, nullptr};
+  const std::vector<Interval> readings = {{-2, 3}, {-5, 6}, {-10, 7}};
+  support::Rng rng{1};
+  const RoundResult result = round.run(sched::ascending_order(system), readings, rng, 7);
+
+  ASSERT_TRUE(result.fusion.interval);
+  EXPECT_TRUE(result.fusion.interval->contains(0.0));
+  ASSERT_TRUE(result.estimate);
+  EXPECT_EQ(result.detection.num_flagged, 0);
+  // Bus saw one frame per sensor with the right slots and round index.
+  ASSERT_EQ(round.bus().log().size(), 3u);
+  for (std::size_t slot = 0; slot < 3; ++slot) {
+    EXPECT_EQ(round.bus().log()[slot].slot, slot);
+    EXPECT_EQ(round.bus().log()[slot].round, 7u);
+  }
+}
+
+TEST(FusionRound, AttackedRoundStealthyOnGridWorlds) {
+  const SystemConfig system = make_config({5.0, 11.0, 17.0});
+  attack::ExpectationPolicy policy;
+  FusionRound round{system, Quantizer{1.0}, {0}, &policy};
+  support::Rng rng{2};
+  support::Rng world{3};
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<Interval> readings(3);
+    const std::vector<double> widths = system.widths();
+    for (std::size_t id = 0; id < 3; ++id) {
+      const double lo = static_cast<double>(world.uniform_int(
+          -static_cast<Tick>(widths[id]), 0));
+      readings[id] = Interval{lo, lo + widths[id]};
+    }
+    const RoundResult result = round.run(sched::descending_order(system), readings, rng);
+    EXPECT_FALSE(result.attacked_detected);
+    ASSERT_TRUE(result.fusion.interval);
+    EXPECT_TRUE(result.fusion.interval->contains(0.0));
+  }
+}
+
+TEST(FusionRound, ValidatesInputs) {
+  const SystemConfig system = make_config({5.0, 11.0, 17.0});
+  FusionRound round{system, Quantizer{1.0}, {}, nullptr};
+  support::Rng rng{1};
+  const std::vector<Interval> too_few = {{0, 1}};
+  EXPECT_THROW((void)round.run(sched::ascending_order(system), too_few, rng),
+               std::invalid_argument);
+  // Off-grid widths are rejected at construction.
+  EXPECT_THROW((FusionRound{make_config({0.25, 1.0, 1.0}), Quantizer{0.1}, {}, nullptr}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace arsf::sim

@@ -1,0 +1,123 @@
+// Tests for the combined faults + attacks extension (sim/resilience.h).
+
+#include <gtest/gtest.h>
+
+#include "sim/resilience.h"
+
+namespace arsf::sim {
+namespace {
+
+ResilienceConfig base_config() {
+  ResilienceConfig config;
+  config.system = make_config({5.0, 8.0, 11.0, 14.0, 17.0});  // n=5, f=2
+  config.rounds = 1500;
+  config.fault.kind = sensors::FaultKind::kOffset;
+  config.fault.magnitude = 30.0;
+  config.fault.p_recover = 0.2;
+  return config;
+}
+
+TEST(Resilience, NoFaultsNoAttackIsPerfect) {
+  ResilienceConfig config = base_config();
+  config.fa = 0;
+  config.fault.kind = sensors::FaultKind::kNone;
+  const auto result = run_resilience(config);
+  EXPECT_EQ(result.truth_contained, result.rounds);
+  EXPECT_EQ(result.faulty_present, 0u);
+  EXPECT_EQ(result.attacked_flagged, 0u);
+  EXPECT_EQ(result.healthy_flagged, 0u);
+  EXPECT_EQ(result.over_budget, 0u);
+}
+
+TEST(Resilience, AttackAloneKeepsContainment) {
+  // fa=1 <= f=2 and no faults: the fusion interval must always contain the
+  // truth and the stealthy attacker is never flagged.
+  ResilienceConfig config = base_config();
+  config.fa = 1;
+  config.fault.kind = sensors::FaultKind::kNone;
+  attack::ExpectationPolicy policy;
+  config.policy = &policy;
+  const auto result = run_resilience(config);
+  EXPECT_EQ(result.truth_contained, result.rounds);
+  EXPECT_EQ(result.attacked_flagged, 0u);
+  EXPECT_EQ(result.healthy_flagged, 0u);
+}
+
+TEST(Resilience, FaultsWithinBudgetAreContainedAndDiscarded) {
+  // One attacked + occasionally one faulty sensor stays within f=2; the
+  // guarantee must hold on every round that is not over budget.
+  ResilienceConfig config = base_config();
+  config.fa = 1;
+  config.fault.p_enter = 0.02;
+  attack::ExpectationPolicy policy;
+  config.policy = &policy;
+  const auto result = run_resilience(config);
+  EXPECT_GE(result.truth_contained + result.over_budget, result.rounds);
+  // The stealth certificates and the healthy sensors survive any round that
+  // stays within the fault budget; only over-budget rounds can flag them.
+  EXPECT_LE(result.attacked_flagged, result.over_budget);
+  EXPECT_LE(result.healthy_flagged, result.over_budget);
+  EXPECT_GT(result.faulty_present, 0u);
+  // Hard 30-tick offsets land far outside; most faulty rounds discard one.
+  EXPECT_GT(result.faulty_flagged, result.faulty_present / 2);
+}
+
+TEST(Resilience, HeavyFaultsDegradeContainment) {
+  ResilienceConfig mild = base_config();
+  mild.fa = 1;
+  mild.fault.p_enter = 0.01;
+  attack::ExpectationPolicy mild_policy;
+  mild.policy = &mild_policy;
+  ResilienceConfig heavy = base_config();
+  heavy.fa = 1;
+  heavy.fault.p_enter = 0.3;
+  attack::ExpectationPolicy heavy_policy;
+  heavy.policy = &heavy_policy;
+
+  const auto mild_result = run_resilience(mild);
+  const auto heavy_result = run_resilience(heavy);
+  EXPECT_GT(heavy_result.over_budget, mild_result.over_budget);
+  EXPECT_LT(heavy_result.containment_rate(), 1.0);
+  EXPECT_GE(mild_result.containment_rate(), heavy_result.containment_rate());
+}
+
+TEST(Resilience, StuckAtFaultsAreHarderToDetect) {
+  // A stuck-at value is a *plausible* stale measurement, so it is discarded
+  // far less often than a hard offset — the motivation for the paper's
+  // footnote-1 fault model over time.
+  ResilienceConfig offset = base_config();
+  offset.fa = 0;
+  offset.fault.p_enter = 0.05;
+  const auto offset_result = run_resilience(offset);
+
+  ResilienceConfig stuck = base_config();
+  stuck.fa = 0;
+  stuck.fault.p_enter = 0.05;
+  stuck.fault.kind = sensors::FaultKind::kStuckAt;
+  const auto stuck_result = run_resilience(stuck);
+
+  ASSERT_GT(offset_result.faulty_present, 0u);
+  ASSERT_GT(stuck_result.faulty_present, 0u);
+  const double offset_rate = static_cast<double>(offset_result.faulty_flagged) /
+                             static_cast<double>(offset_result.faulty_present);
+  const double stuck_rate = static_cast<double>(stuck_result.faulty_flagged) /
+                            static_cast<double>(stuck_result.faulty_present);
+  EXPECT_LT(stuck_rate, offset_rate);
+}
+
+TEST(Resilience, DeterministicGivenSeed) {
+  ResilienceConfig config = base_config();
+  config.fa = 1;
+  config.fault.p_enter = 0.05;
+  attack::ExpectationPolicy policy_a;
+  config.policy = &policy_a;
+  const auto a = run_resilience(config);
+  attack::ExpectationPolicy policy_b;
+  config.policy = &policy_b;
+  const auto b = run_resilience(config);
+  EXPECT_EQ(a.truth_contained, b.truth_contained);
+  EXPECT_DOUBLE_EQ(a.width.mean(), b.width.mean());
+}
+
+}  // namespace
+}  // namespace arsf::sim

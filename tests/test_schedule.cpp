@@ -1,0 +1,138 @@
+// Unit tests for communication schedules and attacked-set selection
+// (schedule/schedule.h).
+
+#include <gtest/gtest.h>
+
+#include "schedule/schedule.h"
+
+namespace arsf::sched {
+namespace {
+
+SystemConfig five_sensor_config() { return make_config({5.0, 5.0, 5.0, 14.0, 20.0}); }
+
+TEST(Schedule, AscendingOrdersByWidthThenId) {
+  const auto config = five_sensor_config();
+  EXPECT_EQ(ascending_order(config), (Order{0, 1, 2, 3, 4}));
+}
+
+TEST(Schedule, DescendingOrdersByWidthThenId) {
+  const auto config = five_sensor_config();
+  EXPECT_EQ(descending_order(config), (Order{4, 3, 0, 1, 2}));
+}
+
+TEST(Schedule, TrustedLast) {
+  SystemConfig config = make_config({2.0, 1.0, 3.0});
+  config.sensors[1].trusted = true;  // most precise sensor is the trusted one
+  EXPECT_EQ(trusted_last_order(config), (Order{0, 2, 1}));
+}
+
+TEST(Schedule, RandomOrderIsPermutation) {
+  support::Rng rng{5};
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(is_valid_order(random_order(6, rng), 6));
+  }
+}
+
+TEST(Schedule, IsValidOrderRejects) {
+  EXPECT_FALSE(is_valid_order({0, 1, 1}, 3));  // duplicate
+  EXPECT_FALSE(is_valid_order({0, 1, 5}, 3));  // out of range
+  EXPECT_FALSE(is_valid_order({0, 1}, 3));     // wrong size
+  EXPECT_TRUE(is_valid_order({2, 0, 1}, 3));
+}
+
+TEST(Schedule, SlotOf) {
+  const Order order{2, 0, 1};
+  EXPECT_EQ(slot_of(order, 2), 0u);
+  EXPECT_EQ(slot_of(order, 0), 1u);
+  EXPECT_EQ(slot_of(order, 1), 2u);
+  EXPECT_THROW((void)slot_of(order, 9), std::out_of_range);
+}
+
+TEST(ScheduleGenerator, FixedRepeats) {
+  auto generator = ScheduleGenerator::fixed({1, 0, 2});
+  EXPECT_EQ(generator.next(), (Order{1, 0, 2}));
+  EXPECT_EQ(generator.next(), (Order{1, 0, 2}));
+  EXPECT_EQ(generator.kind(), ScheduleKind::kFixed);
+}
+
+TEST(ScheduleGenerator, RandomReshufflesDeterministically) {
+  const auto config = five_sensor_config();
+  auto a = ScheduleGenerator::of_kind(ScheduleKind::kRandom, config, 99);
+  auto b = ScheduleGenerator::of_kind(ScheduleKind::kRandom, config, 99);
+  bool any_different = false;
+  Order previous;
+  for (int i = 0; i < 10; ++i) {
+    const Order& order_a = a.next();
+    EXPECT_EQ(order_a, b.next());  // same seed -> same stream
+    EXPECT_TRUE(is_valid_order(order_a, config.n()));
+    if (i > 0 && order_a != previous) any_different = true;
+    previous = order_a;
+  }
+  EXPECT_TRUE(any_different);  // actually reshuffles across rounds
+}
+
+TEST(ScheduleGenerator, KindsProduceExpectedFirstOrder) {
+  const auto config = five_sensor_config();
+  EXPECT_EQ(ScheduleGenerator::of_kind(ScheduleKind::kAscending, config).next(),
+            ascending_order(config));
+  EXPECT_EQ(ScheduleGenerator::of_kind(ScheduleKind::kDescending, config).next(),
+            descending_order(config));
+}
+
+TEST(AttackedSet, SmallestWidthsBreaksTiesTowardLateSlots) {
+  const auto config = five_sensor_config();
+  // Ascending order 0,1,2,3,4: among the three width-5 sensors the latest
+  // slots are ids 2 then 1.
+  const auto attacked =
+      choose_attacked_set(config, ascending_order(config), 2, AttackedSetRule::kSmallestWidths);
+  EXPECT_EQ(attacked, (std::vector<SensorId>{1, 2}));
+  // Descending order 4,3,0,1,2: the latest width-5 slots are ids 2 then 1.
+  const auto attacked_desc =
+      choose_attacked_set(config, descending_order(config), 2, AttackedSetRule::kSmallestWidths);
+  EXPECT_EQ(attacked_desc, (std::vector<SensorId>{1, 2}));
+}
+
+TEST(AttackedSet, LargestWidths) {
+  const auto config = five_sensor_config();
+  const auto attacked =
+      choose_attacked_set(config, ascending_order(config), 2, AttackedSetRule::kLargestWidths);
+  EXPECT_EQ(attacked, (std::vector<SensorId>{3, 4}));
+}
+
+TEST(AttackedSet, SlotRules) {
+  const auto config = five_sensor_config();
+  const Order order = descending_order(config);  // 4,3,0,1,2
+  EXPECT_EQ(choose_attacked_set(config, order, 2, AttackedSetRule::kFirstSlots),
+            (std::vector<SensorId>{3, 4}));
+  EXPECT_EQ(choose_attacked_set(config, order, 2, AttackedSetRule::kLastSlots),
+            (std::vector<SensorId>{1, 2}));
+}
+
+TEST(AttackedSet, RandomNeedsRngAndIsValid) {
+  const auto config = five_sensor_config();
+  EXPECT_THROW(
+      (void)choose_attacked_set(config, ascending_order(config), 2, AttackedSetRule::kRandom),
+      std::invalid_argument);
+  support::Rng rng{3};
+  const auto attacked =
+      choose_attacked_set(config, ascending_order(config), 2, AttackedSetRule::kRandom, &rng);
+  EXPECT_EQ(attacked.size(), 2u);
+  EXPECT_LT(attacked[0], attacked[1]);  // sorted, unique
+}
+
+TEST(AttackedSet, EmptyOrderFallsBackToIds) {
+  const auto config = five_sensor_config();
+  const auto attacked = choose_attacked_set(config, {}, 1, AttackedSetRule::kSmallestWidths);
+  // Ties broken by id descending (stands in for "latest slot").
+  EXPECT_EQ(attacked, (std::vector<SensorId>{2}));
+}
+
+TEST(Names, ToString) {
+  EXPECT_EQ(to_string(ScheduleKind::kAscending), "ascending");
+  EXPECT_EQ(to_string(ScheduleKind::kDescending), "descending");
+  EXPECT_EQ(to_string(ScheduleKind::kRandom), "random");
+  EXPECT_EQ(to_string(AttackedSetRule::kSmallestWidths), "smallest-widths");
+}
+
+}  // namespace
+}  // namespace arsf::sched

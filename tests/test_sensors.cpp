@@ -1,0 +1,129 @@
+// Unit tests for the abstract sensor models (sensors/sensor.h, models.h):
+// the correctness guarantee (interval contains the true value), noise
+// models, fixed-point bus encoding and the LandShark suite derivation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/fusion.h"
+#include "sensors/models.h"
+
+namespace arsf::sensors {
+namespace {
+
+TEST(Sensor, IntervalAlwaysContainsTruth) {
+  support::Rng rng{1};
+  for (const NoiseModel model :
+       {NoiseModel::kUniform, NoiseModel::kTruncGaussian, NoiseModel::kQuantized}) {
+    const AbstractSensor sensor{SensorSpec{"s", 1.0, false}, model, 1.0 / 3.0,
+                                model == NoiseModel::kQuantized ? 0.07 : 0.0};
+    for (int i = 0; i < 5000; ++i) {
+      const double truth = rng.uniform_real(-20.0, 20.0);
+      const Reading reading = sensor.sample(truth, rng);
+      EXPECT_TRUE(reading.interval.contains(truth))
+          << to_string(model) << " interval " << to_string(reading.interval) << " truth "
+          << truth;
+      EXPECT_NEAR(reading.interval.width(), 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(Sensor, BusEncodingKeepsGuaranteeAndGrid) {
+  support::Rng rng{2};
+  const double grid = 0.01;
+  const AbstractSensor sensor{SensorSpec{"s", 0.2, false}, NoiseModel::kUniform, 1.0 / 3.0,
+                              0.0, grid};
+  for (int i = 0; i < 5000; ++i) {
+    const double truth = rng.uniform_real(5.0, 15.0);
+    const Reading reading = sensor.sample(truth, rng);
+    EXPECT_TRUE(reading.interval.contains(truth));
+    // Measurement is exactly on the grid.
+    const double ratio = reading.measurement / grid;
+    EXPECT_NEAR(ratio, std::round(ratio), 1e-6);
+  }
+}
+
+TEST(Sensor, UniformNoiseCoversFullBand) {
+  support::Rng rng{3};
+  const AbstractSensor sensor{SensorSpec{"s", 2.0, false}, NoiseModel::kUniform};
+  double min_err = 1e9;
+  double max_err = -1e9;
+  for (int i = 0; i < 20000; ++i) {
+    const Reading reading = sensor.sample(0.0, rng);
+    min_err = std::min(min_err, reading.measurement);
+    max_err = std::max(max_err, reading.measurement);
+  }
+  EXPECT_LT(min_err, -0.95);
+  EXPECT_GT(max_err, 0.95);
+}
+
+TEST(Sensor, TruncGaussianConcentrates) {
+  support::Rng rng{4};
+  const AbstractSensor sensor{SensorSpec{"s", 2.0, false}, NoiseModel::kTruncGaussian};
+  int inside_third = 0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    const Reading reading = sensor.sample(0.0, rng);
+    if (std::abs(reading.measurement) < 1.0 / 3.0) ++inside_third;
+  }
+  // ~68% within one sigma (= third of the half-width); uniform would be 33%.
+  EXPECT_GT(inside_third, kDraws / 2);
+}
+
+TEST(Sensor, QuantizedSnapsToResolution) {
+  support::Rng rng{5};
+  const AbstractSensor sensor{SensorSpec{"s", 1.0, false}, NoiseModel::kQuantized, 1.0 / 3.0,
+                              0.25};
+  for (int i = 0; i < 1000; ++i) {
+    const Reading reading = sensor.sample(0.0, rng);
+    const double ratio = reading.measurement / 0.25;
+    const bool on_resolution = std::abs(ratio - std::round(ratio)) < 1e-9;
+    const bool clamped = std::abs(std::abs(reading.measurement) - 0.5) < 1e-9;
+    EXPECT_TRUE(on_resolution || clamped) << reading.measurement;
+  }
+}
+
+TEST(Sensor, InvalidConstruction) {
+  EXPECT_THROW((AbstractSensor{SensorSpec{"s", 0.0, false}}), std::invalid_argument);
+  EXPECT_THROW((AbstractSensor{SensorSpec{"s", 1.0, false}, NoiseModel::kQuantized}),
+               std::invalid_argument);
+}
+
+TEST(Models, EncoderWidthMatchesPaper) {
+  // 192 cycles/rev, 0.5% measuring error, 0.05% jitter -> 0.2 mph.
+  EXPECT_NEAR(encoder_interval_width(EncoderSpec{}), 0.2, 1e-9);
+}
+
+TEST(Models, LandsharkSuiteWidths) {
+  const auto suite = landshark_suite();
+  ASSERT_EQ(suite.size(), 4u);
+  EXPECT_DOUBLE_EQ(suite[0].width(), 1.0);  // gps
+  EXPECT_DOUBLE_EQ(suite[1].width(), 2.0);  // camera
+  EXPECT_DOUBLE_EQ(suite[2].width(), 0.2);  // encoder-left
+  EXPECT_DOUBLE_EQ(suite[3].width(), 0.2);  // encoder-right
+}
+
+TEST(Models, LandsharkConfig) {
+  const SystemConfig config = landshark_config();
+  EXPECT_EQ(config.n(), 4u);
+  EXPECT_EQ(config.f, 1);  // ceil(4/2) - 1
+  EXPECT_NO_THROW(config.validate());
+}
+
+TEST(Models, LandsharkFusionContainsTrueSpeed) {
+  support::Rng rng{7};
+  const auto suite = landshark_suite();
+  const SystemConfig config = landshark_config();
+  for (int i = 0; i < 2000; ++i) {
+    const double truth = rng.uniform_real(5.0, 15.0);
+    std::vector<Interval> intervals;
+    for (const auto& sensor : suite) intervals.push_back(sensor.sample(truth, rng).interval);
+    const auto result = fuse(intervals, config.f);
+    ASSERT_TRUE(result.interval);
+    EXPECT_TRUE(result.interval->contains(truth));
+  }
+}
+
+}  // namespace
+}  // namespace arsf::sensors

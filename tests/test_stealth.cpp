@@ -1,0 +1,130 @@
+// Unit tests for the stealth machinery (attack/stealth.h): the paper's
+// passive/active mode gate and the two non-detection certificates.
+
+#include <gtest/gtest.h>
+
+#include "attack/stealth.h"
+#include "test_helpers.h"
+
+namespace arsf::attack {
+namespace {
+
+using testing::make_context;
+using testing::make_setup;
+
+TEST(Stealth, ModeGateMatchesPaperRule) {
+  // n=3, f=1, fa=1 attacked in each possible slot: active iff
+  // transmitted >= n - f - far, i.e. slot >= 3 - 1 - 1 = 1.
+  for (std::size_t attacked_slot = 0; attacked_slot < 3; ++attacked_slot) {
+    sched::Order order{0, 1, 2};
+    const auto setup = make_setup({5, 11, 17}, {order[attacked_slot]}, order);
+    const StealthMode mode = mode_for_slot(setup, attacked_slot);
+    if (attacked_slot >= 1) {
+      EXPECT_EQ(mode, StealthMode::kActive) << attacked_slot;
+    } else {
+      EXPECT_EQ(mode, StealthMode::kPassive) << attacked_slot;
+    }
+  }
+}
+
+TEST(Stealth, ModeGateCountsUnsentCompromised) {
+  // n=5, f=2, two attacked at slots 0 and 1: at slot 0 far=2 so the gate is
+  // 0 >= 5-2-2 = 1 -> passive; at slot 1 far=1, gate 1 >= 2 -> passive too.
+  const auto setup = make_setup({5, 5, 5, 14, 17}, {0, 1}, {0, 1, 2, 3, 4});
+  EXPECT_EQ(mode_for_slot(setup, 0), StealthMode::kPassive);
+  EXPECT_EQ(mode_for_slot(setup, 1), StealthMode::kPassive);
+  // Attacked at slots 3 and 4 instead: slot 3 gate 3 >= 5-2-2 = 1 -> active.
+  const auto late = make_setup({5, 5, 5, 14, 17}, {3, 4}, {2, 1, 0, 3, 4});
+  EXPECT_EQ(mode_for_slot(late, 3), StealthMode::kActive);
+  EXPECT_EQ(mode_for_slot(late, 4), StealthMode::kActive);
+}
+
+TEST(Stealth, PassiveCertificate) {
+  const TickInterval delta{2, 4};
+  EXPECT_TRUE(passive_feasible({0, 5}, delta));
+  EXPECT_TRUE(passive_feasible({2, 4}, delta));
+  EXPECT_FALSE(passive_feasible({3, 8}, delta));  // cuts delta
+}
+
+TEST(Stealth, PassiveLoRange) {
+  const TickInterval delta{2, 4};
+  EXPECT_EQ(passive_lo_range(delta, 5), (TickInterval{-1, 2}));
+  // Width equal to |delta|: single placement (the reading itself).
+  EXPECT_EQ(passive_lo_range(delta, 2), (TickInterval{2, 2}));
+}
+
+TEST(Stealth, MaxPointOverlap) {
+  const std::vector<TickInterval> others = {{0, 4}, {2, 6}, {3, 10}, {20, 25}};
+  // Point 3..4 lies in the first three intervals.
+  EXPECT_EQ(max_point_overlap_within({0, 10}, others), 3);
+  // Restricting to [5,10]: {2,6} and {3,10} still share the band [5,6].
+  EXPECT_EQ(max_point_overlap_within({5, 10}, others), 2);
+  // Restricting past every overlap: only {3,10} remains.
+  EXPECT_EQ(max_point_overlap_within({7, 10}, others), 1);
+  // Touching at a single endpoint counts (closed intervals): point 4 lies in
+  // {0,4}, {2,6} and {3,10}.
+  EXPECT_EQ(max_point_overlap_within({4, 4}, others), 3);
+  EXPECT_EQ(max_point_overlap_within({40, 50}, others), 0);
+  EXPECT_EQ(max_point_overlap_within(TickInterval::empty_interval(), others), 0);
+}
+
+TEST(Stealth, ActiveCertificate) {
+  const std::vector<TickInterval> others = {{0, 4}, {2, 6}};
+  EXPECT_TRUE(active_feasible({3, 9}, others, 2));   // point 3..4 in both
+  EXPECT_FALSE(active_feasible({5, 9}, others, 2));  // only the second one
+  EXPECT_TRUE(active_feasible({5, 9}, others, 1));
+  EXPECT_TRUE(active_feasible({100, 101}, others, 0));  // need 0 is trivial
+}
+
+TEST(Stealth, PlanFeasibleAcceptsReadings) {
+  const auto setup = make_setup({5, 11, 17}, {0}, {0, 1, 2});
+  const std::vector<TickInterval> readings = {{-2, 3}, {-5, 6}, {-10, 7}};
+  const auto ctx = make_context(setup, readings, 0);
+  const std::vector<TickInterval> plan = {readings[0]};
+  EXPECT_TRUE(plan_feasible(ctx, plan));
+}
+
+TEST(Stealth, PlanFeasibleRejectsPassiveViolation) {
+  // Attacker first (passive): a plan not containing delta is rejected.
+  const auto setup = make_setup({5, 11, 17}, {0}, {0, 1, 2});
+  const std::vector<TickInterval> readings = {{-2, 3}, {-5, 6}, {-10, 7}};
+  const auto ctx = make_context(setup, readings, 0);
+  const std::vector<TickInterval> plan = {{10, 15}};
+  EXPECT_FALSE(plan_feasible(ctx, plan));
+}
+
+TEST(Stealth, PlanFeasibleActiveNeedsCommonPoint) {
+  // Attacker last (active): n=3, f=1 -> need a common point with 1 other.
+  const auto setup = make_setup({5, 11, 17}, {0}, {2, 1, 0});
+  const std::vector<TickInterval> readings = {{-2, 3}, {-5, 6}, {-10, 7}};
+  auto ctx = make_context(setup, readings, 2);
+  EXPECT_TRUE(plan_feasible(ctx, std::vector<TickInterval>{{5, 10}}));   // touches [-5,6] & [-10,7]
+  EXPECT_FALSE(plan_feasible(ctx, std::vector<TickInterval>{{20, 25}}));  // touches nothing
+}
+
+TEST(Stealth, PlanProtectsEarlierSentIntervals) {
+  // Two attacked sensors; the first interval was sent far right leaning on
+  // a planned sibling.  A second-slot plan that abandons it must be
+  // rejected; one that still covers its certificate point is accepted.
+  const auto setup = make_setup({5, 5, 5, 14, 17}, {1, 2}, {0, 1, 2, 3, 4}, 2);
+  const std::vector<TickInterval> readings = {{-1, 4}, {-5, 0}, {-5, 0}, {-14, 0}, {-17, 0}};
+  // First attacked interval already sent at [4, 9]: overlaps seen [-1,4] at 4.
+  auto ctx = make_context(setup, readings, 2, /*my_sent=*/{{4, 9}});
+  // Active certificate for the sent interval needs a point in
+  // >= n-f-1 = 2 others; only [-1,4] + the new plan can provide it.
+  EXPECT_FALSE(plan_feasible(ctx, std::vector<TickInterval>{readings[2]}));
+  EXPECT_TRUE(plan_feasible(ctx, std::vector<TickInterval>{{4, 9}}));
+}
+
+TEST(Stealth, CandidateRangeCoversHullAndSibling) {
+  const auto setup = make_setup({5, 5, 5, 14, 17}, {1, 2}, {0, 1, 2, 3, 4}, 2);
+  const std::vector<TickInterval> readings = {{-1, 4}, {-5, 0}, {-4, 1}, {-14, 0}, {-17, 0}};
+  const auto ctx = make_context(setup, readings, 1);
+  const TickInterval range = candidate_lo_range(ctx, 5);
+  // Hull of delta [-4,0] and seen [-1,4] is [-4,4]; width 5 + sibling 5.
+  EXPECT_LE(range.lo, -4 - 5 - 5);
+  EXPECT_GE(range.hi, 4 + 5);
+}
+
+}  // namespace
+}  // namespace arsf::attack

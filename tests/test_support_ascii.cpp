@@ -1,0 +1,79 @@
+// Unit tests for the ASCII interval-diagram renderer and table printer
+// (support/ascii.h).
+
+#include <gtest/gtest.h>
+
+#include "support/ascii.h"
+
+namespace arsf::support {
+namespace {
+
+TEST(FormatNumber, TrimsTrailingZeros) {
+  EXPECT_EQ(format_number(1.5), "1.5");
+  EXPECT_EQ(format_number(2.0), "2");
+  EXPECT_EQ(format_number(-0.0), "0");
+  EXPECT_EQ(format_number(3.14159, 2), "3.14");
+}
+
+TEST(DescribeInterval, Format) {
+  EXPECT_EQ(describe_interval("s0", 1.0, 3.5), "s0: [1, 3.5] (width 2.5)");
+}
+
+TEST(IntervalDiagram, RendersRowsAndAxis) {
+  IntervalDiagram diagram{40};
+  diagram.add("s0", 0.0, 10.0);
+  diagram.add("s1", 2.0, 6.0, /*attacked=*/true);
+  diagram.add_separator();
+  diagram.add("S", 2.0, 8.0);
+  diagram.set_marker(5.0, '*');
+  const std::string text = diagram.render();
+
+  EXPECT_NE(text.find("s0"), std::string::npos);
+  EXPECT_NE(text.find("s1"), std::string::npos);
+  EXPECT_NE(text.find('~'), std::string::npos);   // attacked glyph
+  EXPECT_NE(text.find('='), std::string::npos);   // honest glyph
+  EXPECT_NE(text.find("----"), std::string::npos);  // separator
+  EXPECT_NE(text.find('*'), std::string::npos);   // marker on axis
+  EXPECT_NE(text.find("[0, 10]"), std::string::npos);
+}
+
+TEST(IntervalDiagram, EmptyRow) {
+  IntervalDiagram diagram{30};
+  diagram.add("s0", 0.0, 4.0);
+  diagram.add_empty("S(f=0)");
+  const std::string text = diagram.render();
+  EXPECT_NE(text.find("(empty)"), std::string::npos);
+}
+
+TEST(IntervalDiagram, NoRows) {
+  IntervalDiagram diagram{30};
+  EXPECT_EQ(diagram.render(), "(empty diagram)\n");
+}
+
+TEST(IntervalDiagram, DegeneratePointInterval) {
+  IntervalDiagram diagram{30};
+  diagram.add("p", 5.0, 5.0);
+  const std::string text = diagram.render();
+  EXPECT_NE(text.find("[5, 5]"), std::string::npos);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable table{{"name", "value"}};
+  table.add_row({"short", "1"});
+  table.add_row({"a-much-longer-name", "23456"});
+  const std::string text = table.render();
+  EXPECT_NE(text.find("| name"), std::string::npos);
+  EXPECT_NE(text.find("a-much-longer-name"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(text.find("|---"), std::string::npos);
+}
+
+TEST(TextTable, PadsMissingCells) {
+  TextTable table{{"a", "b", "c"}};
+  table.add_row({"only-one"});
+  const std::string text = table.render();
+  EXPECT_NE(text.find("only-one"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace arsf::support

@@ -1,0 +1,86 @@
+// Unit tests for the CSV writer and the CLI argument parser.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/cli.h"
+#include "support/csv.h"
+
+namespace arsf::support {
+namespace {
+
+TEST(Csv, PlainRows) {
+  std::ostringstream out;
+  CsvWriter csv{out};
+  csv.write_row({"a", "b", "c"});
+  csv.write_numeric_row({1.5, -2.0, 0.25});
+  EXPECT_EQ(out.str(), "a,b,c\n1.5,-2,0.25\n");
+  EXPECT_EQ(csv.rows_written(), 2u);
+}
+
+TEST(Csv, EscapesSpecials) {
+  std::ostringstream out;
+  CsvWriter csv{out};
+  csv.write_row({"plain", "with,comma", "with\"quote", "with\nnewline"});
+  EXPECT_EQ(out.str(), "plain,\"with,comma\",\"with\"\"quote\",\"with\nnewline\"\n");
+}
+
+TEST(Csv, ThrowsOnBadPath) {
+  EXPECT_THROW(CsvWriter{"/nonexistent-dir-xyz/file.csv"}, std::runtime_error);
+}
+
+namespace {
+ArgParser parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return ArgParser{static_cast<int>(argv.size()), argv.data()};
+}
+}  // namespace
+
+TEST(Cli, KeyValueForms) {
+  const auto args = parse({"--alpha", "3", "--beta=hello", "--gamma"});
+  EXPECT_EQ(args.get_int("alpha", 0), 3);
+  EXPECT_EQ(args.get_string("beta", ""), "hello");
+  EXPECT_TRUE(args.has("gamma"));
+  EXPECT_FALSE(args.has("delta"));
+}
+
+TEST(Cli, Defaults) {
+  const auto args = parse({});
+  EXPECT_EQ(args.get_int("missing", 42), 42);
+  EXPECT_DOUBLE_EQ(args.get_double("missing", 2.5), 2.5);
+  EXPECT_EQ(args.get_string("missing", "dft"), "dft");
+  EXPECT_TRUE(args.get_bool("missing", true));
+}
+
+TEST(Cli, Bools) {
+  const auto args = parse({"--yes", "--no=false", "--one=1"});
+  EXPECT_TRUE(args.get_bool("yes", false));   // bare flag = true
+  EXPECT_FALSE(args.get_bool("no", true));
+  EXPECT_TRUE(args.get_bool("one", false));
+}
+
+TEST(Cli, DoubleList) {
+  const auto args = parse({"--widths", "5,11,17"});
+  EXPECT_EQ(args.get_double_list("widths", {}), (std::vector<double>{5, 11, 17}));
+  EXPECT_EQ(args.get_double_list("absent", {1.0}), (std::vector<double>{1.0}));
+}
+
+TEST(Cli, Positional) {
+  const auto args = parse({"file1", "--k", "v", "file2"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "file1");
+  EXPECT_EQ(args.positional()[1], "file2");
+}
+
+TEST(Cli, UnknownDetection) {
+  const auto args = parse({"--known", "1", "--typo", "2"});
+  (void)args.get_int("known", 0);
+  const auto unknown = args.unknown();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+}  // namespace
+}  // namespace arsf::support

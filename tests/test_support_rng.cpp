@@ -1,0 +1,119 @@
+// Unit tests for the deterministic RNG (support/rng.h).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/rng.h"
+
+namespace arsf::support {
+namespace {
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1};
+  Rng b{2};
+  int differing = 0;
+  for (int i = 0; i < 16; ++i) differing += a.next() != b.next() ? 1 : 0;
+  EXPECT_GT(differing, 12);
+}
+
+TEST(Rng, UniformIntBoundsInclusive) {
+  Rng rng{7};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto draw = rng.uniform_int(-3, 3);
+    EXPECT_GE(draw, -3);
+    EXPECT_LE(draw, 3);
+    seen.insert(draw);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // every value hit over 2000 draws
+}
+
+TEST(Rng, UniformIntDegenerate) {
+  Rng rng{7};
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, UnitInHalfOpenRange) {
+  Rng rng{11};
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntIsRoughlyUniform) {
+  Rng rng{101};
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100'000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.uniform_int(0, kBuckets - 1)];
+  for (int bucket = 0; bucket < kBuckets; ++bucket) {
+    EXPECT_NEAR(counts[bucket], kDraws / kBuckets, 500) << "bucket " << bucket;
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng{13};
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kDraws = 200'000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.01);
+  EXPECT_NEAR(sum_sq / kDraws, 1.0, 0.02);
+}
+
+TEST(Rng, TruncatedGaussianRespectsBound) {
+  Rng rng{17};
+  for (int i = 0; i < 20'000; ++i) {
+    const double draw = rng.truncated_gaussian(5.0, 1.0, 2.0);
+    EXPECT_GE(draw, 3.0);
+    EXPECT_LE(draw, 7.0);
+  }
+}
+
+TEST(Rng, PermutationIsValid) {
+  Rng rng{19};
+  const auto perm = rng.permutation(10);
+  std::set<std::size_t> unique(perm.begin(), perm.end());
+  EXPECT_EQ(unique.size(), 10u);
+  EXPECT_EQ(*unique.begin(), 0u);
+  EXPECT_EQ(*unique.rbegin(), 9u);
+}
+
+TEST(Rng, PermutationCoversAllOrders) {
+  // Over many draws, a 3-permutation should produce all 6 orders.
+  Rng rng{23};
+  std::set<std::vector<std::size_t>> orders;
+  for (int i = 0; i < 300; ++i) orders.insert(rng.permutation(3));
+  EXPECT_EQ(orders.size(), 6u);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent{31};
+  Rng child = parent.split();
+  // The child stream must differ from the parent's continuation.
+  int differing = 0;
+  for (int i = 0; i < 16; ++i) differing += parent.next() != child.next() ? 1 : 0;
+  EXPECT_GT(differing, 12);
+}
+
+TEST(Rng, SplitMix64KnownValue) {
+  // Reference value from the SplitMix64 specification (seed 0 first output).
+  std::uint64_t state = 0;
+  EXPECT_EQ(splitmix64(state), 0xE220A8397B1DCDAFULL);
+}
+
+}  // namespace
+}  // namespace arsf::support

@@ -1,0 +1,114 @@
+// Unit tests for streaming statistics (support/stats.h).
+
+#include <gtest/gtest.h>
+
+#include "support/stats.h"
+
+namespace arsf::support {
+namespace {
+
+TEST(RunningStats, MeanVarianceMinMax) {
+  RunningStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(x);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 4.0);  // population
+  EXPECT_NEAR(stats.sample_variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyIsSafe) {
+  const RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.sem(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats left;
+  RunningStats right;
+  RunningStats all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = 0.1 * i * i - 3.0 * i;
+    (i % 2 ? left : right).add(x);
+    all.add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats stats;
+  stats.add(1.0);
+  stats.add(3.0);
+  RunningStats empty;
+  stats.merge(empty);
+  EXPECT_EQ(stats.count(), 2u);
+  empty.merge(stats);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(WeightedMean, Weighted) {
+  WeightedMean mean;
+  mean.add(10.0, 1.0);
+  mean.add(20.0, 3.0);
+  EXPECT_DOUBLE_EQ(mean.mean(), 17.5);
+  EXPECT_DOUBLE_EQ(mean.total_weight(), 4.0);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram hist{0.0, 10.0, 5};
+  hist.add(0.5);    // bin 0
+  hist.add(9.99);   // bin 4
+  hist.add(-3.0);   // clamps to bin 0
+  hist.add(42.0);   // clamps to bin 4
+  EXPECT_DOUBLE_EQ(hist.count(0), 2.0);
+  EXPECT_DOUBLE_EQ(hist.count(4), 2.0);
+  EXPECT_DOUBLE_EQ(hist.total(), 4.0);
+}
+
+TEST(Histogram, Quantiles) {
+  Histogram hist{0.0, 100.0, 100};
+  for (int i = 0; i < 100; ++i) hist.add(i + 0.5);
+  EXPECT_NEAR(hist.quantile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(hist.quantile(0.9), 90.0, 1.5);
+  EXPECT_NEAR(hist.quantile(0.0), 0.0, 1.0);
+  EXPECT_NEAR(hist.quantile(1.0), 100.0, 1.0);
+}
+
+TEST(Histogram, RenderContainsBars) {
+  Histogram hist{0.0, 2.0, 2};
+  hist.add(0.5);
+  hist.add(0.6);
+  hist.add(1.5);
+  const std::string text = hist.render(10);
+  EXPECT_NE(text.find("##########"), std::string::npos);  // peak bin full width
+  EXPECT_NE(text.find("#####"), std::string::npos);
+}
+
+TEST(Helpers, MeanOfAndMedianOf) {
+  const std::vector<double> odd = {5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(mean_of(odd), 3.0);
+  EXPECT_DOUBLE_EQ(median_of(odd), 3.0);
+  const std::vector<double> even = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median_of(even), 2.5);
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(median_of({}), 0.0);
+}
+
+TEST(Helpers, KahanCompensation) {
+  // Sum many tiny values next to a large one; naive summation loses them.
+  std::vector<double> values{1e16};
+  for (int i = 0; i < 1000; ++i) values.push_back(1.0);
+  const double mean = mean_of(values);
+  EXPECT_NEAR(mean * static_cast<double>(values.size()), 1e16 + 1000.0, 1.0);
+}
+
+}  // namespace
+}  // namespace arsf::support

@@ -1,0 +1,296 @@
+// Empirical verification of the paper's theorems on exhaustive small grids.
+//
+//   * Marzullo guarantees (Section II-A): f < ceil(n/3) / f < ceil(n/2)
+//     width bounds, fusion contains the truth when <= f sensors lie.
+//   * Theorem 2: |S| <= |sc1| + |sc2| (two largest correct widths).
+//   * Theorem 3: attacking the fa largest intervals leaves the worst case
+//     unchanged: |SF| = |Sna|.
+//   * Theorem 4: the global worst case |Swc_fa| is achieved by attacking the
+//     fa smallest intervals.
+//   * Theorem 1: in the two sufficient-condition cases, the constructed
+//     attack is optimal for every completion of the unseen intervals.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/bounds.h"
+#include "sim/worstcase.h"
+#include "support/rng.h"
+
+namespace arsf {
+namespace {
+
+TEST(MarzulloGuarantees, FusionContainsTruthWithAtMostFLiars) {
+  // Random configurations: n in 3..6, up to f liars anywhere; the fusion
+  // interval must contain the true value (0).
+  support::Rng rng{21};
+  for (int trial = 0; trial < 3000; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(3, 6));
+    const int f = max_bounded_f(n);
+    const int liars = static_cast<int>(rng.uniform_int(0, f));
+    std::vector<TickInterval> intervals;
+    for (int i = 0; i < n; ++i) {
+      const Tick width = rng.uniform_int(1, 8);
+      if (i < liars) {
+        // Liar: arbitrary placement, may exclude 0.
+        const Tick lo = rng.uniform_int(-20, 20);
+        intervals.push_back(TickInterval{lo, lo + width});
+      } else {
+        const Tick lo = rng.uniform_int(-width, 0);
+        intervals.push_back(TickInterval{lo, lo + width});
+      }
+    }
+    const TickInterval fused = fused_interval_ticks(intervals, f);
+    ASSERT_FALSE(fused.is_empty());
+    EXPECT_TRUE(fused.contains(Tick{0}))
+        << "n=" << n << " f=" << f << " liars=" << liars << " trial=" << trial;
+  }
+}
+
+TEST(MarzulloGuarantees, WidthBoundedBySomeCorrectWhenFBelowThird) {
+  support::Rng rng{22};
+  for (int trial = 0; trial < 2000; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(4, 7));
+    const int f = ceil_div(n, 3) - 1;  // strictly below ceil(n/3)
+    if (f < 0) continue;
+    const int liars = f;
+    std::vector<TickInterval> intervals;
+    Tick max_correct_width = 0;
+    for (int i = 0; i < n; ++i) {
+      const Tick width = rng.uniform_int(1, 8);
+      if (i < liars) {
+        const Tick lo = rng.uniform_int(-20, 20);
+        intervals.push_back(TickInterval{lo, lo + width});
+      } else {
+        const Tick lo = rng.uniform_int(-width, 0);
+        intervals.push_back(TickInterval{lo, lo + width});
+        max_correct_width = std::max(max_correct_width, width);
+      }
+    }
+    const TickInterval fused = fused_interval_ticks(intervals, f);
+    ASSERT_FALSE(fused.is_empty());
+    EXPECT_LE(fused.width(), max_correct_width) << "trial " << trial;
+  }
+}
+
+TEST(MarzulloGuarantees, WidthBoundedBySomeIntervalWhenFBelowHalf) {
+  support::Rng rng{23};
+  for (int trial = 0; trial < 2000; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(3, 6));
+    const int f = max_bounded_f(n);
+    const int liars = f;
+    std::vector<TickInterval> intervals;
+    Tick max_width = 0;
+    for (int i = 0; i < n; ++i) {
+      const Tick width = rng.uniform_int(1, 8);
+      max_width = std::max(max_width, width);
+      if (i < liars) {
+        const Tick lo = rng.uniform_int(-20, 20);
+        intervals.push_back(TickInterval{lo, lo + width});
+      } else {
+        const Tick lo = rng.uniform_int(-width, 0);
+        intervals.push_back(TickInterval{lo, lo + width});
+      }
+    }
+    const TickInterval fused = fused_interval_ticks(intervals, f);
+    ASSERT_FALSE(fused.is_empty());
+    EXPECT_LE(fused.width(), max_width) << "trial " << trial;
+  }
+}
+
+TEST(Theorem2, HoldsOnRandomUndetectedConfigurations) {
+  support::Rng rng{24};
+  for (int trial = 0; trial < 2000; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(3, 6));
+    const int f = max_bounded_f(n);
+    const int fa = f;
+    std::vector<TickInterval> intervals;
+    std::vector<TickInterval> correct;
+    for (int i = 0; i < n; ++i) {
+      const Tick width = rng.uniform_int(1, 8);
+      if (i < fa) {
+        const Tick lo = rng.uniform_int(-15, 15);
+        intervals.push_back(TickInterval{lo, lo + width});
+      } else {
+        const Tick lo = rng.uniform_int(-width, 0);
+        intervals.push_back(TickInterval{lo, lo + width});
+        correct.push_back(intervals.back());
+      }
+    }
+    const TickInterval fused = fused_interval_ticks(intervals, f);
+    ASSERT_FALSE(fused.is_empty());
+    // The bound applies to undetected attacks; skip configurations where an
+    // attacked interval would be discarded.
+    bool undetected = true;
+    for (int i = 0; i < fa; ++i) undetected &= intervals[i].intersects(fused);
+    if (!undetected) continue;
+    EXPECT_LE(fused.width(), theorem2_bound_ticks(correct)) << "trial " << trial;
+  }
+}
+
+TEST(Theorem3, AttackingLargestLeavesWorstCaseUnchanged) {
+  // |SF| = |Sna| when the fa largest intervals are attacked, exhaustively on
+  // several small width sets.
+  const std::vector<std::vector<Tick>> families = {
+      {2, 3, 5}, {1, 4, 4}, {2, 2, 6}, {2, 3, 4, 5}, {1, 2, 3, 6},
+  };
+  for (const auto& widths : families) {
+    const int n = static_cast<int>(widths.size());
+    const int f = max_bounded_f(n);
+    const std::size_t fa = static_cast<std::size_t>(f);
+    // Attacked = indices of the fa largest widths.
+    std::vector<SensorId> ids(widths.size());
+    std::iota(ids.begin(), ids.end(), SensorId{0});
+    std::sort(ids.begin(), ids.end(),
+              [&](SensorId a, SensorId b) { return widths[a] > widths[b]; });
+    sim::WorstCaseConfig config;
+    config.widths = widths;
+    config.f = f;
+    config.attacked.assign(ids.begin(), ids.begin() + static_cast<std::ptrdiff_t>(fa));
+    std::sort(config.attacked.begin(), config.attacked.end());
+
+    const Tick attacked_worst = sim::worst_case_fusion(config).max_width;
+    const Tick clean_worst = sim::worst_case_no_attack(widths, f);
+    EXPECT_EQ(attacked_worst, clean_worst)
+        << "widths {" << widths[0] << ",...}, fa=" << fa;
+  }
+}
+
+TEST(Theorem4, SmallestIntervalsAchieveGlobalWorstCase) {
+  const std::vector<std::vector<Tick>> families = {
+      {2, 3, 5}, {1, 4, 4}, {2, 2, 6}, {2, 3, 4, 5}, {1, 2, 3, 6},
+  };
+  for (const auto& widths : families) {
+    const int n = static_cast<int>(widths.size());
+    const int f = max_bounded_f(n);
+    const std::size_t fa = static_cast<std::size_t>(f);
+
+    const Tick global = sim::worst_case_over_sets(widths, f, fa);
+
+    std::vector<SensorId> ids(widths.size());
+    std::iota(ids.begin(), ids.end(), SensorId{0});
+    std::sort(ids.begin(), ids.end(),
+              [&](SensorId a, SensorId b) { return widths[a] < widths[b]; });
+    sim::WorstCaseConfig config;
+    config.widths = widths;
+    config.f = f;
+    config.attacked.assign(ids.begin(), ids.begin() + static_cast<std::ptrdiff_t>(fa));
+    std::sort(config.attacked.begin(), config.attacked.end());
+    const Tick smallest_attacked = sim::worst_case_fusion(config).max_width;
+
+    EXPECT_EQ(smallest_attacked, global) << "widths {" << widths[0] << ",...}";
+  }
+}
+
+TEST(Theorems34, AttackingPreciseBeatsAttackingImprecise) {
+  // The operational reading of Thms 3/4 used throughout Section IV: the
+  // worst case with the smallest interval attacked is at least the worst
+  // case with the largest attacked.
+  const std::vector<Tick> widths = {2, 4, 6};
+  sim::WorstCaseConfig smallest;
+  smallest.widths = widths;
+  smallest.f = 1;
+  smallest.attacked = {0};
+  sim::WorstCaseConfig largest = smallest;
+  largest.attacked = {2};
+  EXPECT_GE(sim::worst_case_fusion(smallest).max_width,
+            sim::worst_case_fusion(largest).max_width);
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 1: sufficient conditions for an optimal partial-knowledge attack.
+
+// Brute force: best achievable fused width for a given completion when the
+// attacker knows everything (upper bound on any policy).
+Tick best_width_for_completion(const std::vector<TickInterval>& correct_seen,
+                               const std::vector<TickInterval>& unseen,
+                               const TickInterval& attack, int f) {
+  std::vector<TickInterval> all = correct_seen;
+  all.insert(all.end(), unseen.begin(), unseen.end());
+  all.push_back(attack);
+  return fused_width_ticks(all, f);
+}
+
+TEST(Theorem1, Case1CoincidingSeenIntervalsGuaranteedOptimalAttack) {
+  // Case 1: all seen correct intervals coincide (block S = [0, 4]) and every
+  // unseen correct interval has width at most (|mmin| - |S|)/2 = 3, so every
+  // placement of an unseen correct interval stays inside
+  // U = [S.lo - 3, S.hi + 3] = [-3, 7].  Theorem 1's policy makes every
+  // attacked interval contain all correct intervals; with |U| equal to the
+  // attacked width the placement is exactly U, and it must match the
+  // full-information optimum (problem (1)) for EVERY completion.
+  // n=5, f=2, fa=2: seen = {s1, s2}, one unseen correct.
+  const int f = 2;
+  const std::vector<TickInterval> seen = {{0, 4}, {0, 4}};
+  const TickInterval delta{0, 4};
+  const Tick attacked_width = 10;
+  const Tick slack = (attacked_width - delta.width()) / 2;  // 3
+  const TickInterval guaranteed{delta.lo - slack, delta.hi + slack};  // [-3, 7]
+  ASSERT_EQ(guaranteed.width(), attacked_width);
+
+  for (Tick unseen_width = 1; unseen_width <= slack; ++unseen_width) {
+    for (Tick t = delta.lo; t <= delta.hi; ++t) {       // true value anywhere in Delta
+      for (Tick lo = t - unseen_width; lo <= t; ++lo) {  // unseen contains t
+        const std::vector<TickInterval> unseen = {{lo, lo + unseen_width}};
+        std::vector<TickInterval> all = seen;
+        all.insert(all.end(), unseen.begin(), unseen.end());
+        all.push_back(guaranteed);
+        all.push_back(guaranteed);
+        const Tick achieved = fused_width_ticks(all, f);
+
+        // Exhaustive alternative stealthy attacks for this completion.
+        Tick best = -1;
+        for (Tick lo1 = -16; lo1 <= 10; ++lo1) {
+          for (Tick lo2 = -16; lo2 <= 10; ++lo2) {
+            const TickInterval a1{lo1, lo1 + attacked_width};
+            const TickInterval a2{lo2, lo2 + attacked_width};
+            if (!a1.contains(delta) || !a2.contains(delta)) continue;
+            std::vector<TickInterval> candidate = seen;
+            candidate.insert(candidate.end(), unseen.begin(), unseen.end());
+            candidate.push_back(a1);
+            candidate.push_back(a2);
+            best = std::max(best, fused_width_ticks(candidate, f));
+          }
+        }
+        EXPECT_EQ(achieved, best) << "w=" << unseen_width << " t=" << t << " lo=" << lo;
+      }
+    }
+  }
+}
+
+TEST(Theorem1, Case2WideAttackedIntervalPinsTheEndpoints) {
+  // Case 2 structure (Fig. 3(b)): the attacked interval is wide enough to
+  // contain both l_{n-f-fa} and u_{n-f-fa}, and the unseen intervals are too
+  // small to move those points.  n=4, f=1, fa=1: |CS| = 2 = n-f-fa, so the
+  // pinned points are l_2 = 2 (2nd smallest seen lower bound) and u_2 = 6
+  // (2nd largest seen upper bound); the fusion interval is pinned to [2, 6].
+  const int f = 1;  // fused threshold over 4 intervals: 3
+  const std::vector<TickInterval> seen = {{0, 6}, {2, 8}};  // l2 = 2, u2 = 6
+  const TickInterval delta{3, 5};  // truth support within the seen block
+  const Tick attacked_width = 5;   // >= u2 - l2 = 4
+  // Her interval must contain [l2, u2] = [2, 6]; placements [1,6] and [2,7].
+  // Case-2 unseen threshold: |s| <= min(l_S - l2, u2 - u_S) with
+  // S = S_{CS u Delta, 0} = [3, 5]: min(3-2, 6-5) = 1.
+  for (const TickInterval attack : {TickInterval{1, 6}, TickInterval{2, 7}}) {
+    for (Tick t = delta.lo; t <= delta.hi; ++t) {
+      const Tick unseen_width = 1;
+      for (Tick lo = t - unseen_width; lo <= t; ++lo) {
+        const std::vector<TickInterval> unseen = {{lo, lo + unseen_width}};
+        const Tick achieved = best_width_for_completion(seen, unseen, attack, f);
+        // Exhaustive alternative placements cannot beat the pinned [2, 6].
+        Tick best = -1;
+        for (Tick alo = -12; alo <= 12; ++alo) {
+          best = std::max(best, best_width_for_completion(
+                                    seen, unseen, TickInterval{alo, alo + attacked_width}, f));
+        }
+        EXPECT_EQ(achieved, best) << "t=" << t << " attack=" << to_string(attack);
+        EXPECT_EQ(achieved, 4);  // |[2, 6]|
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace arsf

@@ -1,0 +1,97 @@
+// Unit tests for the exhaustive worst-case search (sim/worstcase.h).
+
+#include <gtest/gtest.h>
+
+#include "sim/worstcase.h"
+
+namespace arsf::sim {
+namespace {
+
+TEST(WorstCase, NoAttackSmallConfig) {
+  // Two width-2 intervals containing 0, f=0: fusion = intersection; the
+  // worst case (widest intersection) is both fully aligned -> width 2.
+  EXPECT_EQ(worst_case_no_attack(std::vector<Tick>{2, 2}, 0), 2);
+  // n=3 f=1: fusion = [median lo, median up]; the worst case aligns the two
+  // width-4 intervals exactly (fusion = their common extent, width 4 — the
+  // f < ceil(n/2) guarantee caps it at the width of some interval).
+  EXPECT_EQ(worst_case_no_attack(std::vector<Tick>{2, 4, 4}, 1), 4);
+}
+
+TEST(WorstCase, ConfigurationsCounted) {
+  WorstCaseConfig config;
+  config.widths = {2, 3};
+  config.f = 0;
+  const auto result = worst_case_fusion(config);
+  EXPECT_EQ(result.configurations, 3u * 4u);
+  EXPECT_EQ(result.argmax.size(), 2u);
+}
+
+TEST(WorstCase, AttackedSearchRespectsDetection) {
+  // One attacked width-4 interval among two correct width-2; f=1.  With the
+  // undetected constraint the attacked interval must touch the fusion
+  // interval; dropping the constraint can only allow more (never less).
+  WorstCaseConfig with_detection;
+  with_detection.widths = {2, 2, 4};
+  with_detection.f = 1;
+  with_detection.attacked = {2};
+  const Tick constrained = worst_case_fusion(with_detection).max_width;
+
+  WorstCaseConfig without = with_detection;
+  without.require_undetected = false;
+  const Tick unconstrained = worst_case_fusion(without).max_width;
+  EXPECT_GE(unconstrained, constrained);
+  EXPECT_GT(constrained, 0);
+}
+
+TEST(WorstCase, AttackedCanOnlyHelp) {
+  // For any fixed attacked set, the worst case is at least the no-attack
+  // worst case (the attacker can always transmit a correct placement).
+  const std::vector<Tick> widths = {2, 3, 4};
+  const Tick baseline = worst_case_no_attack(widths, 1);
+  for (SensorId id = 0; id < 3; ++id) {
+    WorstCaseConfig config;
+    config.widths = widths;
+    config.f = 1;
+    config.attacked = {id};
+    EXPECT_GE(worst_case_fusion(config).max_width, baseline) << "attacked " << id;
+  }
+}
+
+TEST(WorstCase, OverSetsReturnsMaximisingSet) {
+  const std::vector<Tick> widths = {2, 3, 5};
+  std::vector<SensorId> best_set;
+  const Tick best = worst_case_over_sets(widths, 1, 1, &best_set);
+  ASSERT_EQ(best_set.size(), 1u);
+  // Verify it really is the max over the three singleton sets.
+  Tick manual_best = -1;
+  for (SensorId id = 0; id < 3; ++id) {
+    WorstCaseConfig config;
+    config.widths = widths;
+    config.f = 1;
+    config.attacked = {id};
+    manual_best = std::max(manual_best, worst_case_fusion(config).max_width);
+  }
+  EXPECT_EQ(best, manual_best);
+}
+
+TEST(WorstCase, ArgmaxAchievesReportedWidth) {
+  WorstCaseConfig config;
+  config.widths = {2, 3, 4};
+  config.f = 1;
+  config.attacked = {0};
+  const auto result = worst_case_fusion(config);
+  const TickInterval fused = fused_interval_ticks(result.argmax, config.f);
+  ASSERT_FALSE(fused.is_empty());
+  EXPECT_EQ(fused.width(), result.max_width);
+  // And the attacked interval indeed intersects the fusion interval.
+  EXPECT_TRUE(result.argmax[0].intersects(fused));
+}
+
+TEST(WorstCase, EmptyInput) {
+  WorstCaseConfig config;
+  const auto result = worst_case_fusion(config);
+  EXPECT_EQ(result.max_width, -1);
+}
+
+}  // namespace
+}  // namespace arsf::sim
