@@ -1,0 +1,110 @@
+// Enumeration-engine microbenchmarks (google-benchmark): the pre-engine
+// full-re-sort reference vs the incremental sweep (serial) vs the
+// thread-pool fan-out, across sensor counts n in {3,4,5} and grid steps in
+// {1.0, 0.5, 0.25} on Table I configurations.  The clean/no-attack path is
+// benchmarked so the numbers isolate raw enumeration cost (the attacker
+// policy path is dominated by the policy itself).
+//
+// JSON output for trend tracking (BENCH_* trajectory):
+//     perf_enumerate --benchmark_format=json > perf_enumerate.json
+// The headline comparison is n=5/step=1.0 (the largest Table I config,
+// {5,5,5,14,20}): Reference vs IncrementalSerial is the single-thread
+// speedup of the incremental sweep; Parallel adds the multicore scaling.
+
+#include <benchmark/benchmark.h>
+
+#include "sim/enumerate.h"
+
+namespace {
+
+// Table I widths per sensor count (largest world count of each n).
+const std::vector<double>& widths_for(int n) {
+  static const std::vector<std::vector<double>> table = {
+      {5, 11, 17},           // n=3:   6*12*18            = 1296 worlds at step 1
+      {5, 8, 17, 20},        // n=4:   6*9*18*21          = 20412
+      {5, 5, 5, 14, 20},     // n=5:   6^3*15*21          = 68040 (largest Table I config)
+  };
+  return table[static_cast<std::size_t>(n - 3)];
+}
+
+double step_for(int step_index) {
+  static constexpr double kSteps[] = {1.0, 0.5, 0.25};
+  return kSteps[step_index];
+}
+
+arsf::sim::EnumerateConfig clean_config(int n, int step_index, unsigned num_threads) {
+  arsf::sim::EnumerateConfig config;
+  config.system = arsf::make_config(widths_for(n));
+  config.quant = arsf::Quantizer{step_for(step_index)};
+  config.order = arsf::sched::ascending_order(config.system);
+  config.num_threads = num_threads;
+  config.max_worlds = 1'000'000'000;
+  return config;
+}
+
+void set_counters(benchmark::State& state, const arsf::sim::EnumerateConfig& config) {
+  const auto worlds = arsf::sim::world_count(config.system, config.quant);
+  state.counters["worlds"] = static_cast<double>(worlds);
+  state.counters["worlds_per_s"] = benchmark::Counter(
+      static_cast<double>(worlds) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_EnumerateReference(benchmark::State& state) {
+  const auto config = clean_config(static_cast<int>(state.range(0)),
+                                   static_cast<int>(state.range(1)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arsf::sim::enumerate_expected_width_reference(config));
+  }
+  set_counters(state, config);
+}
+
+void BM_EnumerateIncrementalSerial(benchmark::State& state) {
+  const auto config = clean_config(static_cast<int>(state.range(0)),
+                                   static_cast<int>(state.range(1)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arsf::sim::enumerate_expected_width(config));
+  }
+  set_counters(state, config);
+}
+
+void BM_EnumerateParallel(benchmark::State& state) {
+  const auto config = clean_config(static_cast<int>(state.range(0)),
+                                   static_cast<int>(state.range(1)), 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arsf::sim::enumerate_expected_width(config));
+  }
+  set_counters(state, config);
+}
+
+void EnumerateGrid(benchmark::internal::Benchmark* bench) {
+  for (int n = 3; n <= 5; ++n) {
+    for (int step_index = 0; step_index < 3; ++step_index) {
+      bench->Args({n, step_index});
+    }
+  }
+  bench->Unit(benchmark::kMillisecond)->ArgNames({"n", "step_idx"});
+}
+
+BENCHMARK(BM_EnumerateReference)->Apply(EnumerateGrid);
+BENCHMARK(BM_EnumerateIncrementalSerial)->Apply(EnumerateGrid);
+BENCHMARK(BM_EnumerateParallel)->Apply(EnumerateGrid);
+
+// Full Table I cell with the Bayesian attacker: the policy path keeps a
+// serial engine but rides the incremental sweep for the world odometer.
+void BM_EnumerateWithPolicy(benchmark::State& state) {
+  for (auto _ : state) {
+    arsf::sim::EnumerateConfig config;
+    config.system = arsf::make_config({5.0, 11.0, 17.0});
+    config.order = arsf::sched::descending_order(config.system);
+    config.attacked = {0};
+    arsf::attack::ExpectationPolicy policy;
+    config.policy = &policy;
+    benchmark::DoNotOptimize(arsf::sim::enumerate_expected_width(config));
+  }
+}
+BENCHMARK(BM_EnumerateWithPolicy)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -23,10 +23,55 @@ TickFusionResult fuse_ticks(const std::vector<TickInterval>& intervals, int f) {
 }
 
 std::vector<FusionResult> fuse_all_f(std::span<const Interval> intervals) {
-  std::vector<FusionResult> results;
-  results.reserve(intervals.size());
-  for (int f = 0; f < static_cast<int>(intervals.size()); ++f) {
-    results.push_back(fuse(intervals, f));
+  // One sorted endpoint pass serves every threshold simultaneously instead
+  // of n independent full fusions: the overlap count moves by +-1 per event,
+  // so an increment to c opens the pending segment of threshold c and a
+  // decrement from c closes it (count >= c just ended there).
+  const int n = static_cast<int>(intervals.size());
+  if (n == 0) return {};  // no thresholds to sweep (pre-engine behaviour)
+  for (const auto& iv : intervals) {
+    if (iv.is_empty()) throw std::invalid_argument("fuse_all_f: empty input interval");
+  }
+
+  struct Event {
+    double x;
+    int delta;  // +1 start, -1 end
+  };
+  std::vector<Event> events;
+  events.reserve(2 * static_cast<std::size_t>(n));
+  for (const auto& iv : intervals) {
+    events.push_back({iv.lo, +1});
+    events.push_back({iv.hi, -1});
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.x != b.x) return a.x < b.x;
+    return a.delta > b.delta;  // starts first (closed intervals touch)
+  });
+
+  std::vector<FusionResult> results(static_cast<std::size_t>(n));
+  for (int f = 0; f < n; ++f) results[static_cast<std::size_t>(f)].threshold = n - f;
+
+  std::vector<double> open(static_cast<std::size_t>(n) + 1, 0.0);  // start x per threshold
+  int count = 0;
+  int max_overlap = 0;
+  for (const Event& event : events) {
+    if (event.delta > 0) {
+      ++count;
+      max_overlap = std::max(max_overlap, count);
+      open[static_cast<std::size_t>(count)] = event.x;  // threshold `count` segment opens
+    } else {
+      // Segment of threshold `count` closes here (threshold index f = n - count).
+      results[static_cast<std::size_t>(n - count)].segments.push_back(
+          Interval{open[static_cast<std::size_t>(count)], event.x});
+      --count;
+    }
+  }
+
+  for (auto& result : results) {
+    result.max_overlap = max_overlap;
+    if (!result.segments.empty()) {
+      result.interval = Interval{result.segments.front().lo, result.segments.back().hi};
+    }
   }
   return results;
 }
@@ -83,6 +128,12 @@ TickInterval sweep_ticks(const Tick* lows, const Tick* highs, std::size_t n,
 }
 
 }  // namespace
+
+TickInterval fuse_sorted_endpoints_ticks(const Tick* lows, const Tick* highs, std::size_t n,
+                                         int threshold) noexcept {
+  assert(threshold >= 1 && threshold <= static_cast<int>(n));
+  return sweep_ticks(lows, highs, n, threshold);
+}
 
 TickInterval fused_interval_ticks(std::span<const TickInterval> intervals, int f) noexcept {
   const std::size_t n = intervals.size();

@@ -131,4 +131,12 @@ template <typename T>
 [[nodiscard]] TickInterval fused_interval_ticks(std::span<const TickInterval> intervals,
                                                 int f) noexcept;
 
+/// Core of the tick hot path: Marzullo sweep over *pre-sorted* endpoint
+/// arrays (ascending lows, ascending highs, both of length n).  Exposed so
+/// engines that maintain sorted endpoints incrementally (sim/engine/) can
+/// fuse without re-sorting.  Returns the empty interval when no point is
+/// covered by at least @p threshold intervals; requires 1 <= threshold <= n.
+[[nodiscard]] TickInterval fuse_sorted_endpoints_ticks(const Tick* lows, const Tick* highs,
+                                                       std::size_t n, int threshold) noexcept;
+
 }  // namespace arsf

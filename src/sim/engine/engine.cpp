@@ -1,0 +1,173 @@
+#include "sim/engine/engine.h"
+
+#include <stdexcept>
+
+namespace arsf::sim::engine {
+
+namespace {
+
+WorldCodec codec_from_ranges(std::span<const TickInterval> lo_ranges) {
+  std::vector<std::uint64_t> radices;
+  radices.reserve(lo_ranges.size());
+  for (const TickInterval& range : lo_ranges) {
+    if (range.is_empty()) throw std::invalid_argument("WorldDomain: empty lower-bound range");
+    radices.push_back(static_cast<std::uint64_t>(range.width()) + 1);
+  }
+  return WorldCodec{std::move(radices)};
+}
+
+}  // namespace
+
+namespace {
+
+/// Sentinel "infinity" for the clamp bounds: far beyond any reachable tick
+/// but small enough that sentinel +- small offsets cannot overflow.
+constexpr Tick kFar = Tick{1} << 40;
+
+constexpr Tick clamp_tick(Tick v, Tick lo, Tick hi) noexcept {
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+/// Exact sum of clamp(v, lo, hi) over integer v in [a, b]; requires a <= b
+/// and lo <= hi.  All quantities stay far below overflow (|ticks| <= kFar,
+/// run lengths are world-space radices).
+Tick sum_clamp(Tick a, Tick b, Tick lo, Tick hi) noexcept {
+  Tick total = 0;
+  const Tick below_end = std::min(b, lo - 1);
+  if (below_end >= a) total += (below_end - a + 1) * lo;
+  const Tick above_start = std::max(a, hi + 1);
+  if (above_start <= b) total += (b - above_start + 1) * hi;
+  const Tick mid_start = std::max(a, lo);
+  const Tick mid_end = std::min(b, hi);
+  if (mid_start <= mid_end) total += (mid_start + mid_end) * (mid_end - mid_start + 1) / 2;
+  return total;
+}
+
+}  // namespace
+
+CleanStats enumerate_clean_block(const WorldDomain& domain, std::uint64_t begin,
+                                 std::uint64_t end) {
+  if (!domain.common_point) {
+    throw std::invalid_argument("enumerate_clean_block: domain lacks a common point");
+  }
+  CleanStats stats;
+  if (begin >= end) return stats;
+
+  const std::size_t n = domain.widths.size();
+  const int t = domain.threshold;
+  const Tick w0 = domain.widths[0];
+
+  std::vector<std::uint64_t> digits(n);
+  domain.codec.decode(begin, digits);
+
+  // Sorted endpoints of the *rest* (slots 1..n-1), maintained incrementally;
+  // the digit-0 run never touches them.
+  std::vector<TickInterval> rest_intervals(n - 1);
+  for (std::size_t slot = 1; slot < n; ++slot) {
+    rest_intervals[slot - 1] = domain.interval_at(slot, digits[slot]);
+  }
+  IncrementalSweep rest;
+  rest.reset(rest_intervals);
+
+  const std::uint64_t radix0 = domain.codec.radix(0);
+  std::uint64_t index = begin;
+  for (;;) {
+    // Clamp bounds from the rest's order statistics (R ascending lows,
+    // H ascending highs, both of size n-1); out-of-range => +-kFar.
+    const std::span<const Tick> R = rest.sorted_lows();
+    const std::span<const Tick> H = rest.sorted_highs();
+    const Tick A = t >= 2 ? R[static_cast<std::size_t>(t - 2)] : -kFar;
+    const Tick B = t <= static_cast<int>(n) - 1 ? R[static_cast<std::size_t>(t - 1)] : kFar;
+    const Tick C = t <= static_cast<int>(n) - 1 ? H[n - 1 - static_cast<std::size_t>(t)] : -kFar;
+    const Tick D = t >= 2 ? H[n - static_cast<std::size_t>(t)] : kFar;
+
+    const std::uint64_t run_len = std::min<std::uint64_t>(radix0 - digits[0], end - index);
+    const Tick x_first = domain.lo_min[0] + static_cast<Tick>(digits[0]);
+    const Tick x_last = x_first + static_cast<Tick>(run_len) - 1;
+
+    // Closed-form width sum over the run: width(x) = hi_f(x) - lo_f(x).
+    stats.width_sum += static_cast<std::uint64_t>(
+        sum_clamp(x_first + w0, x_last + w0, C, D) - sum_clamp(x_first, x_last, A, B));
+
+    // width(x) is piecewise linear with breakpoints {A, B, C-w0, D-w0}, so
+    // its extremes over the run lie at the run ends or at breakpoints
+    // clamped into the run.
+    const Tick candidates[6] = {x_first,
+                                x_last,
+                                clamp_tick(A, x_first, x_last),
+                                clamp_tick(B, x_first, x_last),
+                                clamp_tick(C - w0, x_first, x_last),
+                                clamp_tick(D - w0, x_first, x_last)};
+    for (const Tick x : candidates) {
+      const Tick width = clamp_tick(x + w0, C, D) - clamp_tick(x, A, B);
+      stats.min_width = std::min(stats.min_width, width);
+      stats.max_width = std::max(stats.max_width, width);
+    }
+
+    index += run_len;
+    if (index == end) break;
+    digits[0] = radix0 - 1;  // jump the odometer to the run's last world...
+    const std::size_t changed = domain.codec.advance(digits);  // ...and step over it
+    for (std::size_t slot = 1; slot < changed; ++slot) {
+      rest.replace(slot - 1, domain.interval_at(slot, digits[slot]));
+    }
+  }
+  return stats;
+}
+
+CleanStats clean_statistics(const WorldDomain& domain, unsigned num_threads) {
+  if (num_threads == 0) num_threads = ThreadPool::default_threads();
+  const std::vector<IndexBlock> blocks = partition_blocks(domain.world_count(), num_threads);
+  std::vector<CleanStats> per_block(blocks.size());
+  ThreadPool::shared().run(blocks.size(), [&](std::size_t i) {
+    per_block[i] = enumerate_clean_block(domain, blocks[i].begin, blocks[i].end);
+  });
+  CleanStats merged;
+  for (const CleanStats& block : per_block) merged.merge(block);
+  return merged;
+}
+
+WorldDomain WorldDomain::all_contain_zero(std::span<const Tick> widths, int f) {
+  WorldDomain domain;
+  domain.widths.assign(widths.begin(), widths.end());
+  domain.lo_min.reserve(widths.size());
+  std::vector<std::uint64_t> radices;
+  radices.reserve(widths.size());
+  for (const Tick w : widths) {
+    if (w < 0) throw std::invalid_argument("WorldDomain: negative width");
+    domain.lo_min.push_back(-w);
+    radices.push_back(static_cast<std::uint64_t>(w) + 1);
+  }
+  domain.codec = WorldCodec{std::move(radices)};
+  domain.threshold = static_cast<int>(widths.size()) - f;
+  if (domain.threshold < 1 || domain.threshold > static_cast<int>(widths.size())) {
+    throw std::invalid_argument("WorldDomain: require 0 <= f < n");
+  }
+  domain.common_point = true;
+  return domain;
+}
+
+WorldDomain WorldDomain::from_ranges(std::span<const Tick> widths,
+                                     std::span<const TickInterval> lo_ranges, int f) {
+  if (widths.size() != lo_ranges.size()) {
+    throw std::invalid_argument("WorldDomain: widths/lo_ranges size mismatch");
+  }
+  WorldDomain domain;
+  domain.widths.assign(widths.begin(), widths.end());
+  domain.lo_min.reserve(widths.size());
+  domain.codec = codec_from_ranges(lo_ranges);
+  domain.threshold = static_cast<int>(widths.size()) - f;
+  if (domain.threshold < 1 || domain.threshold > static_cast<int>(widths.size())) {
+    throw std::invalid_argument("WorldDomain: require 0 <= f < n");
+  }
+  // Every placement of slot i contains 0 iff the whole lower-bound range
+  // keeps the interval straddling the origin.
+  domain.common_point = true;
+  for (std::size_t i = 0; i < lo_ranges.size(); ++i) {
+    domain.lo_min.push_back(lo_ranges[i].lo);
+    if (lo_ranges[i].lo < -widths[i] || lo_ranges[i].hi > 0) domain.common_point = false;
+  }
+  return domain;
+}
+
+}  // namespace arsf::sim::engine

@@ -1,0 +1,156 @@
+#pragma once
+// Parallel incremental world-enumeration engine.
+//
+// A WorldDomain describes a product space of interval placements: slot i has
+// a fixed width and a contiguous range of allowed lower bounds.  The engine
+// walks a contiguous block of world indices (WorldCodec order: digit 0
+// fastest) with an IncrementalSweep, so each odometer step costs an
+// amortised O(1) endpoint repair instead of a full endpoint re-sort, and
+// hands every world's fusion interval to a pluggable visitor.
+//
+// Visitors are callables
+//
+//     visit(std::uint64_t world_index, TickInterval fused,
+//           const IncrementalSweep& sweep)
+//
+// (expected-width accumulator, worst-case argmax tracker, detection counter,
+// ... — see sim/enumerate.cpp and sim/worstcase.cpp).  The sweep argument
+// exposes the current interval placements for visitors that need more than
+// the fused interval (stealth admissibility checks, full protocol rounds).
+//
+// Threading: enumerate_blocks() splits [0, world_count) into contiguous
+// blocks, runs one engine per block on the shared ThreadPool with a private
+// visitor each, and returns the visitors in block order.  Merging the
+// per-block accumulators in block order is the caller's job; every
+// accumulator in this codebase is either exact integer arithmetic or an
+// order-independent min/max, so merged results are bit-identical to a serial
+// walk regardless of thread count.
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "core/interval.h"
+#include "sim/engine/sweep.h"
+#include "sim/engine/thread_pool.h"
+#include "sim/engine/world_codec.h"
+
+namespace arsf::sim::engine {
+
+struct WorldDomain {
+  std::vector<Tick> widths;  ///< interval width per slot
+  std::vector<Tick> lo_min;  ///< smallest allowed lower bound per slot
+  WorldCodec codec;          ///< radix i = number of allowed lower bounds of slot i
+  int threshold = 0;         ///< Marzullo threshold n - f
+  /// True when every reachable placement of every slot contains the origin —
+  /// then all worlds share a common covered point and the engine can use the
+  /// O(1) sorted-endpoint fusion instead of the O(n) sweep.
+  bool common_point = false;
+
+  /// Clean/no-attack domain: slot i's lower bound ranges over [-w_i, 0], so
+  /// every interval contains the pinned true value 0.
+  [[nodiscard]] static WorldDomain all_contain_zero(std::span<const Tick> widths, int f);
+
+  /// General domain from explicit per-slot lower-bound ranges (worst-case
+  /// search with attacked sensors placed anywhere).
+  [[nodiscard]] static WorldDomain from_ranges(std::span<const Tick> widths,
+                                               std::span<const TickInterval> lo_ranges, int f);
+
+  [[nodiscard]] std::uint64_t world_count() const noexcept { return codec.world_count(); }
+
+  [[nodiscard]] TickInterval interval_at(std::size_t slot, std::uint64_t digit) const {
+    const Tick lo = lo_min[slot] + static_cast<Tick>(digit);
+    return TickInterval{lo, lo + widths[slot]};
+  }
+};
+
+/// Walks worlds [begin, end) of @p domain, invoking
+/// visit(index, fused, sweep) for each.
+template <typename Visitor>
+void enumerate_block(const WorldDomain& domain, std::uint64_t begin, std::uint64_t end,
+                     Visitor&& visit) {
+  if (begin >= end) return;
+  const std::size_t n = domain.widths.size();
+
+  std::vector<std::uint64_t> digits(n);
+  domain.codec.decode(begin, digits);
+  std::vector<TickInterval> intervals(n);
+  for (std::size_t slot = 0; slot < n; ++slot) {
+    intervals[slot] = domain.interval_at(slot, digits[slot]);
+  }
+  IncrementalSweep sweep;
+  sweep.reset(intervals);
+
+  for (std::uint64_t index = begin;;) {
+    const TickInterval fused = domain.common_point
+                                   ? sweep.fused_with_common_point(domain.threshold)
+                                   : sweep.fused(domain.threshold);
+    visit(index, fused, sweep);
+    if (++index == end) break;
+    const std::size_t changed = domain.codec.advance(digits);
+    for (std::size_t slot = 0; slot < changed; ++slot) {
+      sweep.replace(slot, domain.interval_at(slot, digits[slot]));
+    }
+  }
+}
+
+/// Exact clean-path statistics over a block of worlds.  All fields merge
+/// exactly across blocks (integer sum, min, max).
+struct CleanStats {
+  std::uint64_t width_sum = 0;  ///< sum of fused widths in ticks
+  Tick min_width = std::numeric_limits<Tick>::max();
+  Tick max_width = std::numeric_limits<Tick>::min();
+
+  void merge(const CleanStats& other) noexcept {
+    width_sum += other.width_sum;
+    min_width = std::min(min_width, other.min_width);
+    max_width = std::max(max_width, other.max_width);
+  }
+};
+
+/// Fast lane for common-point domains (every interval contains 0, the fusion
+/// region is never empty): accumulates the fused-width sum / min / max over
+/// worlds [begin, end) without visiting each world individually.
+///
+/// Within a digit-0 run only slot 0 moves, so with the *other* slots' sorted
+/// endpoints R (lows) and H (highs) maintained incrementally, the fusion
+/// interval at lower bound x is
+///
+///     [ clamp(x, R[t-2], R[t-1]) , clamp(x + w_0, H[n-1-t], H[n-t]) ]
+///
+/// (out-of-range indices are +-infinity; t = threshold) — each run collapses
+/// to a closed-form sum of clamps plus <= 6 candidate evaluations for
+/// min/max.  Results are bit-identical to the per-world sweep: the sums are
+/// exact integer arithmetic either way.  Throws std::invalid_argument when
+/// the domain lacks the common-point guarantee.
+[[nodiscard]] CleanStats enumerate_clean_block(const WorldDomain& domain, std::uint64_t begin,
+                                               std::uint64_t end);
+
+/// Whole-space clean statistics: enumerate_clean_block fan-out over the
+/// shared ThreadPool (num_threads 0 = hardware threads, 1 = serial) with a
+/// deterministic block-order merge.
+[[nodiscard]] CleanStats clean_statistics(const WorldDomain& domain, unsigned num_threads);
+
+/// Parallel fan-out: partitions [0, domain.world_count()) into at most
+/// @p num_threads contiguous blocks (0 = ThreadPool::default_threads()),
+/// constructs one private accumulator per block via @p make_accumulator,
+/// uses each as its block's visitor on the shared pool, and returns the
+/// accumulators in block order for deterministic merging.
+template <typename Factory,
+          typename Accumulator = std::invoke_result_t<Factory&>>
+std::vector<Accumulator> enumerate_blocks(const WorldDomain& domain, unsigned num_threads,
+                                          Factory&& make_accumulator) {
+  if (num_threads == 0) num_threads = ThreadPool::default_threads();
+  const std::vector<IndexBlock> blocks = partition_blocks(domain.world_count(), num_threads);
+  std::vector<Accumulator> accumulators;
+  accumulators.reserve(blocks.size());
+  for (std::size_t i = 0; i < blocks.size(); ++i) accumulators.push_back(make_accumulator());
+  ThreadPool::shared().run(blocks.size(), [&](std::size_t i) {
+    enumerate_block(domain, blocks[i].begin, blocks[i].end, accumulators[i]);
+  });
+  return accumulators;
+}
+
+}  // namespace arsf::sim::engine

@@ -1,0 +1,45 @@
+#include "sim/engine/sweep.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace arsf::sim::engine {
+
+void IncrementalSweep::reset(std::span<const TickInterval> intervals) {
+  intervals_.assign(intervals.begin(), intervals.end());
+  lows_.resize(intervals_.size());
+  highs_.resize(intervals_.size());
+  for (std::size_t i = 0; i < intervals_.size(); ++i) {
+    lows_[i] = intervals_[i].lo;
+    highs_[i] = intervals_[i].hi;
+  }
+  std::sort(lows_.begin(), lows_.end());
+  std::sort(highs_.begin(), highs_.end());
+}
+
+void IncrementalSweep::bump(std::vector<Tick>& arr, Tick old_value, Tick new_value) noexcept {
+  auto it = std::lower_bound(arr.begin(), arr.end(), old_value);
+  assert(it != arr.end() && *it == old_value);
+  if (new_value >= old_value) {
+    while (it + 1 != arr.end() && *(it + 1) < new_value) {
+      *it = *(it + 1);
+      ++it;
+    }
+  } else {
+    while (it != arr.begin() && *(it - 1) > new_value) {
+      *it = *(it - 1);
+      --it;
+    }
+  }
+  *it = new_value;
+}
+
+void IncrementalSweep::replace(std::size_t slot, TickInterval next) {
+  assert(slot < intervals_.size());
+  const TickInterval previous = intervals_[slot];
+  intervals_[slot] = next;
+  if (previous.lo != next.lo) bump(lows_, previous.lo, next.lo);
+  if (previous.hi != next.hi) bump(highs_, previous.hi, next.hi);
+}
+
+}  // namespace arsf::sim::engine

@@ -1,0 +1,70 @@
+#pragma once
+// Incremental Marzullo sweep.
+//
+// The enumeration hot loop changes exactly one interval per odometer step
+// (amortised: digit 0 moves every step, digit 1 every radix_0 steps, ...), so
+// re-sorting all 2n endpoints per world — what fused_interval_ticks does — is
+// pure waste.  IncrementalSweep keeps the lows and highs arrays *sorted
+// across steps*: replace() removes one endpoint from each array and slides
+// the replacement to its place (amortised O(1) for the +1 odometer moves,
+// O(n) worst case on digit-carry resets, with n single-digit in practice).
+//
+// Fusing is then:
+//   * fused(threshold)                    — the general two-pointer sweep
+//     over the pre-sorted arrays (core/fusion.h), O(n) with no sort;
+//   * fused_with_common_point(threshold)  — O(1): when some point is covered
+//     by every interval (the clean enumeration paths pin the true value at 0
+//     and every correct interval contains it), the coverage count is
+//     monotone increasing left of that point and monotone decreasing right
+//     of it, so the fusion interval is exactly
+//         [ threshold-th smallest low , threshold-th largest high ].
+
+#include <span>
+#include <vector>
+
+#include "core/fusion.h"
+#include "core/interval.h"
+
+namespace arsf::sim::engine {
+
+class IncrementalSweep {
+ public:
+  /// Loads a fresh interval set (sorts both endpoint arrays once).
+  void reset(std::span<const TickInterval> intervals);
+
+  /// Replaces the interval at @p slot, repairing both sorted arrays.
+  void replace(std::size_t slot, TickInterval next);
+
+  [[nodiscard]] std::span<const TickInterval> intervals() const noexcept {
+    return intervals_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return intervals_.size(); }
+
+  /// The maintained sorted endpoint arrays (ascending) — order statistics of
+  /// the current interval set in O(1), used by the run-batched clean path.
+  [[nodiscard]] std::span<const Tick> sorted_lows() const noexcept { return lows_; }
+  [[nodiscard]] std::span<const Tick> sorted_highs() const noexcept { return highs_; }
+
+  /// Marzullo fusion interval at @p threshold (= n - f); empty interval when
+  /// no point reaches the threshold.  Requires 1 <= threshold <= size().
+  [[nodiscard]] TickInterval fused(int threshold) const noexcept {
+    return fuse_sorted_endpoints_ticks(lows_.data(), highs_.data(), lows_.size(), threshold);
+  }
+
+  /// O(1) fusion, valid only when some point is covered by all intervals.
+  [[nodiscard]] TickInterval fused_with_common_point(int threshold) const noexcept {
+    const std::size_t t = static_cast<std::size_t>(threshold);
+    return TickInterval{lows_[t - 1], highs_[lows_.size() - t]};
+  }
+
+ private:
+  /// Moves the element equal to @p old_value to where @p new_value sorts,
+  /// sliding the elements in between (arr stays sorted).
+  static void bump(std::vector<Tick>& arr, Tick old_value, Tick new_value) noexcept;
+
+  std::vector<TickInterval> intervals_;  ///< by slot
+  std::vector<Tick> lows_;               ///< sorted ascending
+  std::vector<Tick> highs_;              ///< sorted ascending
+};
+
+}  // namespace arsf::sim::engine

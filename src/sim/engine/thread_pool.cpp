@@ -1,0 +1,139 @@
+#include "sim/engine/thread_pool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace arsf::sim::engine {
+
+namespace {
+
+// One run() invocation.  Workers copy the shared_ptr under the pool mutex, so
+// a worker that wakes late still drains *its* job's private index counter —
+// which is already exhausted — and can never steal indices from a newer job.
+struct Job {
+  const std::function<void(std::size_t)>* task = nullptr;
+  std::size_t count = 0;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::exception_ptr first_error;  ///< guarded by the pool mutex
+};
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::mutex mutex;
+  std::condition_variable work_ready;
+  std::condition_variable work_done;
+  std::vector<std::thread> workers;
+
+  std::uint64_t generation = 0;           ///< bumped per run(); guarded by mutex
+  std::shared_ptr<Job> job;               ///< current job; guarded by mutex
+  bool stopping = false;
+
+  void drain(const std::shared_ptr<Job>& current) {
+    while (true) {
+      const std::size_t index = current->next.fetch_add(1, std::memory_order_relaxed);
+      if (index >= current->count) return;
+      try {
+        (*current->task)(index);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!current->first_error) current->first_error = std::current_exception();
+      }
+      if (current->done.fetch_add(1, std::memory_order_acq_rel) + 1 == current->count) {
+        std::lock_guard<std::mutex> lock(mutex);
+        work_done.notify_all();
+      }
+    }
+  }
+
+  void worker_loop() {
+    std::uint64_t seen_generation = 0;
+    while (true) {
+      std::shared_ptr<Job> current;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        work_ready.wait(lock, [&] { return stopping || generation != seen_generation; });
+        if (stopping) return;
+        seen_generation = generation;
+        current = job;
+      }
+      if (current) drain(current);
+    }
+  }
+};
+
+ThreadPool::ThreadPool(unsigned threads) : impl_(new Impl) {
+  size_ = threads == 0 ? default_threads() : threads;
+  impl_->workers.reserve(size_ - 1);
+  for (unsigned i = 1; i < size_; ++i) {
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stopping = true;
+  }
+  impl_->work_ready.notify_all();
+  for (std::thread& worker : impl_->workers) worker.join();
+  delete impl_;
+}
+
+void ThreadPool::run(std::size_t count, const std::function<void(std::size_t)>& task) {
+  if (count == 0) return;
+  if (count == 1 || impl_->workers.empty()) {
+    for (std::size_t i = 0; i < count; ++i) task(i);
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->task = &task;
+  job->count = count;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->job = job;
+    ++impl_->generation;
+  }
+  impl_->work_ready.notify_all();
+
+  // The calling thread works too, then waits for the stragglers.
+  impl_->drain(job);
+  std::unique_lock<std::mutex> lock(impl_->mutex);
+  impl_->work_done.wait(
+      lock, [&] { return job->done.load(std::memory_order_acquire) == job->count; });
+  if (job->first_error) std::rethrow_exception(job->first_error);
+}
+
+unsigned ThreadPool::default_threads() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+std::vector<IndexBlock> partition_blocks(std::uint64_t total, unsigned blocks) {
+  std::vector<IndexBlock> result;
+  if (total == 0 || blocks == 0) return result;
+  const std::uint64_t count = blocks;
+  const std::uint64_t base = total / count;
+  const std::uint64_t remainder = total % count;
+  std::uint64_t begin = 0;
+  for (std::uint64_t i = 0; i < count && begin < total; ++i) {
+    const std::uint64_t size = base + (i < remainder ? 1 : 0);
+    if (size == 0) continue;
+    result.push_back(IndexBlock{begin, begin + size});
+    begin += size;
+  }
+  return result;
+}
+
+}  // namespace arsf::sim::engine

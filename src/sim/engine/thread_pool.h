@@ -1,0 +1,62 @@
+#pragma once
+// Minimal blocking thread pool for the enumeration fan-out.
+//
+// The engines split a world-index range into contiguous blocks and run one
+// IncrementalSweep per block with private accumulators; the pool only
+// supplies the workers.  Determinism is the callers' job and comes for free
+// from the block structure: block boundaries depend on the requested block
+// count alone (never on scheduling), every block writes its own slot, and
+// the caller merges slots in block order — so results are independent of how
+// many OS threads actually executed and in what interleaving.
+//
+// run() executes tasks 0..count-1 (worker threads pull indices from a shared
+// atomic), blocks until all complete, and rethrows the first task exception.
+// A count of 1 — or a pool of size 1 — degenerates to inline execution on
+// the calling thread with no synchronisation overhead.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace arsf::sim::engine {
+
+class ThreadPool {
+ public:
+  /// Spawns @p threads - 1 workers (the calling thread participates in
+  /// run()); 0 means default_threads().
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution width (workers + the calling thread).
+  [[nodiscard]] unsigned size() const noexcept { return size_; }
+
+  /// Runs task(0) ... task(count-1) across the pool; returns when all have
+  /// finished.  Tasks must not call run() on the same pool (no nesting).
+  void run(std::size_t count, const std::function<void(std::size_t)>& task);
+
+  /// max(1, std::thread::hardware_concurrency()).
+  [[nodiscard]] static unsigned default_threads() noexcept;
+
+  /// Process-wide pool of default_threads() width, created on first use.
+  [[nodiscard]] static ThreadPool& shared();
+
+ private:
+  struct Impl;
+  Impl* impl_;  ///< pimpl keeps <mutex>/<condition_variable> out of the header
+  unsigned size_ = 1;
+};
+
+/// Half-open index range [begin, end).
+struct IndexBlock {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+};
+
+/// Splits [0, total) into at most @p blocks contiguous near-equal pieces
+/// (empty pieces are dropped, so fewer blocks come back when total < blocks).
+[[nodiscard]] std::vector<IndexBlock> partition_blocks(std::uint64_t total, unsigned blocks);
+
+}  // namespace arsf::sim::engine

@@ -1,0 +1,49 @@
+#include "sim/engine/world_codec.h"
+
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+namespace arsf::sim::engine {
+
+WorldCodec::WorldCodec(std::vector<std::uint64_t> radices) : radices_(std::move(radices)) {
+  for (const std::uint64_t radix : radices_) {
+    if (radix == 0) throw std::invalid_argument("WorldCodec: radix must be >= 1");
+    if (count_ > std::numeric_limits<std::uint64_t>::max() / radix) {
+      count_ = std::numeric_limits<std::uint64_t>::max();
+      overflow_ = true;
+    } else {
+      count_ *= radix;
+    }
+  }
+}
+
+void WorldCodec::decode(std::uint64_t index, std::span<std::uint64_t> out) const {
+  assert(out.size() == radices_.size());
+  assert(index < count_);
+  for (std::size_t i = 0; i < radices_.size(); ++i) {
+    out[i] = index % radices_[i];
+    index /= radices_[i];
+  }
+}
+
+std::uint64_t WorldCodec::encode(std::span<const std::uint64_t> digits) const {
+  assert(digits.size() == radices_.size());
+  std::uint64_t index = 0;
+  for (std::size_t i = radices_.size(); i-- > 0;) {
+    assert(digits[i] < radices_[i]);
+    index = index * radices_[i] + digits[i];
+  }
+  return index;
+}
+
+std::size_t WorldCodec::advance(std::span<std::uint64_t> digits) const {
+  assert(digits.size() == radices_.size());
+  for (std::size_t i = 0; i < radices_.size(); ++i) {
+    if (++digits[i] < radices_[i]) return i + 1;
+    digits[i] = 0;
+  }
+  return 0;  // wrapped past the last world
+}
+
+}  // namespace arsf::sim::engine

@@ -1,0 +1,53 @@
+#pragma once
+// Mixed-radix world index codec.
+//
+// The exhaustive engines (sim/enumerate.h, sim/worstcase.h) walk a product
+// space: slot i's placement is one of radix_i choices, so a *world* is a
+// digit vector (d_0, ..., d_{n-1}) with d_i in [0, radix_i).  This codec
+// gives every world a dense uint64 index (digit 0 is the fastest-moving, the
+// same convention as the legacy odometer loops), which is what makes
+// arbitrary contiguous block partitioning — and therefore multi-threaded
+// fan-out with deterministic block-order merging — possible: a worker seeks
+// directly to its block start with decode() and then steps with advance().
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace arsf::sim::engine {
+
+class WorldCodec {
+ public:
+  WorldCodec() = default;
+  /// @param radices per-digit radix; every radix must be >= 1 (a radix-1
+  ///        digit is a slot with a single fixed placement).  Throws
+  ///        std::invalid_argument on a zero radix.
+  explicit WorldCodec(std::vector<std::uint64_t> radices);
+
+  [[nodiscard]] std::size_t digits() const noexcept { return radices_.size(); }
+  [[nodiscard]] std::uint64_t radix(std::size_t digit) const { return radices_[digit]; }
+
+  /// prod_i radix_i; saturates at uint64 max (see overflowed()).
+  [[nodiscard]] std::uint64_t world_count() const noexcept { return count_; }
+  [[nodiscard]] bool overflowed() const noexcept { return overflow_; }
+
+  /// Writes the digit vector of @p index (digit 0 fastest).  Requires
+  /// out.size() == digits() and index < world_count().
+  void decode(std::uint64_t index, std::span<std::uint64_t> out) const;
+
+  /// Inverse of decode().
+  [[nodiscard]] std::uint64_t encode(std::span<const std::uint64_t> digits) const;
+
+  /// Odometer step: increments the digit vector in place.  Returns how many
+  /// leading digits changed (1 = only digit 0 bumped; k = digits 0..k-2
+  /// wrapped to zero and digit k-1 bumped), or 0 when the vector wrapped
+  /// around past the last world (all digits are zero again).
+  std::size_t advance(std::span<std::uint64_t> digits) const;
+
+ private:
+  std::vector<std::uint64_t> radices_;
+  std::uint64_t count_ = 1;
+  bool overflow_ = false;
+};
+
+}  // namespace arsf::sim::engine

@@ -1,7 +1,10 @@
 #include "sim/enumerate.h"
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
+
+#include "sim/engine/engine.h"
 
 namespace arsf::sim {
 
@@ -18,21 +21,89 @@ std::uint64_t world_count(const SystemConfig& system, const Quantizer& quant) {
   return count;
 }
 
-EnumerateResult enumerate_expected_width(const EnumerateConfig& config) {
+namespace {
+
+/// Shared validation; returns the round setup and the world count.
+attack::AttackSetup validated_setup(const EnumerateConfig& config, std::uint64_t& worlds) {
   config.system.validate();
-  const std::size_t n = config.system.n();
-  if (!sched::is_valid_order(config.order, n)) {
+  if (!sched::is_valid_order(config.order, config.system.n())) {
     throw std::invalid_argument("enumerate_expected_width: invalid order");
   }
-  const std::uint64_t worlds = world_count(config.system, config.quant);
+  worlds = world_count(config.system, config.quant);
   if (worlds > config.max_worlds) {
     throw std::invalid_argument("enumerate_expected_width: world count " +
                                 std::to_string(worlds) + " exceeds max_worlds");
   }
+  return attack::make_setup(config.system, config.quant, config.attacked, config.order);
+}
 
-  const attack::AttackSetup setup =
-      attack::make_setup(config.system, config.quant, config.attacked, config.order);
+}  // namespace
+
+EnumerateResult enumerate_expected_width(const EnumerateConfig& config) {
+  std::uint64_t worlds = 0;
+  const attack::AttackSetup setup = validated_setup(config, worlds);
+
+  const engine::WorldDomain domain =
+      engine::WorldDomain::all_contain_zero(setup.widths, setup.f);
+
+  EnumerateResult result;
+  result.worlds = worlds;
+
+  // Reset regardless of whether the attacked path runs, matching the
+  // reference implementation's side effects on the caller's policy object.
+  if (config.policy != nullptr) config.policy->reset();
+
+  // Clean expectation: fully parallel, run-batched (the attacked path reuses
+  // it as its no-attack baseline).
+  const engine::CleanStats clean = engine::clean_statistics(domain, config.num_threads);
+
+  std::uint64_t attacked_sum = 0;
+  Tick min_width = 0;
+  Tick max_width = 0;
+
+  const bool with_policy = !config.attacked.empty() && config.policy != nullptr;
+  if (!with_policy) {
+    attacked_sum = clean.width_sum;
+    min_width = clean.min_width;
+    max_width = clean.max_width;
+  } else {
+    // Stateful-policy path: serial (the memoised policy is shared mutable
+    // state), but the readings odometer still rides the incremental engine.
+    support::Rng rng{0xdecafbadULL};  // policies on the exact path ignore it
+    min_width = std::numeric_limits<Tick>::max();
+    max_width = std::numeric_limits<Tick>::min();
+    engine::enumerate_block(
+        domain, 0, worlds,
+        [&](std::uint64_t /*index*/, TickInterval /*clean_fused*/,
+            const engine::IncrementalSweep& sweep) {
+          const TickRoundResult round =
+              run_tick_round(setup, sweep.intervals(), config.policy, rng, config.oracle);
+          Tick width = 0;
+          if (round.fused.is_empty()) {
+            ++result.empty_fusion_worlds;
+          } else {
+            width = round.fused.width();
+          }
+          if (round.attacked_detected) ++result.detected_worlds;
+          attacked_sum += static_cast<std::uint64_t>(width);
+          min_width = std::min(min_width, width);
+          max_width = std::max(max_width, width);
+        });
+  }
+
+  const double scale = config.quant.step / static_cast<double>(worlds);
+  result.expected_width = static_cast<double>(attacked_sum) * scale;
+  result.expected_width_no_attack = static_cast<double>(clean.width_sum) * scale;
+  result.min_width = static_cast<double>(min_width) * config.quant.step;
+  result.max_width = static_cast<double>(max_width) * config.quant.step;
+  return result;
+}
+
+EnumerateResult enumerate_expected_width_reference(const EnumerateConfig& config) {
+  std::uint64_t worlds = 0;
+  const attack::AttackSetup setup = validated_setup(config, worlds);
   const std::vector<Tick>& widths = setup.widths;
+  const std::size_t n = config.system.n();
 
   if (config.policy != nullptr) config.policy->reset();
 

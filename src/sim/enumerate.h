@@ -28,6 +28,12 @@ struct EnumerateConfig {
   attack::AttackPolicy* policy = nullptr;
   bool oracle = false;               ///< feed actual placements (OraclePolicy)
   std::uint64_t max_worlds = 200'000'000;  ///< safety valve, throws beyond
+  /// Worker fan-out for the clean/no-policy enumeration (0 = one block per
+  /// hardware thread, 1 = serial).  Results are bit-identical for every
+  /// value: all merged accumulators are exact integer sums or min/max.  The
+  /// stateful-policy path always runs serially (the policy memo is shared
+  /// state) but still uses the incremental engine.
+  unsigned num_threads = 0;
 };
 
 struct EnumerateResult {
@@ -43,7 +49,18 @@ struct EnumerateResult {
 /// Enumerates every world and returns the exact expectation (with respect to
 /// the grid).  Throws std::invalid_argument when the world count exceeds
 /// config.max_worlds or the widths do not sit on the quantiser grid.
+///
+/// Runs on the sim/engine/ subsystem: an incremental endpoint sweep per
+/// world (no re-sort) and, for the clean and no-policy paths, a thread-pool
+/// fan-out over contiguous world-index blocks with deterministic block-order
+/// merging.  Results are bit-identical to
+/// enumerate_expected_width_reference() for every thread count.
 [[nodiscard]] EnumerateResult enumerate_expected_width(const EnumerateConfig& config);
+
+/// Pre-engine reference implementation: single-threaded odometer with a full
+/// endpoint re-sort per world.  Kept as the parity oracle for tests and the
+/// baseline for bench/perf_enumerate.cpp; config.num_threads is ignored.
+[[nodiscard]] EnumerateResult enumerate_expected_width_reference(const EnumerateConfig& config);
 
 /// Number of worlds the configuration would enumerate.
 [[nodiscard]] std::uint64_t world_count(const SystemConfig& system, const Quantizer& quant);

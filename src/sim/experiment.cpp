@@ -3,7 +3,8 @@
 namespace arsf::sim {
 
 Table1Row compare_schedules(std::span<const double> widths, std::size_t fa,
-                            const attack::ExpectationOptions& policy_options, double step) {
+                            const attack::ExpectationOptions& policy_options, double step,
+                            unsigned num_threads) {
   const SystemConfig system = make_config(widths);  // f = ceil(n/2) - 1
 
   Table1Row row;
@@ -15,6 +16,7 @@ Table1Row compare_schedules(std::span<const double> widths, std::size_t fa,
     EnumerateConfig config;
     config.system = system;
     config.quant = Quantizer{step};
+    config.num_threads = num_threads;
     config.order = kind == sched::ScheduleKind::kAscending ? sched::ascending_order(system)
                                                            : sched::descending_order(system);
     config.attacked = sched::choose_attacked_set(system, config.order, fa,
@@ -53,10 +55,11 @@ std::span<const Table1Reference> paper_table1_reference() {
   return reference;
 }
 
-std::vector<Table1Row> reproduce_table1(const attack::ExpectationOptions& policy_options) {
+std::vector<Table1Row> reproduce_table1(const attack::ExpectationOptions& policy_options,
+                                        unsigned num_threads) {
   std::vector<Table1Row> rows;
   for (const auto& [widths, fa] : paper_table1_configs()) {
-    rows.push_back(compare_schedules(widths, fa, policy_options));
+    rows.push_back(compare_schedules(widths, fa, policy_options, 1.0, num_threads));
   }
   return rows;
 }

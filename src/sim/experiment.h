@@ -28,9 +28,11 @@ struct Table1Row {
 
 /// Computes one row.  @p step is the discretisation grid (1 = paper's
 /// integer widths).  Policy options allow bounding cost on fine grids.
+/// @p num_threads is the engine fan-out for the enumeration (0 = hardware
+/// threads, 1 = serial); the result is bit-identical for every value.
 [[nodiscard]] Table1Row compare_schedules(std::span<const double> widths, std::size_t fa,
                                           const attack::ExpectationOptions& policy_options = {},
-                                          double step = 1.0);
+                                          double step = 1.0, unsigned num_threads = 0);
 
 /// The paper's eight Table I configurations (widths, fa).
 [[nodiscard]] std::span<const std::pair<std::vector<double>, std::size_t>>
@@ -45,6 +47,6 @@ struct Table1Reference {
 
 /// Runs all eight configurations.
 [[nodiscard]] std::vector<Table1Row> reproduce_table1(
-    const attack::ExpectationOptions& policy_options = {});
+    const attack::ExpectationOptions& policy_options = {}, unsigned num_threads = 0);
 
 }  // namespace arsf::sim

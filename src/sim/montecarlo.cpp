@@ -29,11 +29,26 @@ MonteCarloResult run_monte_carlo(const MonteCarloConfig& config) {
 
   if (config.policy != nullptr) config.policy->reset();
 
+  // For fixed/deterministic schedules the slot order — and with it the whole
+  // round setup (attacked set and widths never change across rounds) — is
+  // invariant, so build it once instead of re-validating and re-sorting it
+  // every round.  Only kRandom redraws the order per round.
+  const bool per_round_order =
+      config.fixed_order.empty() && config.schedule == sched::ScheduleKind::kRandom;
+  attack::AttackSetup fixed_setup;
+  if (!per_round_order && config.rounds > 0) {
+    fixed_setup = attack::make_setup(config.system, config.quant, result.attacked,
+                                     generator.next());
+  }
+
   std::vector<TickInterval> readings(n);
+  attack::AttackSetup round_setup;
   for (std::size_t round = 0; round < config.rounds; ++round) {
-    const sched::Order& order = generator.next();
-    const attack::AttackSetup setup =
-        attack::make_setup(config.system, config.quant, result.attacked, order);
+    if (per_round_order) {
+      round_setup =
+          attack::make_setup(config.system, config.quant, result.attacked, generator.next());
+    }
+    const attack::AttackSetup& setup = per_round_order ? round_setup : fixed_setup;
 
     for (std::size_t i = 0; i < n; ++i) {
       const Tick lo = world_rng.uniform_int(-widths[i], 0);

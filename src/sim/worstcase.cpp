@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/engine/engine.h"
+
 namespace arsf::sim {
 
 namespace {
@@ -32,6 +34,27 @@ Ranges placement_ranges(const WorstCaseConfig& config) {
   return ranges;
 }
 
+/// Per-block argmax tracker.  Keeps the *first* configuration (lowest world
+/// index within the block) that strictly exceeds the running maximum, so
+/// merging blocks in index order reproduces the serial scan exactly.
+struct WorstCaseTracker {
+  const WorstCaseConfig* config = nullptr;
+  Tick max_width = -1;
+  std::vector<TickInterval> argmax;
+
+  void operator()(std::uint64_t /*index*/, TickInterval fused,
+                  const engine::IncrementalSweep& sweep) {
+    if (fused.is_empty() || fused.width() <= max_width) return;
+    if (config->require_undetected) {
+      for (SensorId id : config->attacked) {
+        if (!sweep.intervals()[id].intersects(fused)) return;
+      }
+    }
+    max_width = fused.width();
+    argmax.assign(sweep.intervals().begin(), sweep.intervals().end());
+  }
+};
+
 }  // namespace
 
 WorstCaseResult worst_case_fusion(const WorstCaseConfig& config) {
@@ -40,48 +63,20 @@ WorstCaseResult worst_case_fusion(const WorstCaseConfig& config) {
   if (n == 0) return result;
 
   const Ranges ranges = placement_ranges(config);
-  result.configurations = 1;
-  for (const auto& range : ranges.lo_range) {
-    result.configurations *= static_cast<std::uint64_t>(range.width()) + 1;
-  }
+  const engine::WorldDomain domain =
+      engine::WorldDomain::from_ranges(config.widths, ranges.lo_range, config.f);
+  result.configurations = domain.world_count();
 
-  std::vector<Tick> lows(n);
-  std::vector<TickInterval> intervals(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    lows[i] = ranges.lo_range[i].lo;
-    intervals[i] = TickInterval{lows[i], lows[i] + config.widths[i]};
-  }
+  std::vector<WorstCaseTracker> trackers = engine::enumerate_blocks(
+      domain, config.num_threads, [&config] { return WorstCaseTracker{&config}; });
 
-  for (;;) {
-    const TickInterval fused = fused_interval_ticks(intervals, config.f);
-    if (!fused.is_empty()) {
-      bool admissible = true;
-      if (config.require_undetected) {
-        for (SensorId id : config.attacked) {
-          if (!intervals[id].intersects(fused)) {
-            admissible = false;
-            break;
-          }
-        }
-      }
-      if (admissible && fused.width() > result.max_width) {
-        result.max_width = fused.width();
-        result.argmax = intervals;
-      }
+  // Deterministic merge in block order: strict > keeps the earliest block on
+  // ties, i.e. the lowest-index maximising configuration overall.
+  for (WorstCaseTracker& tracker : trackers) {
+    if (tracker.max_width > result.max_width) {
+      result.max_width = tracker.max_width;
+      result.argmax = std::move(tracker.argmax);
     }
-
-    std::size_t digit = 0;
-    while (digit < n) {
-      if (lows[digit] < ranges.lo_range[digit].hi) {
-        ++lows[digit];
-        intervals[digit] = TickInterval{lows[digit], lows[digit] + config.widths[digit]};
-        break;
-      }
-      lows[digit] = ranges.lo_range[digit].lo;
-      intervals[digit] = TickInterval{lows[digit], lows[digit] + config.widths[digit]};
-      ++digit;
-    }
-    if (digit == n) break;
   }
   return result;
 }
@@ -94,7 +89,7 @@ Tick worst_case_no_attack(std::span<const Tick> widths, int f) {
 }
 
 Tick worst_case_over_sets(std::span<const Tick> widths, int f, std::size_t fa,
-                          std::vector<SensorId>* best_set) {
+                          std::vector<SensorId>* best_set, unsigned num_threads) {
   const std::size_t n = widths.size();
   Tick best = -1;
 
@@ -104,6 +99,7 @@ Tick worst_case_over_sets(std::span<const Tick> widths, int f, std::size_t fa,
     WorstCaseConfig config;
     config.widths.assign(widths.begin(), widths.end());
     config.f = f;
+    config.num_threads = num_threads;
     for (std::size_t id = 0; id < n; ++id) {
       if (mask & (1ULL << id)) config.attacked.push_back(id);
     }

@@ -26,6 +26,11 @@ struct WorstCaseConfig {
   int f = 0;
   std::vector<SensorId> attacked;  ///< fixed attacked set F (may be empty)
   bool require_undetected = true;  ///< attacked intervals must intersect S
+  /// Worker fan-out over configuration-index blocks (0 = one block per
+  /// hardware thread, 1 = serial).  The merged result is bit-identical for
+  /// every value: blocks merge in index order and ties keep the earlier
+  /// block, so argmax is always the lowest-index maximising configuration.
+  unsigned num_threads = 0;
 };
 
 struct WorstCaseResult {
@@ -44,6 +49,7 @@ struct WorstCaseResult {
 /// Global worst case |Swc_fa| over every attacked set of size fa; if
 /// @p best_set is non-null it receives one maximising set.
 [[nodiscard]] Tick worst_case_over_sets(std::span<const Tick> widths, int f, std::size_t fa,
-                                        std::vector<SensorId>* best_set = nullptr);
+                                        std::vector<SensorId>* best_set = nullptr,
+                                        unsigned num_threads = 0);
 
 }  // namespace arsf::sim

@@ -1,0 +1,388 @@
+// Tests for the parallel incremental world-enumeration engine
+// (sim/engine/): world-index codec round trips, incremental-sweep vs
+// full-re-sort fusion equivalence, thread-pool behaviour, and — the key
+// guarantee — bit-identical serial-vs-parallel enumeration on every paper
+// configuration.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "sim/engine/engine.h"
+#include "sim/engine/thread_pool.h"
+#include "sim/engine/world_codec.h"
+#include "sim/enumerate.h"
+#include "sim/experiment.h"
+#include "sim/worstcase.h"
+#include "support/rng.h"
+
+namespace arsf::sim::engine {
+namespace {
+
+// ---------------------------------------------------------------- codec ---
+
+TEST(WorldCodecTest, RoundTripAllIndices) {
+  const std::vector<std::vector<std::uint64_t>> cases = {
+      {1}, {4}, {2, 3}, {3, 1, 4}, {6, 12, 18}, {1, 1, 1}, {5, 2, 1, 3}};
+  for (const auto& radices : cases) {
+    const WorldCodec codec{radices};
+    const std::uint64_t count =
+        std::accumulate(radices.begin(), radices.end(), std::uint64_t{1},
+                        [](std::uint64_t a, std::uint64_t b) { return a * b; });
+    ASSERT_EQ(codec.world_count(), count);
+    std::vector<std::uint64_t> digits(radices.size());
+    for (std::uint64_t index = 0; index < count; ++index) {
+      codec.decode(index, digits);
+      for (std::size_t i = 0; i < radices.size(); ++i) EXPECT_LT(digits[i], radices[i]);
+      EXPECT_EQ(codec.encode(digits), index);
+    }
+  }
+}
+
+TEST(WorldCodecTest, AdvanceMatchesDecodeOfSuccessor) {
+  const WorldCodec codec{{3, 4, 2}};
+  std::vector<std::uint64_t> digits(3, 0);
+  std::vector<std::uint64_t> expected(3);
+  for (std::uint64_t index = 0; index + 1 < codec.world_count(); ++index) {
+    const std::size_t changed = codec.advance(digits);
+    ASSERT_GE(changed, 1u);
+    codec.decode(index + 1, expected);
+    EXPECT_EQ(digits, expected) << "index " << index;
+    // Digits above the reported change count must be untouched suffix-wise:
+    // decode(index) and decode(index+1) agree beyond `changed`.
+    std::vector<std::uint64_t> before(3);
+    codec.decode(index, before);
+    for (std::size_t i = changed; i < 3; ++i) EXPECT_EQ(before[i], expected[i]);
+  }
+  EXPECT_EQ(codec.advance(digits), 0u);  // wraps past the last world
+  EXPECT_EQ(digits, std::vector<std::uint64_t>(3, 0));
+}
+
+TEST(WorldCodecTest, RandomizedRoundTrip) {
+  support::Rng rng{0xc0dec5eedULL};
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(1, 6));
+    std::vector<std::uint64_t> radices(n);
+    for (auto& radix : radices) radix = static_cast<std::uint64_t>(rng.uniform_int(1, 9));
+    const WorldCodec codec{radices};
+    std::vector<std::uint64_t> digits(n);
+    for (int probe = 0; probe < 32; ++probe) {
+      const std::uint64_t index = static_cast<std::uint64_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(codec.world_count() - 1)));
+      codec.decode(index, digits);
+      EXPECT_EQ(codec.encode(digits), index);
+    }
+  }
+}
+
+TEST(WorldCodecTest, RejectsZeroRadix) {
+  EXPECT_THROW(WorldCodec({2, 0, 3}), std::invalid_argument);
+}
+
+TEST(WorldCodecTest, SaturatesOnOverflow) {
+  const WorldCodec codec{std::vector<std::uint64_t>(11, 1ULL << 6)};  // 2^66
+  EXPECT_TRUE(codec.overflowed());
+  EXPECT_EQ(codec.world_count(), std::numeric_limits<std::uint64_t>::max());
+}
+
+// ---------------------------------------------------------------- sweep ---
+
+std::vector<TickInterval> random_intervals(std::size_t n, support::Rng& rng, Tick span = 15) {
+  std::vector<TickInterval> intervals(n);
+  for (auto& iv : intervals) {
+    const Tick lo = rng.uniform_int(-span, span);
+    const Tick width = rng.uniform_int(0, span);
+    iv = TickInterval{lo, lo + width};
+  }
+  return intervals;
+}
+
+TEST(IncrementalSweepTest, MatchesFullResortUnderRandomReplacements) {
+  support::Rng rng{0x5afe5eedULL};
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(1, 9));
+    auto intervals = random_intervals(n, rng);
+    IncrementalSweep sweep;
+    sweep.reset(intervals);
+    for (int step = 0; step < 200; ++step) {
+      const std::size_t slot = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+      // Mix small odometer-like moves with arbitrary jumps.
+      TickInterval next;
+      if (rng.chance(0.7)) {
+        next = intervals[slot].translated(1);
+      } else {
+        next = random_intervals(1, rng)[0];
+      }
+      intervals[slot] = next;
+      sweep.replace(slot, next);
+      for (int f = 0; f < static_cast<int>(n); ++f) {
+        const int threshold = static_cast<int>(n) - f;
+        EXPECT_EQ(sweep.fused(threshold), fused_interval_ticks(intervals, f))
+            << "n=" << n << " f=" << f << " step=" << step;
+      }
+    }
+  }
+}
+
+TEST(IncrementalSweepTest, CommonPointFusionMatchesGeneralSweep) {
+  support::Rng rng{0xc0ffeeULL};
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(1, 8));
+    // All intervals contain 0: lo in [-w, 0].
+    std::vector<TickInterval> intervals(n);
+    for (auto& iv : intervals) {
+      const Tick width = rng.uniform_int(0, 12);
+      const Tick lo = rng.uniform_int(-width, 0);
+      iv = TickInterval{lo, lo + width};
+    }
+    IncrementalSweep sweep;
+    sweep.reset(intervals);
+    for (int threshold = 1; threshold <= static_cast<int>(n); ++threshold) {
+      EXPECT_EQ(sweep.fused_with_common_point(threshold), sweep.fused(threshold))
+          << "n=" << n << " threshold=" << threshold;
+    }
+  }
+}
+
+// ----------------------------------------------------------- thread pool ---
+
+TEST(ThreadPoolTest, PartitionCoversRangeContiguously) {
+  for (const std::uint64_t total : {0ULL, 1ULL, 7ULL, 64ULL, 1000ULL}) {
+    for (const unsigned blocks : {1u, 2u, 3u, 8u, 64u}) {
+      const auto partition = partition_blocks(total, blocks);
+      std::uint64_t covered = 0;
+      std::uint64_t expected_begin = 0;
+      for (const auto& block : partition) {
+        EXPECT_EQ(block.begin, expected_begin);
+        EXPECT_LT(block.begin, block.end);
+        covered += block.end - block.begin;
+        expected_begin = block.end;
+      }
+      EXPECT_EQ(covered, total);
+      EXPECT_LE(partition.size(), static_cast<std::size_t>(blocks));
+      if (total >= blocks && total > 0) EXPECT_EQ(partition.size(), blocks);
+    }
+  }
+}
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool{4};
+  std::vector<std::atomic<int>> hits(257);
+  for (auto& h : hits) h.store(0);
+  pool.run(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  // Reusable across jobs.
+  pool.run(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 2);
+}
+
+TEST(ThreadPoolTest, PropagatesTaskException) {
+  ThreadPool pool{3};
+  EXPECT_THROW(pool.run(16,
+                        [](std::size_t i) {
+                          if (i == 7) throw std::runtime_error("boom");
+                        }),
+               std::runtime_error);
+  // Pool still usable afterwards.
+  std::atomic<int> counter{0};
+  pool.run(8, [&](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 8);
+}
+
+// -------------------------------------------------- enumeration parity ---
+
+TEST(CleanStatsTest, RunBatchedMatchesPerWorldSweep) {
+  // The closed-form clean path must agree exactly with a per-world
+  // incremental sweep over the same domain, for whole spaces and for
+  // arbitrary sub-blocks.
+  support::Rng rng{0xb10cbeefULL};
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(1, 6));
+    std::vector<Tick> widths(n);
+    for (auto& w : widths) w = rng.uniform_int(0, 9);
+    const int f = static_cast<int>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    const WorldDomain domain = WorldDomain::all_contain_zero(widths, f);
+
+    const std::uint64_t worlds = domain.world_count();
+    std::uint64_t begin = 0;
+    std::uint64_t end = worlds;
+    if (trial % 2 == 1 && worlds > 2) {  // random sub-block
+      begin = static_cast<std::uint64_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(worlds) - 2));
+      end = begin + 1 +
+            static_cast<std::uint64_t>(rng.uniform_int(
+                0, static_cast<std::int64_t>(worlds - begin) - 1));
+    }
+
+    CleanStats per_world;
+    enumerate_block(domain, begin, end,
+                    [&](std::uint64_t, TickInterval fused, const IncrementalSweep&) {
+                      const Tick width = fused.width();
+                      per_world.width_sum += static_cast<std::uint64_t>(width);
+                      per_world.min_width = std::min(per_world.min_width, width);
+                      per_world.max_width = std::max(per_world.max_width, width);
+                    });
+
+    const CleanStats batched = enumerate_clean_block(domain, begin, end);
+    EXPECT_EQ(batched.width_sum, per_world.width_sum)
+        << "n=" << n << " f=" << f << " block=[" << begin << "," << end << ")";
+    EXPECT_EQ(batched.min_width, per_world.min_width);
+    EXPECT_EQ(batched.max_width, per_world.max_width);
+  }
+}
+
+TEST(CleanStatsTest, RejectsDomainsWithoutCommonPoint) {
+  const std::vector<Tick> widths = {2, 3};
+  const std::vector<TickInterval> loose = {{-2, 0}, {-5, 2}};
+  const WorldDomain domain = WorldDomain::from_ranges(widths, loose, 0);
+  EXPECT_THROW((void)enumerate_clean_block(domain, 0, domain.world_count()),
+               std::invalid_argument);
+}
+
+void expect_identical(const EnumerateResult& a, const EnumerateResult& b) {
+  EXPECT_EQ(a.expected_width, b.expected_width);            // bit-identical
+  EXPECT_EQ(a.expected_width_no_attack, b.expected_width_no_attack);
+  EXPECT_EQ(a.worlds, b.worlds);
+  EXPECT_EQ(a.detected_worlds, b.detected_worlds);
+  EXPECT_EQ(a.empty_fusion_worlds, b.empty_fusion_worlds);
+  EXPECT_EQ(a.min_width, b.min_width);
+  EXPECT_EQ(a.max_width, b.max_width);
+}
+
+TEST(EngineParity, SerialVsParallelOnAllTable1Configs) {
+  for (const auto& [widths, fa] : paper_table1_configs()) {
+    (void)fa;
+    EnumerateConfig config;
+    config.system = make_config(widths);
+    config.order = sched::ascending_order(config.system);
+
+    config.num_threads = 1;
+    const EnumerateResult serial = enumerate_expected_width(config);
+    for (const unsigned threads : {2u, 3u, 4u, 7u}) {
+      config.num_threads = threads;
+      const EnumerateResult parallel = enumerate_expected_width(config);
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      expect_identical(serial, parallel);
+    }
+  }
+}
+
+TEST(EngineParity, EngineMatchesReferenceOnAllTable1Configs) {
+  // The incremental engine must agree bit-for-bit with the pre-engine
+  // full-re-sort odometer — clean path on every paper configuration.
+  for (const auto& [widths, fa] : paper_table1_configs()) {
+    (void)fa;
+    EnumerateConfig config;
+    config.system = make_config(widths);
+    config.order = sched::descending_order(config.system);
+    const EnumerateResult reference = enumerate_expected_width_reference(config);
+    config.num_threads = 0;  // hardware fan-out
+    const EnumerateResult engine = enumerate_expected_width(config);
+    expect_identical(reference, engine);
+  }
+}
+
+TEST(EngineParity, EngineMatchesReferenceWithAttackPolicy) {
+  // Stateful-policy path: serial engine with incremental sweep vs reference.
+  for (const auto& order_kind : {sched::ScheduleKind::kAscending,
+                                 sched::ScheduleKind::kDescending}) {
+    EnumerateConfig config;
+    config.system = make_config({5.0, 11.0, 17.0});
+    config.order = order_kind == sched::ScheduleKind::kAscending
+                       ? sched::ascending_order(config.system)
+                       : sched::descending_order(config.system);
+    config.attacked = {0};
+
+    attack::ExpectationPolicy reference_policy;
+    config.policy = &reference_policy;
+    const EnumerateResult reference = enumerate_expected_width_reference(config);
+
+    attack::ExpectationPolicy engine_policy;
+    config.policy = &engine_policy;
+    const EnumerateResult engine = enumerate_expected_width(config);
+    expect_identical(reference, engine);
+  }
+}
+
+TEST(EngineParity, WorstCaseSerialVsParallel) {
+  WorstCaseConfig config;
+  config.widths = {2, 3, 5, 4};
+  config.f = 1;
+  config.attacked = {0, 2};
+
+  config.num_threads = 1;
+  const WorstCaseResult serial = worst_case_fusion(config);
+  for (const unsigned threads : {2u, 3u, 5u}) {
+    config.num_threads = threads;
+    const WorstCaseResult parallel = worst_case_fusion(config);
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    EXPECT_EQ(parallel.max_width, serial.max_width);
+    EXPECT_EQ(parallel.configurations, serial.configurations);
+    ASSERT_EQ(parallel.argmax.size(), serial.argmax.size());
+    for (std::size_t i = 0; i < serial.argmax.size(); ++i) {
+      EXPECT_EQ(parallel.argmax[i], serial.argmax[i]) << "interval " << i;
+    }
+  }
+}
+
+TEST(EngineParity, WorstCaseMatchesBruteForce) {
+  // Independent brute force over all placements for a small attacked config.
+  WorstCaseConfig config;
+  config.widths = {2, 2, 4};
+  config.f = 1;
+  config.attacked = {2};
+  const WorstCaseResult result = worst_case_fusion(config);
+
+  Tick brute_best = -1;
+  const Tick max_w = 4;
+  for (Tick a = -2; a <= 0; ++a) {
+    for (Tick b = -2; b <= 0; ++b) {
+      for (Tick c = -max_w - 4; c <= max_w; ++c) {
+        const std::vector<TickInterval> world = {{a, a + 2}, {b, b + 2}, {c, c + 4}};
+        const TickInterval fused = fused_interval_ticks(world, 1);
+        if (fused.is_empty() || !world[2].intersects(fused)) continue;
+        brute_best = std::max(brute_best, fused.width());
+      }
+    }
+  }
+  EXPECT_EQ(result.max_width, brute_best);
+}
+
+TEST(EngineParity, Table1RowIndependentOfThreadCount) {
+  const std::vector<double> widths = {5, 11, 17};
+  const Table1Row serial = compare_schedules(widths, 1, {}, 1.0, 1);
+  const Table1Row parallel = compare_schedules(widths, 1, {}, 1.0, 4);
+  EXPECT_EQ(serial.e_ascending, parallel.e_ascending);
+  EXPECT_EQ(serial.e_descending, parallel.e_descending);
+  EXPECT_EQ(serial.e_no_attack, parallel.e_no_attack);
+  EXPECT_EQ(serial.worlds, parallel.worlds);
+  EXPECT_EQ(serial.detected, parallel.detected);
+}
+
+// ----------------------------------------------------------- domain ---
+
+TEST(WorldDomainTest, CommonPointDetection) {
+  const std::vector<Tick> widths = {2, 3};
+  // Clean ranges: every placement contains 0.
+  const std::vector<TickInterval> clean = {{-2, 0}, {-3, 0}};
+  EXPECT_TRUE(WorldDomain::from_ranges(widths, clean, 0).common_point);
+  // An attacked-style range escapes the origin.
+  const std::vector<TickInterval> loose = {{-2, 0}, {-5, 2}};
+  EXPECT_FALSE(WorldDomain::from_ranges(widths, loose, 0).common_point);
+  EXPECT_TRUE(WorldDomain::all_contain_zero(widths, 0).common_point);
+}
+
+TEST(WorldDomainTest, WorldCountMatchesLegacyEnumerate) {
+  const SystemConfig system = make_config({5.0, 11.0, 17.0});
+  const auto widths = tick_widths(system, Quantizer{1.0});
+  const WorldDomain domain = WorldDomain::all_contain_zero(widths, system.f);
+  EXPECT_EQ(domain.world_count(), world_count(system, Quantizer{1.0}));
+}
+
+}  // namespace
+}  // namespace arsf::sim::engine

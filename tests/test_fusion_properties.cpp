@@ -183,6 +183,37 @@ TEST_P(FusionProperty, DoubleAndTickPathsAgreeOnIntegerData) {
   }
 }
 
+TEST_P(FusionProperty, FuseAllFMatchesPerThresholdFusion) {
+  // The single-pass fuse_all_f must agree field-for-field with n independent
+  // marzullo_fuse calls on every threshold.
+  support::Rng rng{seed() ^ 0x8};
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto ticks = random_intervals(n(), rng);
+    std::vector<Interval> doubles;
+    for (const auto& iv : ticks) {
+      doubles.push_back(Interval{static_cast<double>(iv.lo), static_cast<double>(iv.hi)});
+    }
+    const auto all = fuse_all_f(doubles);
+    ASSERT_EQ(all.size(), static_cast<std::size_t>(n()));
+    for (int f = 0; f < n(); ++f) {
+      const auto direct = fuse(doubles, f);
+      const auto& swept = all[static_cast<std::size_t>(f)];
+      EXPECT_EQ(swept.threshold, direct.threshold) << "f=" << f;
+      EXPECT_EQ(swept.max_overlap, direct.max_overlap) << "f=" << f;
+      ASSERT_EQ(swept.segments.size(), direct.segments.size()) << "f=" << f;
+      for (std::size_t s = 0; s < direct.segments.size(); ++s) {
+        EXPECT_EQ(swept.segments[s].lo, direct.segments[s].lo);
+        EXPECT_EQ(swept.segments[s].hi, direct.segments[s].hi);
+      }
+      ASSERT_EQ(swept.interval.has_value(), direct.interval.has_value()) << "f=" << f;
+      if (direct.interval) {
+        EXPECT_EQ(swept.interval->lo, direct.interval->lo);
+        EXPECT_EQ(swept.interval->hi, direct.interval->hi);
+      }
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Sweep, FusionProperty,
     ::testing::Combine(::testing::Values(2, 3, 4, 5, 7, 10),
