@@ -5,40 +5,64 @@
 // ties in the attacker's favour (latest slot).  This bench quantifies both
 // choices: expected fusion width per attacked-set rule and per schedule, and
 // the tie-break alternative (earliest slot among equal widths).
+//
+// The base systems come from the scenario registry (Table I rows 0 and 5);
+// each variant is a clone with a different attacked_override, run as one
+// Runner batch.
 
 #include <cstdio>
 
-#include "sim/enumerate.h"
+#include "scenario/registry.h"
+#include "scenario/runner.h"
 #include "support/ascii.h"
 
 namespace {
 
-double run(const arsf::SystemConfig& system, const arsf::sched::Order& order,
-           std::vector<arsf::SensorId> attacked) {
-  arsf::sim::EnumerateConfig config;
-  config.system = system;
-  config.order = order;
-  config.attacked = std::move(attacked);
-  arsf::attack::ExpectationPolicy policy;
-  config.policy = &policy;
-  return arsf::sim::enumerate_expected_width(config).expected_width;
+bool all_ok(const std::vector<arsf::scenario::ScenarioResult>& results) {
+  for (const auto& result : results) {
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", result.scenario.c_str(), result.error.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+arsf::scenario::Scenario attack_variant(const arsf::scenario::Scenario& base,
+                                        arsf::sched::ScheduleKind schedule,
+                                        arsf::SensorId attacked) {
+  arsf::scenario::Scenario variant = base;
+  variant.name = "ablation/n" + std::to_string(base.n()) + "/attack-s" +
+                 std::to_string(attacked) + "/" + arsf::sched::to_string(schedule);
+  variant.schedule = schedule;
+  variant.fa = 1;
+  variant.attacked_override = {attacked};
+  return variant;
 }
 
 }  // namespace
 
 int main() {
   std::printf("Ablation B — attacked-set choice (expectation policy, exact E|S|)\n\n");
+  const arsf::scenario::Runner runner;
 
   // Part 1: which width class to attack (n=3, distinct widths, fa=1).
   {
-    const arsf::SystemConfig system = arsf::make_config({5.0, 11.0, 17.0});
+    const auto& base = arsf::scenario::registry().at("table1/r0/ascending");
+    std::vector<arsf::scenario::Scenario> variants;
+    for (arsf::SensorId id = 0; id < base.n(); ++id) {
+      variants.push_back(attack_variant(base, arsf::sched::ScheduleKind::kAscending, id));
+      variants.push_back(attack_variant(base, arsf::sched::ScheduleKind::kDescending, id));
+    }
+    const auto results = runner.run_batch(std::span<const arsf::scenario::Scenario>{variants});
+    if (!all_ok(results)) return 1;
+
     arsf::support::TextTable table{{"attacked sensor", "E|S| Asc", "E|S| Desc"}};
-    for (arsf::SensorId id = 0; id < 3; ++id) {
-      table.add_row({"width " + arsf::support::format_number(system.sensors[id].width, 0),
-                     arsf::support::format_number(
-                         run(system, arsf::sched::ascending_order(system), {id}), 3),
-                     arsf::support::format_number(
-                         run(system, arsf::sched::descending_order(system), {id}), 3)});
+    for (std::size_t id = 0; id < base.n(); ++id) {
+      table.add_row(
+          {"width " + arsf::support::format_number(base.widths[id], 0),
+           arsf::support::format_number(results[id * 2].metric("expected_width"), 3),
+           arsf::support::format_number(results[id * 2 + 1].metric("expected_width"), 3)});
     }
     std::printf("L = {5, 11, 17}, fa = 1 — Theorems 3/4 predict the smallest width is the\n");
     std::printf("strongest choice under Descending (full information):\n%s\n",
@@ -47,14 +71,20 @@ int main() {
 
   // Part 2: tie-breaking among equal widths (n=5, three width-5 sensors).
   {
-    const arsf::SystemConfig system = arsf::make_config({5.0, 5.0, 5.0, 14.0, 20.0});
-    const auto ascending = arsf::sched::ascending_order(system);  // slots: 0,1,2,3,4
+    const auto& base = arsf::scenario::registry().at("table1/r5/ascending");
+    const auto ascending = arsf::sched::ascending_order(base.system());  // slots: 0,1,2,3,4
+    const std::vector<arsf::scenario::Scenario> variants = {
+        attack_variant(base, arsf::sched::ScheduleKind::kAscending, ascending[0]),
+        attack_variant(base, arsf::sched::ScheduleKind::kAscending, ascending[2]),
+    };
+    const auto results = runner.run_batch(std::span<const arsf::scenario::Scenario>{variants});
+    if (!all_ok(results)) return 1;
+
     arsf::support::TextTable table{{"tie-break (Ascending, fa=1)", "attacked slot", "E|S|"}};
-    // Earliest width-5 slot vs latest width-5 slot.
     table.add_row({"earliest slot (defender-favourable)", "0",
-                   arsf::support::format_number(run(system, ascending, {ascending[0]}), 3)});
+                   arsf::support::format_number(results[0].metric("expected_width"), 3)});
     table.add_row({"latest slot (attacker-favourable, repo default)", "2",
-                   arsf::support::format_number(run(system, ascending, {ascending[2]}), 3)});
+                   arsf::support::format_number(results[1].metric("expected_width"), 3)});
     std::printf("L = {5, 5, 5, 14, 20} — with equal widths the slot still matters: the later\n");
     std::printf("the attacked equal-width sensor transmits, the more it has seen:\n%s\n",
                 table.render().c_str());

@@ -9,74 +9,68 @@
 // Ascending the trusted sensor transmits first and hands the attacker its
 // (very informative) interval; TrustedLast keeps it hidden.  The bench
 // computes the exact expected fusion width for both orders plus Descending.
+//
+// The system (widths, trusted flags, attacked gps) is the registry's
+// "ext/trusted-last" scenario; the two comparison schedules are clones.
 
 #include <cstdio>
 
-#include "sim/enumerate.h"
+#include "scenario/registry.h"
+#include "scenario/runner.h"
 #include "support/ascii.h"
 
-namespace {
-
-double expected_width(const arsf::SystemConfig& system, const arsf::sched::Order& order,
-                      const std::vector<arsf::SensorId>& attacked) {
-  arsf::sim::EnumerateConfig config;
-  config.system = system;
-  config.order = order;
-  config.attacked = attacked;
-  arsf::attack::ExpectationPolicy policy;
-  config.policy = &policy;
-  return arsf::sim::enumerate_expected_width(config).expected_width;
-}
-
-}  // namespace
-
 int main() {
-  // Mirrors the paper's own example: "an IMU is in general much harder to
-  // spoof than a GPS or a camera".  The IMU (width 2) and the wheel encoder
-  // (width 5) are trusted; the attacker compromises the most precise
-  // *spoofable* sensor, the GPS (width 11).  Under plain Ascending the GPS
-  // transmits third — in active mode, having seen both trusted intervals;
-  // under TrustedLast it transmits first, blind and pinned by the passive
-  // rule.
-  arsf::SystemConfig system = arsf::make_config({2.0, 5.0, 11.0, 17.0});
+  const auto& base = arsf::scenario::registry().at("ext/trusted-last");
+  arsf::SystemConfig system = base.system();
   system.sensors[0].name = "imu";
-  system.sensors[0].trusted = true;
   system.sensors[1].name = "encoder";
-  system.sensors[1].trusted = true;
   system.sensors[2].name = "gps";
   system.sensors[3].name = "camera";
-  const std::vector<arsf::SensorId> attacked = {2};  // gps
 
-  const auto ascending = arsf::sched::ascending_order(system);        // imu first
-  const auto trusted_last = arsf::sched::trusted_last_order(system);  // trusted last
-  const auto descending = arsf::sched::descending_order(system);
+  auto with_schedule = [&](arsf::sched::ScheduleKind kind) {
+    arsf::scenario::Scenario scenario = base;
+    scenario.name = "ext/trusted-last/" + arsf::sched::to_string(kind);
+    scenario.schedule = kind;
+    scenario.fixed_order.clear();
+    return scenario;
+  };
+  const std::vector<arsf::scenario::Scenario> scenarios = {
+      with_schedule(arsf::sched::ScheduleKind::kAscending),
+      base,  // the registered trusted-last schedule
+      with_schedule(arsf::sched::ScheduleKind::kDescending),
+  };
 
   std::printf("Extension — TrustedLast schedule (paper Section IV-C)\n");
   std::printf("n=4, f=1, widths {2 imu*, 5 encoder*, 11 gps, 17 camera} (* = trusted);\n");
   std::printf("attacked: the gps (most precise spoofable); exact E|S| by enumeration\n\n");
 
-  auto order_text = [&](const arsf::sched::Order& order) {
+  const arsf::scenario::Runner runner;
+  const auto results = runner.run_batch(std::span<const arsf::scenario::Scenario>{scenarios});
+  for (const auto& result : results) {
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", result.scenario.c_str(), result.error.c_str());
+      return 1;
+    }
+  }
+
+  auto order_text = [&](const arsf::scenario::Scenario& scenario) {
     std::string text;
-    for (const auto id : order) {
+    for (const auto id : arsf::scenario::resolve_order(scenario, system)) {
       if (!text.empty()) text += " -> ";
       text += system.sensors[id].name;
     }
     return text;
   };
 
-  const double e_ascending = expected_width(system, ascending, attacked);
-  const double e_trusted = expected_width(system, trusted_last, attacked);
-  const double e_descending = expected_width(system, descending, attacked);
-
   arsf::support::TextTable table{{"schedule", "order", "E|S|"}};
-  table.add_row({"ascending", order_text(ascending),
-                 arsf::support::format_number(e_ascending, 3)});
-  table.add_row({"trusted-last", order_text(trusted_last),
-                 arsf::support::format_number(e_trusted, 3)});
-  table.add_row({"descending", order_text(descending),
-                 arsf::support::format_number(e_descending, 3)});
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    table.add_row({arsf::sched::to_string(scenarios[i].schedule), order_text(scenarios[i]),
+                   arsf::support::format_number(results[i].metric("expected_width"), 3)});
+  }
   std::printf("%s\n", table.render().c_str());
 
+  const double e_ascending = results[0].metric("expected_width");
+  const double e_trusted = results[1].metric("expected_width");
   std::printf("Check (paper's claim): the trusted sensors' measurements stay hidden from the\n");
   std::printf("attacker, and her slot moves before the active-mode gate: trusted-last <\n");
   std::printf("ascending -> %s (%.3f vs %.3f)\n",

@@ -5,71 +5,79 @@
 //       (|SF| = |Sna|);
 //   (b) attacking the fa SMALLEST intervals achieves the global worst case
 //       |Swc_fa| over every attacked set.
+//
+// The width families come from the scenario registry ("fig4/" — each entry
+// is the Theorem-4 smallest-widths worst-case search); the Thm-3 variants
+// are clones with the rule flipped, all run as one Runner batch.
 
 #include <cstdio>
 
-#include <numeric>
-
+#include "scenario/registry.h"
+#include "scenario/runner.h"
 #include "sim/worstcase.h"
 #include "support/ascii.h"
-
-namespace {
-
-std::vector<arsf::SensorId> extreme_widths(const std::vector<arsf::Tick>& widths,
-                                           std::size_t fa, bool largest) {
-  std::vector<arsf::SensorId> ids(widths.size());
-  std::iota(ids.begin(), ids.end(), arsf::SensorId{0});
-  std::sort(ids.begin(), ids.end(), [&](arsf::SensorId a, arsf::SensorId b) {
-    return largest ? widths[a] > widths[b] : widths[a] < widths[b];
-  });
-  ids.resize(fa);
-  std::sort(ids.begin(), ids.end());
-  return ids;
-}
-
-}  // namespace
 
 int main() {
   std::printf("Figure 4 — Theorems 3 and 4 by exhaustive worst-case search\n\n");
 
-  const std::vector<std::vector<arsf::Tick>> families = {
-      {2, 3, 5}, {1, 4, 4}, {2, 2, 6}, {2, 3, 4, 5}, {1, 2, 3, 6}, {2, 2, 3, 4, 5},
-  };
+  const auto families = arsf::scenario::registry().match("fig4/");
+  const arsf::scenario::Runner runner;
+
+  // Four scenarios per family: clean (fa=0), largest attacked, smallest
+  // attacked (the registered Thm-4 search), and the global over-all-subsets
+  // worst case |Swc|.
+  std::vector<arsf::scenario::Scenario> variants;
+  for (const auto* family : families) {
+    arsf::scenario::Scenario clean = *family;
+    clean.name += "/clean";
+    clean.fa = 0;
+    variants.push_back(clean);
+
+    arsf::scenario::Scenario largest = *family;
+    largest.name += "/largest";
+    largest.attacked_rule = arsf::sched::AttackedSetRule::kLargestWidths;
+    variants.push_back(largest);
+
+    variants.push_back(*family);  // the registered Thm-4 smallest-widths search
+
+    arsf::scenario::Scenario global = *family;
+    global.name += "/over-sets";
+    global.over_all_sets = true;
+    variants.push_back(global);
+  }
+  const auto results = runner.run_batch(std::span<const arsf::scenario::Scenario>{variants});
+  for (const auto& result : results) {
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", result.scenario.c_str(), result.error.c_str());
+      return 1;
+    }
+  }
 
   arsf::support::TextTable table{
       {"widths", "f=fa", "|Sna|", "|SF| largest", "|SF| smallest", "|Swc|", "Thm3", "Thm4"}};
   bool all_pass = true;
 
-  for (const auto& widths : families) {
-    const int n = static_cast<int>(widths.size());
-    const int f = arsf::max_bounded_f(n);
-    const auto fa = static_cast<std::size_t>(f);
+  for (std::size_t i = 0; i < families.size(); ++i) {
+    const auto& scenario = *families[i];
+    const arsf::SystemConfig system = scenario.system();
+    const std::vector<arsf::Tick> widths = arsf::tick_widths(system, arsf::Quantizer{1.0});
 
-    const arsf::Tick clean = arsf::sim::worst_case_no_attack(widths, f);
-
-    arsf::sim::WorstCaseConfig largest_config;
-    largest_config.widths = widths;
-    largest_config.f = f;
-    largest_config.attacked = extreme_widths(widths, fa, /*largest=*/true);
-    const arsf::Tick largest = arsf::sim::worst_case_fusion(largest_config).max_width;
-
-    arsf::sim::WorstCaseConfig smallest_config = largest_config;
-    smallest_config.attacked = extreme_widths(widths, fa, /*largest=*/false);
-    const arsf::Tick smallest = arsf::sim::worst_case_fusion(smallest_config).max_width;
-
-    const arsf::Tick global = arsf::sim::worst_case_over_sets(widths, f, fa);
+    const auto clean = static_cast<arsf::Tick>(results[i * 4].metric("max_width_ticks"));
+    const auto largest = static_cast<arsf::Tick>(results[i * 4 + 1].metric("max_width_ticks"));
+    const auto smallest = static_cast<arsf::Tick>(results[i * 4 + 2].metric("max_width_ticks"));
+    const auto global = static_cast<arsf::Tick>(results[i * 4 + 3].metric("max_width_ticks"));
 
     const bool thm3 = largest == clean;
     const bool thm4 = smallest == global;
     all_pass &= thm3 && thm4;
 
     std::string widths_text = "{";
-    for (std::size_t i = 0; i < widths.size(); ++i) {
-      if (i) widths_text += ",";
-      widths_text += std::to_string(widths[i]);
+    for (std::size_t j = 0; j < widths.size(); ++j) {
+      if (j) widths_text += ",";
+      widths_text += std::to_string(widths[j]);
     }
     widths_text += "}";
-    table.add_row({widths_text, std::to_string(f), std::to_string(clean),
+    table.add_row({widths_text, std::to_string(system.f), std::to_string(clean),
                    std::to_string(largest), std::to_string(smallest), std::to_string(global),
                    thm3 ? "PASS" : "FAIL", thm4 ? "PASS" : "FAIL"});
   }

@@ -5,6 +5,10 @@
 // both schedules with the expectation-maximising attacker and draws the
 // resulting intervals.
 //
+// The two systems come from the scenario registry ("fig5/asymmetric-flanks"
+// and "fig5/pinned-fusion"); only the per-round readings — the illustration
+// itself — live here.
+//
 // The mechanism, following the paper's Fig. 5 discussion:
 //  (a) when the large intervals sit asymmetrically around the precise ones,
 //      seeing them first (Descending) tells the attacker which side to
@@ -15,6 +19,7 @@
 
 #include <cstdio>
 
+#include "scenario/registry.h"
 #include "sim/protocol.h"
 #include "support/ascii.h"
 
@@ -28,22 +33,24 @@ struct Outcome {
   std::vector<TickInterval> transmitted;
 };
 
-Outcome run(const arsf::SystemConfig& system, const arsf::sched::Order& order,
-            const std::vector<TickInterval>& readings, std::uint64_t seed) {
+Outcome run(const arsf::SystemConfig& system, const std::vector<arsf::SensorId>& attacked,
+            const arsf::sched::Order& order, const std::vector<TickInterval>& readings,
+            std::uint64_t seed) {
   const arsf::attack::AttackSetup setup =
-      arsf::attack::make_setup(system, arsf::Quantizer{1.0}, {0}, order);
+      arsf::attack::make_setup(system, arsf::Quantizer{1.0}, attacked, order);
   arsf::attack::ExpectationPolicy policy;
   arsf::support::Rng rng{seed};
   const auto result = arsf::sim::run_tick_round(setup, readings, &policy, rng);
   return {result.fused.is_empty() ? Tick{0} : result.fused.width(), result.transmitted};
 }
 
-void draw(const char* title, const std::vector<TickInterval>& transmitted, int f) {
+void draw(const char* title, const std::vector<TickInterval>& transmitted, int f,
+          arsf::SensorId attacked) {
   arsf::support::IntervalDiagram diagram{56};
   for (std::size_t i = 0; i < transmitted.size(); ++i) {
-    diagram.add((i == 0 ? "a1 [attacked]" : "s" + std::to_string(i)),
+    diagram.add((i == attacked ? "a1 [attacked]" : "s" + std::to_string(i)),
                 static_cast<double>(transmitted[i].lo),
-                static_cast<double>(transmitted[i].hi), i == 0);
+                static_cast<double>(transmitted[i].hi), i == attacked);
   }
   const TickInterval fused = arsf::fused_interval_ticks(transmitted, f);
   diagram.add_separator();
@@ -60,15 +67,19 @@ int main() {
   // intervals hang far to one side, so seeing them (Descending) reveals
   // exactly where to attack.
   {
-    const arsf::SystemConfig system = arsf::make_config({4.0, 10.0, 10.0});
+    const auto& scenario = arsf::scenario::registry().at("fig5/asymmetric-flanks");
+    const arsf::SystemConfig system = scenario.system();
     // The two wide intervals hang on opposite sides; seeing them (Descending)
     // tells the attacker which flank of the precise estimate is exposed.
     const std::vector<TickInterval> readings = {{-2, 2}, {-10, 0}, {0, 10}};
-    const Outcome ascending = run(system, arsf::sched::ascending_order(system), readings, 1);
-    const Outcome descending = run(system, arsf::sched::descending_order(system), readings, 1);
+    const Outcome ascending = run(system, scenario.attacked_override,
+                                  arsf::sched::ascending_order(system), readings, 1);
+    const Outcome descending = run(system, scenario.attacked_override,
+                                   arsf::sched::descending_order(system), readings, 1);
     std::printf("(a) widths {4,10,10}, wide intervals on opposite flanks\n");
-    draw("    Ascending round:", ascending.transmitted, system.f);
-    draw("    Descending round:", descending.transmitted, system.f);
+    draw("    Ascending round:", ascending.transmitted, system.f, scenario.attacked_override[0]);
+    draw("    Descending round:", descending.transmitted, system.f,
+         scenario.attacked_override[0]);
     std::printf("    |S| ascending = %lld, descending = %lld -> %s\n\n",
                 static_cast<long long>(ascending.width),
                 static_cast<long long>(descending.width),
@@ -83,17 +94,20 @@ int main() {
   // seen only the big symmetric interval, which — as the paper puts it —
   // "does not necessarily bring the attacker any useful information".
   {
-    const arsf::SystemConfig system = arsf::make_config({6.0, 4.0, 5.0, 12.0});
+    const auto& scenario = arsf::scenario::registry().at("fig5/pinned-fusion");
+    const arsf::SystemConfig system = scenario.system();
     // Both precise intervals hang left of the truth; the width-12 interval
     // is symmetric and uninformative.
     const std::vector<TickInterval> readings = {{-3, 3}, {-4, 0}, {-5, 0}, {-6, 6}};
-    const Outcome ascending = run(system, arsf::sched::ascending_order(system), readings, 1);
-    const Outcome descending = run(system, arsf::sched::descending_order(system), readings, 1);
+    const Outcome ascending = run(system, scenario.attacked_override,
+                                  arsf::sched::ascending_order(system), readings, 1);
+    const Outcome descending = run(system, scenario.attacked_override,
+                                   arsf::sched::descending_order(system), readings, 1);
     std::printf("(b) widths {6,4,5,12}, attacked sensor (width 6) mid-schedule\n");
     draw("    Ascending round (seen: the two precise sensors):", ascending.transmitted,
-         system.f);
+         system.f, scenario.attacked_override[0]);
     draw("    Descending round (seen: only the width-12 sensor):", descending.transmitted,
-         system.f);
+         system.f, scenario.attacked_override[0]);
     std::printf("    |S| ascending = %lld, descending = %lld -> %s\n\n",
                 static_cast<long long>(ascending.width),
                 static_cast<long long>(descending.width),

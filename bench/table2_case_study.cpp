@@ -6,62 +6,71 @@
 // interval exceeded v + 0.5 mph or dropped below v - 0.5 mph — the two rows
 // of Table II — next to the paper's numbers.
 //
+// The three schedule scenarios come from the registry ("table2/" family) and
+// run as one Runner batch; --rounds/--seed override the registered values.
+//
 //   ./table2_case_study [--rounds 10000] [--seed N] [--csv out.csv]
 
 #include <cstdio>
 
+#include "scenario/registry.h"
+#include "scenario/report.h"
+#include "scenario/runner.h"
 #include "support/ascii.h"
 #include "support/cli.h"
-#include "support/csv.h"
 #include "vehicle/casestudy.h"
 
 int main(int argc, char** argv) {
   const arsf::support::ArgParser args{argc, argv};
-
-  arsf::vehicle::CaseStudyConfig base;
-  base.rounds = static_cast<std::size_t>(args.get_int("rounds", 10'000));
-  base.seed = static_cast<std::uint64_t>(args.get_int("seed", 0x1a2db4d5LL));
+  const auto rounds = static_cast<std::size_t>(args.get_int("rounds", 10'000));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 0x1a2db4d5LL));
   const std::string csv_path = args.get_string("csv", "");
 
-  std::printf("Table II — LandShark platoon case study (%zu rounds per schedule)\n", base.rounds);
+  std::vector<arsf::scenario::Scenario> scenarios;
+  for (const auto* registered : arsf::scenario::registry().match("table2/")) {
+    arsf::scenario::Scenario scenario = *registered;
+    scenario.rounds = rounds;
+    scenario.seed = seed;
+    scenarios.push_back(std::move(scenario));
+  }
+
+  std::printf("Table II — LandShark platoon case study (%zu rounds per schedule)\n", rounds);
   std::printf("v = 10 mph, delta1 = delta2 = 0.5 mph; sensors {gps 1, camera 2, encoder 0.2 x2};\n");
   std::printf("attacked: one encoder of the middle vehicle, expectation-maximising stealthy policy\n\n");
 
-  const auto rows = arsf::vehicle::reproduce_table2(base);
+  const arsf::scenario::Runner runner;
+  const auto results = runner.run_batch(std::span<const arsf::scenario::Scenario>{scenarios});
+  for (const auto& result : results) {
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", result.scenario.c_str(), result.error.c_str());
+      return 1;
+    }
+  }
   const auto reference = arsf::vehicle::paper_table2_reference();
 
   arsf::support::TextTable table{{"metric", "Ascending", "Descending", "Random"}};
   auto fmt = [](double x) { return arsf::support::format_number(x, 2) + "%"; };
-  table.add_row({"> 10.5 mph (measured)", fmt(rows[0].second.pct_upper),
-                 fmt(rows[1].second.pct_upper), fmt(rows[2].second.pct_upper)});
+  table.add_row({"> 10.5 mph (measured)", fmt(results[0].metric("pct_upper")),
+                 fmt(results[1].metric("pct_upper")), fmt(results[2].metric("pct_upper"))});
   table.add_row({"> 10.5 mph (paper)", fmt(reference[0].upper), fmt(reference[1].upper),
                  fmt(reference[2].upper)});
-  table.add_row({"< 9.5 mph (measured)", fmt(rows[0].second.pct_lower),
-                 fmt(rows[1].second.pct_lower), fmt(rows[2].second.pct_lower)});
+  table.add_row({"< 9.5 mph (measured)", fmt(results[0].metric("pct_lower")),
+                 fmt(results[1].metric("pct_lower")), fmt(results[2].metric("pct_lower"))});
   table.add_row({"< 9.5 mph (paper)", fmt(reference[0].lower), fmt(reference[1].lower),
                  fmt(reference[2].lower)});
   table.add_row({"mean fused width (mph)",
-                 arsf::support::format_number(rows[0].second.fused_width.mean(), 3),
-                 arsf::support::format_number(rows[1].second.fused_width.mean(), 3),
-                 arsf::support::format_number(rows[2].second.fused_width.mean(), 3)});
-  table.add_row({"attacker detections", std::to_string(rows[0].second.detected_rounds),
-                 std::to_string(rows[1].second.detected_rounds),
-                 std::to_string(rows[2].second.detected_rounds)});
+                 arsf::support::format_number(results[0].metric("mean_width"), 3),
+                 arsf::support::format_number(results[1].metric("mean_width"), 3),
+                 arsf::support::format_number(results[2].metric("mean_width"), 3)});
+  table.add_row({"attacker detections",
+                 arsf::support::format_number(results[0].metric("detected_rounds"), 0),
+                 arsf::support::format_number(results[1].metric("detected_rounds"), 0),
+                 arsf::support::format_number(results[2].metric("detected_rounds"), 0)});
   std::printf("%s\n", table.render().c_str());
 
   if (!csv_path.empty()) {
-    arsf::support::CsvWriter csv{csv_path};
-    csv.write_row({"schedule", "pct_upper", "pct_lower", "paper_upper", "paper_lower",
-                   "mean_width", "detected"});
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      csv.write_row({arsf::sched::to_string(rows[i].first),
-                     arsf::support::format_number(rows[i].second.pct_upper, 4),
-                     arsf::support::format_number(rows[i].second.pct_lower, 4),
-                     arsf::support::format_number(reference[i].upper, 2),
-                     arsf::support::format_number(reference[i].lower, 2),
-                     arsf::support::format_number(rows[i].second.fused_width.mean(), 4),
-                     std::to_string(rows[i].second.detected_rounds)});
-    }
+    arsf::support::ReportWriter report{csv_path};
+    arsf::scenario::write_report(report, results);
   }
 
   std::printf("Shape checks (paper's claims): Ascending pins the attacked encoder to the truth\n");

@@ -4,9 +4,15 @@
 //
 //   ./attack_visualizer [--widths 5,11,17] [--schedule descending]
 //                       [--policy expectation|shift|random|naive] [--seed N]
+//   ./attack_visualizer --scenario fig5/pinned-fusion
+//
+// --scenario draws one round of a registered scenario instead (its system,
+// schedule and attacked set; the policy/seed flags still apply).
 
 #include <cstdio>
 
+#include "scenario/analysis.h"
+#include "scenario/registry.h"
 #include "sim/protocol.h"
 #include "support/ascii.h"
 #include "support/cli.h"
@@ -29,26 +35,50 @@ int main(int argc, char** argv) {
   const std::vector<double> widths = args.get_double_list("widths", {5, 11, 17});
   const std::string schedule_name = args.get_string("schedule", "descending");
   const std::string policy_name = args.get_string("policy", "expectation");
+  const std::string scenario_name = args.get_string("scenario", "");
   arsf::support::Rng rng{static_cast<std::uint64_t>(args.get_int("seed", 3))};
 
-  const arsf::SystemConfig system = arsf::make_config(widths);
-  const arsf::sched::Order order = schedule_name == "ascending"
-                                       ? arsf::sched::ascending_order(system)
-                                       : arsf::sched::descending_order(system);
-  const auto attacked = arsf::sched::choose_attacked_set(
-      system, order, 1, arsf::sched::AttackedSetRule::kSmallestWidths);
+  arsf::SystemConfig system;
+  arsf::sched::Order order;
+  std::vector<arsf::SensorId> attacked;
+  double step = 1.0;
+  if (!scenario_name.empty()) {
+    try {
+      const auto& scenario = arsf::scenario::registry().at(scenario_name);
+      system = scenario.system();
+      order = arsf::scenario::resolve_order(scenario, system);
+      attacked = arsf::scenario::resolve_attacked(scenario, system, order);
+      step = scenario.step;
+    } catch (const std::exception& e) {  // unknown name, random schedule, ...
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+    if (attacked.empty()) {
+      std::fprintf(stderr, "scenario '%s' has no attacked sensor to visualize\n",
+                   scenario_name.c_str());
+      return 1;
+    }
+  } else {
+    system = arsf::make_config(widths);
+    order = schedule_name == "ascending" ? arsf::sched::ascending_order(system)
+                                         : arsf::sched::descending_order(system);
+    attacked = arsf::sched::choose_attacked_set(system, order, 1,
+                                                arsf::sched::AttackedSetRule::kSmallestWidths);
+  }
   auto policy = parse_policy(policy_name);
 
   // Draw a random world (true value 0).
-  const auto setup = arsf::attack::make_setup(system, arsf::Quantizer{1.0}, attacked, order);
+  const auto setup = arsf::attack::make_setup(system, arsf::Quantizer{step}, attacked, order);
   std::vector<arsf::TickInterval> readings(system.n());
   for (arsf::SensorId id = 0; id < system.n(); ++id) {
     const arsf::Tick lo = rng.uniform_int(-setup.widths[id], 0);
     readings[id] = {lo, lo + setup.widths[id]};
   }
 
-  std::printf("attack visualizer: schedule=%s, policy=%s, attacked sensor s%zu (width %s)\n",
-              schedule_name.c_str(), policy->name().c_str(), attacked[0],
+  std::printf("attack visualizer: %s=%s, policy=%s, attacked sensor s%zu (width %s)\n",
+              scenario_name.empty() ? "schedule" : "scenario",
+              scenario_name.empty() ? schedule_name.c_str() : scenario_name.c_str(),
+              policy->name().c_str(), attacked[0],
               arsf::support::format_number(system.sensors[attacked[0]].width).c_str());
   std::printf("true value: 0 (marked '*'); attacker's slot: %zu of %zu\n\n",
               arsf::sched::slot_of(order, attacked[0]) + 1, system.n());

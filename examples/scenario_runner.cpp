@@ -1,0 +1,111 @@
+// Scenario runner: the one entry point to the scenario registry.  List every
+// registered scenario, run any of them (or a whole family) as a concurrent
+// batch, dump the unified CSV report, or print a scenario's JSON descriptor.
+//
+//   ./scenario_runner --list
+//   ./scenario_runner --run table1/r0/ascending
+//   ./scenario_runner --prefix fig4/ [--threads 4] [--csv report.csv]
+//   ./scenario_runner --all --smoke
+//   ./scenario_runner --json stress/fine-grid
+//
+// --smoke substitutes each scenario's coarse smoke variant (capped rounds,
+// cost-bounded attacker) — the same configuration the scenario_smoke ctest
+// executes.
+
+#include <cstdio>
+
+#include "scenario/registry.h"
+#include "scenario/report.h"
+#include "scenario/runner.h"
+#include "support/ascii.h"
+#include "support/cli.h"
+
+int main(int argc, char** argv) {
+  const arsf::support::ArgParser args{argc, argv};
+  const bool list = args.has("list");
+  const bool all = args.has("all");
+  const bool smoke = args.has("smoke");
+  const std::string run_name = args.get_string("run", "");
+  const std::string prefix = args.get_string("prefix", "");
+  const std::string json_name = args.get_string("json", "");
+  const std::string csv_path = args.get_string("csv", "");
+  const auto threads = static_cast<unsigned>(args.get_int("threads", 0));
+
+  for (const auto& unknown : args.unknown()) {
+    std::fprintf(stderr, "unknown option --%s\n", unknown.c_str());
+    return 2;
+  }
+
+  const auto& registry = arsf::scenario::registry();
+
+  if (json_name.empty() && !list && !all && run_name.empty() && prefix.empty()) {
+    std::printf("usage: scenario_runner --list | --json NAME |\n");
+    std::printf("       (--run NAME | --prefix FAMILY/ | --all) [--smoke] [--threads N]\n");
+    std::printf("       [--csv report.csv]\n");
+    std::printf("registry: %zu scenarios\n", registry.size());
+    return 0;
+  }
+
+  if (!json_name.empty()) {
+    try {
+      std::printf("%s\n", registry.at(json_name).to_json().c_str());
+    } catch (const std::out_of_range& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+    return 0;
+  }
+
+  if (list) {
+    arsf::support::TextTable table{{"name", "analysis", "n", "schedule", "description"}};
+    for (const auto& scenario : registry.all()) {
+      table.add_row({scenario.name, arsf::scenario::to_string(scenario.analysis),
+                     std::to_string(scenario.n()), arsf::sched::to_string(scenario.schedule),
+                     scenario.description});
+    }
+    std::printf("%s%zu scenarios registered\n", table.render().c_str(), registry.size());
+    return 0;
+  }
+
+  std::vector<const arsf::scenario::Scenario*> selected;
+  if (all) {
+    for (const auto& scenario : registry.all()) selected.push_back(&scenario);
+  } else if (!prefix.empty()) {
+    selected = registry.match(prefix);
+    if (selected.empty()) {
+      std::fprintf(stderr, "no scenario matches prefix '%s'\n", prefix.c_str());
+      return 1;
+    }
+  } else {
+    try {
+      selected.push_back(&registry.at(run_name));
+    } catch (const std::out_of_range& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+  }
+
+  std::vector<arsf::scenario::Scenario> batch;
+  batch.reserve(selected.size());
+  for (const auto* scenario : selected) {
+    batch.push_back(smoke ? arsf::scenario::smoke_variant(*scenario) : *scenario);
+  }
+
+  std::printf("running %zu scenario(s)%s...\n\n", batch.size(), smoke ? " (smoke variants)" : "");
+  const arsf::scenario::Runner runner{{.num_threads = threads}};
+  const auto results = runner.run_batch(std::span<const arsf::scenario::Scenario>{batch});
+  std::printf("%s\n", arsf::scenario::render_results(results).c_str());
+
+  if (!csv_path.empty()) {
+    arsf::support::ReportWriter report{csv_path};
+    arsf::scenario::write_report(report, results);
+    std::printf("unified report: %s (%zu entries)\n", csv_path.c_str(), report.entries());
+  }
+
+  int failures = 0;
+  for (const auto& result : results) {
+    if (!result.ok()) ++failures;
+  }
+  if (failures) std::fprintf(stderr, "%d scenario(s) failed\n", failures);
+  return failures == 0 ? 0 : 1;
+}

@@ -2,12 +2,16 @@
 // configuration under the Ascending and Descending schedules (Table I
 // methodology) — the tool to answer "which schedule should MY system use?".
 //
+// Builds ad-hoc Scenario descriptors for the requested widths and runs them
+// through the same Runner as the registry catalogue.
+//
 //   ./schedule_explorer --widths 5,11,17 [--fa 1] [--step 1]
 //   ./schedule_explorer --widths 1,2,4,8 --fa 1 --all-sets
 
 #include <cstdio>
 
-#include "sim/experiment.h"
+#include "scenario/runner.h"
+#include "sim/enumerate.h"
 #include "support/ascii.h"
 #include "support/cli.h"
 
@@ -23,41 +27,71 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const arsf::SystemConfig system = arsf::make_config(widths);
+  arsf::scenario::Scenario base;
+  base.name = "explore/base";
+  base.widths = widths;
+  base.fa = fa;
+  base.step = step;
+
+  const arsf::SystemConfig system = base.system();
   std::printf("schedule explorer: n=%zu, f=%d, fa=%zu, step=%s\n", system.n(), system.f, fa,
               arsf::support::format_number(step).c_str());
   std::printf("worlds per schedule: %llu\n\n",
               static_cast<unsigned long long>(
                   arsf::sim::world_count(system, arsf::Quantizer{step})));
 
-  const arsf::sim::Table1Row row = arsf::sim::compare_schedules(widths, fa, {}, step);
+  std::vector<arsf::scenario::Scenario> scenarios;
+  for (const arsf::sched::ScheduleKind kind :
+       {arsf::sched::ScheduleKind::kAscending, arsf::sched::ScheduleKind::kDescending}) {
+    arsf::scenario::Scenario scenario = base;
+    scenario.name = "explore/" + arsf::sched::to_string(kind);
+    scenario.schedule = kind;
+    scenarios.push_back(std::move(scenario));
+  }
+  if (all_sets && fa == 1) {
+    // Per-attacked-sensor breakdown under Descending rides in the same batch.
+    for (arsf::SensorId id = 0; id < system.n(); ++id) {
+      arsf::scenario::Scenario scenario = base;
+      scenario.name = "explore/attack-s" + std::to_string(id);
+      scenario.schedule = arsf::sched::ScheduleKind::kDescending;
+      scenario.attacked_override = {id};
+      scenarios.push_back(std::move(scenario));
+    }
+  }
+
+  const arsf::scenario::Runner runner;
+  const auto results = runner.run_batch(std::span<const arsf::scenario::Scenario>{scenarios});
+  for (const auto& result : results) {
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", result.scenario.c_str(), result.error.c_str());
+      return 1;
+    }
+  }
+
+  const double e_ascending = results[0].metric("expected_width");
+  const double e_descending = results[1].metric("expected_width");
+  const double e_no_attack = results[0].metric("expected_width_no_attack");
+
   arsf::support::TextTable table{{"schedule", "E|S|", "vs no attack"}};
-  table.add_row({"no attack", arsf::support::format_number(row.e_no_attack, 3), "-"});
-  table.add_row({"ascending", arsf::support::format_number(row.e_ascending, 3),
-                 "+" + arsf::support::format_number(row.e_ascending - row.e_no_attack, 3)});
-  table.add_row({"descending", arsf::support::format_number(row.e_descending, 3),
-                 "+" + arsf::support::format_number(row.e_descending - row.e_no_attack, 3)});
+  table.add_row({"no attack", arsf::support::format_number(e_no_attack, 3), "-"});
+  table.add_row({"ascending", arsf::support::format_number(e_ascending, 3),
+                 "+" + arsf::support::format_number(e_ascending - e_no_attack, 3)});
+  table.add_row({"descending", arsf::support::format_number(e_descending, 3),
+                 "+" + arsf::support::format_number(e_descending - e_no_attack, 3)});
   std::printf("%s\n", table.render().c_str());
   std::printf("recommendation: %s schedule (expected width %s <= %s)\n\n",
-              row.e_ascending <= row.e_descending ? "ASCENDING" : "DESCENDING",
-              arsf::support::format_number(std::min(row.e_ascending, row.e_descending), 3).c_str(),
-              arsf::support::format_number(std::max(row.e_ascending, row.e_descending), 3).c_str());
+              e_ascending <= e_descending ? "ASCENDING" : "DESCENDING",
+              arsf::support::format_number(std::min(e_ascending, e_descending), 3).c_str(),
+              arsf::support::format_number(std::max(e_ascending, e_descending), 3).c_str());
 
   if (all_sets && fa == 1) {
     std::printf("per-attacked-sensor breakdown (Descending schedule):\n");
     arsf::support::TextTable breakdown{{"attacked sensor", "width", "E|S| Desc"}};
     for (arsf::SensorId id = 0; id < system.n(); ++id) {
-      arsf::sim::EnumerateConfig config;
-      config.system = system;
-      config.quant = arsf::Quantizer{step};
-      config.order = arsf::sched::descending_order(system);
-      config.attacked = {id};
-      arsf::attack::ExpectationPolicy policy;
-      config.policy = &policy;
-      const auto result = arsf::sim::enumerate_expected_width(config);
       breakdown.add_row({system.sensors[id].name,
                          arsf::support::format_number(system.sensors[id].width),
-                         arsf::support::format_number(result.expected_width, 3)});
+                         arsf::support::format_number(
+                             results[2 + id].metric("expected_width"), 3)});
     }
     std::printf("%s", breakdown.render().c_str());
     std::printf("(Theorem 4: the most precise sensor is the attacker's best target.)\n");

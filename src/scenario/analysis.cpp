@@ -1,0 +1,259 @@
+#include "scenario/analysis.h"
+
+#include <stdexcept>
+
+#include "sim/montecarlo.h"
+#include "sim/resilience.h"
+#include "sim/worstcase.h"
+#include "vehicle/casestudy.h"
+
+namespace arsf::scenario {
+
+double ScenarioResult::metric(const std::string& key) const {
+  for (const Metric& m : metrics) {
+    if (m.key == key) return m.value;
+  }
+  throw std::out_of_range("ScenarioResult '" + scenario + "': no metric '" + key + "'");
+}
+
+double ScenarioResult::metric_or(const std::string& key, double fallback) const noexcept {
+  for (const Metric& m : metrics) {
+    if (m.key == key) return m.value;
+  }
+  return fallback;
+}
+
+sched::Order resolve_order(const Scenario& scenario, const SystemConfig& system) {
+  switch (scenario.schedule) {
+    case sched::ScheduleKind::kAscending: return sched::ascending_order(system);
+    case sched::ScheduleKind::kDescending: return sched::descending_order(system);
+    case sched::ScheduleKind::kFixed: return scenario.fixed_order;
+    case sched::ScheduleKind::kTrustedLast: return sched::trusted_last_order(system);
+    case sched::ScheduleKind::kRandom: break;
+  }
+  throw std::invalid_argument("Scenario '" + scenario.name +
+                              "': random schedule has no fixed order");
+}
+
+std::vector<SensorId> resolve_attacked(const Scenario& scenario, const SystemConfig& system,
+                                       const sched::Order& order) {
+  if (!scenario.attacked_override.empty()) return scenario.attacked_override;
+  if (scenario.fa == 0) return {};
+  support::Rng rng{scenario.seed};
+  return sched::choose_attacked_set(system, order, scenario.fa, scenario.attacked_rule, &rng);
+}
+
+std::unique_ptr<attack::AttackPolicy> make_policy(const Scenario& scenario) {
+  switch (scenario.policy) {
+    case PolicyKind::kNone: return nullptr;
+    case PolicyKind::kExpectation: return attack::make_expectation_policy(scenario.policy_options);
+    case PolicyKind::kOracle: return attack::make_oracle_policy(scenario.policy_options);
+  }
+  return nullptr;
+}
+
+EnumerateSetup make_enumerate_setup(const Scenario& scenario) {
+  EnumerateSetup setup;
+  setup.config.system = scenario.system();
+  setup.config.quant = Quantizer{scenario.step};
+  setup.config.num_threads = scenario.num_threads;
+  setup.config.max_worlds = scenario.max_worlds;
+  setup.config.order = resolve_order(scenario, setup.config.system);
+  setup.config.attacked = resolve_attacked(scenario, setup.config.system, setup.config.order);
+  setup.policy = make_policy(scenario);
+  setup.config.policy = setup.policy.get();
+  setup.oracle = scenario.policy == PolicyKind::kOracle;
+  setup.config.oracle = setup.oracle;
+  return setup;
+}
+
+namespace {
+
+class EnumerateAnalysis final : public Analysis {
+ public:
+  [[nodiscard]] std::string name() const override { return "enumerate"; }
+
+  [[nodiscard]] ScenarioResult run(const Scenario& scenario) const override {
+    const EnumerateSetup setup = make_enumerate_setup(scenario);
+    const sim::EnumerateResult result = sim::enumerate_expected_width(setup.config);
+    ScenarioResult out{scenario.name, name(), {}, {}};
+    out.metrics = {
+        {"expected_width", result.expected_width},
+        {"expected_width_no_attack", result.expected_width_no_attack},
+        {"worlds", static_cast<double>(result.worlds)},
+        {"detected_worlds", static_cast<double>(result.detected_worlds)},
+        {"empty_fusion_worlds", static_cast<double>(result.empty_fusion_worlds)},
+        {"min_width", result.min_width},
+        {"max_width", result.max_width},
+    };
+    return out;
+  }
+};
+
+class MonteCarloAnalysis final : public Analysis {
+ public:
+  [[nodiscard]] std::string name() const override { return "montecarlo"; }
+
+  [[nodiscard]] ScenarioResult run(const Scenario& scenario) const override {
+    sim::MonteCarloConfig config;
+    config.system = scenario.system();
+    config.quant = Quantizer{scenario.step};
+    config.schedule = scenario.schedule;
+    config.fixed_order = scenario.fixed_order;
+    config.attacked_rule = scenario.attacked_rule;
+    config.fa = scenario.fa;
+    const std::unique_ptr<attack::AttackPolicy> policy = make_policy(scenario);
+    config.policy = policy.get();
+    config.oracle = scenario.policy == PolicyKind::kOracle;
+    config.rounds = scenario.rounds;
+    config.seed = scenario.seed;
+    const sim::MonteCarloResult result = sim::run_monte_carlo(config);
+
+    ScenarioResult out{scenario.name, name(), {}, {}};
+    out.metrics = {
+        {"mean_width", result.width.mean()},
+        {"rounds", static_cast<double>(scenario.rounds)},
+        {"stddev_width", result.width.stddev()},
+        {"mean_width_no_attack", result.width_no_attack.mean()},
+        {"detected_rounds", static_cast<double>(result.detected_rounds)},
+        {"empty_fusion_rounds", static_cast<double>(result.empty_fusion_rounds)},
+        {"attacked_count", static_cast<double>(result.attacked.size())},
+    };
+    return out;
+  }
+};
+
+class WorstCaseAnalysis final : public Analysis {
+ public:
+  [[nodiscard]] std::string name() const override { return "worstcase"; }
+
+  [[nodiscard]] ScenarioResult run(const Scenario& scenario) const override {
+    const SystemConfig system = scenario.system();
+    const std::vector<Tick> widths = tick_widths(system, Quantizer{scenario.step});
+    ScenarioResult out{scenario.name, name(), {}, {}};
+
+    if (scenario.over_all_sets) {
+      std::vector<SensorId> best_set;
+      const Tick best =
+          sim::worst_case_over_sets(widths, system.f, scenario.fa, &best_set,
+                                    scenario.num_threads, scenario.require_undetected);
+      out.metrics = {
+          {"max_width_ticks", static_cast<double>(best)},
+          {"max_width", static_cast<double>(best) * scenario.step},
+          {"best_set_size", static_cast<double>(best_set.size())},
+      };
+      return out;
+    }
+
+    sim::WorstCaseConfig config;
+    config.widths = widths;
+    config.f = system.f;
+    // Ties in the attacked-set rule resolve against the ascending order, the
+    // representative the sampled engines use as well.
+    config.attacked = resolve_attacked(scenario, system, sched::ascending_order(system));
+    config.require_undetected = scenario.require_undetected;
+    config.num_threads = scenario.num_threads;
+    const sim::WorstCaseResult result = sim::worst_case_fusion(config);
+    out.metrics = {
+        {"max_width_ticks", static_cast<double>(result.max_width)},
+        {"max_width", static_cast<double>(result.max_width) * scenario.step},
+        {"configurations", static_cast<double>(result.configurations)},
+    };
+    return out;
+  }
+};
+
+class ResilienceAnalysis final : public Analysis {
+ public:
+  [[nodiscard]] std::string name() const override { return "resilience"; }
+
+  [[nodiscard]] ScenarioResult run(const Scenario& scenario) const override {
+    sim::ResilienceConfig config;
+    config.system = scenario.system();
+    config.quant = Quantizer{scenario.step};
+    config.schedule = scenario.schedule;
+    config.fa = scenario.fa;
+    const std::unique_ptr<attack::AttackPolicy> policy = make_policy(scenario);
+    config.policy = policy.get();
+    config.fault = scenario.fault;
+    config.rounds = scenario.rounds;
+    config.seed = scenario.seed;
+    const sim::ResilienceResult result = sim::run_resilience(config);
+
+    ScenarioResult out{scenario.name, name(), {}, {}};
+    out.metrics = {
+        {"containment_rate", result.containment_rate()},
+        {"rounds", static_cast<double>(result.rounds)},
+        {"mean_width", result.width.mean()},
+        {"empty_fusion", static_cast<double>(result.empty_fusion)},
+        {"attacked_flagged", static_cast<double>(result.attacked_flagged)},
+        {"faulty_present", static_cast<double>(result.faulty_present)},
+        {"faulty_flagged", static_cast<double>(result.faulty_flagged)},
+        {"healthy_flagged", static_cast<double>(result.healthy_flagged)},
+        {"over_budget", static_cast<double>(result.over_budget)},
+    };
+    return out;
+  }
+};
+
+class CaseStudyAnalysis final : public Analysis {
+ public:
+  [[nodiscard]] std::string name() const override { return "casestudy"; }
+
+  [[nodiscard]] ScenarioResult run(const Scenario& scenario) const override {
+    // The case study runs the built-in LandShark sensing suite; a scenario
+    // whose system fields diverge from it would silently report numbers for
+    // a different system, so reject the mismatch loudly instead.
+    const SystemConfig landshark = vehicle::make_landshark_sensing(scenario.step).config;
+    if (scenario.widths != landshark.widths() || scenario.resolved_f() != landshark.f ||
+        !scenario.trusted.empty() || scenario.fa > 1) {
+      throw std::invalid_argument(
+          "Scenario '" + scenario.name +
+          "': casestudy analysis runs the built-in LandShark sensing (widths " +
+          "{1,2,0.2,0.2}, f=1, fa<=1, no trusted flags); edit vehicle/landshark.h to " +
+          "change the suite");
+    }
+
+    vehicle::CaseStudyConfig config;
+    config.schedule = scenario.schedule;
+    config.rounds = scenario.rounds;
+    config.seed = scenario.seed;
+    config.quant_step = scenario.step;
+    config.attack_enabled = scenario.fa > 0 && scenario.policy != PolicyKind::kNone;
+    config.attacked_rule = scenario.attacked_rule;
+    config.policy_options = scenario.policy_options;
+    const vehicle::CaseStudyResult result = vehicle::run_case_study(config);
+
+    ScenarioResult out{scenario.name, name(), {}, {}};
+    out.metrics = {
+        {"pct_upper", result.pct_upper},
+        {"pct_lower", result.pct_lower},
+        {"rounds", static_cast<double>(result.rounds)},
+        {"mean_width", result.fused_width.mean()},
+        {"detected_rounds", static_cast<double>(result.detected_rounds)},
+        {"estimate_bias", result.estimate_bias.mean()},
+        {"collided", result.collided ? 1.0 : 0.0},
+    };
+    return out;
+  }
+};
+
+}  // namespace
+
+const Analysis& analysis_for(AnalysisKind kind) {
+  static const EnumerateAnalysis enumerate;
+  static const MonteCarloAnalysis montecarlo;
+  static const WorstCaseAnalysis worstcase;
+  static const ResilienceAnalysis resilience;
+  static const CaseStudyAnalysis casestudy;
+  switch (kind) {
+    case AnalysisKind::kEnumerate: return enumerate;
+    case AnalysisKind::kMonteCarlo: return montecarlo;
+    case AnalysisKind::kWorstCase: return worstcase;
+    case AnalysisKind::kResilience: return resilience;
+    case AnalysisKind::kCaseStudy: return casestudy;
+  }
+  throw std::invalid_argument("analysis_for: unknown AnalysisKind");
+}
+
+}  // namespace arsf::scenario

@@ -1,0 +1,83 @@
+#pragma once
+// The common Analysis interface the Runner dispatches scenarios through.
+//
+// Each adapter translates a declarative Scenario into the corresponding
+// engine configuration (sim/enumerate.h, sim/montecarlo.h, sim/worstcase.h,
+// sim/resilience.h, vehicle/casestudy.h), runs it, and flattens the result
+// into a uniform list of named metrics.  Metrics are plain (key, value)
+// pairs so every analysis can feed the same report writer and the same
+// golden tests; exact integer counters are stored losslessly (all counts in
+// this codebase are far below 2^53).
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.h"
+#include "sim/enumerate.h"
+
+namespace arsf::scenario {
+
+struct Metric {
+  std::string key;
+  double value = 0.0;
+};
+
+/// Uniform result record: one per scenario run.
+struct ScenarioResult {
+  std::string scenario;          ///< Scenario::name
+  std::string analysis;          ///< dispatching analysis name
+  std::vector<Metric> metrics;   ///< analysis-specific named values
+  std::string error;             ///< non-empty iff the run failed
+
+  [[nodiscard]] bool ok() const noexcept { return error.empty(); }
+  /// Value of @p key; throws std::out_of_range when absent.
+  [[nodiscard]] double metric(const std::string& key) const;
+  /// Value of @p key, or @p fallback when absent.
+  [[nodiscard]] double metric_or(const std::string& key, double fallback) const noexcept;
+};
+
+class Analysis {
+ public:
+  virtual ~Analysis() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Runs the (validated) scenario.  Throws on engine errors; the Runner
+  /// turns exceptions into ScenarioResult::error.
+  [[nodiscard]] virtual ScenarioResult run(const Scenario& scenario) const = 0;
+};
+
+/// The analysis registered for @p kind (static lifetime, stateless, safe to
+/// share across threads).
+[[nodiscard]] const Analysis& analysis_for(AnalysisKind kind);
+
+// ---- shared setup builders ------------------------------------------------
+// The one place scenario ingredients become engine configurations; the
+// direct drivers (sim/experiment.h) and the analyses both use these, so the
+// registry-driven path is bit-identical to the hand-rolled calls by
+// construction.
+
+/// Slot order for a deterministic schedule kind (throws for kRandom, whose
+/// order is drawn per round by the sampled engines).
+[[nodiscard]] sched::Order resolve_order(const Scenario& scenario, const SystemConfig& system);
+
+/// Attacked set: the explicit override when given, otherwise the rule
+/// applied against @p order (ties and slot rules resolved exactly as the
+/// experiment layer always has).
+[[nodiscard]] std::vector<SensorId> resolve_attacked(const Scenario& scenario,
+                                                     const SystemConfig& system,
+                                                     const sched::Order& order);
+
+/// Attacker policy object for the scenario (nullptr for PolicyKind::kNone).
+[[nodiscard]] std::unique_ptr<attack::AttackPolicy> make_policy(const Scenario& scenario);
+
+/// Fully-wired exhaustive-enumeration setup.  The policy (when any) is owned
+/// by the returned struct and already linked into config.policy.
+struct EnumerateSetup {
+  sim::EnumerateConfig config;
+  std::unique_ptr<attack::AttackPolicy> policy;
+  bool oracle = false;
+};
+[[nodiscard]] EnumerateSetup make_enumerate_setup(const Scenario& scenario);
+
+}  // namespace arsf::scenario

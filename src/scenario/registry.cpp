@@ -1,0 +1,327 @@
+#include "scenario/registry.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/experiment.h"
+#include "vehicle/casestudy.h"
+#include "vehicle/landshark.h"
+
+namespace arsf::scenario {
+
+void ScenarioRegistry::add(Scenario scenario) {
+  scenario.validate();
+  if (find(scenario.name) != nullptr) {
+    throw std::invalid_argument("ScenarioRegistry: duplicate name '" + scenario.name + "'");
+  }
+  scenarios_.push_back(std::move(scenario));
+}
+
+const Scenario* ScenarioRegistry::find(const std::string& name) const noexcept {
+  for (const Scenario& scenario : scenarios_) {
+    if (scenario.name == name) return &scenario;
+  }
+  return nullptr;
+}
+
+const Scenario& ScenarioRegistry::at(const std::string& name) const {
+  if (const Scenario* scenario = find(name)) return *scenario;
+  std::string hint;
+  for (const Scenario& scenario : scenarios_) {
+    if (scenario.name.rfind(name, 0) == 0) {
+      hint += (hint.empty() ? "" : ", ") + scenario.name;
+    }
+  }
+  throw std::out_of_range("ScenarioRegistry: no scenario '" + name + "'" +
+                          (hint.empty() ? "" : " (did you mean: " + hint + "?)"));
+}
+
+std::vector<const Scenario*> ScenarioRegistry::match(const std::string& prefix) const {
+  std::vector<const Scenario*> out;
+  for (const Scenario& scenario : scenarios_) {
+    if (scenario.name.rfind(prefix, 0) == 0) out.push_back(&scenario);
+  }
+  return out;
+}
+
+namespace {
+
+std::string widths_text(const std::vector<double>& widths) {
+  std::string text = "{";
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    if (i) text += ",";
+    const auto rounded = static_cast<long long>(widths[i]);
+    text += static_cast<double>(rounded) == widths[i] ? std::to_string(rounded)
+                                                      : std::to_string(widths[i]);
+  }
+  return text + "}";
+}
+
+void add_table1(ScenarioRegistry& reg) {
+  const auto configs = sim::paper_table1_configs();
+  for (std::size_t row = 0; row < configs.size(); ++row) {
+    const auto& [widths, fa] = configs[row];
+    for (const sched::ScheduleKind kind :
+         {sched::ScheduleKind::kAscending, sched::ScheduleKind::kDescending}) {
+      Scenario s;
+      s.name = "table1/r" + std::to_string(row) + "/" + sched::to_string(kind);
+      s.description = "Table I row " + std::to_string(row) + ": L=" + widths_text(widths) +
+                      ", fa=" + std::to_string(fa) + ", exact E|S| under the " +
+                      sched::to_string(kind) + " schedule";
+      s.widths = widths;
+      s.fa = fa;
+      s.schedule = kind;
+      reg.add(std::move(s));
+    }
+  }
+}
+
+void add_figures(ScenarioRegistry& reg) {
+  {
+    // Fig. 2: the attacker (width 4) transmits between s1 (width 10, seen)
+    // and s2 (width 6, unseen) — the setting with no dominant policy.
+    Scenario s;
+    s.name = "fig2/no-optimal-policy";
+    s.description = "Fig. 2 setting: attacker mid-schedule between a seen and an unseen sensor";
+    s.widths = {10, 4, 6};
+    s.schedule = sched::ScheduleKind::kFixed;
+    s.fixed_order = {0, 1, 2};
+    s.attacked_override = {1};
+    reg.add(std::move(s));
+  }
+  {
+    // Fig. 3 case 1: coinciding seen intervals, small unseen, fa=2 jointly
+    // planned before the unseen sensor's slot.
+    Scenario s;
+    s.name = "fig3/theorem1-case1";
+    s.description = "Fig. 3 case 1: seen intervals coincide, unseen small, joint fa=2 attack";
+    s.widths = {4, 4, 3, 10, 10};
+    s.schedule = sched::ScheduleKind::kFixed;
+    s.fixed_order = {0, 1, 3, 4, 2};
+    s.fa = 2;
+    s.attacked_override = {3, 4};
+    reg.add(std::move(s));
+  }
+  {
+    // Fig. 3 case 2: the attacked interval pins [l_{n-f-fa}, u_{n-f-fa}].
+    Scenario s;
+    s.name = "fig3/theorem1-case2";
+    s.description = "Fig. 3 case 2: attacked interval pins the fusion endpoints";
+    s.widths = {6, 6, 1, 5};
+    s.schedule = sched::ScheduleKind::kFixed;
+    s.fixed_order = {0, 1, 3, 2};
+    s.attacked_override = {3};
+    reg.add(std::move(s));
+  }
+  // Fig. 4: worst-case searches behind Theorems 3/4, one per width family;
+  // the attacked set follows Theorem 4's strongest choice (smallest widths).
+  const std::vector<std::vector<double>> families = {
+      {2, 3, 5}, {1, 4, 4}, {2, 2, 6}, {2, 3, 4, 5}, {1, 2, 3, 6}, {2, 2, 3, 4, 5},
+  };
+  for (const auto& widths : families) {
+    Scenario s;
+    std::string suffix;
+    for (double w : widths) suffix += (suffix.empty() ? "" : "-") + std::to_string(
+        static_cast<long long>(w));
+    s.name = "fig4/wc-" + suffix;
+    s.description = "Fig. 4 worst-case search, widths " + widths_text(widths) +
+                    ", fa=f smallest widths attacked";
+    s.analysis = AnalysisKind::kWorstCase;
+    s.widths = widths;
+    s.fa = static_cast<std::size_t>(max_bounded_f(static_cast<int>(widths.size())));
+    reg.add(std::move(s));
+  }
+  {
+    // Fig. 5a: the wide intervals hang on opposite flanks; Ascending denies
+    // the attacker the flank information.
+    Scenario s;
+    s.name = "fig5/asymmetric-flanks";
+    s.description = "Fig. 5a system: widths {4,10,10}, most precise sensor attacked";
+    s.widths = {4, 10, 10};
+    s.attacked_override = {0};
+    reg.add(std::move(s));
+  }
+  {
+    // Fig. 5b: mid-schedule attacker; the width-12 interval is uninformative.
+    Scenario s;
+    s.name = "fig5/pinned-fusion";
+    s.description = "Fig. 5b system: widths {6,4,5,12}, width-6 sensor attacked mid-schedule";
+    s.widths = {6, 4, 5, 12};
+    s.attacked_override = {0};
+    reg.add(std::move(s));
+  }
+}
+
+void add_case_study(ScenarioRegistry& reg) {
+  const std::vector<double> landshark_widths = vehicle::make_landshark_sensing().config.widths();
+  for (const sched::ScheduleKind kind :
+       {sched::ScheduleKind::kAscending, sched::ScheduleKind::kDescending,
+        sched::ScheduleKind::kRandom}) {
+    Scenario s;
+    s.name = "table2/landshark-" + sched::to_string(kind);
+    s.description = "Table II LandShark platoon case study under the " + sched::to_string(kind) +
+                    " schedule (one encoder compromised)";
+    s.analysis = AnalysisKind::kCaseStudy;
+    s.widths = landshark_widths;
+    s.step = 0.01;
+    s.schedule = kind;
+    s.rounds = 10'000;
+    s.seed = 0x1a2db4d5ULL;
+    s.policy_options = vehicle::CaseStudyConfig::default_policy_options();
+    reg.add(std::move(s));
+  }
+}
+
+void add_extensions(ScenarioRegistry& reg) {
+  {
+    // Paper §IV-C: hard-to-spoof sensors last.  The attacker owns the most
+    // precise spoofable sensor (the gps, id 2).
+    Scenario s;
+    s.name = "ext/trusted-last";
+    s.description = "TrustedLast schedule: imu+encoder trusted, gps attacked (paper IV-C)";
+    s.widths = {2, 5, 11, 17};
+    s.trusted = {0, 1};
+    s.schedule = sched::ScheduleKind::kTrustedLast;
+    s.attacked_override = {2};
+    reg.add(std::move(s));
+  }
+  {
+    // The conclusion's announced extension: random faults on uncompromised
+    // sensors while the stealthy attacker plays.
+    Scenario s;
+    s.name = "ext/faults-and-attacks";
+    s.description = "Resilience: offset faults on correct sensors + stealthy fa=1 attacker";
+    s.analysis = AnalysisKind::kResilience;
+    s.widths = {5, 8, 11, 14, 17};
+    s.rounds = 8'000;
+    s.seed = 0xfa017ULL;
+    s.fault.kind = sensors::FaultKind::kOffset;
+    s.fault.magnitude = 30.0;
+    s.fault.p_enter = 0.05;
+    s.fault.p_recover = 0.2;
+    reg.add(std::move(s));
+  }
+  {
+    // Full-knowledge upper bound: separates information denied by the
+    // schedule from power denied by stealth.
+    Scenario s;
+    s.name = "ext/oracle-upper-bound";
+    s.description = "Oracle attacker (problem (1) on actual placements), ascending schedule";
+    s.widths = {5, 11, 17};
+    s.policy = PolicyKind::kOracle;
+    reg.add(std::move(s));
+  }
+}
+
+void add_monte_carlo(ScenarioRegistry& reg) {
+  {
+    Scenario s;
+    s.name = "mc/table1-r0-random";
+    s.description = "Monte Carlo E|S| for Table I row 0 under the per-round Random schedule";
+    s.analysis = AnalysisKind::kMonteCarlo;
+    s.widths = {5, 11, 17};
+    s.schedule = sched::ScheduleKind::kRandom;
+    reg.add(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "mc/landshark-random";
+    s.description = "Monte Carlo on the LandShark widths, Random schedule, fine grid";
+    s.analysis = AnalysisKind::kMonteCarlo;
+    s.widths = vehicle::make_landshark_sensing().config.widths();
+    s.step = 0.01;
+    s.schedule = sched::ScheduleKind::kRandom;
+    s.rounds = 5'000;
+    reg.add(std::move(s));
+  }
+}
+
+void add_stress(ScenarioRegistry& reg) {
+  {
+    // Exercises the clean fast lane at scale: 3.6M worlds, no attacker.
+    Scenario s;
+    s.name = "stress/large-n-clean";
+    s.description = "n=9 clean enumeration (3.6M worlds) through the run-batched fast lane";
+    s.widths = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+    s.fa = 0;
+    s.policy = PolicyKind::kNone;
+    reg.add(std::move(s));
+  }
+  {
+    // The PR-1 perf workload: Table I row 0 on a quarter grid.
+    Scenario s;
+    s.name = "stress/fine-grid";
+    s.description = "Table I row 0 at step 0.25 (65k worlds, exact Bayesian attacker)";
+    s.widths = {5, 11, 17};
+    s.step = 0.25;
+    reg.add(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "stress/heterogeneous-widths";
+    s.description = "Widths spanning two orders of magnitude, fa=2, Random schedule";
+    s.analysis = AnalysisKind::kMonteCarlo;
+    s.widths = {0.5, 3, 3, 24, 96};
+    s.step = 0.5;
+    s.fa = 2;
+    s.schedule = sched::ScheduleKind::kRandom;
+    s.rounds = 5'000;
+    reg.add(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "stress/random-schedule-fa2";
+    s.description = "Table I row 5 widths under the Random schedule with fa=2";
+    s.analysis = AnalysisKind::kMonteCarlo;
+    s.widths = {5, 5, 5, 14, 20};
+    s.fa = 2;
+    s.schedule = sched::ScheduleKind::kRandom;
+    reg.add(std::move(s));
+  }
+  {
+    // Exercises the parallel over-all-subsets worst-case search.
+    Scenario s;
+    s.name = "stress/worstcase-over-sets";
+    s.description = "Global worst case over every fa=2 subset of widths {2,2,3,4,5}";
+    s.analysis = AnalysisKind::kWorstCase;
+    s.widths = {2, 2, 3, 4, 5};
+    s.fa = 2;
+    s.over_all_sets = true;
+    reg.add(std::move(s));
+  }
+}
+
+}  // namespace
+
+const ScenarioRegistry& registry() {
+  static const ScenarioRegistry instance = [] {
+    ScenarioRegistry reg;
+    add_table1(reg);
+    add_figures(reg);
+    add_case_study(reg);
+    add_extensions(reg);
+    add_monte_carlo(reg);
+    add_stress(reg);
+    return reg;
+  }();
+  return instance;
+}
+
+Scenario smoke_variant(Scenario scenario) {
+  scenario.rounds = std::min<std::size_t>(scenario.rounds, 200);
+  if (scenario.policy != PolicyKind::kNone) {
+    // Cost-bound the attacker: no joint planning, strided candidate grids,
+    // subsampled posterior.  The schedule/attacked-set/analysis paths are
+    // the ones the full scenario would take.
+    scenario.policy_options.max_joint = 1;
+    scenario.policy_options.candidate_stride =
+        std::max<Tick>(scenario.policy_options.candidate_stride, 2);
+    scenario.policy_options.max_completions =
+        scenario.policy_options.max_completions == 0
+            ? 16
+            : std::min<std::size_t>(scenario.policy_options.max_completions, 16);
+  }
+  return scenario;
+}
+
+}  // namespace arsf::scenario

@@ -1,0 +1,55 @@
+#pragma once
+// Named scenario catalogue.
+//
+// registry() is the process-wide, immutable catalogue of every scenario this
+// repository knows how to run: the paper's Table I rows (both schedules),
+// the Figure 2-5 setups, the LandShark/Table II case study, the announced
+// extensions (trusted-last, faults + attacks) and a family of stress
+// scenarios (large n, fine grids, heterogeneous widths, random schedules,
+// the exhaustive over-all-sets worst case).  Benches, examples and tests
+// look configurations up by name instead of re-declaring them, and the
+// scenario_smoke ctest runs every entry through smoke_variant(), so a
+// registered scenario can never land unexecuted.
+//
+// Naming convention: "<family>/<case>", e.g. "table1/r3/descending",
+// "fig4/wc-2-3-5", "stress/fine-grid".  Prefix lookups (match()) return
+// whole families in registration order.
+
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.h"
+
+namespace arsf::scenario {
+
+class ScenarioRegistry {
+ public:
+  /// Validates and stores; throws std::invalid_argument on an invalid
+  /// scenario or a duplicate name.
+  void add(Scenario scenario);
+
+  /// nullptr when absent.
+  [[nodiscard]] const Scenario* find(const std::string& name) const noexcept;
+  /// Throws std::out_of_range (listing near-miss names) when absent.
+  [[nodiscard]] const Scenario& at(const std::string& name) const;
+  /// Every scenario whose name starts with @p prefix, in registration order.
+  [[nodiscard]] std::vector<const Scenario*> match(const std::string& prefix) const;
+
+  [[nodiscard]] const std::vector<Scenario>& all() const noexcept { return scenarios_; }
+  [[nodiscard]] std::size_t size() const noexcept { return scenarios_.size(); }
+
+ private:
+  std::vector<Scenario> scenarios_;  ///< registration order = listing order
+};
+
+/// The pre-populated global catalogue (constructed on first use; read-only
+/// afterwards, safe to share across threads).
+[[nodiscard]] const ScenarioRegistry& registry();
+
+/// Coarse, time-bounded clone for the scenario_smoke ctest: capped rounds
+/// and a cost-bounded attacker (joint planning off, strided candidates,
+/// subsampled posterior).  The scenario still exercises the same analysis,
+/// schedule and attacked-set path as the full run.
+[[nodiscard]] Scenario smoke_variant(Scenario scenario);
+
+}  // namespace arsf::scenario

@@ -1,0 +1,36 @@
+#include "scenario/report.h"
+
+#include "support/ascii.h"
+
+namespace arsf::scenario {
+
+void write_report(support::ReportWriter& out, std::span<const ScenarioResult> results) {
+  for (const ScenarioResult& result : results) {
+    if (!result.ok()) {
+      out.add_text(result.scenario, result.analysis, "error", result.error);
+      continue;
+    }
+    for (const Metric& metric : result.metrics) {
+      out.add(result.scenario, result.analysis, metric.key, metric.value);
+    }
+  }
+}
+
+std::string render_results(std::span<const ScenarioResult> results) {
+  support::TextTable table{{"scenario", "analysis", "headline", "value", "status"}};
+  for (const ScenarioResult& result : results) {
+    if (!result.ok()) {
+      table.add_row({result.scenario, result.analysis, "-", "-", "ERROR: " + result.error});
+      continue;
+    }
+    // The first metric of every analysis is its headline number (E|S|,
+    // mean width, worst-case width, containment, ...).
+    const std::string key = result.metrics.empty() ? "-" : result.metrics.front().key;
+    const std::string value =
+        result.metrics.empty() ? "-" : support::format_number(result.metrics.front().value, 4);
+    table.add_row({result.scenario, result.analysis, key, value, "ok"});
+  }
+  return table.render();
+}
+
+}  // namespace arsf::scenario

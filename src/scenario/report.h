@@ -1,0 +1,19 @@
+#pragma once
+// Uniform output for scenario results: the long-format CSV report
+// (support/csv.h ReportWriter) and an ASCII summary table for terminals.
+
+#include <span>
+#include <string>
+
+#include "scenario/analysis.h"
+#include "support/csv.h"
+
+namespace arsf::scenario {
+
+/// Appends every metric of every result (and an "error" row for failures).
+void write_report(support::ReportWriter& out, std::span<const ScenarioResult> results);
+
+/// Fixed-width summary: one row per result with its headline metrics.
+[[nodiscard]] std::string render_results(std::span<const ScenarioResult> results);
+
+}  // namespace arsf::scenario

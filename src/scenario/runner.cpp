@@ -1,0 +1,67 @@
+#include "scenario/runner.h"
+
+#include <exception>
+
+#include "sim/engine/thread_pool.h"
+
+namespace arsf::scenario {
+
+using sim::engine::ThreadPool;
+
+ScenarioResult Runner::run_one(const Scenario& scenario, bool force_serial) const {
+  const Scenario* effective = &scenario;
+  Scenario serial;
+  if (force_serial && scenario.num_threads != 1) {
+    serial = scenario;
+    serial.num_threads = 1;
+    effective = &serial;
+  }
+  try {
+    effective->validate();
+    return analysis_for(effective->analysis).run(*effective);
+  } catch (const std::exception& e) {
+    if (!options_.capture_errors) throw;
+    ScenarioResult result;
+    result.scenario = scenario.name;
+    result.analysis = to_string(scenario.analysis);
+    result.error = e.what();
+    return result;
+  }
+}
+
+ScenarioResult Runner::run(const Scenario& scenario) const {
+  return run_one(scenario, /*force_serial=*/false);
+}
+
+std::vector<ScenarioResult> Runner::run_batch(std::span<const Scenario> scenarios) const {
+  std::vector<const Scenario*> pointers;
+  pointers.reserve(scenarios.size());
+  for (const Scenario& scenario : scenarios) pointers.push_back(&scenario);
+  return run_batch(pointers);
+}
+
+std::vector<ScenarioResult> Runner::run_batch(
+    std::span<const Scenario* const> scenarios) const {
+  std::vector<ScenarioResult> results(scenarios.size());
+  const unsigned requested =
+      options_.num_threads == 0 ? ThreadPool::default_threads() : options_.num_threads;
+  // Scenarios running side by side must not also fan out inside the engine;
+  // a sequential batch keeps each scenario's own engine knob instead.
+  const bool concurrent = requested > 1 && scenarios.size() > 1;
+  const auto task = [&](std::size_t i) {
+    results[i] = run_one(*scenarios[i], /*force_serial=*/concurrent);
+  };
+
+  if (!concurrent) {
+    for (std::size_t i = 0; i < scenarios.size(); ++i) task(i);
+  } else if (options_.num_threads == 0) {
+    ThreadPool::shared().run(scenarios.size(), task);
+  } else {
+    // An explicit width below (or above) the shared pool's: private pool.
+    ThreadPool pool{requested};
+    pool.run(scenarios.size(), task);
+  }
+  return results;
+}
+
+}  // namespace arsf::scenario

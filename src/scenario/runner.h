@@ -1,0 +1,55 @@
+#pragma once
+// Scenario dispatch and batched execution.
+//
+// Runner::run() validates one scenario and hands it to the Analysis
+// registered for its kind.  Runner::run_batch() executes many scenarios
+// concurrently on the sim/engine thread pool with one task per scenario
+// (dynamic load balancing) and returns results in INPUT order — slot i of
+// the result vector always belongs to scenarios[i], so batch output is
+// order-stable for every thread count.
+//
+// Inside a batch each scenario's own engine fan-out is forced serial
+// (num_threads = 1): the batch owns the parallelism, and a serial engine run
+// is bit-identical to a parallel one by the engine's merge discipline — so
+// batching changes wall-clock, never results.  A ThreadPool::run() of count
+// 1 executes inline without touching the pool, which is what makes the
+// nested serial engine calls safe.
+
+#include <span>
+#include <vector>
+
+#include "scenario/analysis.h"
+
+namespace arsf::scenario {
+
+struct RunnerOptions {
+  /// Worker fan-out across the scenarios of a batch (0 = hardware threads,
+  /// 1 = serial).  Single-scenario run() ignores this and leaves the
+  /// scenario's own engine fan-out untouched.
+  unsigned num_threads = 0;
+  /// Convert per-scenario exceptions into ScenarioResult::error instead of
+  /// propagating (a batch then always yields one result per scenario).
+  bool capture_errors = true;
+};
+
+class Runner {
+ public:
+  explicit Runner(RunnerOptions options = {}) : options_(options) {}
+
+  /// Runs one scenario with its own num_threads engine fan-out.
+  [[nodiscard]] ScenarioResult run(const Scenario& scenario) const;
+
+  /// Runs every scenario; results in input order (see file comment).
+  [[nodiscard]] std::vector<ScenarioResult> run_batch(
+      std::span<const Scenario> scenarios) const;
+  /// Registry-pointer convenience (e.g. the result of registry().match()).
+  [[nodiscard]] std::vector<ScenarioResult> run_batch(
+      std::span<const Scenario* const> scenarios) const;
+
+ private:
+  [[nodiscard]] ScenarioResult run_one(const Scenario& scenario, bool force_serial) const;
+
+  RunnerOptions options_;
+};
+
+}  // namespace arsf::scenario

@@ -1,0 +1,611 @@
+#include "scenario/scenario.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <stdexcept>
+
+#include "support/ascii.h"
+
+namespace arsf::scenario {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& scenario, const std::string& reason) {
+  throw std::invalid_argument("Scenario" + (scenario.empty() ? "" : " '" + scenario + "'") +
+                              ": " + reason);
+}
+
+template <typename Enum>
+Enum parse_enum(const std::string& text, std::initializer_list<Enum> values,
+                const char* what) {
+  for (Enum value : values) {
+    if (to_string(value) == text) return value;
+  }
+  throw std::invalid_argument(std::string{"Scenario: unknown "} + what + " '" + text + "'");
+}
+
+sched::ScheduleKind parse_schedule(const std::string& text) {
+  using sched::ScheduleKind;
+  using sched::to_string;
+  for (ScheduleKind kind : {ScheduleKind::kAscending, ScheduleKind::kDescending,
+                            ScheduleKind::kRandom, ScheduleKind::kFixed,
+                            ScheduleKind::kTrustedLast}) {
+    if (to_string(kind) == text) return kind;
+  }
+  throw std::invalid_argument("Scenario: unknown schedule '" + text + "'");
+}
+
+sched::AttackedSetRule parse_attacked_rule(const std::string& text) {
+  using sched::AttackedSetRule;
+  using sched::to_string;
+  for (AttackedSetRule rule :
+       {AttackedSetRule::kSmallestWidths, AttackedSetRule::kLargestWidths,
+        AttackedSetRule::kRandom, AttackedSetRule::kLastSlots, AttackedSetRule::kFirstSlots}) {
+    if (to_string(rule) == text) return rule;
+  }
+  throw std::invalid_argument("Scenario: unknown attacked_rule '" + text + "'");
+}
+
+sensors::FaultKind parse_fault_kind(const std::string& text) {
+  using sensors::FaultKind;
+  using sensors::to_string;
+  for (FaultKind kind : {FaultKind::kNone, FaultKind::kStuckAt, FaultKind::kOffset,
+                         FaultKind::kDrift, FaultKind::kDropout}) {
+    if (to_string(kind) == text) return kind;
+  }
+  throw std::invalid_argument("Scenario: unknown fault kind '" + text + "'");
+}
+
+// ------------------------------------------------------------- JSON writer --
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string json_number(double x) { return support::format_round_trip(x); }
+
+class JsonBuilder {
+ public:
+  void field(const std::string& key, const std::string& value) {
+    raw(key, "\"" + json_escape(value) + "\"");
+  }
+  void field(const std::string& key, double value) { raw(key, json_number(value)); }
+  void field(const std::string& key, std::uint64_t value) { raw(key, std::to_string(value)); }
+  void field(const std::string& key, int value) { raw(key, std::to_string(value)); }
+  void field(const std::string& key, bool value) { raw(key, value ? "true" : "false"); }
+  template <typename T>
+  void list(const std::string& key, const std::vector<T>& values) {
+    std::string text = "[";
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (i) text += ",";
+      if constexpr (std::is_floating_point_v<T>) {
+        text += json_number(values[i]);
+      } else {
+        text += std::to_string(values[i]);
+      }
+    }
+    raw(key, text + "]");
+  }
+  void raw(const std::string& key, const std::string& value) {
+    if (!body_.empty()) body_ += ",";
+    body_ += "\"" + json_escape(key) + "\":" + value;
+  }
+  [[nodiscard]] std::string render() const { return "{" + body_ + "}"; }
+
+ private:
+  std::string body_;
+};
+
+// ------------------------------------------------------------- JSON parser --
+//
+// Minimal recursive-descent parser for the subset to_json() emits: objects,
+// arrays of numbers, strings, numbers and booleans.  Integers are parsed
+// without a double round-trip so 64-bit seeds survive exactly.
+
+struct JsonValue {
+  enum class Type { kString, kNumber, kBool, kArray, kObject } type = Type::kNumber;
+  std::string string;
+  double number = 0.0;
+  std::uint64_t integer = 0;   ///< valid when is_integer
+  bool is_integer = false;
+  bool negative = false;       ///< integer sign (stored separately: uint64 magnitude)
+  bool boolean = false;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue value = parse_value();
+    skip_space();
+    if (pos_ != text_.size()) error("trailing characters after JSON value");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void error(const std::string& reason) const {
+    throw std::invalid_argument("Scenario JSON: " + reason + " at offset " +
+                                std::to_string(pos_));
+  }
+
+  void skip_space() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+
+  char peek() {
+    skip_space();
+    if (pos_ >= text_.size()) error("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) error(std::string{"expected '"} + c + "'");
+    ++pos_;
+  }
+
+  JsonValue parse_value() {
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return parse_string();
+      case 't':
+      case 'f': return parse_bool();
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue value;
+    value.type = JsonValue::Type::kObject;
+    if (peek() == '}') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      JsonValue key = parse_string();
+      expect(':');
+      value.object.emplace_back(key.string, parse_value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return value;
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue value;
+    value.type = JsonValue::Type::kArray;
+    if (peek() == ']') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      value.array.push_back(parse_value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return value;
+    }
+  }
+
+  JsonValue parse_string() {
+    expect('"');
+    JsonValue value;
+    value.type = JsonValue::Type::kString;
+    while (true) {
+      if (pos_ >= text_.size()) error("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return value;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) error("unterminated escape");
+        const char escaped = text_[pos_++];
+        switch (escaped) {
+          case '"': value.string += '"'; break;
+          case '\\': value.string += '\\'; break;
+          case 'n': value.string += '\n'; break;
+          case 't': value.string += '\t'; break;
+          default: error("unsupported escape sequence");
+        }
+      } else {
+        value.string += c;
+      }
+    }
+  }
+
+  JsonValue parse_bool() {
+    JsonValue value;
+    value.type = JsonValue::Type::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      value.boolean = true;
+      pos_ += 4;
+    } else if (text_.compare(pos_, 5, "false") == 0) {
+      value.boolean = false;
+      pos_ += 5;
+    } else {
+      error("expected boolean");
+    }
+    return value;
+  }
+
+  JsonValue parse_number() {
+    skip_space();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    bool fractional = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '-' || c == '+') {
+        fractional = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) error("expected number");
+    JsonValue value;
+    value.type = JsonValue::Type::kNumber;
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    if (!fractional) {
+      value.negative = *first == '-';
+      const char* digits = value.negative || *first == '+' ? first + 1 : first;
+      const auto result = std::from_chars(digits, last, value.integer);
+      value.is_integer = result.ec == std::errc{} && result.ptr == last;
+    }
+    const auto result = std::from_chars(first, last, value.number);
+    if (result.ec != std::errc{} || result.ptr != last) error("malformed number");
+    return value;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// Typed field extraction; every getter rejects type mismatches.
+const JsonValue& object_field(const JsonValue& object, const std::string& key) {
+  for (const auto& [name, value] : object.object) {
+    if (name == key) return value;
+  }
+  throw std::invalid_argument("Scenario JSON: missing field '" + key + "'");
+}
+
+std::string get_string(const JsonValue& object, const std::string& key) {
+  const JsonValue& value = object_field(object, key);
+  if (value.type != JsonValue::Type::kString) {
+    throw std::invalid_argument("Scenario JSON: field '" + key + "' must be a string");
+  }
+  return value.string;
+}
+
+double get_double(const JsonValue& object, const std::string& key) {
+  const JsonValue& value = object_field(object, key);
+  if (value.type != JsonValue::Type::kNumber) {
+    throw std::invalid_argument("Scenario JSON: field '" + key + "' must be a number");
+  }
+  return value.number;
+}
+
+std::uint64_t get_uint(const JsonValue& object, const std::string& key) {
+  const JsonValue& value = object_field(object, key);
+  if (value.type != JsonValue::Type::kNumber || !value.is_integer || value.negative) {
+    throw std::invalid_argument("Scenario JSON: field '" + key +
+                                "' must be a non-negative integer");
+  }
+  return value.integer;
+}
+
+int get_int(const JsonValue& object, const std::string& key) {
+  const JsonValue& value = object_field(object, key);
+  if (value.type != JsonValue::Type::kNumber || !value.is_integer) {
+    throw std::invalid_argument("Scenario JSON: field '" + key + "' must be an integer");
+  }
+  const auto magnitude = static_cast<int>(value.integer);
+  return value.negative ? -magnitude : magnitude;
+}
+
+bool get_bool(const JsonValue& object, const std::string& key) {
+  const JsonValue& value = object_field(object, key);
+  if (value.type != JsonValue::Type::kBool) {
+    throw std::invalid_argument("Scenario JSON: field '" + key + "' must be a boolean");
+  }
+  return value.boolean;
+}
+
+std::vector<double> get_double_list(const JsonValue& object, const std::string& key) {
+  const JsonValue& value = object_field(object, key);
+  if (value.type != JsonValue::Type::kArray) {
+    throw std::invalid_argument("Scenario JSON: field '" + key + "' must be an array");
+  }
+  std::vector<double> out;
+  out.reserve(value.array.size());
+  for (const JsonValue& element : value.array) {
+    if (element.type != JsonValue::Type::kNumber) {
+      throw std::invalid_argument("Scenario JSON: field '" + key + "' must hold numbers");
+    }
+    out.push_back(element.number);
+  }
+  return out;
+}
+
+std::vector<std::size_t> get_index_list(const JsonValue& object, const std::string& key) {
+  const JsonValue& value = object_field(object, key);
+  if (value.type != JsonValue::Type::kArray) {
+    throw std::invalid_argument("Scenario JSON: field '" + key + "' must be an array");
+  }
+  std::vector<std::size_t> out;
+  out.reserve(value.array.size());
+  for (const JsonValue& element : value.array) {
+    if (element.type != JsonValue::Type::kNumber || !element.is_integer || element.negative) {
+      throw std::invalid_argument("Scenario JSON: field '" + key +
+                                  "' must hold non-negative integers");
+    }
+    out.push_back(static_cast<std::size_t>(element.integer));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_string(AnalysisKind kind) {
+  switch (kind) {
+    case AnalysisKind::kEnumerate: return "enumerate";
+    case AnalysisKind::kMonteCarlo: return "montecarlo";
+    case AnalysisKind::kWorstCase: return "worstcase";
+    case AnalysisKind::kResilience: return "resilience";
+    case AnalysisKind::kCaseStudy: return "casestudy";
+  }
+  return "unknown";
+}
+
+std::string to_string(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kNone: return "none";
+    case PolicyKind::kExpectation: return "expectation";
+    case PolicyKind::kOracle: return "oracle";
+  }
+  return "unknown";
+}
+
+int Scenario::resolved_f() const {
+  if (f >= 0) return f;
+  return max_bounded_f(static_cast<int>(widths.size()));
+}
+
+SystemConfig Scenario::system() const {
+  SystemConfig config = make_config(widths, f);
+  for (SensorId id : trusted) {
+    if (id < config.sensors.size()) config.sensors[id].trusted = true;
+  }
+  return config;
+}
+
+void Scenario::validate() const {
+  if (name.empty()) fail(name, "name must be non-empty");
+  if (widths.empty()) fail(name, "widths must be non-empty");
+  for (double w : widths) {
+    if (!(w > 0.0)) fail(name, "every width must be > 0");
+  }
+  if (!(step > 0.0)) fail(name, "step must be > 0");
+
+  // Delegate system-level checks (f range, positive widths) and the exact
+  // grid requirement to the shared helpers so the rules cannot drift.
+  SystemConfig config;
+  try {
+    config = system();
+    config.validate();
+    (void)tick_widths(config, Quantizer{step});
+  } catch (const std::invalid_argument& e) {
+    fail(name, e.what());
+  }
+
+  const std::size_t count = widths.size();
+  for (SensorId id : trusted) {
+    if (id >= count) fail(name, "trusted id out of range");
+  }
+  if (fa > count) fail(name, "fa exceeds the number of sensors");
+  for (SensorId id : attacked_override) {
+    if (id >= count) fail(name, "attacked_override id out of range");
+  }
+  if (!attacked_override.empty()) {
+    if (!std::is_sorted(attacked_override.begin(), attacked_override.end())) {
+      fail(name, "attacked_override must be sorted by id");
+    }
+    if (std::adjacent_find(attacked_override.begin(), attacked_override.end()) !=
+        attacked_override.end()) {
+      fail(name, "attacked_override must not repeat ids");
+    }
+    if (attacked_override.size() != fa) fail(name, "attacked_override size must equal fa");
+  }
+
+  if (schedule == sched::ScheduleKind::kFixed) {
+    if (!sched::is_valid_order(fixed_order, count)) {
+      fail(name, "fixed schedule requires a permutation fixed_order");
+    }
+  } else if (!fixed_order.empty()) {
+    fail(name, "fixed_order is only meaningful with the fixed schedule");
+  }
+  if (schedule == sched::ScheduleKind::kTrustedLast && trusted.empty()) {
+    fail(name, "trusted-last schedule without trusted sensors");
+  }
+
+  switch (analysis) {
+    case AnalysisKind::kEnumerate:
+      if (schedule == sched::ScheduleKind::kRandom) {
+        fail(name, "exhaustive enumeration needs a deterministic schedule");
+      }
+      if (max_worlds == 0) fail(name, "max_worlds must be > 0");
+      break;
+    case AnalysisKind::kMonteCarlo:
+    case AnalysisKind::kResilience:
+    case AnalysisKind::kCaseStudy:
+      if (rounds == 0) fail(name, "sampled analyses need rounds > 0");
+      if (!attacked_override.empty()) {
+        fail(name, "sampled analyses choose the attacked set by rule, not override");
+      }
+      break;
+    case AnalysisKind::kWorstCase:
+      if (over_all_sets && count > 63) fail(name, "over_all_sets supports at most 63 sensors");
+      break;
+  }
+  if (analysis == AnalysisKind::kResilience && fault.kind != sensors::FaultKind::kNone) {
+    if (fault.p_enter < 0.0 || fault.p_enter > 1.0 || fault.p_recover < 0.0 ||
+        fault.p_recover > 1.0) {
+      fail(name, "fault probabilities must lie in [0, 1]");
+    }
+  }
+  if (policy_options.max_joint == 0) fail(name, "policy_options.max_joint must be >= 1");
+  if (policy_options.candidate_stride < 1) {
+    fail(name, "policy_options.candidate_stride must be >= 1");
+  }
+}
+
+std::string Scenario::to_json() const {
+  JsonBuilder options;
+  options.field("max_joint", static_cast<std::uint64_t>(policy_options.max_joint));
+  options.field("max_completions", static_cast<std::uint64_t>(policy_options.max_completions));
+  options.field("candidate_stride", static_cast<std::uint64_t>(policy_options.candidate_stride));
+  options.field("memoize", policy_options.memoize);
+  options.field("sample_seed", policy_options.sample_seed);
+  options.field("random_tie_break", policy_options.random_tie_break);
+
+  JsonBuilder fault_json;
+  fault_json.field("kind", sensors::to_string(fault.kind));
+  fault_json.field("p_enter", fault.p_enter);
+  fault_json.field("p_recover", fault.p_recover);
+  fault_json.field("magnitude", fault.magnitude);
+
+  JsonBuilder builder;
+  builder.field("name", name);
+  builder.field("description", description);
+  builder.field("analysis", to_string(analysis));
+  builder.list("widths", widths);
+  builder.field("f", f);
+  builder.list("trusted", trusted);
+  builder.field("step", step);
+  builder.field("schedule", sched::to_string(schedule));
+  builder.list("fixed_order", fixed_order);
+  builder.field("fa", static_cast<std::uint64_t>(fa));
+  builder.field("attacked_rule", sched::to_string(attacked_rule));
+  builder.list("attacked_override", attacked_override);
+  builder.field("policy", to_string(policy));
+  builder.raw("policy_options", options.render());
+  builder.field("rounds", static_cast<std::uint64_t>(rounds));
+  builder.field("seed", seed);
+  builder.field("max_worlds", max_worlds);
+  builder.field("require_undetected", require_undetected);
+  builder.field("over_all_sets", over_all_sets);
+  builder.raw("fault", fault_json.render());
+  builder.field("num_threads", static_cast<std::uint64_t>(num_threads));
+  return builder.render();
+}
+
+Scenario Scenario::from_json(const std::string& text) {
+  const JsonValue root = JsonParser{text}.parse();
+  if (root.type != JsonValue::Type::kObject) {
+    throw std::invalid_argument("Scenario JSON: top level must be an object");
+  }
+  static const std::vector<std::string> known = {
+      "name",       "description",       "analysis",          "widths",
+      "f",          "trusted",           "step",              "schedule",
+      "fixed_order", "fa",               "attacked_rule",     "attacked_override",
+      "policy",     "policy_options",    "rounds",            "seed",
+      "max_worlds", "require_undetected", "over_all_sets",    "fault",
+      "num_threads"};
+  for (const auto& [key, value] : root.object) {
+    if (std::find(known.begin(), known.end(), key) == known.end()) {
+      throw std::invalid_argument("Scenario JSON: unknown field '" + key + "'");
+    }
+  }
+
+  Scenario scenario;
+  scenario.name = get_string(root, "name");
+  scenario.description = get_string(root, "description");
+  scenario.analysis = parse_enum(get_string(root, "analysis"),
+                                 {AnalysisKind::kEnumerate, AnalysisKind::kMonteCarlo,
+                                  AnalysisKind::kWorstCase, AnalysisKind::kResilience,
+                                  AnalysisKind::kCaseStudy},
+                                 "analysis");
+  scenario.widths = get_double_list(root, "widths");
+  scenario.f = get_int(root, "f");
+  scenario.trusted = get_index_list(root, "trusted");
+  scenario.step = get_double(root, "step");
+  scenario.schedule = parse_schedule(get_string(root, "schedule"));
+  scenario.fixed_order = get_index_list(root, "fixed_order");
+  scenario.fa = static_cast<std::size_t>(get_uint(root, "fa"));
+  scenario.attacked_rule = parse_attacked_rule(get_string(root, "attacked_rule"));
+  scenario.attacked_override = get_index_list(root, "attacked_override");
+  scenario.policy = parse_enum(get_string(root, "policy"),
+                               {PolicyKind::kNone, PolicyKind::kExpectation, PolicyKind::kOracle},
+                               "policy");
+
+  const JsonValue& options = object_field(root, "policy_options");
+  scenario.policy_options.max_joint = static_cast<std::size_t>(get_uint(options, "max_joint"));
+  scenario.policy_options.max_completions =
+      static_cast<std::size_t>(get_uint(options, "max_completions"));
+  scenario.policy_options.candidate_stride =
+      static_cast<Tick>(get_uint(options, "candidate_stride"));
+  scenario.policy_options.memoize = get_bool(options, "memoize");
+  scenario.policy_options.sample_seed = get_uint(options, "sample_seed");
+  scenario.policy_options.random_tie_break = get_bool(options, "random_tie_break");
+
+  scenario.rounds = static_cast<std::size_t>(get_uint(root, "rounds"));
+  scenario.seed = get_uint(root, "seed");
+  scenario.max_worlds = get_uint(root, "max_worlds");
+  scenario.require_undetected = get_bool(root, "require_undetected");
+  scenario.over_all_sets = get_bool(root, "over_all_sets");
+
+  const JsonValue& fault = object_field(root, "fault");
+  scenario.fault.kind = parse_fault_kind(get_string(fault, "kind"));
+  scenario.fault.p_enter = get_double(fault, "p_enter");
+  scenario.fault.p_recover = get_double(fault, "p_recover");
+  scenario.fault.magnitude = get_double(fault, "magnitude");
+
+  scenario.num_threads = static_cast<unsigned>(get_uint(root, "num_threads"));
+  return scenario;
+}
+
+bool operator==(const Scenario& a, const Scenario& b) {
+  const auto options_equal = [](const attack::ExpectationOptions& x,
+                                const attack::ExpectationOptions& y) {
+    return x.max_joint == y.max_joint && x.max_completions == y.max_completions &&
+           x.candidate_stride == y.candidate_stride && x.memoize == y.memoize &&
+           x.sample_seed == y.sample_seed && x.random_tie_break == y.random_tie_break;
+  };
+  const auto fault_equal = [](const sensors::FaultProcess& x, const sensors::FaultProcess& y) {
+    return x.kind == y.kind && x.p_enter == y.p_enter && x.p_recover == y.p_recover &&
+           x.magnitude == y.magnitude;
+  };
+  return a.name == b.name && a.description == b.description && a.analysis == b.analysis &&
+         a.widths == b.widths && a.f == b.f && a.trusted == b.trusted && a.step == b.step &&
+         a.schedule == b.schedule && a.fixed_order == b.fixed_order && a.fa == b.fa &&
+         a.attacked_rule == b.attacked_rule && a.attacked_override == b.attacked_override &&
+         a.policy == b.policy && options_equal(a.policy_options, b.policy_options) &&
+         a.rounds == b.rounds && a.seed == b.seed && a.max_worlds == b.max_worlds &&
+         a.require_undetected == b.require_undetected && a.over_all_sets == b.over_all_sets &&
+         fault_equal(a.fault, b.fault) && a.num_threads == b.num_threads;
+}
+
+}  // namespace arsf::scenario

@@ -1,0 +1,107 @@
+#pragma once
+// Declarative scenario descriptor — the single source of truth for one
+// analysis run.
+//
+// Every reproduction driver in this repository (Table I, the worst-case
+// search behind Theorems 3/4, the Monte Carlo and resilience experiments,
+// the LandShark case study) is a combination of the same ingredients: sensor
+// widths, a grid, a schedule, an attacked-set choice, an attacker policy and
+// a handful of analysis knobs.  A Scenario captures that combination as
+// plain data, so it can be validated once, serialized to JSON, stored in the
+// registry (scenario/registry.h) and dispatched to any analysis through the
+// Runner (scenario/runner.h) instead of being re-assembled by hand in each
+// bench or example.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "attack/expectation.h"
+#include "core/config.h"
+#include "schedule/schedule.h"
+#include "sensors/fault.h"
+
+namespace arsf::scenario {
+
+/// Which analysis a Runner dispatches the scenario to.
+enum class AnalysisKind {
+  kEnumerate,   ///< exact E|S| by exhaustive world enumeration (sim/enumerate.h)
+  kMonteCarlo,  ///< sampled E|S| (sim/montecarlo.h)
+  kWorstCase,   ///< exhaustive worst-case search (sim/worstcase.h)
+  kResilience,  ///< faults + attacks Monte Carlo (sim/resilience.h)
+  kCaseStudy,   ///< LandShark platoon Table II runner (vehicle/casestudy.h)
+};
+
+[[nodiscard]] std::string to_string(AnalysisKind kind);
+
+/// Attacker policy selection (the policy object itself is built by the
+/// analysis from policy_options; scenarios stay plain data).
+enum class PolicyKind {
+  kNone,         ///< every sensor transmits its correct reading
+  kExpectation,  ///< Bayesian expectation-maximising policy (problem (2))
+  kOracle,       ///< full-knowledge upper bound (problem (1) on actual placements)
+};
+
+[[nodiscard]] std::string to_string(PolicyKind kind);
+
+struct Scenario {
+  // ---- identity -----------------------------------------------------------
+  std::string name;         ///< registry key, e.g. "table1/r0/ascending"
+  std::string description;  ///< one-line human summary
+
+  // ---- system -------------------------------------------------------------
+  std::vector<double> widths;        ///< per-sensor interval widths
+  int f = -1;                        ///< fault bound; -1 = ceil(n/2)-1 (paper)
+  std::vector<SensorId> trusted;     ///< hard-to-spoof sensor ids (TrustedLast)
+  double step = 1.0;                 ///< quantiser grid resolution
+
+  // ---- schedule -----------------------------------------------------------
+  sched::ScheduleKind schedule = sched::ScheduleKind::kAscending;
+  sched::Order fixed_order;          ///< slot order when schedule == kFixed
+
+  // ---- attack -------------------------------------------------------------
+  std::size_t fa = 1;                ///< compromised sensors (0 = no attack)
+  sched::AttackedSetRule attacked_rule = sched::AttackedSetRule::kSmallestWidths;
+  std::vector<SensorId> attacked_override;  ///< explicit set; wins over the rule
+  PolicyKind policy = PolicyKind::kExpectation;
+  attack::ExpectationOptions policy_options;
+
+  // ---- analysis knobs -----------------------------------------------------
+  AnalysisKind analysis = AnalysisKind::kEnumerate;
+  std::size_t rounds = 10'000;               ///< montecarlo / resilience / case study
+  std::uint64_t seed = 0x5eedf00dULL;        ///< sampling seed
+  std::uint64_t max_worlds = 200'000'000;    ///< enumeration safety valve
+  bool require_undetected = true;            ///< worst case: stealth constraint
+  bool over_all_sets = false;                ///< worst case: max over all fa-subsets
+  sensors::FaultProcess fault;               ///< resilience fault process
+  /// Thread fan-out handed to the dispatched analysis (0 = hardware threads,
+  /// 1 = serial).  Results are bit-identical for every value; Runner batches
+  /// force this to 1 and parallelise across scenarios instead.
+  unsigned num_threads = 0;
+
+  [[nodiscard]] std::size_t n() const noexcept { return widths.size(); }
+
+  /// Resolved fault bound (f, or the paper's default ceil(n/2)-1 when -1).
+  [[nodiscard]] int resolved_f() const;
+
+  /// SystemConfig with widths, resolved f and trusted flags applied.
+  [[nodiscard]] SystemConfig system() const;
+
+  /// Throws std::invalid_argument with a named reason on the first
+  /// inconsistency (empty widths, f out of range, widths off the step grid,
+  /// bad attacked ids, invalid fixed order, analysis/schedule mismatch, ...).
+  void validate() const;
+
+  /// Single-line JSON object; defaulted fields are emitted too, so the text
+  /// is a complete, self-contained description.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Inverse of to_json(); unknown keys are rejected so typos cannot
+  /// silently fall back to defaults.  Throws std::invalid_argument on
+  /// malformed input.
+  [[nodiscard]] static Scenario from_json(const std::string& text);
+};
+
+[[nodiscard]] bool operator==(const Scenario& a, const Scenario& b);
+
+}  // namespace arsf::scenario

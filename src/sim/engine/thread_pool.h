@@ -34,7 +34,10 @@ class ThreadPool {
   [[nodiscard]] unsigned size() const noexcept { return size_; }
 
   /// Runs task(0) ... task(count-1) across the pool; returns when all have
-  /// finished.  Tasks must not call run() on the same pool (no nesting).
+  /// finished.  Tasks must not call run() on the same pool (no nesting) —
+  /// except with a count of 1, which executes inline without touching the
+  /// pool and is therefore always safe (the scenario Runner and the
+  /// worst-case subset fan-out rely on this for their serial inner engines).
   void run(std::size_t count, const std::function<void(std::size_t)>& task);
 
   /// max(1, std::thread::hardware_concurrency()).

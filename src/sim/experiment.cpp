@@ -1,30 +1,32 @@
 #include "sim/experiment.h"
 
+#include "scenario/analysis.h"
+
 namespace arsf::sim {
 
 Table1Row compare_schedules(std::span<const double> widths, std::size_t fa,
                             const attack::ExpectationOptions& policy_options, double step,
                             unsigned num_threads) {
-  const SystemConfig system = make_config(widths);  // f = ceil(n/2) - 1
-
   Table1Row row;
   row.widths.assign(widths.begin(), widths.end());
   row.fa = fa;
 
+  // One declarative scenario per schedule; scenario::make_enumerate_setup is
+  // the single place widths/schedule/attacked-set/policy become an engine
+  // configuration, shared with the registry-driven Runner path.
   for (const sched::ScheduleKind kind :
        {sched::ScheduleKind::kAscending, sched::ScheduleKind::kDescending}) {
-    EnumerateConfig config;
-    config.system = system;
-    config.quant = Quantizer{step};
-    config.num_threads = num_threads;
-    config.order = kind == sched::ScheduleKind::kAscending ? sched::ascending_order(system)
-                                                           : sched::descending_order(system);
-    config.attacked = sched::choose_attacked_set(system, config.order, fa,
-                                                 sched::AttackedSetRule::kSmallestWidths);
-    attack::ExpectationPolicy policy{policy_options};
-    config.policy = &policy;
+    scenario::Scenario s;
+    s.name = "table1/compare/" + sched::to_string(kind);
+    s.widths = row.widths;
+    s.fa = fa;
+    s.step = step;
+    s.schedule = kind;
+    s.policy_options = policy_options;
+    s.num_threads = num_threads;
 
-    const EnumerateResult result = enumerate_expected_width(config);
+    const scenario::EnumerateSetup setup = scenario::make_enumerate_setup(s);
+    const EnumerateResult result = enumerate_expected_width(setup.config);
     if (kind == sched::ScheduleKind::kAscending) {
       row.e_ascending = result.expected_width;
     } else {

@@ -7,6 +7,13 @@
 // attacker's favour), and computes the exact expected fusion width under the
 // Ascending and the Descending schedule by exhaustive enumeration with the
 // Bayesian attacker of attack/expectation.h.
+//
+// Layering note: this harness is a thin facade over the scenario layer —
+// compare_schedules builds declarative Scenarios and runs them through
+// scenario::make_enumerate_setup, the same builder the registry-driven
+// Runner uses, so both paths are bit-identical by construction.  It stays in
+// sim/ for source compatibility, but conceptually it sits next to
+// scenario/, above the sim engines.
 
 #include <span>
 #include <utility>

@@ -88,25 +88,72 @@ Tick worst_case_no_attack(std::span<const Tick> widths, int f) {
   return worst_case_fusion(config).max_width;
 }
 
+namespace {
+
+std::vector<SensorId> attacked_of_mask(std::uint64_t mask, std::size_t n) {
+  std::vector<SensorId> attacked;
+  for (std::size_t id = 0; id < n; ++id) {
+    if (mask & (1ULL << id)) attacked.push_back(id);
+  }
+  return attacked;
+}
+
+}  // namespace
+
 Tick worst_case_over_sets(std::span<const Tick> widths, int f, std::size_t fa,
-                          std::vector<SensorId>* best_set, unsigned num_threads) {
+                          std::vector<SensorId>* best_set, unsigned num_threads,
+                          bool require_undetected) {
   const std::size_t n = widths.size();
-  Tick best = -1;
 
   // Enumerate fa-subsets via a bitmask (n is small for exhaustive search).
+  std::vector<std::uint64_t> masks;
   for (std::uint64_t mask = 0; mask < (1ULL << n); ++mask) {
-    if (static_cast<std::size_t>(__builtin_popcountll(mask)) != fa) continue;
+    if (static_cast<std::size_t>(__builtin_popcountll(mask)) == fa) masks.push_back(mask);
+  }
+  if (masks.empty()) return -1;
+
+  // The outer loop is embarrassingly parallel: one per-set search per task,
+  // each running its engine serially (a nested fan-out would just contend
+  // for the same workers).  values[i] makes the merge independent of task
+  // scheduling; scanning it in mask order with a strict > reproduces the
+  // historical serial semantics exactly, including which maximising set
+  // best_set reports (the lowest mask).
+  std::vector<Tick> values(masks.size());
+  const auto evaluate = [&](std::size_t i) {
     WorstCaseConfig config;
     config.widths.assign(widths.begin(), widths.end());
     config.f = f;
+    config.require_undetected = require_undetected;
+    config.num_threads = 1;
+    config.attacked = attacked_of_mask(masks[i], n);
+    values[i] = worst_case_fusion(config).max_width;
+  };
+
+  if (num_threads == 0) num_threads = engine::ThreadPool::default_threads();
+  if (masks.size() == 1) {
+    // A single subset has no outer parallelism; give the per-set search the
+    // full fan-out instead.
+    WorstCaseConfig config;
+    config.widths.assign(widths.begin(), widths.end());
+    config.f = f;
+    config.require_undetected = require_undetected;
     config.num_threads = num_threads;
-    for (std::size_t id = 0; id < n; ++id) {
-      if (mask & (1ULL << id)) config.attacked.push_back(id);
-    }
-    const Tick value = worst_case_fusion(config).max_width;
-    if (value > best) {
-      best = value;
-      if (best_set != nullptr) *best_set = config.attacked;
+    config.attacked = attacked_of_mask(masks[0], n);
+    values[0] = worst_case_fusion(config).max_width;
+  } else if (num_threads == 1) {
+    for (std::size_t i = 0; i < masks.size(); ++i) evaluate(i);
+  } else if (num_threads >= engine::ThreadPool::shared().size()) {
+    engine::ThreadPool::shared().run(masks.size(), evaluate);
+  } else {
+    engine::ThreadPool pool{num_threads};
+    pool.run(masks.size(), evaluate);
+  }
+
+  Tick best = -1;
+  for (std::size_t i = 0; i < masks.size(); ++i) {
+    if (values[i] > best) {
+      best = values[i];
+      if (best_set != nullptr) *best_set = attacked_of_mask(masks[i], n);
     }
   }
   return best;

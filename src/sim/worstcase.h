@@ -48,8 +48,16 @@ struct WorstCaseResult {
 
 /// Global worst case |Swc_fa| over every attacked set of size fa; if
 /// @p best_set is non-null it receives one maximising set.
+///
+/// The outer subset loop is embarrassingly parallel: @p num_threads fans the
+/// fa-subsets out across workers (0 = hardware threads, 1 = serial) with the
+/// per-set engine running serially.  Results — including which maximising
+/// set best_set reports (the lowest subset bitmask) — are bit-identical for
+/// every thread count.  @p require_undetected applies to every per-set
+/// search (see WorstCaseConfig).
 [[nodiscard]] Tick worst_case_over_sets(std::span<const Tick> widths, int f, std::size_t fa,
                                         std::vector<SensorId>* best_set = nullptr,
-                                        unsigned num_threads = 0);
+                                        unsigned num_threads = 0,
+                                        bool require_undetected = true);
 
 }  // namespace arsf::sim

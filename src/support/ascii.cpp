@@ -117,6 +117,12 @@ std::string describe_interval(const std::string& label, double lo, double hi) {
   return out.str();
 }
 
+std::string format_round_trip(double x) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer, "%.17g", x);
+  return buffer;
+}
+
 std::string format_number(double x, int max_decimals) {
   char buffer[64];
   std::snprintf(buffer, sizeof buffer, "%.*f", max_decimals, x);

@@ -54,6 +54,11 @@ class IntervalDiagram {
 /// Formats a double with fixed precision, trimming trailing zeros.
 [[nodiscard]] std::string format_number(double x, int max_decimals = 4);
 
+/// Formats a double with enough digits (%.17g) that parsing the text yields
+/// the identical value — the serialization format shared by the scenario
+/// JSON writer and the unified CSV report.
+[[nodiscard]] std::string format_round_trip(double x);
+
 /// Simple fixed-width table printer used by the table-reproduction benches.
 class TextTable {
  public:

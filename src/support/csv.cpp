@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "support/ascii.h"
+
 namespace arsf::support {
 
 CsvWriter::CsvWriter(const std::string& path) : file_(path), out_(&file_) {
@@ -29,6 +31,25 @@ void CsvWriter::write_numeric_row(const std::vector<double>& cells) {
     text.emplace_back(buffer);
   }
   write_row(text);
+}
+
+ReportWriter::ReportWriter(const std::string& path) : csv_(path) {
+  csv_.write_row({"scenario", "analysis", "metric", "value"});
+}
+
+ReportWriter::ReportWriter(std::ostream& out) : csv_(out) {
+  csv_.write_row({"scenario", "analysis", "metric", "value"});
+}
+
+void ReportWriter::add(const std::string& scenario, const std::string& analysis,
+                       const std::string& metric, double value) {
+  add_text(scenario, analysis, metric, format_round_trip(value));
+}
+
+void ReportWriter::add_text(const std::string& scenario, const std::string& analysis,
+                            const std::string& metric, const std::string& value) {
+  csv_.write_row({scenario, analysis, metric, value});
+  ++entries_;
 }
 
 std::string CsvWriter::escape(const std::string& field) {

@@ -30,4 +30,28 @@ class CsvWriter {
   std::size_t rows_ = 0;
 };
 
+/// Unified long-format report: every analysis emits the same four columns
+///
+///     scenario,analysis,metric,value
+///
+/// so reports from different analyses (and different runs) concatenate and
+/// pivot cleanly.  The header row is written on construction.
+class ReportWriter {
+ public:
+  explicit ReportWriter(const std::string& path);
+  explicit ReportWriter(std::ostream& out);
+
+  void add(const std::string& scenario, const std::string& analysis,
+           const std::string& metric, double value);
+  /// Non-numeric entries (e.g. an error string) use the same columns.
+  void add_text(const std::string& scenario, const std::string& analysis,
+                const std::string& metric, const std::string& value);
+
+  [[nodiscard]] std::size_t entries() const noexcept { return entries_; }
+
+ private:
+  CsvWriter csv_;
+  std::size_t entries_ = 0;
+};
+
 }  // namespace arsf::support

@@ -1,0 +1,242 @@
+// Unit tests for the declarative scenario layer: descriptor validation,
+// JSON serialization round-trips, and the pre-populated registry.
+
+#include <gtest/gtest.h>
+
+#include "scenario/registry.h"
+#include "scenario/runner.h"
+
+namespace arsf::scenario {
+namespace {
+
+Scenario valid_base() {
+  Scenario s;
+  s.name = "test/base";
+  s.widths = {5, 11, 17};
+  return s;
+}
+
+TEST(Scenario, ValidBaseValidates) { EXPECT_NO_THROW(valid_base().validate()); }
+
+TEST(Scenario, ValidationRejectsBadDescriptors) {
+  {
+    Scenario s = valid_base();
+    s.name.clear();
+    EXPECT_THROW(s.validate(), std::invalid_argument);
+  }
+  {
+    Scenario s = valid_base();
+    s.widths.clear();
+    EXPECT_THROW(s.validate(), std::invalid_argument);
+  }
+  {
+    Scenario s = valid_base();
+    s.widths = {5, -1, 17};
+    EXPECT_THROW(s.validate(), std::invalid_argument);
+  }
+  {
+    Scenario s = valid_base();
+    s.f = 2;  // >= ceil(3/2) violates boundedness
+    EXPECT_THROW(s.validate(), std::invalid_argument);
+  }
+  {
+    Scenario s = valid_base();
+    s.step = 2.0;  // widths 5/11/17 are not multiples of 2
+    EXPECT_THROW(s.validate(), std::invalid_argument);
+  }
+  {
+    Scenario s = valid_base();
+    s.fa = 4;  // more attacked sensors than sensors
+    EXPECT_THROW(s.validate(), std::invalid_argument);
+  }
+  {
+    Scenario s = valid_base();
+    s.attacked_override = {3};  // id out of range
+    EXPECT_THROW(s.validate(), std::invalid_argument);
+  }
+  {
+    Scenario s = valid_base();
+    s.fa = 2;
+    s.attacked_override = {1};  // size mismatch vs fa
+    EXPECT_THROW(s.validate(), std::invalid_argument);
+  }
+  {
+    Scenario s = valid_base();
+    s.schedule = sched::ScheduleKind::kFixed;  // no fixed_order given
+    EXPECT_THROW(s.validate(), std::invalid_argument);
+  }
+  {
+    Scenario s = valid_base();
+    s.fixed_order = {0, 1, 2};  // order without kFixed
+    EXPECT_THROW(s.validate(), std::invalid_argument);
+  }
+  {
+    Scenario s = valid_base();
+    s.schedule = sched::ScheduleKind::kRandom;  // enumeration needs a fixed order
+    EXPECT_THROW(s.validate(), std::invalid_argument);
+  }
+  {
+    Scenario s = valid_base();
+    s.schedule = sched::ScheduleKind::kTrustedLast;  // nobody trusted
+    EXPECT_THROW(s.validate(), std::invalid_argument);
+  }
+  {
+    Scenario s = valid_base();
+    s.analysis = AnalysisKind::kMonteCarlo;
+    s.rounds = 0;
+    EXPECT_THROW(s.validate(), std::invalid_argument);
+  }
+  {
+    Scenario s = valid_base();
+    s.analysis = AnalysisKind::kMonteCarlo;
+    s.attacked_override = {0};  // sampled analyses use rules, not overrides
+    EXPECT_THROW(s.validate(), std::invalid_argument);
+  }
+}
+
+TEST(Scenario, ResolvedFDefaultsToPaperChoice) {
+  Scenario s = valid_base();
+  EXPECT_EQ(s.resolved_f(), 1);  // ceil(3/2) - 1
+  s.f = 0;
+  EXPECT_EQ(s.resolved_f(), 0);
+  EXPECT_EQ(s.system().f, 0);
+}
+
+TEST(Scenario, SystemAppliesTrustedFlags) {
+  Scenario s = valid_base();
+  s.trusted = {0, 2};
+  const SystemConfig system = s.system();
+  EXPECT_TRUE(system.sensors[0].trusted);
+  EXPECT_FALSE(system.sensors[1].trusted);
+  EXPECT_TRUE(system.sensors[2].trusted);
+}
+
+TEST(Scenario, JsonRoundTripPreservesEveryField) {
+  Scenario s;
+  s.name = "test/json \"quoted\"";
+  s.description = "line1\nline2";
+  s.analysis = AnalysisKind::kResilience;
+  s.widths = {0.5, 3.25, 96};
+  s.f = 1;
+  s.trusted = {1};
+  s.step = 0.25;
+  s.schedule = sched::ScheduleKind::kDescending;
+  s.fa = 2;
+  s.attacked_rule = sched::AttackedSetRule::kLastSlots;
+  s.policy = PolicyKind::kOracle;
+  s.policy_options.max_joint = 3;
+  s.policy_options.max_completions = 64;
+  s.policy_options.candidate_stride = 4;
+  s.policy_options.memoize = false;
+  s.policy_options.sample_seed = 0xdeadbeefcafef00dULL;
+  s.policy_options.random_tie_break = true;
+  s.rounds = 123;
+  s.seed = 0xffffffffffffffffULL;  // must survive without a double round-trip
+  s.max_worlds = 42;
+  s.require_undetected = false;
+  s.over_all_sets = true;
+  s.fault.kind = sensors::FaultKind::kDrift;
+  s.fault.p_enter = 0.125;
+  s.fault.p_recover = 0.5;
+  s.fault.magnitude = 30.0;
+  s.num_threads = 7;
+
+  const Scenario restored = Scenario::from_json(s.to_json());
+  EXPECT_EQ(restored, s);
+}
+
+TEST(Scenario, JsonRoundTripFixedOrderAndOverride) {
+  Scenario s = valid_base();
+  s.schedule = sched::ScheduleKind::kFixed;
+  s.fixed_order = {2, 0, 1};
+  s.attacked_override = {1};
+  const Scenario restored = Scenario::from_json(s.to_json());
+  EXPECT_EQ(restored, s);
+  EXPECT_NO_THROW(restored.validate());
+}
+
+TEST(Scenario, JsonRejectsMalformedInput) {
+  EXPECT_THROW(Scenario::from_json("not json"), std::invalid_argument);
+  EXPECT_THROW(Scenario::from_json("{}"), std::invalid_argument);  // missing fields
+  const std::string valid = valid_base().to_json();
+  EXPECT_THROW(Scenario::from_json(valid + "trailing"), std::invalid_argument);
+  // Unknown keys are rejected so typos cannot silently fall back to defaults.
+  std::string with_unknown = valid;
+  with_unknown.insert(1, "\"no_such_field\":1,");
+  EXPECT_THROW(Scenario::from_json(with_unknown), std::invalid_argument);
+}
+
+TEST(Registry, EveryEntryIsValidAndUnique) {
+  const auto& reg = registry();
+  ASSERT_GE(reg.size(), 30u);
+  for (const Scenario& scenario : reg.all()) {
+    EXPECT_NO_THROW(scenario.validate()) << scenario.name;
+    EXPECT_FALSE(scenario.description.empty()) << scenario.name;
+    // Names are unique by construction (add() throws on duplicates).
+    EXPECT_EQ(reg.find(scenario.name), &reg.all()[&scenario - reg.all().data()]);
+  }
+}
+
+TEST(Registry, ContainsThePaperCatalogue) {
+  const auto& reg = registry();
+  EXPECT_EQ(reg.match("table1/").size(), 16u);  // 8 rows x 2 schedules
+  EXPECT_EQ(reg.match("fig4/").size(), 6u);
+  EXPECT_EQ(reg.match("table2/").size(), 3u);
+  EXPECT_NE(reg.find("fig2/no-optimal-policy"), nullptr);
+  EXPECT_NE(reg.find("fig3/theorem1-case1"), nullptr);
+  EXPECT_NE(reg.find("fig5/asymmetric-flanks"), nullptr);
+  EXPECT_NE(reg.find("ext/trusted-last"), nullptr);
+  EXPECT_NE(reg.find("ext/faults-and-attacks"), nullptr);
+  EXPECT_FALSE(reg.match("stress/").empty());
+  EXPECT_THROW((void)reg.at("no/such/scenario"), std::out_of_range);
+}
+
+TEST(Registry, SmokeVariantBoundsCost) {
+  const Scenario& full = registry().at("table2/landshark-descending");
+  const Scenario smoke = smoke_variant(full);
+  EXPECT_LE(smoke.rounds, 200u);
+  EXPECT_EQ(smoke.policy_options.max_joint, 1u);
+  EXPECT_LE(smoke.policy_options.max_completions, 16u);
+  EXPECT_GE(smoke.policy_options.candidate_stride, 2);
+  EXPECT_NO_THROW(smoke.validate());
+}
+
+TEST(Runner, CapturesErrorsInsteadOfThrowing) {
+  Scenario bad = valid_base();
+  bad.widths = {};  // invalid
+  const Runner runner;
+  const ScenarioResult result = runner.run(bad);
+  EXPECT_FALSE(result.ok());
+  EXPECT_FALSE(result.error.empty());
+
+  const Runner strict{{.num_threads = 1, .capture_errors = false}};
+  EXPECT_THROW((void)strict.run(bad), std::invalid_argument);
+}
+
+TEST(Runner, CaseStudyRejectsNonLandsharkSystems) {
+  // The case-study analysis runs the built-in LandShark suite; a scenario
+  // whose system fields diverge must fail loudly, not report numbers for a
+  // different system under the scenario's name.
+  Scenario edited = registry().at("table2/landshark-ascending");
+  edited.widths = {1, 2, 0.5, 0.5};
+  const ScenarioResult result = Runner{}.run(edited);
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("LandShark"), std::string::npos);
+}
+
+TEST(Runner, MetricLookup) {
+  Scenario s = valid_base();
+  s.name = "test/metrics";
+  s.policy = PolicyKind::kNone;
+  s.fa = 0;
+  const ScenarioResult result = Runner{}.run(s);
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_GT(result.metric("worlds"), 0.0);
+  EXPECT_DOUBLE_EQ(result.metric("expected_width"),
+                   result.metric("expected_width_no_attack"));
+  EXPECT_THROW((void)result.metric("no_such_metric"), std::out_of_range);
+  EXPECT_EQ(result.metric_or("no_such_metric", -1.0), -1.0);
+}
+
+}  // namespace
+}  // namespace arsf::scenario

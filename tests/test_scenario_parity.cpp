@@ -1,0 +1,168 @@
+// Golden parity tests for the scenario migration: the registry-driven Runner
+// must be bit-identical to the pre-refactor direct calls, and batched
+// execution must be order-stable and bit-identical for every thread count.
+
+#include <gtest/gtest.h>
+
+#include "scenario/registry.h"
+#include "scenario/runner.h"
+#include "sim/experiment.h"
+#include "sim/worstcase.h"
+
+namespace arsf::scenario {
+namespace {
+
+// Cheap policy options so the full Table 1 parity sweep stays fast; parity
+// must hold for ANY options as both paths share make_enumerate_setup.
+attack::ExpectationOptions fast_options() {
+  attack::ExpectationOptions options;
+  options.max_joint = 1;
+  options.max_completions = 8;
+  options.candidate_stride = 2;
+  return options;
+}
+
+TEST(ScenarioParity, RegistryTable1MatchesDirectCompareSchedules) {
+  const auto configs = sim::paper_table1_configs();
+  const auto scenarios = registry().match("table1/");
+  ASSERT_EQ(scenarios.size(), configs.size() * 2);
+
+  const Runner runner;
+  for (std::size_t row = 0; row < configs.size(); ++row) {
+    const auto& [widths, fa] = configs[row];
+    const sim::Table1Row direct = sim::compare_schedules(widths, fa, fast_options());
+
+    Scenario ascending = *scenarios[row * 2];
+    Scenario descending = *scenarios[row * 2 + 1];
+    ASSERT_EQ(ascending.schedule, sched::ScheduleKind::kAscending) << ascending.name;
+    ASSERT_EQ(descending.schedule, sched::ScheduleKind::kDescending) << descending.name;
+    ASSERT_EQ(ascending.widths, widths) << ascending.name;
+    ASSERT_EQ(ascending.fa, fa) << ascending.name;
+    ascending.policy_options = fast_options();
+    descending.policy_options = fast_options();
+
+    const ScenarioResult asc = runner.run(ascending);
+    const ScenarioResult desc = runner.run(descending);
+    ASSERT_TRUE(asc.ok() && desc.ok()) << asc.error << desc.error;
+
+    // Bit-identical, not approximately equal: both paths must build the very
+    // same engine configuration.
+    EXPECT_EQ(asc.metric("expected_width"), direct.e_ascending) << ascending.name;
+    EXPECT_EQ(desc.metric("expected_width"), direct.e_descending) << descending.name;
+    EXPECT_EQ(asc.metric("expected_width_no_attack"), direct.e_no_attack) << ascending.name;
+    EXPECT_EQ(static_cast<std::uint64_t>(asc.metric("worlds")), direct.worlds);
+    EXPECT_EQ(asc.metric("detected_worlds") + desc.metric("detected_worlds"),
+              static_cast<double>(direct.detected));
+  }
+}
+
+TEST(ScenarioParity, RegistryWorstCaseMatchesDirectCalls) {
+  const Runner runner;
+  for (const Scenario* scenario : registry().match("fig4/")) {
+    const SystemConfig system = scenario->system();
+    const std::vector<Tick> widths = tick_widths(system, Quantizer{scenario->step});
+
+    sim::WorstCaseConfig direct;
+    direct.widths = widths;
+    direct.f = system.f;
+    direct.attacked = resolve_attacked(*scenario, system, sched::ascending_order(system));
+    direct.require_undetected = scenario->require_undetected;
+    const sim::WorstCaseResult expected = sim::worst_case_fusion(direct);
+
+    const ScenarioResult result = runner.run(*scenario);
+    ASSERT_TRUE(result.ok()) << scenario->name << ": " << result.error;
+    EXPECT_EQ(static_cast<Tick>(result.metric("max_width_ticks")), expected.max_width)
+        << scenario->name;
+    EXPECT_EQ(static_cast<std::uint64_t>(result.metric("configurations")),
+              expected.configurations)
+        << scenario->name;
+  }
+}
+
+TEST(ScenarioParity, OverSetsScenarioMatchesDirectCall) {
+  const Scenario& scenario = registry().at("stress/worstcase-over-sets");
+  const SystemConfig system = scenario.system();
+  const std::vector<Tick> widths = tick_widths(system, Quantizer{scenario.step});
+  std::vector<SensorId> best_set;
+  const Tick direct = sim::worst_case_over_sets(widths, system.f, scenario.fa, &best_set);
+
+  const ScenarioResult result = Runner{}.run(scenario);
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(static_cast<Tick>(result.metric("max_width_ticks")), direct);
+  EXPECT_EQ(static_cast<std::size_t>(result.metric("best_set_size")), best_set.size());
+}
+
+// Cheap, heterogeneous batch covering enumerate, worst-case (fixed set and
+// over-all-sets), Monte Carlo and resilience analyses.
+std::vector<Scenario> parity_batch() {
+  const auto& reg = registry();
+  std::vector<Scenario> batch = {
+      reg.at("table1/r0/ascending"), reg.at("table1/r0/descending"),
+      reg.at("table1/r1/ascending"), reg.at("fig2/no-optimal-policy"),
+      reg.at("fig5/pinned-fusion"),  reg.at("fig4/wc-2-3-5"),
+      reg.at("fig4/wc-1-4-4"),       reg.at("stress/worstcase-over-sets"),
+      reg.at("mc/table1-r0-random"), reg.at("ext/faults-and-attacks"),
+  };
+  for (Scenario& scenario : batch) {
+    scenario.policy_options = fast_options();
+    scenario.rounds = std::min<std::size_t>(scenario.rounds, 300);
+  }
+  return batch;
+}
+
+void expect_identical(const std::vector<ScenarioResult>& a,
+                      const std::vector<ScenarioResult>& b, const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].scenario, b[i].scenario) << label << " slot " << i;
+    EXPECT_EQ(a[i].error, b[i].error) << label << " slot " << i;
+    ASSERT_EQ(a[i].metrics.size(), b[i].metrics.size()) << label << " " << a[i].scenario;
+    for (std::size_t m = 0; m < a[i].metrics.size(); ++m) {
+      EXPECT_EQ(a[i].metrics[m].key, b[i].metrics[m].key) << label << " " << a[i].scenario;
+      // Bit-identical across thread counts, per the engine's merge contract.
+      EXPECT_EQ(a[i].metrics[m].value, b[i].metrics[m].value)
+          << label << " " << a[i].scenario << " " << a[i].metrics[m].key;
+    }
+  }
+}
+
+TEST(ScenarioParity, BatchIsOrderStableAndThreadCountInvariant) {
+  const std::vector<Scenario> batch = parity_batch();
+  ASSERT_GE(batch.size(), 8u);
+
+  const Runner serial{{.num_threads = 1}};
+  const std::vector<ScenarioResult> baseline =
+      serial.run_batch(std::span<const Scenario>{batch});
+  ASSERT_EQ(baseline.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(baseline[i].scenario, batch[i].name) << "result order must follow input order";
+    EXPECT_TRUE(baseline[i].ok()) << baseline[i].scenario << ": " << baseline[i].error;
+  }
+
+  for (const unsigned threads : {0u, 2u, 3u, 8u}) {
+    const Runner parallel{{.num_threads = threads}};
+    const std::vector<ScenarioResult> results =
+        parallel.run_batch(std::span<const Scenario>{batch});
+    expect_identical(results, baseline, "threads=" + std::to_string(threads));
+  }
+}
+
+TEST(ScenarioParity, SingleRunMatchesBatchSlot) {
+  // A scenario run alone (with its own engine fan-out) must equal its
+  // batched run (forced-serial engine) — the engine's thread-count
+  // invariance seen end-to-end.
+  const std::vector<Scenario> batch = parity_batch();
+  const Runner runner{{.num_threads = 2}};
+  const std::vector<ScenarioResult> batched =
+      runner.run_batch(std::span<const Scenario>{batch});
+  const ScenarioResult alone = runner.run(batch[5]);  // fig4/wc-2-3-5
+  ASSERT_TRUE(alone.ok()) << alone.error;
+  ASSERT_EQ(alone.scenario, batched[5].scenario);
+  ASSERT_EQ(alone.metrics.size(), batched[5].metrics.size());
+  for (std::size_t m = 0; m < alone.metrics.size(); ++m) {
+    EXPECT_EQ(alone.metrics[m].value, batched[5].metrics[m].value);
+  }
+}
+
+}  // namespace
+}  // namespace arsf::scenario

@@ -30,6 +30,29 @@ TEST(Csv, ThrowsOnBadPath) {
   EXPECT_THROW(CsvWriter{"/nonexistent-dir-xyz/file.csv"}, std::runtime_error);
 }
 
+TEST(Report, LongFormatWithHeader) {
+  std::ostringstream out;
+  ReportWriter report{out};
+  report.add("table1/r0/ascending", "enumerate", "expected_width", 9.5);
+  report.add_text("bad/scenario", "worstcase", "error", "boom, with comma");
+  EXPECT_EQ(out.str(),
+            "scenario,analysis,metric,value\n"
+            "table1/r0/ascending,enumerate,expected_width,9.5\n"
+            "bad/scenario,worstcase,error,\"boom, with comma\"\n");
+  EXPECT_EQ(report.entries(), 2u);
+}
+
+TEST(Report, ValuesRoundTrip) {
+  // %.17g must reproduce doubles exactly when parsed back.
+  std::ostringstream out;
+  ReportWriter report{out};
+  const double value = 9.648148148148147;
+  report.add("s", "a", "m", value);
+  const std::string text = out.str();
+  const auto last_comma = text.rfind(',');
+  EXPECT_EQ(std::stod(text.substr(last_comma + 1)), value);
+}
+
 namespace {
 ArgParser parse(std::initializer_list<const char*> args) {
   std::vector<const char*> argv{"prog"};

@@ -74,6 +74,53 @@ TEST(WorstCase, OverSetsReturnsMaximisingSet) {
   EXPECT_EQ(best, manual_best);
 }
 
+TEST(WorstCase, OverSetsParallelMatchesSerial) {
+  // The subset fan-out must be bit-identical for every thread count,
+  // including the reported maximising set (lowest subset bitmask).
+  const std::vector<Tick> widths = {2, 2, 3, 4, 5};
+  std::vector<SensorId> serial_set;
+  const Tick serial = worst_case_over_sets(widths, 2, 2, &serial_set, 1);
+  for (const unsigned threads : {0u, 2u, 3u, 7u}) {
+    std::vector<SensorId> parallel_set;
+    const Tick parallel = worst_case_over_sets(widths, 2, 2, &parallel_set, threads);
+    EXPECT_EQ(parallel, serial) << "threads " << threads;
+    EXPECT_EQ(parallel_set, serial_set) << "threads " << threads;
+  }
+}
+
+TEST(WorstCase, OverSetsHonoursRequireUndetected) {
+  // Dropping the stealth constraint can only allow more, and must match the
+  // per-set searches with the same flag.
+  const std::vector<Tick> widths = {2, 2, 4};
+  const Tick constrained = worst_case_over_sets(widths, 1, 1, nullptr, 1, true);
+  const Tick unconstrained = worst_case_over_sets(widths, 1, 1, nullptr, 1, false);
+  EXPECT_GE(unconstrained, constrained);
+  Tick manual = -1;
+  for (SensorId id = 0; id < 3; ++id) {
+    WorstCaseConfig config;
+    config.widths = widths;
+    config.f = 1;
+    config.attacked = {id};
+    config.require_undetected = false;
+    manual = std::max(manual, worst_case_fusion(config).max_width);
+  }
+  EXPECT_EQ(unconstrained, manual);
+}
+
+TEST(WorstCase, OverSetsEdgeCardinalities) {
+  const std::vector<Tick> widths = {2, 3, 4};
+  // fa = 0: the single empty set equals the no-attack worst case.
+  std::vector<SensorId> set;
+  EXPECT_EQ(worst_case_over_sets(widths, 1, 0, &set), worst_case_no_attack(widths, 1));
+  EXPECT_TRUE(set.empty());
+  // fa = n: one subset again (everyone attacked).
+  const Tick all = worst_case_over_sets(widths, 1, 3, &set, 2);
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_GE(all, worst_case_no_attack(widths, 1));
+  // fa > n: no subsets exist.
+  EXPECT_EQ(worst_case_over_sets(widths, 1, 4), -1);
+}
+
 TEST(WorstCase, ArgmaxAchievesReportedWidth) {
   WorstCaseConfig config;
   config.widths = {2, 3, 4};

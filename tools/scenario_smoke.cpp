@@ -1,0 +1,49 @@
+// scenario_smoke — executes EVERY scenario in the registry as its coarse
+// smoke variant (capped rounds, cost-bounded attacker) in one concurrent
+// Runner batch.  Registered with ctest under the "scenario_smoke" label and
+// part of the default test run, so a newly registered scenario can never
+// land unexecuted: if it fails validation or crashes its analysis, this
+// binary exits non-zero.
+//
+//   ./scenario_smoke [--threads N] [--verbose]
+
+#include <chrono>
+#include <cstdio>
+
+#include "scenario/registry.h"
+#include "scenario/report.h"
+#include "scenario/runner.h"
+#include "support/cli.h"
+
+int main(int argc, char** argv) {
+  using Clock = std::chrono::steady_clock;
+  const arsf::support::ArgParser args{argc, argv};
+  const auto threads = static_cast<unsigned>(args.get_int("threads", 0));
+  const bool verbose = args.has("verbose");
+
+  const auto& registry = arsf::scenario::registry();
+  std::vector<arsf::scenario::Scenario> batch;
+  batch.reserve(registry.size());
+  for (const auto& scenario : registry.all()) {
+    batch.push_back(arsf::scenario::smoke_variant(scenario));
+  }
+
+  std::printf("scenario_smoke: %zu registered scenarios\n", batch.size());
+  const auto start = Clock::now();
+  const arsf::scenario::Runner runner{{.num_threads = threads}};
+  const auto results = runner.run_batch(std::span<const arsf::scenario::Scenario>{batch});
+  const double seconds = std::chrono::duration<double>(Clock::now() - start).count();
+
+  if (verbose) std::printf("%s\n", arsf::scenario::render_results(results).c_str());
+
+  int failures = 0;
+  for (const auto& result : results) {
+    if (result.ok()) continue;
+    ++failures;
+    std::fprintf(stderr, "FAIL %s (%s): %s\n", result.scenario.c_str(),
+                 result.analysis.c_str(), result.error.c_str());
+  }
+  std::printf("scenario_smoke: %zu ok, %d failed in %.2f s\n", results.size() - failures,
+              failures, seconds);
+  return failures == 0 ? 0 : 1;
+}
