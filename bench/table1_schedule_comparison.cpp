@@ -11,10 +11,12 @@
 
 #include <chrono>
 #include <cstdio>
+#include <optional>
 
 #include "scenario/registry.h"
 #include "scenario/report.h"
 #include "scenario/runner.h"
+#include "scenario/sink.h"
 #include "sim/experiment.h"
 #include "support/ascii.h"
 #include "support/cli.h"
@@ -50,8 +52,16 @@ int main(int argc, char** argv) {
 
   const auto start = Clock::now();
   const arsf::scenario::Runner runner{{.num_threads = threads}};
-  const auto results = runner.run_batch(
-      std::span<const arsf::scenario::Scenario* const>{scenarios.data(), count});
+  // Summary table collects in memory; the optional CSV report streams out
+  // row by row as scenarios finish (scenario/sink.h).
+  arsf::scenario::TeeSink sink;
+  arsf::scenario::CollectingSink collected;
+  sink.attach(collected);
+  std::optional<arsf::scenario::CsvStreamSink> csv;
+  if (!csv_path.empty()) sink.attach(csv.emplace(csv_path));
+  runner.run_batch(std::span<const arsf::scenario::Scenario* const>{scenarios.data(), count},
+                   sink);
+  const auto& results = collected.results();
   const double seconds = std::chrono::duration<double>(Clock::now() - start).count();
 
   arsf::support::TextTable table{{"config", "E|S| Asc", "E|S| Desc", "paper Asc", "paper Desc",
@@ -83,10 +93,9 @@ int main(int argc, char** argv) {
   std::printf("%s\n", table.render().c_str());
   std::printf("batch wall-clock: %s s\n\n", arsf::support::format_number(seconds, 2).c_str());
 
-  if (!csv_path.empty()) {
-    arsf::support::ReportWriter report{csv_path};
-    arsf::scenario::write_report(report, results);
-    std::printf("unified report: %s (%zu entries)\n", csv_path.c_str(), report.entries());
+  if (csv) {
+    std::printf("unified report: %s (%zu entries, streamed)\n", csv_path.c_str(),
+                csv->entries());
   }
 
   std::printf("Shape checks (paper's claims): Descending >= Ascending on every row;\n");

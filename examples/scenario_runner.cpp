@@ -1,52 +1,118 @@
 // Scenario runner: the one entry point to the scenario registry.  List every
-// registered scenario, run any of them (or a whole family) as a concurrent
-// batch, dump the unified CSV report, or print a scenario's JSON descriptor.
+// registered scenario (and sweep), run any of them (or a whole family) as a
+// concurrent batch, expand and stream a parameter sweep, merge user overlay
+// files, dump the unified CSV report or JSONL records, or print a
+// scenario's/sweep's JSON descriptor.
 //
 //   ./scenario_runner --list
 //   ./scenario_runner --run table1/r0/ascending
 //   ./scenario_runner --prefix fig4/ [--threads 4] [--csv report.csv]
 //   ./scenario_runner --all --smoke
+//   ./scenario_runner --sweep sweep/table1-grid [--chunk 256] [--progress]
+//   ./scenario_runner --overlay workloads.jsonl --run my/scenario --jsonl
 //   ./scenario_runner --json stress/fine-grid
 //
+// --overlay FILE merges one Scenario or SweepSpec JSON per line (the file
+// format of ScenarioRegistry::merge) before names are resolved, so new
+// workloads run without a rebuild.  --jsonl streams one JSON object per
+// result to stdout as scenarios finish; --csv streams the unified CSV report
+// the same way; --progress adds a per-result progress line on stderr.
 // --smoke substitutes each scenario's coarse smoke variant (capped rounds,
 // cost-bounded attacker) — the same configuration the scenario_smoke ctest
-// executes.
+// executes.  Exits non-zero when any result carries an error, so smoke runs
+// can gate CI.
 
 #include <cstdio>
+#include <iostream>
+#include <optional>
 
 #include "scenario/registry.h"
 #include "scenario/report.h"
 #include "scenario/runner.h"
+#include "scenario/sink.h"
+#include "scenario/sweep.h"
 #include "support/ascii.h"
 #include "support/cli.h"
+
+namespace {
+
+// Counts failures on the way through so the exit code can gate CI without
+// re-materialising streamed results.
+class FailureCountingSink final : public arsf::scenario::ResultSink {
+ public:
+  explicit FailureCountingSink(arsf::scenario::ResultSink& inner) : inner_(inner) {}
+
+  void on_result(std::size_t index, const arsf::scenario::ScenarioResult& result) override {
+    if (!result.ok()) ++failures_;
+    inner_.on_result(index, result);
+  }
+  void on_finish(std::size_t total) override { inner_.on_finish(total); }
+
+  [[nodiscard]] int failures() const noexcept { return failures_; }
+
+ private:
+  arsf::scenario::ResultSink& inner_;
+  int failures_ = 0;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const arsf::support::ArgParser args{argc, argv};
   const bool list = args.has("list");
   const bool all = args.has("all");
   const bool smoke = args.has("smoke");
+  const bool jsonl = args.has("jsonl");
+  const bool progress = args.has("progress");
   const std::string run_name = args.get_string("run", "");
   const std::string prefix = args.get_string("prefix", "");
+  const std::string sweep_name = args.get_string("sweep", "");
+  const std::string overlay_path = args.get_string("overlay", "");
   const std::string json_name = args.get_string("json", "");
   const std::string csv_path = args.get_string("csv", "");
   const auto threads = static_cast<unsigned>(args.get_int("threads", 0));
+  const std::int64_t chunk_arg = args.get_int("chunk", 256);
 
   for (const auto& unknown : args.unknown()) {
     std::fprintf(stderr, "unknown option --%s\n", unknown.c_str());
     return 2;
   }
+  // A negative value would cast to a huge size_t and silently disable the
+  // bounded-memory chunking --chunk exists for.
+  if (chunk_arg <= 0) {
+    std::fprintf(stderr, "--chunk must be >= 1 (got %lld)\n",
+                 static_cast<long long>(chunk_arg));
+    return 2;
+  }
+  const auto chunk = static_cast<std::size_t>(chunk_arg);
 
-  const auto& registry = arsf::scenario::registry();
+  // The process-wide registry is immutable; overlays merge into a copy.
+  arsf::scenario::ScenarioRegistry registry = arsf::scenario::registry();
+  if (!overlay_path.empty()) {
+    try {
+      registry.load_overlay(overlay_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "--overlay %s: %s\n", overlay_path.c_str(), e.what());
+      return 2;
+    }
+  }
 
-  if (json_name.empty() && !list && !all && run_name.empty() && prefix.empty()) {
+  if (json_name.empty() && !list && !all && run_name.empty() && prefix.empty() &&
+      sweep_name.empty()) {
     std::printf("usage: scenario_runner --list | --json NAME |\n");
-    std::printf("       (--run NAME | --prefix FAMILY/ | --all) [--smoke] [--threads N]\n");
-    std::printf("       [--csv report.csv]\n");
-    std::printf("registry: %zu scenarios\n", registry.size());
+    std::printf("       (--run NAME | --prefix FAMILY/ | --all | --sweep NAME)\n");
+    std::printf("       [--overlay FILE] [--smoke] [--threads N] [--chunk N]\n");
+    std::printf("       [--csv report.csv] [--jsonl] [--progress]\n");
+    std::printf("registry: %zu scenarios, %zu sweeps\n", registry.size(),
+                registry.sweeps().size());
     return 0;
   }
 
   if (!json_name.empty()) {
+    if (const auto* sweep = registry.find_sweep(json_name)) {
+      std::printf("%s\n", sweep->to_json().c_str());
+      return 0;
+    }
     try {
       std::printf("%s\n", registry.at(json_name).to_json().c_str());
     } catch (const std::out_of_range& e) {
@@ -63,8 +129,66 @@ int main(int argc, char** argv) {
                      std::to_string(scenario.n()), arsf::sched::to_string(scenario.schedule),
                      scenario.description});
     }
-    std::printf("%s%zu scenarios registered\n", table.render().c_str(), registry.size());
+    for (const auto& sweep : registry.sweeps()) {
+      table.add_row({sweep.name, "sweep(" + std::to_string(sweep.size()) + ")",
+                     std::to_string(sweep.base.n()), "-", sweep.description});
+    }
+    std::printf("%s%zu scenarios, %zu sweeps registered\n", table.render().c_str(),
+                registry.size(), registry.sweeps().size());
     return 0;
+  }
+
+  const arsf::scenario::Runner runner{{.num_threads = threads}};
+
+  // Output plumbing shared by batch and sweep runs: every enabled sink sees
+  // each result as it finishes, in input order.
+  arsf::scenario::TeeSink tee;
+  arsf::scenario::CollectingSink collected;  // feeds the summary table
+  std::optional<arsf::scenario::CsvStreamSink> csv;
+  std::optional<arsf::scenario::JsonlSink> jsonl_sink;
+  const bool collect_table = !jsonl;  // JSONL is the machine output: no table
+  if (collect_table) tee.attach(collected);
+  if (!csv_path.empty()) tee.attach(csv.emplace(csv_path));
+  if (jsonl) tee.attach(jsonl_sink.emplace(std::cout));
+  FailureCountingSink counting{tee};
+
+  if (!sweep_name.empty()) {
+    const arsf::scenario::SweepSpec* found = registry.find_sweep(sweep_name);
+    if (found == nullptr) {
+      std::fprintf(stderr, "no sweep '%s' (see --list)\n", sweep_name.c_str());
+      return 1;
+    }
+    // --smoke smokes the template: every grid point inherits the capped
+    // rounds / cost-bounded attacker from the base.
+    arsf::scenario::SweepSpec coarse = *found;
+    if (smoke) coarse.base = arsf::scenario::smoke_variant(coarse.base);
+    const arsf::scenario::SweepSpec* spec = &coarse;
+    arsf::scenario::SweepRunOptions options;
+    options.chunk_scenarios = chunk;
+    std::size_t total = 0;
+    try {
+      if (progress) {
+        arsf::scenario::ProgressSink progressed{counting, std::cerr,
+                                                static_cast<std::size_t>(spec->size())};
+        total = arsf::scenario::run_sweep(*spec, runner, progressed, options);
+      } else {
+        total = arsf::scenario::run_sweep(*spec, runner, counting, options);
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "--sweep %s: %s\n", sweep_name.c_str(), e.what());
+      return 2;
+    }
+    if (collect_table) {
+      std::printf("%s\n", arsf::scenario::render_results(collected.results()).c_str());
+    }
+    // Status goes to stderr: with --jsonl, stdout carries only JSON lines.
+    if (csv) {
+      std::fprintf(stderr, "unified report: %s (%zu entries)\n", csv_path.c_str(),
+                   csv->entries());
+    }
+    std::fprintf(stderr, "sweep %s: %zu grid points, %d failed\n", sweep_name.c_str(), total,
+                 counting.failures());
+    return counting.failures() == 0 ? 0 : 1;
   }
 
   std::vector<const arsf::scenario::Scenario*> selected;
@@ -91,21 +215,23 @@ int main(int argc, char** argv) {
     batch.push_back(smoke ? arsf::scenario::smoke_variant(*scenario) : *scenario);
   }
 
-  std::printf("running %zu scenario(s)%s...\n\n", batch.size(), smoke ? " (smoke variants)" : "");
-  const arsf::scenario::Runner runner{{.num_threads = threads}};
-  const auto results = runner.run_batch(std::span<const arsf::scenario::Scenario>{batch});
-  std::printf("%s\n", arsf::scenario::render_results(results).c_str());
-
-  if (!csv_path.empty()) {
-    arsf::support::ReportWriter report{csv_path};
-    arsf::scenario::write_report(report, results);
-    std::printf("unified report: %s (%zu entries)\n", csv_path.c_str(), report.entries());
+  std::fprintf(stderr, "running %zu scenario(s)%s...\n", batch.size(),
+               smoke ? " (smoke variants)" : "");
+  if (progress) {
+    arsf::scenario::ProgressSink progressed{counting, std::cerr, batch.size()};
+    runner.run_batch(std::span<const arsf::scenario::Scenario>{batch}, progressed);
+  } else {
+    runner.run_batch(std::span<const arsf::scenario::Scenario>{batch}, counting);
   }
 
-  int failures = 0;
-  for (const auto& result : results) {
-    if (!result.ok()) ++failures;
+  if (collect_table) {
+    std::printf("%s\n", arsf::scenario::render_results(collected.results()).c_str());
   }
-  if (failures) std::fprintf(stderr, "%d scenario(s) failed\n", failures);
-  return failures == 0 ? 0 : 1;
+  // Status goes to stderr: with --jsonl, stdout carries only JSON lines.
+  if (csv) {
+    std::fprintf(stderr, "unified report: %s (%zu entries)\n", csv_path.c_str(),
+                 csv->entries());
+  }
+  if (counting.failures()) std::fprintf(stderr, "%d scenario(s) failed\n", counting.failures());
+  return counting.failures() == 0 ? 0 : 1;
 }

@@ -1,0 +1,316 @@
+#include "scenario/json.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <limits>
+#include <stdexcept>
+
+#include "support/ascii.h"
+
+namespace arsf::scenario::json {
+
+namespace {
+
+// Minimal recursive-descent parser for the subset the JsonBuilder emits:
+// objects, arrays, strings, numbers and booleans.  Integers are parsed
+// without a double round-trip so 64-bit seeds survive exactly.
+class JsonParser {
+ public:
+  JsonParser(const std::string& text, const std::string& context)
+      : text_(text), context_(context) {}
+
+  JsonValue parse() {
+    JsonValue value = parse_value();
+    skip_space();
+    if (pos_ != text_.size()) error("trailing characters after JSON value");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void error(const std::string& reason) const {
+    throw std::invalid_argument(context_ + " JSON: " + reason + " at offset " +
+                                std::to_string(pos_));
+  }
+
+  void skip_space() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+
+  char peek() {
+    skip_space();
+    if (pos_ >= text_.size()) error("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) error(std::string{"expected '"} + c + "'");
+    ++pos_;
+  }
+
+  JsonValue parse_value() {
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return parse_string();
+      case 't':
+      case 'f': return parse_bool();
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue value;
+    value.type = JsonValue::Type::kObject;
+    if (peek() == '}') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      JsonValue key = parse_string();
+      // A duplicate key would make one of the two bindings win silently;
+      // reject it like an unknown key.
+      if (value.has(key.string)) error("duplicate field '" + key.string + "'");
+      expect(':');
+      value.object.emplace_back(key.string, parse_value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return value;
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue value;
+    value.type = JsonValue::Type::kArray;
+    if (peek() == ']') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      value.array.push_back(parse_value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return value;
+    }
+  }
+
+  JsonValue parse_string() {
+    expect('"');
+    JsonValue value;
+    value.type = JsonValue::Type::kString;
+    while (true) {
+      if (pos_ >= text_.size()) error("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return value;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) error("unterminated escape");
+        const char escaped = text_[pos_++];
+        switch (escaped) {
+          case '"': value.string += '"'; break;
+          case '\\': value.string += '\\'; break;
+          case 'n': value.string += '\n'; break;
+          case 't': value.string += '\t'; break;
+          default: error("unsupported escape sequence");
+        }
+      } else {
+        value.string += c;
+      }
+    }
+  }
+
+  JsonValue parse_bool() {
+    JsonValue value;
+    value.type = JsonValue::Type::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      value.boolean = true;
+      pos_ += 4;
+    } else if (text_.compare(pos_, 5, "false") == 0) {
+      value.boolean = false;
+      pos_ += 5;
+    } else {
+      error("expected boolean");
+    }
+    return value;
+  }
+
+  JsonValue parse_number() {
+    skip_space();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
+    bool fractional = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '-' || c == '+') {
+        fractional = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) error("expected number");
+    JsonValue value;
+    value.type = JsonValue::Type::kNumber;
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    if (!fractional) {
+      value.negative = *first == '-';
+      const char* digits = value.negative || *first == '+' ? first + 1 : first;
+      const auto result = std::from_chars(digits, last, value.integer);
+      value.is_integer = result.ec == std::errc{} && result.ptr == last;
+    }
+    const auto result = std::from_chars(first, last, value.number);
+    if (result.ec != std::errc{} || result.ptr != last) error("malformed number");
+    return value;
+  }
+
+  const std::string& text_;
+  const std::string& context_;
+  std::size_t pos_ = 0;
+};
+
+[[noreturn]] void field_error(const std::string& key, const std::string& requirement) {
+  throw std::invalid_argument("JSON: field '" + key + "' " + requirement);
+}
+
+}  // namespace
+
+bool JsonValue::has(const std::string& key) const noexcept {
+  for (const auto& [name, value] : object) {
+    if (name == key) return true;
+  }
+  return false;
+}
+
+JsonValue parse(const std::string& text, const std::string& context) {
+  return JsonParser{text, context}.parse();
+}
+
+std::string escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string number_text(double x) { return support::format_round_trip(x); }
+
+void JsonBuilder::field(const std::string& key, const std::string& value) {
+  raw(key, "\"" + escape(value) + "\"");
+}
+void JsonBuilder::field(const std::string& key, double value) { raw(key, number_text(value)); }
+void JsonBuilder::field(const std::string& key, std::uint64_t value) {
+  raw(key, std::to_string(value));
+}
+void JsonBuilder::field(const std::string& key, int value) { raw(key, std::to_string(value)); }
+void JsonBuilder::field(const std::string& key, bool value) {
+  raw(key, value ? "true" : "false");
+}
+
+void JsonBuilder::raw(const std::string& key, const std::string& value) {
+  if (!body_.empty()) body_ += ",";
+  body_ += "\"" + escape(key) + "\":" + value;
+}
+
+const JsonValue& object_field(const JsonValue& object, const std::string& key) {
+  for (const auto& [name, value] : object.object) {
+    if (name == key) return value;
+  }
+  throw std::invalid_argument("JSON: missing field '" + key + "'");
+}
+
+std::string get_string(const JsonValue& object, const std::string& key) {
+  const JsonValue& value = object_field(object, key);
+  if (value.type != JsonValue::Type::kString) field_error(key, "must be a string");
+  return value.string;
+}
+
+double get_double(const JsonValue& object, const std::string& key) {
+  const JsonValue& value = object_field(object, key);
+  if (value.type != JsonValue::Type::kNumber) field_error(key, "must be a number");
+  return value.number;
+}
+
+std::uint64_t get_uint(const JsonValue& object, const std::string& key) {
+  const JsonValue& value = object_field(object, key);
+  if (value.type != JsonValue::Type::kNumber || !value.is_integer || value.negative) {
+    field_error(key, "must be a non-negative integer");
+  }
+  return value.integer;
+}
+
+int get_int(const JsonValue& object, const std::string& key) {
+  const JsonValue& value = object_field(object, key);
+  if (value.type != JsonValue::Type::kNumber || !value.is_integer) {
+    field_error(key, "must be an integer");
+  }
+  // Reject out-of-range magnitudes instead of wrapping; note INT_MIN's
+  // magnitude is INT_MAX + 1, so negate in 64 bits.
+  constexpr auto kMax = static_cast<std::uint64_t>(std::numeric_limits<int>::max());
+  if (value.integer > (value.negative ? kMax + 1 : kMax)) {
+    field_error(key, "is out of range for a 32-bit integer");
+  }
+  return value.negative ? static_cast<int>(-static_cast<std::int64_t>(value.integer))
+                        : static_cast<int>(value.integer);
+}
+
+bool get_bool(const JsonValue& object, const std::string& key) {
+  const JsonValue& value = object_field(object, key);
+  if (value.type != JsonValue::Type::kBool) field_error(key, "must be a boolean");
+  return value.boolean;
+}
+
+std::vector<double> get_double_list(const JsonValue& object, const std::string& key) {
+  const JsonValue& value = object_field(object, key);
+  if (value.type != JsonValue::Type::kArray) field_error(key, "must be an array");
+  std::vector<double> out;
+  out.reserve(value.array.size());
+  for (const JsonValue& element : value.array) {
+    if (element.type != JsonValue::Type::kNumber) field_error(key, "must hold numbers");
+    out.push_back(element.number);
+  }
+  return out;
+}
+
+std::vector<std::size_t> get_index_list(const JsonValue& object, const std::string& key) {
+  const JsonValue& value = object_field(object, key);
+  if (value.type != JsonValue::Type::kArray) field_error(key, "must be an array");
+  std::vector<std::size_t> out;
+  out.reserve(value.array.size());
+  for (const JsonValue& element : value.array) {
+    if (element.type != JsonValue::Type::kNumber || !element.is_integer || element.negative) {
+      field_error(key, "must hold non-negative integers");
+    }
+    out.push_back(static_cast<std::size_t>(element.integer));
+  }
+  return out;
+}
+
+void reject_unknown_keys(const JsonValue& object, const std::vector<std::string>& known,
+                         const std::string& context) {
+  for (const auto& [key, value] : object.object) {
+    (void)value;
+    if (std::find(known.begin(), known.end(), key) == known.end()) {
+      throw std::invalid_argument(context + " JSON: unknown field '" + key + "'");
+    }
+  }
+}
+
+}  // namespace arsf::scenario::json

@@ -1,0 +1,112 @@
+#pragma once
+// Internal JSON toolkit shared by the scenario-layer serializers.
+//
+// Scenario::to_json/from_json established the parser discipline for every
+// piece of persisted configuration in this repository: a minimal
+// dependency-free recursive-descent parser over the subset the writers emit
+// (objects, arrays, strings, numbers, booleans), integers parsed without a
+// double round-trip so 64-bit seeds survive exactly, duplicate and unknown
+// keys rejected so typos cannot silently fall back to defaults.  SweepSpec
+// (scenario/sweep.h) and the registry overlay loader (scenario/registry.h)
+// need the same machinery, so it lives here instead of being re-implemented
+// per type.  This header is internal to src/scenario — the public API stays
+// string-in/string-out (Scenario::from_json, SweepSpec::from_json).
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace arsf::scenario {
+
+struct Scenario;  // scenario.h
+struct SweepSpec;  // sweep.h
+
+namespace json {
+
+struct JsonValue {
+  enum class Type { kString, kNumber, kBool, kArray, kObject } type = Type::kNumber;
+  std::string string;
+  double number = 0.0;
+  std::uint64_t integer = 0;   ///< valid when is_integer
+  bool is_integer = false;
+  bool negative = false;       ///< integer sign (stored separately: uint64 magnitude)
+  bool boolean = false;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] bool has(const std::string& key) const noexcept;
+};
+
+/// Parses exactly one JSON value; trailing characters, unterminated tokens
+/// and duplicate object keys throw std::invalid_argument prefixed with
+/// "<context> JSON:".
+[[nodiscard]] JsonValue parse(const std::string& text, const std::string& context = "Scenario");
+
+/// Backslash-escapes quotes, backslashes, newlines and tabs (the inverse of
+/// the parser's escape handling).
+[[nodiscard]] std::string escape(const std::string& text);
+
+/// Round-trip text for a double (support::format_round_trip).
+[[nodiscard]] std::string number_text(double x);
+
+/// Incremental single-line JSON object writer.
+class JsonBuilder {
+ public:
+  void field(const std::string& key, const std::string& value);
+  void field(const std::string& key, const char* value) { field(key, std::string{value}); }
+  void field(const std::string& key, double value);
+  void field(const std::string& key, std::uint64_t value);
+  void field(const std::string& key, int value);
+  void field(const std::string& key, bool value);
+  /// Array of numbers; floating-point elements use round-trip formatting.
+  template <typename T>
+  void list(const std::string& key, const std::vector<T>& values) {
+    std::string text = "[";
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (i) text += ",";
+      if constexpr (std::is_floating_point_v<T>) {
+        text += number_text(values[i]);
+      } else {
+        text += std::to_string(values[i]);
+      }
+    }
+    raw(key, text + "]");
+  }
+  /// Pre-rendered JSON (nested objects/arrays) under @p key.
+  void raw(const std::string& key, const std::string& value);
+  [[nodiscard]] std::string render() const { return "{" + body_ + "}"; }
+
+ private:
+  std::string body_;
+};
+
+// Typed field extraction; every getter throws std::invalid_argument on a
+// missing field or a type mismatch.
+[[nodiscard]] const JsonValue& object_field(const JsonValue& object, const std::string& key);
+[[nodiscard]] std::string get_string(const JsonValue& object, const std::string& key);
+[[nodiscard]] double get_double(const JsonValue& object, const std::string& key);
+[[nodiscard]] std::uint64_t get_uint(const JsonValue& object, const std::string& key);
+[[nodiscard]] int get_int(const JsonValue& object, const std::string& key);
+[[nodiscard]] bool get_bool(const JsonValue& object, const std::string& key);
+[[nodiscard]] std::vector<double> get_double_list(const JsonValue& object,
+                                                  const std::string& key);
+[[nodiscard]] std::vector<std::size_t> get_index_list(const JsonValue& object,
+                                                      const std::string& key);
+
+/// Throws std::invalid_argument naming the first key of @p object outside
+/// @p known ("<context> JSON: unknown field '...'").
+void reject_unknown_keys(const JsonValue& object, const std::vector<std::string>& known,
+                         const std::string& context);
+
+}  // namespace json
+
+// Value-level constructors for the overlay loader, which must inspect a
+// parsed line (does it carry a "base" key?) before deciding which type to
+// build.  Implemented next to the corresponding from_json in scenario.cpp /
+// sweep.cpp so the string and value paths cannot drift.
+[[nodiscard]] Scenario scenario_from_value(const json::JsonValue& root);
+[[nodiscard]] SweepSpec sweep_from_value(const json::JsonValue& root);
+
+}  // namespace arsf::scenario

@@ -1,8 +1,11 @@
 #include "scenario/registry.h"
 
 #include <algorithm>
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 
+#include "scenario/json.h"
 #include "sim/experiment.h"
 #include "vehicle/casestudy.h"
 #include "vehicle/landshark.h"
@@ -11,10 +14,18 @@ namespace arsf::scenario {
 
 void ScenarioRegistry::add(Scenario scenario) {
   scenario.validate();
-  if (find(scenario.name) != nullptr) {
+  if (find(scenario.name) != nullptr || find_sweep(scenario.name) != nullptr) {
     throw std::invalid_argument("ScenarioRegistry: duplicate name '" + scenario.name + "'");
   }
   scenarios_.push_back(std::move(scenario));
+}
+
+void ScenarioRegistry::add_sweep(SweepSpec spec) {
+  spec.validate();
+  if (find(spec.name) != nullptr || find_sweep(spec.name) != nullptr) {
+    throw std::invalid_argument("ScenarioRegistry: duplicate name '" + spec.name + "'");
+  }
+  sweeps_.push_back(std::move(spec));
 }
 
 const Scenario* ScenarioRegistry::find(const std::string& name) const noexcept {
@@ -42,6 +53,55 @@ std::vector<const Scenario*> ScenarioRegistry::match(const std::string& prefix) 
     if (scenario.name.rfind(prefix, 0) == 0) out.push_back(&scenario);
   }
   return out;
+}
+
+const SweepSpec* ScenarioRegistry::find_sweep(const std::string& name) const noexcept {
+  for (const SweepSpec& spec : sweeps_) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+const SweepSpec& ScenarioRegistry::sweep_at(const std::string& name) const {
+  if (const SweepSpec* spec = find_sweep(name)) return *spec;
+  std::string hint;
+  for (const SweepSpec& spec : sweeps_) {
+    if (spec.name.rfind(name, 0) == 0) hint += (hint.empty() ? "" : ", ") + spec.name;
+  }
+  throw std::out_of_range("ScenarioRegistry: no sweep '" + name + "'" +
+                          (hint.empty() ? "" : " (did you mean: " + hint + "?)"));
+}
+
+void ScenarioRegistry::merge(const std::string& jsonl) {
+  std::istringstream stream{jsonl};
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    const std::size_t content = line.find_first_not_of(" \t\r");
+    if (content == std::string::npos || line[content] == '#') continue;
+    try {
+      // json::parse rejects trailing garbage after the object, so a line can
+      // only ever contain exactly one workload.
+      const json::JsonValue root = json::parse(line, "Overlay");
+      if (root.has("base")) {
+        add_sweep(sweep_from_value(root));
+      } else {
+        add(scenario_from_value(root));
+      }
+    } catch (const std::exception& e) {
+      throw std::invalid_argument("overlay line " + std::to_string(line_number) + ": " +
+                                  e.what());
+    }
+  }
+}
+
+void ScenarioRegistry::load_overlay(const std::string& path) {
+  std::ifstream file{path};
+  if (!file) throw std::runtime_error("ScenarioRegistry: cannot open overlay " + path);
+  std::ostringstream text;
+  text << file.rdbuf();
+  merge(text.str());
 }
 
 namespace {
@@ -291,6 +351,44 @@ void add_stress(ScenarioRegistry& reg) {
   }
 }
 
+void add_sweeps(ScenarioRegistry& reg) {
+  {
+    // The grid behind Table I read as a sweep: three width families x fa x
+    // quantiser resolution x both deterministic schedules x four seeds
+    // (96 grid points).  Clean/no-policy enumeration keeps every point on
+    // the engine's fast lane, so this is also the sweep_smoke ctest
+    // workload.
+    SweepSpec spec;
+    spec.name = "sweep/table1-grid";
+    spec.description = "Table I-style E|S| grid: widths x fa x step x schedule x seed";
+    spec.base.name = "sweep/table1-grid/base";
+    spec.base.widths = {5, 11, 17};
+    spec.base.policy = PolicyKind::kNone;
+    // fa stops at f = ceil(3/2)-1 = 1: the paper's fa <= f assumption.
+    spec.widths_sets = {{5, 11, 17}, {2, 4, 6}, {3, 6, 9}};
+    spec.fa_values = {0, 1};
+    spec.steps = {1.0, 0.5};
+    spec.schedules = {sched::ScheduleKind::kAscending, sched::ScheduleKind::kDescending};
+    spec.seed_count = 4;
+    reg.add_sweep(std::move(spec));
+  }
+  {
+    // Sampled twin: the Random schedule's E|S| spread over seeds.
+    SweepSpec spec;
+    spec.name = "sweep/mc-seeds";
+    spec.description = "Monte Carlo E|S| across schedules and three seed replicas";
+    spec.base.name = "sweep/mc-seeds/base";
+    spec.base.analysis = AnalysisKind::kMonteCarlo;
+    spec.base.widths = {5, 11, 17};
+    spec.base.rounds = 500;
+    spec.schedules = {sched::ScheduleKind::kAscending, sched::ScheduleKind::kDescending,
+                      sched::ScheduleKind::kRandom};
+    spec.seed_count = 3;
+    spec.seed_stride = 0x9e3779b9ULL;
+    reg.add_sweep(std::move(spec));
+  }
+}
+
 }  // namespace
 
 const ScenarioRegistry& registry() {
@@ -302,6 +400,7 @@ const ScenarioRegistry& registry() {
     add_extensions(reg);
     add_monte_carlo(reg);
     add_stress(reg);
+    add_sweeps(reg);
     return reg;
   }();
   return instance;
@@ -309,18 +408,18 @@ const ScenarioRegistry& registry() {
 
 Scenario smoke_variant(Scenario scenario) {
   scenario.rounds = std::min<std::size_t>(scenario.rounds, 200);
-  if (scenario.policy != PolicyKind::kNone) {
-    // Cost-bound the attacker: no joint planning, strided candidate grids,
-    // subsampled posterior.  The schedule/attacked-set/analysis paths are
-    // the ones the full scenario would take.
-    scenario.policy_options.max_joint = 1;
-    scenario.policy_options.candidate_stride =
-        std::max<Tick>(scenario.policy_options.candidate_stride, 2);
-    scenario.policy_options.max_completions =
-        scenario.policy_options.max_completions == 0
-            ? 16
-            : std::min<std::size_t>(scenario.policy_options.max_completions, 16);
-  }
+  // Cost-bound the attacker: no joint planning, strided candidate grids,
+  // subsampled posterior.  The schedule/attacked-set/analysis paths are the
+  // ones the full scenario would take.  Applied even with PolicyKind::kNone
+  // (where the options are never read) so a sweep whose policy AXIS turns
+  // the attacker on still inherits the caps from its smoked base.
+  scenario.policy_options.max_joint = 1;
+  scenario.policy_options.candidate_stride =
+      std::max<Tick>(scenario.policy_options.candidate_stride, 2);
+  scenario.policy_options.max_completions =
+      scenario.policy_options.max_completions == 0
+          ? 16
+          : std::min<std::size_t>(scenario.policy_options.max_completions, 16);
   return scenario;
 }
 

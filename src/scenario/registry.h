@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "scenario/scenario.h"
+#include "scenario/sweep.h"
 
 namespace arsf::scenario {
 
@@ -27,6 +28,9 @@ class ScenarioRegistry {
   /// Validates and stores; throws std::invalid_argument on an invalid
   /// scenario or a duplicate name.
   void add(Scenario scenario);
+  /// Validates and stores a named sweep; sweep names share the scenario
+  /// namespace, so a clash with either throws std::invalid_argument.
+  void add_sweep(SweepSpec spec);
 
   /// nullptr when absent.
   [[nodiscard]] const Scenario* find(const std::string& name) const noexcept;
@@ -35,11 +39,32 @@ class ScenarioRegistry {
   /// Every scenario whose name starts with @p prefix, in registration order.
   [[nodiscard]] std::vector<const Scenario*> match(const std::string& prefix) const;
 
+  /// nullptr when absent.
+  [[nodiscard]] const SweepSpec* find_sweep(const std::string& name) const noexcept;
+  /// Throws std::out_of_range (listing near-miss names) when absent.
+  [[nodiscard]] const SweepSpec& sweep_at(const std::string& name) const;
+
   [[nodiscard]] const std::vector<Scenario>& all() const noexcept { return scenarios_; }
   [[nodiscard]] std::size_t size() const noexcept { return scenarios_.size(); }
+  [[nodiscard]] const std::vector<SweepSpec>& sweeps() const noexcept { return sweeps_; }
+
+  // ---- overlays ------------------------------------------------------------
+  // User workload files: one JSON object per line, each either a Scenario or
+  // a SweepSpec (recognised by its "base" key).  Blank lines and lines
+  // starting with '#' are skipped.  Every error (malformed JSON, trailing
+  // garbage after the object, unknown/duplicate keys, validation failure,
+  // duplicate name) throws std::invalid_argument naming the 1-based line.
+  // The process-wide registry() is immutable — copy it, then merge overlays
+  // into the copy (see examples/scenario_runner.cpp --overlay).
+
+  /// Merges the overlay text (JSONL, see above).
+  void merge(const std::string& jsonl);
+  /// Reads @p path and merges it; throws std::runtime_error when unreadable.
+  void load_overlay(const std::string& path);
 
  private:
   std::vector<Scenario> scenarios_;  ///< registration order = listing order
+  std::vector<SweepSpec> sweeps_;    ///< registration order = listing order
 };
 
 /// The pre-populated global catalogue (constructed on first use; read-only
@@ -49,7 +74,9 @@ class ScenarioRegistry {
 /// Coarse, time-bounded clone for the scenario_smoke ctest: capped rounds
 /// and a cost-bounded attacker (joint planning off, strided candidates,
 /// subsampled posterior).  The scenario still exercises the same analysis,
-/// schedule and attacked-set path as the full run.
+/// schedule and attacked-set path as the full run.  Smoking a SweepSpec =
+/// smoking its base: rounds and policy-option caps are template fields every
+/// grid point inherits.
 [[nodiscard]] Scenario smoke_variant(Scenario scenario);
 
 }  // namespace arsf::scenario

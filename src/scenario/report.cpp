@@ -4,16 +4,18 @@
 
 namespace arsf::scenario {
 
-void write_report(support::ReportWriter& out, std::span<const ScenarioResult> results) {
-  for (const ScenarioResult& result : results) {
-    if (!result.ok()) {
-      out.add_text(result.scenario, result.analysis, "error", result.error);
-      continue;
-    }
-    for (const Metric& metric : result.metrics) {
-      out.add(result.scenario, result.analysis, metric.key, metric.value);
-    }
+void write_result_rows(support::ReportWriter& out, const ScenarioResult& result) {
+  if (!result.ok()) {
+    out.add_text(result.scenario, result.analysis, "error", result.error);
+    return;
   }
+  for (const Metric& metric : result.metrics) {
+    out.add(result.scenario, result.analysis, metric.key, metric.value);
+  }
+}
+
+void write_report(support::ReportWriter& out, std::span<const ScenarioResult> results) {
+  for (const ScenarioResult& result : results) write_result_rows(out, result);
 }
 
 std::string render_results(std::span<const ScenarioResult> results) {

@@ -10,6 +10,11 @@
 
 namespace arsf::scenario {
 
+/// Appends every metric of @p result (or one "error" row for a failure) —
+/// the single row-emission path shared by the batch write_report() and the
+/// streaming CsvStreamSink (scenario/sink.h).
+void write_result_rows(support::ReportWriter& out, const ScenarioResult& result);
+
 /// Appends every metric of every result (and an "error" row for failures).
 void write_report(support::ReportWriter& out, std::span<const ScenarioResult> results);
 

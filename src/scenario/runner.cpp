@@ -1,12 +1,92 @@
 #include "scenario/runner.h"
 
 #include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
 
 #include "sim/engine/thread_pool.h"
 
 namespace arsf::scenario {
 
 using sim::engine::ThreadPool;
+
+namespace {
+
+// Completion buffer keyed by slot index: workers deposit finished results in
+// any order, the contiguous prefix streams to the sink immediately (and is
+// freed), so only the out-of-order tail is ever buffered.  All sink calls
+// happen under the mutex, giving the sink the strictly-ordered,
+// one-call-at-a-time contract of scenario/sink.h.
+class OrderedEmitter {
+ public:
+  OrderedEmitter(ResultSink& sink, std::size_t total) : sink_(sink), slots_(total) {}
+
+  void deposit(std::size_t slot, ScenarioResult result) {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    slots_[slot].result = std::move(result);
+    slots_[slot].ready = true;
+    flush();
+  }
+
+  void deposit_error(std::size_t slot, std::exception_ptr error) {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    slots_[slot].error = std::move(error);
+    slots_[slot].ready = true;
+    flush();
+  }
+
+  /// After every task has deposited: rethrows the sink's exception (an
+  /// output failure) or the first input-order task exception, otherwise
+  /// completes the stream with on_finish().  At most one of the two is ever
+  /// set: emission stops permanently at whichever failed first in slot order.
+  void complete() {
+    if (sink_error_) std::rethrow_exception(sink_error_);
+    if (first_error_) std::rethrow_exception(first_error_);
+    sink_.on_finish(slots_.size());
+  }
+
+ private:
+  void flush() {
+    while (next_ < slots_.size() && slots_[next_].ready && !first_error_ && !sink_error_) {
+      if (slots_[next_].error) {
+        // Results past the first failing slot are never emitted; complete()
+        // rethrows this exception once the batch has drained.
+        first_error_ = slots_[next_].error;
+        break;
+      }
+      // Consume the slot BEFORE the sink call: a sink that throws must not
+      // see the same result twice (exactly-once), and the flushed slot's
+      // memory is released either way.
+      const std::size_t index = next_++;
+      const ScenarioResult result = std::move(slots_[index].result);
+      slots_[index].result = ScenarioResult{};
+      try {
+        sink_.on_result(index, result);
+      } catch (...) {
+        // A broken sink stops receiving immediately — for every thread
+        // count, it sees the identical call sequence ending here — and its
+        // exception aborts the batch from complete() once tasks drain.
+        sink_error_ = std::current_exception();
+      }
+    }
+  }
+
+  struct Slot {
+    ScenarioResult result;
+    std::exception_ptr error;
+    bool ready = false;
+  };
+
+  ResultSink& sink_;
+  std::mutex mutex_;
+  std::vector<Slot> slots_;
+  std::size_t next_ = 0;
+  std::exception_ptr first_error_;  ///< first input-order scenario failure
+  std::exception_ptr sink_error_;   ///< sink threw while consuming the stream
+};
+
+}  // namespace
 
 ScenarioResult Runner::run_one(const Scenario& scenario, bool force_serial) const {
   const Scenario* effective = &scenario;
@@ -34,26 +114,76 @@ ScenarioResult Runner::run(const Scenario& scenario) const {
 }
 
 std::vector<ScenarioResult> Runner::run_batch(std::span<const Scenario> scenarios) const {
-  std::vector<const Scenario*> pointers;
-  pointers.reserve(scenarios.size());
-  for (const Scenario& scenario : scenarios) pointers.push_back(&scenario);
-  return run_batch(pointers);
+  CollectingSink sink;
+  run_batch(scenarios, sink);
+  return std::move(sink).take();
 }
 
 std::vector<ScenarioResult> Runner::run_batch(
     std::span<const Scenario* const> scenarios) const {
-  std::vector<ScenarioResult> results(scenarios.size());
+  CollectingSink sink;
+  run_batch(scenarios, sink);
+  return std::move(sink).take();
+}
+
+void Runner::run_batch(std::span<const Scenario> scenarios, ResultSink& sink,
+                       std::span<const std::size_t> schedule) const {
+  std::vector<const Scenario*> pointers;
+  pointers.reserve(scenarios.size());
+  for (const Scenario& scenario : scenarios) pointers.push_back(&scenario);
+  run_batch(std::span<const Scenario* const>{pointers}, sink, schedule);
+}
+
+void Runner::run_batch(std::span<const Scenario* const> scenarios, ResultSink& sink,
+                       std::span<const std::size_t> schedule) const {
+  // Empty batches complete without touching the thread pool (whose lazy
+  // construction would otherwise spawn workers for nothing).
+  if (scenarios.empty()) {
+    sink.on_finish(0);
+    return;
+  }
+  if (!schedule.empty()) {
+    if (schedule.size() != scenarios.size()) {
+      throw std::invalid_argument("Runner: schedule size must match the batch");
+    }
+    std::vector<bool> seen(scenarios.size());
+    for (std::size_t slot : schedule) {
+      if (slot >= scenarios.size() || seen[slot]) {
+        throw std::invalid_argument("Runner: schedule must be a permutation of the batch");
+      }
+      seen[slot] = true;
+    }
+  }
+
+  OrderedEmitter emitter{sink, scenarios.size()};
   const unsigned requested =
       options_.num_threads == 0 ? ThreadPool::default_threads() : options_.num_threads;
   // Scenarios running side by side must not also fan out inside the engine;
   // a sequential batch keeps each scenario's own engine knob instead.
   const bool concurrent = requested > 1 && scenarios.size() > 1;
-  const auto task = [&](std::size_t i) {
-    results[i] = run_one(*scenarios[i], /*force_serial=*/concurrent);
+  const auto task = [&](std::size_t k) {
+    const std::size_t slot = schedule.empty() ? k : schedule[k];
+    ScenarioResult result;
+    if (options_.capture_errors) {
+      result = run_one(*scenarios[slot], /*force_serial=*/concurrent);
+    } else {
+      // Every task still runs after a failure: the first *input-order* error
+      // must win, and whether an earlier slot fails is unknown until it ran.
+      try {
+        result = run_one(*scenarios[slot], /*force_serial=*/concurrent);
+      } catch (...) {
+        emitter.deposit_error(slot, std::current_exception());
+        return;
+      }
+    }
+    // Outside the scenario try/catch: the emitter captures SINK exceptions
+    // itself (output failure, rethrown by complete()), so they can never be
+    // mislabelled as this scenario's error.
+    emitter.deposit(slot, std::move(result));
   };
 
   if (!concurrent) {
-    for (std::size_t i = 0; i < scenarios.size(); ++i) task(i);
+    for (std::size_t k = 0; k < scenarios.size(); ++k) task(k);
   } else if (options_.num_threads == 0) {
     ThreadPool::shared().run(scenarios.size(), task);
   } else {
@@ -61,7 +191,7 @@ std::vector<ScenarioResult> Runner::run_batch(
     ThreadPool pool{requested};
     pool.run(scenarios.size(), task);
   }
-  return results;
+  emitter.complete();
 }
 
 }  // namespace arsf::scenario

@@ -4,21 +4,33 @@
 // Runner::run() validates one scenario and hands it to the Analysis
 // registered for its kind.  Runner::run_batch() executes many scenarios
 // concurrently on the sim/engine thread pool with one task per scenario
-// (dynamic load balancing) and returns results in INPUT order — slot i of
-// the result vector always belongs to scenarios[i], so batch output is
-// order-stable for every thread count.
+// (dynamic load balancing).  The streaming overload pushes every completed
+// result through a ResultSink in INPUT order: workers deposit finished
+// results into a completion buffer keyed by slot index, and the contiguous
+// prefix is flushed to the sink as soon as it exists — so a sink sees result
+// i before result i+1 for every thread count, and the buffer only holds the
+// out-of-order tail (freed as soon as it is flushed).  The vector overloads
+// are thin CollectingSink wrappers over the same path, so slot i of the
+// returned vector always belongs to scenarios[i].
 //
-// Inside a batch each scenario's own engine fan-out is forced serial
-// (num_threads = 1): the batch owns the parallelism, and a serial engine run
-// is bit-identical to a parallel one by the engine's merge discipline — so
-// batching changes wall-clock, never results.  A ThreadPool::run() of count
-// 1 executes inline without touching the pool, which is what makes the
-// nested serial engine calls safe.
+// Inside a concurrent batch each scenario's own engine fan-out is forced
+// serial (num_threads = 1): the batch owns the parallelism, and a serial
+// engine run is bit-identical to a parallel one by the engine's merge
+// discipline — so batching changes wall-clock, never results.  A
+// ThreadPool::run() of count 1 executes inline without touching the pool,
+// which is what makes the nested serial engine calls safe.
+//
+// An empty batch short-circuits without touching the thread pool (the sink
+// still receives on_finish(0)).  With capture_errors = false, the exception
+// propagated out of a batch is the FIRST failing scenario's in input order —
+// not whichever task happened to throw last — and the sink receives exactly
+// the results of the slots before it.
 
 #include <span>
 #include <vector>
 
 #include "scenario/analysis.h"
+#include "scenario/sink.h"
 
 namespace arsf::scenario {
 
@@ -45,6 +57,16 @@ class Runner {
   /// Registry-pointer convenience (e.g. the result of registry().match()).
   [[nodiscard]] std::vector<ScenarioResult> run_batch(
       std::span<const Scenario* const> scenarios) const;
+
+  /// Streaming: pushes completed results through @p sink in input order.
+  /// @p schedule, when non-empty, is a permutation of [0, size) giving the
+  /// order tasks are *started* in (e.g. costliest first for load balancing);
+  /// emission order and results are unaffected — run_sweep() uses this with
+  /// its estimated_worlds() cost model.
+  void run_batch(std::span<const Scenario> scenarios, ResultSink& sink,
+                 std::span<const std::size_t> schedule = {}) const;
+  void run_batch(std::span<const Scenario* const> scenarios, ResultSink& sink,
+                 std::span<const std::size_t> schedule = {}) const;
 
  private:
   [[nodiscard]] ScenarioResult run_one(const Scenario& scenario, bool force_serial) const;

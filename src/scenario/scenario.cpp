@@ -1,15 +1,16 @@
 #include "scenario/scenario.h"
 
 #include <algorithm>
-#include <cctype>
-#include <charconv>
 #include <stdexcept>
 
-#include "support/ascii.h"
+#include "scenario/json.h"
 
 namespace arsf::scenario {
 
 namespace {
+
+using json::JsonBuilder;
+using json::JsonValue;
 
 [[noreturn]] void fail(const std::string& scenario, const std::string& reason) {
   throw std::invalid_argument("Scenario" + (scenario.empty() ? "" : " '" + scenario + "'") +
@@ -23,17 +24,6 @@ Enum parse_enum(const std::string& text, std::initializer_list<Enum> values,
     if (to_string(value) == text) return value;
   }
   throw std::invalid_argument(std::string{"Scenario: unknown "} + what + " '" + text + "'");
-}
-
-sched::ScheduleKind parse_schedule(const std::string& text) {
-  using sched::ScheduleKind;
-  using sched::to_string;
-  for (ScheduleKind kind : {ScheduleKind::kAscending, ScheduleKind::kDescending,
-                            ScheduleKind::kRandom, ScheduleKind::kFixed,
-                            ScheduleKind::kTrustedLast}) {
-    if (to_string(kind) == text) return kind;
-  }
-  throw std::invalid_argument("Scenario: unknown schedule '" + text + "'");
 }
 
 sched::AttackedSetRule parse_attacked_rule(const std::string& text) {
@@ -57,316 +47,6 @@ sensors::FaultKind parse_fault_kind(const std::string& text) {
   throw std::invalid_argument("Scenario: unknown fault kind '" + text + "'");
 }
 
-// ------------------------------------------------------------- JSON writer --
-
-std::string json_escape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size() + 2);
-  for (char c : text) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default: out += c;
-    }
-  }
-  return out;
-}
-
-std::string json_number(double x) { return support::format_round_trip(x); }
-
-class JsonBuilder {
- public:
-  void field(const std::string& key, const std::string& value) {
-    raw(key, "\"" + json_escape(value) + "\"");
-  }
-  void field(const std::string& key, double value) { raw(key, json_number(value)); }
-  void field(const std::string& key, std::uint64_t value) { raw(key, std::to_string(value)); }
-  void field(const std::string& key, int value) { raw(key, std::to_string(value)); }
-  void field(const std::string& key, bool value) { raw(key, value ? "true" : "false"); }
-  template <typename T>
-  void list(const std::string& key, const std::vector<T>& values) {
-    std::string text = "[";
-    for (std::size_t i = 0; i < values.size(); ++i) {
-      if (i) text += ",";
-      if constexpr (std::is_floating_point_v<T>) {
-        text += json_number(values[i]);
-      } else {
-        text += std::to_string(values[i]);
-      }
-    }
-    raw(key, text + "]");
-  }
-  void raw(const std::string& key, const std::string& value) {
-    if (!body_.empty()) body_ += ",";
-    body_ += "\"" + json_escape(key) + "\":" + value;
-  }
-  [[nodiscard]] std::string render() const { return "{" + body_ + "}"; }
-
- private:
-  std::string body_;
-};
-
-// ------------------------------------------------------------- JSON parser --
-//
-// Minimal recursive-descent parser for the subset to_json() emits: objects,
-// arrays of numbers, strings, numbers and booleans.  Integers are parsed
-// without a double round-trip so 64-bit seeds survive exactly.
-
-struct JsonValue {
-  enum class Type { kString, kNumber, kBool, kArray, kObject } type = Type::kNumber;
-  std::string string;
-  double number = 0.0;
-  std::uint64_t integer = 0;   ///< valid when is_integer
-  bool is_integer = false;
-  bool negative = false;       ///< integer sign (stored separately: uint64 magnitude)
-  bool boolean = false;
-  std::vector<JsonValue> array;
-  std::vector<std::pair<std::string, JsonValue>> object;
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  JsonValue parse() {
-    JsonValue value = parse_value();
-    skip_space();
-    if (pos_ != text_.size()) error("trailing characters after JSON value");
-    return value;
-  }
-
- private:
-  [[noreturn]] void error(const std::string& reason) const {
-    throw std::invalid_argument("Scenario JSON: " + reason + " at offset " +
-                                std::to_string(pos_));
-  }
-
-  void skip_space() {
-    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
-  }
-
-  char peek() {
-    skip_space();
-    if (pos_ >= text_.size()) error("unexpected end of input");
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) error(std::string{"expected '"} + c + "'");
-    ++pos_;
-  }
-
-  JsonValue parse_value() {
-    switch (peek()) {
-      case '{': return parse_object();
-      case '[': return parse_array();
-      case '"': return parse_string();
-      case 't':
-      case 'f': return parse_bool();
-      default: return parse_number();
-    }
-  }
-
-  JsonValue parse_object() {
-    expect('{');
-    JsonValue value;
-    value.type = JsonValue::Type::kObject;
-    if (peek() == '}') {
-      ++pos_;
-      return value;
-    }
-    while (true) {
-      JsonValue key = parse_string();
-      expect(':');
-      value.object.emplace_back(key.string, parse_value());
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      return value;
-    }
-  }
-
-  JsonValue parse_array() {
-    expect('[');
-    JsonValue value;
-    value.type = JsonValue::Type::kArray;
-    if (peek() == ']') {
-      ++pos_;
-      return value;
-    }
-    while (true) {
-      value.array.push_back(parse_value());
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect(']');
-      return value;
-    }
-  }
-
-  JsonValue parse_string() {
-    expect('"');
-    JsonValue value;
-    value.type = JsonValue::Type::kString;
-    while (true) {
-      if (pos_ >= text_.size()) error("unterminated string");
-      const char c = text_[pos_++];
-      if (c == '"') return value;
-      if (c == '\\') {
-        if (pos_ >= text_.size()) error("unterminated escape");
-        const char escaped = text_[pos_++];
-        switch (escaped) {
-          case '"': value.string += '"'; break;
-          case '\\': value.string += '\\'; break;
-          case 'n': value.string += '\n'; break;
-          case 't': value.string += '\t'; break;
-          default: error("unsupported escape sequence");
-        }
-      } else {
-        value.string += c;
-      }
-    }
-  }
-
-  JsonValue parse_bool() {
-    JsonValue value;
-    value.type = JsonValue::Type::kBool;
-    if (text_.compare(pos_, 4, "true") == 0) {
-      value.boolean = true;
-      pos_ += 4;
-    } else if (text_.compare(pos_, 5, "false") == 0) {
-      value.boolean = false;
-      pos_ += 5;
-    } else {
-      error("expected boolean");
-    }
-    return value;
-  }
-
-  JsonValue parse_number() {
-    skip_space();
-    const std::size_t start = pos_;
-    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
-    bool fractional = false;
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_];
-      if (std::isdigit(static_cast<unsigned char>(c))) {
-        ++pos_;
-      } else if (c == '.' || c == 'e' || c == 'E' || c == '-' || c == '+') {
-        fractional = true;
-        ++pos_;
-      } else {
-        break;
-      }
-    }
-    if (pos_ == start) error("expected number");
-    JsonValue value;
-    value.type = JsonValue::Type::kNumber;
-    const char* first = text_.data() + start;
-    const char* last = text_.data() + pos_;
-    if (!fractional) {
-      value.negative = *first == '-';
-      const char* digits = value.negative || *first == '+' ? first + 1 : first;
-      const auto result = std::from_chars(digits, last, value.integer);
-      value.is_integer = result.ec == std::errc{} && result.ptr == last;
-    }
-    const auto result = std::from_chars(first, last, value.number);
-    if (result.ec != std::errc{} || result.ptr != last) error("malformed number");
-    return value;
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
-
-// Typed field extraction; every getter rejects type mismatches.
-const JsonValue& object_field(const JsonValue& object, const std::string& key) {
-  for (const auto& [name, value] : object.object) {
-    if (name == key) return value;
-  }
-  throw std::invalid_argument("Scenario JSON: missing field '" + key + "'");
-}
-
-std::string get_string(const JsonValue& object, const std::string& key) {
-  const JsonValue& value = object_field(object, key);
-  if (value.type != JsonValue::Type::kString) {
-    throw std::invalid_argument("Scenario JSON: field '" + key + "' must be a string");
-  }
-  return value.string;
-}
-
-double get_double(const JsonValue& object, const std::string& key) {
-  const JsonValue& value = object_field(object, key);
-  if (value.type != JsonValue::Type::kNumber) {
-    throw std::invalid_argument("Scenario JSON: field '" + key + "' must be a number");
-  }
-  return value.number;
-}
-
-std::uint64_t get_uint(const JsonValue& object, const std::string& key) {
-  const JsonValue& value = object_field(object, key);
-  if (value.type != JsonValue::Type::kNumber || !value.is_integer || value.negative) {
-    throw std::invalid_argument("Scenario JSON: field '" + key +
-                                "' must be a non-negative integer");
-  }
-  return value.integer;
-}
-
-int get_int(const JsonValue& object, const std::string& key) {
-  const JsonValue& value = object_field(object, key);
-  if (value.type != JsonValue::Type::kNumber || !value.is_integer) {
-    throw std::invalid_argument("Scenario JSON: field '" + key + "' must be an integer");
-  }
-  const auto magnitude = static_cast<int>(value.integer);
-  return value.negative ? -magnitude : magnitude;
-}
-
-bool get_bool(const JsonValue& object, const std::string& key) {
-  const JsonValue& value = object_field(object, key);
-  if (value.type != JsonValue::Type::kBool) {
-    throw std::invalid_argument("Scenario JSON: field '" + key + "' must be a boolean");
-  }
-  return value.boolean;
-}
-
-std::vector<double> get_double_list(const JsonValue& object, const std::string& key) {
-  const JsonValue& value = object_field(object, key);
-  if (value.type != JsonValue::Type::kArray) {
-    throw std::invalid_argument("Scenario JSON: field '" + key + "' must be an array");
-  }
-  std::vector<double> out;
-  out.reserve(value.array.size());
-  for (const JsonValue& element : value.array) {
-    if (element.type != JsonValue::Type::kNumber) {
-      throw std::invalid_argument("Scenario JSON: field '" + key + "' must hold numbers");
-    }
-    out.push_back(element.number);
-  }
-  return out;
-}
-
-std::vector<std::size_t> get_index_list(const JsonValue& object, const std::string& key) {
-  const JsonValue& value = object_field(object, key);
-  if (value.type != JsonValue::Type::kArray) {
-    throw std::invalid_argument("Scenario JSON: field '" + key + "' must be an array");
-  }
-  std::vector<std::size_t> out;
-  out.reserve(value.array.size());
-  for (const JsonValue& element : value.array) {
-    if (element.type != JsonValue::Type::kNumber || !element.is_integer || element.negative) {
-      throw std::invalid_argument("Scenario JSON: field '" + key +
-                                  "' must hold non-negative integers");
-    }
-    out.push_back(static_cast<std::size_t>(element.integer));
-  }
-  return out;
-}
-
 }  // namespace
 
 std::string to_string(AnalysisKind kind) {
@@ -387,6 +67,11 @@ std::string to_string(PolicyKind kind) {
     case PolicyKind::kOracle: return "oracle";
   }
   return "unknown";
+}
+
+PolicyKind policy_kind_from_string(const std::string& text) {
+  return parse_enum(text, {PolicyKind::kNone, PolicyKind::kExpectation, PolicyKind::kOracle},
+                    "policy");
 }
 
 int Scenario::resolved_f() const {
@@ -522,8 +207,16 @@ std::string Scenario::to_json() const {
   return builder.render();
 }
 
-Scenario Scenario::from_json(const std::string& text) {
-  const JsonValue root = JsonParser{text}.parse();
+Scenario scenario_from_value(const JsonValue& root) {
+  using json::get_bool;
+  using json::get_double;
+  using json::get_double_list;
+  using json::get_index_list;
+  using json::get_int;
+  using json::get_string;
+  using json::get_uint;
+  using json::object_field;
+
   if (root.type != JsonValue::Type::kObject) {
     throw std::invalid_argument("Scenario JSON: top level must be an object");
   }
@@ -534,11 +227,7 @@ Scenario Scenario::from_json(const std::string& text) {
       "policy",     "policy_options",    "rounds",            "seed",
       "max_worlds", "require_undetected", "over_all_sets",    "fault",
       "num_threads"};
-  for (const auto& [key, value] : root.object) {
-    if (std::find(known.begin(), known.end(), key) == known.end()) {
-      throw std::invalid_argument("Scenario JSON: unknown field '" + key + "'");
-    }
-  }
+  json::reject_unknown_keys(root, known, "Scenario");
 
   Scenario scenario;
   scenario.name = get_string(root, "name");
@@ -552,14 +241,12 @@ Scenario Scenario::from_json(const std::string& text) {
   scenario.f = get_int(root, "f");
   scenario.trusted = get_index_list(root, "trusted");
   scenario.step = get_double(root, "step");
-  scenario.schedule = parse_schedule(get_string(root, "schedule"));
+  scenario.schedule = sched::schedule_kind_from_string(get_string(root, "schedule"));
   scenario.fixed_order = get_index_list(root, "fixed_order");
   scenario.fa = static_cast<std::size_t>(get_uint(root, "fa"));
   scenario.attacked_rule = parse_attacked_rule(get_string(root, "attacked_rule"));
   scenario.attacked_override = get_index_list(root, "attacked_override");
-  scenario.policy = parse_enum(get_string(root, "policy"),
-                               {PolicyKind::kNone, PolicyKind::kExpectation, PolicyKind::kOracle},
-                               "policy");
+  scenario.policy = policy_kind_from_string(get_string(root, "policy"));
 
   const JsonValue& options = object_field(root, "policy_options");
   scenario.policy_options.max_joint = static_cast<std::size_t>(get_uint(options, "max_joint"));
@@ -585,6 +272,10 @@ Scenario Scenario::from_json(const std::string& text) {
 
   scenario.num_threads = static_cast<unsigned>(get_uint(root, "num_threads"));
   return scenario;
+}
+
+Scenario Scenario::from_json(const std::string& text) {
+  return scenario_from_value(json::parse(text, "Scenario"));
 }
 
 bool operator==(const Scenario& a, const Scenario& b) {

@@ -43,6 +43,8 @@ enum class PolicyKind {
 };
 
 [[nodiscard]] std::string to_string(PolicyKind kind);
+/// Inverse of to_string(); throws std::invalid_argument on an unknown name.
+[[nodiscard]] PolicyKind policy_kind_from_string(const std::string& text);
 
 struct Scenario {
   // ---- identity -----------------------------------------------------------

@@ -1,0 +1,67 @@
+#include "scenario/sink.h"
+
+#include <ostream>
+#include <stdexcept>
+
+#include "scenario/json.h"
+#include "scenario/report.h"
+
+namespace arsf::scenario {
+
+void CollectingSink::on_result(std::size_t index, const ScenarioResult& result) {
+  if (index != results_.size()) {
+    throw std::logic_error("CollectingSink: results must arrive in input order");
+  }
+  results_.push_back(result);
+}
+
+void CollectingSink::on_finish(std::size_t total) {
+  if (total != results_.size()) {
+    throw std::logic_error("CollectingSink: on_finish total does not match delivered results");
+  }
+}
+
+void CsvStreamSink::on_result(std::size_t /*index*/, const ScenarioResult& result) {
+  ++results_;
+  write_result_rows(writer_, result);
+  // Completed rows reach the stream now, not at batch end: a tailing reader
+  // (or a crash mid-sweep) keeps everything already finished.
+  writer_.flush();
+}
+
+std::string to_json(std::size_t index, const ScenarioResult& result) {
+  json::JsonBuilder metrics;
+  for (const Metric& metric : result.metrics) metrics.field(metric.key, metric.value);
+
+  json::JsonBuilder builder;
+  builder.field("index", static_cast<std::uint64_t>(index));
+  builder.field("scenario", result.scenario);
+  builder.field("analysis", result.analysis);
+  builder.raw("metrics", metrics.render());
+  builder.field("error", result.error);
+  return builder.render();
+}
+
+void JsonlSink::on_result(std::size_t index, const ScenarioResult& result) {
+  ++results_;
+  // Flush per line: JSONL is the wire format — a consumer tailing the pipe
+  // must see each result as it finishes, not when the buffer happens to fill.
+  out_ << to_json(index, result) << '\n' << std::flush;
+}
+
+void ProgressSink::on_result(std::size_t index, const ScenarioResult& result) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  inner_.on_result(index, result);
+  ++done_;
+  log_ << '[' << done_;
+  if (total_ != 0) log_ << '/' << total_;
+  log_ << "] " << result.scenario << "  "
+       << (result.ok() ? "ok" : "ERROR: " + result.error) << std::endl;
+}
+
+void ProgressSink::on_finish(std::size_t total) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  inner_.on_finish(total);
+}
+
+}  // namespace arsf::scenario

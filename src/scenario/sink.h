@@ -1,0 +1,136 @@
+#pragma once
+// Streaming result sinks: the consumer side of the scenario result path.
+//
+// Runner::run_batch(scenarios, sink) and run_sweep() push every completed
+// ScenarioResult through a ResultSink as soon as it is finished — in INPUT
+// order, one call at a time — instead of materialising the whole batch in a
+// vector first.  That is what lets a grid-scale sweep (scenario/sweep.h)
+// stream a CSV report of thousands of rows while holding only one chunk of
+// scenarios and the bounded reorder buffer in memory.
+//
+// Ordering contract: on_result(index, result) is invoked with strictly
+// increasing indices (0, 1, 2, ... relative to the batch/sweep input),
+// exactly once per scenario, from one thread at a time; on_finish(total) is
+// invoked once after the last result.  Sinks therefore need no internal
+// synchronisation of their own — ProgressSink still carries a mutex so it
+// also stays safe when shared across *independent* concurrent batches.
+
+#include <cstddef>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "scenario/analysis.h"
+#include "support/csv.h"
+
+namespace arsf::scenario {
+
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+  /// One completed scenario; @p index is its input slot (see file comment).
+  virtual void on_result(std::size_t index, const ScenarioResult& result) = 0;
+  /// Called once after every result has been delivered.
+  virtual void on_finish(std::size_t /*total*/) {}
+};
+
+/// Materialises the stream back into the input-order vector — the adapter
+/// that keeps the PR 2 vector API (`run_batch(scenarios)`) a thin wrapper
+/// over the streaming path.
+class CollectingSink final : public ResultSink {
+ public:
+  void on_result(std::size_t index, const ScenarioResult& result) override;
+  void on_finish(std::size_t total) override;
+
+  [[nodiscard]] const std::vector<ScenarioResult>& results() const noexcept { return results_; }
+  [[nodiscard]] std::vector<ScenarioResult> take() && { return std::move(results_); }
+
+ private:
+  std::vector<ScenarioResult> results_;
+};
+
+/// Streams the unified long-format CSV report (scenario,analysis,metric,value
+/// — support::ReportWriter) row by row as scenarios finish; a failure emits
+/// one "error" row.  scenario::write_report() is the batch wrapper over the
+/// same row emission.
+class CsvStreamSink final : public ResultSink {
+ public:
+  /// Opens @p path and writes the header row immediately.
+  explicit CsvStreamSink(const std::string& path) : writer_(path) {}
+  /// Streams onto a caller-owned stream.
+  explicit CsvStreamSink(std::ostream& out) : writer_(out) {}
+
+  void on_result(std::size_t index, const ScenarioResult& result) override;
+
+  /// Rows written so far (excluding the header).
+  [[nodiscard]] std::size_t entries() const noexcept { return writer_.entries(); }
+  [[nodiscard]] std::size_t results() const noexcept { return results_; }
+
+ private:
+  support::ReportWriter writer_;
+  std::size_t results_ = 0;
+};
+
+/// Streams one self-contained JSON object per result per line (JSONL) —
+/// the machine-readable twin of the CSV report, used by scenario_runner
+/// --jsonl and ready for the ROADMAP's scenario-service transport.
+class JsonlSink final : public ResultSink {
+ public:
+  explicit JsonlSink(std::ostream& out) : out_(out) {}
+
+  void on_result(std::size_t index, const ScenarioResult& result) override;
+
+  [[nodiscard]] std::size_t results() const noexcept { return results_; }
+
+ private:
+  std::ostream& out_;
+  std::size_t results_ = 0;
+};
+
+/// Single-line JSON object for one result: {"index":..,"scenario":..,
+/// "analysis":..,"metrics":{..},"error":..} (metrics values round-trip).
+[[nodiscard]] std::string to_json(std::size_t index, const ScenarioResult& result);
+
+/// Fans one ordered stream out to several sinks in attach() order (e.g. a
+/// CSV file + JSONL + an in-memory collection from the same run).  Attached
+/// sinks must outlive the tee.
+class TeeSink final : public ResultSink {
+ public:
+  void attach(ResultSink& sink) { sinks_.push_back(&sink); }
+
+  void on_result(std::size_t index, const ScenarioResult& result) override {
+    for (ResultSink* sink : sinks_) sink->on_result(index, result);
+  }
+  void on_finish(std::size_t total) override {
+    for (ResultSink* sink : sinks_) sink->on_finish(total);
+  }
+
+ private:
+  std::vector<ResultSink*> sinks_;
+};
+
+/// Decorator: forwards everything to the wrapped sink and prints a one-line
+/// progress record per result ("[done/total] name  status") to @p log.
+/// Thread-safe (mutex around the forward + print) so it can also front
+/// independent concurrent batches.
+class ProgressSink final : public ResultSink {
+ public:
+  /// @param total expected result count (0 = unknown, prints "[done]").
+  ProgressSink(ResultSink& inner, std::ostream& log, std::size_t total = 0)
+      : inner_(inner), log_(log), total_(total) {}
+
+  void on_result(std::size_t index, const ScenarioResult& result) override;
+  void on_finish(std::size_t total) override;
+
+  [[nodiscard]] std::size_t done() const noexcept { return done_; }
+
+ private:
+  ResultSink& inner_;
+  std::ostream& log_;
+  std::size_t total_;
+  std::size_t done_ = 0;
+  std::mutex mutex_;
+};
+
+}  // namespace arsf::scenario

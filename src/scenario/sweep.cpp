@@ -1,0 +1,392 @@
+#include "scenario/sweep.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "scenario/json.h"
+#include "sim/engine/world_codec.h"
+#include "sim/enumerate.h"
+#include "support/ascii.h"
+
+namespace arsf::scenario {
+
+namespace {
+
+using sim::engine::WorldCodec;
+
+constexpr std::uint64_t kUint64Max = std::numeric_limits<std::uint64_t>::max();
+
+[[noreturn]] void fail(const std::string& name, const std::string& reason) {
+  throw std::invalid_argument("SweepSpec" + (name.empty() ? "" : " '" + name + "'") + ": " +
+                              reason);
+}
+
+// The six axes in declaration (= name-segment) order; the leftmost active
+// axis moves slowest through the grid, so grid indices read like nested
+// loops over the segments of the generated names.
+enum Axis : std::size_t { kWidths, kFa, kStep, kSched, kPolicy, kSeed, kAxisCount };
+
+struct ActiveAxis {
+  Axis axis;
+  std::uint64_t radix;
+};
+
+std::vector<ActiveAxis> active_axes(const SweepSpec& spec) {
+  std::vector<ActiveAxis> active;
+  if (!spec.widths_sets.empty()) active.push_back({kWidths, spec.widths_sets.size()});
+  if (!spec.fa_values.empty()) active.push_back({kFa, spec.fa_values.size()});
+  if (!spec.steps.empty()) active.push_back({kStep, spec.steps.size()});
+  if (!spec.schedules.empty()) active.push_back({kSched, spec.schedules.size()});
+  if (!spec.policies.empty()) active.push_back({kPolicy, spec.policies.size()});
+  if (spec.seed_count != 0) active.push_back({kSeed, spec.seed_count});
+  return active;
+}
+
+// Digit 0 of the codec is the fastest-moving, so the codec holds the active
+// radices in REVERSE declaration order (the first segment moves slowest).
+WorldCodec axis_codec(const std::vector<ActiveAxis>& active) {
+  std::vector<std::uint64_t> radices;
+  radices.reserve(active.size());
+  for (auto it = active.rbegin(); it != active.rend(); ++it) radices.push_back(it->radix);
+  return WorldCodec{std::move(radices)};
+}
+
+std::string widths_segment(const std::vector<double>& widths) {
+  std::string text = "w=";
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    if (i) text += "-";
+    text += support::format_number(widths[i], 6);
+  }
+  return text;
+}
+
+std::uint64_t saturating_add(std::uint64_t a, std::uint64_t b) {
+  return a > kUint64Max - b ? kUint64Max : a + b;
+}
+
+std::uint64_t saturating_mul(std::uint64_t a, std::uint64_t b) {
+  if (a == 0 || b == 0) return 0;
+  return a > kUint64Max / b ? kUint64Max : a * b;
+}
+
+/// C(n, k) saturating at uint64 max.
+std::uint64_t binomial(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return 0;
+  k = std::min(k, n - k);
+  std::uint64_t result = 1;
+  for (std::uint64_t i = 1; i <= k; ++i) {
+    if (result > kUint64Max / (n - k + i)) return kUint64Max;
+    result = result * (n - k + i) / i;
+  }
+  return result;
+}
+
+}  // namespace
+
+std::uint64_t SweepSpec::size() const {
+  return axis_codec(active_axes(*this)).world_count();
+}
+
+Scenario SweepSpec::at(std::uint64_t index) const {
+  const std::vector<ActiveAxis> active = active_axes(*this);
+  const WorldCodec codec = axis_codec(active);
+  if (index >= codec.world_count()) fail(name, "grid index out of range");
+
+  std::vector<std::uint64_t> digits(codec.digits());
+  codec.decode(index, digits);
+
+  Scenario scenario = base;
+  std::string point_name = name;
+  // Walk the axes in declaration order; axis j's digit is the mirrored slot.
+  for (std::size_t j = 0; j < active.size(); ++j) {
+    const std::uint64_t digit = digits[active.size() - 1 - j];
+    switch (active[j].axis) {
+      case kWidths:
+        scenario.widths = widths_sets[digit];
+        point_name += "/" + widths_segment(scenario.widths);
+        break;
+      case kFa:
+        scenario.fa = fa_values[digit];
+        point_name += "/fa=" + std::to_string(scenario.fa);
+        break;
+      case kStep:
+        scenario.step = steps[digit];
+        point_name += "/step=" + support::format_number(scenario.step, 6);
+        break;
+      case kSched:
+        scenario.schedule = schedules[digit];
+        point_name += "/sched=" + sched::to_string(scenario.schedule);
+        break;
+      case kPolicy:
+        scenario.policy = policies[digit];
+        point_name += "/policy=" + to_string(scenario.policy);
+        break;
+      case kSeed:
+        scenario.seed = base.seed + digit * seed_stride;
+        point_name += "/seed=" + std::to_string(digit);
+        break;
+      case kAxisCount: break;
+    }
+  }
+  scenario.name = point_name;
+  if (!description.empty()) scenario.description = description;
+
+  try {
+    scenario.validate();
+  } catch (const std::invalid_argument& e) {
+    fail(name, std::string{"grid point "} + std::to_string(index) + " is invalid: " + e.what());
+  }
+  return scenario;
+}
+
+std::vector<Scenario> SweepSpec::expand() const {
+  const std::uint64_t total = size();
+  std::vector<Scenario> scenarios;
+  scenarios.reserve(total);
+  for (std::uint64_t i = 0; i < total; ++i) scenarios.push_back(at(i));
+  return scenarios;
+}
+
+void SweepSpec::validate() const {
+  if (name.empty()) fail(name, "name must be non-empty");
+  for (const auto& widths : widths_sets) {
+    if (widths.empty()) fail(name, "every widths set must be non-empty");
+    for (double w : widths) {
+      if (!(w > 0.0)) fail(name, "every width must be > 0");
+    }
+  }
+  for (double step : steps) {
+    if (!(step > 0.0)) fail(name, "every step must be > 0");
+  }
+  if (seed_count > 1 && seed_stride == 0) {
+    fail(name, "seed_stride 0 would repeat the same seed across the seed axis");
+  }
+  const WorldCodec codec = axis_codec(active_axes(*this));
+  if (codec.overflowed()) fail(name, "grid size overflows uint64");
+}
+
+std::string SweepSpec::to_json() const {
+  json::JsonBuilder builder;
+  builder.field("name", name);
+  builder.field("description", description);
+  builder.raw("base", base.to_json());
+
+  std::string sets = "[";
+  for (std::size_t i = 0; i < widths_sets.size(); ++i) {
+    if (i) sets += ",";
+    sets += "[";
+    for (std::size_t k = 0; k < widths_sets[i].size(); ++k) {
+      if (k) sets += ",";
+      sets += json::number_text(widths_sets[i][k]);
+    }
+    sets += "]";
+  }
+  builder.raw("widths_sets", sets + "]");
+
+  builder.list("fa", fa_values);
+  builder.list("steps", steps);
+
+  std::string schedule_names = "[";
+  for (std::size_t i = 0; i < schedules.size(); ++i) {
+    if (i) schedule_names += ",";
+    schedule_names += "\"" + json::escape(sched::to_string(schedules[i])) + "\"";
+  }
+  builder.raw("schedules", schedule_names + "]");
+
+  std::string policy_names = "[";
+  for (std::size_t i = 0; i < policies.size(); ++i) {
+    if (i) policy_names += ",";
+    policy_names += "\"" + json::escape(to_string(policies[i])) + "\"";
+  }
+  builder.raw("policies", policy_names + "]");
+
+  builder.field("seed_count", seed_count);
+  builder.field("seed_stride", seed_stride);
+  return builder.render();
+}
+
+SweepSpec sweep_from_value(const json::JsonValue& root) {
+  using json::JsonValue;
+
+  if (root.type != JsonValue::Type::kObject) {
+    throw std::invalid_argument("SweepSpec JSON: top level must be an object");
+  }
+  static const std::vector<std::string> known = {
+      "name",      "description", "base",       "widths_sets", "fa",
+      "steps",     "schedules",   "policies",   "seed_count",  "seed_stride"};
+  json::reject_unknown_keys(root, known, "SweepSpec");
+
+  SweepSpec spec;
+  spec.name = json::get_string(root, "name");
+  spec.description = json::get_string(root, "description");
+  spec.base = scenario_from_value(json::object_field(root, "base"));
+
+  const JsonValue& sets = json::object_field(root, "widths_sets");
+  if (sets.type != JsonValue::Type::kArray) {
+    throw std::invalid_argument("SweepSpec JSON: field 'widths_sets' must be an array");
+  }
+  for (const JsonValue& set : sets.array) {
+    if (set.type != JsonValue::Type::kArray) {
+      throw std::invalid_argument("SweepSpec JSON: 'widths_sets' must hold arrays of numbers");
+    }
+    std::vector<double> widths;
+    widths.reserve(set.array.size());
+    for (const JsonValue& element : set.array) {
+      if (element.type != JsonValue::Type::kNumber) {
+        throw std::invalid_argument("SweepSpec JSON: 'widths_sets' must hold arrays of numbers");
+      }
+      widths.push_back(element.number);
+    }
+    spec.widths_sets.push_back(std::move(widths));
+  }
+
+  spec.fa_values = json::get_index_list(root, "fa");
+  spec.steps = json::get_double_list(root, "steps");
+
+  const JsonValue& schedules = json::object_field(root, "schedules");
+  if (schedules.type != JsonValue::Type::kArray) {
+    throw std::invalid_argument("SweepSpec JSON: field 'schedules' must be an array");
+  }
+  for (const JsonValue& element : schedules.array) {
+    if (element.type != JsonValue::Type::kString) {
+      throw std::invalid_argument("SweepSpec JSON: 'schedules' must hold strings");
+    }
+    spec.schedules.push_back(sched::schedule_kind_from_string(element.string));
+  }
+
+  const JsonValue& policies = json::object_field(root, "policies");
+  if (policies.type != JsonValue::Type::kArray) {
+    throw std::invalid_argument("SweepSpec JSON: field 'policies' must be an array");
+  }
+  for (const JsonValue& element : policies.array) {
+    if (element.type != JsonValue::Type::kString) {
+      throw std::invalid_argument("SweepSpec JSON: 'policies' must hold strings");
+    }
+    spec.policies.push_back(policy_kind_from_string(element.string));
+  }
+
+  spec.seed_count = json::get_uint(root, "seed_count");
+  spec.seed_stride = json::get_uint(root, "seed_stride");
+  return spec;
+}
+
+SweepSpec SweepSpec::from_json(const std::string& text) {
+  return sweep_from_value(json::parse(text, "SweepSpec"));
+}
+
+bool operator==(const SweepSpec& a, const SweepSpec& b) {
+  return a.name == b.name && a.description == b.description && a.base == b.base &&
+         a.widths_sets == b.widths_sets && a.fa_values == b.fa_values && a.steps == b.steps &&
+         a.schedules == b.schedules && a.policies == b.policies &&
+         a.seed_count == b.seed_count && a.seed_stride == b.seed_stride;
+}
+
+std::uint64_t estimated_worlds(const Scenario& scenario) {
+  switch (scenario.analysis) {
+    case AnalysisKind::kEnumerate:
+    case AnalysisKind::kWorstCase: {
+      std::uint64_t worlds = 0;
+      try {
+        worlds = sim::world_count(scenario.system(), Quantizer{scenario.step});
+      } catch (const std::invalid_argument&) {
+        return 1;  // off-grid widths: the run will fail fast, cost is nil
+      }
+      if (scenario.analysis == AnalysisKind::kWorstCase && scenario.over_all_sets) {
+        return saturating_mul(worlds, binomial(scenario.n(), scenario.fa));
+      }
+      return worlds;
+    }
+    case AnalysisKind::kMonteCarlo:
+    case AnalysisKind::kResilience:
+    case AnalysisKind::kCaseStudy:
+      return scenario.rounds;
+  }
+  return 1;
+}
+
+namespace {
+
+/// Re-keys a chunk-local stream onto grid indices and defers the final
+/// on_finish to run_sweep (the Runner finishes every chunk, the sweep
+/// finishes once).
+class ShiftSink final : public ResultSink {
+ public:
+  ShiftSink(ResultSink& inner, std::size_t offset) : inner_(inner), offset_(offset) {}
+
+  void on_result(std::size_t index, const ScenarioResult& result) override {
+    inner_.on_result(offset_ + index, result);
+  }
+  void on_finish(std::size_t /*total*/) override {}
+
+ private:
+  ResultSink& inner_;
+  std::size_t offset_;
+};
+
+}  // namespace
+
+std::size_t run_sweep(const SweepSpec& spec, const Runner& runner, ResultSink& sink,
+                      const SweepRunOptions& options) {
+  if (options.chunk_scenarios == 0) {
+    throw std::invalid_argument("run_sweep: chunk_scenarios must be >= 1");
+  }
+  spec.validate();
+  const std::uint64_t total = spec.size();
+
+  std::uint64_t chunk_base = 0;   // grid index of the current chunk's first point
+  std::uint64_t next_index = 0;   // next grid index to materialise
+  // A point that overflows its chunk's cost budget carries over to open the
+  // next chunk — materialised and validated once, never recomputed.
+  std::optional<Scenario> carried;
+  std::uint64_t carried_cost = 0;
+  while (chunk_base < total) {
+    std::vector<Scenario> chunk;
+    std::vector<std::uint64_t> costs;
+    std::uint64_t chunk_cost = 0;
+    while (chunk.size() < options.chunk_scenarios &&
+           (carried.has_value() || next_index < total)) {
+      Scenario scenario;
+      std::uint64_t cost = 0;
+      if (carried.has_value()) {
+        scenario = std::move(*carried);
+        cost = carried_cost;
+        carried.reset();
+      } else {
+        scenario = spec.at(next_index++);
+        cost = estimated_worlds(scenario);
+      }
+      if (!chunk.empty() && options.chunk_cost > 0 &&
+          saturating_add(chunk_cost, cost) > options.chunk_cost) {
+        carried = std::move(scenario);
+        carried_cost = cost;
+        break;
+      }
+      chunk_cost = saturating_add(chunk_cost, cost);
+      costs.push_back(cost);
+      chunk.push_back(std::move(scenario));
+    }
+
+    // Start the long poles first; emission stays in grid order regardless.
+    std::vector<std::size_t> schedule;
+    if (options.order_by_cost && chunk.size() > 1) {
+      schedule.resize(chunk.size());
+      std::iota(schedule.begin(), schedule.end(), std::size_t{0});
+      std::stable_sort(schedule.begin(), schedule.end(),
+                       [&](std::size_t a, std::size_t b) { return costs[a] > costs[b]; });
+    }
+
+    ShiftSink shifted{sink, static_cast<std::size_t>(chunk_base)};
+    runner.run_batch(std::span<const Scenario>{chunk}, shifted,
+                     std::span<const std::size_t>{schedule});
+    chunk_base += chunk.size();
+  }
+
+  sink.on_finish(static_cast<std::size_t>(total));
+  return static_cast<std::size_t>(total);
+}
+
+}  // namespace arsf::scenario

@@ -1,0 +1,103 @@
+#pragma once
+// Declarative parameter sweeps: one template scenario expanded into a whole
+// grid of named scenarios.
+//
+// The paper's headline artefacts are all points on parameter grids — Table I
+// is widths x {ascending, descending}, Figs 4/5 walk width families, the
+// theorems quantify over f_a — and the stress workloads the ROADMAP asks for
+// ("as many scenarios as you can imagine") are grids too.  A SweepSpec
+// captures such a grid as data: a base Scenario plus one optional value list
+// per swept knob (width sets, f_a, step, schedule kind, policy kind, seed
+// stride).  The grid is the cartesian product of the active axes, laid out
+// by the engine's mixed-radix WorldCodec, so grid points have dense indices
+// and can be materialised lazily one chunk at a time — expand() never has to
+// hold more than the chunk run_sweep() is currently streaming through the
+// Runner.
+//
+// Grid-point naming: "<spec.name>/<axis>=<value>/..." with one segment per
+// ACTIVE axis in declaration order (widths, fa, step, sched, policy, seed),
+// e.g. "grid/w=5-11-17/fa=2/step=0.5/sched=descending".  Inactive axes
+// (empty lists, seed_count == 0) contribute no segment and leave the base
+// value untouched, so a SweepSpec with no axes expands to exactly its base.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/runner.h"
+#include "scenario/scenario.h"
+#include "scenario/sink.h"
+
+namespace arsf::scenario {
+
+struct SweepSpec {
+  std::string name;         ///< grid-point name prefix (also the registry key)
+  std::string description;  ///< one-line human summary
+
+  /// Template every grid point starts from; its name is replaced by the
+  /// generated grid-point name, everything else only where an axis is active.
+  Scenario base;
+
+  // ---- axes (empty = inactive, keep the base value) -----------------------
+  std::vector<std::vector<double>> widths_sets;     ///< per-point widths vectors
+  std::vector<std::size_t> fa_values;               ///< compromised-sensor counts
+  std::vector<double> steps;                        ///< quantiser resolutions
+  std::vector<sched::ScheduleKind> schedules;       ///< schedule kinds
+  std::vector<PolicyKind> policies;                 ///< attacker policy kinds
+  /// Seed axis: seed_count points at base.seed + i * seed_stride
+  /// (i = 0 .. seed_count-1); 0 = inactive.
+  std::uint64_t seed_count = 0;
+  std::uint64_t seed_stride = 1;
+
+  /// Number of grid points (product of active axis sizes; >= 1).
+  [[nodiscard]] std::uint64_t size() const;
+
+  /// Grid point @p index (0 <= index < size()) with its generated name.
+  /// Throws std::invalid_argument when the point fails Scenario::validate()
+  /// (the message names the offending grid point).
+  [[nodiscard]] Scenario at(std::uint64_t index) const;
+
+  /// Every grid point in index order.  Fine for small grids; run_sweep()
+  /// materialises lazily instead and should be preferred at scale.
+  [[nodiscard]] std::vector<Scenario> expand() const;
+
+  /// Structural checks on the spec itself (name, axis values); cheap.  Does
+  /// NOT validate every grid point — at()/expand() do that per point.
+  void validate() const;
+
+  /// Single-line JSON object (the base scenario nested under "base").
+  [[nodiscard]] std::string to_json() const;
+  /// Inverse of to_json(); unknown and duplicate keys are rejected, like
+  /// Scenario::from_json.
+  [[nodiscard]] static SweepSpec from_json(const std::string& text);
+};
+
+[[nodiscard]] bool operator==(const SweepSpec& a, const SweepSpec& b);
+
+/// Cost model: how many worlds (enumerate/worst-case) or rounds (sampled
+/// analyses) the scenario will walk — the mixed-radix world count of its
+/// system on its grid, saturating at uint64 max.  run_sweep() uses it to
+/// start the costliest grid points of a chunk first (long poles don't
+/// straggle) without affecting emission order or results.
+[[nodiscard]] std::uint64_t estimated_worlds(const Scenario& scenario);
+
+struct SweepRunOptions {
+  /// Upper bound on grid points materialised and batched at once; memory for
+  /// scenarios, results and the reorder buffer is O(chunk), not O(grid).
+  std::size_t chunk_scenarios = 256;
+  /// When > 0, a chunk also closes once its estimated_worlds() sum exceeds
+  /// this (a chunk always takes at least one point), so a grid mixing cheap
+  /// and huge points cannot pile the huge ones into one batch.
+  std::uint64_t chunk_cost = 0;
+  /// Start each chunk's costliest points first (see estimated_worlds()).
+  bool order_by_cost = true;
+};
+
+/// Expands @p spec chunk by chunk and streams every chunk through
+/// @p runner into @p sink: on_result(i, ...) carries the GRID index i (input
+/// order, exactly once, strictly increasing), on_finish(size()) fires after
+/// the last chunk.  Returns the number of grid points run.
+std::size_t run_sweep(const SweepSpec& spec, const Runner& runner, ResultSink& sink,
+                      const SweepRunOptions& options = {});
+
+}  // namespace arsf::scenario

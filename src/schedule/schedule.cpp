@@ -17,6 +17,15 @@ std::string to_string(ScheduleKind kind) {
   return "unknown";
 }
 
+ScheduleKind schedule_kind_from_string(const std::string& text) {
+  for (ScheduleKind kind : {ScheduleKind::kAscending, ScheduleKind::kDescending,
+                            ScheduleKind::kRandom, ScheduleKind::kFixed,
+                            ScheduleKind::kTrustedLast}) {
+    if (to_string(kind) == text) return kind;
+  }
+  throw std::invalid_argument("schedule_kind_from_string: unknown schedule '" + text + "'");
+}
+
 namespace {
 
 Order identity_order(std::size_t n) {

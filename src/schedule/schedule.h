@@ -33,6 +33,8 @@ using Order = std::vector<SensorId>;
 enum class ScheduleKind { kAscending, kDescending, kRandom, kFixed, kTrustedLast };
 
 [[nodiscard]] std::string to_string(ScheduleKind kind);
+/// Inverse of to_string(); throws std::invalid_argument on an unknown name.
+[[nodiscard]] ScheduleKind schedule_kind_from_string(const std::string& text);
 
 /// Sorts by (width ascending, id ascending).
 [[nodiscard]] Order ascending_order(const SystemConfig& config);

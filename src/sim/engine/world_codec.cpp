@@ -46,4 +46,18 @@ std::size_t WorldCodec::advance(std::span<std::uint64_t> digits) const {
   return 0;  // wrapped past the last world
 }
 
+std::uint64_t WorldCodec::saturating_product(std::span<const std::uint64_t> radices) noexcept {
+  std::uint64_t count = 1;
+  bool overflow = false;
+  for (const std::uint64_t radix : radices) {
+    if (radix == 0) return 0;  // a zero annihilates even an overflowed prefix
+    if (count > std::numeric_limits<std::uint64_t>::max() / radix) {
+      overflow = true;
+    } else {
+      count *= radix;
+    }
+  }
+  return overflow ? std::numeric_limits<std::uint64_t>::max() : count;
+}
+
 }  // namespace arsf::sim::engine

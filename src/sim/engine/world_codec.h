@@ -44,6 +44,13 @@ class WorldCodec {
   /// around past the last world (all digits are zero again).
   std::size_t advance(std::span<std::uint64_t> digits) const;
 
+  /// prod_i radices[i], saturating at uint64 max — the world-count estimate
+  /// without building a codec (sim::world_count and the sweep cost model in
+  /// scenario/sweep.h share this one definition).  Zero radices stay zero;
+  /// an empty span is the empty product, 1.
+  [[nodiscard]] static std::uint64_t saturating_product(
+      std::span<const std::uint64_t> radices) noexcept;
+
  private:
   std::vector<std::uint64_t> radices_;
   std::uint64_t count_ = 1;

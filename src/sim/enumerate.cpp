@@ -10,15 +10,11 @@ namespace arsf::sim {
 
 std::uint64_t world_count(const SystemConfig& system, const Quantizer& quant) {
   const auto widths = tick_widths(system, quant);
-  std::uint64_t count = 1;
-  for (Tick w : widths) {
-    const auto factor = static_cast<std::uint64_t>(w) + 1;
-    if (count > std::numeric_limits<std::uint64_t>::max() / factor) {
-      return std::numeric_limits<std::uint64_t>::max();
-    }
-    count *= factor;
-  }
-  return count;
+  std::vector<std::uint64_t> radices;
+  radices.reserve(widths.size());
+  // Slot i's lower bound ranges over [-w_i, 0]: w_i + 1 placements.
+  for (Tick w : widths) radices.push_back(static_cast<std::uint64_t>(w) + 1);
+  return engine::WorldCodec::saturating_product(radices);
 }
 
 namespace {

@@ -52,6 +52,8 @@ void ReportWriter::add_text(const std::string& scenario, const std::string& anal
   ++entries_;
 }
 
+void ReportWriter::flush() { csv_.flush(); }
+
 std::string CsvWriter::escape(const std::string& field) {
   const bool needs_quotes = field.find_first_of(",\"\n") != std::string::npos;
   if (!needs_quotes) return field;

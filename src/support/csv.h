@@ -20,6 +20,9 @@ class CsvWriter {
   /// Convenience: formats doubles with enough digits to round-trip.
   void write_numeric_row(const std::vector<double>& cells);
 
+  /// Pushes buffered rows to the underlying stream.
+  void flush() { out_->flush(); }
+
   [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
 
  private:
@@ -46,6 +49,11 @@ class ReportWriter {
   /// Non-numeric entries (e.g. an error string) use the same columns.
   void add_text(const std::string& scenario, const std::string& analysis,
                 const std::string& metric, const std::string& value);
+
+  /// Pushes buffered rows to the underlying stream (streaming consumers —
+  /// scenario/sink.h CsvStreamSink — flush per result so a tailing reader
+  /// or a killed process never loses completed rows).
+  void flush();
 
   [[nodiscard]] std::size_t entries() const noexcept { return entries_; }
 

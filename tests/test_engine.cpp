@@ -89,6 +89,18 @@ TEST(WorldCodecTest, SaturatesOnOverflow) {
   EXPECT_EQ(codec.world_count(), std::numeric_limits<std::uint64_t>::max());
 }
 
+TEST(WorldCodecTest, SaturatingProductHandlesZeroAndOverflow) {
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_EQ(WorldCodec::saturating_product({}), 1u);  // empty product
+  const std::vector<std::uint64_t> plain = {6, 12, 18};
+  EXPECT_EQ(WorldCodec::saturating_product(plain), 6u * 12u * 18u);
+  const std::vector<std::uint64_t> huge = {1ULL << 40, 1ULL << 40};
+  EXPECT_EQ(WorldCodec::saturating_product(huge), kMax);
+  // A zero annihilates the product even after an overflowing prefix.
+  const std::vector<std::uint64_t> huge_then_zero = {1ULL << 40, 1ULL << 40, 0};
+  EXPECT_EQ(WorldCodec::saturating_product(huge_then_zero), 0u);
+}
+
 // ---------------------------------------------------------------- sweep ---
 
 std::vector<TickInterval> random_intervals(std::size_t n, support::Rng& rng, Tick span = 15) {

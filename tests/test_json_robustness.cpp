@@ -1,0 +1,219 @@
+// Property-style robustness tests for the scenario-layer JSON discipline:
+// randomized valid Scenario/SweepSpec round-trips (seeded, no wall-clock),
+// and rejection of truncated input, duplicate keys and overlay lines with
+// trailing garbage.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "scenario/registry.h"
+#include "scenario/sweep.h"
+#include "support/rng.h"
+
+namespace arsf::scenario {
+namespace {
+
+using support::Rng;
+
+template <typename T>
+T pick(Rng& rng, std::initializer_list<T> values) {
+  const auto index =
+      static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(values.size()) - 1));
+  return *(values.begin() + index);
+}
+
+/// Draws a scenario that passes validate(): widths on the step grid, a fault
+/// bound within the paper's range, schedule/analysis combinations allowed by
+/// the validation rules, and 64-bit seeds from the full range.
+Scenario random_valid_scenario(Rng& rng, int serial) {
+  Scenario s;
+  s.name = "prop/s" + std::to_string(serial);
+  s.description = "randomized scenario #" + std::to_string(serial);
+
+  const auto n = static_cast<std::size_t>(rng.uniform_int(1, 6));
+  s.step = pick(rng, {0.25, 0.5, 1.0});
+  for (std::size_t i = 0; i < n; ++i) {
+    s.widths.push_back(s.step * static_cast<double>(rng.uniform_int(1, 40)));
+  }
+  const int max_f = max_bounded_f(static_cast<int>(n));
+  s.f = rng.chance(0.5) ? -1 : static_cast<int>(rng.uniform_int(0, max_f));
+
+  if (rng.chance(0.3)) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng.chance(0.4)) s.trusted.push_back(i);
+    }
+  }
+
+  s.analysis = pick(rng, {AnalysisKind::kEnumerate, AnalysisKind::kMonteCarlo,
+                          AnalysisKind::kWorstCase, AnalysisKind::kResilience});
+  const bool sampled =
+      s.analysis == AnalysisKind::kMonteCarlo || s.analysis == AnalysisKind::kResilience;
+
+  s.schedule = sampled ? pick(rng, {sched::ScheduleKind::kAscending,
+                                    sched::ScheduleKind::kDescending,
+                                    sched::ScheduleKind::kRandom})
+                       : pick(rng, {sched::ScheduleKind::kAscending,
+                                    sched::ScheduleKind::kDescending,
+                                    sched::ScheduleKind::kFixed});
+  if (s.schedule == sched::ScheduleKind::kFixed) {
+    s.fixed_order = rng.permutation(n);
+  }
+  if (!s.trusted.empty() && !sampled && rng.chance(0.3)) {
+    s.schedule = sched::ScheduleKind::kTrustedLast;
+    s.fixed_order.clear();
+  }
+
+  s.fa = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(n)));
+  s.attacked_rule =
+      pick(rng, {sched::AttackedSetRule::kSmallestWidths, sched::AttackedSetRule::kLargestWidths,
+                 sched::AttackedSetRule::kLastSlots, sched::AttackedSetRule::kFirstSlots});
+  if (!sampled && s.fa > 0 && rng.chance(0.4)) {
+    // Explicit attacked set: the fa smallest ids, sorted and unique.
+    for (std::size_t i = 0; i < s.fa; ++i) s.attacked_override.push_back(i);
+  }
+
+  s.policy = pick(rng, {PolicyKind::kNone, PolicyKind::kExpectation, PolicyKind::kOracle});
+  s.policy_options.max_joint = static_cast<std::size_t>(rng.uniform_int(1, 4));
+  s.policy_options.max_completions = static_cast<std::size_t>(rng.uniform_int(0, 64));
+  s.policy_options.candidate_stride = static_cast<Tick>(rng.uniform_int(1, 4));
+  s.policy_options.memoize = rng.chance(0.5);
+  s.policy_options.sample_seed = rng.next();
+  s.policy_options.random_tie_break = rng.chance(0.5);
+
+  s.rounds = static_cast<std::size_t>(rng.uniform_int(1, 100000));
+  s.seed = rng.next();
+  s.max_worlds = rng.next() | 1;  // > 0
+  s.require_undetected = rng.chance(0.5);
+  s.over_all_sets = s.analysis == AnalysisKind::kWorstCase && rng.chance(0.5);
+  if (s.analysis == AnalysisKind::kResilience) {
+    s.fault.kind = pick(rng, {sensors::FaultKind::kNone, sensors::FaultKind::kStuckAt,
+                              sensors::FaultKind::kOffset, sensors::FaultKind::kDrift,
+                              sensors::FaultKind::kDropout});
+    s.fault.p_enter = rng.unit();
+    s.fault.p_recover = rng.unit();
+    s.fault.magnitude = rng.uniform_real(-50.0, 50.0);
+  }
+  s.num_threads = static_cast<unsigned>(rng.uniform_int(0, 8));
+  return s;
+}
+
+TEST(JsonRobustness, RandomValidScenariosRoundTripExactly) {
+  Rng rng{0x5eedc0de2026ULL};  // fixed seed: reproducible, no wall-clock
+  for (int i = 0; i < 250; ++i) {
+    const Scenario scenario = random_valid_scenario(rng, i);
+    ASSERT_NO_THROW(scenario.validate()) << scenario.to_json();
+    const Scenario restored = Scenario::from_json(scenario.to_json());
+    ASSERT_EQ(restored, scenario) << scenario.to_json();
+    // Serialization is stable, not just invertible.
+    EXPECT_EQ(restored.to_json(), scenario.to_json());
+  }
+}
+
+TEST(JsonRobustness, RandomSweepSpecsRoundTripExactly) {
+  Rng rng{0x5feedab1e5ULL};
+  for (int i = 0; i < 60; ++i) {
+    SweepSpec spec;
+    spec.name = "prop/sweep" + std::to_string(i);
+    spec.description = "randomized sweep";
+    spec.base = random_valid_scenario(rng, 1000 + i);
+    const auto sets = rng.uniform_int(0, 3);
+    for (std::int64_t k = 0; k < sets; ++k) {
+      std::vector<double> widths;
+      const auto len = rng.uniform_int(1, 5);
+      for (std::int64_t w = 0; w < len; ++w) {
+        widths.push_back(0.25 * static_cast<double>(rng.uniform_int(1, 80)));
+      }
+      spec.widths_sets.push_back(std::move(widths));
+    }
+    const auto fas = rng.uniform_int(0, 3);
+    for (std::int64_t k = 0; k < fas; ++k) {
+      spec.fa_values.push_back(static_cast<std::size_t>(rng.uniform_int(0, 5)));
+    }
+    const auto steps = rng.uniform_int(0, 2);
+    for (std::int64_t k = 0; k < steps; ++k) {
+      spec.steps.push_back(pick(rng, {0.25, 0.5, 1.0}));
+    }
+    if (rng.chance(0.5)) {
+      spec.schedules = {sched::ScheduleKind::kAscending, sched::ScheduleKind::kRandom};
+    }
+    if (rng.chance(0.5)) spec.policies = {PolicyKind::kNone, PolicyKind::kExpectation};
+    spec.seed_count = static_cast<std::uint64_t>(rng.uniform_int(0, 16));
+    spec.seed_stride = rng.next() | 1;
+
+    const SweepSpec restored = SweepSpec::from_json(spec.to_json());
+    ASSERT_EQ(restored, spec) << spec.to_json();
+    EXPECT_EQ(restored.to_json(), spec.to_json());
+  }
+}
+
+TEST(JsonRobustness, EveryStrictPrefixOfAScenarioIsRejected) {
+  Rng rng{0x7c0aca7edULL};
+  const Scenario scenario = random_valid_scenario(rng, 0);
+  const std::string text = scenario.to_json();
+  ASSERT_GT(text.size(), 2u);
+  for (std::size_t length = 0; length < text.size(); ++length) {
+    EXPECT_THROW((void)Scenario::from_json(text.substr(0, length)), std::invalid_argument)
+        << "prefix of length " << length << " must not parse";
+  }
+}
+
+TEST(JsonRobustness, DuplicateKeysAreRejected) {
+  Scenario scenario;
+  scenario.name = "dup/test";
+  scenario.widths = {5, 11, 17};
+  const std::string valid = scenario.to_json();
+
+  // Duplicate a top-level key.
+  std::string top = valid;
+  top.insert(1, "\"name\":\"shadow\",");
+  EXPECT_THROW((void)Scenario::from_json(top), std::invalid_argument);
+
+  // Duplicate a nested key inside policy_options.
+  const std::string marker = "\"policy_options\":{";
+  std::string nested = valid;
+  const std::size_t at = nested.find(marker);
+  ASSERT_NE(at, std::string::npos);
+  nested.insert(at + marker.size(), "\"max_joint\":7,");
+  EXPECT_THROW((void)Scenario::from_json(nested), std::invalid_argument);
+}
+
+TEST(JsonRobustness, OutOfRangeIntegersAreRejectedNotWrapped) {
+  Scenario scenario;
+  scenario.name = "range/test";
+  scenario.widths = {5, 11, 17};
+  const std::string valid = scenario.to_json();
+
+  // 2^32 must not wrap to f = 0; INT_MIN - 1 must not wrap either.
+  for (const std::string& f : {"4294967296", "2147483648", "-2147483649"}) {
+    std::string text = valid;
+    const std::size_t at = text.find("\"f\":-1");
+    ASSERT_NE(at, std::string::npos);
+    text.replace(at, 6, "\"f\":" + f);
+    EXPECT_THROW((void)Scenario::from_json(text), std::invalid_argument) << f;
+  }
+  // INT_MIN itself is representable and must parse.
+  std::string text = valid;
+  text.replace(text.find("\"f\":-1"), 6, "\"f\":-2147483648");
+  EXPECT_EQ(Scenario::from_json(text).f, std::numeric_limits<int>::min());
+}
+
+TEST(JsonRobustness, OverlayLinesWithTrailingGarbageAreRejected) {
+  Scenario scenario;
+  scenario.name = "overlay/robust";
+  scenario.widths = {5, 11, 17};
+  SweepSpec spec;
+  spec.name = "overlay/robust-sweep";
+  spec.base = scenario;
+
+  for (const std::string& line :
+       {scenario.to_json() + "{", scenario.to_json() + " 1", spec.to_json() + " }",
+        std::string{"[1,2,3]"}, std::string{"{\"not\":\"a scenario\"}"}}) {
+    ScenarioRegistry reg;
+    EXPECT_THROW(reg.merge(line + "\n"), std::invalid_argument) << line;
+    EXPECT_EQ(reg.size(), 0u) << "a rejected line must not partially register";
+  }
+}
+
+}  // namespace
+}  // namespace arsf::scenario

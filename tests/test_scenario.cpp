@@ -199,6 +199,15 @@ TEST(Registry, SmokeVariantBoundsCost) {
   EXPECT_LE(smoke.policy_options.max_completions, 16u);
   EXPECT_GE(smoke.policy_options.candidate_stride, 2);
   EXPECT_NO_THROW(smoke.validate());
+
+  // Caps apply even with PolicyKind::kNone: a smoked SweepSpec base must
+  // stay cost-bounded when a policy axis later turns the attacker on.
+  Scenario no_policy = valid_base();
+  no_policy.policy = PolicyKind::kNone;
+  const Scenario smoked = smoke_variant(no_policy);
+  EXPECT_EQ(smoked.policy_options.max_joint, 1u);
+  EXPECT_LE(smoked.policy_options.max_completions, 16u);
+  EXPECT_GE(smoked.policy_options.candidate_stride, 2);
 }
 
 TEST(Runner, CapturesErrorsInsteadOfThrowing) {

@@ -1,0 +1,265 @@
+// Unit tests for the streaming result path: the ResultSink implementations
+// and Runner::run_batch's ordered emission, empty-batch short-circuit and
+// first-in-input-order exception propagation.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "scenario/json.h"
+#include "scenario/registry.h"
+#include "scenario/runner.h"
+#include "scenario/sink.h"
+
+namespace arsf::scenario {
+namespace {
+
+Scenario cheap_scenario(const std::string& name, double w0) {
+  Scenario s;
+  s.name = name;
+  s.widths = {w0, 2, 3};
+  s.fa = 0;
+  s.policy = PolicyKind::kNone;
+  return s;
+}
+
+ScenarioResult make_result(const std::string& name, double value) {
+  ScenarioResult result;
+  result.scenario = name;
+  result.analysis = "enumerate";
+  result.metrics = {{"expected_width", value}};
+  return result;
+}
+
+/// Records the (index, scenario) stream for order assertions.
+class RecordingSink final : public ResultSink {
+ public:
+  void on_result(std::size_t index, const ScenarioResult& result) override {
+    indices.push_back(index);
+    names.push_back(result.scenario);
+  }
+  void on_finish(std::size_t total) override {
+    ++finishes;
+    finished_total = total;
+  }
+
+  std::vector<std::size_t> indices;
+  std::vector<std::string> names;
+  int finishes = 0;
+  std::size_t finished_total = 0;
+};
+
+TEST(Sink, CollectingSinkEnforcesInputOrder) {
+  CollectingSink sink;
+  sink.on_result(0, make_result("a", 1.0));
+  sink.on_result(1, make_result("b", 2.0));
+  EXPECT_THROW(sink.on_result(3, make_result("d", 4.0)), std::logic_error);
+  EXPECT_THROW(sink.on_finish(5), std::logic_error);
+  sink.on_finish(2);
+  ASSERT_EQ(sink.results().size(), 2u);
+  EXPECT_EQ(sink.results()[1].scenario, "b");
+}
+
+TEST(Sink, CsvStreamSinkWritesRowsAsResultsArrive) {
+  std::ostringstream out;
+  CsvStreamSink sink{out};
+  EXPECT_NE(out.str().find("scenario,analysis,metric,value"), std::string::npos);
+
+  sink.on_result(0, make_result("sweep/a", 1.5));
+  const std::string after_first = out.str();
+  EXPECT_NE(after_first.find("sweep/a,enumerate,expected_width,1.5"), std::string::npos)
+      << "row must stream out before the batch finishes";
+
+  ScenarioResult failed;
+  failed.scenario = "sweep/b";
+  failed.analysis = "enumerate";
+  failed.error = "boom";
+  sink.on_result(1, failed);
+  EXPECT_NE(out.str().find("sweep/b,enumerate,error,boom"), std::string::npos);
+  EXPECT_EQ(sink.results(), 2u);
+  EXPECT_EQ(sink.entries(), 2u);
+}
+
+TEST(Sink, JsonlSinkEmitsOneParsableObjectPerLine) {
+  std::ostringstream out;
+  JsonlSink sink{out};
+  sink.on_result(0, make_result("a", 1.25));
+  ScenarioResult failed;
+  failed.scenario = "b";
+  failed.analysis = "worstcase";
+  failed.error = "bad \"quote\"";
+  sink.on_result(1, failed);
+
+  std::istringstream lines{out.str()};
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  {
+    const json::JsonValue record = json::parse(line);
+    EXPECT_EQ(json::get_uint(record, "index"), 0u);
+    EXPECT_EQ(json::get_string(record, "scenario"), "a");
+    EXPECT_EQ(json::get_double(json::object_field(record, "metrics"), "expected_width"), 1.25);
+    EXPECT_EQ(json::get_string(record, "error"), "");
+  }
+  ASSERT_TRUE(std::getline(lines, line));
+  {
+    const json::JsonValue record = json::parse(line);
+    EXPECT_EQ(json::get_uint(record, "index"), 1u);
+    EXPECT_EQ(json::get_string(record, "error"), "bad \"quote\"");
+  }
+  EXPECT_FALSE(std::getline(lines, line));
+  EXPECT_EQ(sink.results(), 2u);
+}
+
+TEST(Sink, ProgressSinkForwardsAndCounts) {
+  RecordingSink inner;
+  std::ostringstream log;
+  ProgressSink progress{inner, log, 2};
+  progress.on_result(0, make_result("x", 1.0));
+  progress.on_result(1, make_result("y", 2.0));
+  progress.on_finish(2);
+  EXPECT_EQ(progress.done(), 2u);
+  EXPECT_EQ(inner.names, (std::vector<std::string>{"x", "y"}));
+  EXPECT_EQ(inner.finishes, 1);
+  EXPECT_NE(log.str().find("[1/2] x"), std::string::npos);
+  EXPECT_NE(log.str().find("[2/2] y"), std::string::npos);
+}
+
+TEST(RunnerStreaming, EmitsInInputOrderForEveryThreadCount) {
+  std::vector<Scenario> batch;
+  for (int i = 0; i < 12; ++i) {
+    batch.push_back(cheap_scenario("stream/s" + std::to_string(i), 1 + i % 3));
+  }
+
+  const Runner serial{{.num_threads = 1}};
+  const std::vector<ScenarioResult> baseline =
+      serial.run_batch(std::span<const Scenario>{batch});
+
+  for (const unsigned threads : {1u, 0u, 3u}) {
+    RecordingSink sink;
+    const Runner runner{{.num_threads = threads}};
+    runner.run_batch(std::span<const Scenario>{batch}, sink);
+
+    ASSERT_EQ(sink.indices.size(), batch.size()) << "threads=" << threads;
+    for (std::size_t i = 0; i < sink.indices.size(); ++i) {
+      EXPECT_EQ(sink.indices[i], i) << "threads=" << threads;
+      EXPECT_EQ(sink.names[i], batch[i].name) << "threads=" << threads;
+      EXPECT_EQ(sink.names[i], baseline[i].scenario);
+    }
+    EXPECT_EQ(sink.finishes, 1);
+    EXPECT_EQ(sink.finished_total, batch.size());
+  }
+}
+
+TEST(RunnerStreaming, ExecutionScheduleDoesNotChangeEmissionOrder) {
+  std::vector<Scenario> batch;
+  for (int i = 0; i < 6; ++i) {
+    batch.push_back(cheap_scenario("sched/s" + std::to_string(i), 1 + i % 2));
+  }
+  const std::vector<std::size_t> reversed = {5, 4, 3, 2, 1, 0};
+
+  for (const unsigned threads : {1u, 0u}) {
+    RecordingSink sink;
+    const Runner runner{{.num_threads = threads}};
+    runner.run_batch(std::span<const Scenario>{batch}, sink,
+                     std::span<const std::size_t>{reversed});
+    ASSERT_EQ(sink.indices.size(), batch.size());
+    for (std::size_t i = 0; i < sink.indices.size(); ++i) {
+      EXPECT_EQ(sink.indices[i], i);
+      EXPECT_EQ(sink.names[i], batch[i].name);
+    }
+  }
+
+  RecordingSink sink;
+  const std::vector<std::size_t> bogus = {0, 0, 1, 2, 3, 4};
+  EXPECT_THROW(Runner{}.run_batch(std::span<const Scenario>{batch}, sink,
+                                  std::span<const std::size_t>{bogus}),
+               std::invalid_argument);
+}
+
+TEST(RunnerStreaming, EmptyBatchShortCircuits) {
+  RecordingSink sink;
+  const Runner runner;
+  runner.run_batch(std::span<const Scenario>{}, sink);
+  EXPECT_TRUE(sink.indices.empty());
+  EXPECT_EQ(sink.finishes, 1);
+  EXPECT_EQ(sink.finished_total, 0u);
+
+  const std::vector<ScenarioResult> results =
+      runner.run_batch(std::span<const Scenario>{});
+  EXPECT_TRUE(results.empty());
+}
+
+TEST(RunnerStreaming, FirstInputOrderExceptionWinsWithoutCapture) {
+  // Slot 1 and slot 3 both fail; whatever order the tasks run in, the
+  // propagated exception must be slot 1's, and the sink must have received
+  // exactly the slots before it.
+  std::vector<Scenario> batch;
+  batch.push_back(cheap_scenario("err/ok0", 1));
+  Scenario first_bad = cheap_scenario("err/first-bad", 1);
+  first_bad.widths.clear();
+  batch.push_back(first_bad);
+  batch.push_back(cheap_scenario("err/ok2", 2));
+  Scenario second_bad = cheap_scenario("err/second-bad", 1);
+  second_bad.step = 0.0;
+  batch.push_back(second_bad);
+
+  for (const unsigned threads : {1u, 0u, 4u}) {
+    RecordingSink sink;
+    const Runner runner{{.num_threads = threads, .capture_errors = false}};
+    try {
+      runner.run_batch(std::span<const Scenario>{batch}, sink);
+      FAIL() << "expected the batch to throw (threads=" << threads << ")";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string{e.what()}.find("err/first-bad"), std::string::npos)
+          << "threads=" << threads << ": wrong exception: " << e.what();
+    }
+    EXPECT_EQ(sink.indices, (std::vector<std::size_t>{0})) << "threads=" << threads;
+    EXPECT_EQ(sink.finishes, 0) << "a failed batch must not finish the stream";
+  }
+}
+
+TEST(RunnerStreaming, ThrowingSinkAbortsBatchWithoutDuplicateDelivery) {
+  std::vector<Scenario> batch;
+  for (int i = 0; i < 4; ++i) {
+    batch.push_back(cheap_scenario("throw/s" + std::to_string(i), 1 + i % 2));
+  }
+
+  // Throws once at index 1; every index it saw must have arrived exactly once.
+  class ThrowingSink final : public ResultSink {
+   public:
+    void on_result(std::size_t index, const ScenarioResult&) override {
+      seen.push_back(index);
+      if (index == 1) throw std::runtime_error("sink exploded");
+    }
+    std::vector<std::size_t> seen;
+  };
+
+  for (const unsigned threads : {1u, 3u}) {
+    ThrowingSink sink;
+    const Runner runner{{.num_threads = threads}};
+    EXPECT_THROW(runner.run_batch(std::span<const Scenario>{batch}, sink), std::runtime_error)
+        << "threads=" << threads << ": a sink failure is an output failure, not a "
+        << "captured scenario error";
+    // Exactly-once AND thread-count invariant: the broken sink saw indices
+    // 0 and 1, once each, and nothing after its throw.
+    EXPECT_EQ(sink.seen, (std::vector<std::size_t>{0, 1})) << "threads=" << threads;
+  }
+}
+
+TEST(RunnerStreaming, VectorApiStillCapturesErrorsPerSlot) {
+  std::vector<Scenario> batch;
+  batch.push_back(cheap_scenario("cap/ok", 1));
+  Scenario bad = cheap_scenario("cap/bad", 1);
+  bad.widths.clear();
+  batch.push_back(bad);
+
+  const std::vector<ScenarioResult> results =
+      Runner{}.run_batch(std::span<const Scenario>{batch});
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_FALSE(results[1].ok());
+  EXPECT_EQ(results[1].scenario, "cap/bad");
+}
+
+}  // namespace
+}  // namespace arsf::scenario

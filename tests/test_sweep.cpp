@@ -1,0 +1,347 @@
+// Unit tests for the sweep subsystem: SweepSpec expansion (mixed-radix
+// order, axis naming), the estimated_worlds cost model, chunked run_sweep
+// streaming (bounded memory, input-order, thread-count invariance at grid
+// scale), and registry overlays.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "scenario/registry.h"
+#include "scenario/runner.h"
+#include "scenario/sink.h"
+#include "scenario/sweep.h"
+#include "sim/enumerate.h"
+
+namespace arsf::scenario {
+namespace {
+
+Scenario cheap_base() {
+  Scenario base;
+  base.name = "base";
+  base.widths = {1, 2, 3};
+  base.fa = 0;
+  base.policy = PolicyKind::kNone;
+  return base;
+}
+
+/// Records indices/names and forwards nothing (order assertions).
+class RecordingSink final : public ResultSink {
+ public:
+  void on_result(std::size_t index, const ScenarioResult& result) override {
+    indices.push_back(index);
+    names.push_back(result.scenario);
+    if (!result.ok()) ++failures;
+  }
+  void on_finish(std::size_t total) override {
+    ++finishes;
+    finished_total = total;
+  }
+
+  std::vector<std::size_t> indices;
+  std::vector<std::string> names;
+  std::size_t failures = 0;
+  int finishes = 0;
+  std::size_t finished_total = 0;
+};
+
+TEST(SweepSpec, NoActiveAxesExpandsToExactlyTheBase) {
+  SweepSpec spec;
+  spec.name = "one";
+  spec.base = cheap_base();
+  EXPECT_EQ(spec.size(), 1u);
+  const std::vector<Scenario> expanded = spec.expand();
+  ASSERT_EQ(expanded.size(), 1u);
+  EXPECT_EQ(expanded[0].name, "one");
+  EXPECT_EQ(expanded[0].widths, spec.base.widths);
+}
+
+TEST(SweepSpec, ExpansionOrderNestsLeftmostAxisSlowest) {
+  SweepSpec spec;
+  spec.name = "grid";
+  spec.base = cheap_base();
+  spec.widths_sets = {{1, 2, 3}, {2, 4, 6}};
+  spec.steps = {1.0, 0.5};
+  spec.schedules = {sched::ScheduleKind::kAscending, sched::ScheduleKind::kDescending};
+  ASSERT_EQ(spec.size(), 8u);
+
+  const std::vector<Scenario> expanded = spec.expand();
+  // Leftmost segment (widths) slowest, rightmost (schedule) fastest.
+  EXPECT_EQ(expanded[0].name, "grid/w=1-2-3/step=1/sched=ascending");
+  EXPECT_EQ(expanded[1].name, "grid/w=1-2-3/step=1/sched=descending");
+  EXPECT_EQ(expanded[2].name, "grid/w=1-2-3/step=0.5/sched=ascending");
+  EXPECT_EQ(expanded[4].name, "grid/w=2-4-6/step=1/sched=ascending");
+  EXPECT_EQ(expanded[7].name, "grid/w=2-4-6/step=0.5/sched=descending");
+  EXPECT_EQ(expanded[7].widths, (std::vector<double>{2, 4, 6}));
+  EXPECT_EQ(expanded[7].step, 0.5);
+  EXPECT_EQ(expanded[7].schedule, sched::ScheduleKind::kDescending);
+
+  // Every grid point validated on materialisation.
+  for (const Scenario& scenario : expanded) EXPECT_NO_THROW(scenario.validate());
+}
+
+TEST(SweepSpec, SeedAxisStridesFromTheBaseSeed) {
+  SweepSpec spec;
+  spec.name = "seeds";
+  spec.base = cheap_base();
+  spec.base.seed = 100;
+  spec.seed_count = 3;
+  spec.seed_stride = 7;
+  const std::vector<Scenario> expanded = spec.expand();
+  ASSERT_EQ(expanded.size(), 3u);
+  EXPECT_EQ(expanded[0].name, "seeds/seed=0");
+  EXPECT_EQ(expanded[0].seed, 100u);
+  EXPECT_EQ(expanded[1].seed, 107u);
+  EXPECT_EQ(expanded[2].seed, 114u);
+}
+
+TEST(SweepSpec, AtRejectsOutOfRangeAndInvalidPoints) {
+  SweepSpec spec;
+  spec.name = "bad";
+  spec.base = cheap_base();
+  EXPECT_THROW((void)spec.at(1), std::invalid_argument);
+
+  // fa = 4 exceeds n on a 3-sensor base: the grid point itself is invalid.
+  spec.fa_values = {4};
+  try {
+    (void)spec.at(0);
+    FAIL() << "expected an invalid grid point to throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string{e.what()}.find("grid point 0"), std::string::npos) << e.what();
+  }
+}
+
+TEST(SweepSpec, ValidateRejectsStructuralErrors) {
+  {
+    SweepSpec spec;
+    spec.base = cheap_base();
+    EXPECT_THROW(spec.validate(), std::invalid_argument);  // empty name
+  }
+  {
+    SweepSpec spec;
+    spec.name = "s";
+    spec.base = cheap_base();
+    spec.widths_sets = {{}};
+    EXPECT_THROW(spec.validate(), std::invalid_argument);
+  }
+  {
+    SweepSpec spec;
+    spec.name = "s";
+    spec.base = cheap_base();
+    spec.steps = {0.0};
+    EXPECT_THROW(spec.validate(), std::invalid_argument);
+  }
+  {
+    SweepSpec spec;
+    spec.name = "s";
+    spec.base = cheap_base();
+    spec.seed_count = 2;
+    spec.seed_stride = 0;
+    EXPECT_THROW(spec.validate(), std::invalid_argument);
+  }
+}
+
+TEST(SweepSpec, JsonRoundTripPreservesEveryField) {
+  SweepSpec spec;
+  spec.name = "rt/sweep";
+  spec.description = "round trip";
+  spec.base = cheap_base();
+  spec.base.seed = 0xffffffffffffffffULL;  // must survive exactly
+  spec.widths_sets = {{0.5, 3.25, 96}, {1, 2, 3}};
+  spec.fa_values = {0, 1};
+  spec.steps = {0.25, 1};
+  spec.schedules = {sched::ScheduleKind::kTrustedLast, sched::ScheduleKind::kFixed};
+  spec.policies = {PolicyKind::kNone, PolicyKind::kOracle};
+  spec.seed_count = 9;
+  spec.seed_stride = 0xdeadbeefcafef00dULL;
+
+  const SweepSpec restored = SweepSpec::from_json(spec.to_json());
+  EXPECT_EQ(restored, spec);
+}
+
+TEST(SweepSpec, JsonRejectsUnknownKeysAndMalformedInput) {
+  SweepSpec spec;
+  spec.name = "r";
+  spec.base = cheap_base();
+  const std::string valid = spec.to_json();
+  EXPECT_NO_THROW((void)SweepSpec::from_json(valid));
+  EXPECT_THROW((void)SweepSpec::from_json(valid + " x"), std::invalid_argument);
+
+  std::string with_unknown = valid;
+  with_unknown.insert(1, "\"no_such_axis\":[],");
+  EXPECT_THROW((void)SweepSpec::from_json(with_unknown), std::invalid_argument);
+
+  EXPECT_THROW((void)SweepSpec::from_json("{}"), std::invalid_argument);
+}
+
+TEST(SweepCost, EstimatedWorldsMatchesTheCodecCount) {
+  Scenario s = cheap_base();
+  s.widths = {5, 11, 17};
+  EXPECT_EQ(estimated_worlds(s), sim::world_count(s.system(), Quantizer{s.step}));
+  EXPECT_EQ(estimated_worlds(s), 6u * 12u * 18u);
+
+  s.step = 0.5;
+  EXPECT_EQ(estimated_worlds(s), 11u * 23u * 35u);
+
+  Scenario mc = cheap_base();
+  mc.analysis = AnalysisKind::kMonteCarlo;
+  mc.schedule = sched::ScheduleKind::kRandom;
+  mc.rounds = 1234;
+  EXPECT_EQ(estimated_worlds(mc), 1234u);
+
+  Scenario wc = cheap_base();
+  wc.analysis = AnalysisKind::kWorstCase;
+  wc.fa = 1;
+  wc.over_all_sets = true;
+  // Over all fa-subsets: the per-set search runs C(3, 1) times.
+  EXPECT_EQ(estimated_worlds(wc), sim::world_count(wc.system(), Quantizer{1.0}) * 3u);
+}
+
+TEST(RunSweep, ChunksStreamInGridOrderWithOneFinish) {
+  SweepSpec spec;
+  spec.name = "chunked";
+  spec.base = cheap_base();
+  spec.seed_count = 20;  // 20 cheap identical-cost points
+
+  RecordingSink sink;
+  SweepRunOptions options;
+  options.chunk_scenarios = 7;  // 7 + 7 + 6
+  const Runner runner{{.num_threads = 1}};
+  EXPECT_EQ(run_sweep(spec, runner, sink, options), 20u);
+
+  ASSERT_EQ(sink.indices.size(), 20u);
+  for (std::size_t i = 0; i < 20; ++i) EXPECT_EQ(sink.indices[i], i);
+  EXPECT_EQ(sink.failures, 0u);
+  EXPECT_EQ(sink.finishes, 1) << "run_sweep must finish once, not per chunk";
+  EXPECT_EQ(sink.finished_total, 20u);
+  EXPECT_EQ(sink.names.front(), "chunked/seed=0");
+  EXPECT_EQ(sink.names.back(), "chunked/seed=19");
+}
+
+TEST(RunSweep, CostBoundClosesChunksEarly) {
+  SweepSpec spec;
+  spec.name = "costly";
+  spec.base = cheap_base();
+  spec.widths_sets = {{1, 2, 3}, {4, 8, 12}, {1, 2, 3}, {4, 8, 12}};
+
+  // Chunk budget below one big point's cost: every chunk closes after at
+  // most one big point, yet all points still run exactly once, in order.
+  RecordingSink sink;
+  SweepRunOptions options;
+  options.chunk_scenarios = 4;
+  options.chunk_cost = estimated_worlds(spec.at(1)) - 1;
+  EXPECT_EQ(run_sweep(spec, Runner{{.num_threads = 1}}, sink, options), 4u);
+  ASSERT_EQ(sink.indices.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(sink.indices[i], i);
+}
+
+// The acceptance-criteria workload: one SweepSpec expanding to >= 1000 grid
+// points, streamed through a CsvStreamSink in bounded chunks, bit-identical
+// across RunnerOptions::num_threads in {1, 0}.
+TEST(RunSweep, ThousandPointSweepIsChunkedAndThreadCountInvariant) {
+  SweepSpec spec;
+  spec.name = "kilo";
+  spec.base = cheap_base();
+  spec.widths_sets = {{1, 2, 3}, {2, 3, 4}};
+  spec.steps = {1.0, 0.5};
+  spec.schedules = {sched::ScheduleKind::kAscending, sched::ScheduleKind::kDescending};
+  spec.seed_count = 125;
+  ASSERT_EQ(spec.size(), 1000u);
+
+  SweepRunOptions options;
+  options.chunk_scenarios = 128;  // memory stays bounded at chunk scale
+
+  std::string baseline;
+  for (const unsigned threads : {1u, 0u}) {
+    std::ostringstream out;
+    CsvStreamSink csv{out};
+    const Runner runner{{.num_threads = threads}};
+    EXPECT_EQ(run_sweep(spec, runner, csv, options), 1000u);
+    EXPECT_EQ(csv.results(), 1000u);
+    // 7 enumerate metrics per point, no error rows.
+    EXPECT_EQ(csv.entries(), 7000u);
+    if (baseline.empty()) {
+      baseline = out.str();
+    } else {
+      EXPECT_EQ(out.str(), baseline)
+          << "threads=" << threads << ": streamed CSV must be bit-identical";
+    }
+  }
+}
+
+TEST(RegistrySweeps, BuiltInSweepsAreRegisteredAndValid) {
+  const auto& reg = registry();
+  ASSERT_GE(reg.sweeps().size(), 2u);
+  const SweepSpec& grid = reg.sweep_at("sweep/table1-grid");
+  EXPECT_GE(grid.size(), 90u);
+  EXPECT_NO_THROW(grid.validate());
+  // Spot-check a grid point materialises and validates.
+  EXPECT_NO_THROW((void)grid.at(grid.size() - 1));
+  EXPECT_THROW((void)reg.sweep_at("sweep/no-such"), std::out_of_range);
+  EXPECT_EQ(reg.find_sweep("sweep/no-such"), nullptr);
+}
+
+TEST(RegistryOverlay, MergesScenarioAndSweepLines) {
+  ScenarioRegistry reg = registry();  // overlays merge into a copy
+  const std::size_t scenarios_before = reg.size();
+  const std::size_t sweeps_before = reg.sweeps().size();
+
+  Scenario scenario = cheap_base();
+  scenario.name = "overlay/point";
+  SweepSpec spec;
+  spec.name = "overlay/sweep";
+  spec.base = cheap_base();
+  spec.seed_count = 4;
+
+  const std::string jsonl = "# comment line\n\n" + scenario.to_json() + "\n" + spec.to_json() +
+                            "\n";
+  reg.merge(jsonl);
+  EXPECT_EQ(reg.size(), scenarios_before + 1);
+  EXPECT_EQ(reg.sweeps().size(), sweeps_before + 1);
+  EXPECT_NE(reg.find("overlay/point"), nullptr);
+  EXPECT_NE(reg.find_sweep("overlay/sweep"), nullptr);
+
+  // Re-merging the same names is a duplicate, reported with its line number.
+  try {
+    reg.merge(scenario.to_json() + "\n");
+    FAIL() << "duplicate overlay name must throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string{e.what()}.find("overlay line 1"), std::string::npos) << e.what();
+  }
+}
+
+TEST(RegistryOverlay, RejectsTrailingGarbageWithLineNumber) {
+  ScenarioRegistry reg = registry();
+  Scenario scenario = cheap_base();
+  scenario.name = "overlay/garbled";
+  try {
+    reg.merge("\n" + scenario.to_json() + " trailing-garbage\n");
+    FAIL() << "trailing garbage must throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("overlay line 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("trailing"), std::string::npos) << what;
+  }
+  EXPECT_EQ(reg.find("overlay/garbled"), nullptr) << "a failed line must not register";
+}
+
+TEST(RegistryOverlay, LoadOverlayReadsAFile) {
+  const std::string path = testing::TempDir() + "arsf_overlay_test.jsonl";
+  Scenario scenario = cheap_base();
+  scenario.name = "overlay/from-file";
+  {
+    std::ofstream file{path};
+    ASSERT_TRUE(file.is_open());
+    file << "# overlay written by test_sweep\n" << scenario.to_json() << "\n";
+  }
+  ScenarioRegistry reg = registry();
+  reg.load_overlay(path);
+  ASSERT_NE(reg.find("overlay/from-file"), nullptr);
+  EXPECT_EQ(*reg.find("overlay/from-file"), scenario);
+
+  EXPECT_THROW(reg.load_overlay(path + ".does-not-exist"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace arsf::scenario

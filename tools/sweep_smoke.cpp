@@ -1,0 +1,105 @@
+// sweep_smoke — expands the registry-backed "sweep/table1-grid" SweepSpec
+// (~100 grid points) and streams it twice through run_sweep with a
+// CsvStreamSink: once on a serial Runner, once with the default thread
+// fan-out.  Registered with ctest under the "sweep_smoke" label; exits
+// non-zero unless
+//
+//   * both runs produce the expected number of results (one per grid point),
+//   * results arrive in input (grid) order with strictly increasing indices,
+//   * every grid point succeeds, and
+//   * the two CSV byte streams are identical — the streaming pipeline's
+//     thread-count invariance seen end-to-end.
+//
+//   ./sweep_smoke [--chunk N] [--verbose]
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "scenario/registry.h"
+#include "scenario/runner.h"
+#include "scenario/sink.h"
+#include "scenario/sweep.h"
+#include "support/cli.h"
+
+namespace {
+
+// CSV stream + order/failure bookkeeping in one pass.
+class CheckingSink final : public arsf::scenario::ResultSink {
+ public:
+  explicit CheckingSink(std::ostream& csv) : csv_(csv) {}
+
+  void on_result(std::size_t index, const arsf::scenario::ScenarioResult& result) override {
+    if (index != next_) order_ok_ = false;
+    ++next_;
+    if (!result.ok()) {
+      ++failures_;
+      std::fprintf(stderr, "FAIL %s (%s): %s\n", result.scenario.c_str(),
+                   result.analysis.c_str(), result.error.c_str());
+    }
+    csv_.on_result(index, result);
+  }
+  void on_finish(std::size_t total) override {
+    finished_total_ = total;
+    csv_.on_finish(total);
+  }
+
+  [[nodiscard]] bool order_ok() const noexcept { return order_ok_; }
+  [[nodiscard]] std::size_t results() const noexcept { return next_; }
+  [[nodiscard]] std::size_t failures() const noexcept { return failures_; }
+  [[nodiscard]] std::size_t finished_total() const noexcept { return finished_total_; }
+
+ private:
+  arsf::scenario::CsvStreamSink csv_;
+  std::size_t next_ = 0;
+  std::size_t failures_ = 0;
+  std::size_t finished_total_ = 0;
+  bool order_ok_ = true;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const arsf::support::ArgParser args{argc, argv};
+  const auto chunk = static_cast<std::size_t>(args.get_int("chunk", 32));
+  const bool verbose = args.has("verbose");
+
+  const arsf::scenario::SweepSpec& spec =
+      arsf::scenario::registry().sweep_at("sweep/table1-grid");
+  const auto expected = static_cast<std::size_t>(spec.size());
+  std::printf("sweep_smoke: %s, %zu grid points, chunk %zu\n", spec.name.c_str(), expected,
+              chunk);
+
+  arsf::scenario::SweepRunOptions options;
+  options.chunk_scenarios = chunk;
+
+  int exit_code = 0;
+  std::string baseline;
+  for (const unsigned threads : {1u, 0u}) {
+    std::ostringstream csv;
+    CheckingSink sink{csv};
+    const arsf::scenario::Runner runner{{.num_threads = threads}};
+    const std::size_t total = arsf::scenario::run_sweep(spec, runner, sink, options);
+
+    const bool counts_ok = total == expected && sink.results() == expected &&
+                           sink.finished_total() == expected;
+    if (!counts_ok || !sink.order_ok() || sink.failures() != 0) {
+      std::fprintf(stderr,
+                   "threads=%u: %zu/%zu results, order %s, %zu failed, on_finish(%zu)\n",
+                   threads, sink.results(), expected, sink.order_ok() ? "ok" : "BROKEN",
+                   sink.failures(), sink.finished_total());
+      exit_code = 1;
+    }
+    if (baseline.empty()) {
+      baseline = csv.str();
+    } else if (csv.str() != baseline) {
+      std::fprintf(stderr, "threads=%u: CSV stream differs from the serial baseline\n",
+                   threads);
+      exit_code = 1;
+    }
+    if (verbose) std::printf("threads=%u: %zu CSV bytes\n", threads, csv.str().size());
+  }
+
+  std::printf("sweep_smoke: %s\n", exit_code == 0 ? "ok" : "FAILED");
+  return exit_code;
+}
