@@ -8,7 +8,10 @@
 //
 // The width families come from the scenario registry ("fig4/" — each entry
 // is the Theorem-4 smallest-widths worst-case search); the Thm-3 variants
-// are clones with the rule flipped, all run as one Runner batch.
+// are clones with the rule flipped, all run as one Runner batch on the
+// run-batched worstcase-fast lane (bit-identical to the worstcase oracle —
+// tests/test_worstcase_fast.cpp and the worstcase_parity_smoke ctest pin
+// the equivalence, so the bench only trades wall-clock).
 
 #include <cstdio>
 
@@ -44,6 +47,9 @@ int main() {
     global.name += "/over-sets";
     global.over_all_sets = true;
     variants.push_back(global);
+  }
+  for (auto& variant : variants) {
+    variant.analysis = arsf::scenario::AnalysisKind::kWorstCaseFast;
   }
   const auto results = runner.run_batch(std::span<const arsf::scenario::Scenario>{variants});
   for (const auto& result : results) {
@@ -89,7 +95,8 @@ int main() {
   illustration.widths = {2, 3, 5};
   illustration.f = 1;
   illustration.attacked = {0};
-  const auto result = arsf::sim::worst_case_fusion(illustration);
+  // Same argmax as the oracle by the fast lane's lowest-world-index tie rule.
+  const auto result = arsf::sim::worst_case_fusion_fast(illustration);
   arsf::support::IntervalDiagram diagram{56};
   for (std::size_t i = 0; i < result.argmax.size(); ++i) {
     diagram.add("s" + std::to_string(i) + (i == 0 ? " [attacked]" : ""),

@@ -1,0 +1,131 @@
+// Worst-case fast-lane speedup bench: the exhaustive oracle
+// (worst_case_fusion / worst_case_over_sets) vs the run-batched lane
+// (sim/engine/attacked_lane.h) on the registered worst-case workloads,
+// single-threaded so the number is the lane's algorithmic win, not fan-out.
+//
+// Workloads:
+//   * stress/worstcase-over-sets — the over-all-subsets stress scenario
+//     (widths {2,2,3,4,5}, fa=2, every C(5,2) subset searched);
+//   * every fig4/ family (fixed smallest-widths attacked set);
+//   * the fig4 families on a step-0.25 grid (radices x4: the regime where
+//     digit runs amortise best, mirroring the clean lane's scaling).
+//
+// Both paths are also cross-checked per workload; a mismatch fails the
+// bench.  ./worstcase_fast_speedup [--repeat N]
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "scenario/analysis.h"
+#include "scenario/registry.h"
+#include "sim/worstcase.h"
+#include "support/ascii.h"
+#include "support/cli.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+template <typename Fn>
+double time_best_of(int repeat, const Fn& fn) {
+  double best = 1e300;
+  for (int i = 0; i < repeat; ++i) {
+    const auto start = Clock::now();
+    fn();
+    best = std::min(best, std::chrono::duration<double>(Clock::now() - start).count());
+  }
+  return best;
+}
+
+std::string ms_text(double seconds) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.2f", seconds * 1e3);
+  return buffer;
+}
+
+std::string ratio_text(double ratio) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.1fx", ratio);
+  return buffer;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const arsf::support::ArgParser args{argc, argv};
+  const auto repeat = static_cast<int>(args.get_int("repeat", 5));
+
+  std::printf("Worst-case fast lane vs oracle (single-threaded, best of %d)\n\n", repeat);
+  arsf::support::TextTable table{
+      {"workload", "configurations", "oracle ms", "fast ms", "speedup", "parity"}};
+  bool all_match = true;
+  bool stress_ok = false;
+
+  struct FixedSetCase {
+    std::string label;
+    arsf::sim::WorstCaseConfig config;
+  };
+  std::vector<FixedSetCase> cases;
+
+  const auto& registry = arsf::scenario::registry();
+  for (const auto* scenario : registry.match("fig4/")) {
+    for (const double step : {1.0, 0.25}) {
+      const arsf::SystemConfig system = scenario->system();
+      FixedSetCase entry;
+      entry.label = scenario->name + (step == 1.0 ? "" : "/step=0.25");
+      entry.config.widths = arsf::tick_widths(system, arsf::Quantizer{step});
+      entry.config.f = system.f;
+      entry.config.attacked = arsf::scenario::resolve_attacked(
+          *scenario, system, arsf::sched::ascending_order(system));
+      entry.config.num_threads = 1;
+      cases.push_back(std::move(entry));
+    }
+  }
+
+  for (const FixedSetCase& entry : cases) {
+    arsf::sim::WorstCaseResult oracle;
+    arsf::sim::WorstCaseResult fast;
+    const double oracle_s =
+        time_best_of(repeat, [&] { oracle = arsf::sim::worst_case_fusion(entry.config); });
+    const double fast_s =
+        time_best_of(repeat, [&] { fast = arsf::sim::worst_case_fusion_fast(entry.config); });
+    const bool match = oracle.max_width == fast.max_width && oracle.argmax == fast.argmax &&
+                       oracle.configurations == fast.configurations;
+    all_match &= match;
+    table.add_row({entry.label, std::to_string(oracle.configurations), ms_text(oracle_s),
+                   ms_text(fast_s), ratio_text(oracle_s / fast_s), match ? "OK" : "MISMATCH"});
+  }
+
+  {
+    // The over-all-sets stress workload — the ROADMAP acceptance target
+    // (>= 3x single-threaded) is measured here.
+    const auto& scenario = registry.at("stress/worstcase-over-sets");
+    const arsf::SystemConfig system = scenario.system();
+    const std::vector<arsf::Tick> widths =
+        arsf::tick_widths(system, arsf::Quantizer{scenario.step});
+    arsf::Tick oracle = 0;
+    arsf::Tick fast = 0;
+    std::vector<arsf::SensorId> oracle_set;
+    std::vector<arsf::SensorId> fast_set;
+    const double oracle_s = time_best_of(repeat, [&] {
+      oracle = arsf::sim::worst_case_over_sets(widths, system.f, scenario.fa, &oracle_set, 1);
+    });
+    const double fast_s = time_best_of(repeat, [&] {
+      fast = arsf::sim::worst_case_over_sets_fast(widths, system.f, scenario.fa, &fast_set, 1);
+    });
+    const bool match = oracle == fast && oracle_set == fast_set;
+    all_match &= match;
+    const double speedup = oracle_s / fast_s;
+    stress_ok = speedup >= 3.0;
+    table.add_row({scenario.name, "10 subsets", ms_text(oracle_s), ms_text(fast_s),
+                   ratio_text(speedup), match ? "OK" : "MISMATCH"});
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("parity on every workload: %s\n", all_match ? "PASS" : "FAIL");
+  std::printf("over-all-sets stress workload speedup >= 3x: %s\n",
+              stress_ok ? "PASS" : "FAIL");
+  return all_match && stress_ok ? 0 : 1;
+}

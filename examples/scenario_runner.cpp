@@ -9,12 +9,15 @@
 //   ./scenario_runner --prefix fig4/ [--threads 4] [--csv report.csv]
 //   ./scenario_runner --all --smoke
 //   ./scenario_runner --sweep sweep/table1-grid [--chunk 256] [--progress]
+//   ./scenario_runner --sweep-json my_sweep.json
 //   ./scenario_runner --overlay workloads.jsonl --run my/scenario --jsonl
 //   ./scenario_runner --json stress/fine-grid
 //
 // --overlay FILE merges one Scenario or SweepSpec JSON per line (the file
 // format of ScenarioRegistry::merge) before names are resolved, so new
-// workloads run without a rebuild.  --jsonl streams one JSON object per
+// workloads run without a rebuild.  --sweep-json FILE executes one
+// unregistered SweepSpec JSON object straight from a file (the text --json
+// prints), skipping the overlay/registry round-trip entirely.  --jsonl streams one JSON object per
 // result to stdout as scenarios finish; --csv streams the unified CSV report
 // the same way; --progress adds a per-result progress line on stderr.
 // --smoke substitutes each scenario's coarse smoke variant (capped rounds,
@@ -67,6 +70,7 @@ int main(int argc, char** argv) {
   const std::string run_name = args.get_string("run", "");
   const std::string prefix = args.get_string("prefix", "");
   const std::string sweep_name = args.get_string("sweep", "");
+  const std::string sweep_json_path = args.get_string("sweep-json", "");
   const std::string overlay_path = args.get_string("overlay", "");
   const std::string json_name = args.get_string("json", "");
   const std::string csv_path = args.get_string("csv", "");
@@ -97,10 +101,15 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!sweep_name.empty() && !sweep_json_path.empty()) {
+    std::fprintf(stderr, "--sweep and --sweep-json are mutually exclusive\n");
+    return 2;
+  }
   if (json_name.empty() && !list && !all && run_name.empty() && prefix.empty() &&
-      sweep_name.empty()) {
+      sweep_name.empty() && sweep_json_path.empty()) {
     std::printf("usage: scenario_runner --list | --json NAME |\n");
-    std::printf("       (--run NAME | --prefix FAMILY/ | --all | --sweep NAME)\n");
+    std::printf("       (--run NAME | --prefix FAMILY/ | --all | --sweep NAME |\n");
+    std::printf("        --sweep-json FILE)\n");
     std::printf("       [--overlay FILE] [--smoke] [--threads N] [--chunk N]\n");
     std::printf("       [--csv report.csv] [--jsonl] [--progress]\n");
     std::printf("registry: %zu scenarios, %zu sweeps\n", registry.size(),
@@ -152,15 +161,26 @@ int main(int argc, char** argv) {
   if (jsonl) tee.attach(jsonl_sink.emplace(std::cout));
   FailureCountingSink counting{tee};
 
-  if (!sweep_name.empty()) {
-    const arsf::scenario::SweepSpec* found = registry.find_sweep(sweep_name);
-    if (found == nullptr) {
-      std::fprintf(stderr, "no sweep '%s' (see --list)\n", sweep_name.c_str());
-      return 1;
+  if (!sweep_name.empty() || !sweep_json_path.empty()) {
+    const std::string sweep_label = sweep_name.empty() ? sweep_json_path : sweep_name;
+    arsf::scenario::SweepSpec coarse;
+    if (!sweep_json_path.empty()) {
+      try {
+        coarse = arsf::scenario::load_sweep_spec(sweep_json_path);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "--sweep-json: %s\n", e.what());
+        return 2;
+      }
+    } else {
+      const arsf::scenario::SweepSpec* found = registry.find_sweep(sweep_name);
+      if (found == nullptr) {
+        std::fprintf(stderr, "no sweep '%s' (see --list)\n", sweep_name.c_str());
+        return 1;
+      }
+      coarse = *found;
     }
     // --smoke smokes the template: every grid point inherits the capped
     // rounds / cost-bounded attacker from the base.
-    arsf::scenario::SweepSpec coarse = *found;
     if (smoke) coarse.base = arsf::scenario::smoke_variant(coarse.base);
     const arsf::scenario::SweepSpec* spec = &coarse;
     arsf::scenario::SweepRunOptions options;
@@ -175,7 +195,7 @@ int main(int argc, char** argv) {
         total = arsf::scenario::run_sweep(*spec, runner, counting, options);
       }
     } catch (const std::exception& e) {
-      std::fprintf(stderr, "--sweep %s: %s\n", sweep_name.c_str(), e.what());
+      std::fprintf(stderr, "--sweep %s: %s\n", sweep_label.c_str(), e.what());
       return 2;
     }
     if (collect_table) {
@@ -186,7 +206,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unified report: %s (%zu entries)\n", csv_path.c_str(),
                    csv->entries());
     }
-    std::fprintf(stderr, "sweep %s: %zu grid points, %d failed\n", sweep_name.c_str(), total,
+    std::fprintf(stderr, "sweep %s: %zu grid points, %d failed\n", sweep_label.c_str(), total,
                  counting.failures());
     return counting.failures() == 0 ? 0 : 1;
   }

@@ -123,10 +123,11 @@ class MonteCarloAnalysis final : public Analysis {
   }
 };
 
-class WorstCaseAnalysis final : public Analysis {
+/// Shared body of the oracle and fast-lane worst-case adapters: same
+/// scenario translation, same metric layout, so the differential parity
+/// suite compares the two engines and nothing else.
+class WorstCaseAnalysisBase : public Analysis {
  public:
-  [[nodiscard]] std::string name() const override { return "worstcase"; }
-
   [[nodiscard]] ScenarioResult run(const Scenario& scenario) const override {
     const SystemConfig system = scenario.system();
     const std::vector<Tick> widths = tick_widths(system, Quantizer{scenario.step});
@@ -134,9 +135,8 @@ class WorstCaseAnalysis final : public Analysis {
 
     if (scenario.over_all_sets) {
       std::vector<SensorId> best_set;
-      const Tick best =
-          sim::worst_case_over_sets(widths, system.f, scenario.fa, &best_set,
-                                    scenario.num_threads, scenario.require_undetected);
+      const Tick best = over_sets(widths, system.f, scenario.fa, &best_set,
+                                  scenario.num_threads, scenario.require_undetected);
       out.metrics = {
           {"max_width_ticks", static_cast<double>(best)},
           {"max_width", static_cast<double>(best) * scenario.step},
@@ -153,13 +153,50 @@ class WorstCaseAnalysis final : public Analysis {
     config.attacked = resolve_attacked(scenario, system, sched::ascending_order(system));
     config.require_undetected = scenario.require_undetected;
     config.num_threads = scenario.num_threads;
-    const sim::WorstCaseResult result = sim::worst_case_fusion(config);
+    const sim::WorstCaseResult result = fusion(config);
     out.metrics = {
         {"max_width_ticks", static_cast<double>(result.max_width)},
         {"max_width", static_cast<double>(result.max_width) * scenario.step},
         {"configurations", static_cast<double>(result.configurations)},
     };
     return out;
+  }
+
+ protected:
+  [[nodiscard]] virtual sim::WorstCaseResult fusion(const sim::WorstCaseConfig& config) const = 0;
+  [[nodiscard]] virtual Tick over_sets(std::span<const Tick> widths, int f, std::size_t fa,
+                                       std::vector<SensorId>* best_set, unsigned num_threads,
+                                       bool require_undetected) const = 0;
+};
+
+class WorstCaseAnalysis final : public WorstCaseAnalysisBase {
+ public:
+  [[nodiscard]] std::string name() const override { return "worstcase"; }
+
+ protected:
+  [[nodiscard]] sim::WorstCaseResult fusion(const sim::WorstCaseConfig& config) const override {
+    return sim::worst_case_fusion(config);
+  }
+  [[nodiscard]] Tick over_sets(std::span<const Tick> widths, int f, std::size_t fa,
+                               std::vector<SensorId>* best_set, unsigned num_threads,
+                               bool require_undetected) const override {
+    return sim::worst_case_over_sets(widths, f, fa, best_set, num_threads, require_undetected);
+  }
+};
+
+class WorstCaseFastAnalysis final : public WorstCaseAnalysisBase {
+ public:
+  [[nodiscard]] std::string name() const override { return "worstcase-fast"; }
+
+ protected:
+  [[nodiscard]] sim::WorstCaseResult fusion(const sim::WorstCaseConfig& config) const override {
+    return sim::worst_case_fusion_fast(config);
+  }
+  [[nodiscard]] Tick over_sets(std::span<const Tick> widths, int f, std::size_t fa,
+                               std::vector<SensorId>* best_set, unsigned num_threads,
+                               bool require_undetected) const override {
+    return sim::worst_case_over_sets_fast(widths, f, fa, best_set, num_threads,
+                                          require_undetected);
   }
 };
 
@@ -244,12 +281,14 @@ const Analysis& analysis_for(AnalysisKind kind) {
   static const EnumerateAnalysis enumerate;
   static const MonteCarloAnalysis montecarlo;
   static const WorstCaseAnalysis worstcase;
+  static const WorstCaseFastAnalysis worstcase_fast;
   static const ResilienceAnalysis resilience;
   static const CaseStudyAnalysis casestudy;
   switch (kind) {
     case AnalysisKind::kEnumerate: return enumerate;
     case AnalysisKind::kMonteCarlo: return montecarlo;
     case AnalysisKind::kWorstCase: return worstcase;
+    case AnalysisKind::kWorstCaseFast: return worstcase_fast;
     case AnalysisKind::kResilience: return resilience;
     case AnalysisKind::kCaseStudy: return casestudy;
   }

@@ -351,6 +351,23 @@ void add_stress(ScenarioRegistry& reg) {
   }
 }
 
+void add_worstcase_fast_mirrors(ScenarioRegistry& reg) {
+  // Every worstcase scenario gets a "fast/<name>" twin on the run-batched
+  // lane: the golden parity suite (tests/test_worstcase_fast.cpp) and the
+  // worstcase_parity_smoke ctest iterate these pairs, and scenario_smoke
+  // executes the fast lane on every registered workload by construction.
+  std::vector<Scenario> mirrors;
+  for (const Scenario& scenario : reg.all()) {
+    if (scenario.analysis != AnalysisKind::kWorstCase) continue;
+    Scenario fast = scenario;
+    fast.name = "fast/" + scenario.name;
+    fast.analysis = AnalysisKind::kWorstCaseFast;
+    fast.description = "Run-batched fast-lane twin of " + scenario.name;
+    mirrors.push_back(std::move(fast));
+  }
+  for (Scenario& mirror : mirrors) reg.add(std::move(mirror));
+}
+
 void add_sweeps(ScenarioRegistry& reg) {
   {
     // The grid behind Table I read as a sweep: three width families x fa x
@@ -400,6 +417,7 @@ const ScenarioRegistry& registry() {
     add_extensions(reg);
     add_monte_carlo(reg);
     add_stress(reg);
+    add_worstcase_fast_mirrors(reg);
     add_sweeps(reg);
     return reg;
   }();

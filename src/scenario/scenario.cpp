@@ -54,6 +54,7 @@ std::string to_string(AnalysisKind kind) {
     case AnalysisKind::kEnumerate: return "enumerate";
     case AnalysisKind::kMonteCarlo: return "montecarlo";
     case AnalysisKind::kWorstCase: return "worstcase";
+    case AnalysisKind::kWorstCaseFast: return "worstcase-fast";
     case AnalysisKind::kResilience: return "resilience";
     case AnalysisKind::kCaseStudy: return "casestudy";
   }
@@ -152,6 +153,7 @@ void Scenario::validate() const {
       }
       break;
     case AnalysisKind::kWorstCase:
+    case AnalysisKind::kWorstCaseFast:
       if (over_all_sets && count > 63) fail(name, "over_all_sets supports at most 63 sensors");
       break;
   }
@@ -234,8 +236,8 @@ Scenario scenario_from_value(const JsonValue& root) {
   scenario.description = get_string(root, "description");
   scenario.analysis = parse_enum(get_string(root, "analysis"),
                                  {AnalysisKind::kEnumerate, AnalysisKind::kMonteCarlo,
-                                  AnalysisKind::kWorstCase, AnalysisKind::kResilience,
-                                  AnalysisKind::kCaseStudy},
+                                  AnalysisKind::kWorstCase, AnalysisKind::kWorstCaseFast,
+                                  AnalysisKind::kResilience, AnalysisKind::kCaseStudy},
                                  "analysis");
   scenario.widths = get_double_list(root, "widths");
   scenario.f = get_int(root, "f");

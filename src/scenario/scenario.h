@@ -25,11 +25,12 @@ namespace arsf::scenario {
 
 /// Which analysis a Runner dispatches the scenario to.
 enum class AnalysisKind {
-  kEnumerate,   ///< exact E|S| by exhaustive world enumeration (sim/enumerate.h)
-  kMonteCarlo,  ///< sampled E|S| (sim/montecarlo.h)
-  kWorstCase,   ///< exhaustive worst-case search (sim/worstcase.h)
-  kResilience,  ///< faults + attacks Monte Carlo (sim/resilience.h)
-  kCaseStudy,   ///< LandShark platoon Table II runner (vehicle/casestudy.h)
+  kEnumerate,      ///< exact E|S| by exhaustive world enumeration (sim/enumerate.h)
+  kMonteCarlo,     ///< sampled E|S| (sim/montecarlo.h)
+  kWorstCase,      ///< exhaustive worst-case search (sim/worstcase.h) — the golden oracle
+  kWorstCaseFast,  ///< run-batched worst-case fast lane; bit-identical to kWorstCase
+  kResilience,     ///< faults + attacks Monte Carlo (sim/resilience.h)
+  kCaseStudy,      ///< LandShark platoon Table II runner (vehicle/casestudy.h)
 };
 
 [[nodiscard]] std::string to_string(AnalysisKind kind);

@@ -1,9 +1,11 @@
 #include "scenario/sweep.h"
 
 #include <algorithm>
+#include <fstream>
 #include <limits>
 #include <numeric>
 #include <optional>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 
@@ -278,6 +280,20 @@ SweepSpec SweepSpec::from_json(const std::string& text) {
   return sweep_from_value(json::parse(text, "SweepSpec"));
 }
 
+SweepSpec load_sweep_spec(const std::string& path) {
+  std::ifstream file{path};
+  if (!file) throw std::runtime_error("load_sweep_spec: cannot open " + path);
+  std::ostringstream text;
+  text << file.rdbuf();
+  try {
+    SweepSpec spec = SweepSpec::from_json(text.str());
+    spec.validate();
+    return spec;
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument(path + ": " + e.what());
+  }
+}
+
 bool operator==(const SweepSpec& a, const SweepSpec& b) {
   return a.name == b.name && a.description == b.description && a.base == b.base &&
          a.widths_sets == b.widths_sets && a.fa_values == b.fa_values && a.steps == b.steps &&
@@ -288,14 +304,15 @@ bool operator==(const SweepSpec& a, const SweepSpec& b) {
 std::uint64_t estimated_worlds(const Scenario& scenario) {
   switch (scenario.analysis) {
     case AnalysisKind::kEnumerate:
-    case AnalysisKind::kWorstCase: {
+    case AnalysisKind::kWorstCase:
+    case AnalysisKind::kWorstCaseFast: {
       std::uint64_t worlds = 0;
       try {
         worlds = sim::world_count(scenario.system(), Quantizer{scenario.step});
       } catch (const std::invalid_argument&) {
         return 1;  // off-grid widths: the run will fail fast, cost is nil
       }
-      if (scenario.analysis == AnalysisKind::kWorstCase && scenario.over_all_sets) {
+      if (scenario.analysis != AnalysisKind::kEnumerate && scenario.over_all_sets) {
         return saturating_mul(worlds, binomial(scenario.n(), scenario.fa));
       }
       return worlds;

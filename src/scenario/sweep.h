@@ -74,6 +74,15 @@ struct SweepSpec {
 
 [[nodiscard]] bool operator==(const SweepSpec& a, const SweepSpec& b);
 
+/// Reads @p path — one SweepSpec JSON object, the same text `--json NAME`
+/// prints and overlay sweep lines carry — parses it with the strict
+/// unknown/duplicate-key discipline and validates the spec.  This is the
+/// scenario_runner `--sweep-json FILE` path: execute an unregistered sweep
+/// straight from a file, no overlay/registry round-trip.  Throws
+/// std::runtime_error when the file cannot be read and std::invalid_argument
+/// (prefixed with the path) on malformed JSON or an invalid spec.
+[[nodiscard]] SweepSpec load_sweep_spec(const std::string& path);
+
 /// Cost model: how many worlds (enumerate/worst-case) or rounds (sampled
 /// analyses) the scenario will walk — the mixed-radix world count of its
 /// system on its grid, saturating at uint64 max.  run_sweep() uses it to

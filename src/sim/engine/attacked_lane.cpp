@@ -1,0 +1,258 @@
+#include "sim/engine/attacked_lane.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace arsf::sim::engine {
+
+namespace {
+
+/// Sentinel "infinity": far beyond any reachable tick, small enough that
+/// sentinel +- small offsets cannot overflow (same convention as the clean
+/// fast lane in engine.cpp).
+constexpr Tick kFar = Tick{1} << 40;
+
+constexpr Tick clamp_tick(Tick v, Tick lo, Tick hi) noexcept {
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+}  // namespace
+
+WorstCaseLane WorstCaseLane::build(std::span<const Tick> widths,
+                                   std::span<const TickInterval> lo_ranges, int f,
+                                   std::span<const SensorId> attacked_ids,
+                                   bool require_undetected) {
+  assert(widths.size() == lo_ranges.size());
+  const std::size_t n = widths.size();
+
+  // The original codec fixes the index order the oracle scan uses; its
+  // per-digit weights are what lets the permuted walk report argmax ties in
+  // that order.
+  std::vector<std::uint64_t> orig_radices;
+  orig_radices.reserve(n);
+  for (const TickInterval& range : lo_ranges) {
+    orig_radices.push_back(static_cast<std::uint64_t>(range.width()) + 1);
+  }
+  const WorldCodec orig_codec{orig_radices};
+
+  // Run slot = largest radix (ties keep the lowest slot); remaining slots
+  // follow in original order.
+  std::size_t run = 0;
+  for (std::size_t slot = 1; slot < n; ++slot) {
+    if (orig_radices[slot] > orig_radices[run]) run = slot;
+  }
+
+  WorstCaseLane lane;
+  lane.require_undetected = require_undetected;
+  lane.orig_slot.reserve(n);
+  lane.orig_slot.push_back(run);
+  for (std::size_t slot = 0; slot < n; ++slot) {
+    if (slot != run) lane.orig_slot.push_back(slot);
+  }
+
+  std::vector<Tick> perm_widths(n);
+  std::vector<TickInterval> perm_ranges(n);
+  lane.orig_weight.resize(n);
+  lane.attacked.resize(n);
+  for (std::size_t slot = 0; slot < n; ++slot) {
+    const std::size_t orig = lane.orig_slot[slot];
+    perm_widths[slot] = widths[orig];
+    perm_ranges[slot] = lo_ranges[orig];
+    lane.orig_weight[slot] = orig_codec.weight(orig);
+    lane.attacked[slot] =
+        std::binary_search(attacked_ids.begin(), attacked_ids.end(), orig) ? 1 : 0;
+  }
+  lane.domain = WorldDomain::from_ranges(perm_widths, perm_ranges, f);
+  return lane;
+}
+
+void WorstCaseBest::merge(WorstCaseBest&& other) noexcept {
+  if (other.max_width > max_width ||
+      (other.max_width == max_width && other.max_width >= 0 &&
+       other.world_index < world_index)) {
+    max_width = other.max_width;
+    world_index = other.world_index;
+    argmax = std::move(other.argmax);
+  }
+}
+
+WorstCaseBest worst_case_lane_block(const WorstCaseLane& lane, std::uint64_t begin,
+                                    std::uint64_t end) {
+  WorstCaseBest best;
+  if (begin >= end) return best;
+
+  const WorldDomain& domain = lane.domain;
+  const std::size_t n = domain.widths.size();
+  const int t = domain.threshold;
+  const Tick w0 = domain.widths[0];
+  const Tick lo_min0 = domain.lo_min[0];
+  const std::uint64_t weight0 = lane.orig_weight[0];
+  const bool moving_attacked = lane.attacked[0] != 0;
+  const bool stealth = lane.require_undetected;
+
+  std::vector<std::uint64_t> digits(n);
+  domain.codec.decode(begin, digits);
+
+  // The non-moving intervals, maintained incrementally across runs.
+  std::vector<TickInterval> rest_intervals(n - 1);
+  for (std::size_t slot = 1; slot < n; ++slot) {
+    rest_intervals[slot - 1] = domain.interval_at(slot, digits[slot]);
+  }
+  IncrementalSweep rest;
+  rest.reset(rest_intervals);
+
+  std::vector<std::size_t> fixed_attacked;  // indices into rest
+  for (std::size_t slot = 1; slot < n; ++slot) {
+    if (lane.attacked[slot] != 0) fixed_attacked.push_back(slot - 1);
+  }
+
+  std::vector<TickInterval> segments;  // reused per run
+
+  // Candidate acceptance: greater width wins, equal width keeps the lower
+  // original index — exactly the oracle scan's first-strict-improvement rule.
+  std::uint64_t orig_base = 0;  // original-order index contribution of digits 1..n-1
+  const auto consider = [&](Tick width, Tick x) {
+    const std::uint64_t orig_index =
+        orig_base + static_cast<std::uint64_t>(x - lo_min0) * weight0;
+    if (width > best.max_width ||
+        (width == best.max_width && orig_index < best.world_index)) {
+      best.max_width = width;
+      best.world_index = orig_index;
+      best.argmax.resize(n);
+      best.argmax[lane.orig_slot[0]] = TickInterval{x, x + w0};
+      for (std::size_t slot = 1; slot < n; ++slot) {
+        best.argmax[lane.orig_slot[slot]] = rest.intervals()[slot - 1];
+      }
+    }
+  };
+
+  const std::uint64_t radix0 = domain.codec.radix(0);
+  std::uint64_t index = begin;
+  for (;;) {
+    // Coverage structure of the rest: hull of the >= t region, maximal
+    // segments of the >= t-1 region (threshold 0 covers the whole line).
+    const TickInterval hull = rest.coverage_hull(t);
+    const bool has_hull = !hull.is_empty();
+    const Tick amin = has_hull ? hull.lo : kFar;
+    const Tick amax = has_hull ? hull.hi : -kFar;
+    segments.clear();
+    if (t >= 2) {
+      rest.coverage_segments(t - 1, segments);
+    } else {
+      segments.push_back(TickInterval{-kFar, kFar});
+    }
+    const std::size_t m = segments.size();
+
+    const std::uint64_t run_len = std::min<std::uint64_t>(radix0 - digits[0], end - index);
+    const Tick x_first = lo_min0 + static_cast<Tick>(digits[0]);
+    const Tick x_last = x_first + static_cast<Tick>(run_len) - 1;
+
+    orig_base = 0;
+    for (std::size_t slot = 1; slot < n; ++slot) {
+      orig_base += digits[slot] * lane.orig_weight[slot];
+    }
+
+    // Piece scan: j = first segment with hi >= x, k = number of segments
+    // with lo <= x + w0; both only ever advance as x grows.
+    std::size_t j = 0;
+    while (j < m && segments[j].hi < x_first) ++j;
+    std::size_t k = 0;
+    while (k < m && segments[k].lo <= x_first + w0) ++k;
+
+    Tick x = x_first;
+    while (x <= x_last) {
+      Tick piece_hi = x_last;
+      if (j < m) piece_hi = std::min(piece_hi, segments[j].hi);
+      if (k < m) piece_hi = std::min(piece_hi, segments[k].lo - w0 - 1);
+
+      if (j < m && k > j) {
+        // The window [x, x+w0] overlaps R_{t-1}: fused interval =
+        // [min(amin, max(x, lj)), max(amax, min(x + w0, hk))].
+        const Tick lj = segments[j].lo;
+        const Tick hk = segments[k - 1].hi;
+        Tick lo_x = x;
+        Tick hi_x = piece_hi;
+        bool feasible = true;
+        if (stealth) {
+          for (const std::size_t ri : fixed_attacked) {
+            const TickInterval a = rest.intervals()[ri];
+            if (amax < a.lo) {  // hull alone cannot reach a.lo ...
+              if (hk < a.lo) { feasible = false; break; }
+              lo_x = std::max(lo_x, a.lo - w0);  // ... so x + w0 must
+            }
+            if (amin > a.hi) {  // hull alone cannot reach a.hi ...
+              if (lj > a.hi) { feasible = false; break; }
+              hi_x = std::min(hi_x, a.hi);  // ... so max(x, lj) <= a.hi needs x <= a.hi
+            }
+          }
+          if (feasible && moving_attacked) {
+            hi_x = std::min(hi_x, std::max(amax, hk));        // x <= fused_hi(x)
+            lo_x = std::max(lo_x, std::min(amin, lj) - w0);   // x + w0 >= fused_lo(x)
+          }
+        }
+        if (feasible && lo_x <= hi_x) {
+          // width(x) is piecewise linear on [lo_x, hi_x] with kinks only at
+          // the clamp corners; the max (and the leftmost point achieving
+          // it) lies on one of these candidates.
+          Tick candidates[6] = {lo_x,
+                                hi_x,
+                                clamp_tick(lj, lo_x, hi_x),
+                                clamp_tick(amin, lo_x, hi_x),
+                                clamp_tick(hk - w0, lo_x, hi_x),
+                                clamp_tick(amax - w0, lo_x, hi_x)};
+          std::sort(std::begin(candidates), std::end(candidates));
+          for (const Tick cand : candidates) {
+            const Tick fused_lo = std::min(amin, std::max(cand, lj));
+            const Tick fused_hi = std::max(amax, std::min(cand + w0, hk));
+            consider(fused_hi - fused_lo, cand);
+          }
+        }
+      } else if (has_hull) {
+        // No window overlap: the fused interval is the constant hull.
+        Tick lo_x = x;
+        Tick hi_x = piece_hi;
+        bool feasible = true;
+        if (stealth) {
+          for (const std::size_t ri : fixed_attacked) {
+            const TickInterval a = rest.intervals()[ri];
+            if (a.lo > amax || a.hi < amin) { feasible = false; break; }
+          }
+          if (feasible && moving_attacked) {
+            hi_x = std::min(hi_x, amax);
+            lo_x = std::max(lo_x, amin - w0);
+          }
+        }
+        if (feasible && lo_x <= hi_x) consider(amax - amin, lo_x);
+      }
+      // else: fused empty throughout the piece.
+
+      x = piece_hi + 1;
+      while (j < m && segments[j].hi < x) ++j;
+      while (k < m && segments[k].lo <= x + w0) ++k;
+    }
+
+    index += run_len;
+    if (index == end) break;
+    digits[0] = radix0 - 1;  // jump the odometer to the run's last world...
+    const std::size_t changed = domain.codec.advance(digits);  // ...and step over it
+    for (std::size_t slot = 1; slot < changed; ++slot) {
+      rest.replace(slot - 1, domain.interval_at(slot, digits[slot]));
+    }
+  }
+  return best;
+}
+
+WorstCaseBest worst_case_lane_search(const WorstCaseLane& lane, unsigned num_threads) {
+  if (num_threads == 0) num_threads = ThreadPool::default_threads();
+  const std::vector<IndexBlock> blocks =
+      partition_blocks(lane.domain.world_count(), num_threads);
+  std::vector<WorstCaseBest> per_block(blocks.size());
+  ThreadPool::shared().run(blocks.size(), [&](std::size_t i) {
+    per_block[i] = worst_case_lane_block(lane, blocks[i].begin, blocks[i].end);
+  });
+  WorstCaseBest best;
+  for (WorstCaseBest& block : per_block) best.merge(std::move(block));
+  return best;
+}
+
+}  // namespace arsf::sim::engine

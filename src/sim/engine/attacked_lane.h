@@ -1,0 +1,82 @@
+#pragma once
+// Run-batched fast lane for the worst-case (attacked) enumeration domain.
+//
+// The clean fast lane (engine.h, enumerate_clean_block) collapses every
+// digit-0 run to closed form because all intervals share a common covered
+// point.  The worst-case domain breaks that property — attacked slots may
+// sit anywhere in [-W - w, W] — but only GLOBALLY: within one digit run a
+// single interval [x, x + w] moves while the rest stay fixed, so the fused
+// interval is still a closed-form function of x.  With the rest's coverage
+// structure (one O(n) pass over the IncrementalSweep's sorted endpoints),
+//
+//   cov(p) >= t  <=>  cov_rest(p) >= t  OR  (cov_rest(p) >= t-1 AND p in M)
+//
+// for M = [x, x + w], so with H = hull of the rest's >= t region and
+// S_1..S_m the maximal segments of its >= t-1 region,
+//
+//   fused_lo(x) = min(H.lo, max(x, S_j.lo)),   j = first segment with hi >= x
+//   fused_hi(x) = max(H.hi, min(x + w, S_k.hi)), k = last segment with lo <= x+w
+//
+// — both piecewise linear in x with breakpoints only where j or k change.
+// Each run therefore collapses to O(m) pieces; within a piece the stealth
+// constraints (every attacked interval must intersect the fused interval)
+// reduce to an x-range and the width maximum lies on one of <= 6 candidate
+// points.  Results are bit-identical to the per-world oracle scan
+// (sim/worstcase.h): exact integer arithmetic, and the argmax is reported as
+// the lowest ORIGINAL world index achieving the maximum width.
+//
+// Because the run digit is free under that merge rule, build() permutes the
+// slots so the LARGEST radix — for attacked sets, typically an attacked
+// slot, whose placement range is ~3x any clean slot's — runs fastest,
+// maximising the number of worlds amortised per closed-form piece scan.
+// WorldCodec::weight() maps digits back to original-order indices so the
+// tie-break never sees the permutation.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/config.h"
+#include "core/interval.h"
+#include "sim/engine/engine.h"
+
+namespace arsf::sim::engine {
+
+/// The permuted enumeration domain plus everything the block walker needs to
+/// report results in original slot/index order.
+struct WorstCaseLane {
+  WorldDomain domain;                      ///< permuted: the run slot is digit 0
+  std::vector<std::size_t> orig_slot;      ///< permuted slot -> original slot
+  std::vector<std::uint64_t> orig_weight;  ///< permuted slot -> original codec weight
+  std::vector<char> attacked;              ///< per permuted slot (1 = attacked)
+  bool require_undetected = true;
+
+  /// @p widths / @p lo_ranges / @p f as WorldDomain::from_ranges;
+  /// @p attacked_ids must be sorted original slot ids.
+  [[nodiscard]] static WorstCaseLane build(std::span<const Tick> widths,
+                                           std::span<const TickInterval> lo_ranges, int f,
+                                           std::span<const SensorId> attacked_ids,
+                                           bool require_undetected);
+};
+
+/// Best configuration found over a set of worlds; merges deterministically
+/// (greater width wins, ties keep the lower original world index).
+struct WorstCaseBest {
+  Tick max_width = -1;              ///< -1 when every world fused empty / failed stealth
+  std::uint64_t world_index = 0;    ///< ORIGINAL-order index of argmax (valid iff max_width >= 0)
+  std::vector<TickInterval> argmax; ///< by ORIGINAL slot; empty when max_width < 0
+
+  void merge(WorstCaseBest&& other) noexcept;
+};
+
+/// Walks permuted worlds [begin, end) run-batched; exact, allocation-light.
+[[nodiscard]] WorstCaseBest worst_case_lane_block(const WorstCaseLane& lane,
+                                                  std::uint64_t begin, std::uint64_t end);
+
+/// Whole-space search: block fan-out over the shared ThreadPool
+/// (num_threads 0 = hardware threads, 1 = serial) with a deterministic
+/// merge — results are bit-identical for every thread count.
+[[nodiscard]] WorstCaseBest worst_case_lane_search(const WorstCaseLane& lane,
+                                                   unsigned num_threads);
+
+}  // namespace arsf::sim::engine

@@ -34,6 +34,29 @@ void IncrementalSweep::bump(std::vector<Tick>& arr, Tick old_value, Tick new_val
   *it = new_value;
 }
 
+void IncrementalSweep::coverage_segments(int threshold, std::vector<TickInterval>& out) const {
+  // Two-pointer merge of the sorted endpoint arrays, starts before ends at
+  // equal coordinates (closed intervals touch).  The count rises through
+  // `threshold` exactly where a maximal >= threshold segment opens and drops
+  // from it where one closes; lows at a coordinate are all processed before
+  // highs there, so two produced segments can never touch.
+  const std::size_t n = lows_.size();
+  std::size_t i = 0;
+  std::size_t j = 0;
+  int count = 0;
+  Tick open = 0;
+  while (j < n) {
+    if (i < n && lows_[i] <= highs_[j]) {
+      if (++count == threshold) open = lows_[i];
+      ++i;
+    } else {
+      if (count == threshold) out.push_back(TickInterval{open, highs_[j]});
+      --count;
+      ++j;
+    }
+  }
+}
+
 void IncrementalSweep::replace(std::size_t slot, TickInterval next) {
   assert(slot < intervals_.size());
   const TickInterval previous = intervals_[slot];

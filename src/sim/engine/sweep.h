@@ -57,6 +57,27 @@ class IncrementalSweep {
     return TickInterval{lows_[t - 1], highs_[lows_.size() - t]};
   }
 
+  /// Appends the maximal segments where at least @p threshold of the current
+  /// intervals overlap, in ascending order (disjoint, never touching).  One
+  /// two-pointer pass over the maintained sorted arrays, O(n), no sort.
+  /// A threshold > size() yields no segments; requires threshold >= 1.
+  /// This is what the run-batched worst-case lane (attacked_lane.h) needs
+  /// per digit run: the coverage structure of the NON-moving intervals at
+  /// thresholds t and t-1 fully determines the fused interval as a function
+  /// of the moving interval's position.
+  void coverage_segments(int threshold, std::vector<TickInterval>& out) const;
+
+  /// Convex hull of the >= threshold coverage region (the empty interval
+  /// when no point reaches it).  This is exactly the Marzullo interval
+  /// fused() computes; the only extra behaviour is tolerating a threshold
+  /// above size() (an unreachable coverage level, not a precondition error —
+  /// the worst-case lane asks for threshold n over its n-1 fixed intervals
+  /// whenever f = 0).
+  [[nodiscard]] TickInterval coverage_hull(int threshold) const noexcept {
+    if (threshold > static_cast<int>(size())) return TickInterval::empty_interval();
+    return fused(threshold);
+  }
+
  private:
   /// Moves the element equal to @p old_value to where @p new_value sorts,
   /// sliding the elements in between (arr stays sorted).

@@ -7,8 +7,10 @@
 namespace arsf::sim::engine {
 
 WorldCodec::WorldCodec(std::vector<std::uint64_t> radices) : radices_(std::move(radices)) {
+  weights_.reserve(radices_.size());
   for (const std::uint64_t radix : radices_) {
     if (radix == 0) throw std::invalid_argument("WorldCodec: radix must be >= 1");
+    weights_.push_back(count_);  // weight of digit i = product of radices below
     if (count_ > std::numeric_limits<std::uint64_t>::max() / radix) {
       count_ = std::numeric_limits<std::uint64_t>::max();
       overflow_ = true;

@@ -27,6 +27,15 @@ class WorldCodec {
   [[nodiscard]] std::size_t digits() const noexcept { return radices_.size(); }
   [[nodiscard]] std::uint64_t radix(std::size_t digit) const { return radices_[digit]; }
 
+  /// Positional weight of @p digit: prod of the radices below it, i.e. the
+  /// index stride of a +1 step of that digit (weight(0) == 1).  Saturates at
+  /// uint64 max together with world_count(); exact whenever !overflowed().
+  /// The run-batched lanes use these to recover a world's index in a
+  /// DIFFERENT digit order (sim/engine/attacked_lane.h permutes slots so the
+  /// widest digit runs fastest, yet must report argmax ties in the original
+  /// enumeration order).
+  [[nodiscard]] std::uint64_t weight(std::size_t digit) const { return weights_[digit]; }
+
   /// prod_i radix_i; saturates at uint64 max (see overflowed()).
   [[nodiscard]] std::uint64_t world_count() const noexcept { return count_; }
   [[nodiscard]] bool overflowed() const noexcept { return overflow_; }
@@ -53,6 +62,7 @@ class WorldCodec {
 
  private:
   std::vector<std::uint64_t> radices_;
+  std::vector<std::uint64_t> weights_;  ///< prefix products of radices_
   std::uint64_t count_ = 1;
   bool overflow_ = false;
 };

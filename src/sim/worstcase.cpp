@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/engine/attacked_lane.h"
 #include "sim/engine/engine.h"
 
 namespace arsf::sim {
@@ -81,6 +82,22 @@ WorstCaseResult worst_case_fusion(const WorstCaseConfig& config) {
   return result;
 }
 
+WorstCaseResult worst_case_fusion_fast(const WorstCaseConfig& config) {
+  const std::size_t n = config.widths.size();
+  WorstCaseResult result;
+  if (n == 0) return result;
+
+  const Ranges ranges = placement_ranges(config);
+  const engine::WorstCaseLane lane = engine::WorstCaseLane::build(
+      config.widths, ranges.lo_range, config.f, config.attacked, config.require_undetected);
+  result.configurations = lane.domain.world_count();
+
+  engine::WorstCaseBest best = engine::worst_case_lane_search(lane, config.num_threads);
+  result.max_width = best.max_width;
+  result.argmax = std::move(best.argmax);
+  return result;
+}
+
 Tick worst_case_no_attack(std::span<const Tick> widths, int f) {
   WorstCaseConfig config;
   config.widths.assign(widths.begin(), widths.end());
@@ -98,11 +115,10 @@ std::vector<SensorId> attacked_of_mask(std::uint64_t mask, std::size_t n) {
   return attacked;
 }
 
-}  // namespace
-
-Tick worst_case_over_sets(std::span<const Tick> widths, int f, std::size_t fa,
-                          std::vector<SensorId>* best_set, unsigned num_threads,
-                          bool require_undetected) {
+Tick over_sets_impl(std::span<const Tick> widths, int f, std::size_t fa,
+                    std::vector<SensorId>* best_set, unsigned num_threads,
+                    bool require_undetected,
+                    WorstCaseResult (*search)(const WorstCaseConfig&)) {
   const std::size_t n = widths.size();
 
   // Enumerate fa-subsets via a bitmask (n is small for exhaustive search).
@@ -126,7 +142,7 @@ Tick worst_case_over_sets(std::span<const Tick> widths, int f, std::size_t fa,
     config.require_undetected = require_undetected;
     config.num_threads = 1;
     config.attacked = attacked_of_mask(masks[i], n);
-    values[i] = worst_case_fusion(config).max_width;
+    values[i] = search(config).max_width;
   };
 
   if (num_threads == 0) num_threads = engine::ThreadPool::default_threads();
@@ -139,7 +155,7 @@ Tick worst_case_over_sets(std::span<const Tick> widths, int f, std::size_t fa,
     config.require_undetected = require_undetected;
     config.num_threads = num_threads;
     config.attacked = attacked_of_mask(masks[0], n);
-    values[0] = worst_case_fusion(config).max_width;
+    values[0] = search(config).max_width;
   } else if (num_threads == 1) {
     for (std::size_t i = 0; i < masks.size(); ++i) evaluate(i);
   } else if (num_threads >= engine::ThreadPool::shared().size()) {
@@ -157,6 +173,22 @@ Tick worst_case_over_sets(std::span<const Tick> widths, int f, std::size_t fa,
     }
   }
   return best;
+}
+
+}  // namespace
+
+Tick worst_case_over_sets(std::span<const Tick> widths, int f, std::size_t fa,
+                          std::vector<SensorId>* best_set, unsigned num_threads,
+                          bool require_undetected) {
+  return over_sets_impl(widths, f, fa, best_set, num_threads, require_undetected,
+                        &worst_case_fusion);
+}
+
+Tick worst_case_over_sets_fast(std::span<const Tick> widths, int f, std::size_t fa,
+                               std::vector<SensorId>* best_set, unsigned num_threads,
+                               bool require_undetected) {
+  return over_sets_impl(widths, f, fa, best_set, num_threads, require_undetected,
+                        &worst_case_fusion_fast);
 }
 
 }  // namespace arsf::sim

@@ -43,6 +43,15 @@ struct WorstCaseResult {
 /// attacked set.
 [[nodiscard]] WorstCaseResult worst_case_fusion(const WorstCaseConfig& config);
 
+/// Run-batched fast lane over the same search space
+/// (sim/engine/attacked_lane.h): the widest slot's digit runs collapse to
+/// closed-form piece scans instead of per-world fusion sweeps.  Bit-identical
+/// to worst_case_fusion for every input and thread count — max_width, the
+/// argmax configuration (lowest world index on ties) and the configuration
+/// count all match exactly; worst_case_fusion stays the golden oracle the
+/// differential parity suite (tests/test_worstcase_fast.cpp) checks against.
+[[nodiscard]] WorstCaseResult worst_case_fusion_fast(const WorstCaseConfig& config);
+
 /// No-attack worst case |Sna| (every interval correct).
 [[nodiscard]] Tick worst_case_no_attack(std::span<const Tick> widths, int f);
 
@@ -59,5 +68,14 @@ struct WorstCaseResult {
                                         std::vector<SensorId>* best_set = nullptr,
                                         unsigned num_threads = 0,
                                         bool require_undetected = true);
+
+/// worst_case_over_sets with every per-set search on the run-batched fast
+/// lane; same subset fan-out, same mask-order merge, bit-identical results
+/// (including the reported best_set) for every thread count.
+[[nodiscard]] Tick worst_case_over_sets_fast(std::span<const Tick> widths, int f,
+                                             std::size_t fa,
+                                             std::vector<SensorId>* best_set = nullptr,
+                                             unsigned num_threads = 0,
+                                             bool require_undetected = true);
 
 }  // namespace arsf::sim

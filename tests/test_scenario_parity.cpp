@@ -92,16 +92,19 @@ TEST(ScenarioParity, OverSetsScenarioMatchesDirectCall) {
   EXPECT_EQ(static_cast<std::size_t>(result.metric("best_set_size")), best_set.size());
 }
 
-// Cheap, heterogeneous batch covering enumerate, worst-case (fixed set and
-// over-all-sets), Monte Carlo and resilience analyses.
+// Cheap, heterogeneous batch covering every analysis kind: enumerate,
+// worst-case (fixed set and over-all-sets, oracle and fast lane), Monte
+// Carlo, resilience and the LandShark case study.
 std::vector<Scenario> parity_batch() {
   const auto& reg = registry();
   std::vector<Scenario> batch = {
-      reg.at("table1/r0/ascending"), reg.at("table1/r0/descending"),
-      reg.at("table1/r1/ascending"), reg.at("fig2/no-optimal-policy"),
-      reg.at("fig5/pinned-fusion"),  reg.at("fig4/wc-2-3-5"),
-      reg.at("fig4/wc-1-4-4"),       reg.at("stress/worstcase-over-sets"),
-      reg.at("mc/table1-r0-random"), reg.at("ext/faults-and-attacks"),
+      reg.at("table1/r0/ascending"),  reg.at("table1/r0/descending"),
+      reg.at("table1/r1/ascending"),  reg.at("fig2/no-optimal-policy"),
+      reg.at("fig5/pinned-fusion"),   reg.at("fig4/wc-2-3-5"),
+      reg.at("fig4/wc-1-4-4"),        reg.at("stress/worstcase-over-sets"),
+      reg.at("mc/table1-r0-random"),  reg.at("ext/faults-and-attacks"),
+      reg.at("fast/fig4/wc-2-3-5"),   reg.at("fast/stress/worstcase-over-sets"),
+      reg.at("table2/landshark-ascending"),
   };
   for (Scenario& scenario : batch) {
     scenario.policy_options = fast_options();
@@ -144,6 +147,45 @@ TEST(ScenarioParity, BatchIsOrderStableAndThreadCountInvariant) {
     const std::vector<ScenarioResult> results =
         parallel.run_batch(std::span<const Scenario>{batch});
     expect_identical(results, baseline, "threads=" + std::to_string(threads));
+  }
+}
+
+// Single-run thread-count invariance per analysis: a scenario's own
+// num_threads engine fan-out must never change its metrics.  The enumerate
+// and worst-case batches have pinned this since the engine landed; the
+// matrix now also covers the fast lane and the sampled resilience/casestudy
+// analyses (serial engines today — the test is the contract that keeps any
+// future parallelisation bit-identical too).
+TEST(ScenarioParity, AnalysisThreadCountInvarianceMatrix) {
+  const auto& reg = registry();
+  std::vector<Scenario> matrix = {
+      reg.at("fig4/wc-2-3-5"),
+      reg.at("fast/fig4/wc-2-3-5"),
+      reg.at("fast/stress/worstcase-over-sets"),
+      reg.at("ext/faults-and-attacks"),
+      reg.at("table2/landshark-ascending"),
+  };
+  const Runner runner;
+  for (Scenario& scenario : matrix) {
+    scenario.policy_options = fast_options();
+    scenario.rounds = std::min<std::size_t>(scenario.rounds, 200);
+
+    scenario.num_threads = 1;
+    const ScenarioResult baseline = runner.run(scenario);
+    ASSERT_TRUE(baseline.ok()) << scenario.name << ": " << baseline.error;
+
+    for (const unsigned threads : {0u, 2u, 4u}) {
+      scenario.num_threads = threads;
+      const ScenarioResult result = runner.run(scenario);
+      ASSERT_TRUE(result.ok()) << scenario.name << ": " << result.error;
+      ASSERT_EQ(result.metrics.size(), baseline.metrics.size()) << scenario.name;
+      for (std::size_t m = 0; m < baseline.metrics.size(); ++m) {
+        EXPECT_EQ(result.metrics[m].key, baseline.metrics[m].key) << scenario.name;
+        EXPECT_EQ(result.metrics[m].value, baseline.metrics[m].value)
+            << scenario.name << " threads " << threads << " metric "
+            << baseline.metrics[m].key;
+      }
+    }
   }
 }
 

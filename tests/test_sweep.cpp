@@ -343,5 +343,64 @@ TEST(RegistryOverlay, LoadOverlayReadsAFile) {
   EXPECT_THROW(reg.load_overlay(path + ".does-not-exist"), std::runtime_error);
 }
 
+TEST(LoadSweepSpec, ReadsOneSpecFromAFile) {
+  const std::string path = testing::TempDir() + "arsf_sweep_spec_test.json";
+  SweepSpec spec;
+  spec.name = "file/sweep";
+  spec.description = "sweep loaded from a file";
+  spec.base = cheap_base();
+  spec.fa_values = {0, 1};
+  spec.steps = {1.0, 0.5};
+  {
+    std::ofstream file{path};
+    ASSERT_TRUE(file.is_open());
+    file << spec.to_json() << "\n";  // trailing newline must be tolerated
+  }
+  const SweepSpec loaded = load_sweep_spec(path);
+  EXPECT_EQ(loaded, spec);
+  EXPECT_EQ(loaded.size(), 4u);
+}
+
+TEST(LoadSweepSpec, RejectsMalformedFiles) {
+  const std::string path = testing::TempDir() + "arsf_sweep_spec_bad.json";
+  const auto write = [&](const std::string& content) {
+    std::ofstream file{path};
+    ASSERT_TRUE(file.is_open());
+    file << content;
+  };
+  const auto expect_rejected = [&](const std::string& content, const char* needle) {
+    write(content);
+    try {
+      (void)load_sweep_spec(path);
+      FAIL() << "must reject: " << content;
+    } catch (const std::invalid_argument& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find(path), std::string::npos) << what;  // names the file
+      EXPECT_NE(what.find(needle), std::string::npos) << what;
+    }
+  };
+
+  // Unreadable file: a different error type, so callers can distinguish
+  // "no such file" from "bad content".
+  EXPECT_THROW((void)load_sweep_spec(path + ".does-not-exist"), std::runtime_error);
+
+  SweepSpec spec;
+  spec.name = "file/bad";
+  spec.base = cheap_base();
+  const std::string good = spec.to_json();
+
+  expect_rejected("", "JSON");                                    // empty file
+  expect_rejected("not json at all", "JSON");                     // garbage
+  expect_rejected(good + " extra", "trailing");                   // trailing garbage
+  expect_rejected(good + "\n" + good, "trailing");                // two objects
+  expect_rejected(cheap_base().to_json(), "field");               // Scenario, not SweepSpec
+  {
+    // Structurally valid JSON that fails SweepSpec::validate().
+    SweepSpec invalid = spec;
+    invalid.steps = {0.0};
+    expect_rejected(invalid.to_json(), "step");
+  }
+}
+
 }  // namespace
 }  // namespace arsf::scenario

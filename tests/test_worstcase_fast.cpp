@@ -1,0 +1,209 @@
+// Differential parity harness for the run-batched worst-case fast lane.
+//
+// worst_case_fusion_fast must be bit-identical to the worst_case_fusion
+// oracle: max_width, the full argmax configuration (lowest world index on
+// ties) and the configuration count, for every input and thread count.  The
+// harness checks three layers:
+//   * direct: randomized WorstCaseConfigs (widths, f, attacked sets, stealth
+//     flag) against the oracle, serial and parallel;
+//   * scenario: >= 200 seeded random valid worst-case Scenarios through the
+//     Runner, fast vs oracle analysis at thread counts {1, 0};
+//   * golden: every registered worstcase scenario vs its fast twin.
+
+#include <gtest/gtest.h>
+
+#include "scenario/registry.h"
+#include "scenario/runner.h"
+#include "sim/worstcase.h"
+#include "support/rng.h"
+
+namespace arsf {
+namespace {
+
+using support::Rng;
+
+template <typename T>
+T pick(Rng& rng, std::initializer_list<T> values) {
+  const auto index =
+      static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(values.size()) - 1));
+  return *(values.begin() + index);
+}
+
+sim::WorstCaseConfig random_config(Rng& rng) {
+  sim::WorstCaseConfig config;
+  const auto n = static_cast<std::size_t>(rng.uniform_int(1, 5));
+  for (std::size_t i = 0; i < n; ++i) {
+    config.widths.push_back(rng.uniform_int(1, 8));
+  }
+  config.f = static_cast<int>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+  for (SensorId id = 0; id < n; ++id) {
+    if (rng.chance(0.35)) config.attacked.push_back(id);
+  }
+  config.require_undetected = rng.chance(0.7);
+  config.num_threads = 1;
+  return config;
+}
+
+void expect_identical(const sim::WorstCaseResult& fast, const sim::WorstCaseResult& oracle,
+                      const std::string& label) {
+  ASSERT_EQ(fast.max_width, oracle.max_width) << label;
+  ASSERT_EQ(fast.configurations, oracle.configurations) << label;
+  ASSERT_EQ(fast.argmax.size(), oracle.argmax.size()) << label;
+  for (std::size_t i = 0; i < fast.argmax.size(); ++i) {
+    EXPECT_EQ(fast.argmax[i], oracle.argmax[i]) << label << " slot " << i;
+  }
+}
+
+TEST(WorstCaseFastDirect, RandomConfigsMatchOracleBitIdentically) {
+  Rng rng{0xfa57a2026ULL};  // fixed seed: reproducible, no wall-clock
+  for (int i = 0; i < 300; ++i) {
+    const sim::WorstCaseConfig config = random_config(rng);
+    const sim::WorstCaseResult oracle = sim::worst_case_fusion(config);
+    const sim::WorstCaseResult fast = sim::worst_case_fusion_fast(config);
+    std::string label = "case " + std::to_string(i) + ": widths {";
+    for (const Tick w : config.widths) label += std::to_string(w) + ",";
+    label += "} f=" + std::to_string(config.f) + " attacked {";
+    for (const SensorId id : config.attacked) label += std::to_string(id) + ",";
+    label += "} undetected=" + std::to_string(config.require_undetected);
+    expect_identical(fast, oracle, label);
+  }
+}
+
+TEST(WorstCaseFastDirect, ThreadCountInvariant) {
+  Rng rng{0x7ead5afeULL};
+  for (int i = 0; i < 40; ++i) {
+    sim::WorstCaseConfig config = random_config(rng);
+    const sim::WorstCaseResult serial = sim::worst_case_fusion_fast(config);
+    for (const unsigned threads : {0u, 2u, 3u, 7u}) {
+      config.num_threads = threads;
+      expect_identical(sim::worst_case_fusion_fast(config), serial,
+                       "case " + std::to_string(i) + " threads " + std::to_string(threads));
+    }
+  }
+}
+
+TEST(WorstCaseFastDirect, OverSetsMatchesOracleIncludingBestSet) {
+  Rng rng{0x5e75fa57ULL};
+  for (int i = 0; i < 60; ++i) {
+    std::vector<Tick> widths;
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 5));
+    for (std::size_t k = 0; k < n; ++k) widths.push_back(rng.uniform_int(1, 6));
+    const int f = static_cast<int>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    const auto fa = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(n)));
+    const bool undetected = rng.chance(0.7);
+
+    for (const unsigned threads : {1u, 0u}) {
+      std::vector<SensorId> oracle_set;
+      std::vector<SensorId> fast_set;
+      const Tick oracle =
+          sim::worst_case_over_sets(widths, f, fa, &oracle_set, threads, undetected);
+      const Tick fast =
+          sim::worst_case_over_sets_fast(widths, f, fa, &fast_set, threads, undetected);
+      EXPECT_EQ(fast, oracle) << "case " << i << " threads " << threads;
+      EXPECT_EQ(fast_set, oracle_set) << "case " << i << " threads " << threads;
+    }
+  }
+}
+
+// ---- scenario-level differential harness -----------------------------------
+
+/// Seeded generator of valid worst-case scenarios across widths, n, f, fa,
+/// step, schedule and the attacked-set choice (rule or explicit override).
+scenario::Scenario random_worstcase_scenario(Rng& rng, int serial) {
+  scenario::Scenario s;
+  s.name = "diff/wc" + std::to_string(serial);
+  s.description = "randomized worst-case differential scenario";
+  s.analysis = scenario::AnalysisKind::kWorstCase;
+
+  const auto n = static_cast<std::size_t>(rng.uniform_int(1, 5));
+  s.step = pick(rng, {0.25, 0.5, 1.0});
+  for (std::size_t i = 0; i < n; ++i) {
+    s.widths.push_back(s.step * static_cast<double>(rng.uniform_int(1, 8)));
+  }
+  const int max_f = max_bounded_f(static_cast<int>(n));
+  s.f = rng.chance(0.5) ? -1 : static_cast<int>(rng.uniform_int(0, max_f));
+
+  s.schedule = pick(rng, {sched::ScheduleKind::kAscending, sched::ScheduleKind::kDescending,
+                          sched::ScheduleKind::kFixed});
+  if (s.schedule == sched::ScheduleKind::kFixed) s.fixed_order = rng.permutation(n);
+
+  s.fa = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(n)));
+  s.attacked_rule =
+      pick(rng, {sched::AttackedSetRule::kSmallestWidths, sched::AttackedSetRule::kLargestWidths,
+                 sched::AttackedSetRule::kLastSlots, sched::AttackedSetRule::kFirstSlots});
+  if (s.fa > 0 && rng.chance(0.4)) {
+    // Explicit attacked set: fa distinct ids, sorted.
+    std::vector<std::size_t> ids = rng.permutation(n);
+    ids.resize(s.fa);
+    std::sort(ids.begin(), ids.end());
+    s.attacked_override.assign(ids.begin(), ids.end());
+  }
+  s.require_undetected = rng.chance(0.7);
+  // Keep over-all-sets draws cheap: the subset loop multiplies world counts.
+  s.over_all_sets = rng.chance(0.25) && n <= 4;
+  s.seed = rng.next();
+  s.num_threads = 1;
+  return s;
+}
+
+TEST(WorstCaseFastScenario, RandomScenariosMatchOracleAtThreadCounts1And0) {
+  const scenario::Runner runner;
+  Rng rng{0xd1ffe2026ULL};
+  for (int i = 0; i < 200; ++i) {
+    const scenario::Scenario oracle_scenario = random_worstcase_scenario(rng, i);
+    ASSERT_NO_THROW(oracle_scenario.validate()) << oracle_scenario.to_json();
+
+    scenario::Scenario fast_scenario = oracle_scenario;
+    fast_scenario.analysis = scenario::AnalysisKind::kWorstCaseFast;
+
+    for (const unsigned threads : {1u, 0u}) {
+      scenario::Scenario oracle_run = oracle_scenario;
+      scenario::Scenario fast_run = fast_scenario;
+      oracle_run.num_threads = threads;
+      fast_run.num_threads = threads;
+      const scenario::ScenarioResult oracle = runner.run(oracle_run);
+      const scenario::ScenarioResult fast = runner.run(fast_run);
+      ASSERT_TRUE(oracle.ok()) << oracle_run.to_json() << ": " << oracle.error;
+      ASSERT_TRUE(fast.ok()) << fast_run.to_json() << ": " << fast.error;
+      ASSERT_EQ(fast.metrics.size(), oracle.metrics.size());
+      for (std::size_t m = 0; m < oracle.metrics.size(); ++m) {
+        EXPECT_EQ(fast.metrics[m].key, oracle.metrics[m].key) << oracle_run.to_json();
+        // Bit-identical, not approximately equal.
+        EXPECT_EQ(fast.metrics[m].value, oracle.metrics[m].value)
+            << oracle_run.to_json() << " threads " << threads << " metric "
+            << oracle.metrics[m].key;
+      }
+    }
+  }
+}
+
+TEST(WorstCaseFastScenario, GoldenParityOverEveryRegisteredWorstCaseScenario) {
+  const scenario::Runner runner;
+  std::size_t checked = 0;
+  for (const scenario::Scenario& scenario : scenario::registry().all()) {
+    if (scenario.analysis != scenario::AnalysisKind::kWorstCase) continue;
+    ++checked;
+
+    const scenario::Scenario* fast = scenario::registry().find("fast/" + scenario.name);
+    ASSERT_NE(fast, nullptr) << "missing fast mirror of " << scenario.name;
+    EXPECT_EQ(fast->analysis, scenario::AnalysisKind::kWorstCaseFast) << fast->name;
+    EXPECT_EQ(fast->widths, scenario.widths) << fast->name;
+    EXPECT_EQ(fast->fa, scenario.fa) << fast->name;
+    EXPECT_EQ(fast->over_all_sets, scenario.over_all_sets) << fast->name;
+
+    const scenario::ScenarioResult oracle = runner.run(scenario);
+    const scenario::ScenarioResult mirrored = runner.run(*fast);
+    ASSERT_TRUE(oracle.ok()) << scenario.name << ": " << oracle.error;
+    ASSERT_TRUE(mirrored.ok()) << fast->name << ": " << mirrored.error;
+    ASSERT_EQ(mirrored.metrics.size(), oracle.metrics.size()) << scenario.name;
+    for (std::size_t m = 0; m < oracle.metrics.size(); ++m) {
+      EXPECT_EQ(mirrored.metrics[m].key, oracle.metrics[m].key) << scenario.name;
+      EXPECT_EQ(mirrored.metrics[m].value, oracle.metrics[m].value)
+          << scenario.name << " metric " << oracle.metrics[m].key;
+    }
+  }
+  EXPECT_GE(checked, 7u);  // fig4 families + the over-all-sets stress workload
+}
+
+}  // namespace
+}  // namespace arsf

@@ -1,0 +1,113 @@
+// worstcase_parity_smoke — coarsened differential sweep of the run-batched
+// worst-case fast lane against the exhaustive oracle, registered as a ctest
+// in the default run (CMake label "worstcase_parity_smoke").  Two layers:
+//
+//   * golden: every registered worstcase scenario vs its "fast/" twin
+//     through the Runner, metrics compared bit-exactly;
+//   * randomized: --iterations seeded random WorstCaseConfigs through
+//     worst_case_fusion / worst_case_fusion_fast directly, comparing
+//     max_width, configuration count and the full argmax placement.
+//
+// An ARSF_SANITIZE=address build registers this same binary with a smaller
+// --iterations (see CMakeLists.txt), so the new engine path runs under ASan
+// on every sanitized CI pass.
+//
+//   ./worstcase_parity_smoke [--iterations N] [--seed S]
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "scenario/registry.h"
+#include "scenario/runner.h"
+#include "sim/worstcase.h"
+#include "support/cli.h"
+#include "support/rng.h"
+
+namespace {
+
+int check_registered_pairs() {
+  const arsf::scenario::Runner runner;
+  int failures = 0;
+  int pairs = 0;
+  for (const auto& scenario : arsf::scenario::registry().all()) {
+    if (scenario.analysis != arsf::scenario::AnalysisKind::kWorstCase) continue;
+    const auto* fast = arsf::scenario::registry().find("fast/" + scenario.name);
+    if (fast == nullptr) {
+      std::fprintf(stderr, "FAIL %s: missing fast/ mirror\n", scenario.name.c_str());
+      ++failures;
+      continue;
+    }
+    ++pairs;
+    const auto oracle = runner.run(scenario);
+    const auto mirrored = runner.run(*fast);
+    if (!oracle.ok() || !mirrored.ok()) {
+      std::fprintf(stderr, "FAIL %s: %s%s\n", scenario.name.c_str(), oracle.error.c_str(),
+                   mirrored.error.c_str());
+      ++failures;
+      continue;
+    }
+    bool identical = oracle.metrics.size() == mirrored.metrics.size();
+    for (std::size_t m = 0; identical && m < oracle.metrics.size(); ++m) {
+      identical = oracle.metrics[m].key == mirrored.metrics[m].key &&
+                  oracle.metrics[m].value == mirrored.metrics[m].value;
+    }
+    if (!identical) {
+      std::fprintf(stderr, "FAIL %s: fast metrics diverge from oracle\n",
+                   scenario.name.c_str());
+      ++failures;
+    }
+  }
+  std::printf("worstcase_parity_smoke: %d registered pairs checked\n", pairs);
+  return failures;
+}
+
+int check_random_configs(int iterations, std::uint64_t seed) {
+  arsf::support::Rng rng{seed};
+  int failures = 0;
+  for (int i = 0; i < iterations; ++i) {
+    arsf::sim::WorstCaseConfig config;
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 5));
+    for (std::size_t k = 0; k < n; ++k) config.widths.push_back(rng.uniform_int(1, 7));
+    config.f = static_cast<int>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    for (arsf::SensorId id = 0; id < n; ++id) {
+      if (rng.chance(0.35)) config.attacked.push_back(id);
+    }
+    config.require_undetected = rng.chance(0.7);
+    config.num_threads = rng.chance(0.5) ? 1 : 0;
+
+    const auto oracle = arsf::sim::worst_case_fusion(config);
+    const auto fast = arsf::sim::worst_case_fusion_fast(config);
+    const bool identical = oracle.max_width == fast.max_width &&
+                           oracle.configurations == fast.configurations &&
+                           oracle.argmax == fast.argmax;
+    if (!identical) {
+      std::string widths;
+      for (const arsf::Tick w : config.widths) widths += std::to_string(w) + ",";
+      std::fprintf(stderr,
+                   "FAIL random #%d widths {%s} f=%d: oracle width %lld vs fast %lld\n", i,
+                   widths.c_str(), config.f, static_cast<long long>(oracle.max_width),
+                   static_cast<long long>(fast.max_width));
+      ++failures;
+    }
+  }
+  std::printf("worstcase_parity_smoke: %d random configs checked\n", iterations);
+  return failures;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using Clock = std::chrono::steady_clock;
+  const arsf::support::ArgParser args{argc, argv};
+  const auto iterations = static_cast<int>(args.get_int("iterations", 150));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 0x5e7fa57));
+
+  const auto start = Clock::now();
+  int failures = check_registered_pairs();
+  failures += check_random_configs(iterations, seed);
+  const double seconds = std::chrono::duration<double>(Clock::now() - start).count();
+
+  std::printf("worstcase_parity_smoke: %d failure(s) in %.2f s\n", failures, seconds);
+  return failures == 0 ? 0 : 1;
+}
