@@ -1,0 +1,118 @@
+#pragma once
+// Shared machine-readable output for the bench binaries.
+//
+// Every speedup bench prints a human TextTable; CI and the repo's committed
+// BENCH_*.json artefacts want the same numbers as data.  A bench collects
+// one BenchRow per workload plus top-level summary fields and calls
+// write_if_requested(path) with its `--json FILE` argument — no file is
+// touched when the flag is absent.  Output is one pretty-stable JSON object:
+//
+//   {"bench":"<name>","rows":[{...},...],"summary":{...}}
+//
+// Values are emitted as numbers (round-trip doubles / exact uint64),
+// booleans, or escaped strings, in insertion order, so diffs of committed
+// artefacts stay readable.
+//
+// Deliberately NOT built on scenario/json.h's JsonBuilder: that writer
+// targets the repo's own round-trip parser, which rejects \uXXXX escapes,
+// so it must keep its restricted escape set — while this output is consumed
+// by standard JSON parsers (CI, python -m json.tool) and therefore must
+// \u-escape every control character.  The two escape rules differ by
+// contract, not by accident.
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace arsf::bench {
+
+class JsonFields {
+ public:
+  void text(const std::string& key, const std::string& value) {
+    add(key, "\"" + escape(value) + "\"");
+  }
+  void number(const std::string& key, double value) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%.17g", value);
+    add(key, buffer);
+  }
+  void number(const std::string& key, std::uint64_t value) {
+    add(key, std::to_string(value));
+  }
+  void boolean(const std::string& key, bool value) { add(key, value ? "true" : "false"); }
+
+  [[nodiscard]] std::string render() const {
+    std::string body;
+    for (const auto& [key, value] : fields_) {
+      if (!body.empty()) body += ",";
+      body += "\"" + escape(key) + "\":" + value;
+    }
+    return "{" + body + "}";
+  }
+
+ private:
+  static std::string escape(const std::string& text) {
+    std::string out;
+    for (const char ch : text) {
+      if (ch == '"' || ch == '\\') {
+        out += '\\';
+        out += ch;
+      } else if (static_cast<unsigned char>(ch) < 0x20) {
+        // Control characters are invalid raw inside a JSON string.
+        char buffer[8];
+        std::snprintf(buffer, sizeof buffer, "\\u%04x", static_cast<unsigned char>(ch));
+        out += buffer;
+      } else {
+        out += ch;
+      }
+    }
+    return out;
+  }
+  void add(const std::string& key, std::string rendered) {
+    fields_.emplace_back(key, std::move(rendered));
+  }
+
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// One bench invocation's machine-readable report: named rows + a summary.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  /// Adds and returns the next row (stable storage until the next add_row).
+  JsonFields& add_row() { return rows_.emplace_back(); }
+  JsonFields& summary() { return summary_; }
+
+  [[nodiscard]] std::string render() const {
+    std::string rows;
+    for (const JsonFields& row : rows_) {
+      if (!rows.empty()) rows += ",";
+      rows += row.render();
+    }
+    return "{\"bench\":\"" + name_ + "\",\"rows\":[" + rows +
+           "],\"summary\":" + summary_.render() + "}";
+  }
+
+  /// Writes render() + '\n' to @p path; no-op when path is empty (the
+  /// shared `--json FILE` contract: absent flag, no file).
+  void write_if_requested(const std::string& path) const {
+    if (path.empty()) return;
+    std::ofstream out{path, std::ios::trunc};
+    out << render() << '\n';
+    out.flush();  // surface buffered write failures (ENOSPC) before the check
+    if (!out) throw std::runtime_error("bench --json: cannot write " + path);
+    std::fprintf(stderr, "bench json: %s\n", path.c_str());
+  }
+
+ private:
+  std::string name_;
+  std::vector<JsonFields> rows_;
+  JsonFields summary_;
+};
+
+}  // namespace arsf::bench

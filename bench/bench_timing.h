@@ -1,0 +1,39 @@
+#pragma once
+// Shared timing/formatting helpers for the speedup benches: best-of-N
+// wall-clock measurement and the table's ms / ratio cells.  One home so the
+// measurement discipline (best-of, steady_clock) cannot drift between
+// benches.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+namespace arsf::bench {
+
+using Clock = std::chrono::steady_clock;
+
+template <typename Fn>
+double time_best_of(int repeat, const Fn& fn) {
+  double best = 1e300;
+  for (int i = 0; i < repeat; ++i) {
+    const auto start = Clock::now();
+    fn();
+    best = std::min(best, std::chrono::duration<double>(Clock::now() - start).count());
+  }
+  return best;
+}
+
+inline std::string ms_text(double seconds) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.2f", seconds * 1e3);
+  return buffer;
+}
+
+inline std::string ratio_text(double ratio) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.1fx", ratio);
+  return buffer;
+}
+
+}  // namespace arsf::bench

@@ -1,0 +1,202 @@
+// Over-all-subsets branch-and-bound speedup bench: the flat C(n, fa) loop
+// (worst_case_over_sets_fast — every subset searched on the run-batched
+// per-set lane) vs the BnB subset engine (worst_case_over_sets_bnb —
+// symmetry dedup + admissible-bound pruning), single-threaded so the number
+// is the lattice win, not fan-out.
+//
+// Workloads:
+//   * an n = 12 heterogeneous-width workload (the acceptance target:
+//     >= 5x over the exhaustive lane);
+//   * every registered over-all-sets worstcase scenario vs its bnb/ twin;
+//   * the bnb/large-n/ registry scenarios (n = 15-18): the BnB lane runs
+//     them to completion; the exhaustive cost is PROJECTED from one timed
+//     per-set search x C(n, fa) and declared DNF when it blows --budget —
+//     these are the workloads the flat loop simply cannot finish.
+//
+// Both paths are cross-checked (max width AND best_set) wherever the
+// exhaustive path runs; a mismatch fails the bench.  --json FILE emits the
+// table plus the dedup/prune counters as BENCH_oversets.json-style data
+// (bench/bench_json.h).
+//
+//   ./oversets_bnb_speedup [--repeat N] [--budget SECONDS] [--json FILE]
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "bench_timing.h"
+#include "scenario/registry.h"
+#include "sim/worstcase.h"
+#include "support/ascii.h"
+#include "support/cli.h"
+
+namespace {
+
+using arsf::bench::ms_text;
+using arsf::bench::ratio_text;
+using arsf::bench::time_best_of;
+
+struct Workload {
+  std::string label;
+  std::vector<arsf::Tick> widths;
+  int f = 0;
+  std::size_t fa = 0;
+};
+
+Workload workload_of(const arsf::scenario::Scenario& scenario) {
+  const arsf::SystemConfig system = scenario.system();
+  Workload w;
+  w.label = scenario.name;
+  w.widths = arsf::tick_widths(system, arsf::Quantizer{scenario.step});
+  w.f = system.f;
+  w.fa = scenario.fa;
+  return w;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const arsf::support::ArgParser args{argc, argv};
+  const auto repeat = static_cast<int>(args.get_int("repeat", 3));
+  const double budget = args.get_double("budget", 60.0);
+  const std::string json_path = args.get_string("json", "");
+
+  std::printf("Over-all-subsets BnB vs flat loop (single-threaded, best of %d, budget %.0f s)\n\n",
+              repeat, budget);
+  arsf::support::TextTable table{{"workload", "subsets", "classes", "evaluated", "exhaustive ms",
+                                  "bnb ms", "speedup", "parity"}};
+  arsf::bench::BenchReport report{"oversets_bnb_speedup"};
+
+  bool all_match = true;
+  bool hetero12_ok = false;
+  bool opened_large_n = false;
+
+  std::vector<Workload> workloads;
+  {
+    // The acceptance workload: n = 12, heterogeneous widths with repeats, so
+    // both the dedup (C(12,2) = 66 subsets -> 6 classes) and the bound prune
+    // carry weight, yet the flat loop still finishes for a measured ratio.
+    Workload hetero;
+    hetero.label = "hetero/n12-fa2";
+    hetero.widths = {1, 1, 1, 1, 1, 1, 1, 1, 2, 2, 3, 3};
+    hetero.f = 5;
+    hetero.fa = 2;
+    workloads.push_back(std::move(hetero));
+  }
+  const auto& registry = arsf::scenario::registry();
+  for (const auto& scenario : registry.all()) {
+    if (scenario.analysis != arsf::scenario::AnalysisKind::kWorstCase ||
+        !scenario.over_all_sets) {
+      continue;
+    }
+    workloads.push_back(workload_of(scenario));
+  }
+
+  for (const Workload& entry : workloads) {
+    arsf::Tick exhaustive = 0;
+    arsf::Tick bnb = 0;
+    std::vector<arsf::SensorId> exhaustive_set;
+    std::vector<arsf::SensorId> bnb_set;
+    arsf::sim::engine::SubsetSearchStats stats;
+    const double exhaustive_s = time_best_of(repeat, [&] {
+      exhaustive = arsf::sim::worst_case_over_sets_fast(entry.widths, entry.f, entry.fa,
+                                                        &exhaustive_set, 1);
+    });
+    const double bnb_s = time_best_of(repeat, [&] {
+      bnb = arsf::sim::worst_case_over_sets_bnb(entry.widths, entry.f, entry.fa, &bnb_set, 1,
+                                                true, &stats);
+    });
+    const bool match = exhaustive == bnb && exhaustive_set == bnb_set;
+    all_match &= match;
+    const double speedup = exhaustive_s / bnb_s;
+    if (entry.label == "hetero/n12-fa2") hetero12_ok = speedup >= 5.0;
+    table.add_row({entry.label, std::to_string(stats.subsets_total),
+                   std::to_string(stats.classes_total), std::to_string(stats.classes_evaluated),
+                   ms_text(exhaustive_s), ms_text(bnb_s), ratio_text(speedup),
+                   match ? "OK" : "MISMATCH"});
+
+    auto& row = report.add_row();
+    row.text("workload", entry.label);
+    row.number("n", static_cast<std::uint64_t>(entry.widths.size()));
+    row.number("fa", static_cast<std::uint64_t>(entry.fa));
+    row.number("subsets_total", stats.subsets_total);
+    row.number("classes_total", stats.classes_total);
+    row.number("classes_evaluated", stats.classes_evaluated);
+    row.number("classes_pruned", stats.classes_pruned);
+    row.number("subsets_pruned", stats.subsets_pruned);
+    row.number("branches_pruned", stats.branches_pruned);
+    row.number("exhaustive_ms", exhaustive_s * 1e3);
+    row.number("bnb_ms", bnb_s * 1e3);
+    row.number("speedup", speedup);
+    row.boolean("exhaustive_projected", false);
+    row.boolean("parity", match);
+  }
+
+  // ---- the frontier: n >= 15, exhaustive projected / DNF --------------------
+  for (const auto* scenario : registry.match("bnb/large-n/")) {
+    const Workload entry = workload_of(*scenario);
+    arsf::Tick bnb = 0;
+    std::vector<arsf::SensorId> bnb_set;
+    arsf::sim::engine::SubsetSearchStats stats;
+    const double bnb_s = time_best_of(repeat, [&] {
+      bnb = arsf::sim::worst_case_over_sets_bnb(entry.widths, entry.f, entry.fa, &bnb_set, 1,
+                                                true, &stats);
+    });
+
+    // Project the flat loop: one per-set search (the Theorem-4 seed set,
+    // representative — every subset walks the same product space sizes up to
+    // attacked-slot radices) x C(n, fa).
+    arsf::sim::WorstCaseConfig per_set;
+    per_set.widths = entry.widths;
+    per_set.f = entry.f;
+    per_set.num_threads = 1;
+    per_set.attacked = bnb_set;
+    const double one_set_s =
+        time_best_of(1, [&] { (void)arsf::sim::worst_case_fusion_fast(per_set); });
+    const double projected_s = one_set_s * static_cast<double>(stats.subsets_total);
+    const bool dnf = projected_s > budget;
+    opened_large_n |= dnf && bnb_s < budget;
+
+    char projected[48];
+    std::snprintf(projected, sizeof projected, "%s%.0f s%s", dnf ? "DNF ~" : "~", projected_s,
+                  dnf ? "" : " (est)");
+    table.add_row({entry.label, std::to_string(stats.subsets_total),
+                   std::to_string(stats.classes_total), std::to_string(stats.classes_evaluated),
+                   projected, ms_text(bnb_s),
+                   ratio_text(projected_s / bnb_s), dnf ? "bnb-only" : "est"});
+
+    auto& row = report.add_row();
+    row.text("workload", entry.label);
+    row.number("n", static_cast<std::uint64_t>(entry.widths.size()));
+    row.number("fa", static_cast<std::uint64_t>(entry.fa));
+    row.number("subsets_total", stats.subsets_total);
+    row.number("classes_total", stats.classes_total);
+    row.number("classes_evaluated", stats.classes_evaluated);
+    row.number("classes_pruned", stats.classes_pruned);
+    row.number("subsets_pruned", stats.subsets_pruned);
+    row.number("branches_pruned", stats.branches_pruned);
+    row.number("exhaustive_ms", projected_s * 1e3);
+    row.number("bnb_ms", bnb_s * 1e3);
+    row.number("speedup", projected_s / bnb_s);
+    row.boolean("exhaustive_projected", true);
+    row.boolean("exhaustive_dnf", dnf);
+    row.number("max_width_ticks", static_cast<double>(bnb));
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("parity on every exhaustively-checked workload: %s\n",
+              all_match ? "PASS" : "FAIL");
+  std::printf("hetero n=12 speedup >= 5x: %s\n", hetero12_ok ? "PASS" : "FAIL");
+  std::printf("n >= 15 workload opened (bnb finishes, exhaustive DNF in budget): %s\n",
+              opened_large_n ? "PASS" : "FAIL");
+
+  auto& summary = report.summary();
+  summary.boolean("parity", all_match);
+  summary.boolean("hetero12_speedup_ge_5x", hetero12_ok);
+  summary.boolean("large_n_opened", opened_large_n);
+  summary.number("budget_seconds", budget);
+  report.write_if_requested(json_path);
+
+  return all_match && hetero12_ok && opened_large_n ? 0 : 1;
+}

@@ -11,13 +11,17 @@
 //     digit runs amortise best, mirroring the clean lane's scaling).
 //
 // Both paths are also cross-checked per workload; a mismatch fails the
-// bench.  ./worstcase_fast_speedup [--repeat N]
+// bench.  --json FILE additionally emits the rows as machine-readable data
+// (bench/bench_json.h — the shared bench flag).
+//
+//   ./worstcase_fast_speedup [--repeat N] [--json FILE]
 
-#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
+#include "bench_timing.h"
 #include "scenario/analysis.h"
 #include "scenario/registry.h"
 #include "sim/worstcase.h"
@@ -26,40 +30,21 @@
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
-template <typename Fn>
-double time_best_of(int repeat, const Fn& fn) {
-  double best = 1e300;
-  for (int i = 0; i < repeat; ++i) {
-    const auto start = Clock::now();
-    fn();
-    best = std::min(best, std::chrono::duration<double>(Clock::now() - start).count());
-  }
-  return best;
-}
-
-std::string ms_text(double seconds) {
-  char buffer[32];
-  std::snprintf(buffer, sizeof buffer, "%.2f", seconds * 1e3);
-  return buffer;
-}
-
-std::string ratio_text(double ratio) {
-  char buffer[32];
-  std::snprintf(buffer, sizeof buffer, "%.1fx", ratio);
-  return buffer;
-}
+using arsf::bench::ms_text;
+using arsf::bench::ratio_text;
+using arsf::bench::time_best_of;
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const arsf::support::ArgParser args{argc, argv};
   const auto repeat = static_cast<int>(args.get_int("repeat", 5));
+  const std::string json_path = args.get_string("json", "");
 
   std::printf("Worst-case fast lane vs oracle (single-threaded, best of %d)\n\n", repeat);
   arsf::support::TextTable table{
       {"workload", "configurations", "oracle ms", "fast ms", "speedup", "parity"}};
+  arsf::bench::BenchReport report{"worstcase_fast_speedup"};
   bool all_match = true;
   bool stress_ok = false;
 
@@ -96,6 +81,14 @@ int main(int argc, char** argv) {
     all_match &= match;
     table.add_row({entry.label, std::to_string(oracle.configurations), ms_text(oracle_s),
                    ms_text(fast_s), ratio_text(oracle_s / fast_s), match ? "OK" : "MISMATCH"});
+
+    auto& row = report.add_row();
+    row.text("workload", entry.label);
+    row.number("configurations", oracle.configurations);
+    row.number("oracle_ms", oracle_s * 1e3);
+    row.number("fast_ms", fast_s * 1e3);
+    row.number("speedup", oracle_s / fast_s);
+    row.boolean("parity", match);
   }
 
   {
@@ -121,11 +114,25 @@ int main(int argc, char** argv) {
     stress_ok = speedup >= 3.0;
     table.add_row({scenario.name, "10 subsets", ms_text(oracle_s), ms_text(fast_s),
                    ratio_text(speedup), match ? "OK" : "MISMATCH"});
+
+    auto& row = report.add_row();
+    row.text("workload", scenario.name);
+    row.number("subsets", std::uint64_t{10});
+    row.number("oracle_ms", oracle_s * 1e3);
+    row.number("fast_ms", fast_s * 1e3);
+    row.number("speedup", speedup);
+    row.boolean("parity", match);
   }
 
   std::printf("%s\n", table.render().c_str());
   std::printf("parity on every workload: %s\n", all_match ? "PASS" : "FAIL");
   std::printf("over-all-sets stress workload speedup >= 3x: %s\n",
               stress_ok ? "PASS" : "FAIL");
+
+  auto& summary = report.summary();
+  summary.boolean("parity", all_match);
+  summary.boolean("stress_speedup_ge_3x", stress_ok);
+  report.write_if_requested(json_path);
+
   return all_match && stress_ok ? 0 : 1;
 }

@@ -9,6 +9,7 @@
 //   ./scenario_runner --prefix fig4/ [--threads 4] [--csv report.csv]
 //   ./scenario_runner --all --smoke
 //   ./scenario_runner --sweep sweep/table1-grid [--chunk 256] [--progress]
+//   ./scenario_runner --sweep sweep/table1-grid --csv report.csv --resume
 //   ./scenario_runner --sweep-json my_sweep.json
 //   ./scenario_runner --overlay workloads.jsonl --run my/scenario --jsonl
 //   ./scenario_runner --json stress/fine-grid
@@ -24,8 +25,15 @@
 // cost-bounded attacker) — the same configuration the scenario_smoke ctest
 // executes.  Exits non-zero when any result carries an error, so smoke runs
 // can gate CI.
+//
+// Sweeps streaming to --csv checkpoint their progress to `<csv>.progress`
+// after every flushed chunk (removed on completion); --resume picks an
+// interrupted sweep back up at that chunk boundary, truncating the CSV to
+// the checkpointed byte first so the resumed file is byte-identical to an
+// uninterrupted run.
 
 #include <cstdio>
+#include <filesystem>
 #include <iostream>
 #include <optional>
 
@@ -67,6 +75,7 @@ int main(int argc, char** argv) {
   const bool smoke = args.has("smoke");
   const bool jsonl = args.has("jsonl");
   const bool progress = args.has("progress");
+  const bool resume = args.has("resume");
   const std::string run_name = args.get_string("run", "");
   const std::string prefix = args.get_string("prefix", "");
   const std::string sweep_name = args.get_string("sweep", "");
@@ -105,13 +114,19 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--sweep and --sweep-json are mutually exclusive\n");
     return 2;
   }
+
+  const bool sweeping = !sweep_name.empty() || !sweep_json_path.empty();
+  if (resume && (!sweeping || csv_path.empty())) {
+    std::fprintf(stderr, "--resume requires --sweep/--sweep-json and --csv\n");
+    return 2;
+  }
   if (json_name.empty() && !list && !all && run_name.empty() && prefix.empty() &&
       sweep_name.empty() && sweep_json_path.empty()) {
     std::printf("usage: scenario_runner --list | --json NAME |\n");
     std::printf("       (--run NAME | --prefix FAMILY/ | --all | --sweep NAME |\n");
     std::printf("        --sweep-json FILE)\n");
     std::printf("       [--overlay FILE] [--smoke] [--threads N] [--chunk N]\n");
-    std::printf("       [--csv report.csv] [--jsonl] [--progress]\n");
+    std::printf("       [--csv report.csv] [--resume] [--jsonl] [--progress]\n");
     std::printf("registry: %zu scenarios, %zu sweeps\n", registry.size(),
                 registry.sweeps().size());
     return 0;
@@ -147,26 +162,14 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  const arsf::scenario::Runner runner{{.num_threads = threads}};
-
-  // Output plumbing shared by batch and sweep runs: every enabled sink sees
-  // each result as it finishes, in input order.
-  arsf::scenario::TeeSink tee;
-  arsf::scenario::CollectingSink collected;  // feeds the summary table
-  std::optional<arsf::scenario::CsvStreamSink> csv;
-  std::optional<arsf::scenario::JsonlSink> jsonl_sink;
-  const bool collect_table = !jsonl;  // JSONL is the machine output: no table
-  if (collect_table) tee.attach(collected);
-  if (!csv_path.empty()) tee.attach(csv.emplace(csv_path));
-  if (jsonl) tee.attach(jsonl_sink.emplace(std::cout));
-  FailureCountingSink counting{tee};
-
-  if (!sweep_name.empty() || !sweep_json_path.empty()) {
-    const std::string sweep_label = sweep_name.empty() ? sweep_json_path : sweep_name;
-    arsf::scenario::SweepSpec coarse;
+  // Resolve the sweep spec (if any) before the sinks open: --resume must
+  // validate the checkpoint against the spec that will actually run, and
+  // decide whether the CSV is truncated-and-appended or rewritten.
+  std::optional<arsf::scenario::SweepSpec> sweep_spec;
+  if (sweeping) {
     if (!sweep_json_path.empty()) {
       try {
-        coarse = arsf::scenario::load_sweep_spec(sweep_json_path);
+        sweep_spec = arsf::scenario::load_sweep_spec(sweep_json_path);
       } catch (const std::exception& e) {
         std::fprintf(stderr, "--sweep-json: %s\n", e.what());
         return 2;
@@ -177,19 +180,87 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "no sweep '%s' (see --list)\n", sweep_name.c_str());
         return 1;
       }
-      coarse = *found;
+      sweep_spec = *found;
     }
     // --smoke smokes the template: every grid point inherits the capped
     // rounds / cost-bounded attacker from the base.
-    if (smoke) coarse.base = arsf::scenario::smoke_variant(coarse.base);
-    const arsf::scenario::SweepSpec* spec = &coarse;
+    if (smoke) sweep_spec->base = arsf::scenario::smoke_variant(sweep_spec->base);
+  }
+
+  const std::string progress_path = csv_path.empty() ? "" : csv_path + ".progress";
+  std::uint64_t resume_from = 0;
+  bool csv_append = false;
+  if (resume) {
+    try {
+      if (const auto checkpoint = arsf::scenario::load_sweep_checkpoint(progress_path)) {
+        // A token from a different sweep (other name, edited spec file,
+        // with/without --smoke) would splice two grids into one CSV.
+        if (checkpoint->spec_fingerprint != arsf::scenario::sweep_fingerprint(*sweep_spec)) {
+          std::fprintf(stderr,
+                       "--resume: %s belongs to a different sweep than the one requested; "
+                       "delete it (or rerun without --resume) to start over\n",
+                       progress_path.c_str());
+          return 2;
+        }
+        arsf::scenario::truncate_for_resume(csv_path, *checkpoint);
+        resume_from = checkpoint->next_index;
+        csv_append = true;
+        std::fprintf(stderr, "--resume: continuing %s at grid index %llu (%llu bytes kept)\n",
+                     csv_path.c_str(), static_cast<unsigned long long>(resume_from),
+                     static_cast<unsigned long long>(checkpoint->output_bytes));
+      } else {
+        std::fprintf(stderr, "--resume: no checkpoint at %s, starting from the top\n",
+                     progress_path.c_str());
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "--resume: %s\n", e.what());
+      return 2;
+    }
+  }
+
+  const arsf::scenario::Runner runner{{.num_threads = threads}};
+
+  // Output plumbing shared by batch and sweep runs: every enabled sink sees
+  // each result as it finishes, in input order.
+  arsf::scenario::TeeSink tee;
+  arsf::scenario::CollectingSink collected;  // feeds the summary table
+  std::optional<arsf::scenario::CsvStreamSink> csv;
+  std::optional<arsf::scenario::JsonlSink> jsonl_sink;
+  // JSONL is the machine output: no table.  A resumed sweep skips it too —
+  // CollectingSink requires a dense 0-based stream, and the summary would
+  // only cover the resumed tail anyway.
+  const bool collect_table = !jsonl && resume_from == 0;
+  if (collect_table) tee.attach(collected);
+  if (!csv_path.empty() && !csv_append) {
+    // The CSV is about to be rewritten from scratch, so any token left by an
+    // earlier killed sweep no longer describes this file; a later --resume
+    // must not splice the old sweep's tail onto whatever we write now.
+    std::error_code ec;
+    std::filesystem::remove(progress_path, ec);
+  }
+  if (!csv_path.empty()) tee.attach(csv.emplace(csv_path, csv_append));
+  if (jsonl) tee.attach(jsonl_sink.emplace(std::cout));
+  FailureCountingSink counting{tee};
+
+  if (sweeping) {
+    const std::string sweep_label = sweep_name.empty() ? sweep_json_path : sweep_name;
+    const arsf::scenario::SweepSpec* spec = &*sweep_spec;
     arsf::scenario::SweepRunOptions options;
     options.chunk_scenarios = chunk;
+    options.resume_from = resume_from;
+    if (!csv_path.empty()) {
+      // Checkpoint next to the CSV after every flushed chunk so a killed
+      // sweep can come back with --resume; removed once the sweep completes.
+      options.checkpoint_path = progress_path;
+      options.checkpoint_output = csv_path;
+    }
     std::size_t total = 0;
     try {
       if (progress) {
-        arsf::scenario::ProgressSink progressed{counting, std::cerr,
-                                                static_cast<std::size_t>(spec->size())};
+        // A resumed sweep only delivers the remaining tail; total must match
+        // or a completed resume would stall the display short of its total.
+        arsf::scenario::ProgressSink progressed{
+            counting, std::cerr, static_cast<std::size_t>(spec->size() - resume_from)};
         total = arsf::scenario::run_sweep(*spec, runner, progressed, options);
       } else {
         total = arsf::scenario::run_sweep(*spec, runner, counting, options);

@@ -368,6 +368,61 @@ void add_worstcase_fast_mirrors(ScenarioRegistry& reg) {
   for (Scenario& mirror : mirrors) reg.add(std::move(mirror));
 }
 
+void add_worstcase_bnb_mirrors(ScenarioRegistry& reg) {
+  // Every over-all-sets worstcase scenario gets a "bnb/<name>" twin on the
+  // branch-and-bound subset engine: the differential suite
+  // (tests/test_subset_search.cpp) and the bnb_parity_smoke ctest iterate
+  // these pairs, and scenario_smoke executes the BnB lane on every
+  // registered over-sets workload by construction.
+  std::vector<Scenario> mirrors;
+  for (const Scenario& scenario : reg.all()) {
+    if (scenario.analysis != AnalysisKind::kWorstCase || !scenario.over_all_sets) continue;
+    Scenario bnb = scenario;
+    bnb.name = "bnb/" + scenario.name;
+    bnb.analysis = AnalysisKind::kWorstCaseOverSetsBnb;
+    bnb.description = "Branch-and-bound subset-search twin of " + scenario.name;
+    mirrors.push_back(std::move(bnb));
+  }
+  for (Scenario& mirror : mirrors) reg.add(std::move(mirror));
+}
+
+void add_large_n_bnb(ScenarioRegistry& reg) {
+  // Theorem-4 studies beyond the exhaustive frontier (ROADMAP: "open
+  // n ≳ 15"): many equal-width sensors collapse C(n, fa) subsets to a
+  // handful of attacked-width multisets, so the BnB lane finishes in
+  // seconds where the flat loop needs minutes to hours
+  // (bench/oversets_bnb_speedup.cpp measures one and projects the other).
+  // Deliberately registered on the BnB path only — no oracle twin exists
+  // at this size; thread-count invariance stands in for oracle parity in
+  // the differential suite.
+  struct LargeN {
+    std::string name;
+    std::size_t ones;  ///< sensors of width 1
+    std::size_t twos;  ///< sensors of width 2
+    std::size_t fa;
+  };
+  const std::vector<LargeN> entries = {
+      {"bnb/large-n/n15-fa2", 12, 3, 2},
+      {"bnb/large-n/n16-fa2", 13, 3, 2},
+      {"bnb/large-n/n18-fa3", 16, 2, 3},
+  };
+  for (const LargeN& entry : entries) {
+    Scenario s;
+    s.name = entry.name;
+    const std::size_t n = entry.ones + entry.twos;
+    s.description = "Global worst case over all C(" + std::to_string(n) + "," +
+                    std::to_string(entry.fa) + ") subsets via branch-and-bound (" +
+                    std::to_string(entry.ones) + "x width 1, " + std::to_string(entry.twos) +
+                    "x width 2)";
+    s.analysis = AnalysisKind::kWorstCaseOverSetsBnb;
+    s.widths.assign(entry.ones, 1.0);
+    s.widths.insert(s.widths.end(), entry.twos, 2.0);
+    s.fa = entry.fa;
+    s.over_all_sets = true;
+    reg.add(std::move(s));
+  }
+}
+
 void add_sweeps(ScenarioRegistry& reg) {
   {
     // The grid behind Table I read as a sweep: three width families x fa x
@@ -418,6 +473,8 @@ const ScenarioRegistry& registry() {
     add_monte_carlo(reg);
     add_stress(reg);
     add_worstcase_fast_mirrors(reg);
+    add_worstcase_bnb_mirrors(reg);
+    add_large_n_bnb(reg);
     add_sweeps(reg);
     return reg;
   }();

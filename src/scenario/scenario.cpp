@@ -55,6 +55,7 @@ std::string to_string(AnalysisKind kind) {
     case AnalysisKind::kMonteCarlo: return "montecarlo";
     case AnalysisKind::kWorstCase: return "worstcase";
     case AnalysisKind::kWorstCaseFast: return "worstcase-fast";
+    case AnalysisKind::kWorstCaseOverSetsBnb: return "worstcase-oversets-bnb";
     case AnalysisKind::kResilience: return "resilience";
     case AnalysisKind::kCaseStudy: return "casestudy";
   }
@@ -156,6 +157,16 @@ void Scenario::validate() const {
     case AnalysisKind::kWorstCaseFast:
       if (over_all_sets && count > 63) fail(name, "over_all_sets supports at most 63 sensors");
       break;
+    case AnalysisKind::kWorstCaseOverSetsBnb:
+      // The BnB engine IS the over-all-subsets outer loop; a fixed-set
+      // scenario has nothing for it to prune and almost certainly meant
+      // worstcase-fast.
+      if (!over_all_sets) {
+        fail(name, "worstcase-oversets-bnb requires over_all_sets (use worstcase-fast for a "
+                   "fixed attacked set)");
+      }
+      if (count > 63) fail(name, "over_all_sets supports at most 63 sensors");
+      break;
   }
   if (analysis == AnalysisKind::kResilience && fault.kind != sensors::FaultKind::kNone) {
     if (fault.p_enter < 0.0 || fault.p_enter > 1.0 || fault.p_recover < 0.0 ||
@@ -234,11 +245,13 @@ Scenario scenario_from_value(const JsonValue& root) {
   Scenario scenario;
   scenario.name = get_string(root, "name");
   scenario.description = get_string(root, "description");
-  scenario.analysis = parse_enum(get_string(root, "analysis"),
-                                 {AnalysisKind::kEnumerate, AnalysisKind::kMonteCarlo,
-                                  AnalysisKind::kWorstCase, AnalysisKind::kWorstCaseFast,
-                                  AnalysisKind::kResilience, AnalysisKind::kCaseStudy},
-                                 "analysis");
+  scenario.analysis =
+      parse_enum(get_string(root, "analysis"),
+                 {AnalysisKind::kEnumerate, AnalysisKind::kMonteCarlo,
+                  AnalysisKind::kWorstCase, AnalysisKind::kWorstCaseFast,
+                  AnalysisKind::kWorstCaseOverSetsBnb, AnalysisKind::kResilience,
+                  AnalysisKind::kCaseStudy},
+                 "analysis");
   scenario.widths = get_double_list(root, "widths");
   scenario.f = get_int(root, "f");
   scenario.trusted = get_index_list(root, "trusted");

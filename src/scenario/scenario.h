@@ -29,6 +29,10 @@ enum class AnalysisKind {
   kMonteCarlo,     ///< sampled E|S| (sim/montecarlo.h)
   kWorstCase,      ///< exhaustive worst-case search (sim/worstcase.h) — the golden oracle
   kWorstCaseFast,  ///< run-batched worst-case fast lane; bit-identical to kWorstCase
+  /// Branch-and-bound over-all-subsets worst case (symmetry dedup + pruned
+  /// class lattice, sim/engine/subset_search.h); bit-identical to kWorstCase
+  /// with over_all_sets, which this kind requires.
+  kWorstCaseOverSetsBnb,
   kResilience,     ///< faults + attacks Monte Carlo (sim/resilience.h)
   kCaseStudy,      ///< LandShark platoon Table II runner (vehicle/casestudy.h)
 };

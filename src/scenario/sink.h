@@ -56,8 +56,12 @@ class CollectingSink final : public ResultSink {
 /// same row emission.
 class CsvStreamSink final : public ResultSink {
  public:
-  /// Opens @p path and writes the header row immediately.
-  explicit CsvStreamSink(const std::string& path) : writer_(path) {}
+  /// Opens @p path and writes the header row immediately.  With @p append
+  /// the existing file (header included) is continued in place — the
+  /// resume path of run_sweep(): the caller truncates the file to the last
+  /// checkpointed byte first, then appends from the checkpointed grid index.
+  explicit CsvStreamSink(const std::string& path, bool append = false)
+      : writer_(path, append) {}
   /// Streams onto a caller-owned stream.
   explicit CsvStreamSink(std::ostream& out) : writer_(out) {}
 

@@ -1,6 +1,7 @@
 #include "scenario/sweep.h"
 
 #include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <limits>
 #include <numeric>
@@ -10,6 +11,7 @@
 #include <utility>
 
 #include "scenario/json.h"
+#include "sim/engine/saturating.h"
 #include "sim/engine/world_codec.h"
 #include "sim/enumerate.h"
 #include "support/ascii.h"
@@ -19,8 +21,9 @@ namespace arsf::scenario {
 namespace {
 
 using sim::engine::WorldCodec;
-
-constexpr std::uint64_t kUint64Max = std::numeric_limits<std::uint64_t>::max();
+using sim::engine::saturating_add;
+using sim::engine::saturating_binomial;
+using sim::engine::saturating_mul;
 
 [[noreturn]] void fail(const std::string& name, const std::string& reason) {
   throw std::invalid_argument("SweepSpec" + (name.empty() ? "" : " '" + name + "'") + ": " +
@@ -64,27 +67,6 @@ std::string widths_segment(const std::vector<double>& widths) {
     text += support::format_number(widths[i], 6);
   }
   return text;
-}
-
-std::uint64_t saturating_add(std::uint64_t a, std::uint64_t b) {
-  return a > kUint64Max - b ? kUint64Max : a + b;
-}
-
-std::uint64_t saturating_mul(std::uint64_t a, std::uint64_t b) {
-  if (a == 0 || b == 0) return 0;
-  return a > kUint64Max / b ? kUint64Max : a * b;
-}
-
-/// C(n, k) saturating at uint64 max.
-std::uint64_t binomial(std::uint64_t n, std::uint64_t k) {
-  if (k > n) return 0;
-  k = std::min(k, n - k);
-  std::uint64_t result = 1;
-  for (std::uint64_t i = 1; i <= k; ++i) {
-    if (result > kUint64Max / (n - k + i)) return kUint64Max;
-    result = result * (n - k + i) / i;
-  }
-  return result;
 }
 
 }  // namespace
@@ -305,7 +287,8 @@ std::uint64_t estimated_worlds(const Scenario& scenario) {
   switch (scenario.analysis) {
     case AnalysisKind::kEnumerate:
     case AnalysisKind::kWorstCase:
-    case AnalysisKind::kWorstCaseFast: {
+    case AnalysisKind::kWorstCaseFast:
+    case AnalysisKind::kWorstCaseOverSetsBnb: {
       std::uint64_t worlds = 0;
       try {
         worlds = sim::world_count(scenario.system(), Quantizer{scenario.step});
@@ -313,7 +296,9 @@ std::uint64_t estimated_worlds(const Scenario& scenario) {
         return 1;  // off-grid widths: the run will fail fast, cost is nil
       }
       if (scenario.analysis != AnalysisKind::kEnumerate && scenario.over_all_sets) {
-        return saturating_mul(worlds, binomial(scenario.n(), scenario.fa));
+        // Upper estimate for the BnB lane too: dedup/pruning only shrink the
+        // lattice, and the chunk scheduler just needs a monotone cost.
+        return saturating_mul(worlds, saturating_binomial(scenario.n(), scenario.fa));
       }
       return worlds;
     }
@@ -346,6 +331,78 @@ class ShiftSink final : public ResultSink {
 
 }  // namespace
 
+std::uint64_t sweep_fingerprint(const SweepSpec& spec) {
+  // FNV-1a over the canonical JSON: any semantic change to the sweep —
+  // name, base (smoke caps included), axes — lands in the hash.
+  const std::string text = spec.to_json();
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char ch : text) {
+    hash ^= static_cast<unsigned char>(ch);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+void save_sweep_checkpoint(const std::string& path, const SweepCheckpoint& checkpoint) {
+  // Write-then-rename: a kill mid-save leaves the previous token intact
+  // instead of a truncated file a resume would then reject.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out{tmp, std::ios::trunc};
+    out << checkpoint.next_index << ' ' << checkpoint.output_bytes << ' '
+        << checkpoint.spec_fingerprint << '\n';
+    out.flush();
+    if (!out) throw std::runtime_error("save_sweep_checkpoint: cannot write " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    throw std::runtime_error("save_sweep_checkpoint: cannot rename " + tmp + " to " + path +
+                             ": " + ec.message());
+  }
+}
+
+std::optional<SweepCheckpoint> load_sweep_checkpoint(const std::string& path) {
+  if (!std::filesystem::exists(path)) return std::nullopt;
+  std::ifstream in{path};
+  SweepCheckpoint checkpoint;
+  if (!in ||
+      !(in >> checkpoint.next_index >> checkpoint.output_bytes >> checkpoint.spec_fingerprint)) {
+    throw std::runtime_error("load_sweep_checkpoint: malformed checkpoint " + path);
+  }
+  // Anything beyond the three fields means this is not a token this code
+  // wrote (mangled or concatenated file) — fail loudly rather than resume
+  // with whatever the first three fields happened to parse as.
+  char trailing = 0;
+  if (in >> trailing) {
+    throw std::runtime_error("load_sweep_checkpoint: trailing content in checkpoint " + path);
+  }
+  return checkpoint;
+}
+
+void truncate_for_resume(const std::string& output_path, const SweepCheckpoint& checkpoint) {
+  std::error_code ec;
+  const std::uintmax_t size = std::filesystem::file_size(output_path, ec);
+  if (ec) {
+    throw std::runtime_error("truncate_for_resume: cannot stat " + output_path + ": " +
+                             ec.message());
+  }
+  if (size < checkpoint.output_bytes) {
+    throw std::runtime_error("truncate_for_resume: " + output_path + " is shorter (" +
+                             std::to_string(size) + " bytes) than its checkpoint (" +
+                             std::to_string(checkpoint.output_bytes) +
+                             "); the output does not match the resume token");
+  }
+  if (size > checkpoint.output_bytes) {
+    // Drop whatever the killed run wrote past its last completed chunk.
+    std::filesystem::resize_file(output_path, checkpoint.output_bytes, ec);
+    if (ec) {
+      throw std::runtime_error("truncate_for_resume: cannot truncate " + output_path + ": " +
+                               ec.message());
+    }
+  }
+}
+
 std::size_t run_sweep(const SweepSpec& spec, const Runner& runner, ResultSink& sink,
                       const SweepRunOptions& options) {
   if (options.chunk_scenarios == 0) {
@@ -353,9 +410,16 @@ std::size_t run_sweep(const SweepSpec& spec, const Runner& runner, ResultSink& s
   }
   spec.validate();
   const std::uint64_t total = spec.size();
+  if (options.resume_from > total) {
+    throw std::invalid_argument("run_sweep: resume_from (" +
+                                std::to_string(options.resume_from) +
+                                ") lies beyond the grid (" + std::to_string(total) + ")");
+  }
 
-  std::uint64_t chunk_base = 0;   // grid index of the current chunk's first point
-  std::uint64_t next_index = 0;   // next grid index to materialise
+  const std::uint64_t fingerprint =
+      options.checkpoint_path.empty() ? 0 : sweep_fingerprint(spec);
+  std::uint64_t chunk_base = options.resume_from;  // grid index of the chunk's first point
+  std::uint64_t next_index = options.resume_from;  // next grid index to materialise
   // A point that overflows its chunk's cost budget carries over to open the
   // next chunk — materialised and validated once, never recomputed.
   std::optional<Scenario> carried;
@@ -400,10 +464,39 @@ std::size_t run_sweep(const SweepSpec& spec, const Runner& runner, ResultSink& s
     runner.run_batch(std::span<const Scenario>{chunk}, shifted,
                      std::span<const std::size_t>{schedule});
     chunk_base += chunk.size();
+
+    if (!options.checkpoint_path.empty()) {
+      // Every result of [resume_from, chunk_base) is flushed (the streaming
+      // sinks flush per result), so a restart from this boundary loses
+      // nothing and repeats nothing.
+      SweepCheckpoint checkpoint{chunk_base, 0, fingerprint};
+      bool output_known = true;
+      if (!options.checkpoint_output.empty()) {
+        std::error_code ec;
+        const std::uintmax_t size = std::filesystem::file_size(options.checkpoint_output, ec);
+        if (ec) {
+          // Cannot see the output right now (bad path, external unlink): a
+          // token recording 0 bytes would make a later resume truncate the
+          // file to nothing.  Keep the previous token instead — older but
+          // still consistent, so a resume from it merely re-runs a few
+          // chunks and stays byte-identical.
+          output_known = false;
+        } else {
+          checkpoint.output_bytes = static_cast<std::uint64_t>(size);
+        }
+      }
+      if (output_known) save_sweep_checkpoint(options.checkpoint_path, checkpoint);
+    }
   }
 
   sink.on_finish(static_cast<std::size_t>(total));
-  return static_cast<std::size_t>(total);
+  if (!options.checkpoint_path.empty()) {
+    // A completed sweep needs no resume token; leaving one behind would make
+    // a later --resume skip the whole grid instead of re-running it.
+    std::error_code ec;
+    std::filesystem::remove(options.checkpoint_path, ec);
+  }
+  return static_cast<std::size_t>(total - options.resume_from);
 }
 
 }  // namespace arsf::scenario

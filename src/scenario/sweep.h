@@ -21,6 +21,7 @@
 // value untouched, so a SweepSpec with no axes expands to exactly its base.
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -90,6 +91,53 @@ struct SweepSpec {
 /// straggle) without affecting emission order or results.
 [[nodiscard]] std::uint64_t estimated_worlds(const Scenario& scenario);
 
+// ---- resumable sweeps -------------------------------------------------------
+// A grid-scale sweep interrupted by a crash or kill should not restart from
+// point 0.  run_sweep() can persist, after every flushed chunk, the next
+// grid index together with the output file's byte size at that moment (the
+// CsvStreamSink flushes per result, so everything before the checkpoint is
+// durably on disk).  A restart truncates the output back to the checkpointed
+// byte (discarding any partial rows the killed run got past the boundary),
+// reopens it in append mode and resumes at the recorded chunk boundary —
+// chunk composition depends only on (spec, options), so the resumed stream
+// is byte-identical to an uninterrupted run (tests/test_sweep.cpp pins
+// this).  scenario_runner wires the flow as `--sweep ... --csv out.csv
+// --resume` with the checkpoint living next to the CSV as `out.csv.progress`.
+
+/// Resume token: everything a restart needs to continue a sweep.
+struct SweepCheckpoint {
+  std::uint64_t next_index = 0;       ///< first grid index not yet flushed
+  std::uint64_t output_bytes = 0;     ///< output file size at the checkpoint
+  /// sweep_fingerprint() of the spec that wrote the token.  A resume against
+  /// a DIFFERENT sweep (other registry name, edited --sweep-json file, or
+  /// the same sweep with/without --smoke) would silently append rows of one
+  /// grid onto another; callers must reject a fingerprint mismatch.
+  std::uint64_t spec_fingerprint = 0;
+};
+
+/// Identity of a sweep for resume purposes: a 64-bit FNV-1a hash of the
+/// spec's canonical JSON, so ANY semantic difference — name, base scenario
+/// (including smoke caps), axes — changes the fingerprint.
+[[nodiscard]] std::uint64_t sweep_fingerprint(const SweepSpec& spec);
+
+/// Atomically (write-then-rename) persists @p checkpoint to @p path as one
+/// "next_index output_bytes spec_fingerprint" text line.  Throws
+/// std::runtime_error on I/O failure.
+void save_sweep_checkpoint(const std::string& path, const SweepCheckpoint& checkpoint);
+
+/// Reads a checkpoint written by save_sweep_checkpoint(); std::nullopt when
+/// the file does not exist (nothing to resume), std::runtime_error when it
+/// exists but cannot be parsed (a corrupt token should fail loudly, not
+/// silently restart from zero and duplicate rows).
+[[nodiscard]] std::optional<SweepCheckpoint> load_sweep_checkpoint(const std::string& path);
+
+/// Prepares an interrupted sweep's output file for resumption: truncates
+/// @p output_path to checkpoint.output_bytes (partial rows past the last
+/// checkpoint are discarded).  Throws std::runtime_error when the file is
+/// missing or already shorter than the checkpoint (the output does not match
+/// the token — resuming would corrupt the report).
+void truncate_for_resume(const std::string& output_path, const SweepCheckpoint& checkpoint);
+
 struct SweepRunOptions {
   /// Upper bound on grid points materialised and batched at once; memory for
   /// scenarios, results and the reorder buffer is O(chunk), not O(grid).
@@ -100,12 +148,26 @@ struct SweepRunOptions {
   std::uint64_t chunk_cost = 0;
   /// Start each chunk's costliest points first (see estimated_worlds()).
   bool order_by_cost = true;
+  /// When non-empty, save_sweep_checkpoint() runs after every flushed chunk
+  /// (recording the byte size of checkpoint_output, when given) and the file
+  /// is removed once the sweep completes.
+  std::string checkpoint_path;
+  /// Output file whose byte size goes into each checkpoint (the CSV the
+  /// sink streams to); empty records 0.
+  std::string checkpoint_output;
+  /// First grid index to run (a chunk boundary from a loaded checkpoint);
+  /// indices below it are neither materialised nor emitted.  Must be
+  /// <= spec.size().
+  std::uint64_t resume_from = 0;
 };
 
 /// Expands @p spec chunk by chunk and streams every chunk through
 /// @p runner into @p sink: on_result(i, ...) carries the GRID index i (input
 /// order, exactly once, strictly increasing), on_finish(size()) fires after
-/// the last chunk.  Returns the number of grid points run.
+/// the last chunk.  With options.resume_from > 0 only indices
+/// [resume_from, size()) are materialised and emitted; on_finish still
+/// reports size().  Returns the number of grid points run by THIS
+/// invocation (size() - resume_from).
 std::size_t run_sweep(const SweepSpec& spec, const Runner& runner, ResultSink& sink,
                       const SweepRunOptions& options = {});
 

@@ -1,0 +1,43 @@
+#pragma once
+// Saturating uint64 arithmetic shared by the cost models and subset search.
+//
+// Grid sizes, world counts and subset counts in this codebase are all
+// "astronomical means saturate, never wrap": a C(n, fa) or axis product that
+// overflows uint64 must compare as "huge", not as a small wrapped value that
+// a chunk scheduler or a prune counter would then misread.  One home for the
+// helpers keeps the overflow rules from drifting between the sweep cost
+// model (scenario/sweep.cpp) and the engine (subset_search.cpp);
+// WorldCodec::saturating_product stays separate because it also tracks the
+// zero-radix-after-overflow case.
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+namespace arsf::sim::engine {
+
+inline constexpr std::uint64_t kSaturated = std::numeric_limits<std::uint64_t>::max();
+
+[[nodiscard]] constexpr std::uint64_t saturating_add(std::uint64_t a, std::uint64_t b) noexcept {
+  return a > kSaturated - b ? kSaturated : a + b;
+}
+
+[[nodiscard]] constexpr std::uint64_t saturating_mul(std::uint64_t a, std::uint64_t b) noexcept {
+  if (a == 0 || b == 0) return 0;
+  return a > kSaturated / b ? kSaturated : a * b;
+}
+
+/// C(n, k) saturating at uint64 max; 0 when k > n.
+[[nodiscard]] constexpr std::uint64_t saturating_binomial(std::uint64_t n,
+                                                          std::uint64_t k) noexcept {
+  if (k > n) return 0;
+  k = std::min(k, n - k);
+  std::uint64_t result = 1;
+  for (std::uint64_t i = 1; i <= k; ++i) {
+    if (result > kSaturated / (n - k + i)) return kSaturated;
+    result = result * (n - k + i) / i;
+  }
+  return result;
+}
+
+}  // namespace arsf::sim::engine

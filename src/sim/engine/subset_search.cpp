@@ -1,0 +1,361 @@
+#include "sim/engine/subset_search.h"
+
+#include <algorithm>
+#include <limits>
+#include <mutex>
+#include <stdexcept>
+
+#include "sim/engine/saturating.h"
+#include "sim/engine/thread_pool.h"
+
+namespace arsf::sim::engine {
+
+namespace {
+
+/// Sensors bucketed by distinct width, widths ascending, ids ascending
+/// within a bucket (the order that realises each class's minimal mask).
+struct WidthGroup {
+  Tick width = 0;
+  std::vector<SensorId> ids;
+};
+
+std::vector<WidthGroup> group_by_width(std::span<const Tick> widths) {
+  std::vector<WidthGroup> groups;
+  std::vector<std::size_t> order(widths.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return widths[a] < widths[b]; });
+  for (const std::size_t id : order) {
+    if (groups.empty() || groups.back().width != widths[id]) {
+      groups.push_back(WidthGroup{widths[id], {}});
+    }
+    groups.back().ids.push_back(static_cast<SensorId>(id));
+  }
+  // stable_sort keeps equal widths in id order, so each bucket is ascending.
+  return groups;
+}
+
+/// One equivalence class: counts[j] sensors of groups[j].width attacked.
+struct SubsetClass {
+  std::vector<std::uint32_t> counts;
+  std::uint64_t min_mask = 0;   ///< smallest ids per group => lowest member mask
+  std::uint64_t subsets = 0;    ///< prod C(mult_j, counts_j), saturating
+  Tick bound = 0;               ///< over_sets_optimistic_bound of any member
+  Tick value = -1;              ///< per-set result once evaluated
+  bool evaluated = false;
+};
+
+/// Clamped Marzullo threshold (n - f); the order statistic the bound takes.
+int bound_threshold(std::size_t n, int f) noexcept {
+  const auto t = static_cast<std::int64_t>(n) - f;
+  if (t < 1) return 1;
+  if (t > static_cast<std::int64_t>(n)) return static_cast<int>(n);
+  return static_cast<int>(t);
+}
+
+/// 2 * t-th largest of @p reaches (destructive).
+Tick bound_from_reaches(std::vector<Tick>& reaches, int t) {
+  auto nth = reaches.begin() + (t - 1);
+  std::nth_element(reaches.begin(), nth, reaches.end(), std::greater<Tick>{});
+  return 2 * *nth;
+}
+
+/// Number of count-vectors c_j..c_{K-1} with 0 <= c_j <= mult_j summing to
+/// @p remaining — the classes below one prefix node, saturating.
+std::uint64_t completions_below(const std::vector<WidthGroup>& groups, std::size_t next,
+                                std::size_t remaining) {
+  std::vector<std::uint64_t> ways(remaining + 1, 0);
+  ways[0] = 1;
+  for (std::size_t j = next; j < groups.size(); ++j) {
+    const std::size_t mult = groups[j].ids.size();
+    std::vector<std::uint64_t> merged(remaining + 1, 0);
+    for (std::size_t sum = 0; sum <= remaining; ++sum) {
+      if (ways[sum] == 0) continue;
+      for (std::size_t c = 0; c <= mult && sum + c <= remaining; ++c) {
+        merged[sum + c] = saturating_add(merged[sum + c], ways[sum]);
+      }
+    }
+    ways = std::move(merged);
+  }
+  return ways[remaining];
+}
+
+/// Shared incumbent: best evaluated value and the lowest mask achieving it.
+struct Incumbent {
+  Tick value = -1;
+  std::uint64_t mask = kSaturated;
+
+  void offer(Tick value_in, std::uint64_t mask_in) noexcept {
+    if (value_in > value || (value_in == value && mask_in < mask)) {
+      value = value_in;
+      mask = mask_in;
+    }
+  }
+  /// True when the class provably supplies neither a larger maximum nor a
+  /// lower reported mask: its bound falls short of the incumbent value, or
+  /// ties it with a worse mask than an already-evaluated achiever.  Sound
+  /// for the final answer regardless of timing, because value <= incumbent
+  /// <= final max at every moment.
+  [[nodiscard]] bool dominates(Tick bound, std::uint64_t mask_in) const noexcept {
+    if (bound < value) return true;
+    return bound == value && value >= 0 && mask_in > mask;
+  }
+};
+
+}  // namespace
+
+Tick over_sets_optimistic_bound(std::span<const Tick> widths,
+                                std::span<const SensorId> attacked, int f) {
+  const std::size_t n = widths.size();
+  if (n == 0) return 0;
+  Tick max_width = 0;
+  for (const Tick w : widths) max_width = std::max(max_width, w);
+
+  std::vector<Tick> reaches;
+  reaches.reserve(n);
+  for (SensorId id = 0; id < n; ++id) {
+    const bool is_attacked = std::binary_search(attacked.begin(), attacked.end(), id);
+    reaches.push_back(is_attacked ? max_width + widths[id] : widths[id]);
+  }
+  return bound_from_reaches(reaches, bound_threshold(n, f));
+}
+
+SubsetSearchResult subset_search_over_sets(std::span<const Tick> widths, int f, std::size_t fa,
+                                           const SubsetEvaluator& evaluate,
+                                           unsigned num_threads, SubsetSearchStats* stats_out) {
+  const std::size_t n = widths.size();
+  if (fa > n) {
+    throw std::invalid_argument("subset_search_over_sets: fa (" + std::to_string(fa) +
+                                ") exceeds the number of sensors (" + std::to_string(n) +
+                                "); no fa-subset exists");
+  }
+  if (n > 63) {
+    throw std::invalid_argument("subset_search_over_sets: subset bitmasks support at most "
+                                "63 sensors");
+  }
+  if (num_threads == 0) num_threads = ThreadPool::default_threads();
+
+  SubsetSearchStats stats;
+  stats.subsets_total = saturating_binomial(n, fa);
+  SubsetSearchResult result;
+  if (n == 0) {
+    // One empty subset; mirror the flat loop: evaluate it, report no set
+    // unless it fused non-empty (it cannot — there are no sensors).
+    const Tick value = evaluate({}, num_threads);
+    stats.classes_total = stats.classes_evaluated = 1;
+    result.max_width = value;
+    result.found = value >= 0;
+    if (stats_out != nullptr) *stats_out = stats;
+    return result;
+  }
+
+  const std::vector<WidthGroup> groups = group_by_width(widths);
+  const std::size_t group_count = groups.size();
+  Tick max_width_all = groups.back().width;
+  const int t = bound_threshold(n, f);
+
+  // Suffix sensor counts: how many picks groups j.. can still absorb.
+  std::vector<std::size_t> suffix_mult(group_count + 1, 0);
+  for (std::size_t j = group_count; j-- > 0;) {
+    suffix_mult[j] = suffix_mult[j + 1] + groups[j].ids.size();
+  }
+
+  const auto class_of = [&](const std::vector<std::uint32_t>& counts) {
+    SubsetClass cls;
+    cls.counts = counts;
+    cls.subsets = 1;
+    std::vector<Tick> reaches;
+    reaches.reserve(n);
+    for (std::size_t j = 0; j < group_count; ++j) {
+      const std::vector<SensorId>& ids = groups[j].ids;
+      for (std::size_t k = 0; k < counts[j]; ++k) {
+        cls.min_mask |= std::uint64_t{1} << ids[k];
+        reaches.push_back(max_width_all + groups[j].width);
+      }
+      for (std::size_t k = counts[j]; k < ids.size(); ++k) reaches.push_back(groups[j].width);
+      cls.subsets = saturating_mul(cls.subsets, saturating_binomial(ids.size(), counts[j]));
+    }
+    cls.bound = bound_from_reaches(reaches, t);
+    return cls;
+  };
+
+  const auto representative = [&](const SubsetClass& cls) {
+    std::vector<SensorId> attacked;
+    attacked.reserve(fa);
+    for (std::size_t j = 0; j < group_count; ++j) {
+      attacked.insert(attacked.end(), groups[j].ids.begin(),
+                      groups[j].ids.begin() + cls.counts[j]);
+    }
+    std::sort(attacked.begin(), attacked.end());
+    return attacked;
+  };
+
+  // ---- incumbent seed: Theorem 4's attack-the-smallest-widths class -------
+  // (also the prefix tree's first leaf, so its branch can never be cut).
+  std::vector<std::uint32_t> seed_counts(group_count, 0);
+  {
+    std::size_t remaining = fa;
+    for (std::size_t j = 0; j < group_count && remaining > 0; ++j) {
+      seed_counts[j] = static_cast<std::uint32_t>(std::min(groups[j].ids.size(), remaining));
+      remaining -= seed_counts[j];
+    }
+  }
+  SubsetClass seed = class_of(seed_counts);
+  seed.value = evaluate(representative(seed), num_threads);
+  seed.evaluated = true;
+
+  Incumbent incumbent;
+  incumbent.offer(seed.value, seed.min_mask);
+  std::mutex incumbent_mutex;
+
+  // ---- prefix-tree enumeration with branch-and-bound -----------------------
+  // Counts per group chosen largest-first over ascending widths, so classes
+  // come out Theorem-4-most-plausible first; a prefix with r picks left is
+  // bounded by its best completion: attacked reaches (W + w) dominate every
+  // clean reach, so when t <= fa the t-th largest reach is an attacked one
+  // (maximised by the r LARGEST remaining widths) and otherwise it is the
+  // (t - fa)-th largest clean width (maximised by removing the r SMALLEST).
+  const auto prefix_bound = [&](const std::vector<std::uint32_t>& counts, std::size_t next,
+                                std::size_t remaining) {
+    std::vector<Tick> reaches;
+    reaches.reserve(n);
+    for (std::size_t j = 0; j < next; ++j) {
+      for (std::size_t k = 0; k < counts[j]; ++k) {
+        reaches.push_back(max_width_all + groups[j].width);
+      }
+      for (std::size_t k = counts[j]; k < groups[j].ids.size(); ++k) {
+        reaches.push_back(groups[j].width);
+      }
+    }
+    // Optimistic completion over groups[next..]: walk the undecided sensors
+    // in the favourable direction, attacking the first `remaining`.
+    std::size_t budget = remaining;
+    const bool attack_largest = t <= static_cast<int>(fa);
+    const auto take = [&](std::size_t j) {
+      const std::size_t mult = groups[j].ids.size();
+      const std::size_t attack_here = std::min(budget, mult);
+      budget -= attack_here;
+      for (std::size_t k = 0; k < attack_here; ++k) {
+        reaches.push_back(max_width_all + groups[j].width);
+      }
+      for (std::size_t k = attack_here; k < mult; ++k) reaches.push_back(groups[j].width);
+    };
+    if (attack_largest) {
+      for (std::size_t j = group_count; j-- > next;) take(j);
+    } else {
+      for (std::size_t j = next; j < group_count; ++j) take(j);
+    }
+    return bound_from_reaches(reaches, t);
+  };
+
+  std::vector<SubsetClass> classes;
+  std::vector<std::uint32_t> counts(group_count, 0);
+  const auto enumerate = [&](const auto& self, std::size_t j, std::size_t remaining) -> void {
+    ++stats.tree_nodes;
+    if (j == group_count) {
+      SubsetClass cls = class_of(counts);
+      if (cls.min_mask == seed.min_mask) {
+        classes.push_back(seed);  // pre-evaluated; keep its slot for the post-pass
+      } else {
+        classes.push_back(std::move(cls));
+      }
+      return;
+    }
+    if (j > 0 && remaining > 0) {
+      // Cut the whole subtree when even its most favourable completion
+      // cannot beat the incumbent.  The comparison must stay STRICT: class
+      // masks are not ordered relative to the seed's (ids are grouped by
+      // width, not by index — e.g. widths {5, 1} seed the id-1 class whose
+      // mask exceeds the id-0 class's), so a class that merely TIES the
+      // incumbent may still carry a lower mask and must reach the
+      // claim-time check, where the mask-aware tie rule handles it.
+      const Tick bound = prefix_bound(counts, j, remaining);
+      if (bound < incumbent.value) {
+        ++stats.branches_pruned;
+        const std::uint64_t below = completions_below(groups, j, remaining);
+        stats.classes_pruned = saturating_add(stats.classes_pruned, below);
+        std::uint64_t prefix_ways = 1;
+        for (std::size_t p = 0; p < j; ++p) {
+          prefix_ways = saturating_mul(prefix_ways, saturating_binomial(groups[p].ids.size(), counts[p]));
+        }
+        stats.subsets_pruned = saturating_add(
+            stats.subsets_pruned,
+            saturating_mul(prefix_ways, saturating_binomial(suffix_mult[j], remaining)));
+        return;
+      }
+    }
+    const std::size_t mult = groups[j].ids.size();
+    const std::size_t high = std::min(mult, remaining);
+    const std::size_t low = remaining > suffix_mult[j + 1] ? remaining - suffix_mult[j + 1] : 0;
+    for (std::size_t c = high + 1; c-- > low;) {
+      counts[j] = static_cast<std::uint32_t>(c);
+      self(self, j + 1, remaining - c);
+    }
+    counts[j] = 0;
+  };
+  enumerate(enumerate, 0, fa);
+  stats.classes_total = saturating_add(stats.classes_pruned, classes.size());
+
+  // ---- shared-incumbent fan-out over the surviving classes ----------------
+  // Highest bound first (ties: lowest mask) so the incumbent peaks early;
+  // workers re-check the incumbent at claim time and skip dominated classes.
+  std::vector<std::size_t> order(classes.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (classes[a].bound != classes[b].bound) return classes[a].bound > classes[b].bound;
+    return classes[a].min_mask < classes[b].min_mask;
+  });
+
+  const auto run_class = [&](std::size_t i, unsigned per_class_threads) {
+    SubsetClass& cls = classes[order[i]];
+    if (cls.evaluated) return;  // the seed
+    {
+      const std::lock_guard<std::mutex> lock{incumbent_mutex};
+      if (incumbent.dominates(cls.bound, cls.min_mask)) return;
+    }
+    const Tick value = evaluate(representative(cls), per_class_threads);
+    cls.value = value;
+    cls.evaluated = true;
+    const std::lock_guard<std::mutex> lock{incumbent_mutex};
+    incumbent.offer(value, cls.min_mask);
+  };
+
+  // The evaluator is thread-count invariant, so the split between outer
+  // (class) and inner (per-set) parallelism is a pure wall-clock choice.
+  // With no more classes than workers — the common regime once dedup has
+  // collapsed the lattice — outer fan-out would idle most of the pool, so
+  // run classes sequentially and hand each per-set search the full fan-out
+  // (which also means every claim sees a fully up-to-date incumbent).
+  if (num_threads == 1 || classes.size() <= num_threads) {
+    for (std::size_t i = 0; i < classes.size(); ++i) run_class(i, num_threads);
+  } else if (num_threads >= ThreadPool::shared().size()) {
+    ThreadPool::shared().run(classes.size(), [&](std::size_t i) { run_class(i, 1); });
+  } else {
+    ThreadPool pool{num_threads};
+    pool.run(classes.size(), [&](std::size_t i) { run_class(i, 1); });
+  }
+
+  // ---- deterministic post-pass ---------------------------------------------
+  // Only evaluated classes can carry the answer (a skipped class was proven
+  // dominated at skip time, and the incumbent never decreases), so scanning
+  // the recorded values reproduces the flat loop's max and lowest-mask
+  // argmax independent of which classes any particular run pruned.
+  for (const SubsetClass& cls : classes) {
+    if (!cls.evaluated) {
+      ++stats.classes_pruned;
+      stats.subsets_pruned = saturating_add(stats.subsets_pruned, cls.subsets);
+      continue;
+    }
+    ++stats.classes_evaluated;
+    if (cls.value > result.max_width ||
+        (cls.value == result.max_width && cls.value >= 0 && cls.min_mask < result.best_mask)) {
+      result.max_width = cls.value;
+      result.best_mask = cls.min_mask;
+    }
+  }
+  result.found = result.max_width >= 0;
+  if (stats_out != nullptr) *stats_out = stats;
+  return result;
+}
+
+}  // namespace arsf::sim::engine

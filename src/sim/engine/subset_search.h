@@ -1,0 +1,113 @@
+#pragma once
+// Branch-and-bound subset search with equal-width symmetry dedup — the outer
+// loop of the global worst case |Swc_fa| (paper, Theorem 4).
+//
+// worst_case_over_sets historically walked every fa-subset of sensors with a
+// flat bitmask loop; once the per-set search went run-batched (PR 4,
+// attacked_lane.h), that C(n, fa) outer loop became the dominant cost and
+// capped exhaustive Theorem-4 studies at n ≈ 12–14.  This module replaces it
+// with a pruned search over *equivalence classes* of subsets:
+//
+//   * Symmetry dedup.  The per-set worst case depends only on the MULTISET
+//     of attacked widths (permuting equal-width sensors between the attacked
+//     and clean roles permutes isomorphic placement domains), so the search
+//     canonicalizes each subset to its attacked-width multiset, evaluates
+//     one representative per class, and multiplies the class out.  On inputs
+//     with repeated widths this alone collapses C(n, fa) to the number of
+//     distinct multisets.
+//   * Admissible optimistic bound.  Every endpoint of the fused interval is
+//     a point covered by >= t = n - f intervals, and an interval can only
+//     cover points within its REACH from the pinned origin: a clean sensor
+//     of width w reaches |p| <= w (its lower bound ranges over [-w, 0]), an
+//     attacked one reaches |p| <= W + w (lower bound in [-W - w, W], W the
+//     largest width — the same coverage-hull reasoning attacked_lane.h scans
+//     with).  Hence fused_hi <= t-th largest reach, fused_lo >= its
+//     negation, and
+//
+//         bound(A) = 2 * (t-th largest of {w_i : i clean} ∪ {W + w_a : a in A})
+//
+//     never undershoots the per-set oracle, stealth constraint or not (the
+//     bound simply ignores it; dropping constraints only raises the max).
+//     See src/sim/engine/README.md for the full derivation and the prefix
+//     relaxation.
+//   * Branch and bound.  Classes are enumerated as a prefix tree over the
+//     distinct widths in ascending order (counts per width chosen largest
+//     first, so the first leaf is Theorem 4's attack-the-smallest-widths
+//     class — the natural incumbent seed).  A prefix with r picks left
+//     relaxes the bound over its best completion (r largest remaining picks
+//     when t <= fa, r smallest when t > fa — attacked reaches always
+//     dominate clean ones), so any subtree whose relaxed bound cannot beat
+//     the incumbent is cut without enumeration.  Surviving classes are
+//     evaluated bound-descending on the engine ThreadPool against a shared
+//     incumbent; a deterministic post-pass over the recorded per-class
+//     values reproduces the flat loop's answer — max width AND the reported
+//     best set (lowest original bitmask among maximisers) — bit-identically
+//     for every thread count, because a class is only ever skipped when it
+//     provably cannot supply either.
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/config.h"
+
+namespace arsf::sim::engine {
+
+/// Counters from one pruned subset search.  subsets_total / classes_total
+/// depend only on the input; the evaluated/pruned splits depend on evaluation
+/// timing and are deterministic only for num_threads == 1.
+struct SubsetSearchStats {
+  std::uint64_t subsets_total = 0;     ///< C(n, fa), saturating at uint64 max
+  std::uint64_t classes_total = 0;     ///< distinct attacked-width multisets
+  std::uint64_t classes_evaluated = 0; ///< representatives actually searched
+  std::uint64_t classes_pruned = 0;    ///< classes skipped via the bound
+  std::uint64_t subsets_pruned = 0;    ///< subsets inside pruned classes/subtrees (saturating)
+  std::uint64_t tree_nodes = 0;        ///< prefix-tree nodes visited
+  std::uint64_t branches_pruned = 0;   ///< subtrees cut during enumeration
+};
+
+/// Admissible optimistic bound on the per-set worst case: twice the t-th
+/// largest reach (see file comment), t = clamp(n - f, 1, n).  Never below
+/// worst_case_fusion({widths, f, attacked, *}).max_width for either stealth
+/// setting; tests/test_subset_search.cpp holds this as a property so future
+/// tightening cannot silently break admissibility.  @p attacked must be
+/// sorted ascending.  Returns 0 for n == 0.
+[[nodiscard]] Tick over_sets_optimistic_bound(std::span<const Tick> widths,
+                                              std::span<const SensorId> attacked, int f);
+
+/// Outcome of the class search; best_mask is meaningful iff found.
+struct SubsetSearchResult {
+  Tick max_width = -1;           ///< -1 when every evaluated class fused empty
+  std::uint64_t best_mask = 0;   ///< lowest subset bitmask achieving max_width
+  bool found = false;            ///< true iff max_width >= 0
+};
+
+/// Per-representative evaluator: the per-set worst-case max width for the
+/// (sorted ascending) attacked ids, running its engine with @p num_threads.
+/// Must be a pure function of the attacked-width multiset (the equal-width
+/// symmetry the dedup relies on) and thread-count invariant — both hold for
+/// sim::worst_case_fusion / worst_case_fusion_fast.
+using SubsetEvaluator =
+    std::function<Tick(const std::vector<SensorId>& attacked, unsigned num_threads)>;
+
+/// Branch-and-bound maximum of evaluate() over every fa-subset of sensors.
+/// Reproduces the flat bitmask loop's result exactly: max value, and the
+/// lowest mask among maximisers (the class representative masks pick the
+/// smallest ids per width, which realises each class's minimal mask).
+/// @p num_threads (0 = hardware threads, 1 = serial) splits between outer
+/// and inner parallelism: with more surviving classes than workers the
+/// classes fan out with serial per-set engines; otherwise — the common
+/// regime once dedup collapses the lattice — classes run sequentially and
+/// each per-set search gets the full fan-out.  Results are bit-identical
+/// for every thread count either way (the evaluator must be).  Throws
+/// std::invalid_argument when fa > n ("no fa-subset exists") or n > 63
+/// (subset bitmasks are uint64).  @p stats, when non-null, receives the
+/// search counters.
+[[nodiscard]] SubsetSearchResult subset_search_over_sets(std::span<const Tick> widths, int f,
+                                                         std::size_t fa,
+                                                         const SubsetEvaluator& evaluate,
+                                                         unsigned num_threads,
+                                                         SubsetSearchStats* stats = nullptr);
+
+}  // namespace arsf::sim::engine

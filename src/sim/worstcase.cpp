@@ -115,18 +115,36 @@ std::vector<SensorId> attacked_of_mask(std::uint64_t mask, std::size_t n) {
   return attacked;
 }
 
-Tick over_sets_impl(std::span<const Tick> widths, int f, std::size_t fa,
-                    std::vector<SensorId>* best_set, unsigned num_threads,
+/// No fa-subset exists beyond n; a silent -1 would be indistinguishable
+/// from "every configuration fused empty", so every over-sets entry point
+/// rejects the cardinality loudly, naming itself in @p entry_point.
+void check_subset_cardinality(const char* entry_point, std::size_t n, std::size_t fa) {
+  if (fa > n) {
+    throw std::invalid_argument(std::string{entry_point} + ": fa (" + std::to_string(fa) +
+                                ") exceeds the number of sensors (" + std::to_string(n) +
+                                "); no fa-subset exists");
+  }
+  // Subset bitmasks are uint64; beyond 63 sensors the flat loop's 1 << n is
+  // undefined.  Reject like the BnB engine does instead of wrapping.
+  if (n > 63) {
+    throw std::invalid_argument(std::string{entry_point} +
+                                ": subset bitmasks support at most 63 sensors");
+  }
+}
+
+Tick over_sets_impl(const char* entry_point, std::span<const Tick> widths, int f,
+                    std::size_t fa, std::vector<SensorId>* best_set, unsigned num_threads,
                     bool require_undetected,
                     WorstCaseResult (*search)(const WorstCaseConfig&)) {
   const std::size_t n = widths.size();
+  check_subset_cardinality(entry_point, n, fa);
 
   // Enumerate fa-subsets via a bitmask (n is small for exhaustive search).
   std::vector<std::uint64_t> masks;
   for (std::uint64_t mask = 0; mask < (1ULL << n); ++mask) {
     if (static_cast<std::size_t>(__builtin_popcountll(mask)) == fa) masks.push_back(mask);
   }
-  if (masks.empty()) return -1;
+  // fa <= n <= 63 guarantees at least one subset (possibly the empty one).
 
   // The outer loop is embarrassingly parallel: one per-set search per task,
   // each running its engine serially (a nested fan-out would just contend
@@ -180,15 +198,41 @@ Tick over_sets_impl(std::span<const Tick> widths, int f, std::size_t fa,
 Tick worst_case_over_sets(std::span<const Tick> widths, int f, std::size_t fa,
                           std::vector<SensorId>* best_set, unsigned num_threads,
                           bool require_undetected) {
-  return over_sets_impl(widths, f, fa, best_set, num_threads, require_undetected,
-                        &worst_case_fusion);
+  return over_sets_impl("worst_case_over_sets", widths, f, fa, best_set, num_threads,
+                        require_undetected, &worst_case_fusion);
 }
 
 Tick worst_case_over_sets_fast(std::span<const Tick> widths, int f, std::size_t fa,
                                std::vector<SensorId>* best_set, unsigned num_threads,
                                bool require_undetected) {
-  return over_sets_impl(widths, f, fa, best_set, num_threads, require_undetected,
-                        &worst_case_fusion_fast);
+  return over_sets_impl("worst_case_over_sets_fast", widths, f, fa, best_set, num_threads,
+                        require_undetected, &worst_case_fusion_fast);
+}
+
+Tick worst_case_over_sets_bnb(std::span<const Tick> widths, int f, std::size_t fa,
+                              std::vector<SensorId>* best_set, unsigned num_threads,
+                              bool require_undetected, engine::SubsetSearchStats* stats) {
+  check_subset_cardinality("worst_case_over_sets_bnb", widths.size(), fa);
+  // One representative per attacked-width multiset, on the run-batched
+  // per-set lane.  The evaluator is a pure function of the attacked-width
+  // multiset (see subset_search.h) because the per-set max width is
+  // invariant under permuting equal-width sensors between roles.
+  const engine::SubsetEvaluator evaluate = [&](const std::vector<SensorId>& attacked,
+                                               unsigned threads) {
+    WorstCaseConfig config;
+    config.widths.assign(widths.begin(), widths.end());
+    config.f = f;
+    config.require_undetected = require_undetected;
+    config.num_threads = threads;
+    config.attacked = attacked;
+    return worst_case_fusion_fast(config).max_width;
+  };
+  const engine::SubsetSearchResult result =
+      engine::subset_search_over_sets(widths, f, fa, evaluate, num_threads, stats);
+  if (result.found && best_set != nullptr) {
+    *best_set = attacked_of_mask(result.best_mask, widths.size());
+  }
+  return result.max_width;
 }
 
 }  // namespace arsf::sim

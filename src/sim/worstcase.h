@@ -18,6 +18,7 @@
 
 #include "core/config.h"
 #include "core/fusion.h"
+#include "sim/engine/subset_search.h"
 
 namespace arsf::sim {
 
@@ -63,7 +64,10 @@ struct WorstCaseResult {
 /// per-set engine running serially.  Results — including which maximising
 /// set best_set reports (the lowest subset bitmask) — are bit-identical for
 /// every thread count.  @p require_undetected applies to every per-set
-/// search (see WorstCaseConfig).
+/// search (see WorstCaseConfig).  All over-sets entry points (this one, the
+/// _fast and _bnb lanes) throw std::invalid_argument when fa > n (no
+/// fa-subset exists, and a silent -1 is indistinguishable from "every
+/// configuration fused empty") and when n > 63 (subset bitmasks are uint64).
 [[nodiscard]] Tick worst_case_over_sets(std::span<const Tick> widths, int f, std::size_t fa,
                                         std::vector<SensorId>* best_set = nullptr,
                                         unsigned num_threads = 0,
@@ -77,5 +81,23 @@ struct WorstCaseResult {
                                              std::vector<SensorId>* best_set = nullptr,
                                              unsigned num_threads = 0,
                                              bool require_undetected = true);
+
+/// worst_case_over_sets on the branch-and-bound subset engine
+/// (sim/engine/subset_search.h): equal-width subsets collapse to one
+/// representative per attacked-width multiset, and classes whose admissible
+/// optimistic bound cannot beat the shared incumbent are pruned without
+/// running their per-set search (which itself rides the run-batched fast
+/// lane).  Bit-identical to worst_case_over_sets for every input and thread
+/// count — the max width AND the reported best_set (lowest subset bitmask
+/// among maximisers) — while visiting a fraction of the C(n, fa) lattice;
+/// the flat loop stays the golden oracle the differential parity suite
+/// (tests/test_subset_search.cpp) checks against.  @p stats, when non-null,
+/// receives the dedup/prune counters.
+[[nodiscard]] Tick worst_case_over_sets_bnb(std::span<const Tick> widths, int f,
+                                            std::size_t fa,
+                                            std::vector<SensorId>* best_set = nullptr,
+                                            unsigned num_threads = 0,
+                                            bool require_undetected = true,
+                                            engine::SubsetSearchStats* stats = nullptr);
 
 }  // namespace arsf::sim

@@ -7,7 +7,8 @@
 
 namespace arsf::support {
 
-CsvWriter::CsvWriter(const std::string& path) : file_(path), out_(&file_) {
+CsvWriter::CsvWriter(const std::string& path, bool append)
+    : file_(path, append ? std::ios::out | std::ios::app : std::ios::out), out_(&file_) {
   if (!file_) throw std::runtime_error("CsvWriter: cannot open " + path);
 }
 
@@ -33,8 +34,8 @@ void CsvWriter::write_numeric_row(const std::vector<double>& cells) {
   write_row(text);
 }
 
-ReportWriter::ReportWriter(const std::string& path) : csv_(path) {
-  csv_.write_row({"scenario", "analysis", "metric", "value"});
+ReportWriter::ReportWriter(const std::string& path, bool append) : csv_(path, append) {
+  if (!append) csv_.write_row({"scenario", "analysis", "metric", "value"});
 }
 
 ReportWriter::ReportWriter(std::ostream& out) : csv_(out) {

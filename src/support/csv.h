@@ -11,8 +11,9 @@ namespace arsf::support {
 /// RFC-4180-style CSV writer (quotes fields containing separators/quotes).
 class CsvWriter {
  public:
-  /// Opens @p path for writing; throws std::runtime_error on failure.
-  explicit CsvWriter(const std::string& path);
+  /// Opens @p path for writing (@p append continues an existing file in
+  /// place — the resumable-sweep path); throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path, bool append = false);
   /// Writes to an already-open stream owned by the caller.
   explicit CsvWriter(std::ostream& out);
 
@@ -41,7 +42,11 @@ class CsvWriter {
 /// pivot cleanly.  The header row is written on construction.
 class ReportWriter {
  public:
-  explicit ReportWriter(const std::string& path);
+  /// @p append continues an existing report in place WITHOUT re-writing the
+  /// header row (the resumable-sweep path: the original run already wrote
+  /// it, and a duplicate header would break byte-identity with an
+  /// uninterrupted run).
+  explicit ReportWriter(const std::string& path, bool append = false);
   explicit ReportWriter(std::ostream& out);
 
   void add(const std::string& scenario, const std::string& analysis,

@@ -162,6 +162,7 @@ TEST(ScenarioParity, AnalysisThreadCountInvarianceMatrix) {
       reg.at("fig4/wc-2-3-5"),
       reg.at("fast/fig4/wc-2-3-5"),
       reg.at("fast/stress/worstcase-over-sets"),
+      reg.at("bnb/stress/worstcase-over-sets"),
       reg.at("ext/faults-and-attacks"),
       reg.at("table2/landshark-ascending"),
   };

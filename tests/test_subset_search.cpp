@@ -1,0 +1,292 @@
+// Differential parity harness for the branch-and-bound subset search
+// (sim/engine/subset_search.h, sim::worst_case_over_sets_bnb).
+//
+// The BnB lane must be bit-identical to the flat worst_case_over_sets loop:
+// the max width AND the reported best_set (lowest subset bitmask among
+// maximisers), for every input and thread count.  Four layers:
+//   * direct: randomized (widths, f, fa, stealth) draws against the oracle
+//     at thread counts {1, 0}, plus a thread-count invariance matrix;
+//   * bound: the optimistic bound is admissible — never below the per-set
+//     oracle — over randomized width sets and both stealth settings, so
+//     future bound tightening cannot silently break pruning soundness;
+//   * edges: fa = 0, fa = n, all-equal widths (one equivalence class),
+//     fa > n (rejected loudly), n = 0;
+//   * scenario: every registered over-sets worstcase scenario vs its
+//     "bnb/" twin through the Runner, and the large-n BnB-only scenarios
+//     pinned thread-count invariant.
+
+#include <gtest/gtest.h>
+
+#include "scenario/registry.h"
+#include "scenario/runner.h"
+#include "sim/engine/subset_search.h"
+#include "sim/worstcase.h"
+#include "support/rng.h"
+
+namespace arsf {
+namespace {
+
+using support::Rng;
+
+struct OverSetsDraw {
+  std::vector<Tick> widths;
+  int f = 0;
+  std::size_t fa = 0;
+  bool undetected = true;
+};
+
+/// Small widths from a 4-value pool: repeats are likely, so the dedup path
+/// (not just the degenerate one-class-per-subset case) is exercised.
+OverSetsDraw random_draw(Rng& rng) {
+  OverSetsDraw draw;
+  const auto n = static_cast<std::size_t>(rng.uniform_int(1, 5));
+  for (std::size_t i = 0; i < n; ++i) draw.widths.push_back(rng.uniform_int(1, 4));
+  draw.f = static_cast<int>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+  draw.fa = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(n)));
+  draw.undetected = rng.chance(0.7);
+  return draw;
+}
+
+std::string draw_label(const OverSetsDraw& draw, int serial) {
+  std::string label = "draw " + std::to_string(serial) + ": widths {";
+  for (const Tick w : draw.widths) label += std::to_string(w) + ",";
+  return label + "} f=" + std::to_string(draw.f) + " fa=" + std::to_string(draw.fa) +
+         " undetected=" + std::to_string(draw.undetected);
+}
+
+TEST(SubsetSearchDirect, RandomDrawsMatchOracleIncludingBestSet) {
+  Rng rng{0xb7b5ea2c4ULL};  // fixed seed: reproducible, no wall-clock
+  for (int i = 0; i < 220; ++i) {
+    const OverSetsDraw draw = random_draw(rng);
+    for (const unsigned threads : {1u, 0u}) {
+      std::vector<SensorId> oracle_set;
+      std::vector<SensorId> bnb_set;
+      const Tick oracle = sim::worst_case_over_sets(draw.widths, draw.f, draw.fa, &oracle_set,
+                                                    threads, draw.undetected);
+      const Tick bnb = sim::worst_case_over_sets_bnb(draw.widths, draw.f, draw.fa, &bnb_set,
+                                                     threads, draw.undetected);
+      ASSERT_EQ(bnb, oracle) << draw_label(draw, i) << " threads " << threads;
+      ASSERT_EQ(bnb_set, oracle_set) << draw_label(draw, i) << " threads " << threads;
+    }
+  }
+}
+
+TEST(SubsetSearchDirect, LargerDrawsEngageDedupAndPruningAgainstTheOracle) {
+  // The small draws above barely build a prefix tree; n = 6-8 over widths
+  // {1, 2} yields multi-group trees, real branch/claim-time pruning and a
+  // many-class fan-out while the flat oracle stays affordable (fa <= 3).
+  Rng rng{0xb1663d2a5ULL};
+  for (int i = 0; i < 30; ++i) {
+    OverSetsDraw draw;
+    const auto n = static_cast<std::size_t>(rng.uniform_int(6, 8));
+    for (std::size_t k = 0; k < n; ++k) draw.widths.push_back(rng.uniform_int(1, 2));
+    draw.f = static_cast<int>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    draw.fa = static_cast<std::size_t>(rng.uniform_int(0, 3));
+    draw.undetected = rng.chance(0.7);
+    for (const unsigned threads : {1u, 0u}) {
+      std::vector<SensorId> oracle_set;
+      std::vector<SensorId> bnb_set;
+      const Tick oracle = sim::worst_case_over_sets(draw.widths, draw.f, draw.fa, &oracle_set,
+                                                    threads, draw.undetected);
+      const Tick bnb = sim::worst_case_over_sets_bnb(draw.widths, draw.f, draw.fa, &bnb_set,
+                                                     threads, draw.undetected);
+      ASSERT_EQ(bnb, oracle) << draw_label(draw, i) << " threads " << threads;
+      ASSERT_EQ(bnb_set, oracle_set) << draw_label(draw, i) << " threads " << threads;
+    }
+  }
+}
+
+TEST(SubsetSearchDirect, ThreadCountInvariant) {
+  Rng rng{0xb7b7ead5ULL};
+  for (int i = 0; i < 40; ++i) {
+    const OverSetsDraw draw = random_draw(rng);
+    std::vector<SensorId> serial_set;
+    const Tick serial = sim::worst_case_over_sets_bnb(draw.widths, draw.f, draw.fa,
+                                                      &serial_set, 1, draw.undetected);
+    for (const unsigned threads : {0u, 2u, 3u, 7u}) {
+      std::vector<SensorId> parallel_set;
+      const Tick parallel = sim::worst_case_over_sets_bnb(draw.widths, draw.f, draw.fa,
+                                                          &parallel_set, threads,
+                                                          draw.undetected);
+      EXPECT_EQ(parallel, serial) << draw_label(draw, i) << " threads " << threads;
+      EXPECT_EQ(parallel_set, serial_set) << draw_label(draw, i) << " threads " << threads;
+    }
+  }
+}
+
+// ---- bound admissibility ----------------------------------------------------
+
+TEST(SubsetSearchBound, NeverBelowThePerSetOracle) {
+  // The pruning logic is only sound if the bound never undershoots what a
+  // per-set search can actually achieve; hold that as a property over random
+  // width sets, attacked subsets and both stealth settings.  (The stealth
+  // constraint only restricts the attacker, so one bound must cover both.)
+  Rng rng{0xb0a2dadULL};
+  for (int i = 0; i < 300; ++i) {
+    sim::WorstCaseConfig config;
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 5));
+    for (std::size_t k = 0; k < n; ++k) config.widths.push_back(rng.uniform_int(1, 6));
+    config.f = static_cast<int>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    for (SensorId id = 0; id < n; ++id) {
+      if (rng.chance(0.35)) config.attacked.push_back(id);
+    }
+    config.require_undetected = rng.chance(0.5);
+    config.num_threads = 1;
+
+    const Tick bound = sim::engine::over_sets_optimistic_bound(
+        config.widths, config.attacked, config.f);
+    const Tick oracle = sim::worst_case_fusion(config).max_width;
+    std::string label = "case " + std::to_string(i) + ": widths {";
+    for (const Tick w : config.widths) label += std::to_string(w) + ",";
+    label += "} f=" + std::to_string(config.f) + " attacked {";
+    for (const SensorId id : config.attacked) label += std::to_string(id) + ",";
+    label += "} undetected=" + std::to_string(config.require_undetected);
+    EXPECT_GE(bound, oracle) << label;
+  }
+}
+
+// ---- edge cardinalities and degenerate inputs -------------------------------
+
+TEST(SubsetSearchEdges, FaZeroIsTheNoAttackWorstCaseInOneClass) {
+  const std::vector<Tick> widths = {2, 3, 4};
+  std::vector<SensorId> set{99};  // poison: must come back empty-handed
+  sim::engine::SubsetSearchStats stats;
+  const Tick bnb = sim::worst_case_over_sets_bnb(widths, 1, 0, &set, 1, true, &stats);
+  EXPECT_EQ(bnb, sim::worst_case_no_attack(widths, 1));
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(stats.subsets_total, 1u);
+  EXPECT_EQ(stats.classes_total, 1u);
+  EXPECT_EQ(stats.classes_evaluated, 1u);
+  EXPECT_EQ(stats.classes_pruned, 0u);
+}
+
+TEST(SubsetSearchEdges, FaEqualsNIsOneClassOfEveryone) {
+  const std::vector<Tick> widths = {2, 3, 4};
+  std::vector<SensorId> oracle_set;
+  std::vector<SensorId> bnb_set;
+  const Tick oracle = sim::worst_case_over_sets(widths, 1, 3, &oracle_set, 1);
+  sim::engine::SubsetSearchStats stats;
+  const Tick bnb = sim::worst_case_over_sets_bnb(widths, 1, 3, &bnb_set, 1, true, &stats);
+  EXPECT_EQ(bnb, oracle);
+  EXPECT_EQ(bnb_set, oracle_set);
+  EXPECT_EQ(bnb_set, (std::vector<SensorId>{0, 1, 2}));
+  EXPECT_EQ(stats.classes_total, 1u);
+  EXPECT_EQ(stats.subsets_total, 1u);
+}
+
+TEST(SubsetSearchEdges, AllEqualWidthsCollapseToASingleClass) {
+  // Five interchangeable sensors: C(5, 2) = 10 subsets, one multiset.
+  const std::vector<Tick> widths(5, 3);
+  std::vector<SensorId> oracle_set;
+  std::vector<SensorId> bnb_set;
+  const Tick oracle = sim::worst_case_over_sets(widths, 2, 2, &oracle_set, 1);
+  sim::engine::SubsetSearchStats stats;
+  const Tick bnb = sim::worst_case_over_sets_bnb(widths, 2, 2, &bnb_set, 1, true, &stats);
+  EXPECT_EQ(bnb, oracle);
+  EXPECT_EQ(bnb_set, oracle_set);
+  EXPECT_EQ(bnb_set, (std::vector<SensorId>{0, 1}));  // lowest mask: ids 0,1
+  EXPECT_EQ(stats.subsets_total, 10u);
+  EXPECT_EQ(stats.classes_total, 1u);
+  EXPECT_EQ(stats.classes_evaluated, 1u);
+}
+
+TEST(SubsetSearchEdges, RepeatedWidthsDedupAndAccountForEveryClass) {
+  // Widths {3,3,3,3,2,2}: C(6,2) = 15 subsets, 3 multisets ({2,2}, {2,3},
+  // {3,3}).  Serial run: the counters are deterministic and must partition.
+  const std::vector<Tick> widths = {3, 3, 3, 3, 2, 2};
+  std::vector<SensorId> oracle_set;
+  std::vector<SensorId> bnb_set;
+  const Tick oracle = sim::worst_case_over_sets(widths, 2, 2, &oracle_set, 1);
+  sim::engine::SubsetSearchStats stats;
+  const Tick bnb = sim::worst_case_over_sets_bnb(widths, 2, 2, &bnb_set, 1, true, &stats);
+  EXPECT_EQ(bnb, oracle);
+  EXPECT_EQ(bnb_set, oracle_set);
+  EXPECT_EQ(stats.subsets_total, 15u);
+  EXPECT_EQ(stats.classes_total, 3u);
+  EXPECT_EQ(stats.classes_evaluated + stats.classes_pruned, stats.classes_total);
+  EXPECT_GE(stats.classes_evaluated, 1u);  // the Theorem-4 seed at least
+  EXPECT_LE(stats.subsets_pruned, stats.subsets_total);
+}
+
+TEST(SubsetSearchEdges, FaBeyondNIsRejectedLoudly) {
+  const std::vector<Tick> widths = {2, 3};
+  EXPECT_THROW((void)sim::worst_case_over_sets_bnb(widths, 1, 3), std::invalid_argument);
+  // n > 63 would overflow the subset bitmasks; every lane rejects it rather
+  // than shifting 1 << 64 (UB in the flat loop) or wrapping.
+  const std::vector<Tick> too_many(64, 1);
+  EXPECT_THROW((void)sim::worst_case_over_sets(too_many, 1, 2), std::invalid_argument);
+  EXPECT_THROW((void)sim::worst_case_over_sets_fast(too_many, 1, 2), std::invalid_argument);
+  EXPECT_THROW((void)sim::worst_case_over_sets_bnb(too_many, 1, 2), std::invalid_argument);
+  // The degenerate empty system still mirrors the flat loop: its one empty
+  // subset fuses nothing.
+  std::vector<SensorId> set{99};
+  EXPECT_EQ(sim::worst_case_over_sets_bnb(std::vector<Tick>{}, 0, 0, &set), -1);
+  EXPECT_EQ(set, (std::vector<SensorId>{99}));  // untouched, like the oracle
+}
+
+// ---- scenario-level differential harness ------------------------------------
+
+TEST(SubsetSearchScenario, GoldenParityOverEveryRegisteredOverSetsScenario) {
+  const scenario::Runner runner;
+  std::size_t checked = 0;
+  for (const scenario::Scenario& scenario : scenario::registry().all()) {
+    if (scenario.analysis != scenario::AnalysisKind::kWorstCase || !scenario.over_all_sets) {
+      continue;
+    }
+    ++checked;
+
+    const scenario::Scenario* bnb = scenario::registry().find("bnb/" + scenario.name);
+    ASSERT_NE(bnb, nullptr) << "missing bnb mirror of " << scenario.name;
+    EXPECT_EQ(bnb->analysis, scenario::AnalysisKind::kWorstCaseOverSetsBnb) << bnb->name;
+    EXPECT_EQ(bnb->widths, scenario.widths) << bnb->name;
+    EXPECT_EQ(bnb->fa, scenario.fa) << bnb->name;
+
+    for (const unsigned threads : {1u, 0u}) {
+      scenario::Scenario oracle_run = scenario;
+      scenario::Scenario bnb_run = *bnb;
+      oracle_run.num_threads = threads;
+      bnb_run.num_threads = threads;
+      const scenario::ScenarioResult oracle = runner.run(oracle_run);
+      const scenario::ScenarioResult mirrored = runner.run(bnb_run);
+      ASSERT_TRUE(oracle.ok()) << scenario.name << ": " << oracle.error;
+      ASSERT_TRUE(mirrored.ok()) << bnb->name << ": " << mirrored.error;
+      ASSERT_EQ(mirrored.metrics.size(), oracle.metrics.size()) << scenario.name;
+      for (std::size_t m = 0; m < oracle.metrics.size(); ++m) {
+        EXPECT_EQ(mirrored.metrics[m].key, oracle.metrics[m].key) << scenario.name;
+        EXPECT_EQ(mirrored.metrics[m].value, oracle.metrics[m].value)
+            << scenario.name << " threads " << threads << " metric "
+            << oracle.metrics[m].key;
+      }
+    }
+  }
+  EXPECT_GE(checked, 1u);  // at least the over-all-sets stress workload
+}
+
+TEST(SubsetSearchScenario, LargeNScenariosAreThreadCountInvariant) {
+  // No oracle twin exists at n >= 15 (that is the point of the lane); pin
+  // the next-best contract instead: the registered large-n scenarios run,
+  // and their metrics are bit-identical at thread counts {1, 0}.
+  const scenario::Runner runner;
+  const auto large = scenario::registry().match("bnb/large-n/");
+  ASSERT_GE(large.size(), 3u);
+  for (const scenario::Scenario* entry : large) {
+    EXPECT_GE(entry->n(), 15u) << entry->name;
+    scenario::Scenario serial = *entry;
+    serial.num_threads = 1;
+    scenario::Scenario parallel = *entry;
+    parallel.num_threads = 0;
+    const scenario::ScenarioResult a = runner.run(serial);
+    const scenario::ScenarioResult b = runner.run(parallel);
+    ASSERT_TRUE(a.ok()) << entry->name << ": " << a.error;
+    ASSERT_TRUE(b.ok()) << entry->name << ": " << b.error;
+    ASSERT_EQ(a.metrics.size(), b.metrics.size()) << entry->name;
+    for (std::size_t m = 0; m < a.metrics.size(); ++m) {
+      EXPECT_EQ(a.metrics[m].key, b.metrics[m].key) << entry->name;
+      EXPECT_EQ(a.metrics[m].value, b.metrics[m].value)
+          << entry->name << " metric " << a.metrics[m].key;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace arsf

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -268,6 +269,179 @@ TEST(RunSweep, ThousandPointSweepIsChunkedAndThreadCountInvariant) {
           << "threads=" << threads << ": streamed CSV must be bit-identical";
     }
   }
+}
+
+// ---- resumable sweeps -------------------------------------------------------
+
+namespace {
+
+/// Forwards to an inner sink, then simulates a kill -9 by throwing once a
+/// set number of results have streamed (the runner rethrows a sink failure
+/// after the batch drains, so run_sweep aborts without checkpointing the
+/// broken chunk — exactly what an interrupted process leaves behind).
+class KillSwitchSink final : public ResultSink {
+ public:
+  KillSwitchSink(ResultSink& inner, std::size_t kill_after)
+      : inner_(inner), kill_after_(kill_after) {}
+
+  void on_result(std::size_t index, const ScenarioResult& result) override {
+    inner_.on_result(index, result);
+    if (++delivered_ == kill_after_) throw std::runtime_error("simulated kill");
+  }
+  void on_finish(std::size_t total) override { inner_.on_finish(total); }
+
+ private:
+  ResultSink& inner_;
+  std::size_t kill_after_;
+  std::size_t delivered_ = 0;
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream file{path, std::ios::binary};
+  std::ostringstream text;
+  text << file.rdbuf();
+  return text.str();
+}
+
+}  // namespace
+
+TEST(RunSweep, KillAndResumeProducesAByteIdenticalCsv) {
+  SweepSpec spec;
+  spec.name = "resume";
+  spec.base = cheap_base();
+  spec.widths_sets = {{1, 2, 3}, {2, 4, 6}, {3, 6, 9}};
+  spec.steps = {1.0, 0.5};
+  spec.schedules = {sched::ScheduleKind::kAscending, sched::ScheduleKind::kDescending};
+  ASSERT_EQ(spec.size(), 12u);
+
+  const Runner runner{{.num_threads = 2}};
+  const std::string golden_path = testing::TempDir() + "arsf_resume_golden.csv";
+  const std::string csv_path = testing::TempDir() + "arsf_resume_run.csv";
+  const std::string progress_path = csv_path + ".progress";
+  std::filesystem::remove(golden_path);
+  std::filesystem::remove(csv_path);
+  std::filesystem::remove(progress_path);
+
+  SweepRunOptions options;
+  options.chunk_scenarios = 5;  // chunk boundaries at grid indices 5, 10, 12
+
+  {
+    // Uninterrupted reference run (no checkpointing).
+    CsvStreamSink golden{golden_path};
+    EXPECT_EQ(run_sweep(spec, runner, golden, options), 12u);
+  }
+
+  // Interrupted run: checkpoints land next to the CSV; the kill fires after
+  // 7 results, so the chunk-5 boundary is checkpointed and results 5-6 sit
+  // on disk as rows PAST it (per-result flush) — the mess a real kill leaves.
+  options.checkpoint_path = progress_path;
+  options.checkpoint_output = csv_path;
+  {
+    CsvStreamSink csv{csv_path};
+    KillSwitchSink killer{csv, 7};
+    EXPECT_THROW(run_sweep(spec, runner, killer, options), std::runtime_error);
+  }
+  const std::optional<SweepCheckpoint> checkpoint = load_sweep_checkpoint(progress_path);
+  ASSERT_TRUE(checkpoint.has_value());
+  EXPECT_EQ(checkpoint->next_index, 5u);
+  EXPECT_GT(std::filesystem::file_size(csv_path), checkpoint->output_bytes)
+      << "the kill must strand partial rows past the checkpoint for this test to bite";
+  // The token is bound to the sweep that wrote it: resuming a DIFFERENT
+  // sweep (or the same one smoked/edited) must be detectable.
+  EXPECT_EQ(checkpoint->spec_fingerprint, sweep_fingerprint(spec));
+  SweepSpec other = spec;
+  other.name = "resume-edited";
+  EXPECT_NE(sweep_fingerprint(other), sweep_fingerprint(spec));
+
+  // Resume exactly the way scenario_runner --resume does: truncate the CSV
+  // back to the checkpointed byte, append from the checkpointed index.
+  truncate_for_resume(csv_path, *checkpoint);
+  options.resume_from = checkpoint->next_index;
+  {
+    CsvStreamSink csv{csv_path, /*append=*/true};
+    EXPECT_EQ(run_sweep(spec, runner, csv, options), 7u);
+  }
+  EXPECT_FALSE(std::filesystem::exists(progress_path))
+      << "a completed sweep must drop its resume token";
+  EXPECT_EQ(read_file(csv_path), read_file(golden_path));
+
+  std::filesystem::remove(golden_path);
+  std::filesystem::remove(csv_path);
+}
+
+TEST(RunSweep, UnstatableOutputSkipsTheCheckpointInsteadOfRecordingZeroBytes) {
+  // If the output file cannot be seen at checkpoint time, saving a token
+  // with output_bytes = 0 would make a later resume truncate the CSV to
+  // nothing; run_sweep must keep the previous token (here: none) instead.
+  SweepSpec spec;
+  spec.name = "unstatable";
+  spec.base = cheap_base();
+  spec.seed_count = 6;
+
+  const std::string progress_path = testing::TempDir() + "arsf_unstatable.progress";
+  std::filesystem::remove(progress_path);
+  SweepRunOptions options;
+  options.chunk_scenarios = 2;
+  options.checkpoint_path = progress_path;
+  options.checkpoint_output = testing::TempDir() + "no_such_dir/never_written.csv";
+
+  RecordingSink inner;
+  KillSwitchSink killer{inner, 3};  // abort mid-run so completion cannot hide the token
+  EXPECT_THROW(run_sweep(spec, Runner{{.num_threads = 1}}, killer, options),
+               std::runtime_error);
+  EXPECT_FALSE(std::filesystem::exists(progress_path));
+}
+
+TEST(RunSweep, ResumeTokensRejectCorruptionAndMismatchedOutputs) {
+  const std::string path = testing::TempDir() + "arsf_resume_token";
+  std::filesystem::remove(path);
+  EXPECT_FALSE(load_sweep_checkpoint(path).has_value());
+
+  save_sweep_checkpoint(path, SweepCheckpoint{42, 1234, 0xfeedULL});
+  const std::optional<SweepCheckpoint> token = load_sweep_checkpoint(path);
+  ASSERT_TRUE(token.has_value());
+  EXPECT_EQ(token->next_index, 42u);
+  EXPECT_EQ(token->output_bytes, 1234u);
+  EXPECT_EQ(token->spec_fingerprint, 0xfeedULL);
+
+  {
+    std::ofstream corrupt{path, std::ios::trunc};
+    corrupt << "not a checkpoint";
+  }
+  EXPECT_THROW((void)load_sweep_checkpoint(path), std::runtime_error);
+  {
+    // A pre-fingerprint (two-field) token is also rejected rather than
+    // resumed with a fingerprint of garbage.
+    std::ofstream old_format{path, std::ios::trunc};
+    old_format << "42 1234\n";
+  }
+  EXPECT_THROW((void)load_sweep_checkpoint(path), std::runtime_error);
+  {
+    // So is trailing content beyond the three fields (mangled/concatenated
+    // file whose prefix happens to parse).
+    std::ofstream mangled{path, std::ios::trunc};
+    mangled << "42 1234 7 999 extra\n";
+  }
+  EXPECT_THROW((void)load_sweep_checkpoint(path), std::runtime_error);
+
+  // A CSV shorter than its token cannot be the file the token describes.
+  const std::string csv = testing::TempDir() + "arsf_resume_short.csv";
+  {
+    std::ofstream file{csv, std::ios::trunc};
+    file << "tiny";
+  }
+  EXPECT_THROW(truncate_for_resume(csv, SweepCheckpoint{1, 1000}), std::runtime_error);
+  // resume_from beyond the grid is rejected before any work starts.
+  SweepSpec spec;
+  spec.name = "beyond";
+  spec.base = cheap_base();
+  RecordingSink sink;
+  SweepRunOptions options;
+  options.resume_from = 2;  // grid size is 1
+  EXPECT_THROW((void)run_sweep(spec, Runner{{.num_threads = 1}}, sink, options),
+               std::invalid_argument);
+  std::filesystem::remove(path);
+  std::filesystem::remove(csv);
 }
 
 TEST(RegistrySweeps, BuiltInSweepsAreRegisteredAndValid) {

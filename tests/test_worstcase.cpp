@@ -117,8 +117,12 @@ TEST(WorstCase, OverSetsEdgeCardinalities) {
   const Tick all = worst_case_over_sets(widths, 1, 3, &set, 2);
   EXPECT_EQ(set.size(), 3u);
   EXPECT_GE(all, worst_case_no_attack(widths, 1));
-  // fa > n: no subsets exist.
-  EXPECT_EQ(worst_case_over_sets(widths, 1, 4), -1);
+  // fa > n: no subsets exist — every over-sets entry point rejects the
+  // cardinality loudly instead of returning a -1 that would read as "every
+  // configuration fused empty".
+  EXPECT_THROW((void)worst_case_over_sets(widths, 1, 4), std::invalid_argument);
+  EXPECT_THROW((void)worst_case_over_sets_fast(widths, 1, 4), std::invalid_argument);
+  EXPECT_THROW((void)worst_case_over_sets_bnb(widths, 1, 4), std::invalid_argument);
 }
 
 TEST(WorstCase, ArgmaxAchievesReportedWidth) {

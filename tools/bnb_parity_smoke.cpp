@@ -1,0 +1,159 @@
+// bnb_parity_smoke — coarsened differential sweep of the branch-and-bound
+// subset search against the flat over-all-subsets loop, registered as a
+// ctest in the default run (CMake label "bnb_parity_smoke").  Three layers:
+//
+//   * golden: every registered over-all-sets worstcase scenario vs its
+//     "bnb/" twin through the Runner, metrics compared bit-exactly;
+//   * randomized: --iterations seeded random (widths, f, fa, stealth) draws
+//     through worst_case_over_sets / worst_case_over_sets_bnb directly,
+//     comparing the max width and the reported best_set, and additionally
+//     asserting the optimistic bound stays admissible on the drawn per-set
+//     configurations;
+//   * large-n: the bnb/large-n/ registry scenarios (no oracle exists at
+//     that size) pinned thread-count invariant at {1, 0}.
+//
+// An ARSF_SANITIZE=address build registers this same binary with a smaller
+// --iterations (see CMakeLists.txt), so the BnB engine path runs under ASan
+// on every sanitized CI pass.
+//
+//   ./bnb_parity_smoke [--iterations N] [--seed S]
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "scenario/registry.h"
+#include "scenario/runner.h"
+#include "sim/engine/subset_search.h"
+#include "sim/worstcase.h"
+#include "support/cli.h"
+#include "support/rng.h"
+
+namespace {
+
+bool metrics_identical(const arsf::scenario::ScenarioResult& a,
+                       const arsf::scenario::ScenarioResult& b) {
+  if (a.metrics.size() != b.metrics.size()) return false;
+  for (std::size_t m = 0; m < a.metrics.size(); ++m) {
+    if (a.metrics[m].key != b.metrics[m].key || a.metrics[m].value != b.metrics[m].value) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int check_registered_pairs() {
+  const arsf::scenario::Runner runner;
+  int failures = 0;
+  int pairs = 0;
+  for (const auto& scenario : arsf::scenario::registry().all()) {
+    if (scenario.analysis != arsf::scenario::AnalysisKind::kWorstCase ||
+        !scenario.over_all_sets) {
+      continue;
+    }
+    const auto* bnb = arsf::scenario::registry().find("bnb/" + scenario.name);
+    if (bnb == nullptr) {
+      std::fprintf(stderr, "FAIL %s: missing bnb/ mirror\n", scenario.name.c_str());
+      ++failures;
+      continue;
+    }
+    ++pairs;
+    const auto oracle = runner.run(scenario);
+    const auto mirrored = runner.run(*bnb);
+    if (!oracle.ok() || !mirrored.ok()) {
+      std::fprintf(stderr, "FAIL %s: %s%s\n", scenario.name.c_str(), oracle.error.c_str(),
+                   mirrored.error.c_str());
+      ++failures;
+      continue;
+    }
+    if (!metrics_identical(oracle, mirrored)) {
+      std::fprintf(stderr, "FAIL %s: bnb metrics diverge from oracle\n",
+                   scenario.name.c_str());
+      ++failures;
+    }
+  }
+  std::printf("bnb_parity_smoke: %d registered pairs checked\n", pairs);
+  return failures;
+}
+
+int check_random_draws(int iterations, std::uint64_t seed) {
+  arsf::support::Rng rng{seed};
+  int failures = 0;
+  for (int i = 0; i < iterations; ++i) {
+    std::vector<arsf::Tick> widths;
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 5));
+    for (std::size_t k = 0; k < n; ++k) widths.push_back(rng.uniform_int(1, 4));
+    const int f = static_cast<int>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    const auto fa = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(n)));
+    const bool undetected = rng.chance(0.7);
+    const unsigned threads = rng.chance(0.5) ? 1 : 0;
+
+    std::vector<arsf::SensorId> oracle_set;
+    std::vector<arsf::SensorId> bnb_set;
+    const arsf::Tick oracle =
+        arsf::sim::worst_case_over_sets(widths, f, fa, &oracle_set, threads, undetected);
+    const arsf::Tick bnb =
+        arsf::sim::worst_case_over_sets_bnb(widths, f, fa, &bnb_set, threads, undetected);
+    if (oracle != bnb || oracle_set != bnb_set) {
+      std::string text;
+      for (const arsf::Tick w : widths) text += std::to_string(w) + ",";
+      std::fprintf(stderr, "FAIL random #%d widths {%s} f=%d fa=%zu: oracle %lld vs bnb %lld\n",
+                   i, text.c_str(), f, fa, static_cast<long long>(oracle),
+                   static_cast<long long>(bnb));
+      ++failures;
+      continue;
+    }
+    // Bound admissibility on the winning per-set configuration: the pruning
+    // is only sound while this holds.
+    if (!bnb_set.empty()) {
+      const arsf::Tick bound =
+          arsf::sim::engine::over_sets_optimistic_bound(widths, bnb_set, f);
+      if (bound < bnb) {
+        std::fprintf(stderr, "FAIL random #%d: bound %lld below result %lld\n", i,
+                     static_cast<long long>(bound), static_cast<long long>(bnb));
+        ++failures;
+      }
+    }
+  }
+  std::printf("bnb_parity_smoke: %d random draws checked\n", iterations);
+  return failures;
+}
+
+int check_large_n_invariance() {
+  const arsf::scenario::Runner runner;
+  int failures = 0;
+  int checked = 0;
+  for (const auto* entry : arsf::scenario::registry().match("bnb/large-n/")) {
+    ++checked;
+    arsf::scenario::Scenario serial = *entry;
+    serial.num_threads = 1;
+    arsf::scenario::Scenario parallel = *entry;
+    parallel.num_threads = 0;
+    const auto a = runner.run(serial);
+    const auto b = runner.run(parallel);
+    if (!a.ok() || !b.ok() || !metrics_identical(a, b)) {
+      std::fprintf(stderr, "FAIL %s: thread counts 1 and 0 diverge\n", entry->name.c_str());
+      ++failures;
+    }
+  }
+  std::printf("bnb_parity_smoke: %d large-n scenarios thread-invariant\n", checked - failures);
+  return failures;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using Clock = std::chrono::steady_clock;
+  const arsf::support::ArgParser args{argc, argv};
+  const auto iterations = static_cast<int>(args.get_int("iterations", 120));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 0xb7b5e7));
+
+  const auto start = Clock::now();
+  int failures = check_registered_pairs();
+  failures += check_random_draws(iterations, seed);
+  failures += check_large_n_invariance();
+  const double seconds = std::chrono::duration<double>(Clock::now() - start).count();
+
+  std::printf("bnb_parity_smoke: %d failure(s) in %.2f s\n", failures, seconds);
+  return failures == 0 ? 0 : 1;
+}
