@@ -30,7 +30,16 @@
 // after every flushed chunk (removed on completion); --resume picks an
 // interrupted sweep back up at that chunk boundary, truncating the CSV to
 // the checkpointed byte first so the resumed file is byte-identical to an
-// uninterrupted run.
+// uninterrupted run.  A CSV that shrank below its checkpoint (external
+// truncation) is repaired to its last complete result instead of refused.
+//
+// Robust execution knobs: --deadline-ms N arms a per-scenario wall-clock
+// budget (scenarios with their own deadline_ms keep it); --retries N re-runs
+// a failed scenario up to N more times; --degrade re-admits a timed-out
+// scenario as its smoke variant, marked `degraded`.  Failures never abort
+// the batch — every slot reports a structured status frame, and a
+// human-readable error frame goes to STDERR per failure, so --jsonl stdout
+// stays pure JSON lines.
 
 #include <cstdio>
 #include <filesystem>
@@ -48,13 +57,21 @@
 namespace {
 
 // Counts failures on the way through so the exit code can gate CI without
-// re-materialising streamed results.
+// re-materialising streamed results, and prints one human-readable error
+// frame per failure to stderr — stdout stays reserved for --jsonl/--list
+// output.
 class FailureCountingSink final : public arsf::scenario::ResultSink {
  public:
   explicit FailureCountingSink(arsf::scenario::ResultSink& inner) : inner_(inner) {}
 
   void on_result(std::size_t index, const arsf::scenario::ScenarioResult& result) override {
-    if (!result.ok()) ++failures_;
+    if (!result.ok()) {
+      ++failures_;
+      std::fprintf(stderr, "[%zu] %s: %s (%s after %u attempt(s)): %s\n", index,
+                   result.scenario.c_str(), result.analysis.c_str(),
+                   arsf::scenario::to_string(result.status).c_str(), result.attempts,
+                   result.error.c_str());
+    }
     inner_.on_result(index, result);
   }
   void on_finish(std::size_t total) override { inner_.on_finish(total); }
@@ -85,6 +102,9 @@ int main(int argc, char** argv) {
   const std::string csv_path = args.get_string("csv", "");
   const auto threads = static_cast<unsigned>(args.get_int("threads", 0));
   const std::int64_t chunk_arg = args.get_int("chunk", 256);
+  const std::int64_t deadline_arg = args.get_int("deadline-ms", 0);
+  const std::int64_t retries_arg = args.get_int("retries", 0);
+  const bool degrade = args.has("degrade");
 
   for (const auto& unknown : args.unknown()) {
     std::fprintf(stderr, "unknown option --%s\n", unknown.c_str());
@@ -98,6 +118,18 @@ int main(int argc, char** argv) {
     return 2;
   }
   const auto chunk = static_cast<std::size_t>(chunk_arg);
+  // Same trap for the robustness knobs: a negative value cast to unsigned
+  // would mean "an absurdly long deadline" / "billions of retries".
+  if (deadline_arg < 0) {
+    std::fprintf(stderr, "--deadline-ms must be >= 0 (got %lld; 0 disables the deadline)\n",
+                 static_cast<long long>(deadline_arg));
+    return 2;
+  }
+  if (retries_arg < 0) {
+    std::fprintf(stderr, "--retries must be >= 0 (got %lld; 0 disables retries)\n",
+                 static_cast<long long>(retries_arg));
+    return 2;
+  }
 
   // The process-wide registry is immutable; overlays merge into a copy.
   arsf::scenario::ScenarioRegistry registry = arsf::scenario::registry();
@@ -127,6 +159,7 @@ int main(int argc, char** argv) {
     std::printf("        --sweep-json FILE)\n");
     std::printf("       [--overlay FILE] [--smoke] [--threads N] [--chunk N]\n");
     std::printf("       [--csv report.csv] [--resume] [--jsonl] [--progress]\n");
+    std::printf("       [--deadline-ms N] [--retries N] [--degrade]\n");
     std::printf("registry: %zu scenarios, %zu sweeps\n", registry.size(),
                 registry.sweeps().size());
     return 0;
@@ -202,12 +235,16 @@ int main(int argc, char** argv) {
                        progress_path.c_str());
           return 2;
         }
-        arsf::scenario::truncate_for_resume(csv_path, *checkpoint);
-        resume_from = checkpoint->next_index;
+        // The effective token may differ from the loaded one: a CSV that
+        // shrank below its checkpoint is repaired to its last complete
+        // result and the resume point recomputed from the file itself.
+        const arsf::scenario::SweepCheckpoint effective =
+            arsf::scenario::truncate_for_resume(csv_path, *checkpoint);
+        resume_from = effective.next_index;
         csv_append = true;
         std::fprintf(stderr, "--resume: continuing %s at grid index %llu (%llu bytes kept)\n",
                      csv_path.c_str(), static_cast<unsigned long long>(resume_from),
-                     static_cast<unsigned long long>(checkpoint->output_bytes));
+                     static_cast<unsigned long long>(effective.output_bytes));
       } else {
         std::fprintf(stderr, "--resume: no checkpoint at %s, starting from the top\n",
                      progress_path.c_str());
@@ -218,7 +255,13 @@ int main(int argc, char** argv) {
     }
   }
 
-  const arsf::scenario::Runner runner{{.num_threads = threads}};
+  arsf::scenario::RunnerOptions runner_options;
+  runner_options.num_threads = threads;
+  runner_options.default_deadline_ms = static_cast<std::uint64_t>(deadline_arg);
+  // --retries N = N re-runs on top of the first attempt.
+  runner_options.retry.max_attempts = static_cast<std::uint32_t>(retries_arg) + 1;
+  runner_options.degrade = degrade;
+  const arsf::scenario::Runner runner{runner_options};
 
   // Output plumbing shared by batch and sweep runs: every enabled sink sees
   // each result as it finishes, in input order.

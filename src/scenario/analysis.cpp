@@ -9,6 +9,18 @@
 
 namespace arsf::scenario {
 
+std::string to_string(ResultStatus status) {
+  switch (status) {
+    case ResultStatus::kOk: return "ok";
+    case ResultStatus::kFailed: return "failed";
+    case ResultStatus::kTimedOut: return "timed_out";
+    case ResultStatus::kCancelled: return "cancelled";
+    case ResultStatus::kRejected: return "rejected";
+    case ResultStatus::kRetriedOk: return "retried_ok";
+  }
+  throw std::invalid_argument("to_string: unknown ResultStatus");
+}
+
 double ScenarioResult::metric(const std::string& key) const {
   for (const Metric& m : metrics) {
     if (m.key == key) return m.value;
@@ -73,8 +85,10 @@ class EnumerateAnalysis final : public Analysis {
  public:
   [[nodiscard]] std::string name() const override { return "enumerate"; }
 
-  [[nodiscard]] ScenarioResult run(const Scenario& scenario) const override {
-    const EnumerateSetup setup = make_enumerate_setup(scenario);
+  [[nodiscard]] ScenarioResult run(const Scenario& scenario,
+                                   const sim::engine::CancelToken* cancel) const override {
+    EnumerateSetup setup = make_enumerate_setup(scenario);
+    setup.config.cancel = cancel;
     const sim::EnumerateResult result = sim::enumerate_expected_width(setup.config);
     ScenarioResult out{scenario.name, name(), {}, {}};
     out.metrics = {
@@ -94,8 +108,10 @@ class MonteCarloAnalysis final : public Analysis {
  public:
   [[nodiscard]] std::string name() const override { return "montecarlo"; }
 
-  [[nodiscard]] ScenarioResult run(const Scenario& scenario) const override {
+  [[nodiscard]] ScenarioResult run(const Scenario& scenario,
+                                   const sim::engine::CancelToken* cancel) const override {
     sim::MonteCarloConfig config;
+    config.cancel = cancel;
     config.system = scenario.system();
     config.quant = Quantizer{scenario.step};
     config.schedule = scenario.schedule;
@@ -128,7 +144,8 @@ class MonteCarloAnalysis final : public Analysis {
 /// suite compares the two engines and nothing else.
 class WorstCaseAnalysisBase : public Analysis {
  public:
-  [[nodiscard]] ScenarioResult run(const Scenario& scenario) const override {
+  [[nodiscard]] ScenarioResult run(const Scenario& scenario,
+                                   const sim::engine::CancelToken* cancel) const override {
     const SystemConfig system = scenario.system();
     const std::vector<Tick> widths = tick_widths(system, Quantizer{scenario.step});
     ScenarioResult out{scenario.name, name(), {}, {}};
@@ -136,7 +153,7 @@ class WorstCaseAnalysisBase : public Analysis {
     if (scenario.over_all_sets) {
       std::vector<SensorId> best_set;
       const Tick best = over_sets(widths, system.f, scenario.fa, &best_set,
-                                  scenario.num_threads, scenario.require_undetected);
+                                  scenario.num_threads, scenario.require_undetected, cancel);
       out.metrics = {
           {"max_width_ticks", static_cast<double>(best)},
           {"max_width", static_cast<double>(best) * scenario.step},
@@ -153,6 +170,7 @@ class WorstCaseAnalysisBase : public Analysis {
     config.attacked = resolve_attacked(scenario, system, sched::ascending_order(system));
     config.require_undetected = scenario.require_undetected;
     config.num_threads = scenario.num_threads;
+    config.cancel = cancel;
     const sim::WorstCaseResult result = fusion(config);
     out.metrics = {
         {"max_width_ticks", static_cast<double>(result.max_width)},
@@ -163,10 +181,13 @@ class WorstCaseAnalysisBase : public Analysis {
   }
 
  protected:
+  // fusion() receives cancel inside the config; over_sets() takes it as a
+  // trailing parameter because the sim::worst_case_over_sets* entry points do.
   [[nodiscard]] virtual sim::WorstCaseResult fusion(const sim::WorstCaseConfig& config) const = 0;
   [[nodiscard]] virtual Tick over_sets(std::span<const Tick> widths, int f, std::size_t fa,
                                        std::vector<SensorId>* best_set, unsigned num_threads,
-                                       bool require_undetected) const = 0;
+                                       bool require_undetected,
+                                       const sim::engine::CancelToken* cancel) const = 0;
 };
 
 class WorstCaseAnalysis final : public WorstCaseAnalysisBase {
@@ -179,8 +200,10 @@ class WorstCaseAnalysis final : public WorstCaseAnalysisBase {
   }
   [[nodiscard]] Tick over_sets(std::span<const Tick> widths, int f, std::size_t fa,
                                std::vector<SensorId>* best_set, unsigned num_threads,
-                               bool require_undetected) const override {
-    return sim::worst_case_over_sets(widths, f, fa, best_set, num_threads, require_undetected);
+                               bool require_undetected,
+                               const sim::engine::CancelToken* cancel) const override {
+    return sim::worst_case_over_sets(widths, f, fa, best_set, num_threads, require_undetected,
+                                     cancel);
   }
 };
 
@@ -194,9 +217,10 @@ class WorstCaseFastAnalysis final : public WorstCaseAnalysisBase {
   }
   [[nodiscard]] Tick over_sets(std::span<const Tick> widths, int f, std::size_t fa,
                                std::vector<SensorId>* best_set, unsigned num_threads,
-                               bool require_undetected) const override {
+                               bool require_undetected,
+                               const sim::engine::CancelToken* cancel) const override {
     return sim::worst_case_over_sets_fast(widths, f, fa, best_set, num_threads,
-                                          require_undetected);
+                                          require_undetected, cancel);
   }
 };
 
@@ -213,9 +237,10 @@ class WorstCaseOverSetsBnbAnalysis final : public WorstCaseAnalysisBase {
   }
   [[nodiscard]] Tick over_sets(std::span<const Tick> widths, int f, std::size_t fa,
                                std::vector<SensorId>* best_set, unsigned num_threads,
-                               bool require_undetected) const override {
+                               bool require_undetected,
+                               const sim::engine::CancelToken* cancel) const override {
     return sim::worst_case_over_sets_bnb(widths, f, fa, best_set, num_threads,
-                                         require_undetected);
+                                         require_undetected, /*stats=*/nullptr, cancel);
   }
 };
 
@@ -223,8 +248,10 @@ class ResilienceAnalysis final : public Analysis {
  public:
   [[nodiscard]] std::string name() const override { return "resilience"; }
 
-  [[nodiscard]] ScenarioResult run(const Scenario& scenario) const override {
+  [[nodiscard]] ScenarioResult run(const Scenario& scenario,
+                                   const sim::engine::CancelToken* cancel) const override {
     sim::ResilienceConfig config;
+    config.cancel = cancel;
     config.system = scenario.system();
     config.quant = Quantizer{scenario.step};
     config.schedule = scenario.schedule;
@@ -256,7 +283,8 @@ class CaseStudyAnalysis final : public Analysis {
  public:
   [[nodiscard]] std::string name() const override { return "casestudy"; }
 
-  [[nodiscard]] ScenarioResult run(const Scenario& scenario) const override {
+  [[nodiscard]] ScenarioResult run(const Scenario& scenario,
+                                   const sim::engine::CancelToken* cancel) const override {
     // The case study runs the built-in LandShark sensing suite; a scenario
     // whose system fields diverge from it would silently report numbers for
     // a different system, so reject the mismatch loudly instead.
@@ -271,6 +299,7 @@ class CaseStudyAnalysis final : public Analysis {
     }
 
     vehicle::CaseStudyConfig config;
+    config.cancel = cancel;
     config.schedule = scenario.schedule;
     config.rounds = scenario.rounds;
     config.seed = scenario.seed;

@@ -9,12 +9,14 @@
 // golden tests; exact integer counters are stored losslessly (all counts in
 // this codebase are far below 2^53).
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "scenario/scenario.h"
+#include "sim/engine/cancel.h"
 #include "sim/enumerate.h"
 
 namespace arsf::scenario {
@@ -24,12 +26,34 @@ struct Metric {
   double value = 0.0;
 };
 
+/// How one scenario run ended — the structured half of the error frame every
+/// ResultSink carries (scenario/sink.h).  The Runner maintains the
+/// invariant: `error` is non-empty exactly when the status is kFailed,
+/// kTimedOut, kCancelled or kRejected, and metrics are present only for kOk
+/// and kRetriedOk (a run that does not complete reports its status, never
+/// partial data).
+enum class ResultStatus {
+  kOk,         ///< completed first try
+  kFailed,     ///< threw; retries (if any) exhausted
+  kTimedOut,   ///< deadline budget exceeded (cooperative abort)
+  kCancelled,  ///< batch cancel token tripped before/while this ran
+  kRejected,   ///< admission control: estimated cost over budget, not run
+  kRetriedOk,  ///< completed after >= 1 failed attempt
+};
+
+[[nodiscard]] std::string to_string(ResultStatus status);
+
 /// Uniform result record: one per scenario run.
 struct ScenarioResult {
   std::string scenario;          ///< Scenario::name
   std::string analysis;          ///< dispatching analysis name
   std::vector<Metric> metrics;   ///< analysis-specific named values
   std::string error;             ///< non-empty iff the run failed
+  ResultStatus status = ResultStatus::kOk;  ///< see the invariant above
+  std::uint32_t attempts = 1;    ///< attempts consumed (includes the last one)
+  /// True when the result comes from the scenario's smoke_variant() after
+  /// the full run was over budget (RunnerOptions::degrade).
+  bool degraded = false;
 
   [[nodiscard]] bool ok() const noexcept { return error.empty(); }
   /// Value of @p key; throws std::out_of_range when absent.
@@ -43,8 +67,12 @@ class Analysis {
   virtual ~Analysis() = default;
   [[nodiscard]] virtual std::string name() const = 0;
   /// Runs the (validated) scenario.  Throws on engine errors; the Runner
-  /// turns exceptions into ScenarioResult::error.
-  [[nodiscard]] virtual ScenarioResult run(const Scenario& scenario) const = 0;
+  /// turns exceptions into ScenarioResult::error.  A non-null @p cancel is
+  /// threaded into the dispatched engine and aborts it cooperatively with
+  /// sim::engine::CancelledError at block/round granularity; it never
+  /// changes a completing run's result.
+  [[nodiscard]] virtual ScenarioResult run(
+      const Scenario& scenario, const sim::engine::CancelToken* cancel = nullptr) const = 0;
 };
 
 /// The analysis registered for @p kind (static lifetime, stateless, safe to

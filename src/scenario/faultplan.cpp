@@ -1,0 +1,138 @@
+#include "scenario/faultplan.h"
+
+#include <algorithm>
+
+#include "scenario/json.h"
+
+namespace arsf::scenario {
+
+const std::vector<std::string>& fault_sites() {
+  static const std::vector<std::string> sites{"analysis", "pool", "sink", "checkpoint"};
+  return sites;
+}
+
+void FaultPlan::validate() const {
+  for (const FaultRule& rule : rules) {
+    const auto& sites = fault_sites();
+    if (std::find(sites.begin(), sites.end(), rule.site) == sites.end()) {
+      throw std::invalid_argument("FaultPlan: unknown site '" + rule.site + "'");
+    }
+    if (rule.probability < 0.0 || rule.probability > 1.0) {
+      throw std::invalid_argument("FaultPlan: probability " +
+                                  json::number_text(rule.probability) +
+                                  " outside [0, 1] for site '" + rule.site + "'");
+    }
+    if (rule.nth == 0 && rule.probability == 0.0) {
+      throw std::invalid_argument("FaultPlan: rule for site '" + rule.site +
+                                  "' has no trigger (nth == 0 and probability == 0)");
+    }
+  }
+}
+
+std::string FaultPlan::to_json() const {
+  std::string rules_text = "[";
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    if (i) rules_text += ",";
+    json::JsonBuilder rule;
+    rule.field("site", rules[i].site);
+    rule.field("nth", rules[i].nth);
+    rule.field("probability", rules[i].probability);
+    rule.field("attempt_limit", static_cast<std::uint64_t>(rules[i].attempt_limit));
+    rules_text += rule.render();
+  }
+  rules_text += "]";
+
+  json::JsonBuilder builder;
+  builder.field("seed", seed);
+  builder.raw("rules", rules_text);
+  return builder.render();
+}
+
+FaultPlan FaultPlan::from_json(const std::string& text) {
+  const json::JsonValue root = json::parse(text, "FaultPlan");
+  json::reject_unknown_keys(root, {"seed", "rules"}, "FaultPlan");
+
+  FaultPlan plan;
+  plan.seed = json::get_uint(root, "seed");
+  const json::JsonValue& rules = json::object_field(root, "rules");
+  if (rules.type != json::JsonValue::Type::kArray) {
+    throw std::invalid_argument("FaultPlan JSON: 'rules' must be an array");
+  }
+  for (const json::JsonValue& entry : rules.array) {
+    if (entry.type != json::JsonValue::Type::kObject) {
+      throw std::invalid_argument("FaultPlan JSON: rule entries must be objects");
+    }
+    json::reject_unknown_keys(entry, {"site", "nth", "probability", "attempt_limit"},
+                              "FaultPlan");
+    FaultRule rule;
+    rule.site = json::get_string(entry, "site");
+    rule.nth = json::get_uint(entry, "nth");
+    rule.probability = json::get_double(entry, "probability");
+    rule.attempt_limit = static_cast<std::uint32_t>(json::get_uint(entry, "attempt_limit"));
+    plan.rules.push_back(std::move(rule));
+  }
+  plan.validate();
+  return plan;
+}
+
+bool operator==(const FaultRule& a, const FaultRule& b) {
+  return a.site == b.site && a.nth == b.nth && a.probability == b.probability &&
+         a.attempt_limit == b.attempt_limit;
+}
+
+bool operator==(const FaultPlan& a, const FaultPlan& b) {
+  return a.seed == b.seed && a.rules == b.rules;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) { plan_.validate(); }
+
+namespace {
+
+/// FNV-1a over the decision coordinates; folded to a double in [0, 1).  The
+/// generator quality bar here is "decorrelated across (site, key, attempt)",
+/// not statistical perfection — the harness only needs decisions that are
+/// stable and spread out.
+double decision_point(std::uint64_t seed, const std::string& site, std::uint64_t key,
+                      std::uint32_t attempt) {
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix_byte = [&h](std::uint8_t byte) {
+    h ^= byte;
+    h *= 1099511628211ULL;
+  };
+  const auto mix_u64 = [&mix_byte](std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) mix_byte(static_cast<std::uint8_t>(value >> (8 * i)));
+  };
+  mix_u64(seed);
+  for (char c : site) mix_byte(static_cast<std::uint8_t>(c));
+  mix_byte(0);  // site/key separator: "ab"+1 must differ from "a"+<b...>
+  mix_u64(key);
+  mix_u64(attempt);
+  // Top 53 bits -> [0, 1).
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+bool FaultInjector::should_fail(const std::string& site, std::uint64_t key,
+                                std::uint32_t attempt) const {
+  for (const FaultRule& rule : plan_.rules) {
+    if (rule.site != site) continue;
+    if (rule.attempt_limit != 0 && attempt > rule.attempt_limit) continue;
+    if (rule.nth != 0 && key == rule.nth) return true;
+    if (rule.probability > 0.0 &&
+        decision_point(plan_.seed, site, key, attempt) < rule.probability) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void FaultInjector::maybe_fail(const std::string& site, std::uint64_t key,
+                               std::uint32_t attempt) const {
+  if (should_fail(site, key, attempt)) {
+    throw InjectedFault("injected fault at site '" + site + "' key " + std::to_string(key) +
+                        " attempt " + std::to_string(attempt));
+  }
+}
+
+}  // namespace arsf::scenario

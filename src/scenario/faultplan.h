@@ -1,0 +1,119 @@
+#pragma once
+// Deterministic fault injection for the execution layer.
+//
+// A FaultPlan is a seeded, JSON-round-trippable list of rules that make
+// named sites inside the Runner/sweep machinery throw on demand.  The chaos
+// harness (tools/chaos_smoke.cpp) drives run_batch/run_sweep under seeded
+// plans and asserts the invariants the robust execution layer promises:
+// every batch terminates, surviving results arrive in input order, every
+// slot carries a structured status frame, and the frames are bit-identical
+// across thread counts.
+//
+// Determinism is the whole point, so an injection decision is a PURE
+// function of (plan seed, site name, stable per-site key, attempt number) —
+// never of a global occurrence counter, wall-clock or thread id.  The stable
+// keys are 1-based so rule `nth` values read naturally:
+//   "analysis"   — input slot + 1 (per attempt: before the analysis runs)
+//   "pool"       — input slot + 1 (task startup inside run_batch's fan-out)
+//   "sink"       — delivered result index + 1 (before sink.on_result)
+//   "checkpoint" — checkpoint save ordinal (1 for the first save, ...)
+// Identical plans therefore fire at identical logical points whether the
+// batch runs on 1 thread or 16, which is what lets the harness diff frames
+// across thread counts byte for byte.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "scenario/sink.h"
+
+namespace arsf::scenario {
+
+/// Thrown by FaultInjector::maybe_fail at an armed site.  Deliberately a
+/// plain runtime_error subtype: the execution layer must treat it exactly
+/// like any other scenario failure (capture, retry, frame) — nothing in the
+/// non-test code path is allowed to special-case it.
+class InjectedFault : public std::runtime_error {
+ public:
+  explicit InjectedFault(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// One injection rule.  A rule fires at its site when EITHER trigger says so:
+/// `nth` fires exactly at key == nth (0 = trigger disabled), `probability`
+/// fires when the seeded hash of (site, key, attempt) lands below it.
+struct FaultRule {
+  std::string site;            ///< "analysis", "pool", "sink" or "checkpoint"
+  std::uint64_t nth = 0;       ///< fire when key == nth (1-based; 0 = off)
+  double probability = 0.0;    ///< fire with this chance per (key, attempt)
+  /// Highest attempt number the rule still fires on.  The default 1 models a
+  /// TRANSIENT fault: attempt 1 throws, the retry succeeds (status
+  /// retried_ok).  0 means every attempt (a persistent fault that exhausts
+  /// the retry budget into status failed).
+  std::uint32_t attempt_limit = 1;
+};
+
+/// A seeded set of rules.  Plain data; validate() + strict JSON round-trip
+/// follow the Scenario discipline (unknown/duplicate keys rejected, all
+/// fields emitted).
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  std::vector<FaultRule> rules;
+
+  /// Throws std::invalid_argument on an unknown site name, a probability
+  /// outside [0, 1], or a rule with no trigger at all.
+  void validate() const;
+
+  [[nodiscard]] std::string to_json() const;
+  [[nodiscard]] static FaultPlan from_json(const std::string& text);
+};
+
+[[nodiscard]] bool operator==(const FaultRule& a, const FaultRule& b);
+[[nodiscard]] bool operator==(const FaultPlan& a, const FaultPlan& b);
+
+/// Evaluates a FaultPlan.  Stateless apart from the plan itself — safe to
+/// share across threads, and two injectors built from equal plans make
+/// identical decisions forever.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  /// Pure decision: does any rule fire at (site, key, attempt)?
+  [[nodiscard]] bool should_fail(const std::string& site, std::uint64_t key,
+                                 std::uint32_t attempt) const;
+
+  /// Throws InjectedFault when should_fail() says so; the what() names the
+  /// site, key and attempt so error frames stay diagnosable.
+  void maybe_fail(const std::string& site, std::uint64_t key, std::uint32_t attempt) const;
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+ private:
+  FaultPlan plan_;
+};
+
+/// Sink decorator arming the "sink" site: consults the injector with the
+/// delivered result index (+1) before forwarding.  The throw happens inside
+/// the Runner's ordered flush, which is exactly the delivery-failure path
+/// the harness needs to exercise: the ordered prefix already delivered
+/// stays delivered, the batch aborts cleanly.
+class FaultInjectingSink final : public ResultSink {
+ public:
+  FaultInjectingSink(ResultSink& inner, const FaultInjector& injector)
+      : inner_(inner), injector_(injector) {}
+
+  void on_result(std::size_t index, const ScenarioResult& result) override {
+    injector_.maybe_fail("sink", static_cast<std::uint64_t>(index) + 1, 1);
+    inner_.on_result(index, result);
+  }
+  void on_finish(std::size_t total) override { inner_.on_finish(total); }
+
+ private:
+  ResultSink& inner_;
+  const FaultInjector& injector_;
+};
+
+/// The valid FaultRule::site names, for validation and docs.
+[[nodiscard]] const std::vector<std::string>& fault_sites();
+
+}  // namespace arsf::scenario

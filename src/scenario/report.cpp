@@ -7,11 +7,19 @@ namespace arsf::scenario {
 void write_result_rows(support::ReportWriter& out, const ScenarioResult& result) {
   if (!result.ok()) {
     out.add_text(result.scenario, result.analysis, "error", result.error);
-    return;
+  } else {
+    for (const Metric& metric : result.metrics) {
+      out.add(result.scenario, result.analysis, metric.key, metric.value);
+    }
+    if (result.degraded) out.add_text(result.scenario, result.analysis, "degraded", "true");
+    if (result.attempts > 1) {
+      out.add(result.scenario, result.analysis, "attempts", static_cast<double>(result.attempts));
+    }
   }
-  for (const Metric& metric : result.metrics) {
-    out.add(result.scenario, result.analysis, metric.key, metric.value);
-  }
+  // Every result's rows end with exactly ONE "status" row.  run_sweep's
+  // resume repair leans on this: a truncated CSV is cut back to the last
+  // complete status row and the result count is the status-row count.
+  out.add_text(result.scenario, result.analysis, "status", to_string(result.status));
 }
 
 void write_report(support::ReportWriter& out, std::span<const ScenarioResult> results) {
@@ -22,7 +30,8 @@ std::string render_results(std::span<const ScenarioResult> results) {
   support::TextTable table{{"scenario", "analysis", "headline", "value", "status"}};
   for (const ScenarioResult& result : results) {
     if (!result.ok()) {
-      table.add_row({result.scenario, result.analysis, "-", "-", "ERROR: " + result.error});
+      table.add_row({result.scenario, result.analysis, "-", "-",
+                     to_string(result.status) + ": " + result.error});
       continue;
     }
     // The first metric of every analysis is its headline number (E|S|,
@@ -30,7 +39,9 @@ std::string render_results(std::span<const ScenarioResult> results) {
     const std::string key = result.metrics.empty() ? "-" : result.metrics.front().key;
     const std::string value =
         result.metrics.empty() ? "-" : support::format_number(result.metrics.front().value, 4);
-    table.add_row({result.scenario, result.analysis, key, value, "ok"});
+    std::string status = to_string(result.status);
+    if (result.degraded) status += " (degraded)";
+    table.add_row({result.scenario, result.analysis, key, value, status});
   }
   return table.render();
 }

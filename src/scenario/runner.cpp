@@ -1,14 +1,21 @@
 #include "scenario/runner.h"
 
+#include <chrono>
 #include <exception>
 #include <mutex>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
+#include "scenario/faultplan.h"
+#include "scenario/registry.h"
+#include "scenario/sweep.h"
 #include "sim/engine/thread_pool.h"
 
 namespace arsf::scenario {
 
+using sim::engine::CancelledError;
+using sim::engine::CancelToken;
 using sim::engine::ThreadPool;
 
 namespace {
@@ -86,9 +93,47 @@ class OrderedEmitter {
   std::exception_ptr sink_error_;   ///< sink threw while consuming the stream
 };
 
+/// Skeleton failure frame for a scenario that produced no analysis result.
+ScenarioResult failure_frame(const Scenario& scenario, ResultStatus status,
+                             const std::string& error, std::uint32_t attempts) {
+  ScenarioResult result;
+  result.scenario = scenario.name;
+  result.analysis = to_string(scenario.analysis);
+  result.status = status;
+  result.error = error;
+  result.attempts = attempts;
+  return result;
+}
+
 }  // namespace
 
-ScenarioResult Runner::run_one(const Scenario& scenario, bool force_serial) const {
+ScenarioResult Runner::run_degraded(const Scenario& scenario, bool force_serial,
+                                    std::uint32_t attempts) const {
+  Scenario smoke = smoke_variant(scenario);
+  if (force_serial) smoke.num_threads = 1;
+  // No deadline re-armed: smoke caps are the registry's trusted cheap
+  // configuration.  The external batch cancel still applies.
+  smoke.deadline_ms = 0;
+  try {
+    smoke.validate();
+    ScenarioResult out = analysis_for(smoke.analysis).run(smoke, options_.cancel);
+    out.status = attempts > 1 ? ResultStatus::kRetriedOk : ResultStatus::kOk;
+    out.attempts = attempts;
+    out.degraded = true;
+    return out;
+  } catch (const CancelledError& e) {
+    if (!options_.capture_errors) throw;
+    return failure_frame(scenario,
+                         e.timed_out() ? ResultStatus::kTimedOut : ResultStatus::kCancelled,
+                         e.what(), attempts);
+  } catch (const std::exception& e) {
+    if (!options_.capture_errors) throw;
+    return failure_frame(scenario, ResultStatus::kFailed, e.what(), attempts);
+  }
+}
+
+ScenarioResult Runner::run_one(const Scenario& scenario, bool force_serial,
+                               std::size_t slot) const {
   const Scenario* effective = &scenario;
   Scenario serial;
   if (force_serial && scenario.num_threads != 1) {
@@ -96,21 +141,86 @@ ScenarioResult Runner::run_one(const Scenario& scenario, bool force_serial) cons
     serial.num_threads = 1;
     effective = &serial;
   }
+
   try {
     effective->validate();
-    return analysis_for(effective->analysis).run(*effective);
   } catch (const std::exception& e) {
     if (!options_.capture_errors) throw;
-    ScenarioResult result;
-    result.scenario = scenario.name;
-    result.analysis = to_string(scenario.analysis);
-    result.error = e.what();
-    return result;
+    return failure_frame(scenario, ResultStatus::kFailed, e.what(), 1);
+  }
+
+  // Admission control: the estimated_worlds() cost model gates the run
+  // before any cycles are spent.  Over budget -> rejected, or re-admitted as
+  // the smoke variant when degrading is allowed.
+  if (options_.admission_budget > 0) {
+    const std::uint64_t cost = estimated_worlds(*effective);
+    if (cost > options_.admission_budget) {
+      if (options_.degrade) return run_degraded(scenario, force_serial, 1);
+      const std::string error = "admission control: estimated cost " + std::to_string(cost) +
+                                " worlds exceeds budget " +
+                                std::to_string(options_.admission_budget);
+      if (!options_.capture_errors) throw std::runtime_error(error);
+      return failure_frame(scenario, ResultStatus::kRejected, error, 1);
+    }
+  }
+
+  const std::uint64_t deadline_ms =
+      effective->deadline_ms != 0 ? effective->deadline_ms : options_.default_deadline_ms;
+  const std::uint32_t max_attempts = std::max<std::uint32_t>(1, options_.retry.max_attempts);
+
+  for (std::uint32_t attempt = 1;; ++attempt) {
+    // Fresh token per attempt: the deadline budget is per attempt, and a
+    // tripped token must not leak into the retry.  The external batch cancel
+    // is the parent, so it aborts attempts and blocks retries alike.
+    CancelToken token{options_.cancel};
+    if (deadline_ms != 0) {
+      token.set_deadline_after(std::chrono::milliseconds(deadline_ms));
+    }
+    const bool cancellable = options_.cancel != nullptr || deadline_ms != 0;
+
+    try {
+      if (options_.fault_injector != nullptr) {
+        options_.fault_injector->maybe_fail("analysis", static_cast<std::uint64_t>(slot) + 1,
+                                            attempt);
+      }
+      ScenarioResult out =
+          analysis_for(effective->analysis).run(*effective, cancellable ? &token : nullptr);
+      out.status = attempt > 1 ? ResultStatus::kRetriedOk : ResultStatus::kOk;
+      out.attempts = attempt;
+      return out;
+    } catch (const CancelledError& e) {
+      // An external cancel is never retried (the whole batch is going down);
+      // a deadline expiry is retried only when the policy opts in.
+      const bool external = options_.cancel != nullptr && options_.cancel->cancelled();
+      if (e.timed_out() && !external) {
+        if (options_.retry.retry_timed_out && attempt < max_attempts) {
+          // no backoff sleep: the attempt itself consumed a full budget
+          continue;
+        }
+        if (options_.degrade) return run_degraded(scenario, force_serial, attempt);
+      }
+      if (!options_.capture_errors) throw;
+      const ResultStatus status = e.timed_out() && !external ? ResultStatus::kTimedOut
+                                                             : ResultStatus::kCancelled;
+      return failure_frame(scenario, status, e.what(), attempt);
+    } catch (const std::exception& e) {
+      if (options_.retry.retry_failed && attempt < max_attempts) {
+        if (options_.retry.base_delay_ms > 0) {
+          double delay = static_cast<double>(options_.retry.base_delay_ms);
+          for (std::uint32_t k = 1; k < attempt; ++k) delay *= options_.retry.backoff;
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(static_cast<std::uint64_t>(delay)));
+        }
+        continue;
+      }
+      if (!options_.capture_errors) throw;
+      return failure_frame(scenario, ResultStatus::kFailed, e.what(), attempt);
+    }
   }
 }
 
 ScenarioResult Runner::run(const Scenario& scenario) const {
-  return run_one(scenario, /*force_serial=*/false);
+  return run_one(scenario, /*force_serial=*/false, /*slot=*/0);
 }
 
 std::vector<ScenarioResult> Runner::run_batch(std::span<const Scenario> scenarios) const {
@@ -164,13 +274,37 @@ void Runner::run_batch(std::span<const Scenario* const> scenarios, ResultSink& s
   const auto task = [&](std::size_t k) {
     const std::size_t slot = schedule.empty() ? k : schedule[k];
     ScenarioResult result;
+    // The pool-level gates run through run_one's capture semantics by
+    // throwing from this pre-step: an external cancel observed at task
+    // startup frames the slot `cancelled` WITHOUT running it, and the "pool"
+    // fault site models a task that dies before its scenario starts.  The
+    // cancel check is deliberately NOT ThreadPool's claim-and-skip (that
+    // would deposit nothing and break the one-frame-per-slot sink contract).
+    const auto pre = [&] {
+      if (options_.cancel != nullptr && options_.cancel->cancelled()) {
+        throw CancelledError(options_.cancel->timed_out());
+      }
+      if (options_.fault_injector != nullptr) {
+        options_.fault_injector->maybe_fail("pool", static_cast<std::uint64_t>(slot) + 1, 1);
+      }
+    };
     if (options_.capture_errors) {
-      result = run_one(*scenarios[slot], /*force_serial=*/concurrent);
+      try {
+        pre();
+        result = run_one(*scenarios[slot], /*force_serial=*/concurrent, slot);
+      } catch (const CancelledError& e) {
+        result = failure_frame(*scenarios[slot],
+                               e.timed_out() ? ResultStatus::kTimedOut : ResultStatus::kCancelled,
+                               e.what(), 1);
+      } catch (const std::exception& e) {
+        result = failure_frame(*scenarios[slot], ResultStatus::kFailed, e.what(), 1);
+      }
     } else {
       // Every task still runs after a failure: the first *input-order* error
       // must win, and whether an earlier slot fails is unknown until it ran.
       try {
-        result = run_one(*scenarios[slot], /*force_serial=*/concurrent);
+        pre();
+        result = run_one(*scenarios[slot], /*force_serial=*/concurrent, slot);
       } catch (...) {
         emitter.deposit_error(slot, std::current_exception());
         return;

@@ -1,5 +1,6 @@
 #pragma once
-// Scenario dispatch and batched execution.
+// Scenario dispatch and batched execution — the fault-tolerant execution
+// layer.
 //
 // Runner::run() validates one scenario and hands it to the Analysis
 // registered for its kind.  Runner::run_batch() executes many scenarios
@@ -20,28 +21,85 @@
 // ThreadPool::run() of count 1 executes inline without touching the pool,
 // which is what makes the nested serial engine calls safe.
 //
+// Robust execution (this layer's contract, see also README.md):
+//   * Deadlines — Scenario::deadline_ms (or RunnerOptions::default_deadline_ms)
+//     arms a steady-clock deadline per attempt; the engines abort
+//     cooperatively at block granularity.  A run that completes under a
+//     deadline is bit-identical to an undeadlined run; a run that does not
+//     reports status `timed_out` and NEVER partial data.
+//   * Cancellation — RunnerOptions::cancel aborts a whole batch: scenarios
+//     not yet started report `cancelled`, in-flight ones abort at their next
+//     block boundary.  Every slot still deposits a frame, so the sink's
+//     exactly-once, input-order contract holds even mid-cancel.
+//   * Admission control — RunnerOptions::admission_budget caps
+//     estimated_worlds(); an over-budget scenario is `rejected` without
+//     running, or re-admitted as its smoke_variant() when degrade is on
+//     (frame marked `degraded`).
+//   * Retry — RetryPolicy re-runs failed (optionally timed-out) attempts
+//     with exponential backoff; success after a retry reports `retried_ok`
+//     with the attempt count.
+//   * Fault injection — RunnerOptions::fault_injector arms the named
+//     "analysis"/"pool" sites (scenario/faultplan.h) for the chaos harness.
+//
 // An empty batch short-circuits without touching the thread pool (the sink
 // still receives on_finish(0)).  With capture_errors = false, the exception
 // propagated out of a batch is the FIRST failing scenario's in input order —
 // not whichever task happened to throw last — and the sink receives exactly
 // the results of the slots before it.
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
 #include "scenario/analysis.h"
 #include "scenario/sink.h"
+#include "sim/engine/cancel.h"
 
 namespace arsf::scenario {
+
+class FaultInjector;  // scenario/faultplan.h
+
+/// Retry with exponential backoff for per-scenario attempts.
+struct RetryPolicy {
+  /// Total attempts per scenario (1 = no retry).
+  std::uint32_t max_attempts = 1;
+  /// Sleep before attempt k+1: base_delay_ms * backoff^(k-1) milliseconds.
+  std::uint64_t base_delay_ms = 0;
+  double backoff = 2.0;
+  /// Retry attempts that threw (status would be `failed`).
+  bool retry_failed = true;
+  /// Retry attempts that exceeded their deadline.  Off by default — a
+  /// deterministic engine that ran out of budget once will again; this is
+  /// for deadlines tracking a contended machine, not the workload.
+  bool retry_timed_out = false;
+};
 
 struct RunnerOptions {
   /// Worker fan-out across the scenarios of a batch (0 = hardware threads,
   /// 1 = serial).  Single-scenario run() ignores this and leaves the
   /// scenario's own engine fan-out untouched.
   unsigned num_threads = 0;
-  /// Convert per-scenario exceptions into ScenarioResult::error instead of
-  /// propagating (a batch then always yields one result per scenario).
+  /// Convert per-scenario exceptions into status-carrying ScenarioResult
+  /// frames instead of propagating (a batch then always yields one result
+  /// per scenario).
   bool capture_errors = true;
+  /// Deadline for scenarios whose own deadline_ms is 0 (0 = none).
+  std::uint64_t default_deadline_ms = 0;
+  /// Admission control: reject (or degrade) scenarios whose
+  /// estimated_worlds() exceeds this (0 = no admission control).
+  std::uint64_t admission_budget = 0;
+  /// Re-admit an over-budget or timed-out scenario as its smoke_variant()
+  /// instead of rejecting it; the result is marked degraded.  The smoke
+  /// variant runs WITHOUT a deadline — smoke caps are the registry's own
+  /// trusted cheap configuration (every entry's smoke variant is CI-run).
+  bool degrade = false;
+  RetryPolicy retry;
+  /// External batch cancellation (nullptr = not cancellable).  Trip it from
+  /// any thread; see the file comment for the resulting frame semantics.
+  const sim::engine::CancelToken* cancel = nullptr;
+  /// Deterministic fault injection for the chaos harness (nullptr = none).
+  /// Must outlive the Runner calls it is passed to.
+  const FaultInjector* fault_injector = nullptr;
 };
 
 class Runner {
@@ -69,7 +127,14 @@ class Runner {
                  std::span<const std::size_t> schedule = {}) const;
 
  private:
-  [[nodiscard]] ScenarioResult run_one(const Scenario& scenario, bool force_serial) const;
+  /// One scenario through validate -> admission -> deadline-armed attempt
+  /// loop -> status frame.  @p slot keys the "analysis" fault site and is 0
+  /// for single-scenario run().  Throws only when capture_errors is false.
+  [[nodiscard]] ScenarioResult run_one(const Scenario& scenario, bool force_serial,
+                                       std::size_t slot) const;
+  /// The degrade path: smoke_variant(), no deadline, marked degraded.
+  [[nodiscard]] ScenarioResult run_degraded(const Scenario& scenario, bool force_serial,
+                                            std::uint32_t attempts) const;
 
   RunnerOptions options_;
 };

@@ -217,6 +217,7 @@ std::string Scenario::to_json() const {
   builder.field("over_all_sets", over_all_sets);
   builder.raw("fault", fault_json.render());
   builder.field("num_threads", static_cast<std::uint64_t>(num_threads));
+  builder.field("deadline_ms", deadline_ms);
   return builder.render();
 }
 
@@ -239,7 +240,7 @@ Scenario scenario_from_value(const JsonValue& root) {
       "fixed_order", "fa",               "attacked_rule",     "attacked_override",
       "policy",     "policy_options",    "rounds",            "seed",
       "max_worlds", "require_undetected", "over_all_sets",    "fault",
-      "num_threads"};
+      "num_threads", "deadline_ms"};
   json::reject_unknown_keys(root, known, "Scenario");
 
   Scenario scenario;
@@ -286,6 +287,7 @@ Scenario scenario_from_value(const JsonValue& root) {
   scenario.fault.magnitude = get_double(fault, "magnitude");
 
   scenario.num_threads = static_cast<unsigned>(get_uint(root, "num_threads"));
+  scenario.deadline_ms = get_uint(root, "deadline_ms");
   return scenario;
 }
 
@@ -311,7 +313,8 @@ bool operator==(const Scenario& a, const Scenario& b) {
          a.policy == b.policy && options_equal(a.policy_options, b.policy_options) &&
          a.rounds == b.rounds && a.seed == b.seed && a.max_worlds == b.max_worlds &&
          a.require_undetected == b.require_undetected && a.over_all_sets == b.over_all_sets &&
-         fault_equal(a.fault, b.fault) && a.num_threads == b.num_threads;
+         fault_equal(a.fault, b.fault) && a.num_threads == b.num_threads &&
+         a.deadline_ms == b.deadline_ms;
 }
 
 }  // namespace arsf::scenario

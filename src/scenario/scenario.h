@@ -85,6 +85,12 @@ struct Scenario {
   /// 1 = serial).  Results are bit-identical for every value; Runner batches
   /// force this to 1 and parallelise across scenarios instead.
   unsigned num_threads = 0;
+  /// Wall-clock budget in milliseconds (0 = none).  The Runner arms a
+  /// steady-clock deadline before dispatch; an over-budget run is aborted
+  /// cooperatively and reported `timed_out` — never partial data (see
+  /// scenario/runner.h).  RunnerOptions::default_deadline_ms applies when
+  /// this is 0.
+  std::uint64_t deadline_ms = 0;
 
   [[nodiscard]] std::size_t n() const noexcept { return widths.size(); }
 

@@ -37,6 +37,9 @@ std::string to_json(std::size_t index, const ScenarioResult& result) {
   builder.field("index", static_cast<std::uint64_t>(index));
   builder.field("scenario", result.scenario);
   builder.field("analysis", result.analysis);
+  builder.field("status", to_string(result.status));
+  builder.field("attempts", static_cast<std::uint64_t>(result.attempts));
+  builder.field("degraded", result.degraded);
   builder.raw("metrics", metrics.render());
   builder.field("error", result.error);
   return builder.render();
@@ -53,10 +56,27 @@ void ProgressSink::on_result(std::size_t index, const ScenarioResult& result) {
   const std::lock_guard<std::mutex> lock{mutex_};
   inner_.on_result(index, result);
   ++done_;
+  if (result.ok()) {
+    ++completed_;
+  } else if (result.status == ResultStatus::kTimedOut) {
+    ++timed_out_;
+  } else {
+    ++failed_;
+  }
   log_ << '[' << done_;
   if (total_ != 0) log_ << '/' << total_;
-  log_ << "] " << result.scenario << "  "
-       << (result.ok() ? "ok" : "ERROR: " + result.error) << std::endl;
+  log_ << "] " << result.scenario << "  ";
+  if (result.ok()) {
+    log_ << to_string(result.status);
+    if (result.degraded) log_ << " (degraded)";
+  } else {
+    log_ << to_string(result.status) << ": " << result.error;
+  }
+  if (failed_ != 0 || timed_out_ != 0) {
+    log_ << "  (" << completed_ << " completed, " << failed_ << " failed, " << timed_out_
+         << " timed out)";
+  }
+  log_ << std::endl;
 }
 
 void ProgressSink::on_finish(std::size_t total) {

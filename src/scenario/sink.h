@@ -93,7 +93,10 @@ class JsonlSink final : public ResultSink {
 };
 
 /// Single-line JSON object for one result: {"index":..,"scenario":..,
-/// "analysis":..,"metrics":{..},"error":..} (metrics values round-trip).
+/// "analysis":..,"status":..,"attempts":..,"degraded":..,"metrics":{..},
+/// "error":..} (metrics values round-trip).  For a failed slot this is a
+/// self-contained error frame: scenario name, structured status, the
+/// exception's what() and the attempt count all travel in the one line.
 [[nodiscard]] std::string to_json(std::size_t index, const ScenarioResult& result);
 
 /// Fans one ordered stream out to several sinks in attach() order (e.g. a
@@ -116,8 +119,10 @@ class TeeSink final : public ResultSink {
 
 /// Decorator: forwards everything to the wrapped sink and prints a one-line
 /// progress record per result ("[done/total] name  status") to @p log.
-/// Thread-safe (mutex around the forward + print) so it can also front
-/// independent concurrent batches.
+/// Failed / timed-out / cancelled / rejected slots are counted separately
+/// from completed ones and the display says so — a batch with failures no
+/// longer reads as "N completed".  Thread-safe (mutex around the forward +
+/// print) so it can also front independent concurrent batches.
 class ProgressSink final : public ResultSink {
  public:
   /// @param total expected result count (0 = unknown, prints "[done]").
@@ -127,13 +132,23 @@ class ProgressSink final : public ResultSink {
   void on_result(std::size_t index, const ScenarioResult& result) override;
   void on_finish(std::size_t total) override;
 
+  /// Results delivered (completed + failed + timed out + ...).
   [[nodiscard]] std::size_t done() const noexcept { return done_; }
+  /// Results that completed (status ok / retried_ok, degraded included).
+  [[nodiscard]] std::size_t completed() const noexcept { return completed_; }
+  /// Results with status failed / cancelled / rejected.
+  [[nodiscard]] std::size_t failed() const noexcept { return failed_; }
+  /// Results with status timed_out.
+  [[nodiscard]] std::size_t timed_out() const noexcept { return timed_out_; }
 
  private:
   ResultSink& inner_;
   std::ostream& log_;
   std::size_t total_;
   std::size_t done_ = 0;
+  std::size_t completed_ = 0;
+  std::size_t failed_ = 0;
+  std::size_t timed_out_ = 0;
   std::mutex mutex_;
 };
 

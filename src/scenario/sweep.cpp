@@ -8,8 +8,10 @@
 #include <optional>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 #include <utility>
 
+#include "scenario/faultplan.h"
 #include "scenario/json.h"
 #include "sim/engine/saturating.h"
 #include "sim/engine/world_codec.h"
@@ -380,7 +382,93 @@ std::optional<SweepCheckpoint> load_sweep_checkpoint(const std::string& path) {
   return checkpoint;
 }
 
-void truncate_for_resume(const std::string& output_path, const SweepCheckpoint& checkpoint) {
+namespace {
+
+/// Field @p n (0-based) of one RFC-4180 CSV line without embedded newlines
+/// (the report writer never emits any); empty string when the line has fewer
+/// fields.
+std::string csv_field(std::string_view line, std::size_t n) {
+  std::size_t pos = 0;
+  for (std::size_t field = 0;; ++field) {
+    std::string value;
+    if (pos < line.size() && line[pos] == '"') {
+      ++pos;
+      while (pos < line.size()) {
+        if (line[pos] == '"') {
+          if (pos + 1 < line.size() && line[pos + 1] == '"') {
+            value += '"';
+            pos += 2;
+          } else {
+            ++pos;
+            break;
+          }
+        } else {
+          value += line[pos++];
+        }
+      }
+    } else {
+      const std::size_t comma = line.find(',', pos);
+      const std::size_t end = comma == std::string_view::npos ? line.size() : comma;
+      value.assign(line.substr(pos, end - pos));
+      pos = end;
+    }
+    if (field == n) return value;
+    if (pos >= line.size() || line[pos] != ',') return {};
+    ++pos;
+  }
+}
+
+}  // namespace
+
+SweepCheckpoint repair_short_output(const std::string& output_path,
+                                    const SweepCheckpoint& checkpoint) {
+  std::ifstream in{output_path, std::ios::binary};
+  if (!in) {
+    throw std::runtime_error("repair_short_output: cannot read " + output_path);
+  }
+  const std::string content{std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+
+  // Scan COMPLETE lines only (a missing trailing newline marks a torn row).
+  // Every result's rows end with exactly one "status" row (metric column),
+  // so the last complete status row is the last point whose output is whole.
+  std::uint64_t status_rows = 0;
+  std::size_t keep = std::string::npos;        // bytes to keep: end of last status row
+  std::size_t header_end = std::string::npos;  // end of the header line
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t nl = content.find('\n', pos);
+    if (nl == std::string::npos) break;
+    const std::string_view line{content.data() + pos, nl - pos};
+    if (header_end == std::string::npos) {
+      header_end = nl + 1;
+    } else if (csv_field(line, 2) == "status") {
+      ++status_rows;
+      keep = nl + 1;
+    }
+    pos = nl + 1;
+  }
+  if (header_end == std::string::npos) {
+    throw std::runtime_error("repair_short_output: " + output_path +
+                             " has no complete header line; delete it and restart the sweep "
+                             "without --resume");
+  }
+
+  const std::uint64_t keep_bytes = keep == std::string::npos
+                                       ? static_cast<std::uint64_t>(header_end)
+                                       : static_cast<std::uint64_t>(keep);
+  if (keep_bytes < content.size()) {
+    std::error_code ec;
+    std::filesystem::resize_file(output_path, keep_bytes, ec);
+    if (ec) {
+      throw std::runtime_error("repair_short_output: cannot truncate " + output_path + ": " +
+                               ec.message());
+    }
+  }
+  return SweepCheckpoint{status_rows, keep_bytes, checkpoint.spec_fingerprint};
+}
+
+SweepCheckpoint truncate_for_resume(const std::string& output_path,
+                                    const SweepCheckpoint& checkpoint) {
   std::error_code ec;
   const std::uintmax_t size = std::filesystem::file_size(output_path, ec);
   if (ec) {
@@ -388,10 +476,10 @@ void truncate_for_resume(const std::string& output_path, const SweepCheckpoint& 
                              ec.message());
   }
   if (size < checkpoint.output_bytes) {
-    throw std::runtime_error("truncate_for_resume: " + output_path + " is shorter (" +
-                             std::to_string(size) + " bytes) than its checkpoint (" +
-                             std::to_string(checkpoint.output_bytes) +
-                             "); the output does not match the resume token");
+    // The output shrank AFTER the token was written (external truncation, a
+    // partial restore): the token's byte offset points into the void.
+    // Rebuild the token from what actually survived instead of refusing.
+    return repair_short_output(output_path, checkpoint);
   }
   if (size > checkpoint.output_bytes) {
     // Drop whatever the killed run wrote past its last completed chunk.
@@ -401,6 +489,7 @@ void truncate_for_resume(const std::string& output_path, const SweepCheckpoint& 
                                ec.message());
     }
   }
+  return checkpoint;
 }
 
 std::size_t run_sweep(const SweepSpec& spec, const Runner& runner, ResultSink& sink,
@@ -424,6 +513,7 @@ std::size_t run_sweep(const SweepSpec& spec, const Runner& runner, ResultSink& s
   // next chunk — materialised and validated once, never recomputed.
   std::optional<Scenario> carried;
   std::uint64_t carried_cost = 0;
+  std::uint64_t checkpoint_ordinal = 0;  // key for the "checkpoint" fault site
   while (chunk_base < total) {
     std::vector<Scenario> chunk;
     std::vector<std::uint64_t> costs;
@@ -485,7 +575,21 @@ std::size_t run_sweep(const SweepSpec& spec, const Runner& runner, ResultSink& s
           checkpoint.output_bytes = static_cast<std::uint64_t>(size);
         }
       }
-      if (output_known) save_sweep_checkpoint(options.checkpoint_path, checkpoint);
+      if (output_known) {
+        // Non-fatal by design: losing a checkpoint SAVE must not kill a
+        // sweep that is otherwise producing results.  The previous token
+        // stays on disk — older but consistent, so a later resume re-runs a
+        // few chunks and stays byte-identical.
+        ++checkpoint_ordinal;
+        try {
+          if (options.fault_injector != nullptr) {
+            options.fault_injector->maybe_fail("checkpoint", checkpoint_ordinal, 1);
+          }
+          save_sweep_checkpoint(options.checkpoint_path, checkpoint);
+        } catch (const std::exception&) {
+          if (options.checkpoint_failures != nullptr) ++*options.checkpoint_failures;
+        }
+      }
     }
   }
 

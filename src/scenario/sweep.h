@@ -131,12 +131,27 @@ void save_sweep_checkpoint(const std::string& path, const SweepCheckpoint& check
 /// silently restart from zero and duplicate rows).
 [[nodiscard]] std::optional<SweepCheckpoint> load_sweep_checkpoint(const std::string& path);
 
-/// Prepares an interrupted sweep's output file for resumption: truncates
+/// Prepares an interrupted sweep's output file for resumption and returns
+/// the EFFECTIVE token to resume from.  Normal case: truncates
 /// @p output_path to checkpoint.output_bytes (partial rows past the last
-/// checkpoint are discarded).  Throws std::runtime_error when the file is
-/// missing or already shorter than the checkpoint (the output does not match
-/// the token — resuming would corrupt the report).
-void truncate_for_resume(const std::string& output_path, const SweepCheckpoint& checkpoint);
+/// checkpoint are discarded) and returns @p checkpoint unchanged.  When the
+/// file is SHORTER than the token claims (it shrank after the checkpoint was
+/// written — external truncation, partial restore), the output is repaired
+/// via repair_short_output() and the rebuilt token is returned; resuming
+/// from it re-runs the lost tail instead of corrupting the report or
+/// refusing outright.  Throws std::runtime_error when the file is missing.
+[[nodiscard]] SweepCheckpoint truncate_for_resume(const std::string& output_path,
+                                                  const SweepCheckpoint& checkpoint);
+
+/// Rebuilds a resume token from the CSV itself.  Every result's rows end
+/// with exactly one "status" row (scenario/report.h), so the file is cut
+/// back to the end of the last complete status row (an incomplete trailing
+/// line or a half-written result is dropped) and next_index is the status-row
+/// count.  The fingerprint is carried over from @p checkpoint.  Throws
+/// std::runtime_error when the file cannot be read or holds no complete
+/// header line (nothing to salvage — delete it and restart without --resume).
+[[nodiscard]] SweepCheckpoint repair_short_output(const std::string& output_path,
+                                                  const SweepCheckpoint& checkpoint);
 
 struct SweepRunOptions {
   /// Upper bound on grid points materialised and batched at once; memory for
@@ -159,6 +174,14 @@ struct SweepRunOptions {
   /// indices below it are neither materialised nor emitted.  Must be
   /// <= spec.size().
   std::uint64_t resume_from = 0;
+  /// Deterministic fault injection for the "checkpoint" site (the save
+  /// ordinal, 1-based, is the key); nullptr = none.  See scenario/faultplan.h.
+  const FaultInjector* fault_injector = nullptr;
+  /// When non-null, counts checkpoint saves that failed.  Checkpoint
+  /// persistence is an availability feature, not a correctness one: a failed
+  /// save keeps the previous (older but consistent) token and the sweep runs
+  /// on — a later resume merely re-runs a few chunks, byte-identically.
+  std::size_t* checkpoint_failures = nullptr;
 };
 
 /// Expands @p spec chunk by chunk and streams every chunk through

@@ -77,9 +77,10 @@ void WorstCaseBest::merge(WorstCaseBest&& other) noexcept {
 }
 
 WorstCaseBest worst_case_lane_block(const WorstCaseLane& lane, std::uint64_t begin,
-                                    std::uint64_t end) {
+                                    std::uint64_t end, const CancelToken* cancel) {
   WorstCaseBest best;
   if (begin >= end) return best;
+  if (cancel != nullptr) cancel->check();
 
   const WorldDomain& domain = lane.domain;
   const std::size_t n = domain.widths.size();
@@ -233,6 +234,7 @@ WorstCaseBest worst_case_lane_block(const WorstCaseLane& lane, std::uint64_t beg
 
     index += run_len;
     if (index == end) break;
+    if (cancel != nullptr) cancel->check();  // per digit-0 run
     digits[0] = radix0 - 1;  // jump the odometer to the run's last world...
     const std::size_t changed = domain.codec.advance(digits);  // ...and step over it
     for (std::size_t slot = 1; slot < changed; ++slot) {
@@ -242,14 +244,18 @@ WorstCaseBest worst_case_lane_block(const WorstCaseLane& lane, std::uint64_t beg
   return best;
 }
 
-WorstCaseBest worst_case_lane_search(const WorstCaseLane& lane, unsigned num_threads) {
+WorstCaseBest worst_case_lane_search(const WorstCaseLane& lane, unsigned num_threads,
+                                     const CancelToken* cancel) {
   if (num_threads == 0) num_threads = ThreadPool::default_threads();
   const std::vector<IndexBlock> blocks =
       partition_blocks(lane.domain.world_count(), num_threads);
   std::vector<WorstCaseBest> per_block(blocks.size());
-  ThreadPool::shared().run(blocks.size(), [&](std::size_t i) {
-    per_block[i] = worst_case_lane_block(lane, blocks[i].begin, blocks[i].end);
-  });
+  ThreadPool::shared().run(
+      blocks.size(),
+      [&](std::size_t i) {
+        per_block[i] = worst_case_lane_block(lane, blocks[i].begin, blocks[i].end, cancel);
+      },
+      cancel);
   WorstCaseBest best;
   for (WorstCaseBest& block : per_block) best.merge(std::move(block));
   return best;

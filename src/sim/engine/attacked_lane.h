@@ -70,13 +70,17 @@ struct WorstCaseBest {
 };
 
 /// Walks permuted worlds [begin, end) run-batched; exact, allocation-light.
+/// A non-null @p cancel is polled per digit-0 run and aborts the walk with
+/// CancelledError.
 [[nodiscard]] WorstCaseBest worst_case_lane_block(const WorstCaseLane& lane,
-                                                  std::uint64_t begin, std::uint64_t end);
+                                                  std::uint64_t begin, std::uint64_t end,
+                                                  const CancelToken* cancel = nullptr);
 
 /// Whole-space search: block fan-out over the shared ThreadPool
 /// (num_threads 0 = hardware threads, 1 = serial) with a deterministic
 /// merge — results are bit-identical for every thread count.
 [[nodiscard]] WorstCaseBest worst_case_lane_search(const WorstCaseLane& lane,
-                                                   unsigned num_threads);
+                                                   unsigned num_threads,
+                                                   const CancelToken* cancel = nullptr);
 
 }  // namespace arsf::sim::engine

@@ -46,12 +46,13 @@ Tick sum_clamp(Tick a, Tick b, Tick lo, Tick hi) noexcept {
 }  // namespace
 
 CleanStats enumerate_clean_block(const WorldDomain& domain, std::uint64_t begin,
-                                 std::uint64_t end) {
+                                 std::uint64_t end, const CancelToken* cancel) {
   if (!domain.common_point) {
     throw std::invalid_argument("enumerate_clean_block: domain lacks a common point");
   }
   CleanStats stats;
   if (begin >= end) return stats;
+  if (cancel != nullptr) cancel->check();
 
   const std::size_t n = domain.widths.size();
   const int t = domain.threshold;
@@ -106,6 +107,7 @@ CleanStats enumerate_clean_block(const WorldDomain& domain, std::uint64_t begin,
 
     index += run_len;
     if (index == end) break;
+    if (cancel != nullptr) cancel->check();  // per digit-0 run: O(radix) worlds apart
     digits[0] = radix0 - 1;  // jump the odometer to the run's last world...
     const std::size_t changed = domain.codec.advance(digits);  // ...and step over it
     for (std::size_t slot = 1; slot < changed; ++slot) {
@@ -115,13 +117,17 @@ CleanStats enumerate_clean_block(const WorldDomain& domain, std::uint64_t begin,
   return stats;
 }
 
-CleanStats clean_statistics(const WorldDomain& domain, unsigned num_threads) {
+CleanStats clean_statistics(const WorldDomain& domain, unsigned num_threads,
+                            const CancelToken* cancel) {
   if (num_threads == 0) num_threads = ThreadPool::default_threads();
   const std::vector<IndexBlock> blocks = partition_blocks(domain.world_count(), num_threads);
   std::vector<CleanStats> per_block(blocks.size());
-  ThreadPool::shared().run(blocks.size(), [&](std::size_t i) {
-    per_block[i] = enumerate_clean_block(domain, blocks[i].begin, blocks[i].end);
-  });
+  ThreadPool::shared().run(
+      blocks.size(),
+      [&](std::size_t i) {
+        per_block[i] = enumerate_clean_block(domain, blocks[i].begin, blocks[i].end, cancel);
+      },
+      cancel);
   CleanStats merged;
   for (const CleanStats& block : per_block) merged.merge(block);
   return merged;

@@ -67,11 +67,14 @@ struct WorldDomain {
 };
 
 /// Walks worlds [begin, end) of @p domain, invoking
-/// visit(index, fused, sweep) for each.
+/// visit(index, fused, sweep) for each.  A non-null @p cancel is polled every
+/// kCancelCheckStride worlds and aborts the walk with CancelledError; it
+/// never changes what a completing walk visits.
 template <typename Visitor>
 void enumerate_block(const WorldDomain& domain, std::uint64_t begin, std::uint64_t end,
-                     Visitor&& visit) {
+                     Visitor&& visit, const CancelToken* cancel = nullptr) {
   if (begin >= end) return;
+  if (cancel != nullptr) cancel->check();
   const std::size_t n = domain.widths.size();
 
   std::vector<std::uint64_t> digits(n);
@@ -83,12 +86,17 @@ void enumerate_block(const WorldDomain& domain, std::uint64_t begin, std::uint64
   IncrementalSweep sweep;
   sweep.reset(intervals);
 
+  std::uint64_t until_check = kCancelCheckStride;
   for (std::uint64_t index = begin;;) {
     const TickInterval fused = domain.common_point
                                    ? sweep.fused_with_common_point(domain.threshold)
                                    : sweep.fused(domain.threshold);
     visit(index, fused, sweep);
     if (++index == end) break;
+    if (cancel != nullptr && --until_check == 0) {
+      cancel->check();
+      until_check = kCancelCheckStride;
+    }
     const std::size_t changed = domain.codec.advance(digits);
     for (std::size_t slot = 0; slot < changed; ++slot) {
       sweep.replace(slot, domain.interval_at(slot, digits[slot]));
@@ -126,12 +134,14 @@ struct CleanStats {
 /// exact integer arithmetic either way.  Throws std::invalid_argument when
 /// the domain lacks the common-point guarantee.
 [[nodiscard]] CleanStats enumerate_clean_block(const WorldDomain& domain, std::uint64_t begin,
-                                               std::uint64_t end);
+                                               std::uint64_t end,
+                                               const CancelToken* cancel = nullptr);
 
 /// Whole-space clean statistics: enumerate_clean_block fan-out over the
 /// shared ThreadPool (num_threads 0 = hardware threads, 1 = serial) with a
 /// deterministic block-order merge.
-[[nodiscard]] CleanStats clean_statistics(const WorldDomain& domain, unsigned num_threads);
+[[nodiscard]] CleanStats clean_statistics(const WorldDomain& domain, unsigned num_threads,
+                                          const CancelToken* cancel = nullptr);
 
 /// Parallel fan-out: partitions [0, domain.world_count()) into at most
 /// @p num_threads contiguous blocks (0 = ThreadPool::default_threads()),
@@ -141,15 +151,19 @@ struct CleanStats {
 template <typename Factory,
           typename Accumulator = std::invoke_result_t<Factory&>>
 std::vector<Accumulator> enumerate_blocks(const WorldDomain& domain, unsigned num_threads,
-                                          Factory&& make_accumulator) {
+                                          Factory&& make_accumulator,
+                                          const CancelToken* cancel = nullptr) {
   if (num_threads == 0) num_threads = ThreadPool::default_threads();
   const std::vector<IndexBlock> blocks = partition_blocks(domain.world_count(), num_threads);
   std::vector<Accumulator> accumulators;
   accumulators.reserve(blocks.size());
   for (std::size_t i = 0; i < blocks.size(); ++i) accumulators.push_back(make_accumulator());
-  ThreadPool::shared().run(blocks.size(), [&](std::size_t i) {
-    enumerate_block(domain, blocks[i].begin, blocks[i].end, accumulators[i]);
-  });
+  ThreadPool::shared().run(
+      blocks.size(),
+      [&](std::size_t i) {
+        enumerate_block(domain, blocks[i].begin, blocks[i].end, accumulators[i], cancel);
+      },
+      cancel);
   return accumulators;
 }
 

@@ -122,7 +122,8 @@ Tick over_sets_optimistic_bound(std::span<const Tick> widths,
 
 SubsetSearchResult subset_search_over_sets(std::span<const Tick> widths, int f, std::size_t fa,
                                            const SubsetEvaluator& evaluate,
-                                           unsigned num_threads, SubsetSearchStats* stats_out) {
+                                           unsigned num_threads, SubsetSearchStats* stats_out,
+                                           const CancelToken* cancel) {
   const std::size_t n = widths.size();
   if (fa > n) {
     throw std::invalid_argument("subset_search_over_sets: fa (" + std::to_string(fa) +
@@ -200,6 +201,7 @@ SubsetSearchResult subset_search_over_sets(std::span<const Tick> widths, int f, 
       remaining -= seed_counts[j];
     }
   }
+  if (cancel != nullptr) cancel->check();
   SubsetClass seed = class_of(seed_counts);
   seed.value = evaluate(representative(seed), num_threads);
   seed.evaluated = true;
@@ -252,6 +254,7 @@ SubsetSearchResult subset_search_over_sets(std::span<const Tick> widths, int f, 
   std::vector<std::uint32_t> counts(group_count, 0);
   const auto enumerate = [&](const auto& self, std::size_t j, std::size_t remaining) -> void {
     ++stats.tree_nodes;
+    if (cancel != nullptr && (stats.tree_nodes % 1024) == 0) cancel->check();
     if (j == group_count) {
       SubsetClass cls = class_of(counts);
       if (cls.min_mask == seed.min_mask) {
@@ -309,6 +312,7 @@ SubsetSearchResult subset_search_over_sets(std::span<const Tick> widths, int f, 
   const auto run_class = [&](std::size_t i, unsigned per_class_threads) {
     SubsetClass& cls = classes[order[i]];
     if (cls.evaluated) return;  // the seed
+    if (cancel != nullptr) cancel->check();
     {
       const std::lock_guard<std::mutex> lock{incumbent_mutex};
       if (incumbent.dominates(cls.bound, cls.min_mask)) return;
@@ -329,10 +333,10 @@ SubsetSearchResult subset_search_over_sets(std::span<const Tick> widths, int f, 
   if (num_threads == 1 || classes.size() <= num_threads) {
     for (std::size_t i = 0; i < classes.size(); ++i) run_class(i, num_threads);
   } else if (num_threads >= ThreadPool::shared().size()) {
-    ThreadPool::shared().run(classes.size(), [&](std::size_t i) { run_class(i, 1); });
+    ThreadPool::shared().run(classes.size(), [&](std::size_t i) { run_class(i, 1); }, cancel);
   } else {
     ThreadPool pool{num_threads};
-    pool.run(classes.size(), [&](std::size_t i) { run_class(i, 1); });
+    pool.run(classes.size(), [&](std::size_t i) { run_class(i, 1); }, cancel);
   }
 
   // ---- deterministic post-pass ---------------------------------------------

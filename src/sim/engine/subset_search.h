@@ -51,6 +51,7 @@
 #include <vector>
 
 #include "core/config.h"
+#include "sim/engine/cancel.h"
 
 namespace arsf::sim::engine {
 
@@ -103,11 +104,14 @@ using SubsetEvaluator =
 /// for every thread count either way (the evaluator must be).  Throws
 /// std::invalid_argument when fa > n ("no fa-subset exists") or n > 63
 /// (subset bitmasks are uint64).  @p stats, when non-null, receives the
-/// search counters.
+/// search counters.  A non-null @p cancel is polled per prefix-tree node and
+/// before every class evaluation (pass the same token into the evaluator's
+/// engine for intra-class responsiveness) and aborts with CancelledError.
 [[nodiscard]] SubsetSearchResult subset_search_over_sets(std::span<const Tick> widths, int f,
                                                          std::size_t fa,
                                                          const SubsetEvaluator& evaluate,
                                                          unsigned num_threads,
-                                                         SubsetSearchStats* stats = nullptr);
+                                                         SubsetSearchStats* stats = nullptr,
+                                                         const CancelToken* cancel = nullptr);
 
 }  // namespace arsf::sim::engine

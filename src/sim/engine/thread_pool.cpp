@@ -17,9 +17,11 @@ namespace {
 struct Job {
   const std::function<void(std::size_t)>* task = nullptr;
   std::size_t count = 0;
+  const CancelToken* cancel = nullptr;  ///< null = not cancellable
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
-  std::exception_ptr first_error;  ///< guarded by the pool mutex
+  std::atomic<bool> skipped{false};  ///< a claimed task was not executed
+  std::exception_ptr first_error;    ///< guarded by the pool mutex
 };
 
 }  // namespace
@@ -39,7 +41,14 @@ struct ThreadPool::Impl {
       const std::size_t index = current->next.fetch_add(1, std::memory_order_relaxed);
       if (index >= current->count) return;
       try {
-        (*current->task)(index);
+        // Claim-then-skip (rather than stop claiming) so done still reaches
+        // count and the completion wait below can never hang on a cancelled
+        // job.
+        if (current->cancel != nullptr && current->cancel->cancelled()) {
+          current->skipped.store(true, std::memory_order_relaxed);
+        } else {
+          (*current->task)(index);
+        }
       } catch (...) {
         std::lock_guard<std::mutex> lock(mutex);
         if (!current->first_error) current->first_error = std::current_exception();
@@ -85,16 +94,23 @@ ThreadPool::~ThreadPool() {
   delete impl_;
 }
 
-void ThreadPool::run(std::size_t count, const std::function<void(std::size_t)>& task) {
+void ThreadPool::run(std::size_t count, const std::function<void(std::size_t)>& task,
+                     const CancelToken* cancel) {
   if (count == 0) return;
   if (count == 1 || impl_->workers.empty()) {
-    for (std::size_t i = 0; i < count; ++i) task(i);
+    for (std::size_t i = 0; i < count; ++i) {
+      if (cancel != nullptr && cancel->cancelled()) {
+        throw CancelledError(cancel->timed_out());
+      }
+      task(i);
+    }
     return;
   }
 
   auto job = std::make_shared<Job>();
   job->task = &task;
   job->count = count;
+  job->cancel = cancel;
   {
     std::lock_guard<std::mutex> lock(impl_->mutex);
     impl_->job = job;
@@ -108,6 +124,9 @@ void ThreadPool::run(std::size_t count, const std::function<void(std::size_t)>& 
   impl_->work_done.wait(
       lock, [&] { return job->done.load(std::memory_order_acquire) == job->count; });
   if (job->first_error) std::rethrow_exception(job->first_error);
+  if (job->skipped.load(std::memory_order_relaxed)) {
+    throw CancelledError(cancel != nullptr && cancel->timed_out());
+  }
 }
 
 unsigned ThreadPool::default_threads() noexcept {

@@ -18,6 +18,8 @@
 #include <functional>
 #include <vector>
 
+#include "sim/engine/cancel.h"
+
 namespace arsf::sim::engine {
 
 class ThreadPool {
@@ -38,7 +40,15 @@ class ThreadPool {
   /// except with a count of 1, which executes inline without touching the
   /// pool and is therefore always safe (the scenario Runner and the
   /// worst-case subset fan-out rely on this for their serial inner engines).
-  void run(std::size_t count, const std::function<void(std::size_t)>& task);
+  ///
+  /// When @p cancel is non-null, workers poll it at task startup: once the
+  /// token reads cancelled, remaining tasks are claimed but NOT executed,
+  /// and run() throws CancelledError after the drain.  If every task had
+  /// already executed by the time the token tripped, run() returns normally
+  /// — a fan-out that completes is indistinguishable from an uncancelled
+  /// one, which is what keeps completed runs bit-identical.
+  void run(std::size_t count, const std::function<void(std::size_t)>& task,
+           const CancelToken* cancel = nullptr);
 
   /// max(1, std::thread::hardware_concurrency()).
   [[nodiscard]] static unsigned default_threads() noexcept;

@@ -51,7 +51,8 @@ EnumerateResult enumerate_expected_width(const EnumerateConfig& config) {
 
   // Clean expectation: fully parallel, run-batched (the attacked path reuses
   // it as its no-attack baseline).
-  const engine::CleanStats clean = engine::clean_statistics(domain, config.num_threads);
+  const engine::CleanStats clean =
+      engine::clean_statistics(domain, config.num_threads, config.cancel);
 
   std::uint64_t attacked_sum = 0;
   Tick min_width = 0;
@@ -84,7 +85,8 @@ EnumerateResult enumerate_expected_width(const EnumerateConfig& config) {
           attacked_sum += static_cast<std::uint64_t>(width);
           min_width = std::min(min_width, width);
           max_width = std::max(max_width, width);
-        });
+        },
+        config.cancel);
   }
 
   const double scale = config.quant.step / static_cast<double>(worlds);

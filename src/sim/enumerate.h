@@ -16,6 +16,7 @@
 
 #include <cstdint>
 
+#include "sim/engine/cancel.h"
 #include "sim/protocol.h"
 
 namespace arsf::sim {
@@ -34,6 +35,10 @@ struct EnumerateConfig {
   /// stateful-policy path always runs serially (the policy memo is shared
   /// state) but still uses the incremental engine.
   unsigned num_threads = 0;
+  /// Optional cooperative cancellation (nullptr = not cancellable): polled
+  /// at block granularity, aborts via engine::CancelledError, never alters a
+  /// completing enumeration's result.
+  const engine::CancelToken* cancel = nullptr;
 };
 
 struct EnumerateResult {

@@ -44,6 +44,7 @@ MonteCarloResult run_monte_carlo(const MonteCarloConfig& config) {
   std::vector<TickInterval> readings(n);
   attack::AttackSetup round_setup;
   for (std::size_t round = 0; round < config.rounds; ++round) {
+    if (config.cancel != nullptr) config.cancel->check();
     if (per_round_order) {
       round_setup =
           attack::make_setup(config.system, config.quant, result.attacked, generator.next());

@@ -7,6 +7,7 @@
 // cover.  Sampling is seeded and fully reproducible.
 
 #include "schedule/schedule.h"
+#include "sim/engine/cancel.h"
 #include "sim/protocol.h"
 #include "support/stats.h"
 
@@ -24,6 +25,9 @@ struct MonteCarloConfig {
   bool oracle = false;
   std::size_t rounds = 10'000;
   std::uint64_t seed = 0x5eedf00dULL;
+  /// Optional cooperative cancellation (nullptr = not cancellable): polled
+  /// once per sampled round, aborts via engine::CancelledError.
+  const engine::CancelToken* cancel = nullptr;
 };
 
 struct MonteCarloResult {

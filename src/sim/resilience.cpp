@@ -82,6 +82,7 @@ ResilienceResult run_resilience(const ResilienceConfig& config) {
   result.rounds = config.rounds;
 
   for (std::uint64_t round = 0; round < config.rounds; ++round) {
+    if (config.cancel != nullptr) config.cancel->check();
     const sched::Order& order = generator.next();
     const attack::AttackSetup setup =
         attack::make_setup(config.system, config.quant, attacked, order);

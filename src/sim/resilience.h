@@ -18,6 +18,7 @@
 #include "attack/expectation.h"
 #include "schedule/schedule.h"
 #include "sensors/fault.h"
+#include "sim/engine/cancel.h"
 #include "support/stats.h"
 
 namespace arsf::sim {
@@ -32,6 +33,9 @@ struct ResilienceConfig {
   sensors::FaultProcess fault;
   std::size_t rounds = 5'000;
   std::uint64_t seed = 0xfa017ULL;
+  /// Optional cooperative cancellation (nullptr = not cancellable): polled
+  /// once per round, aborts via engine::CancelledError.
+  const engine::CancelToken* cancel = nullptr;
 };
 
 struct ResilienceResult {

@@ -69,7 +69,8 @@ WorstCaseResult worst_case_fusion(const WorstCaseConfig& config) {
   result.configurations = domain.world_count();
 
   std::vector<WorstCaseTracker> trackers = engine::enumerate_blocks(
-      domain, config.num_threads, [&config] { return WorstCaseTracker{&config}; });
+      domain, config.num_threads, [&config] { return WorstCaseTracker{&config}; },
+      config.cancel);
 
   // Deterministic merge in block order: strict > keeps the earliest block on
   // ties, i.e. the lowest-index maximising configuration overall.
@@ -92,7 +93,8 @@ WorstCaseResult worst_case_fusion_fast(const WorstCaseConfig& config) {
       config.widths, ranges.lo_range, config.f, config.attacked, config.require_undetected);
   result.configurations = lane.domain.world_count();
 
-  engine::WorstCaseBest best = engine::worst_case_lane_search(lane, config.num_threads);
+  engine::WorstCaseBest best =
+      engine::worst_case_lane_search(lane, config.num_threads, config.cancel);
   result.max_width = best.max_width;
   result.argmax = std::move(best.argmax);
   return result;
@@ -134,7 +136,7 @@ void check_subset_cardinality(const char* entry_point, std::size_t n, std::size_
 
 Tick over_sets_impl(const char* entry_point, std::span<const Tick> widths, int f,
                     std::size_t fa, std::vector<SensorId>* best_set, unsigned num_threads,
-                    bool require_undetected,
+                    bool require_undetected, const engine::CancelToken* cancel,
                     WorstCaseResult (*search)(const WorstCaseConfig&)) {
   const std::size_t n = widths.size();
   check_subset_cardinality(entry_point, n, fa);
@@ -159,6 +161,7 @@ Tick over_sets_impl(const char* entry_point, std::span<const Tick> widths, int f
     config.f = f;
     config.require_undetected = require_undetected;
     config.num_threads = 1;
+    config.cancel = cancel;
     config.attacked = attacked_of_mask(masks[i], n);
     values[i] = search(config).max_width;
   };
@@ -172,15 +175,19 @@ Tick over_sets_impl(const char* entry_point, std::span<const Tick> widths, int f
     config.f = f;
     config.require_undetected = require_undetected;
     config.num_threads = num_threads;
+    config.cancel = cancel;
     config.attacked = attacked_of_mask(masks[0], n);
     values[0] = search(config).max_width;
   } else if (num_threads == 1) {
-    for (std::size_t i = 0; i < masks.size(); ++i) evaluate(i);
+    for (std::size_t i = 0; i < masks.size(); ++i) {
+      if (cancel != nullptr) cancel->check();
+      evaluate(i);
+    }
   } else if (num_threads >= engine::ThreadPool::shared().size()) {
-    engine::ThreadPool::shared().run(masks.size(), evaluate);
+    engine::ThreadPool::shared().run(masks.size(), evaluate, cancel);
   } else {
     engine::ThreadPool pool{num_threads};
-    pool.run(masks.size(), evaluate);
+    pool.run(masks.size(), evaluate, cancel);
   }
 
   Tick best = -1;
@@ -197,21 +204,22 @@ Tick over_sets_impl(const char* entry_point, std::span<const Tick> widths, int f
 
 Tick worst_case_over_sets(std::span<const Tick> widths, int f, std::size_t fa,
                           std::vector<SensorId>* best_set, unsigned num_threads,
-                          bool require_undetected) {
+                          bool require_undetected, const engine::CancelToken* cancel) {
   return over_sets_impl("worst_case_over_sets", widths, f, fa, best_set, num_threads,
-                        require_undetected, &worst_case_fusion);
+                        require_undetected, cancel, &worst_case_fusion);
 }
 
 Tick worst_case_over_sets_fast(std::span<const Tick> widths, int f, std::size_t fa,
                                std::vector<SensorId>* best_set, unsigned num_threads,
-                               bool require_undetected) {
+                               bool require_undetected, const engine::CancelToken* cancel) {
   return over_sets_impl("worst_case_over_sets_fast", widths, f, fa, best_set, num_threads,
-                        require_undetected, &worst_case_fusion_fast);
+                        require_undetected, cancel, &worst_case_fusion_fast);
 }
 
 Tick worst_case_over_sets_bnb(std::span<const Tick> widths, int f, std::size_t fa,
                               std::vector<SensorId>* best_set, unsigned num_threads,
-                              bool require_undetected, engine::SubsetSearchStats* stats) {
+                              bool require_undetected, engine::SubsetSearchStats* stats,
+                              const engine::CancelToken* cancel) {
   check_subset_cardinality("worst_case_over_sets_bnb", widths.size(), fa);
   // One representative per attacked-width multiset, on the run-batched
   // per-set lane.  The evaluator is a pure function of the attacked-width
@@ -224,11 +232,12 @@ Tick worst_case_over_sets_bnb(std::span<const Tick> widths, int f, std::size_t f
     config.f = f;
     config.require_undetected = require_undetected;
     config.num_threads = threads;
+    config.cancel = cancel;
     config.attacked = attacked;
     return worst_case_fusion_fast(config).max_width;
   };
   const engine::SubsetSearchResult result =
-      engine::subset_search_over_sets(widths, f, fa, evaluate, num_threads, stats);
+      engine::subset_search_over_sets(widths, f, fa, evaluate, num_threads, stats, cancel);
   if (result.found && best_set != nullptr) {
     *best_set = attacked_of_mask(result.best_mask, widths.size());
   }

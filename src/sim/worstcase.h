@@ -32,6 +32,10 @@ struct WorstCaseConfig {
   /// every value: blocks merge in index order and ties keep the earlier
   /// block, so argmax is always the lowest-index maximising configuration.
   unsigned num_threads = 0;
+  /// Optional cooperative cancellation (engine::CancelToken, nullptr = not
+  /// cancellable): polled at block granularity, aborts via CancelledError,
+  /// never alters a completing search's result.
+  const engine::CancelToken* cancel = nullptr;
 };
 
 struct WorstCaseResult {
@@ -71,7 +75,8 @@ struct WorstCaseResult {
 [[nodiscard]] Tick worst_case_over_sets(std::span<const Tick> widths, int f, std::size_t fa,
                                         std::vector<SensorId>* best_set = nullptr,
                                         unsigned num_threads = 0,
-                                        bool require_undetected = true);
+                                        bool require_undetected = true,
+                                        const engine::CancelToken* cancel = nullptr);
 
 /// worst_case_over_sets with every per-set search on the run-batched fast
 /// lane; same subset fan-out, same mask-order merge, bit-identical results
@@ -80,7 +85,8 @@ struct WorstCaseResult {
                                              std::size_t fa,
                                              std::vector<SensorId>* best_set = nullptr,
                                              unsigned num_threads = 0,
-                                             bool require_undetected = true);
+                                             bool require_undetected = true,
+                                             const engine::CancelToken* cancel = nullptr);
 
 /// worst_case_over_sets on the branch-and-bound subset engine
 /// (sim/engine/subset_search.h): equal-width subsets collapse to one
@@ -98,6 +104,7 @@ struct WorstCaseResult {
                                             std::vector<SensorId>* best_set = nullptr,
                                             unsigned num_threads = 0,
                                             bool require_undetected = true,
-                                            engine::SubsetSearchStats* stats = nullptr);
+                                            engine::SubsetSearchStats* stats = nullptr,
+                                            const engine::CancelToken* cancel = nullptr);
 
 }  // namespace arsf::sim

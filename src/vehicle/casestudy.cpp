@@ -41,6 +41,7 @@ CaseStudyResult run_case_study(const CaseStudyConfig& config) {
   std::vector<double> last_estimate(platoon.size(), config.target_speed);
 
   for (std::uint64_t round = 0; round < config.rounds; ++round) {
+    if (config.cancel != nullptr) config.cancel->check();
     const sched::Order& order = generator.next();
 
     for (std::size_t v = 0; v < platoon.size(); ++v) {

@@ -9,6 +9,7 @@
 // fusion rounds whose fusion interval exceeds v + delta1 = 10.5 mph or drops
 // below v - delta2 = 9.5 mph — the two rows of Table II.
 
+#include "sim/engine/cancel.h"
 #include "sim/montecarlo.h"
 #include "support/stats.h"
 #include "vehicle/landshark.h"
@@ -28,6 +29,9 @@ struct CaseStudyConfig {
   bool attack_enabled = true;
   sched::AttackedSetRule attacked_rule = sched::AttackedSetRule::kSmallestWidths;
   attack::ExpectationOptions policy_options = default_policy_options();
+  /// Optional cooperative cancellation (nullptr = not cancellable): polled
+  /// once per simulated round, aborts via sim::engine::CancelledError.
+  const sim::engine::CancelToken* cancel = nullptr;
 
   /// Cost-bounded Bayesian attacker for the continuous domain: posterior
   /// subsampling, strided candidates, indifferent tie-breaking.

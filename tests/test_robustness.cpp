@@ -1,0 +1,495 @@
+// Robust-execution-layer tests: CancelToken semantics, ThreadPool
+// cancellation/teardown under load, deadlines (including the acceptance
+// scenario bnb/large-n/n18-fa3), graceful degradation, retry/backoff,
+// admission control, batch cancellation frames and the FaultPlan contract.
+//
+// The cardinal invariant under test everywhere: cancellation/faults only
+// ever abort or annotate work — a run that completes is bit-identical to an
+// undisturbed run, and a run that does not complete reports a structured
+// status, never partial data.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "scenario/faultplan.h"
+#include "scenario/registry.h"
+#include "scenario/runner.h"
+#include "scenario/sink.h"
+#include "sim/engine/thread_pool.h"
+
+namespace arsf::scenario {
+namespace {
+
+using sim::engine::CancelledError;
+using sim::engine::CancelToken;
+using sim::engine::ThreadPool;
+
+Scenario cheap_scenario(const std::string& name, double w0) {
+  Scenario s;
+  s.name = name;
+  s.widths = {w0, 2, 3};
+  s.fa = 0;
+  s.policy = PolicyKind::kNone;
+  return s;
+}
+
+// ---------------------------------------------------------- CancelToken ----
+
+TEST(CancelToken, ExplicitCancelIsNotATimeout) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  token.cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_FALSE(token.timed_out());
+  try {
+    token.check();
+    FAIL() << "check() must throw once cancelled";
+  } catch (const CancelledError& e) {
+    EXPECT_FALSE(e.timed_out());
+    EXPECT_STREQ(e.what(), "cancelled");
+  }
+}
+
+TEST(CancelToken, DeadlineExpiryLatchesTimedOut) {
+  CancelToken token;
+  token.set_deadline_after(std::chrono::milliseconds{1});
+  std::this_thread::sleep_for(std::chrono::milliseconds{5});
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(token.timed_out());
+  try {
+    token.check();
+    FAIL() << "check() must throw after deadline expiry";
+  } catch (const CancelledError& e) {
+    EXPECT_TRUE(e.timed_out());
+    EXPECT_STREQ(e.what(), "deadline exceeded");
+  }
+}
+
+TEST(CancelToken, ChildTripsWhenParentDoes) {
+  CancelToken parent;
+  CancelToken child{&parent};
+  EXPECT_FALSE(child.cancelled());
+  parent.cancel();
+  EXPECT_TRUE(child.cancelled());
+  EXPECT_FALSE(child.timed_out()) << "a parent cancel is not a child timeout";
+}
+
+TEST(CancelToken, ChildInheritsParentTimeout) {
+  CancelToken parent;
+  parent.set_deadline_after(std::chrono::milliseconds{0});
+  CancelToken child{&parent};
+  std::this_thread::sleep_for(std::chrono::milliseconds{2});
+  EXPECT_TRUE(child.cancelled());
+  EXPECT_TRUE(child.timed_out()) << "a parent deadline expiry is a timeout in the child";
+}
+
+TEST(CancelToken, ChildDeadlineDoesNotLeakIntoParent) {
+  CancelToken parent;
+  CancelToken child{&parent};
+  child.set_deadline_after(std::chrono::milliseconds{0});
+  std::this_thread::sleep_for(std::chrono::milliseconds{2});
+  EXPECT_TRUE(child.cancelled());
+  EXPECT_FALSE(parent.cancelled()) << "per-attempt deadlines must stay per-attempt";
+}
+
+// ----------------------------------------------- ThreadPool under cancel ----
+
+TEST(ThreadPoolCancel, CancelMidRunSkipsRemainingTasksAndThrows) {
+  ThreadPool pool{4};
+  CancelToken token;
+  std::atomic<int> executed{0};
+  EXPECT_THROW(
+      pool.run(
+          64,
+          [&](std::size_t i) {
+            if (i == 0) token.cancel();
+            ++executed;
+          },
+          &token),
+      CancelledError);
+  // The cancelling task itself ran; the drain guarantees nothing is left
+  // in flight once run() returns, but some tasks may legitimately have
+  // started before the token tripped.
+  EXPECT_GE(executed.load(), 1);
+  EXPECT_LT(executed.load(), 64);
+}
+
+TEST(ThreadPoolCancel, FullyExecutedRunIgnoresLateCancel) {
+  // If every task already executed when the token trips, run() must return
+  // normally — a completed fan-out is indistinguishable from an uncancelled
+  // one.
+  ThreadPool pool{2};
+  CancelToken token;
+  std::atomic<int> executed{0};
+  pool.run(
+      8,
+      [&](std::size_t i) {
+        ++executed;
+        if (i == 7) token.cancel();  // after the last task's work
+      },
+      &token);
+  EXPECT_EQ(executed.load(), 8);
+}
+
+TEST(ThreadPoolCancel, TaskThrowingAfterCancellationDoesNotHang) {
+  // A task that throws its own exception while the token is also tripped:
+  // run() must terminate (drain completes) and surface SOME failure —
+  // whichever of the task exception / CancelledError wins, never a hang.
+  ThreadPool pool{4};
+  CancelToken token;
+  EXPECT_ANY_THROW(pool.run(
+      32,
+      [&](std::size_t i) {
+        if (i == 3) {
+          token.cancel();
+          throw std::runtime_error("task failure after cancel");
+        }
+      },
+      &token));
+}
+
+TEST(ThreadPoolTeardown, DestructionWhileCancelledRunDrains) {
+  // Teardown while tasks are in flight: worker threads are parked on slow
+  // tasks when the token trips; run() throws, and the pool must then destruct
+  // cleanly with no worker left touching freed state (ASan-clean).
+  for (int round = 0; round < 8; ++round) {
+    CancelToken token;
+    auto pool = std::make_unique<ThreadPool>(4);
+    std::atomic<int> started{0};
+    try {
+      pool->run(
+          16,
+          [&](std::size_t) {
+            ++started;
+            std::this_thread::sleep_for(std::chrono::milliseconds{1});
+            token.cancel();
+          },
+          &token);
+    } catch (const CancelledError&) {
+    }
+    pool.reset();  // teardown immediately after the cancelled drain
+    EXPECT_GE(started.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTeardown, ConstructRunDestroyStress) {
+  // Rapid pool lifecycle churn with mixed clean/cancelled/throwing runs —
+  // the no-leak no-deadlock soak (kept small; scaled by repetition in the
+  // sanitizer CI configuration).
+  for (int round = 0; round < 25; ++round) {
+    ThreadPool pool{3};
+    std::atomic<int> ran{0};
+    pool.run(6, [&](std::size_t) { ++ran; });
+    EXPECT_EQ(ran.load(), 6);
+    if (round % 3 == 1) {
+      CancelToken token;
+      token.cancel();  // pre-tripped: every task is claimed-and-skipped
+      EXPECT_THROW(pool.run(6, [&](std::size_t) { ++ran; }, &token), CancelledError);
+      EXPECT_EQ(ran.load(), 6) << "a pre-cancelled run must execute nothing";
+    }
+    if (round % 3 == 2) {
+      EXPECT_THROW(pool.run(6,
+                            [&](std::size_t i) {
+                              if (i == 2) throw std::runtime_error("boom");
+                            }),
+                   std::runtime_error);
+    }
+  }
+}
+
+// ------------------------------------------------- deadlines + degrade ----
+
+TEST(RobustRunner, AcceptanceDeadlineOnLargeBnbReportsTimedOutWithinBudget) {
+  // The acceptance scenario: bnb/large-n/n18-fa3 takes ~0.5 s serial; a
+  // 100 ms budget must produce `timed_out` within 2x the budget (engines
+  // poll at block granularity, far finer than the budget).
+  const Scenario* scenario = registry().find("bnb/large-n/n18-fa3");
+  ASSERT_NE(scenario, nullptr);
+
+  constexpr std::uint64_t kBudgetMs = 100;
+  RunnerOptions options;
+  options.num_threads = 1;
+  options.default_deadline_ms = kBudgetMs;
+  const auto t0 = std::chrono::steady_clock::now();
+  const ScenarioResult result = Runner{options}.run(*scenario);
+  const auto elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+
+  EXPECT_EQ(result.status, ResultStatus::kTimedOut);
+  EXPECT_FALSE(result.error.empty());
+  EXPECT_TRUE(result.metrics.empty()) << "a timed-out run must never carry partial data";
+  EXPECT_LE(elapsed_ms, static_cast<long long>(2 * kBudgetMs))
+      << "cancellation latency must stay within 2x the budget";
+}
+
+TEST(RobustRunner, AcceptanceDegradeCompletesOverBudgetScenarioAsSmokeVariant) {
+  // Same scenario, same hopeless budget, --degrade semantics: the run comes
+  // back COMPLETED as the smoke variant, marked degraded, original name kept.
+  const Scenario* scenario = registry().find("bnb/large-n/n18-fa3");
+  ASSERT_NE(scenario, nullptr);
+
+  RunnerOptions options;
+  options.num_threads = 1;
+  options.default_deadline_ms = 50;
+  options.degrade = true;
+  const ScenarioResult result = Runner{options}.run(*scenario);
+
+  EXPECT_EQ(result.status, ResultStatus::kOk);
+  EXPECT_TRUE(result.degraded);
+  EXPECT_EQ(result.scenario, scenario->name) << "the frame keeps the original name";
+  EXPECT_FALSE(result.metrics.empty()) << "the degraded run still yields real metrics";
+}
+
+TEST(RobustRunner, ScenarioDeadlineOverridesRunnerDefault) {
+  const Scenario* scenario = registry().find("bnb/large-n/n18-fa3");
+  ASSERT_NE(scenario, nullptr);
+  Scenario with_own_deadline = *scenario;
+  with_own_deadline.deadline_ms = 50;
+
+  RunnerOptions options;
+  options.num_threads = 1;
+  options.default_deadline_ms = 0;  // runner imposes none; the scenario does
+  const ScenarioResult result = Runner{options}.run(with_own_deadline);
+  EXPECT_EQ(result.status, ResultStatus::kTimedOut);
+}
+
+TEST(RobustRunner, CompletedRunUnderDeadlineIsBitIdenticalToUndeadlined) {
+  const Scenario scenario = cheap_scenario("robust/identical", 1);
+  RunnerOptions plain;
+  plain.num_threads = 1;
+  RunnerOptions deadlined = plain;
+  deadlined.default_deadline_ms = 60'000;  // far beyond the runtime
+
+  const ScenarioResult a = Runner{plain}.run(scenario);
+  const ScenarioResult b = Runner{deadlined}.run(scenario);
+  EXPECT_EQ(to_json(0, a), to_json(0, b));
+}
+
+// ------------------------------------------------------ admission control ---
+
+TEST(RobustRunner, OverBudgetScenarioIsRejectedWithoutRunning) {
+  RunnerOptions options;
+  options.num_threads = 1;
+  options.admission_budget = 1;  // every real scenario estimates above this
+  const ScenarioResult result = Runner{options}.run(cheap_scenario("robust/rejected", 1));
+  EXPECT_EQ(result.status, ResultStatus::kRejected);
+  EXPECT_NE(result.error.find("admission control"), std::string::npos);
+  EXPECT_TRUE(result.metrics.empty());
+}
+
+TEST(RobustRunner, DegradeReadmitsOverBudgetScenario) {
+  RunnerOptions options;
+  options.num_threads = 1;
+  options.admission_budget = 1;
+  options.degrade = true;
+  const ScenarioResult result = Runner{options}.run(cheap_scenario("robust/readmit", 1));
+  EXPECT_EQ(result.status, ResultStatus::kOk);
+  EXPECT_TRUE(result.degraded);
+}
+
+// ------------------------------------------------------------- retry -------
+
+TEST(RobustRunner, TransientFaultRetriesIntoRetriedOkWithIdenticalMetrics) {
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.rules = {FaultRule{"analysis", /*nth=*/1, 0.0, /*attempt_limit=*/1}};
+  const FaultInjector injector{plan};
+
+  const Scenario scenario = cheap_scenario("robust/retry", 1);
+  RunnerOptions options;
+  options.num_threads = 1;
+  options.fault_injector = &injector;
+  options.retry.max_attempts = 3;
+  const ScenarioResult retried = Runner{options}.run(scenario);
+  EXPECT_EQ(retried.status, ResultStatus::kRetriedOk);
+  EXPECT_EQ(retried.attempts, 2u);
+  EXPECT_TRUE(retried.error.empty());
+
+  RunnerOptions clean_options;
+  clean_options.num_threads = 1;
+  const ScenarioResult clean = Runner{clean_options}.run(scenario);
+  ASSERT_EQ(retried.metrics.size(), clean.metrics.size())
+      << "a retried run must produce exactly the unfaulted metrics";
+  for (std::size_t i = 0; i < clean.metrics.size(); ++i) {
+    EXPECT_EQ(retried.metrics[i].key, clean.metrics[i].key);
+    EXPECT_EQ(retried.metrics[i].value, clean.metrics[i].value);
+  }
+}
+
+TEST(RobustRunner, PersistentFaultExhaustsRetryBudget) {
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.rules = {FaultRule{"analysis", 1, 0.0, /*attempt_limit=*/0}};
+  const FaultInjector injector{plan};
+
+  RunnerOptions options;
+  options.num_threads = 1;
+  options.fault_injector = &injector;
+  options.retry.max_attempts = 3;
+  const ScenarioResult result = Runner{options}.run(cheap_scenario("robust/exhaust", 1));
+  EXPECT_EQ(result.status, ResultStatus::kFailed);
+  EXPECT_EQ(result.attempts, 3u);
+  EXPECT_NE(result.error.find("injected fault"), std::string::npos);
+}
+
+TEST(RobustRunner, RetryDisabledFailsOnFirstAttempt) {
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.rules = {FaultRule{"analysis", 1, 0.0, 0}};
+  const FaultInjector injector{plan};
+
+  RunnerOptions options;
+  options.num_threads = 1;
+  options.fault_injector = &injector;
+  options.retry.max_attempts = 3;
+  options.retry.retry_failed = false;
+  const ScenarioResult result = Runner{options}.run(cheap_scenario("robust/noretry", 1));
+  EXPECT_EQ(result.status, ResultStatus::kFailed);
+  EXPECT_EQ(result.attempts, 1u);
+}
+
+// -------------------------------------------------- batch cancellation -----
+
+TEST(RobustRunner, PreCancelledBatchDeliversCancelledFramePerSlotInOrder) {
+  std::vector<Scenario> batch;
+  for (int i = 0; i < 8; ++i) {
+    batch.push_back(cheap_scenario("cancel/s" + std::to_string(i), 1 + i % 2));
+  }
+  CancelToken token;
+  token.cancel();
+
+  for (const unsigned threads : {1u, 0u}) {
+    RunnerOptions options;
+    options.num_threads = threads;
+    options.cancel = &token;
+    CollectingSink sink;
+    Runner{options}.run_batch(std::span<const Scenario>{batch}, sink);
+    ASSERT_EQ(sink.results().size(), batch.size()) << "threads=" << threads;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_EQ(sink.results()[i].scenario, batch[i].name);
+      EXPECT_EQ(sink.results()[i].status, ResultStatus::kCancelled);
+      EXPECT_TRUE(sink.results()[i].metrics.empty());
+    }
+  }
+}
+
+TEST(RobustRunner, UntrippedTokenChangesNothing) {
+  std::vector<Scenario> batch;
+  for (int i = 0; i < 4; ++i) {
+    batch.push_back(cheap_scenario("cancel/clean" + std::to_string(i), 1 + i % 2));
+  }
+  CancelToken token;  // never tripped
+  RunnerOptions with_token;
+  with_token.num_threads = 1;
+  with_token.cancel = &token;
+  RunnerOptions without;
+  without.num_threads = 1;
+
+  CollectingSink a;
+  Runner{with_token}.run_batch(std::span<const Scenario>{batch}, a);
+  CollectingSink b;
+  Runner{without}.run_batch(std::span<const Scenario>{batch}, b);
+  ASSERT_EQ(a.results().size(), b.results().size());
+  for (std::size_t i = 0; i < a.results().size(); ++i) {
+    EXPECT_EQ(to_json(i, a.results()[i]), to_json(i, b.results()[i]));
+  }
+}
+
+// ------------------------------------------------------- ProgressSink ------
+
+TEST(RobustSinks, ProgressSinkCountsFailuresAndTimeoutsSeparately) {
+  CollectingSink inner;
+  std::ostringstream log;
+  ProgressSink progress{inner, log, 4};
+
+  ScenarioResult ok;
+  ok.scenario = "p/ok";
+  ok.analysis = "enumerate";
+  progress.on_result(0, ok);
+
+  ScenarioResult failed;
+  failed.scenario = "p/failed";
+  failed.analysis = "enumerate";
+  failed.status = ResultStatus::kFailed;
+  failed.error = "boom";
+  progress.on_result(1, failed);
+
+  ScenarioResult timed_out;
+  timed_out.scenario = "p/slow";
+  timed_out.analysis = "worstcase";
+  timed_out.status = ResultStatus::kTimedOut;
+  timed_out.error = "deadline exceeded";
+  progress.on_result(2, timed_out);
+
+  ScenarioResult degraded;
+  degraded.scenario = "p/degraded";
+  degraded.analysis = "worstcase";
+  degraded.status = ResultStatus::kRetriedOk;
+  degraded.attempts = 2;
+  degraded.degraded = true;
+  progress.on_result(3, degraded);
+  progress.on_finish(4);
+
+  EXPECT_EQ(progress.done(), 4u);
+  EXPECT_EQ(progress.completed(), 2u);
+  EXPECT_EQ(progress.failed(), 1u);
+  EXPECT_EQ(progress.timed_out(), 1u);
+  EXPECT_NE(log.str().find("failed: boom"), std::string::npos);
+  EXPECT_NE(log.str().find("timed_out: deadline exceeded"), std::string::npos);
+  EXPECT_NE(log.str().find("(degraded)"), std::string::npos);
+}
+
+// --------------------------------------------------------- FaultPlan -------
+
+TEST(FaultPlanContract, ValidateRejectsBadPlans) {
+  FaultPlan unknown_site;
+  unknown_site.rules = {FaultRule{"warp-core", 1, 0.0, 1}};
+  EXPECT_THROW(unknown_site.validate(), std::invalid_argument);
+
+  FaultPlan bad_probability;
+  bad_probability.rules = {FaultRule{"analysis", 0, 1.5, 1}};
+  EXPECT_THROW(bad_probability.validate(), std::invalid_argument);
+
+  FaultPlan no_trigger;
+  no_trigger.rules = {FaultRule{"analysis", 0, 0.0, 1}};
+  EXPECT_THROW(no_trigger.validate(), std::invalid_argument);
+
+  FaultPlan fine;
+  fine.rules = {FaultRule{"analysis", 1, 0.0, 1}};
+  EXPECT_NO_THROW(fine.validate());
+}
+
+TEST(FaultPlanContract, DecisionsArePureAndSeedSensitive) {
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.rules = {FaultRule{"analysis", 0, 0.5, 0}};
+  const FaultInjector a{plan};
+  const FaultInjector b{plan};
+  bool any_differs_by_seed = false;
+  plan.seed = 43;
+  const FaultInjector c{plan};
+  for (std::uint64_t key = 1; key <= 64; ++key) {
+    EXPECT_EQ(a.should_fail("analysis", key, 1), b.should_fail("analysis", key, 1))
+        << "equal plans must decide identically (key " << key << ")";
+    if (a.should_fail("analysis", key, 1) != c.should_fail("analysis", key, 1)) {
+      any_differs_by_seed = true;
+    }
+  }
+  EXPECT_TRUE(any_differs_by_seed) << "the seed must actually enter the decision";
+}
+
+TEST(FaultPlanContract, JsonRoundTripRejectsUnknownKeys) {
+  FaultPlan plan;
+  plan.seed = 9;
+  plan.rules = {FaultRule{"sink", 2, 0.0, 1}};
+  EXPECT_EQ(FaultPlan::from_json(plan.to_json()), plan);
+  EXPECT_THROW(FaultPlan::from_json(R"({"seed":1,"rules":[],"surprise":true})"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace arsf::scenario

@@ -73,11 +73,16 @@ TEST(Sink, CsvStreamSinkWritesRowsAsResultsArrive) {
   ScenarioResult failed;
   failed.scenario = "sweep/b";
   failed.analysis = "enumerate";
+  failed.status = ResultStatus::kFailed;
   failed.error = "boom";
   sink.on_result(1, failed);
   EXPECT_NE(out.str().find("sweep/b,enumerate,error,boom"), std::string::npos);
+  // Every result's rows end with exactly one "status" row (the sweep-resume
+  // repair invariant): metric+status for the ok result, error+status here.
+  EXPECT_NE(out.str().find("sweep/a,enumerate,status,ok"), std::string::npos);
+  EXPECT_NE(out.str().find("sweep/b,enumerate,status,failed"), std::string::npos);
   EXPECT_EQ(sink.results(), 2u);
-  EXPECT_EQ(sink.entries(), 2u);
+  EXPECT_EQ(sink.entries(), 4u);
 }
 
 TEST(Sink, JsonlSinkEmitsOneParsableObjectPerLine) {

@@ -260,8 +260,8 @@ TEST(RunSweep, ThousandPointSweepIsChunkedAndThreadCountInvariant) {
     const Runner runner{{.num_threads = threads}};
     EXPECT_EQ(run_sweep(spec, runner, csv, options), 1000u);
     EXPECT_EQ(csv.results(), 1000u);
-    // 7 enumerate metrics per point, no error rows.
-    EXPECT_EQ(csv.entries(), 7000u);
+    // 7 enumerate metrics + 1 status row per point, no error rows.
+    EXPECT_EQ(csv.entries(), 8000u);
     if (baseline.empty()) {
       baseline = out.str();
     } else {
@@ -355,8 +355,10 @@ TEST(RunSweep, KillAndResumeProducesAByteIdenticalCsv) {
 
   // Resume exactly the way scenario_runner --resume does: truncate the CSV
   // back to the checkpointed byte, append from the checkpointed index.
-  truncate_for_resume(csv_path, *checkpoint);
-  options.resume_from = checkpoint->next_index;
+  const SweepCheckpoint effective = truncate_for_resume(csv_path, *checkpoint);
+  EXPECT_EQ(effective.next_index, checkpoint->next_index)
+      << "an intact output must resume from the token unchanged";
+  options.resume_from = effective.next_index;
   {
     CsvStreamSink csv{csv_path, /*append=*/true};
     EXPECT_EQ(run_sweep(spec, runner, csv, options), 7u);
@@ -367,6 +369,68 @@ TEST(RunSweep, KillAndResumeProducesAByteIdenticalCsv) {
 
   std::filesystem::remove(golden_path);
   std::filesystem::remove(csv_path);
+}
+
+TEST(RunSweep, ShrunkCsvBelowCheckpointIsRepairedAndResumeStaysByteIdentical) {
+  // Regression: a checkpoint pointing BEYOND a now-shrunk output file
+  // (external truncation after the token was written) used to be a hard
+  // refusal.  truncate_for_resume must instead cut the CSV back to its last
+  // complete result (the trailing "status" row) and rebuild the resume
+  // index from the file, so the resumed run is still byte-identical.
+  SweepSpec spec;
+  spec.name = "repair";
+  spec.base = cheap_base();
+  spec.widths_sets = {{1, 2, 3}, {2, 4, 6}, {3, 6, 9}};
+  spec.schedules = {sched::ScheduleKind::kAscending, sched::ScheduleKind::kDescending};
+  ASSERT_EQ(spec.size(), 6u);
+
+  const Runner runner{{.num_threads = 1}};
+  const std::string golden_path = testing::TempDir() + "arsf_repair_golden.csv";
+  const std::string csv_path = testing::TempDir() + "arsf_repair_run.csv";
+  const std::string progress_path = csv_path + ".progress";
+  std::filesystem::remove(golden_path);
+  std::filesystem::remove(csv_path);
+  std::filesystem::remove(progress_path);
+
+  SweepRunOptions options;
+  options.chunk_scenarios = 2;
+  {
+    CsvStreamSink golden{golden_path};
+    EXPECT_EQ(run_sweep(spec, runner, golden, options), 6u);
+  }
+
+  options.checkpoint_path = progress_path;
+  options.checkpoint_output = csv_path;
+  {
+    CsvStreamSink csv{csv_path};
+    KillSwitchSink killer{csv, 5};
+    EXPECT_THROW(run_sweep(spec, runner, killer, options), std::runtime_error);
+  }
+  const std::optional<SweepCheckpoint> checkpoint = load_sweep_checkpoint(progress_path);
+  ASSERT_TRUE(checkpoint.has_value());
+  ASSERT_EQ(checkpoint->next_index, 4u);
+
+  // Shrink the CSV below the checkpointed byte, tearing the last row.
+  ASSERT_GE(checkpoint->output_bytes, 10u);
+  std::filesystem::resize_file(csv_path, checkpoint->output_bytes - 10);
+
+  const SweepCheckpoint repaired = truncate_for_resume(csv_path, *checkpoint);
+  EXPECT_LT(repaired.next_index, checkpoint->next_index)
+      << "the torn tail must be cut back to the last complete result";
+  EXPECT_EQ(repaired.spec_fingerprint, checkpoint->spec_fingerprint);
+  EXPECT_EQ(std::filesystem::file_size(csv_path), repaired.output_bytes);
+
+  options.resume_from = repaired.next_index;
+  {
+    CsvStreamSink csv{csv_path, /*append=*/true};
+    EXPECT_EQ(run_sweep(spec, runner, csv, options),
+              spec.size() - repaired.next_index);
+  }
+  EXPECT_EQ(read_file(csv_path), read_file(golden_path));
+
+  std::filesystem::remove(golden_path);
+  std::filesystem::remove(csv_path);
+  std::filesystem::remove(progress_path);
 }
 
 TEST(RunSweep, UnstatableOutputSkipsTheCheckpointInsteadOfRecordingZeroBytes) {
@@ -424,13 +488,14 @@ TEST(RunSweep, ResumeTokensRejectCorruptionAndMismatchedOutputs) {
   }
   EXPECT_THROW((void)load_sweep_checkpoint(path), std::runtime_error);
 
-  // A CSV shorter than its token cannot be the file the token describes.
+  // A CSV shorter than its token with nothing salvageable (not even a
+  // complete header line) cannot be repaired either.
   const std::string csv = testing::TempDir() + "arsf_resume_short.csv";
   {
     std::ofstream file{csv, std::ios::trunc};
     file << "tiny";
   }
-  EXPECT_THROW(truncate_for_resume(csv, SweepCheckpoint{1, 1000}), std::runtime_error);
+  EXPECT_THROW((void)truncate_for_resume(csv, SweepCheckpoint{1, 1000}), std::runtime_error);
   // resume_from beyond the grid is rejected before any work starts.
   SweepSpec spec;
   spec.name = "beyond";

@@ -1,0 +1,279 @@
+// chaos_smoke — deterministic fault-injection harness for the robust
+// execution layer (scenario/runner.h + scenario/faultplan.h).  Registered
+// with ctest under the "chaos_smoke" label; part of the default run.
+//
+// A seeded matrix of FaultPlans is driven through Runner::run_batch and
+// run_sweep, each plan at thread counts {1, 0 (hardware)}.  For every plan
+// the harness asserts the execution layer's invariants:
+//
+//   * every batch TERMINATES (the ctest TIMEOUT is the deadlock backstop),
+//   * every slot delivers exactly one frame, in input order,
+//   * the per-slot frames — serialized through the JSONL writer — are
+//     BIT-IDENTICAL across thread counts (fault decisions are pure functions
+//     of (seed, site, key, attempt), never of scheduling),
+//   * transient analysis faults (attempt_limit 1) retry into `retried_ok`
+//     with the same metrics an unfaulted run produces; persistent ones
+//     exhaust the retry budget into `failed`,
+//   * a zero-fault plan reproduces the no-injector run byte for byte,
+//   * a sink fault aborts the batch cleanly after delivering the ordered
+//     prefix, and
+//   * a checkpoint fault is non-fatal: the sweep completes, the failure is
+//     counted.
+//
+//   ./chaos_smoke [--iterations N] [--verbose]
+//
+// --iterations scales the seeded random-plan sweep (the CMake registration
+// shortens it under ARSF_SANITIZE so the instrumented pass stays fast).
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "scenario/faultplan.h"
+#include "scenario/runner.h"
+#include "scenario/sink.h"
+#include "scenario/sweep.h"
+#include "support/cli.h"
+
+namespace {
+
+using arsf::scenario::AnalysisKind;
+using arsf::scenario::CollectingSink;
+using arsf::scenario::FaultInjector;
+using arsf::scenario::FaultPlan;
+using arsf::scenario::FaultRule;
+using arsf::scenario::PolicyKind;
+using arsf::scenario::ResultStatus;
+using arsf::scenario::Runner;
+using arsf::scenario::RunnerOptions;
+using arsf::scenario::Scenario;
+using arsf::scenario::ScenarioResult;
+using arsf::scenario::SweepRunOptions;
+using arsf::scenario::SweepSpec;
+
+int failures = 0;
+
+void expect(bool ok, const std::string& what) {
+  if (!ok) {
+    ++failures;
+    std::fprintf(stderr, "FAIL: %s\n", what.c_str());
+  }
+}
+
+/// Cheap, deterministic batch: exact enumeration over tiny worlds, plus one
+/// scenario that always fails validation — the mixed ok/failed stream every
+/// ordering assertion needs.
+std::vector<Scenario> make_batch() {
+  std::vector<Scenario> batch;
+  for (int k = 0; k < 6; ++k) {
+    Scenario s;
+    s.name = "chaos/enum-" + std::to_string(k);
+    s.widths = {1.0, 2.0, 2.0 + k};
+    s.fa = 0;
+    s.policy = PolicyKind::kNone;
+    s.analysis = AnalysisKind::kEnumerate;
+    batch.push_back(std::move(s));
+  }
+  Scenario bad;
+  bad.name = "chaos/invalid";
+  bad.widths = {};  // validate() rejects empty widths -> status `failed`
+  batch.push_back(std::move(bad));
+  return batch;
+}
+
+/// One frame per slot, serialized exactly as the JSONL wire format.
+std::vector<std::string> run_frames(const std::vector<Scenario>& batch,
+                                    const RunnerOptions& options) {
+  CollectingSink sink;
+  const Runner runner{options};
+  runner.run_batch(std::span<const Scenario>{batch}, sink);
+  std::vector<std::string> frames;
+  for (std::size_t i = 0; i < sink.results().size(); ++i) {
+    frames.push_back(arsf::scenario::to_json(i, sink.results()[i]));
+  }
+  return frames;
+}
+
+void check_plan_parity(const std::vector<Scenario>& batch, const FaultPlan& plan,
+                       const std::string& label, bool verbose) {
+  const FaultInjector injector{plan};
+  std::vector<std::string> baseline;
+  for (const unsigned threads : {1u, 0u}) {
+    RunnerOptions options;
+    options.num_threads = threads;
+    options.fault_injector = &injector;
+    options.retry.max_attempts = 2;
+    const std::vector<std::string> frames = run_frames(batch, options);
+    expect(frames.size() == batch.size(), label + ": one frame per slot");
+    if (baseline.empty()) {
+      baseline = frames;
+    } else {
+      expect(frames == baseline,
+             label + ": frames must be bit-identical across thread counts");
+    }
+  }
+  if (verbose) {
+    std::fprintf(stderr, "%s:\n", label.c_str());
+    for (const std::string& frame : baseline) std::fprintf(stderr, "  %s\n", frame.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const arsf::support::ArgParser args{argc, argv};
+  const bool verbose = args.has("verbose");
+  const auto iterations = static_cast<std::uint64_t>(args.get_int("iterations", 40));
+
+  const std::vector<Scenario> batch = make_batch();
+
+  // ---- zero-fault plan == no injector, byte for byte ----------------------
+  {
+    FaultPlan empty;
+    empty.seed = 7;
+    const FaultInjector injector{empty};
+    RunnerOptions with_injector;
+    with_injector.num_threads = 1;
+    with_injector.fault_injector = &injector;
+    RunnerOptions without;
+    without.num_threads = 1;
+    expect(run_frames(batch, with_injector) == run_frames(batch, without),
+           "zero-fault plan must reproduce the uninjected run byte-identically");
+  }
+
+  // ---- transient vs persistent analysis faults ----------------------------
+  {
+    FaultPlan transient;
+    transient.seed = 1;
+    transient.rules = {FaultRule{"analysis", /*nth=*/2, 0.0, /*attempt_limit=*/1}};
+    const FaultInjector injector{transient};
+    RunnerOptions options;
+    options.num_threads = 1;
+    options.fault_injector = &injector;
+    options.retry.max_attempts = 2;
+    CollectingSink sink;
+    Runner{options}.run_batch(std::span<const Scenario>{batch}, sink);
+    const ScenarioResult& hit = sink.results()[1];  // key 2 = slot index 1
+    expect(hit.status == ResultStatus::kRetriedOk && hit.attempts == 2,
+           "transient fault + retry must yield retried_ok on attempt 2");
+    RunnerOptions clean_options;
+    clean_options.num_threads = 1;
+    CollectingSink clean;
+    Runner{clean_options}.run_batch(std::span<const Scenario>{batch}, clean);
+    expect(hit.metrics.size() == clean.results()[1].metrics.size() &&
+               hit.error.empty(),
+           "a retried_ok frame carries the full metrics of an unfaulted run");
+
+    FaultPlan persistent = transient;
+    persistent.rules[0].attempt_limit = 0;  // every attempt
+    const FaultInjector stubborn{persistent};
+    options.fault_injector = &stubborn;
+    CollectingSink sunk;
+    Runner{options}.run_batch(std::span<const Scenario>{batch}, sunk);
+    expect(sunk.results()[1].status == ResultStatus::kFailed &&
+               sunk.results()[1].attempts == 2,
+           "persistent fault must exhaust the retry budget into `failed`");
+  }
+
+  // ---- fixed plan matrix: thread-count frame parity -----------------------
+  {
+    const std::vector<FaultPlan> matrix = {
+        FaultPlan{11, {FaultRule{"analysis", 3, 0.0, 1}}},
+        FaultPlan{13, {FaultRule{"analysis", 0, 0.5, 0}}},
+        FaultPlan{17, {FaultRule{"pool", 4, 0.0, 1}}},
+        FaultPlan{19,
+                  {FaultRule{"analysis", 0, 0.3, 1}, FaultRule{"pool", 0, 0.25, 1}}},
+    };
+    for (std::size_t p = 0; p < matrix.size(); ++p) {
+      check_plan_parity(batch, matrix[p], "plan#" + std::to_string(p), verbose);
+    }
+    // Seeded random-plan sweep: same shape, fresh seeds.
+    for (std::uint64_t seed = 0; seed < iterations; ++seed) {
+      FaultPlan plan;
+      plan.seed = 1000 + seed;
+      plan.rules = {FaultRule{"analysis", 0, 0.4, (seed % 2 == 0) ? 1u : 0u},
+                    FaultRule{"pool", 0, 0.2, 1}};
+      check_plan_parity(batch, plan, "seed#" + std::to_string(seed), false);
+    }
+  }
+
+  // ---- sink fault: clean abort after the ordered prefix -------------------
+  {
+    FaultPlan plan;
+    plan.seed = 23;
+    plan.rules = {FaultRule{"sink", /*nth=*/3, 0.0, 1}};
+    const FaultInjector injector{plan};
+    for (const unsigned threads : {1u, 0u}) {
+      CollectingSink collected;
+      arsf::scenario::FaultInjectingSink faulty{collected, injector};
+      RunnerOptions options;
+      options.num_threads = threads;
+      const Runner runner{options};
+      bool threw = false;
+      try {
+        runner.run_batch(std::span<const Scenario>{batch}, faulty);
+      } catch (const arsf::scenario::InjectedFault&) {
+        threw = true;
+      }
+      expect(threw, "a sink fault must abort the batch with the injected exception");
+      expect(collected.results().size() == 2,
+             "the ordered prefix before the sink fault (2 results) must be delivered");
+    }
+  }
+
+  // ---- checkpoint fault: non-fatal, sweep completes -----------------------
+  {
+    SweepSpec spec;
+    spec.name = "chaos-sweep";
+    Scenario base;
+    base.name = "base";
+    base.widths = {1, 2, 3};
+    base.fa = 0;
+    base.policy = PolicyKind::kNone;
+    spec.base = base;
+    spec.seed_count = 6;
+
+    FaultPlan plan;
+    plan.seed = 29;
+    plan.rules = {FaultRule{"checkpoint", /*nth=*/2, 0.0, 1}};
+    const FaultInjector injector{plan};
+
+    const std::string progress =
+        std::filesystem::temp_directory_path().string() + "/arsf_chaos.progress";
+    std::filesystem::remove(progress);
+    SweepRunOptions options;
+    options.chunk_scenarios = 2;
+    options.checkpoint_path = progress;
+    options.fault_injector = &injector;
+    std::size_t save_failures = 0;
+    options.checkpoint_failures = &save_failures;
+
+    CollectingSink sink;
+    RunnerOptions runner_options;
+    runner_options.num_threads = 1;
+    const std::size_t total = run_sweep(spec, Runner{runner_options}, sink, options);
+    expect(total == 6 && sink.results().size() == 6,
+           "a checkpoint fault must not stop the sweep from completing");
+    expect(save_failures == 1, "exactly one checkpoint save (ordinal 2) must have failed");
+    expect(!std::filesystem::exists(progress),
+           "a completed sweep still drops its resume token");
+  }
+
+  // ---- FaultPlan JSON round-trip ------------------------------------------
+  {
+    FaultPlan plan;
+    plan.seed = 0xfeedfaceULL;
+    plan.rules = {FaultRule{"analysis", 3, 0.25, 1}, FaultRule{"checkpoint", 0, 0.125, 0}};
+    const FaultPlan back = FaultPlan::from_json(plan.to_json());
+    expect(back == plan, "FaultPlan JSON round-trip must be exact");
+  }
+
+  if (failures != 0) {
+    std::fprintf(stderr, "chaos_smoke: %d invariant(s) violated\n", failures);
+    return 1;
+  }
+  std::printf("chaos_smoke: all fault-plan invariants held (%llu random plans)\n",
+              static_cast<unsigned long long>(iterations));
+  return 0;
+}
