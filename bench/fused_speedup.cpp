@@ -1,0 +1,216 @@
+// fused_speedup — measures the tentpole claim of the fused multi-analysis
+// engine: one world pass for k member analyses instead of k passes.
+//
+// For the largest Table 1 configuration (by world count) it times each
+// member of the registered fused/<name> bundle standalone, then the fused
+// bundle, and reports the speedup — on the attacker-policy lane (the paper's
+// own Table 1 configuration, serial by contract) and on the run-batched
+// clean lane, the latter additionally at the host's full thread count when
+// more than one vCPU is available (graceful single-core fallback: the
+// multi-thread row is simply skipped).
+//
+// Every row carries a `parity` boolean: the fused metrics were compared
+// bit-identically against every standalone member AND across engine threads
+// {1, 0} before the row was emitted.  `--json FILE` writes the committed
+// BENCH_fused.json artefact via the shared bench/bench_json.h contract.
+//
+//   ./fused_speedup [--repeat N] [--json FILE]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.h"
+#include "scenario/registry.h"
+#include "scenario/runner.h"
+#include "scenario/sweep.h"
+#include "support/ascii.h"
+#include "support/cli.h"
+
+namespace {
+
+using arsf::scenario::AnalysisKind;
+using arsf::scenario::Runner;
+using arsf::scenario::Scenario;
+using arsf::scenario::ScenarioResult;
+
+/// Minimum wall-clock over @p repeat runs (the usual bench estimator: the
+/// least-disturbed run); the result of the last run is kept for parity.
+double time_scenario(const Runner& runner, const Scenario& scenario, int repeat,
+                     ScenarioResult& result) {
+  using Clock = std::chrono::steady_clock;
+  double best = 1e300;
+  for (int i = 0; i < repeat; ++i) {
+    const auto start = Clock::now();
+    result = runner.run(scenario);
+    best = std::min(best, std::chrono::duration<double>(Clock::now() - start).count());
+    if (!result.ok()) break;
+  }
+  return best;
+}
+
+/// True when every metric of @p reference appears in @p fused with a
+/// bit-identical value.
+bool covers(const ScenarioResult& fused, const ScenarioResult& reference) {
+  for (const auto& metric : reference.metrics) {
+    if (fused.metric_or(metric.key, -1e308) != metric.value) return false;
+  }
+  return true;
+}
+
+struct LaneResult {
+  bool ok = false;
+  bool parity = false;
+  double fused_seconds = 0.0;
+  double standalone_total_seconds = 0.0;
+  std::vector<double> member_seconds;
+};
+
+/// Times one fused bundle vs its standalone members at @p threads, checking
+/// parity against every member and across engine threads {threads, 0}.
+LaneResult run_lane(const Scenario& fused, unsigned threads, int repeat) {
+  const Runner runner;
+  LaneResult lane;
+
+  Scenario bundle = fused;
+  bundle.num_threads = threads;
+  ScenarioResult fused_result;
+  lane.fused_seconds = time_scenario(runner, bundle, repeat, fused_result);
+  if (!fused_result.ok()) {
+    std::fprintf(stderr, "%s: %s\n", bundle.name.c_str(), fused_result.error.c_str());
+    return lane;
+  }
+
+  // Thread-count invariance half of the parity bit: the same bundle on the
+  // default pool fan-out must be bit-identical.
+  Scenario pooled = bundle;
+  pooled.num_threads = 0;
+  const ScenarioResult pooled_result = runner.run(pooled);
+  lane.parity = pooled_result.ok() && covers(fused_result, pooled_result) &&
+                covers(pooled_result, fused_result);
+
+  for (const AnalysisKind member : fused.fused_members) {
+    Scenario standalone = bundle;
+    standalone.analysis = member;
+    standalone.fused_members.clear();
+    ScenarioResult member_result;
+    const double seconds = time_scenario(runner, standalone, repeat, member_result);
+    if (!member_result.ok()) {
+      std::fprintf(stderr, "%s (%s): %s\n", standalone.name.c_str(),
+                   arsf::scenario::to_string(member).c_str(), member_result.error.c_str());
+      return lane;
+    }
+    lane.member_seconds.push_back(seconds);
+    lane.standalone_total_seconds += seconds;
+    lane.parity = lane.parity && covers(fused_result, member_result);
+  }
+  lane.ok = true;
+  return lane;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const arsf::support::ArgParser args{argc, argv};
+  const auto repeat = static_cast<int>(args.get_int("repeat", 5));
+  const std::string json_path = args.get_string("json", "");
+
+  // The largest Table 1 configuration by world count — the acceptance
+  // workload — resolved from the registry, not hardcoded.
+  const auto table1 = arsf::scenario::registry().match("table1/");
+  const Scenario* largest = nullptr;
+  for (const Scenario* scenario : table1) {
+    if (largest == nullptr ||
+        arsf::scenario::estimated_worlds(*scenario) > arsf::scenario::estimated_worlds(*largest)) {
+      largest = scenario;
+    }
+  }
+  if (largest == nullptr) {
+    std::fprintf(stderr, "no table1/ scenarios registered\n");
+    return 1;
+  }
+  const Scenario* bundle = arsf::scenario::registry().find("fused/" + largest->name);
+  if (bundle == nullptr) {
+    std::fprintf(stderr, "missing fused/ twin of %s\n", largest->name.c_str());
+    return 1;
+  }
+  const std::uint64_t worlds = arsf::scenario::estimated_worlds(*bundle);
+  const unsigned hardware = std::max(1u, std::thread::hardware_concurrency());
+
+  std::printf("fused_speedup — one world pass, %zu member analyses\n",
+              bundle->fused_members.size());
+  std::printf("workload: %s (%llu worlds), repeat=%d, host threads=%u\n\n",
+              bundle->name.c_str(), static_cast<unsigned long long>(worlds), repeat, hardware);
+
+  // The clean-lane twin exercises the run-batched closed forms (and actually
+  // scales with threads; the policy lane is serial by the engine contract).
+  Scenario clean = *bundle;
+  clean.name = bundle->name + "/clean";
+  clean.fa = 0;
+  clean.policy = arsf::scenario::PolicyKind::kNone;
+
+  struct RowSpec {
+    const Scenario* scenario;
+    const char* lane;
+    unsigned threads;
+  };
+  std::vector<RowSpec> specs = {{bundle, "policy", 1}, {&clean, "clean", 1}};
+  // First real >1-vCPU scaling numbers; skipped gracefully on a 1-core host.
+  if (hardware > 1) specs.push_back({&clean, "clean", hardware});
+
+  arsf::bench::BenchReport report{"fused_speedup"};
+  arsf::support::TextTable table{
+      {"lane", "threads", "standalone ms", "fused ms", "speedup", "parity"}};
+  bool all_ok = true;
+  bool all_parity = true;
+  double policy_speedup = 0.0;
+
+  for (const RowSpec& spec : specs) {
+    const LaneResult lane = run_lane(*spec.scenario, spec.threads, repeat);
+    if (!lane.ok) {
+      all_ok = false;
+      continue;
+    }
+    const double speedup = lane.standalone_total_seconds / lane.fused_seconds;
+    if (spec.threads == 1 && std::string(spec.lane) == "policy") policy_speedup = speedup;
+    all_parity = all_parity && lane.parity;
+
+    table.add_row({spec.lane, std::to_string(spec.threads),
+                   arsf::support::format_number(lane.standalone_total_seconds * 1e3, 2),
+                   arsf::support::format_number(lane.fused_seconds * 1e3, 2),
+                   arsf::support::format_number(speedup, 2), lane.parity ? "yes" : "NO"});
+
+    auto& row = report.add_row();
+    row.text("scenario", spec.scenario->name);
+    row.text("lane", spec.lane);
+    row.number("threads", std::uint64_t{spec.threads});
+    row.number("worlds", worlds);
+    row.number("members", std::uint64_t{spec.scenario->fused_members.size()});
+    for (std::size_t m = 0; m < spec.scenario->fused_members.size(); ++m) {
+      row.number("standalone_" + arsf::scenario::to_string(spec.scenario->fused_members[m]) +
+                     "_ms",
+                 lane.member_seconds[m] * 1e3);
+    }
+    row.number("standalone_total_ms", lane.standalone_total_seconds * 1e3);
+    row.number("fused_ms", lane.fused_seconds * 1e3);
+    row.number("speedup", speedup);
+    row.boolean("parity", lane.parity);
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("policy-lane single-thread speedup: %sx (acceptance floor 2.5x)\n",
+              arsf::support::format_number(policy_speedup, 2).c_str());
+
+  report.summary().text("workload", bundle->name);
+  report.summary().number("worlds", worlds);
+  report.summary().number("repeat", std::uint64_t{static_cast<unsigned>(repeat)});
+  report.summary().number("hardware_threads", std::uint64_t{hardware});
+  report.summary().number("policy_single_thread_speedup", policy_speedup);
+  report.summary().boolean("all_parity", all_parity);
+  report.write_if_requested(json_path);
+
+  return (all_ok && all_parity) ? 0 : 1;
+}

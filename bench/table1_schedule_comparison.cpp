@@ -3,11 +3,16 @@
 // configurations, by exhaustive enumeration of all measurement combinations
 // on the integer grid (the paper's own methodology, Section IV-A).
 //
-// The configurations come from the scenario registry ("table1/" family, one
-// scenario per row and schedule) and run as one concurrent batch through the
-// scenario Runner; the CSV output is the unified long-format report.
+// The configurations come from the scenario registry ("fused/table1/"
+// family — the 3-member fused twins of the Table 1 scenarios, one world pass
+// per scenario for expected width + width histogram + detection rate, every
+// metric bit-identical to the standalone analyses) and run as one concurrent
+// batch through the scenario Runner; the CSV output is the unified
+// long-format report.  --standalone falls back to the unfused "table1/"
+// family for A/B comparisons.
 //
 //   ./table1_schedule_comparison [--csv out.csv] [--rows 8] [--threads N]
+//                                [--standalone]
 
 #include <chrono>
 #include <cstdio>
@@ -40,15 +45,20 @@ int main(int argc, char** argv) {
   const auto max_rows = static_cast<std::size_t>(args.get_int("rows", 8));
   const std::string csv_path = args.get_string("csv", "");
   const auto threads = static_cast<unsigned>(args.get_int("threads", 0));
+  const bool standalone = args.has("standalone");
 
-  // "table1/" registers ascending/descending pairs in row order.
-  const auto scenarios = arsf::scenario::registry().match("table1/");
+  // Both families register ascending/descending pairs in row order; the
+  // fused twins deliver the same metrics (plus histogram bins) in ONE world
+  // pass per scenario instead of one pass per analysis.
+  const auto scenarios =
+      arsf::scenario::registry().match(standalone ? "table1/" : "fused/table1/");
   const std::size_t count = std::min(scenarios.size(), max_rows * 2);
   const auto reference = arsf::sim::paper_table1_reference();
 
   std::printf("Table I — comparison of sensor communication schedules\n");
   std::printf("E|S| by exhaustive enumeration, f = ceil(n/2)-1, attacked = fa most precise\n");
-  std::printf("(%zu scenarios from the registry, one Runner batch)\n\n", count);
+  std::printf("(%zu scenarios from the registry, one Runner batch%s)\n\n", count,
+              standalone ? "" : ", fused 3-member bundles");
 
   const auto start = Clock::now();
   const arsf::scenario::Runner runner{{.num_threads = threads}};

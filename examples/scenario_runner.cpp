@@ -12,6 +12,7 @@
 //   ./scenario_runner --sweep sweep/table1-grid --csv report.csv --resume
 //   ./scenario_runner --sweep-json my_sweep.json
 //   ./scenario_runner --overlay workloads.jsonl --run my/scenario --jsonl
+//   ./scenario_runner --run table1/r5/ascending --fused enumerate,detection-rate
 //   ./scenario_runner --json stress/fine-grid
 //
 // --overlay FILE merges one Scenario or SweepSpec JSON per line (the file
@@ -25,6 +26,14 @@
 // cost-bounded attacker) — the same configuration the scenario_smoke ctest
 // executes.  Exits non-zero when any result carries an error, so smoke runs
 // can gate CI.
+//
+// --fused a,b,c rewrites every selected scenario into an ad-hoc fused bundle
+// (analysis kinds a,b,c over one shared world pass, see
+// sim/engine/accumulators.h) without writing any JSON: the batch runs
+// `fused/adhoc/<name>` twins instead of the originals.  Member kinds must be
+// fusable (enumerate, width-histogram, detection-rate, width-argmax) and
+// unique; every offending member gets its own error line and the process
+// exits 2 before anything runs.
 //
 // Sweeps streaming to --csv checkpoint their progress to `<csv>.progress`
 // after every flushed chunk (removed on completion); --resume picks an
@@ -41,6 +50,7 @@
 // human-readable error frame goes to STDERR per failure, so --jsonl stdout
 // stays pure JSON lines.
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <iostream>
@@ -100,6 +110,7 @@ int main(int argc, char** argv) {
   const std::string overlay_path = args.get_string("overlay", "");
   const std::string json_name = args.get_string("json", "");
   const std::string csv_path = args.get_string("csv", "");
+  const std::string fused_arg = args.get_string("fused", "");
   const auto threads = static_cast<unsigned>(args.get_int("threads", 0));
   const std::int64_t chunk_arg = args.get_int("chunk", 256);
   const std::int64_t deadline_arg = args.get_int("deadline-ms", 0);
@@ -131,6 +142,55 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // --fused a,b,c: resolve the ad-hoc member list up front so EVERY bad
+  // member gets its own error line (not just the first) before anything runs.
+  std::vector<arsf::scenario::AnalysisKind> fused_members;
+  if (args.has("fused")) {
+    if (!sweep_name.empty() || !sweep_json_path.empty()) {
+      std::fprintf(stderr, "--fused applies to scenario batches, not sweeps\n");
+      return 2;
+    }
+    std::vector<std::string> member_names;
+    std::string current;
+    for (const char c : fused_arg) {
+      if (c == ',') {
+        member_names.push_back(current);
+        current.clear();
+      } else {
+        current.push_back(c);
+      }
+    }
+    member_names.push_back(current);
+    int bad_members = 0;
+    for (const auto& member : member_names) {
+      if (member.empty()) {
+        std::fprintf(stderr, "--fused: empty member in '%s'\n", fused_arg.c_str());
+        ++bad_members;
+        continue;
+      }
+      arsf::scenario::AnalysisKind kind;
+      try {
+        kind = arsf::scenario::analysis_kind_from_string(member);
+      } catch (const std::invalid_argument&) {
+        std::fprintf(stderr, "--fused: unknown fused member '%s'\n", member.c_str());
+        ++bad_members;
+        continue;
+      }
+      if (!arsf::scenario::is_fusable(kind)) {
+        std::fprintf(stderr, "--fused: member '%s' is not fusable\n", member.c_str());
+        ++bad_members;
+        continue;
+      }
+      if (std::find(fused_members.begin(), fused_members.end(), kind) != fused_members.end()) {
+        std::fprintf(stderr, "--fused: duplicate fused member '%s'\n", member.c_str());
+        ++bad_members;
+        continue;
+      }
+      fused_members.push_back(kind);
+    }
+    if (bad_members != 0) return 2;
+  }
+
   // The process-wide registry is immutable; overlays merge into a copy.
   arsf::scenario::ScenarioRegistry registry = arsf::scenario::registry();
   if (!overlay_path.empty()) {
@@ -157,7 +217,7 @@ int main(int argc, char** argv) {
     std::printf("usage: scenario_runner --list | --json NAME |\n");
     std::printf("       (--run NAME | --prefix FAMILY/ | --all | --sweep NAME |\n");
     std::printf("        --sweep-json FILE)\n");
-    std::printf("       [--overlay FILE] [--smoke] [--threads N] [--chunk N]\n");
+    std::printf("       [--overlay FILE] [--smoke] [--fused a,b,c] [--threads N] [--chunk N]\n");
     std::printf("       [--csv report.csv] [--resume] [--jsonl] [--progress]\n");
     std::printf("       [--deadline-ms N] [--retries N] [--degrade]\n");
     std::printf("registry: %zu scenarios, %zu sweeps\n", registry.size(),
@@ -346,7 +406,18 @@ int main(int argc, char** argv) {
   std::vector<arsf::scenario::Scenario> batch;
   batch.reserve(selected.size());
   for (const auto* scenario : selected) {
-    batch.push_back(smoke ? arsf::scenario::smoke_variant(*scenario) : *scenario);
+    arsf::scenario::Scenario variant =
+        smoke ? arsf::scenario::smoke_variant(*scenario) : *scenario;
+    if (!fused_members.empty()) {
+      // Ad-hoc fused twin: same system/schedule/attack, one shared world
+      // pass for the requested members.  Renamed so reports cannot be
+      // mistaken for the base scenario's own rows.
+      variant.analysis = arsf::scenario::AnalysisKind::kFused;
+      variant.fused_members = fused_members;
+      variant.name = "fused/adhoc/" + scenario->name;
+      variant.description = "Ad-hoc fused bundle of " + scenario->name;
+    }
+    batch.push_back(std::move(variant));
   }
 
   std::fprintf(stderr, "running %zu scenario(s)%s...\n", batch.size(),

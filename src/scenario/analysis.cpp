@@ -1,7 +1,9 @@
 #include "scenario/analysis.h"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "sim/engine/accumulators.h"
 #include "sim/montecarlo.h"
 #include "sim/resilience.h"
 #include "sim/worstcase.h"
@@ -100,6 +102,201 @@ class EnumerateAnalysis final : public Analysis {
         {"min_width", result.min_width},
         {"max_width", result.max_width},
     };
+    return out;
+  }
+};
+
+// ---- fused reducer analyses -------------------------------------------------
+
+/// Width-histogram display parameters: bin count fixed, upper edge fixed
+/// deterministically from the scenario's widths (2 * max width bounds every
+/// clean fused width; wider policy-path fusions land in the top bin — the
+/// histogram clamps, it never drops mass).
+constexpr std::size_t kHistogramBins = 16;
+
+Tick histogram_hi_ticks(std::span<const Tick> widths) {
+  Tick max_w = 0;
+  for (const Tick w : widths) max_w = std::max(max_w, w);
+  return 2 * max_w + 1;
+}
+
+std::unique_ptr<sim::engine::WorldReducer> make_reducer(AnalysisKind kind, Tick hist_hi) {
+  using namespace sim::engine;
+  switch (kind) {
+    case AnalysisKind::kEnumerate: return std::make_unique<ExpectedWidthReducer>();
+    case AnalysisKind::kWidthHistogram:
+      return std::make_unique<WidthHistogramReducer>(kHistogramBins, hist_hi);
+    case AnalysisKind::kDetectionRate: return std::make_unique<DetectionRateReducer>();
+    case AnalysisKind::kWidthArgmax: return std::make_unique<WorstCaseReducer>();
+    default:
+      throw std::invalid_argument("fused analysis: member '" + to_string(kind) +
+                                  "' is not fusable");
+  }
+}
+
+/// Shared body of the fused bundle and the standalone reducer analyses: one
+/// scenario translation, one metric layout per member, one engine — so
+/// fused-vs-standalone parity compares world passes and nothing else (the
+/// WorstCaseAnalysisBase pattern).  Members run through a single FusedPass
+/// (run-batched clean lane + block fan-out) when no attacker policy is in
+/// play; with a policy, one serial protocol-round walk feeds every member's
+/// reducer — k analyses for one enumeration either way.
+///
+/// Emitted metrics per member use the member's standalone names; keys shared
+/// across members (worlds, detected_worlds, empty_fusion_worlds, max_width)
+/// always carry the same value since they come from the same pass — emitted
+/// once, with the equality checked.
+std::vector<Metric> run_members(const Scenario& scenario,
+                                std::span<const AnalysisKind> members,
+                                const sim::engine::CancelToken* cancel) {
+  namespace eng = sim::engine;
+  const EnumerateSetup setup = make_enumerate_setup(scenario);
+  const sim::EnumerateConfig& config = setup.config;
+
+  // The same validation gate enumerate_expected_width applies.
+  config.system.validate();
+  if (!sched::is_valid_order(config.order, config.system.n())) {
+    throw std::invalid_argument("fused enumeration: invalid order");
+  }
+  const std::uint64_t worlds = sim::world_count(config.system, config.quant);
+  if (worlds > config.max_worlds) {
+    throw std::invalid_argument("fused enumeration: world count " + std::to_string(worlds) +
+                                " exceeds max_worlds");
+  }
+  const attack::AttackSetup round_setup =
+      attack::make_setup(config.system, config.quant, config.attacked, config.order);
+  const eng::WorldDomain domain =
+      eng::WorldDomain::all_contain_zero(round_setup.widths, round_setup.f);
+  const Tick hist_hi = histogram_hi_ticks(round_setup.widths);
+
+  // Matches enumerate_expected_width's side effects on the policy object.
+  if (config.policy != nullptr) config.policy->reset();
+
+  eng::FusedPass pass;
+  for (const AnalysisKind member : members) pass.add(make_reducer(member, hist_hi));
+
+  const bool member_enumerate =
+      std::find(members.begin(), members.end(), AnalysisKind::kEnumerate) != members.end();
+  const bool with_policy = !config.attacked.empty() && config.policy != nullptr;
+
+  std::uint64_t clean_width_sum = 0;
+  if (!with_policy) {
+    // Clean path: every member reduces the run-batched fused pass.
+    pass.run(domain, config.num_threads, cancel);
+  } else {
+    // The enumerate member's no-attack baseline (the other members have no
+    // clean-side metric, so the extra pass is skipped without them).
+    if (member_enumerate) {
+      clean_width_sum = eng::clean_statistics(domain, config.num_threads, cancel).width_sum;
+    }
+    // Stateful-policy path: serial (the memoised policy is shared mutable
+    // state); ONE protocol round per world feeds every member's reducer.
+    support::Rng rng{0xdecafbadULL};  // policies on the exact path ignore it
+    eng::enumerate_block(
+        domain, 0, worlds,
+        [&](std::uint64_t index, TickInterval /*clean_fused*/,
+            const eng::IncrementalSweep& sweep) {
+          const sim::TickRoundResult round = sim::run_tick_round(
+              round_setup, sweep.intervals(), config.policy, rng, config.oracle);
+          for (std::size_t r = 0; r < pass.size(); ++r) {
+            pass.at(r).accept(index, round.fused, round.attacked_detected);
+          }
+        },
+        cancel);
+  }
+
+  const double scale = config.quant.step / static_cast<double>(worlds);
+  std::vector<Metric> metrics;
+  const auto add = [&](const std::string& key, double value) {
+    for (const Metric& metric : metrics) {
+      if (metric.key == key) {
+        if (metric.value != value) {
+          throw std::logic_error("fused analysis: members disagree on metric '" + key + "'");
+        }
+        return;
+      }
+    }
+    metrics.push_back({key, value});
+  };
+
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    switch (members[i]) {
+      case AnalysisKind::kEnumerate: {
+        const auto& r = pass.at<eng::ExpectedWidthReducer>(i);
+        const std::uint64_t no_attack_sum = with_policy ? clean_width_sum : r.width_sum;
+        add("expected_width", static_cast<double>(r.width_sum) * scale);
+        add("expected_width_no_attack", static_cast<double>(no_attack_sum) * scale);
+        add("worlds", static_cast<double>(worlds));
+        add("detected_worlds", static_cast<double>(r.detected_worlds));
+        add("empty_fusion_worlds", static_cast<double>(r.empty_worlds));
+        add("min_width", static_cast<double>(r.min_width) * config.quant.step);
+        add("max_width", static_cast<double>(r.max_width) * config.quant.step);
+        break;
+      }
+      case AnalysisKind::kWidthHistogram: {
+        const auto& r = pass.at<eng::WidthHistogramReducer>(i);
+        add("worlds", static_cast<double>(worlds));
+        add("hist_bins", static_cast<double>(r.bins()));
+        add("hist_hi_ticks", static_cast<double>(r.hi_ticks()));
+        for (std::size_t bin = 0; bin < r.bins(); ++bin) {
+          add("hist_bin_" + std::to_string(bin), static_cast<double>(r.counts[bin]));
+        }
+        add("empty_fusion_worlds", static_cast<double>(r.empty_worlds));
+        break;
+      }
+      case AnalysisKind::kDetectionRate: {
+        const auto& r = pass.at<eng::DetectionRateReducer>(i);
+        add("worlds", static_cast<double>(worlds));
+        add("detected_worlds", static_cast<double>(r.detected_worlds));
+        add("detection_rate",
+            static_cast<double>(r.detected_worlds) / static_cast<double>(worlds));
+        add("empty_fusion_worlds", static_cast<double>(r.empty_worlds));
+        break;
+      }
+      case AnalysisKind::kWidthArgmax: {
+        const auto& r = pass.at<eng::WorstCaseReducer>(i);
+        add("worlds", static_cast<double>(worlds));
+        add("max_width_ticks", static_cast<double>(r.max_width));
+        add("max_width", static_cast<double>(r.max_width) * config.quant.step);
+        add("argmax_world", static_cast<double>(r.argmax_index));
+        break;
+      }
+      default:
+        throw std::invalid_argument("fused analysis: member '" + to_string(members[i]) +
+                                    "' is not fusable");
+    }
+  }
+  return metrics;
+}
+
+/// One-member fused pass: the standalone face of a reducer, sharing
+/// run_members with FusedAnalysis so parity compares engines only.
+template <AnalysisKind Kind>
+class ReducerAnalysis final : public Analysis {
+ public:
+  [[nodiscard]] std::string name() const override { return to_string(Kind); }
+
+  [[nodiscard]] ScenarioResult run(const Scenario& scenario,
+                                   const sim::engine::CancelToken* cancel) const override {
+    static constexpr AnalysisKind kMembers[] = {Kind};
+    ScenarioResult out{scenario.name, name(), {}, {}};
+    out.metrics = run_members(scenario, kMembers, cancel);
+    return out;
+  }
+};
+
+class FusedAnalysis final : public Analysis {
+ public:
+  [[nodiscard]] std::string name() const override { return "fused"; }
+
+  [[nodiscard]] ScenarioResult run(const Scenario& scenario,
+                                   const sim::engine::CancelToken* cancel) const override {
+    if (scenario.fused_members.empty()) {
+      throw std::invalid_argument("Scenario '" + scenario.name +
+                                  "': fused analysis needs at least one member");
+    }
+    ScenarioResult out{scenario.name, name(), {}, {}};
+    out.metrics = run_members(scenario, scenario.fused_members, cancel);
     return out;
   }
 };
@@ -333,6 +530,10 @@ const Analysis& analysis_for(AnalysisKind kind) {
   static const WorstCaseOverSetsBnbAnalysis worstcase_oversets_bnb;
   static const ResilienceAnalysis resilience;
   static const CaseStudyAnalysis casestudy;
+  static const ReducerAnalysis<AnalysisKind::kWidthHistogram> width_histogram;
+  static const ReducerAnalysis<AnalysisKind::kDetectionRate> detection_rate;
+  static const ReducerAnalysis<AnalysisKind::kWidthArgmax> width_argmax;
+  static const FusedAnalysis fused;
   switch (kind) {
     case AnalysisKind::kEnumerate: return enumerate;
     case AnalysisKind::kMonteCarlo: return montecarlo;
@@ -341,6 +542,10 @@ const Analysis& analysis_for(AnalysisKind kind) {
     case AnalysisKind::kWorstCaseOverSetsBnb: return worstcase_oversets_bnb;
     case AnalysisKind::kResilience: return resilience;
     case AnalysisKind::kCaseStudy: return casestudy;
+    case AnalysisKind::kWidthHistogram: return width_histogram;
+    case AnalysisKind::kDetectionRate: return detection_rate;
+    case AnalysisKind::kWidthArgmax: return width_argmax;
+    case AnalysisKind::kFused: return fused;
   }
   throw std::invalid_argument("analysis_for: unknown AnalysisKind");
 }

@@ -303,6 +303,18 @@ std::vector<std::size_t> get_index_list(const JsonValue& object, const std::stri
   return out;
 }
 
+std::vector<std::string> get_string_list(const JsonValue& object, const std::string& key) {
+  const JsonValue& value = object_field(object, key);
+  if (value.type != JsonValue::Type::kArray) field_error(key, "must be an array");
+  std::vector<std::string> out;
+  out.reserve(value.array.size());
+  for (const JsonValue& element : value.array) {
+    if (element.type != JsonValue::Type::kString) field_error(key, "must hold strings");
+    out.push_back(element.string);
+  }
+  return out;
+}
+
 void reject_unknown_keys(const JsonValue& object, const std::vector<std::string>& known,
                          const std::string& context) {
   for (const auto& [key, value] : object.object) {

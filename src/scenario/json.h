@@ -94,6 +94,8 @@ class JsonBuilder {
                                                   const std::string& key);
 [[nodiscard]] std::vector<std::size_t> get_index_list(const JsonValue& object,
                                                       const std::string& key);
+[[nodiscard]] std::vector<std::string> get_string_list(const JsonValue& object,
+                                                       const std::string& key);
 
 /// Throws std::invalid_argument naming the first key of @p object outside
 /// @p known ("<context> JSON: unknown field '...'").

@@ -423,6 +423,49 @@ void add_large_n_bnb(ScenarioRegistry& reg) {
   }
 }
 
+void add_fused_bundles(ScenarioRegistry& reg) {
+  // Every Table I scenario gets a "fused/<name>" bundle running the
+  // enumerate + width-histogram + detection-rate members through ONE world
+  // pass; the golden parity suite (tests/test_fused.cpp) and the
+  // fused_parity_smoke ctest compare each member against its standalone
+  // analysis, and scenario_smoke executes every bundle by construction.
+  std::vector<Scenario> bundles;
+  for (const Scenario& scenario : reg.all()) {
+    if (scenario.analysis != AnalysisKind::kEnumerate) continue;
+    if (scenario.name.rfind("table1/", 0) != 0) continue;
+    Scenario fused = scenario;
+    fused.name = "fused/" + scenario.name;
+    fused.analysis = AnalysisKind::kFused;
+    fused.fused_members = {AnalysisKind::kEnumerate, AnalysisKind::kWidthHistogram,
+                           AnalysisKind::kDetectionRate};
+    fused.description = "Fused 3-member bundle of " + scenario.name;
+    bundles.push_back(std::move(fused));
+  }
+  for (Scenario& bundle : bundles) reg.add(std::move(bundle));
+
+  // Fig. 4 width families as 4-member bundles: the width-argmax member reads
+  // the attacked-world argmax off the same pass the expectation metrics use.
+  const std::vector<std::vector<double>> families = {
+      {2, 3, 5}, {1, 4, 4}, {2, 2, 6}, {2, 3, 4, 5}, {1, 2, 3, 6}, {2, 2, 3, 4, 5},
+  };
+  for (const auto& widths : families) {
+    Scenario s;
+    std::string suffix;
+    for (double w : widths) {
+      suffix += (suffix.empty() ? "" : "-") + std::to_string(static_cast<long long>(w));
+    }
+    s.name = "fused/fig4/wc-" + suffix;
+    s.description = "Fused 4-member bundle over the Fig. 4 family " + widths_text(widths) +
+                    ": E|S|, width histogram, detection rate and width argmax in one pass";
+    s.analysis = AnalysisKind::kFused;
+    s.fused_members = {AnalysisKind::kEnumerate, AnalysisKind::kWidthHistogram,
+                       AnalysisKind::kDetectionRate, AnalysisKind::kWidthArgmax};
+    s.widths = widths;
+    s.fa = static_cast<std::size_t>(max_bounded_f(static_cast<int>(widths.size())));
+    reg.add(std::move(s));
+  }
+}
+
 void add_sweeps(ScenarioRegistry& reg) {
   {
     // The grid behind Table I read as a sweep: three width families x fa x
@@ -475,6 +518,7 @@ const ScenarioRegistry& registry() {
     add_worstcase_fast_mirrors(reg);
     add_worstcase_bnb_mirrors(reg);
     add_large_n_bnb(reg);
+    add_fused_bundles(reg);
     add_sweeps(reg);
     return reg;
   }();

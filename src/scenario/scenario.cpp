@@ -58,8 +58,40 @@ std::string to_string(AnalysisKind kind) {
     case AnalysisKind::kWorstCaseOverSetsBnb: return "worstcase-oversets-bnb";
     case AnalysisKind::kResilience: return "resilience";
     case AnalysisKind::kCaseStudy: return "casestudy";
+    case AnalysisKind::kWidthHistogram: return "width-histogram";
+    case AnalysisKind::kDetectionRate: return "detection-rate";
+    case AnalysisKind::kWidthArgmax: return "width-argmax";
+    case AnalysisKind::kFused: return "fused";
   }
   return "unknown";
+}
+
+namespace {
+
+constexpr std::initializer_list<AnalysisKind> kAllAnalysisKinds = {
+    AnalysisKind::kEnumerate,      AnalysisKind::kMonteCarlo,
+    AnalysisKind::kWorstCase,      AnalysisKind::kWorstCaseFast,
+    AnalysisKind::kWorstCaseOverSetsBnb, AnalysisKind::kResilience,
+    AnalysisKind::kCaseStudy,      AnalysisKind::kWidthHistogram,
+    AnalysisKind::kDetectionRate,  AnalysisKind::kWidthArgmax,
+    AnalysisKind::kFused};
+
+}  // namespace
+
+AnalysisKind analysis_kind_from_string(const std::string& text) {
+  return parse_enum(text, kAllAnalysisKinds, "analysis");
+}
+
+bool is_fusable(AnalysisKind kind) noexcept {
+  switch (kind) {
+    case AnalysisKind::kEnumerate:
+    case AnalysisKind::kWidthHistogram:
+    case AnalysisKind::kDetectionRate:
+    case AnalysisKind::kWidthArgmax:
+      return true;
+    default:
+      return false;
+  }
 }
 
 std::string to_string(PolicyKind kind) {
@@ -140,6 +172,10 @@ void Scenario::validate() const {
 
   switch (analysis) {
     case AnalysisKind::kEnumerate:
+    case AnalysisKind::kWidthHistogram:
+    case AnalysisKind::kDetectionRate:
+    case AnalysisKind::kWidthArgmax:
+    case AnalysisKind::kFused:
       if (schedule == sched::ScheduleKind::kRandom) {
         fail(name, "exhaustive enumeration needs a deterministic schedule");
       }
@@ -167,6 +203,21 @@ void Scenario::validate() const {
       }
       if (count > 63) fail(name, "over_all_sets supports at most 63 sensors");
       break;
+  }
+  if (analysis == AnalysisKind::kFused) {
+    if (fused_members.empty()) fail(name, "fused analysis needs at least one member");
+    for (std::size_t i = 0; i < fused_members.size(); ++i) {
+      if (!is_fusable(fused_members[i])) {
+        fail(name, "fused member '" + to_string(fused_members[i]) + "' is not fusable");
+      }
+      for (std::size_t j = 0; j < i; ++j) {
+        if (fused_members[j] == fused_members[i]) {
+          fail(name, "duplicate fused member '" + to_string(fused_members[i]) + "'");
+        }
+      }
+    }
+  } else if (!fused_members.empty()) {
+    fail(name, "fused_members is only meaningful with the fused analysis");
   }
   if (analysis == AnalysisKind::kResilience && fault.kind != sensors::FaultKind::kNone) {
     if (fault.p_enter < 0.0 || fault.p_enter > 1.0 || fault.p_recover < 0.0 ||
@@ -199,6 +250,12 @@ std::string Scenario::to_json() const {
   builder.field("name", name);
   builder.field("description", description);
   builder.field("analysis", to_string(analysis));
+  std::string members_text = "[";
+  for (std::size_t i = 0; i < fused_members.size(); ++i) {
+    if (i) members_text += ",";
+    members_text += "\"" + json::escape(to_string(fused_members[i])) + "\"";
+  }
+  builder.raw("fused_members", members_text + "]");
   builder.list("widths", widths);
   builder.field("f", f);
   builder.list("trusted", trusted);
@@ -235,24 +292,21 @@ Scenario scenario_from_value(const JsonValue& root) {
     throw std::invalid_argument("Scenario JSON: top level must be an object");
   }
   static const std::vector<std::string> known = {
-      "name",       "description",       "analysis",          "widths",
-      "f",          "trusted",           "step",              "schedule",
-      "fixed_order", "fa",               "attacked_rule",     "attacked_override",
-      "policy",     "policy_options",    "rounds",            "seed",
-      "max_worlds", "require_undetected", "over_all_sets",    "fault",
-      "num_threads", "deadline_ms"};
+      "name",       "description",       "analysis",          "fused_members",
+      "widths",     "f",                 "trusted",           "step",
+      "schedule",   "fixed_order",       "fa",                "attacked_rule",
+      "attacked_override", "policy",     "policy_options",    "rounds",
+      "seed",       "max_worlds",        "require_undetected", "over_all_sets",
+      "fault",      "num_threads",       "deadline_ms"};
   json::reject_unknown_keys(root, known, "Scenario");
 
   Scenario scenario;
   scenario.name = get_string(root, "name");
   scenario.description = get_string(root, "description");
-  scenario.analysis =
-      parse_enum(get_string(root, "analysis"),
-                 {AnalysisKind::kEnumerate, AnalysisKind::kMonteCarlo,
-                  AnalysisKind::kWorstCase, AnalysisKind::kWorstCaseFast,
-                  AnalysisKind::kWorstCaseOverSetsBnb, AnalysisKind::kResilience,
-                  AnalysisKind::kCaseStudy},
-                 "analysis");
+  scenario.analysis = analysis_kind_from_string(get_string(root, "analysis"));
+  for (const std::string& member : json::get_string_list(root, "fused_members")) {
+    scenario.fused_members.push_back(analysis_kind_from_string(member));
+  }
   scenario.widths = get_double_list(root, "widths");
   scenario.f = get_int(root, "f");
   scenario.trusted = get_index_list(root, "trusted");
@@ -307,7 +361,7 @@ bool operator==(const Scenario& a, const Scenario& b) {
            x.magnitude == y.magnitude;
   };
   return a.name == b.name && a.description == b.description && a.analysis == b.analysis &&
-         a.widths == b.widths && a.f == b.f && a.trusted == b.trusted && a.step == b.step &&
+         a.fused_members == b.fused_members && a.widths == b.widths && a.f == b.f && a.trusted == b.trusted && a.step == b.step &&
          a.schedule == b.schedule && a.fixed_order == b.fixed_order && a.fa == b.fa &&
          a.attacked_rule == b.attacked_rule && a.attacked_override == b.attacked_override &&
          a.policy == b.policy && options_equal(a.policy_options, b.policy_options) &&

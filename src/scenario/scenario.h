@@ -35,9 +35,25 @@ enum class AnalysisKind {
   kWorstCaseOverSetsBnb,
   kResilience,     ///< faults + attacks Monte Carlo (sim/resilience.h)
   kCaseStudy,      ///< LandShark platoon Table II runner (vehicle/casestudy.h)
+  // Reducer-backed single-metric analyses over the enumerate world walk
+  // (sim/engine/accumulators.h); each is a one-member fused pass, so its
+  // metrics are bit-identical to the same member inside a kFused bundle.
+  kWidthHistogram,  ///< exact fused-width histogram over all worlds
+  kDetectionRate,   ///< detection / empty-fusion world counters
+  kWidthArgmax,     ///< max fused width + lowest world index attaining it
+  /// One world pass, N member analyses (fused_members): every member's
+  /// metrics, bit-identical to its standalone run, for the cost of a single
+  /// enumeration.
+  kFused,
 };
 
 [[nodiscard]] std::string to_string(AnalysisKind kind);
+/// Inverse of to_string(); throws std::invalid_argument on an unknown name.
+[[nodiscard]] AnalysisKind analysis_kind_from_string(const std::string& text);
+
+/// True for the kinds a kFused bundle may carry as members: the reducer
+/// analyses plus kEnumerate (all share the enumerate world walk).
+[[nodiscard]] bool is_fusable(AnalysisKind kind) noexcept;
 
 /// Attacker policy selection (the policy object itself is built by the
 /// analysis from policy_options; scenarios stay plain data).
@@ -75,6 +91,9 @@ struct Scenario {
 
   // ---- analysis knobs -----------------------------------------------------
   AnalysisKind analysis = AnalysisKind::kEnumerate;
+  /// Member analyses of a kFused bundle (>= 1 fusable kinds, no duplicates);
+  /// must be empty for every other analysis kind.
+  std::vector<AnalysisKind> fused_members;
   std::size_t rounds = 10'000;               ///< montecarlo / resilience / case study
   std::uint64_t seed = 0x5eedf00dULL;        ///< sampling seed
   std::uint64_t max_worlds = 200'000'000;    ///< enumeration safety valve

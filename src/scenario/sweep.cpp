@@ -287,7 +287,15 @@ bool operator==(const SweepSpec& a, const SweepSpec& b) {
 
 std::uint64_t estimated_worlds(const Scenario& scenario) {
   switch (scenario.analysis) {
+    // A fused bundle walks the world space ONCE for all of its members, so
+    // its cost is the same single pass as any one enumerate-family analysis
+    // — this is what lets a k-member bundle through an admission budget that
+    // k standalone runs would blow k times over.
     case AnalysisKind::kEnumerate:
+    case AnalysisKind::kWidthHistogram:
+    case AnalysisKind::kDetectionRate:
+    case AnalysisKind::kWidthArgmax:
+    case AnalysisKind::kFused:
     case AnalysisKind::kWorstCase:
     case AnalysisKind::kWorstCaseFast:
     case AnalysisKind::kWorstCaseOverSetsBnb: {
@@ -297,7 +305,10 @@ std::uint64_t estimated_worlds(const Scenario& scenario) {
       } catch (const std::invalid_argument&) {
         return 1;  // off-grid widths: the run will fail fast, cost is nil
       }
-      if (scenario.analysis != AnalysisKind::kEnumerate && scenario.over_all_sets) {
+      const bool worst_case = scenario.analysis == AnalysisKind::kWorstCase ||
+                              scenario.analysis == AnalysisKind::kWorstCaseFast ||
+                              scenario.analysis == AnalysisKind::kWorstCaseOverSetsBnb;
+      if (worst_case && scenario.over_all_sets) {
         // Upper estimate for the BnB lane too: dedup/pruning only shrink the
         // lattice, and the chunk scheduler just needs a monotone cost.
         return saturating_mul(worlds, saturating_binomial(scenario.n(), scenario.fa));

@@ -1,0 +1,330 @@
+#include "sim/engine/accumulators.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace arsf::sim::engine {
+
+namespace {
+
+/// Casts @p other to the concrete reducer type for merge(); a mismatch means
+/// the pass merged reducers that were not clone_empty() partners.
+template <typename R>
+const R& merge_partner(const WorldReducer& other) {
+  const R* typed = dynamic_cast<const R*>(&other);
+  if (typed == nullptr) {
+    throw std::invalid_argument("WorldReducer::merge: dynamic type mismatch");
+  }
+  return *typed;
+}
+
+/// Invokes piece(a, b, width_at(a), width_at(b - 1)) for maximal half-open
+/// integer ranges [a, b) covering the run exactly once each, on which the
+/// width is affine (slope -1, 0 or +1).  The run's breakpoints are the four
+/// clamp kinks; cutting the lattice at each kink strictly inside the run
+/// leaves no kink in any piece's interior.
+template <typename Fn>
+void for_each_affine_piece(const CleanRun& run, Fn&& piece) {
+  const Tick x0 = run.x_first;
+  const Tick x1 = run.x_last();
+  Tick cuts[4] = {run.lo_min, run.lo_max, run.hi_min - run.w0, run.hi_max - run.w0};
+  std::sort(std::begin(cuts), std::end(cuts));
+  Tick start = x0;
+  for (const Tick cut : cuts) {
+    if (cut > start && cut <= x1) {
+      piece(start, cut, run.width_at(start), run.width_at(cut - 1));
+      start = cut;
+    }
+  }
+  piece(start, x1 + 1, run.width_at(start), run.width_at(x1));
+}
+
+}  // namespace
+
+void WorldReducer::accept_clean_run(const CleanRun& run) {
+  std::uint64_t index = run.first_index;
+  const Tick x_last = run.x_last();
+  for (Tick x = run.x_first; x <= x_last; ++x, ++index) {
+    accept(index, run.fused_at(x), /*detected=*/false);
+  }
+}
+
+// ---- ExpectedWidthReducer ---------------------------------------------------
+
+std::unique_ptr<WorldReducer> ExpectedWidthReducer::clone_empty() const {
+  return std::make_unique<ExpectedWidthReducer>();
+}
+
+void ExpectedWidthReducer::accept(std::uint64_t /*index*/, TickInterval fused, bool detected) {
+  Tick width = 0;
+  if (fused.is_empty()) {
+    ++empty_worlds;
+  } else {
+    width = fused.width();
+  }
+  if (detected) ++detected_worlds;
+  width_sum += static_cast<std::uint64_t>(width);
+  min_width = std::min(min_width, width);
+  max_width = std::max(max_width, width);
+}
+
+void ExpectedWidthReducer::accept_clean_run(const CleanRun& run) {
+  const Tick x0 = run.x_first;
+  const Tick x1 = run.x_last();
+  // Closed-form width sum, exactly as enumerate_clean_block computes it.
+  width_sum += static_cast<std::uint64_t>(
+      sum_clamp(x0 + run.w0, x1 + run.w0, run.hi_min, run.hi_max) -
+      sum_clamp(x0, x1, run.lo_min, run.lo_max));
+  // Extremes lie at the run ends or at breakpoints clamped into the run.
+  const Tick candidates[6] = {x0,
+                              x1,
+                              clamp_tick(run.lo_min, x0, x1),
+                              clamp_tick(run.lo_max, x0, x1),
+                              clamp_tick(run.hi_min - run.w0, x0, x1),
+                              clamp_tick(run.hi_max - run.w0, x0, x1)};
+  for (const Tick x : candidates) {
+    const Tick width = run.width_at(x);
+    min_width = std::min(min_width, width);
+    max_width = std::max(max_width, width);
+  }
+}
+
+void ExpectedWidthReducer::merge(const WorldReducer& other) {
+  const auto& o = merge_partner<ExpectedWidthReducer>(other);
+  width_sum += o.width_sum;
+  min_width = std::min(min_width, o.min_width);
+  max_width = std::max(max_width, o.max_width);
+  empty_worlds += o.empty_worlds;
+  detected_worlds += o.detected_worlds;
+}
+
+// ---- WidthHistogramReducer --------------------------------------------------
+
+WidthHistogramReducer::WidthHistogramReducer(std::size_t bins, Tick hi_ticks)
+    : counts(bins, 0), hi_ticks_(hi_ticks) {
+  if (bins == 0) throw std::invalid_argument("WidthHistogramReducer: bins must be >= 1");
+  if (hi_ticks < 1) throw std::invalid_argument("WidthHistogramReducer: hi_ticks must be >= 1");
+}
+
+std::size_t WidthHistogramReducer::bin_of(Tick width) const noexcept {
+  const auto bin = static_cast<std::size_t>(
+      (width * static_cast<Tick>(counts.size())) / hi_ticks_);
+  return std::min(bin, counts.size() - 1);
+}
+
+std::unique_ptr<WorldReducer> WidthHistogramReducer::clone_empty() const {
+  return std::make_unique<WidthHistogramReducer>(counts.size(), hi_ticks_);
+}
+
+void WidthHistogramReducer::accept(std::uint64_t /*index*/, TickInterval fused,
+                                   bool /*detected*/) {
+  ++total_worlds;
+  if (fused.is_empty()) {
+    ++empty_worlds;
+    return;
+  }
+  ++counts[bin_of(fused.width())];
+}
+
+void WidthHistogramReducer::add_width_range(Tick w_lo, Tick w_hi) {
+  // Bin i covers widths [ceil(i*hi/B), ceil((i+1)*hi/B) - 1]; the top bin's
+  // upper edge is unbounded (bin_of clamps).  Intersect each bin's tick
+  // range with [w_lo, w_hi]; each covered width counts once.
+  const auto bins = static_cast<Tick>(counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const Tick bin_lo = (static_cast<Tick>(i) * hi_ticks_ + bins - 1) / bins;
+    const Tick lo = std::max(w_lo, bin_lo);
+    Tick hi = w_hi;
+    if (i + 1 < counts.size()) {
+      const Tick bin_hi = ((static_cast<Tick>(i) + 1) * hi_ticks_ + bins - 1) / bins - 1;
+      hi = std::min(hi, bin_hi);
+    }
+    if (lo <= hi) counts[i] += static_cast<std::uint64_t>(hi - lo + 1);
+  }
+}
+
+void WidthHistogramReducer::accept_clean_run(const CleanRun& run) {
+  total_worlds += run.length;
+  // Clean common-point fusions are never empty: fold each affine piece in as
+  // either one width repeated (slope 0) or a contiguous width range covered
+  // exactly once (slope +-1, |piece| = |width range|).
+  for_each_affine_piece(run, [&](Tick a, Tick b, Tick w_first, Tick w_last) {
+    if (w_first == w_last) {
+      counts[bin_of(w_first)] += static_cast<std::uint64_t>(b - a);
+    } else {
+      add_width_range(std::min(w_first, w_last), std::max(w_first, w_last));
+    }
+  });
+}
+
+void WidthHistogramReducer::merge(const WorldReducer& other) {
+  const auto& o = merge_partner<WidthHistogramReducer>(other);
+  if (o.counts.size() != counts.size() || o.hi_ticks_ != hi_ticks_) {
+    throw std::invalid_argument("WidthHistogramReducer::merge: configuration mismatch");
+  }
+  for (std::size_t i = 0; i < counts.size(); ++i) counts[i] += o.counts[i];
+  empty_worlds += o.empty_worlds;
+  total_worlds += o.total_worlds;
+}
+
+// ---- DetectionRateReducer ---------------------------------------------------
+
+std::unique_ptr<WorldReducer> DetectionRateReducer::clone_empty() const {
+  return std::make_unique<DetectionRateReducer>();
+}
+
+void DetectionRateReducer::accept(std::uint64_t /*index*/, TickInterval fused, bool detected) {
+  ++total_worlds;
+  if (fused.is_empty()) ++empty_worlds;
+  if (detected) ++detected_worlds;
+}
+
+void DetectionRateReducer::accept_clean_run(const CleanRun& run) {
+  // Clean runs never detect (no attacker) and never fuse empty (common
+  // point), so the whole run is one counter bump.
+  total_worlds += run.length;
+}
+
+void DetectionRateReducer::merge(const WorldReducer& other) {
+  const auto& o = merge_partner<DetectionRateReducer>(other);
+  detected_worlds += o.detected_worlds;
+  empty_worlds += o.empty_worlds;
+  total_worlds += o.total_worlds;
+}
+
+// ---- WorstCaseReducer -------------------------------------------------------
+
+std::unique_ptr<WorldReducer> WorstCaseReducer::clone_empty() const {
+  return std::make_unique<WorstCaseReducer>();
+}
+
+void WorstCaseReducer::update(Tick width, std::uint64_t index) noexcept {
+  if (width > max_width || (width == max_width && index < argmax_index)) {
+    max_width = width;
+    argmax_index = index;
+  }
+}
+
+void WorstCaseReducer::accept(std::uint64_t index, TickInterval fused, bool /*detected*/) {
+  update(fused.is_empty() ? Tick{0} : fused.width(), index);
+}
+
+void WorstCaseReducer::accept_clean_run(const CleanRun& run) {
+  // Per affine piece the maximum sits at a unique end (slope +1: last world
+  // of the piece; slope 0 or -1: first), so scanning pieces in ascending x
+  // with the (width, -index) rule keeps the run's lowest-index argmax.
+  for_each_affine_piece(run, [&](Tick a, Tick b, Tick w_first, Tick w_last) {
+    const bool rising = w_last > w_first;
+    const Tick x = rising ? b - 1 : a;
+    update(rising ? w_last : w_first,
+           run.first_index + static_cast<std::uint64_t>(x - run.x_first));
+  });
+}
+
+void WorstCaseReducer::merge(const WorldReducer& other) {
+  const auto& o = merge_partner<WorstCaseReducer>(other);
+  update(o.max_width, o.argmax_index);
+}
+
+// ---- fused drivers ----------------------------------------------------------
+
+void fused_clean_block(const WorldDomain& domain, std::uint64_t begin, std::uint64_t end,
+                       std::span<WorldReducer* const> reducers, const CancelToken* cancel) {
+  if (!domain.common_point) {
+    throw std::invalid_argument("fused_clean_block: domain lacks a common point");
+  }
+  if (begin >= end) return;
+  if (cancel != nullptr) cancel->check();
+
+  const std::size_t n = domain.widths.size();
+  const int t = domain.threshold;
+  const Tick w0 = domain.widths[0];
+
+  std::vector<std::uint64_t> digits(n);
+  domain.codec.decode(begin, digits);
+
+  // Sorted endpoints of the *rest* (slots 1..n-1), maintained incrementally;
+  // the digit-0 run never touches them (same structure as
+  // enumerate_clean_block — the clamp bounds below must not drift from it).
+  std::vector<TickInterval> rest_intervals(n - 1);
+  for (std::size_t slot = 1; slot < n; ++slot) {
+    rest_intervals[slot - 1] = domain.interval_at(slot, digits[slot]);
+  }
+  IncrementalSweep rest;
+  rest.reset(rest_intervals);
+
+  const std::uint64_t radix0 = domain.codec.radix(0);
+  std::uint64_t index = begin;
+  for (;;) {
+    const std::span<const Tick> R = rest.sorted_lows();
+    const std::span<const Tick> H = rest.sorted_highs();
+    CleanRun run;
+    run.first_index = index;
+    run.length = std::min<std::uint64_t>(radix0 - digits[0], end - index);
+    run.x_first = domain.lo_min[0] + static_cast<Tick>(digits[0]);
+    run.w0 = w0;
+    run.lo_min = t >= 2 ? R[static_cast<std::size_t>(t - 2)] : -kFarTick;
+    run.lo_max = t <= static_cast<int>(n) - 1 ? R[static_cast<std::size_t>(t - 1)] : kFarTick;
+    run.hi_min =
+        t <= static_cast<int>(n) - 1 ? H[n - 1 - static_cast<std::size_t>(t)] : -kFarTick;
+    run.hi_max = t >= 2 ? H[n - static_cast<std::size_t>(t)] : kFarTick;
+    for (WorldReducer* reducer : reducers) reducer->accept_clean_run(run);
+
+    index += run.length;
+    if (index == end) break;
+    if (cancel != nullptr) cancel->check();  // per digit-0 run: O(radix) worlds apart
+    digits[0] = radix0 - 1;  // jump the odometer to the run's last world...
+    const std::size_t changed = domain.codec.advance(digits);  // ...and step over it
+    for (std::size_t slot = 1; slot < changed; ++slot) {
+      rest.replace(slot - 1, domain.interval_at(slot, digits[slot]));
+    }
+  }
+}
+
+std::size_t FusedPass::add(std::unique_ptr<WorldReducer> reducer) {
+  if (reducer == nullptr) throw std::invalid_argument("FusedPass::add: null reducer");
+  reducers_.push_back(std::move(reducer));
+  return reducers_.size() - 1;
+}
+
+void FusedPass::run(const WorldDomain& domain, unsigned num_threads,
+                    const CancelToken* cancel) {
+  if (reducers_.empty()) throw std::invalid_argument("FusedPass::run: no reducers added");
+  if (num_threads == 0) num_threads = ThreadPool::default_threads();
+  const std::vector<IndexBlock> blocks = partition_blocks(domain.world_count(), num_threads);
+
+  std::vector<std::vector<std::unique_ptr<WorldReducer>>> per_block(blocks.size());
+  for (auto& clones : per_block) {
+    clones.reserve(reducers_.size());
+    for (const auto& reducer : reducers_) clones.push_back(reducer->clone_empty());
+  }
+
+  ThreadPool::shared().run(
+      blocks.size(),
+      [&](std::size_t i) {
+        if (domain.common_point) {
+          std::vector<WorldReducer*> raw;
+          raw.reserve(per_block[i].size());
+          for (const auto& clone : per_block[i]) raw.push_back(clone.get());
+          fused_clean_block(domain, blocks[i].begin, blocks[i].end, raw, cancel);
+        } else {
+          enumerate_block(
+              domain, blocks[i].begin, blocks[i].end,
+              [&](std::uint64_t index, TickInterval fused, const IncrementalSweep&) {
+                for (const auto& clone : per_block[i]) {
+                  clone->accept(index, fused, /*detected=*/false);
+                }
+              },
+              cancel);
+        }
+      },
+      cancel);
+
+  // Deterministic block-order merge into the owned reducers; a cancelled run
+  // throws out of ThreadPool::run above and never reaches this point.
+  for (const auto& clones : per_block) {
+    for (std::size_t r = 0; r < reducers_.size(); ++r) reducers_[r]->merge(*clones[r]);
+  }
+}
+
+}  // namespace arsf::sim::engine

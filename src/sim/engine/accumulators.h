@@ -1,0 +1,221 @@
+#pragma once
+// Composable per-world accumulator visitors — one enumeration, N metrics.
+//
+// Every analysis over the clean world space (expected fused width, width
+// histogram, detection rate, worst-case argmax) walks the identical
+// mixed-radix grid; running k of them as k separate enumerations pays k full
+// passes over the same worlds.  This header factors the per-world work into
+// small *reducers* — the catlass epilogue-fusion shape: independent
+// accumulators visited once per element — and a FusedPass combinator that
+// drives any set of them through a single IncrementalSweep enumeration.
+//
+// The reducer contract (init / accept / merge / finish):
+//   * init    — clone_empty() returns a fresh zero-state reducer of the same
+//               type and configuration (one per worker block);
+//   * accept  — accept(index, fused, detected) folds one world in;
+//               accept_clean_run() folds a whole digit-0 run of a
+//               common-point domain in closed form (the default loops over
+//               the run calling accept, so a reducer is correct before it is
+//               fast — the override IS the fast lane, and the differential
+//               tests pin override == default);
+//   * merge   — merge(other) folds a completed block reducer in.  Every
+//               reducer's state is exact integer arithmetic (sums, counts,
+//               min/max, argmax), so block-order merging is associative and
+//               the merged result is bit-identical to a serial walk for any
+//               block partition — the same determinism contract
+//               enumerate_blocks() documents;
+//   * finish  — reading the exact accumulator state; the scenario layer owns
+//               the (few, final) double conversions so standalone and fused
+//               runs share the identical expressions.
+//
+// Worlds are accepted EXACTLY once each; indices within a block arrive in
+// ascending order (reducers with order-sensitive tie-breaks — the argmax —
+// rely on this plus the merge law below).
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/interval.h"
+#include "sim/engine/engine.h"
+
+namespace arsf::sim::engine {
+
+/// One digit-0 run of a common-point domain: slot 0's lower bound x walks
+/// [x_first, x_first + length - 1] while every other slot stands still, and
+/// the fusion interval is the clamp form documented at enumerate_clean_block:
+///
+///     [ clamp(x, lo_min, lo_max) , clamp(x + w0, hi_min, hi_max) ]
+///
+/// so width(x) is piecewise linear in x with slope in {-1, 0, +1} and
+/// breakpoints {lo_min, lo_max, hi_min - w0, hi_max - w0}.
+struct CleanRun {
+  std::uint64_t first_index = 0;  ///< world index of the run's first world
+  std::uint64_t length = 0;       ///< worlds in the run (>= 1)
+  Tick x_first = 0;               ///< slot-0 lower bound at the first world
+  Tick w0 = 0;                    ///< slot-0 width
+  Tick lo_min = 0;                ///< fused lo = clamp(x, lo_min, lo_max)
+  Tick lo_max = 0;
+  Tick hi_min = 0;                ///< fused hi = clamp(x + w0, hi_min, hi_max)
+  Tick hi_max = 0;
+
+  [[nodiscard]] Tick x_last() const noexcept {
+    return x_first + static_cast<Tick>(length) - 1;
+  }
+  [[nodiscard]] TickInterval fused_at(Tick x) const noexcept {
+    return TickInterval{clamp_tick(x, lo_min, lo_max), clamp_tick(x + w0, hi_min, hi_max)};
+  }
+  [[nodiscard]] Tick width_at(Tick x) const noexcept {
+    return clamp_tick(x + w0, hi_min, hi_max) - clamp_tick(x, lo_min, lo_max);
+  }
+};
+
+/// Type-erased reducer base.  Concrete reducers keep their exact integer
+/// state public so the scenario layer can "finish" them without another
+/// virtual surface.
+class WorldReducer {
+ public:
+  virtual ~WorldReducer() = default;
+
+  /// Fresh zero-state reducer of the same dynamic type and configuration.
+  [[nodiscard]] virtual std::unique_ptr<WorldReducer> clone_empty() const = 0;
+
+  /// Folds one world in.  @p fused may be empty (policy paths); @p detected
+  /// is the round's attacked-sensor detection flag (always false on clean
+  /// enumerations).
+  virtual void accept(std::uint64_t index, TickInterval fused, bool detected) = 0;
+
+  /// Folds a whole digit-0 run in.  Default: per-world loop over accept()
+  /// with detected = false — the reference the closed-form overrides are
+  /// differentially tested against.
+  virtual void accept_clean_run(const CleanRun& run);
+
+  /// Folds a completed reducer of the same dynamic type in (blocks merge in
+  /// block order).  Throws std::invalid_argument on a type mismatch.
+  virtual void merge(const WorldReducer& other) = 0;
+};
+
+/// Expected fused width: exact width sum, min/max, empty-fusion and
+/// detection counters — the accumulator behind sim::EnumerateResult.  An
+/// empty fusion contributes width 0 (and min/max range over those zeros),
+/// exactly as enumerate_expected_width's policy path does.
+class ExpectedWidthReducer final : public WorldReducer {
+ public:
+  std::uint64_t width_sum = 0;
+  Tick min_width = std::numeric_limits<Tick>::max();
+  Tick max_width = std::numeric_limits<Tick>::min();
+  std::uint64_t empty_worlds = 0;
+  std::uint64_t detected_worlds = 0;
+
+  [[nodiscard]] std::unique_ptr<WorldReducer> clone_empty() const override;
+  void accept(std::uint64_t index, TickInterval fused, bool detected) override;
+  void accept_clean_run(const CleanRun& run) override;
+  void merge(const WorldReducer& other) override;
+};
+
+/// Exact width histogram: integer counts over `bins` equal tick ranges of
+/// [0, hi_ticks), the top bin additionally catching every width >= hi_ticks
+/// (no mass is ever dropped).  Empty fusions are counted separately, not
+/// binned.  hi_ticks is a display parameter the caller fixes from the
+/// scenario (deterministically), never from the data.
+class WidthHistogramReducer final : public WorldReducer {
+ public:
+  WidthHistogramReducer(std::size_t bins, Tick hi_ticks);
+
+  std::vector<std::uint64_t> counts;  ///< per-bin world counts
+  std::uint64_t empty_worlds = 0;
+  std::uint64_t total_worlds = 0;     ///< every accepted world, incl. empty
+
+  [[nodiscard]] std::size_t bins() const noexcept { return counts.size(); }
+  [[nodiscard]] Tick hi_ticks() const noexcept { return hi_ticks_; }
+  /// Bin of a non-negative width: min(w * bins / hi_ticks, bins - 1).
+  [[nodiscard]] std::size_t bin_of(Tick width) const noexcept;
+
+  [[nodiscard]] std::unique_ptr<WorldReducer> clone_empty() const override;
+  void accept(std::uint64_t index, TickInterval fused, bool detected) override;
+  void accept_clean_run(const CleanRun& run) override;
+  void merge(const WorldReducer& other) override;
+
+ private:
+  /// Adds every integer width in [w_lo, w_hi] once (an affine-piece sweep of
+  /// slope +-1): O(bins) bin-range overlaps instead of O(w_hi - w_lo) steps.
+  void add_width_range(Tick w_lo, Tick w_hi);
+
+  Tick hi_ticks_;
+};
+
+/// Detection / empty-fusion rate counters.
+class DetectionRateReducer final : public WorldReducer {
+ public:
+  std::uint64_t detected_worlds = 0;
+  std::uint64_t empty_worlds = 0;
+  std::uint64_t total_worlds = 0;
+
+  [[nodiscard]] std::unique_ptr<WorldReducer> clone_empty() const override;
+  void accept(std::uint64_t index, TickInterval fused, bool detected) override;
+  void accept_clean_run(const CleanRun& run) override;
+  void merge(const WorldReducer& other) override;
+};
+
+/// Worst-case argmax: the maximal fused width and the LOWEST world index
+/// attaining it.  accept() keeps the first occurrence under the ascending
+/// per-block order; merge() compares (max_width, -index) lexicographically,
+/// which is order-independent — so any block partition, merged in any order,
+/// reproduces the serial walk's lowest-index tie-break bit for bit.
+class WorstCaseReducer final : public WorldReducer {
+ public:
+  Tick max_width = std::numeric_limits<Tick>::min();
+  std::uint64_t argmax_index = std::numeric_limits<std::uint64_t>::max();
+
+  [[nodiscard]] std::unique_ptr<WorldReducer> clone_empty() const override;
+  void accept(std::uint64_t index, TickInterval fused, bool detected) override;
+  void accept_clean_run(const CleanRun& run) override;
+  void merge(const WorldReducer& other) override;
+
+ private:
+  void update(Tick width, std::uint64_t index) noexcept;
+};
+
+/// Drives every reducer in @p reducers through worlds [begin, end) of a
+/// common-point domain, one accept_clean_run() per digit-0 run — the fused
+/// twin of enumerate_clean_block, with the identical cancel poll sites (once
+/// at entry, then per digit-0 run).  Throws std::invalid_argument when the
+/// domain lacks the common-point guarantee.
+void fused_clean_block(const WorldDomain& domain, std::uint64_t begin, std::uint64_t end,
+                       std::span<WorldReducer* const> reducers,
+                       const CancelToken* cancel = nullptr);
+
+/// One world pass, N reducers.  add() the reducers (the pass owns them),
+/// run() the domain, then read each reducer's final state via at<R>(i).
+///
+/// run() partitions [0, world_count) into at most num_threads contiguous
+/// blocks (0 = ThreadPool::default_threads()), walks each block on the
+/// shared pool with a private clone_empty() set — the run-batched clean lane
+/// (fused_clean_block) for common-point domains, the per-world
+/// enumerate_block otherwise — and merges the block reducers into the owned
+/// ones in block order.  Cancellation (CancelledError) leaves the owned
+/// reducers untouched: merging happens only after every block completed.
+class FusedPass {
+ public:
+  /// Adds a reducer; returns its index for at().
+  std::size_t add(std::unique_ptr<WorldReducer> reducer);
+
+  [[nodiscard]] std::size_t size() const noexcept { return reducers_.size(); }
+  [[nodiscard]] WorldReducer& at(std::size_t i) { return *reducers_[i]; }
+  [[nodiscard]] const WorldReducer& at(std::size_t i) const { return *reducers_[i]; }
+  /// Typed access: FusedPass pins no type map, the caller knows what it added.
+  template <typename R>
+  [[nodiscard]] R& at(std::size_t i) {
+    return dynamic_cast<R&>(*reducers_[i]);
+  }
+
+  void run(const WorldDomain& domain, unsigned num_threads,
+           const CancelToken* cancel = nullptr);
+
+ private:
+  std::vector<std::unique_ptr<WorldReducer>> reducers_;
+};
+
+}  // namespace arsf::sim::engine

@@ -7,14 +7,8 @@ namespace arsf::sim::engine {
 
 namespace {
 
-/// Sentinel "infinity": far beyond any reachable tick, small enough that
-/// sentinel +- small offsets cannot overflow (same convention as the clean
-/// fast lane in engine.cpp).
-constexpr Tick kFar = Tick{1} << 40;
-
-constexpr Tick clamp_tick(Tick v, Tick lo, Tick hi) noexcept {
-  return v < lo ? lo : (v > hi ? hi : v);
-}
+/// Local alias for the shared sentinel (engine.h).
+constexpr Tick kFar = kFarTick;
 
 }  // namespace
 

@@ -18,19 +18,6 @@ WorldCodec codec_from_ranges(std::span<const TickInterval> lo_ranges) {
 
 }  // namespace
 
-namespace {
-
-/// Sentinel "infinity" for the clamp bounds: far beyond any reachable tick
-/// but small enough that sentinel +- small offsets cannot overflow.
-constexpr Tick kFar = Tick{1} << 40;
-
-constexpr Tick clamp_tick(Tick v, Tick lo, Tick hi) noexcept {
-  return v < lo ? lo : (v > hi ? hi : v);
-}
-
-/// Exact sum of clamp(v, lo, hi) over integer v in [a, b]; requires a <= b
-/// and lo <= hi.  All quantities stay far below overflow (|ticks| <= kFar,
-/// run lengths are world-space radices).
 Tick sum_clamp(Tick a, Tick b, Tick lo, Tick hi) noexcept {
   Tick total = 0;
   const Tick below_end = std::min(b, lo - 1);
@@ -42,8 +29,6 @@ Tick sum_clamp(Tick a, Tick b, Tick lo, Tick hi) noexcept {
   if (mid_start <= mid_end) total += (mid_start + mid_end) * (mid_end - mid_start + 1) / 2;
   return total;
 }
-
-}  // namespace
 
 CleanStats enumerate_clean_block(const WorldDomain& domain, std::uint64_t begin,
                                  std::uint64_t end, const CancelToken* cancel) {
@@ -77,10 +62,11 @@ CleanStats enumerate_clean_block(const WorldDomain& domain, std::uint64_t begin,
     // H ascending highs, both of size n-1); out-of-range => +-kFar.
     const std::span<const Tick> R = rest.sorted_lows();
     const std::span<const Tick> H = rest.sorted_highs();
-    const Tick A = t >= 2 ? R[static_cast<std::size_t>(t - 2)] : -kFar;
-    const Tick B = t <= static_cast<int>(n) - 1 ? R[static_cast<std::size_t>(t - 1)] : kFar;
-    const Tick C = t <= static_cast<int>(n) - 1 ? H[n - 1 - static_cast<std::size_t>(t)] : -kFar;
-    const Tick D = t >= 2 ? H[n - static_cast<std::size_t>(t)] : kFar;
+    const Tick A = t >= 2 ? R[static_cast<std::size_t>(t - 2)] : -kFarTick;
+    const Tick B = t <= static_cast<int>(n) - 1 ? R[static_cast<std::size_t>(t - 1)] : kFarTick;
+    const Tick C =
+        t <= static_cast<int>(n) - 1 ? H[n - 1 - static_cast<std::size_t>(t)] : -kFarTick;
+    const Tick D = t >= 2 ? H[n - static_cast<std::size_t>(t)] : kFarTick;
 
     const std::uint64_t run_len = std::min<std::uint64_t>(radix0 - digits[0], end - index);
     const Tick x_first = domain.lo_min[0] + static_cast<Tick>(digits[0]);

@@ -104,6 +104,28 @@ void enumerate_block(const WorldDomain& domain, std::uint64_t begin, std::uint64
   }
 }
 
+// ---- shared clamp arithmetic ------------------------------------------------
+// The run-batched clean lanes (enumerate_clean_block below and the fused
+// reducers in accumulators.h) all describe a digit-0 run's fusion interval as
+//
+//     [ clamp(x, lo_min, lo_max) , clamp(x + w_0, hi_min, hi_max) ]
+//
+// and collapse per-run work into closed forms over these clamps.  The
+// helpers live here so the two lanes cannot drift.
+
+/// Sentinel "infinity" for the clamp bounds: far beyond any reachable tick
+/// but small enough that sentinel +- small offsets cannot overflow.
+inline constexpr Tick kFarTick = Tick{1} << 40;
+
+[[nodiscard]] constexpr Tick clamp_tick(Tick v, Tick lo, Tick hi) noexcept {
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+/// Exact sum of clamp(v, lo, hi) over integer v in [a, b]; requires a <= b
+/// and lo <= hi.  All quantities stay far below overflow (|ticks| <=
+/// kFarTick, run lengths are world-space radices).
+[[nodiscard]] Tick sum_clamp(Tick a, Tick b, Tick lo, Tick hi) noexcept;
+
 /// Exact clean-path statistics over a block of worlds.  All fields merge
 /// exactly across blocks (integer sum, min, max).
 struct CleanStats {

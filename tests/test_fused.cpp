@@ -1,0 +1,518 @@
+// Tests for the fused multi-analysis enumeration (sim/engine/accumulators.h
+// and the scenario-layer kFused bundle): closed-form reducer fast lanes
+// differentially pinned to the per-world default loop, merge laws (any block
+// partition merged in block order == serial walk, bit for bit), the argmax
+// lowest-index tie-break, and fused-vs-standalone metric parity over random
+// configurations, every registered fused/<name> bundle, and every thread
+// count.  Plus the execution-layer contracts: a cancelled/timed-out fused
+// run reports status and NEVER partial metrics, and admission control prices
+// a fused bundle as ONE world pass.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <iterator>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "scenario/registry.h"
+#include "scenario/runner.h"
+#include "scenario/sweep.h"
+#include "sim/engine/accumulators.h"
+#include "sim/engine/engine.h"
+#include "support/rng.h"
+
+namespace arsf::sim::engine {
+namespace {
+
+// ------------------------------------------------------- engine-level ------
+
+constexpr std::size_t kBins = 7;
+constexpr Tick kHistHi = 23;
+
+struct ReducerSet {
+  ExpectedWidthReducer expected;
+  WidthHistogramReducer histogram{kBins, kHistHi};
+  DetectionRateReducer detection;
+  WorstCaseReducer worst;
+
+  [[nodiscard]] std::vector<WorldReducer*> pointers() {
+    return {&expected, &histogram, &detection, &worst};
+  }
+};
+
+void expect_same_state(const ReducerSet& a, const ReducerSet& b, const std::string& label) {
+  EXPECT_EQ(a.expected.width_sum, b.expected.width_sum) << label;
+  EXPECT_EQ(a.expected.min_width, b.expected.min_width) << label;
+  EXPECT_EQ(a.expected.max_width, b.expected.max_width) << label;
+  EXPECT_EQ(a.expected.empty_worlds, b.expected.empty_worlds) << label;
+  EXPECT_EQ(a.expected.detected_worlds, b.expected.detected_worlds) << label;
+  EXPECT_EQ(a.histogram.counts, b.histogram.counts) << label;
+  EXPECT_EQ(a.histogram.empty_worlds, b.histogram.empty_worlds) << label;
+  EXPECT_EQ(a.histogram.total_worlds, b.histogram.total_worlds) << label;
+  EXPECT_EQ(a.detection.detected_worlds, b.detection.detected_worlds) << label;
+  EXPECT_EQ(a.detection.empty_worlds, b.detection.empty_worlds) << label;
+  EXPECT_EQ(a.detection.total_worlds, b.detection.total_worlds) << label;
+  EXPECT_EQ(a.worst.max_width, b.worst.max_width) << label;
+  EXPECT_EQ(a.worst.argmax_index, b.worst.argmax_index) << label;
+}
+
+WorldDomain random_clean_domain(support::Rng& rng) {
+  const std::size_t n = static_cast<std::size_t>(rng.uniform_int(2, 5));
+  std::vector<Tick> widths(n);
+  for (auto& w : widths) w = rng.uniform_int(0, 9);
+  const int f = static_cast<int>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+  return WorldDomain::all_contain_zero(widths, f);
+}
+
+// A random CleanRun honoring the engine's contract: the fusion interval is
+// never inverted (every world has width >= 0) — true of every run a
+// common-point domain emits.
+CleanRun random_clean_run(support::Rng& rng) {
+  for (;;) {
+    CleanRun run;
+    run.first_index = static_cast<std::uint64_t>(rng.uniform_int(0, 1000));
+    run.length = static_cast<std::uint64_t>(rng.uniform_int(1, 60));
+    run.x_first = rng.uniform_int(-20, 20);
+    run.w0 = rng.uniform_int(0, 15);
+    run.lo_min = rng.uniform_int(-25, 25);
+    run.lo_max = run.lo_min + rng.uniform_int(0, 30);
+    run.hi_min = rng.uniform_int(-25, 25);
+    run.hi_max = run.hi_min + rng.uniform_int(0, 30);
+    bool valid = true;
+    for (Tick x = run.x_first; x <= run.x_last(); ++x) {
+      if (run.width_at(x) < 0) {
+        valid = false;
+        break;
+      }
+    }
+    if (valid) return run;
+  }
+}
+
+// The reducer contract's differential law: the closed-form accept_clean_run
+// overrides must equal the base-class per-world default loop on ANY
+// in-contract run — "correct before it is fast".
+TEST(FusedReducers, ClosedFormsMatchDefaultLoopOnRandomRuns) {
+  support::Rng rng{0xfced0001ULL};
+  for (int trial = 0; trial < 400; ++trial) {
+    const CleanRun run = random_clean_run(rng);
+    ReducerSet fast;
+    ReducerSet reference;
+    for (WorldReducer* reducer : fast.pointers()) reducer->accept_clean_run(run);
+    // Qualified call: the un-overridden default loop, dispatching to each
+    // concrete accept().
+    reference.expected.WorldReducer::accept_clean_run(run);
+    reference.histogram.WorldReducer::accept_clean_run(run);
+    reference.detection.WorldReducer::accept_clean_run(run);
+    reference.worst.WorldReducer::accept_clean_run(run);
+    expect_same_state(fast, reference, "trial " + std::to_string(trial));
+  }
+}
+
+// fused_clean_block (run-batched closed forms) vs enumerate_block (per-world
+// oracle) over random common-point domains: the two lanes must agree bit for
+// bit on every reducer's exact state.
+TEST(FusedReducers, FusedCleanBlockMatchesPerWorldEnumeration) {
+  support::Rng rng{0xfced0002ULL};
+  for (int trial = 0; trial < 60; ++trial) {
+    const WorldDomain domain = random_clean_domain(rng);
+    const std::uint64_t worlds = domain.world_count();
+
+    ReducerSet fast;
+    const std::vector<WorldReducer*> fast_ptr = fast.pointers();
+    fused_clean_block(domain, 0, worlds, std::span<WorldReducer* const>{fast_ptr});
+
+    ReducerSet reference;
+    const std::vector<WorldReducer*> ref_ptr = reference.pointers();
+    enumerate_block(domain, 0, worlds,
+                    [&](std::uint64_t index, TickInterval fused, const IncrementalSweep&) {
+                      for (WorldReducer* reducer : ref_ptr) {
+                        reducer->accept(index, fused, false);
+                      }
+                    });
+    expect_same_state(fast, reference, "trial " + std::to_string(trial));
+
+    // Mass conservation: the histogram never drops a world.
+    std::uint64_t mass = fast.histogram.empty_worlds;
+    for (const std::uint64_t count : fast.histogram.counts) mass += count;
+    EXPECT_EQ(mass, worlds) << "trial " << trial;
+    EXPECT_EQ(fast.histogram.total_worlds, worlds) << "trial " << trial;
+  }
+}
+
+// Merge law: any contiguous block partition, each block folded into a
+// clone_empty() reducer and merged in block order, equals the serial walk.
+TEST(FusedReducers, BlockPartitionMergeMatchesSerialWalk) {
+  support::Rng rng{0xfced0003ULL};
+  for (int trial = 0; trial < 40; ++trial) {
+    const WorldDomain domain = random_clean_domain(rng);
+    const std::uint64_t worlds = domain.world_count();
+
+    ReducerSet serial;
+    const std::vector<WorldReducer*> serial_ptr = serial.pointers();
+    fused_clean_block(domain, 0, worlds, std::span<WorldReducer* const>{serial_ptr});
+
+    // Random cut points — deliberately NOT the partition_blocks() shape, so
+    // the law is pinned for every partition, not one schedule.
+    std::vector<std::uint64_t> cuts = {0, worlds};
+    const int extra = static_cast<int>(rng.uniform_int(0, 6));
+    for (int i = 0; i < extra; ++i) {
+      cuts.push_back(static_cast<std::uint64_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(worlds))));
+    }
+    std::sort(cuts.begin(), cuts.end());
+
+    ReducerSet merged;
+    std::vector<WorldReducer*> owned = merged.pointers();
+    for (std::size_t b = 0; b + 1 < cuts.size(); ++b) {
+      std::vector<std::unique_ptr<WorldReducer>> block;
+      std::vector<WorldReducer*> block_ptr;
+      for (const WorldReducer* reducer : owned) {
+        block.push_back(reducer->clone_empty());
+        block_ptr.push_back(block.back().get());
+      }
+      fused_clean_block(domain, cuts[b], cuts[b + 1],
+                        std::span<WorldReducer* const>{block_ptr});
+      for (std::size_t i = 0; i < owned.size(); ++i) owned[i]->merge(*block[i]);
+    }
+    expect_same_state(merged, serial, "trial " + std::to_string(trial));
+  }
+}
+
+// Equal widths make EVERY world attain the same shape extremes — a dense tie
+// field.  The argmax must be the lowest world index both on the serial walk
+// and under any block merge.
+TEST(FusedReducers, WorstCaseArgmaxKeepsLowestIndexUnderTies) {
+  const std::vector<Tick> widths(4, 5);
+  const WorldDomain domain = WorldDomain::all_contain_zero(widths, 1);
+  const std::uint64_t worlds = domain.world_count();
+
+  // Brute-force reference: first world attaining the maximal width.
+  Tick best = std::numeric_limits<Tick>::min();
+  std::uint64_t best_index = 0;
+  enumerate_block(domain, 0, worlds,
+                  [&](std::uint64_t index, TickInterval fused, const IncrementalSweep&) {
+                    if (fused.width() > best) {
+                      best = fused.width();
+                      best_index = index;
+                    }
+                  });
+
+  WorstCaseReducer serial;
+  std::vector<WorldReducer*> serial_ptr = {&serial};
+  fused_clean_block(domain, 0, worlds, std::span<WorldReducer* const>{serial_ptr});
+  EXPECT_EQ(serial.max_width, best);
+  EXPECT_EQ(serial.argmax_index, best_index);
+
+  // Two blocks merged in order: the tie-break must survive the merge.
+  WorstCaseReducer left;
+  WorstCaseReducer right;
+  std::vector<WorldReducer*> left_ptr = {&left};
+  std::vector<WorldReducer*> right_ptr = {&right};
+  fused_clean_block(domain, 0, worlds / 2, std::span<WorldReducer* const>{left_ptr});
+  fused_clean_block(domain, worlds / 2, worlds, std::span<WorldReducer* const>{right_ptr});
+  left.merge(right);
+  EXPECT_EQ(left.max_width, best);
+  EXPECT_EQ(left.argmax_index, best_index);
+}
+
+// FusedPass end to end: every thread count reproduces the serial reducers
+// bit for bit (the engine's merge-discipline contract).
+TEST(FusedReducers, FusedPassIsThreadCountInvariant) {
+  const std::vector<Tick> widths = {3, 7, 2, 9, 5};
+  const WorldDomain domain = WorldDomain::all_contain_zero(widths, 2);
+
+  ReducerSet serial;
+  const std::vector<WorldReducer*> serial_ptr = serial.pointers();
+  fused_clean_block(domain, 0, domain.world_count(),
+                    std::span<WorldReducer* const>{serial_ptr});
+
+  for (const unsigned threads : {1u, 0u, 2u, 3u, 7u}) {
+    FusedPass pass;
+    const std::size_t expected = pass.add(std::make_unique<ExpectedWidthReducer>());
+    const std::size_t histogram =
+        pass.add(std::make_unique<WidthHistogramReducer>(kBins, kHistHi));
+    const std::size_t detection = pass.add(std::make_unique<DetectionRateReducer>());
+    const std::size_t worst = pass.add(std::make_unique<WorstCaseReducer>());
+    pass.run(domain, threads);
+
+    ReducerSet got;
+    got.expected = pass.at<ExpectedWidthReducer>(expected);
+    got.histogram = pass.at<WidthHistogramReducer>(histogram);
+    got.detection = pass.at<DetectionRateReducer>(detection);
+    got.worst = pass.at<WorstCaseReducer>(worst);
+    expect_same_state(got, serial, "threads " + std::to_string(threads));
+  }
+}
+
+TEST(FusedReducers, GuardsRejectMisuse) {
+  const WorldDomain domain = WorldDomain::all_contain_zero(std::vector<Tick>{2, 3}, 0);
+  FusedPass empty;
+  EXPECT_THROW(empty.run(domain, 1), std::invalid_argument);
+  EXPECT_THROW(FusedPass{}.add(nullptr), std::invalid_argument);
+
+  ExpectedWidthReducer expected;
+  const DetectionRateReducer detection;
+  EXPECT_THROW(expected.merge(detection), std::invalid_argument);
+
+  EXPECT_THROW(WidthHistogramReducer(0, 10), std::invalid_argument);
+  EXPECT_THROW(WidthHistogramReducer(4, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace arsf::sim::engine
+
+namespace arsf::scenario {
+namespace {
+
+// ----------------------------------------------------- scenario-level ------
+
+attack::ExpectationOptions fast_options() {
+  attack::ExpectationOptions options;
+  options.max_joint = 1;
+  options.max_completions = 8;
+  options.candidate_stride = 2;
+  return options;
+}
+
+constexpr AnalysisKind kAllMembers[] = {
+    AnalysisKind::kEnumerate,
+    AnalysisKind::kWidthHistogram,
+    AnalysisKind::kDetectionRate,
+    AnalysisKind::kWidthArgmax,
+};
+
+// Every metric the standalone run emits must appear in the fused result with
+// a bit-identical value — "emitting each member's metrics under its
+// standalone names" is the whole parity contract.
+void expect_fused_covers(const ScenarioResult& standalone, const ScenarioResult& fused,
+                         const std::string& label) {
+  ASSERT_TRUE(standalone.ok()) << label << ": " << standalone.error;
+  ASSERT_TRUE(fused.ok()) << label << ": " << fused.error;
+  for (const Metric& metric : standalone.metrics) {
+    EXPECT_EQ(fused.metric(metric.key), metric.value) << label << " metric " << metric.key;
+  }
+}
+
+Scenario random_scenario(support::Rng& rng, bool with_policy) {
+  Scenario scenario;
+  scenario.name = "fuzz/fused";
+  scenario.description = "randomized fused differential";
+  const std::size_t n = static_cast<std::size_t>(rng.uniform_int(2, with_policy ? 3 : 5));
+  scenario.widths.resize(n);
+  for (auto& w : scenario.widths) w = static_cast<double>(rng.uniform_int(1, 6));
+  scenario.schedule = rng.uniform_int(0, 1) == 0 ? sched::ScheduleKind::kAscending
+                                                 : sched::ScheduleKind::kDescending;
+  // fa <= f is a paper assumption make_setup enforces; f defaults to
+  // ceil(n/2) - 1, which is 0 at n = 2.
+  const std::int64_t max_fa = std::min<std::int64_t>(1, (static_cast<std::int64_t>(n) + 1) / 2 - 1);
+  scenario.fa = static_cast<std::size_t>(rng.uniform_int(0, max_fa));
+  scenario.policy = with_policy ? PolicyKind::kExpectation : PolicyKind::kNone;
+  scenario.policy_options = fast_options();
+  scenario.analysis = AnalysisKind::kFused;
+  scenario.fused_members.assign(std::begin(kAllMembers), std::end(kAllMembers));
+  return scenario;
+}
+
+// The randomized differential harness: >= 200 random valid configurations,
+// each fused bundle compared metric-for-metric against all four standalone
+// analyses (including the ORIGINAL EnumerateAnalysis — the oracle the fused
+// enumerate member must reproduce bit for bit), at engine threads 1 and 0.
+TEST(FusedScenarioParity, RandomizedDifferentialStandaloneVsFused) {
+  support::Rng rng{0xfced0100ULL};
+  const Runner runner;
+  int executed = 0;
+  for (int trial = 0; trial < 210; ++trial) {
+    // 1 in 3 draws exercises the serial attacker-policy path; the rest the
+    // run-batched clean lane (where the closed forms actually fire).
+    Scenario fused = random_scenario(rng, trial % 3 == 0);
+
+    fused.num_threads = 1;
+    const ScenarioResult serial = runner.run(fused);
+    ASSERT_TRUE(serial.ok()) << "trial " << trial << ": " << serial.error;
+
+    fused.num_threads = 0;
+    const ScenarioResult pooled = runner.run(fused);
+    ASSERT_TRUE(pooled.ok()) << "trial " << trial << ": " << pooled.error;
+    ASSERT_EQ(serial.metrics.size(), pooled.metrics.size()) << "trial " << trial;
+    for (std::size_t m = 0; m < serial.metrics.size(); ++m) {
+      EXPECT_EQ(serial.metrics[m].key, pooled.metrics[m].key) << "trial " << trial;
+      EXPECT_EQ(serial.metrics[m].value, pooled.metrics[m].value)
+          << "trial " << trial << " metric " << serial.metrics[m].key;
+    }
+
+    for (const AnalysisKind member : kAllMembers) {
+      Scenario standalone = fused;
+      standalone.analysis = member;
+      standalone.fused_members.clear();
+      standalone.num_threads = 1;
+      expect_fused_covers(runner.run(standalone), serial,
+                          "trial " + std::to_string(trial) + " member " + to_string(member));
+    }
+    ++executed;
+  }
+  EXPECT_GE(executed, 200);
+}
+
+// Thread-count invariance matrix for the fused analysis itself, mirroring
+// ScenarioParity.AnalysisThreadCountInvarianceMatrix: {0,2,3,7} against the
+// serial baseline, bit for bit.
+TEST(FusedScenarioParity, ThreadCountInvarianceMatrix) {
+  const auto& reg = registry();
+  std::vector<Scenario> matrix = {
+      smoke_variant(reg.at("fused/table1/r0/ascending")),
+      smoke_variant(reg.at("fused/table1/r5/descending")),
+      smoke_variant(reg.at("fused/fig4/wc-2-3-4-5")),
+  };
+  // A policy-free bundle keeps the run-batched clean lane in the matrix.
+  Scenario clean;
+  clean.name = "matrix/clean";
+  clean.description = "clean-lane invariance";
+  clean.widths = {3, 7, 2, 9, 5};
+  clean.fa = 0;
+  clean.policy = PolicyKind::kNone;
+  clean.analysis = AnalysisKind::kFused;
+  clean.fused_members.assign(std::begin(kAllMembers), std::end(kAllMembers));
+  matrix.push_back(clean);
+
+  const Runner runner;
+  for (Scenario& scenario : matrix) {
+    scenario.policy_options = fast_options();
+    scenario.num_threads = 1;
+    const ScenarioResult baseline = runner.run(scenario);
+    ASSERT_TRUE(baseline.ok()) << scenario.name << ": " << baseline.error;
+
+    for (const unsigned threads : {0u, 2u, 3u, 7u}) {
+      scenario.num_threads = threads;
+      const ScenarioResult result = runner.run(scenario);
+      ASSERT_TRUE(result.ok()) << scenario.name << ": " << result.error;
+      ASSERT_EQ(result.metrics.size(), baseline.metrics.size()) << scenario.name;
+      for (std::size_t m = 0; m < baseline.metrics.size(); ++m) {
+        EXPECT_EQ(result.metrics[m].key, baseline.metrics[m].key) << scenario.name;
+        EXPECT_EQ(result.metrics[m].value, baseline.metrics[m].value)
+            << scenario.name << " threads " << threads << " metric "
+            << baseline.metrics[m].key;
+      }
+    }
+  }
+}
+
+// Golden parity: EVERY registered fused/<name> bundle (at smoke settings, so
+// the full catalogue stays CI-cheap) must cover each member's standalone
+// metrics bit for bit.
+TEST(FusedScenarioParity, EveryRegisteredBundleMatchesItsMembers) {
+  const Runner runner;
+  std::size_t bundles = 0;
+  for (const Scenario& registered : registry().all()) {
+    if (registered.analysis != AnalysisKind::kFused) continue;
+    ++bundles;
+    Scenario fused = smoke_variant(registered);
+    fused.num_threads = 1;
+    const ScenarioResult fused_result = runner.run(fused);
+    ASSERT_TRUE(fused_result.ok()) << fused.name << ": " << fused_result.error;
+
+    for (const AnalysisKind member : fused.fused_members) {
+      Scenario standalone = fused;
+      standalone.analysis = member;
+      standalone.fused_members.clear();
+      expect_fused_covers(runner.run(standalone), fused_result,
+                          fused.name + " member " + to_string(member));
+    }
+  }
+  // The registry carries the Table 1 twins plus the Fig 4 families.
+  EXPECT_GE(bundles, 20u);
+}
+
+// A fused run that aborts mid-pass reports its status and NEVER partial
+// metrics — the PR-6 cancellation invariant carried through FusedPass.
+TEST(FusedScenarioParity, CancelledRunReportsStatusNeverPartialMetrics) {
+  // (a) Pre-tripped batch cancel: deterministic kCancelled frame.
+  sim::engine::CancelToken cancel;
+  cancel.cancel();
+  const Runner cancelled_runner{{.num_threads = 1, .cancel = &cancel}};
+  const std::vector<Scenario> batch = {smoke_variant(registry().at("fused/table1/r0/ascending"))};
+  const std::vector<ScenarioResult> frames =
+      cancelled_runner.run_batch(std::span<const Scenario>{batch});
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].status, ResultStatus::kCancelled);
+  EXPECT_FALSE(frames[0].ok());
+  EXPECT_TRUE(frames[0].metrics.empty()) << "a cancelled fused run must not leak metrics";
+
+  // (b) Deadline expiry mid-enumeration: ~85M clean worlds cannot complete
+  // in 1 ms, and the clean lane polls per digit-0 run, so the deadline trips
+  // long before the pass ends.
+  Scenario big;
+  big.name = "cancel/fused-big";
+  big.description = "deadline-aborted fused pass";
+  big.widths = std::vector<double>(6, 20.0);
+  big.fa = 0;
+  big.policy = PolicyKind::kNone;
+  big.analysis = AnalysisKind::kFused;
+  big.fused_members.assign(std::begin(kAllMembers), std::end(kAllMembers));
+  big.deadline_ms = 1;
+  const ScenarioResult timed = Runner{}.run(big);
+  EXPECT_EQ(timed.status, ResultStatus::kTimedOut) << timed.error;
+  EXPECT_FALSE(timed.ok());
+  EXPECT_TRUE(timed.metrics.empty()) << "a timed-out fused run must not leak metrics";
+}
+
+// Admission-control cost model: a fused bundle is priced as ONE world pass,
+// so it fits a budget that k standalone passes of the same worlds would
+// blow through — and a budget below one pass still rejects it.
+TEST(FusedScenarioParity, AdmissionPricesFusedBundleAsOnePass) {
+  Scenario fused = smoke_variant(registry().at("fused/table1/r0/ascending"));
+  fused.policy_options = fast_options();
+  fused.num_threads = 1;
+
+  Scenario standalone = fused;
+  standalone.analysis = AnalysisKind::kEnumerate;
+  standalone.fused_members.clear();
+
+  const std::uint64_t one_pass = estimated_worlds(standalone);
+  ASSERT_GT(one_pass, 0u);
+  // The cost model: k members, still one enumeration.
+  EXPECT_EQ(estimated_worlds(fused), one_pass);
+
+  // Budget = one pass: the 3-member bundle is admitted, although running its
+  // members standalone would cost 3x the budget.
+  ASSERT_GT(fused.fused_members.size() * one_pass, one_pass);
+  const Runner admitting{{.admission_budget = one_pass}};
+  const ScenarioResult admitted = admitting.run(fused);
+  EXPECT_TRUE(admitted.ok()) << admitted.error;
+  EXPECT_EQ(admitted.status, ResultStatus::kOk);
+
+  // Budget below one pass: rejected without running, no metrics.
+  const Runner rejecting{{.admission_budget = one_pass - 1}};
+  const ScenarioResult rejected = rejecting.run(fused);
+  EXPECT_EQ(rejected.status, ResultStatus::kRejected);
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_TRUE(rejected.metrics.empty());
+}
+
+// JSON round trip + validation diagnostics for the fused scenario shape.
+TEST(FusedScenarioParity, JsonRoundTripAndValidation) {
+  Scenario fused = registry().at("fused/table1/r0/ascending");
+  const Scenario parsed = Scenario::from_json(fused.to_json());
+  EXPECT_EQ(parsed, fused);
+
+  Scenario bad = fused;
+  bad.fused_members = {AnalysisKind::kEnumerate, AnalysisKind::kEnumerate};
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+
+  bad.fused_members = {AnalysisKind::kWorstCase};
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+
+  bad.fused_members.clear();
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+
+  Scenario stray = fused;
+  stray.analysis = AnalysisKind::kEnumerate;  // members only belong to kFused
+  EXPECT_THROW(stray.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace arsf::scenario

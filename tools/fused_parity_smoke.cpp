@@ -1,0 +1,153 @@
+// fused_parity_smoke — coarsened differential sweep of the fused
+// multi-analysis pass against the standalone analyses, registered as a ctest
+// in the default run (CMake label "fused_parity_smoke").  Two layers:
+//
+//   * golden: every registered fused/<name> bundle (at smoke settings) vs
+//     each of its members run standalone through the Runner, every member
+//     metric compared bit-exactly under the member's standalone name;
+//   * randomized: --iterations seeded random fused scenarios (clean lane and
+//     attacker-policy lane, engine threads 1 and 0) vs their standalone
+//     member runs.
+//
+// An ARSF_SANITIZE=address build registers this same binary with a smaller
+// --iterations (see CMakeLists.txt), so the fused engine path runs under
+// ASan on every sanitized CI pass.
+//
+//   ./fused_parity_smoke [--iterations N] [--seed S]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "scenario/registry.h"
+#include "scenario/runner.h"
+#include "support/cli.h"
+#include "support/rng.h"
+
+namespace {
+
+using arsf::scenario::AnalysisKind;
+using arsf::scenario::Scenario;
+using arsf::scenario::ScenarioResult;
+
+constexpr AnalysisKind kAllMembers[] = {
+    AnalysisKind::kEnumerate,
+    AnalysisKind::kWidthHistogram,
+    AnalysisKind::kDetectionRate,
+    AnalysisKind::kWidthArgmax,
+};
+
+arsf::attack::ExpectationOptions fast_options() {
+  arsf::attack::ExpectationOptions options;
+  options.max_joint = 1;
+  options.max_completions = 8;
+  options.candidate_stride = 2;
+  return options;
+}
+
+// Returns the number of member metrics that diverge (0 = parity); prints one
+// line per divergence.
+int compare_members(const arsf::scenario::Runner& runner, const Scenario& fused,
+                    const ScenarioResult& fused_result, const char* label) {
+  int failures = 0;
+  for (const AnalysisKind member : fused.fused_members) {
+    Scenario standalone = fused;
+    standalone.analysis = member;
+    standalone.fused_members.clear();
+    standalone.num_threads = 1;
+    const ScenarioResult reference = runner.run(standalone);
+    if (!reference.ok()) {
+      std::fprintf(stderr, "FAIL %s member %s: %s\n", label,
+                   arsf::scenario::to_string(member).c_str(), reference.error.c_str());
+      ++failures;
+      continue;
+    }
+    for (const auto& metric : reference.metrics) {
+      const double fused_value = fused_result.metric_or(metric.key, -1e308);
+      if (fused_value != metric.value) {
+        std::fprintf(stderr, "FAIL %s member %s metric %s: fused %.17g vs standalone %.17g\n",
+                     label, arsf::scenario::to_string(member).c_str(), metric.key.c_str(),
+                     fused_value, metric.value);
+        ++failures;
+      }
+    }
+  }
+  return failures;
+}
+
+int check_registered_bundles() {
+  const arsf::scenario::Runner runner;
+  int failures = 0;
+  int bundles = 0;
+  for (const auto& registered : arsf::scenario::registry().all()) {
+    if (registered.analysis != AnalysisKind::kFused) continue;
+    ++bundles;
+    Scenario fused = arsf::scenario::smoke_variant(registered);
+    fused.num_threads = 1;
+    const ScenarioResult result = runner.run(fused);
+    if (!result.ok()) {
+      std::fprintf(stderr, "FAIL %s: %s\n", fused.name.c_str(), result.error.c_str());
+      ++failures;
+      continue;
+    }
+    failures += compare_members(runner, fused, result, fused.name.c_str());
+  }
+  std::printf("fused_parity_smoke: %d registered bundles checked\n", bundles);
+  return failures;
+}
+
+int check_random_configs(int iterations, std::uint64_t seed) {
+  arsf::support::Rng rng{seed};
+  const arsf::scenario::Runner runner;
+  int failures = 0;
+  for (int i = 0; i < iterations; ++i) {
+    const bool with_policy = rng.chance(0.33);
+    Scenario fused;
+    fused.name = "smoke/fused-random-" + std::to_string(i);
+    fused.description = "seeded random fused draw";
+    const auto n = static_cast<std::size_t>(rng.uniform_int(2, with_policy ? 3 : 5));
+    fused.widths.resize(n);
+    for (auto& w : fused.widths) w = static_cast<double>(rng.uniform_int(1, 6));
+    fused.schedule = rng.chance(0.5) ? arsf::sched::ScheduleKind::kAscending
+                                     : arsf::sched::ScheduleKind::kDescending;
+    const std::int64_t max_fa =
+        std::min<std::int64_t>(1, (static_cast<std::int64_t>(n) + 1) / 2 - 1);
+    fused.fa = static_cast<std::size_t>(rng.uniform_int(0, max_fa));
+    fused.policy = with_policy ? arsf::scenario::PolicyKind::kExpectation
+                               : arsf::scenario::PolicyKind::kNone;
+    fused.policy_options = fast_options();
+    fused.analysis = AnalysisKind::kFused;
+    fused.fused_members.assign(std::begin(kAllMembers), std::end(kAllMembers));
+    fused.num_threads = rng.chance(0.5) ? 1 : 0;
+
+    const ScenarioResult result = runner.run(fused);
+    if (!result.ok()) {
+      std::fprintf(stderr, "FAIL random #%d: %s\n", i, result.error.c_str());
+      ++failures;
+      continue;
+    }
+    const std::string label = "random #" + std::to_string(i);
+    failures += compare_members(runner, fused, result, label.c_str());
+  }
+  std::printf("fused_parity_smoke: %d random configs checked\n", iterations);
+  return failures;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using Clock = std::chrono::steady_clock;
+  const arsf::support::ArgParser args{argc, argv};
+  const auto iterations = static_cast<int>(args.get_int("iterations", 120));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 0xf05edba7));
+
+  const auto start = Clock::now();
+  int failures = check_registered_bundles();
+  failures += check_random_configs(iterations, seed);
+  const double seconds = std::chrono::duration<double>(Clock::now() - start).count();
+
+  std::printf("fused_parity_smoke: %d failure(s) in %.2f s\n", failures, seconds);
+  return failures == 0 ? 0 : 1;
+}
