@@ -1,0 +1,281 @@
+// cache_speedup — measures the tentpole claim of the content-addressed
+// result cache (scenario/result_cache.h): a warm cache answers repeated
+// scenarios without recomputing, and run_sweep shares one evaluation across
+// every grid point of a canonical equivalence class.
+//
+// Two workloads:
+//   * warm-batch: N renamed copies of the most expensive Table 1 scenario
+//     through run_batch — cold (no cache) vs warm (store pre-warmed, every
+//     copy served as a hit).
+//   * sweep-shared: the registered sweep/table1-grid (96 points, clean
+//     policy-none lane, 6 canonical classes) through run_sweep — cold
+//     (plain Runner) vs cross-point sharing (cache-armed Runner, a FRESH
+//     cache per repeat, so the number measures sharing, not reuse across
+//     repeats).
+//
+// Every row carries a `parity` boolean: the cached/shared frames were
+// compared bit-identically against the cold frames, per slot and metric,
+// and the cached path re-run at engine/batch threads {1, 0} with identical
+// results, before the row was emitted.  `--json FILE` writes the committed
+// BENCH_cache.json artefact via the shared bench/bench_json.h contract.
+//
+//   ./cache_speedup [--repeat N] [--json FILE]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "scenario/registry.h"
+#include "scenario/result_cache.h"
+#include "scenario/runner.h"
+#include "scenario/sink.h"
+#include "scenario/sweep.h"
+#include "support/ascii.h"
+#include "support/cli.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using arsf::scenario::CacheStats;
+using arsf::scenario::CollectingSink;
+using arsf::scenario::ResultCache;
+using arsf::scenario::Runner;
+using arsf::scenario::RunnerOptions;
+using arsf::scenario::Scenario;
+using arsf::scenario::ScenarioResult;
+using arsf::scenario::SweepSpec;
+
+double seconds_since(const Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Slot-by-slot bit-identical metric comparison (keys, order and values).
+bool identical_metrics(const std::vector<ScenarioResult>& a,
+                       const std::vector<ScenarioResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!a[i].ok() || !b[i].ok()) return false;
+    if (a[i].metrics.size() != b[i].metrics.size()) return false;
+    for (std::size_t m = 0; m < a[i].metrics.size(); ++m) {
+      if (a[i].metrics[m].key != b[i].metrics[m].key) return false;
+      if (a[i].metrics[m].value != b[i].metrics[m].value) return false;
+    }
+  }
+  return true;
+}
+
+struct WorkloadResult {
+  bool ok = false;
+  bool parity = false;
+  double cold_seconds = 0.0;
+  double cached_seconds = 0.0;
+  std::uint64_t fresh_evaluations = 0;  ///< frames NOT served from cache
+};
+
+/// Workload A: a batch of @p copies renamed clones of @p scenario, cold vs
+/// against a pre-warmed store.
+WorkloadResult run_warm_batch(const Scenario& scenario, std::size_t copies, int repeat) {
+  WorkloadResult out;
+  std::vector<Scenario> batch;
+  for (std::size_t i = 0; i < copies; ++i) {
+    Scenario copy = scenario;
+    copy.name = scenario.name + "/copy-" + std::to_string(i);
+    batch.push_back(std::move(copy));
+  }
+
+  const Runner cold_runner;
+  std::vector<ScenarioResult> cold;
+  out.cold_seconds = 1e300;
+  for (int r = 0; r < repeat; ++r) {
+    const auto start = Clock::now();
+    cold = cold_runner.run_batch(std::span<const Scenario>{batch});
+    out.cold_seconds = std::min(out.cold_seconds, seconds_since(start));
+  }
+  for (const ScenarioResult& result : cold) {
+    if (!result.ok()) {
+      std::fprintf(stderr, "warm-batch cold: %s: %s\n", result.scenario.c_str(),
+                   result.error.c_str());
+      return out;
+    }
+  }
+
+  ResultCache cache;
+  RunnerOptions options;
+  options.cache = &cache;
+  const Runner warm_runner{options};
+  if (!warm_runner.run(batch.front()).ok()) return out;  // pre-warm the store
+
+  std::vector<ScenarioResult> warm;
+  out.cached_seconds = 1e300;
+  for (int r = 0; r < repeat; ++r) {
+    const auto start = Clock::now();
+    warm = warm_runner.run_batch(std::span<const Scenario>{batch});
+    out.cached_seconds = std::min(out.cached_seconds, seconds_since(start));
+  }
+  out.parity = identical_metrics(warm, cold);
+  for (const ScenarioResult& result : warm) {
+    if (!result.from_cache) ++out.fresh_evaluations;
+  }
+
+  // Thread-count invariance half of the parity bit: the warm batch forced
+  // serial must be bit-identical too.
+  RunnerOptions serial = options;
+  serial.num_threads = 1;
+  const std::vector<ScenarioResult> warm_serial =
+      Runner{serial}.run_batch(std::span<const Scenario>{batch});
+  out.parity = out.parity && identical_metrics(warm_serial, cold);
+
+  out.ok = true;
+  return out;
+}
+
+/// Workload B: the whole sweep, cold (plain Runner) vs cross-point sharing
+/// (cache-armed Runner, fresh cache each repeat).
+WorkloadResult run_shared_sweep(const SweepSpec& spec, int repeat) {
+  WorkloadResult out;
+
+  const Runner cold_runner;
+  CollectingSink cold;
+  out.cold_seconds = 1e300;
+  for (int r = 0; r < repeat; ++r) {
+    CollectingSink sink;
+    const auto start = Clock::now();
+    arsf::scenario::run_sweep(spec, cold_runner, sink);
+    out.cold_seconds = std::min(out.cold_seconds, seconds_since(start));
+    cold = std::move(sink);
+  }
+  for (const ScenarioResult& result : cold.results()) {
+    if (!result.ok()) {
+      std::fprintf(stderr, "sweep cold: %s: %s\n", result.scenario.c_str(),
+                   result.error.c_str());
+      return out;
+    }
+  }
+
+  CollectingSink shared;
+  out.cached_seconds = 1e300;
+  for (int r = 0; r < repeat; ++r) {
+    ResultCache cache;  // fresh per repeat: measure sharing, not reuse
+    RunnerOptions options;
+    options.cache = &cache;
+    const Runner runner{options};
+    CollectingSink sink;
+    const auto start = Clock::now();
+    arsf::scenario::run_sweep(spec, runner, sink);
+    out.cached_seconds = std::min(out.cached_seconds, seconds_since(start));
+    shared = std::move(sink);
+  }
+  out.parity = identical_metrics(shared.results(), cold.results());
+  for (const ScenarioResult& result : shared.results()) {
+    if (!result.from_cache) ++out.fresh_evaluations;
+  }
+
+  // Batch-thread invariance: the shared sweep forced serial must be
+  // bit-identical too.
+  {
+    ResultCache cache;
+    RunnerOptions options;
+    options.cache = &cache;
+    options.num_threads = 1;
+    CollectingSink serial;
+    arsf::scenario::run_sweep(spec, Runner{options}, serial);
+    out.parity = out.parity && identical_metrics(serial.results(), cold.results());
+  }
+
+  out.ok = true;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const arsf::support::ArgParser args{argc, argv};
+  const auto repeat = static_cast<int>(args.get_int("repeat", 5));
+  const std::string json_path = args.get_string("json", "");
+  constexpr double kAcceptanceFloor = 5.0;
+  constexpr std::size_t kCopies = 12;
+
+  // The most expensive Table 1 scenario by world count, resolved from the
+  // registry — the same acceptance workload the fused bench uses.
+  const auto table1 = arsf::scenario::registry().match("table1/");
+  const Scenario* largest = nullptr;
+  for (const Scenario* scenario : table1) {
+    if (largest == nullptr ||
+        arsf::scenario::estimated_worlds(*scenario) > arsf::scenario::estimated_worlds(*largest)) {
+      largest = scenario;
+    }
+  }
+  if (largest == nullptr) {
+    std::fprintf(stderr, "no table1/ scenarios registered\n");
+    return 1;
+  }
+  const SweepSpec& grid = arsf::scenario::registry().sweep_at("sweep/table1-grid");
+
+  std::printf("cache_speedup — content-addressed result cache\n");
+  std::printf("warm-batch workload: %zu copies of %s (%llu worlds); sweep workload: %s "
+              "(%llu points); repeat=%d\n\n",
+              kCopies, largest->name.c_str(),
+              static_cast<unsigned long long>(arsf::scenario::estimated_worlds(*largest)),
+              grid.name.c_str(), static_cast<unsigned long long>(grid.size()), repeat);
+
+  struct RowSpec {
+    const char* label;
+    WorkloadResult result;
+    std::uint64_t slots;
+  };
+  std::vector<RowSpec> rows;
+  rows.push_back({"warm-batch", run_warm_batch(*largest, kCopies, repeat),
+                  static_cast<std::uint64_t>(kCopies)});
+  rows.push_back({"sweep-shared", run_shared_sweep(grid, repeat), grid.size()});
+
+  arsf::bench::BenchReport report{"cache_speedup"};
+  arsf::support::TextTable table{
+      {"workload", "slots", "fresh", "cold ms", "cached ms", "speedup", "parity"}};
+  bool all_ok = true;
+  bool all_parity = true;
+  bool all_above_floor = true;
+
+  for (const RowSpec& row : rows) {
+    if (!row.result.ok) {
+      all_ok = false;
+      continue;
+    }
+    const double speedup = row.result.cold_seconds / row.result.cached_seconds;
+    all_parity = all_parity && row.result.parity;
+    all_above_floor = all_above_floor && speedup >= kAcceptanceFloor;
+
+    table.add_row({row.label, std::to_string(row.slots),
+                   std::to_string(row.result.fresh_evaluations),
+                   arsf::support::format_number(row.result.cold_seconds * 1e3, 2),
+                   arsf::support::format_number(row.result.cached_seconds * 1e3, 2),
+                   arsf::support::format_number(speedup, 2),
+                   row.result.parity ? "yes" : "NO"});
+
+    auto& fields = report.add_row();
+    fields.text("workload", row.label);
+    fields.number("slots", row.slots);
+    fields.number("fresh_evaluations", row.result.fresh_evaluations);
+    fields.number("cold_ms", row.result.cold_seconds * 1e3);
+    fields.number("cached_ms", row.result.cached_seconds * 1e3);
+    fields.number("speedup", speedup);
+    fields.boolean("parity", row.result.parity);
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("acceptance floor: %.1fx per workload — %s\n", kAcceptanceFloor,
+              all_above_floor ? "met" : "NOT met");
+
+  report.summary().text("batch_workload", largest->name);
+  report.summary().text("sweep_workload", grid.name);
+  report.summary().number("repeat", std::uint64_t{static_cast<unsigned>(repeat)});
+  report.summary().number("acceptance_floor", kAcceptanceFloor);
+  report.summary().boolean("all_above_floor", all_above_floor);
+  report.summary().boolean("all_parity", all_parity);
+  report.write_if_requested(json_path);
+
+  return (all_ok && all_parity) ? 0 : 1;
+}

@@ -49,12 +49,24 @@
 // the batch — every slot reports a structured status frame, and a
 // human-readable error frame goes to STDERR per failure, so --jsonl stdout
 // stays pure JSON lines.
+//
+// Result cache: --cache[=BYTES] wires the content-addressed result cache
+// (scenario/result_cache.h) into the run — repeated and canonically
+// equivalent scenarios are answered from memory, sweeps share work across
+// grid points, and cached rows are flagged from_cache in every output.
+// --cache-dir DIR additionally persists the cache to DIR/result_cache.jsonl
+// (loaded on start, saved write-then-rename on exit), so a re-run of the
+// same workload starts warm.  --cache-stats prints hit/miss/insert/evict
+// counters to stderr at the end — stderr, so --jsonl stdout stays pure.
 
 #include <algorithm>
+#include <charconv>
 #include <cstdio>
 #include <filesystem>
 #include <iostream>
 #include <optional>
+
+#include "scenario/result_cache.h"
 
 #include "scenario/registry.h"
 #include "scenario/report.h"
@@ -116,6 +128,10 @@ int main(int argc, char** argv) {
   const std::int64_t deadline_arg = args.get_int("deadline-ms", 0);
   const std::int64_t retries_arg = args.get_int("retries", 0);
   const bool degrade = args.has("degrade");
+  const bool cache_flag = args.has("cache");
+  const std::string cache_arg = args.get_string("cache", "");
+  const std::string cache_dir = args.get_string("cache-dir", "");
+  const bool cache_stats = args.has("cache-stats");
 
   for (const auto& unknown : args.unknown()) {
     std::fprintf(stderr, "unknown option --%s\n", unknown.c_str());
@@ -139,6 +155,26 @@ int main(int argc, char** argv) {
   if (retries_arg < 0) {
     std::fprintf(stderr, "--retries must be >= 0 (got %lld; 0 disables retries)\n",
                  static_cast<long long>(retries_arg));
+    return 2;
+  }
+  // --cache byte budget: strict digits-only parse, so a negative number, a
+  // unit suffix or any other garbage is rejected instead of silently parsed
+  // to "whatever strtoull stopped at".
+  std::uint64_t cache_budget = arsf::scenario::ResultCache::kDefaultByteBudget;
+  if (cache_flag && !cache_arg.empty()) {
+    std::uint64_t parsed = 0;
+    const auto [end, ec] =
+        std::from_chars(cache_arg.data(), cache_arg.data() + cache_arg.size(), parsed);
+    if (ec != std::errc{} || end != cache_arg.data() + cache_arg.size() || parsed == 0) {
+      std::fprintf(stderr, "--cache: byte budget must be a positive integer (got '%s')\n",
+                   cache_arg.c_str());
+      return 2;
+    }
+    cache_budget = parsed;
+  }
+  const bool cache_enabled = cache_flag || !cache_dir.empty();
+  if (cache_stats && !cache_enabled) {
+    std::fprintf(stderr, "--cache-stats requires --cache or --cache-dir\n");
     return 2;
   }
 
@@ -220,6 +256,7 @@ int main(int argc, char** argv) {
     std::printf("       [--overlay FILE] [--smoke] [--fused a,b,c] [--threads N] [--chunk N]\n");
     std::printf("       [--csv report.csv] [--resume] [--jsonl] [--progress]\n");
     std::printf("       [--deadline-ms N] [--retries N] [--degrade]\n");
+    std::printf("       [--cache[=BYTES]] [--cache-dir DIR] [--cache-stats]\n");
     std::printf("registry: %zu scenarios, %zu sweeps\n", registry.size(),
                 registry.sweeps().size());
     return 0;
@@ -315,12 +352,62 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Result cache: in-memory always when enabled; --cache-dir adds the
+  // persistent JSONL store (loaded warm here, saved on the way out).
+  std::optional<arsf::scenario::ResultCache> cache;
+  std::string cache_file;
+  if (cache_enabled) {
+    cache.emplace(cache_budget);
+    if (!cache_dir.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(cache_dir, ec);
+      if (ec) {
+        std::fprintf(stderr, "--cache-dir %s: %s\n", cache_dir.c_str(),
+                     ec.message().c_str());
+        return 2;
+      }
+      cache_file = (std::filesystem::path{cache_dir} / "result_cache.jsonl").string();
+      const auto loaded = cache->load_file(cache_file);
+      if (loaded.rejected != 0) {
+        // A corrupt line is a miss, never a wrong answer — report and go on.
+        std::fprintf(stderr, "cache: rejected %zu corrupt line(s) in %s\n", loaded.rejected,
+                     cache_file.c_str());
+      }
+    }
+  }
+  // Persist + report on every exit path past this point.  Saving is
+  // availability, not correctness: a failed save costs warm starts, nothing
+  // else, so it warns instead of changing the exit code.
+  const auto finish_cache = [&] {
+    if (!cache.has_value()) return;
+    if (!cache_file.empty()) {
+      try {
+        cache->save_file(cache_file);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "cache: %s\n", e.what());
+      }
+    }
+    if (cache_stats) {
+      const arsf::scenario::CacheStats stats = cache->stats();
+      std::fprintf(stderr,
+                   "cache: %llu hit(s), %llu miss(es), %llu insert(s), %llu eviction(s); "
+                   "%llu entr(ies), %llu byte(s) resident\n",
+                   static_cast<unsigned long long>(stats.hits),
+                   static_cast<unsigned long long>(stats.misses),
+                   static_cast<unsigned long long>(stats.inserts),
+                   static_cast<unsigned long long>(stats.evictions),
+                   static_cast<unsigned long long>(stats.entries),
+                   static_cast<unsigned long long>(stats.bytes));
+    }
+  };
+
   arsf::scenario::RunnerOptions runner_options;
   runner_options.num_threads = threads;
   runner_options.default_deadline_ms = static_cast<std::uint64_t>(deadline_arg);
   // --retries N = N re-runs on top of the first attempt.
   runner_options.retry.max_attempts = static_cast<std::uint32_t>(retries_arg) + 1;
   runner_options.degrade = degrade;
+  runner_options.cache = cache.has_value() ? &*cache : nullptr;
   const arsf::scenario::Runner runner{runner_options};
 
   // Output plumbing shared by batch and sweep runs: every enabled sink sees
@@ -382,6 +469,7 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr, "sweep %s: %zu grid points, %d failed\n", sweep_label.c_str(), total,
                  counting.failures());
+    finish_cache();
     return counting.failures() == 0 ? 0 : 1;
   }
 
@@ -438,5 +526,6 @@ int main(int argc, char** argv) {
                  csv->entries());
   }
   if (counting.failures()) std::fprintf(stderr, "%d scenario(s) failed\n", counting.failures());
+  finish_cache();
   return counting.failures() == 0 ? 0 : 1;
 }

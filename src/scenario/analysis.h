@@ -54,6 +54,11 @@ struct ScenarioResult {
   /// True when the result comes from the scenario's smoke_variant() after
   /// the full run was over budget (RunnerOptions::degrade).
   bool degraded = false;
+  /// True when the metrics were served from the content-addressed result
+  /// cache (scenario/result_cache.h) instead of a fresh run — bit-identical
+  /// to the fresh run by the cache-key soundness argument, but flagged so
+  /// cached and fresh rows stay distinguishable in every output format.
+  bool from_cache = false;
 
   [[nodiscard]] bool ok() const noexcept { return error.empty(); }
   /// Value of @p key; throws std::out_of_range when absent.

@@ -3,11 +3,13 @@
 #include <algorithm>
 
 #include "scenario/json.h"
+#include "support/fnv.h"
 
 namespace arsf::scenario {
 
 const std::vector<std::string>& fault_sites() {
-  static const std::vector<std::string> sites{"analysis", "pool", "sink", "checkpoint"};
+  static const std::vector<std::string> sites{"analysis", "pool", "sink", "checkpoint",
+                                              "cache"};
   return sites;
 }
 
@@ -88,25 +90,14 @@ FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) { plan_.va
 
 namespace {
 
-/// FNV-1a over the decision coordinates; folded to a double in [0, 1).  The
-/// generator quality bar here is "decorrelated across (site, key, attempt)",
-/// not statistical perfection — the harness only needs decisions that are
-/// stable and spread out.
+/// Shared FNV-1a (support/fnv.h) over the decision coordinates; folded to a
+/// double in [0, 1).  The generator quality bar here is "decorrelated across
+/// (site, key, attempt)", not statistical perfection — the harness only
+/// needs decisions that are stable and spread out.
 double decision_point(std::uint64_t seed, const std::string& site, std::uint64_t key,
                       std::uint32_t attempt) {
-  std::uint64_t h = 1469598103934665603ULL;
-  const auto mix_byte = [&h](std::uint8_t byte) {
-    h ^= byte;
-    h *= 1099511628211ULL;
-  };
-  const auto mix_u64 = [&mix_byte](std::uint64_t value) {
-    for (int i = 0; i < 8; ++i) mix_byte(static_cast<std::uint8_t>(value >> (8 * i)));
-  };
-  mix_u64(seed);
-  for (char c : site) mix_byte(static_cast<std::uint8_t>(c));
-  mix_byte(0);  // site/key separator: "ab"+1 must differ from "a"+<b...>
-  mix_u64(key);
-  mix_u64(attempt);
+  const std::uint64_t h =
+      support::Fnv1a{}.u64(seed).text(site).separator().u64(key).u64(attempt).value();
   // Top 53 bits -> [0, 1).
   return static_cast<double>(h >> 11) * 0x1.0p-53;
 }

@@ -17,6 +17,10 @@
 //   "pool"       — input slot + 1 (task startup inside run_batch's fan-out)
 //   "sink"       — delivered result index + 1 (before sink.on_result)
 //   "checkpoint" — checkpoint save ordinal (1 for the first save, ...)
+//   "cache"      — input slot + 1 (result-cache access inside run_one).  A
+//                  cache fault is NON-FATAL by contract: the run proceeds as
+//                  a fresh (uncached) evaluation, losing only the lookup and
+//                  the insert for that slot.
 // Identical plans therefore fire at identical logical points whether the
 // batch runs on 1 thread or 16, which is what lets the harness diff frames
 // across thread counts byte for byte.
@@ -43,7 +47,7 @@ class InjectedFault : public std::runtime_error {
 /// `nth` fires exactly at key == nth (0 = trigger disabled), `probability`
 /// fires when the seeded hash of (site, key, attempt) lands below it.
 struct FaultRule {
-  std::string site;            ///< "analysis", "pool", "sink" or "checkpoint"
+  std::string site;            ///< "analysis", "pool", "sink", "checkpoint" or "cache"
   std::uint64_t nth = 0;       ///< fire when key == nth (1-based; 0 = off)
   double probability = 0.0;    ///< fire with this chance per (key, attempt)
   /// Highest attempt number the rule still fires on.  The default 1 models a

@@ -195,9 +195,13 @@ JsonValue parse(const std::string& text, const std::string& context) {
   return JsonParser{text, context}.parse();
 }
 
-std::string escape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size() + 2);
+namespace {
+
+/// In-place variant of escape(): appends to @p out with no temporaries.
+/// Serializer hot paths (streaming sinks render one JSON frame per result;
+/// cache persistence renders one scenario per entry) would otherwise pay one
+/// allocation per field.
+void append_escaped(std::string& out, const std::string& text) {
   for (char c : text) {
     switch (c) {
       case '"': out += "\\\""; break;
@@ -207,13 +211,24 @@ std::string escape(const std::string& text) {
       default: out += c;
     }
   }
+}
+
+}  // namespace
+
+std::string escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  append_escaped(out, text);
   return out;
 }
 
 std::string number_text(double x) { return support::format_round_trip(x); }
 
 void JsonBuilder::field(const std::string& key, const std::string& value) {
-  raw(key, "\"" + escape(value) + "\"");
+  begin_field(key);
+  body_ += '"';
+  append_escaped(body_, value);
+  body_ += '"';
 }
 void JsonBuilder::field(const std::string& key, double value) { raw(key, number_text(value)); }
 void JsonBuilder::field(const std::string& key, std::uint64_t value) {
@@ -225,8 +240,26 @@ void JsonBuilder::field(const std::string& key, bool value) {
 }
 
 void JsonBuilder::raw(const std::string& key, const std::string& value) {
-  if (!body_.empty()) body_ += ",";
-  body_ += "\"" + escape(key) + "\":" + value;
+  begin_field(key);
+  body_ += value;
+}
+
+void JsonBuilder::object(const std::string& key, const JsonBuilder& nested) {
+  begin_field(key);
+  body_ += '{';
+  body_ += nested.body_;
+  body_ += '}';
+}
+
+void JsonBuilder::begin_field(const std::string& key) {
+  if (body_.empty()) {
+    body_.reserve(256);
+  } else {
+    body_ += ',';
+  }
+  body_ += '"';
+  append_escaped(body_, key);
+  body_ += "\":";
 }
 
 const JsonValue& object_field(const JsonValue& object, const std::string& key) {

@@ -72,13 +72,20 @@ class JsonBuilder {
         text += std::to_string(values[i]);
       }
     }
-    raw(key, text + "]");
+    text += "]";
+    raw(key, text);
   }
   /// Pre-rendered JSON (nested objects/arrays) under @p key.
   void raw(const std::string& key, const std::string& value);
+  /// Nested object under @p key, spliced without an intermediate render()
+  /// string (byte-identical to raw(key, nested.render())).
+  void object(const std::string& key, const JsonBuilder& nested);
   [[nodiscard]] std::string render() const { return "{" + body_ + "}"; }
 
  private:
+  /// Appends the separator plus `"key":` in place (no temporaries).
+  void begin_field(const std::string& key);
+
   std::string body_;
 };
 

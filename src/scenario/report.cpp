@@ -12,6 +12,9 @@ void write_result_rows(support::ReportWriter& out, const ScenarioResult& result)
       out.add(result.scenario, result.analysis, metric.key, metric.value);
     }
     if (result.degraded) out.add_text(result.scenario, result.analysis, "degraded", "true");
+    if (result.from_cache) {
+      out.add_text(result.scenario, result.analysis, "from_cache", "true");
+    }
     if (result.attempts > 1) {
       out.add(result.scenario, result.analysis, "attempts", static_cast<double>(result.attempts));
     }
@@ -41,6 +44,7 @@ std::string render_results(std::span<const ScenarioResult> results) {
         result.metrics.empty() ? "-" : support::format_number(result.metrics.front().value, 4);
     std::string status = to_string(result.status);
     if (result.degraded) status += " (degraded)";
+    if (result.from_cache) status += " (cached)";
     table.add_row({result.scenario, result.analysis, key, value, status});
   }
   return table.render();

@@ -1,0 +1,410 @@
+#include "scenario/result_cache.h"
+
+#include <algorithm>
+#include <bit>
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "scenario/json.h"
+#include "scenario/sink.h"
+#include "support/fnv.h"
+
+namespace arsf::scenario {
+
+namespace {
+
+enum class Family { kEnumerate, kWorstCase, kSampled };
+
+Family family_of(AnalysisKind kind) {
+  switch (kind) {
+    case AnalysisKind::kEnumerate:
+    case AnalysisKind::kWidthHistogram:
+    case AnalysisKind::kDetectionRate:
+    case AnalysisKind::kWidthArgmax:
+    case AnalysisKind::kFused:
+      return Family::kEnumerate;
+    case AnalysisKind::kWorstCase:
+    case AnalysisKind::kWorstCaseFast:
+    case AnalysisKind::kWorstCaseOverSetsBnb:
+      return Family::kWorstCase;
+    case AnalysisKind::kMonteCarlo:
+    case AnalysisKind::kResilience:
+    case AnalysisKind::kCaseStudy:
+      return Family::kSampled;
+  }
+  return Family::kSampled;
+}
+
+/// Width-argmax exposes a world INDEX and worlds are enumerated by sensor
+/// id, so its metrics are NOT invariant under an id relabeling.
+bool has_argmax_member(const Scenario& scenario) {
+  if (scenario.analysis == AnalysisKind::kWidthArgmax) return true;
+  if (scenario.analysis != AnalysisKind::kFused) return false;
+  return std::find(scenario.fused_members.begin(), scenario.fused_members.end(),
+                   AnalysisKind::kWidthArgmax) != scenario.fused_members.end();
+}
+
+/// Stable width-sort id-remap (the PR 5 exchange argument): sensor ids are
+/// relabeled so widths come out ascending, with id ties keeping their
+/// relative order; every id-carrying field is remapped alongside.  Among
+/// equal widths, attacked sensors sort last: equal-width sensors are fully
+/// interchangeable whatever their attacked status (the exchange argument
+/// again), and without the tie-break "widths {3,3}, attack sensor 0" and
+/// "widths {3,3}, attack sensor 1" would canonicalise to different texts
+/// and miss a provably shared class.  Only called on lanes whose metrics
+/// are relabeling-invariant (see header).
+void remap_sorted_by_width(Scenario& c) {
+  const std::size_t n = c.n();
+  if (n < 2) return;
+  std::vector<bool> attacked(n, false);
+  for (const SensorId id : c.attacked_override) attacked[id] = true;
+  std::vector<std::size_t> perm(n);  // perm[slot] = old id at new slot
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  std::stable_sort(perm.begin(), perm.end(), [&](std::size_t a, std::size_t b) {
+    if (c.widths[a] != c.widths[b]) return c.widths[a] < c.widths[b];
+    return attacked[a] < attacked[b];
+  });
+  std::vector<std::size_t> new_id(n);
+  for (std::size_t slot = 0; slot < n; ++slot) new_id[perm[slot]] = slot;
+
+  std::vector<double> widths(n);
+  for (std::size_t slot = 0; slot < n; ++slot) widths[slot] = c.widths[perm[slot]];
+  c.widths = std::move(widths);
+  for (SensorId& id : c.trusted) id = new_id[id];
+  std::sort(c.trusted.begin(), c.trusted.end());
+  for (SensorId& id : c.fixed_order) id = new_id[id];
+  for (SensorId& id : c.attacked_override) id = new_id[id];
+  std::sort(c.attacked_override.begin(), c.attacked_override.end());
+}
+
+/// Conservative byte estimate of one resident entry (canonical key + frame).
+std::uint64_t entry_bytes(const CacheKey& key, const ScenarioResult& stored) {
+  const Scenario& c = key.canonical;
+  std::uint64_t bytes = 64 + sizeof(Scenario) + stored.analysis.size();
+  bytes += 8 * (c.widths.size() + c.trusted.size() + c.fixed_order.size() +
+                c.attacked_override.size() + c.fused_members.size());
+  for (const Metric& metric : stored.metrics) bytes += metric.key.size() + 24;
+  return bytes;
+}
+
+double metric_value(const json::JsonValue& value) {
+  if (value.type != json::JsonValue::Type::kNumber) {
+    throw std::invalid_argument("ResultCache: metric values must be numbers");
+  }
+  if (value.is_integer) {
+    const double magnitude = static_cast<double>(value.integer);
+    return value.negative ? -magnitude : magnitude;
+  }
+  return value.number;
+}
+
+}  // namespace
+
+Scenario canonical_scenario(const Scenario& scenario) {
+  const Scenario defaults{};
+  Scenario c = scenario;
+
+  // Identity and execution knobs never reach a metric.  Resolving f keeps
+  // "f = -1" and "f = ceil(n/2)-1" in one class.
+  c.name.clear();
+  c.description.clear();
+  c.num_threads = 0;
+  c.deadline_ms = 0;
+  c.f = scenario.resolved_f();
+
+  // Computed BEFORE any normalisation below touches the attack knobs: the
+  // kRandom attacked rule draws the attacked set over raw sensor ids from
+  // the scenario seed, so neither the seed nor an id-remap can be
+  // normalised on that lane.
+  const bool random_attacked = c.fa > 0 && c.attacked_override.empty() &&
+                               c.attacked_rule == sched::AttackedSetRule::kRandom;
+  bool remap = false;
+
+  switch (family_of(c.analysis)) {
+    case Family::kEnumerate: {
+      // The exhaustive world walk reads none of the sampled-analysis knobs;
+      // max_worlds stays (it gates whether the walk runs at all).
+      c.rounds = defaults.rounds;
+      c.fault = defaults.fault;
+      c.require_undetected = defaults.require_undetected;
+      c.over_all_sets = false;
+      const bool clean = c.policy == PolicyKind::kNone || c.fa == 0;
+      if (clean) {
+        // The closed-form clean pass depends only on (widths-by-id, f,
+        // step): no attacker, no schedule, no seed.
+        c.policy = PolicyKind::kNone;
+        c.policy_options = defaults.policy_options;
+        c.fa = 0;
+        c.attacked_rule = defaults.attacked_rule;
+        c.attacked_override.clear();
+        c.seed = defaults.seed;
+        c.schedule = sched::ScheduleKind::kAscending;
+        c.fixed_order.clear();
+        c.trusted.clear();
+        remap = !has_argmax_member(c);
+      } else {
+        // Attacker-policy lane: schedule/policy knobs are live.  The serial
+        // policy walk threads a world-order RNG (sampled completions, random
+        // tie-breaks), so no id-remap here — only dead knobs fall away.
+        if (!c.attacked_override.empty()) c.attacked_rule = defaults.attacked_rule;
+        if (!random_attacked) c.seed = defaults.seed;
+        if (c.schedule != sched::ScheduleKind::kTrustedLast) c.trusted.clear();
+      }
+      break;
+    }
+    case Family::kWorstCase: {
+      // Both worst-case lanes enumerate clean worlds (no attacker policy,
+      // no sampling) and the fixed-set lane hardcodes the ascending
+      // schedule, so schedule/policy/sampling knobs are all dead.
+      c.rounds = defaults.rounds;
+      c.fault = defaults.fault;
+      c.policy = defaults.policy;
+      c.policy_options = defaults.policy_options;
+      c.max_worlds = defaults.max_worlds;
+      c.schedule = sched::ScheduleKind::kAscending;
+      c.fixed_order.clear();
+      c.trusted.clear();
+      if (c.over_all_sets || c.fa == 0) {
+        // Maximising over ALL fa-subsets (or attacking nothing) reads no
+        // attacked-set choice at all.
+        c.attacked_rule = defaults.attacked_rule;
+        c.attacked_override.clear();
+        c.seed = defaults.seed;
+      } else {
+        if (!c.attacked_override.empty()) c.attacked_rule = defaults.attacked_rule;
+        if (!random_attacked) c.seed = defaults.seed;
+      }
+      // The over-sets lane tie-breaks best_set_size in id order; kRandom
+      // draws over raw ids.  Everything else is width-multiset arithmetic.
+      remap = !c.over_all_sets && !random_attacked;
+      break;
+    }
+    case Family::kSampled: {
+      // Sampled engines draw in id order from the scenario seed: keep the
+      // scenario verbatim apart from knobs none of them read.
+      c.max_worlds = defaults.max_worlds;
+      c.require_undetected = defaults.require_undetected;
+      c.over_all_sets = false;
+      if (c.analysis != AnalysisKind::kResilience) c.fault = defaults.fault;
+      break;
+    }
+  }
+
+  if (remap) remap_sorted_by_width(c);
+  return c;
+}
+
+CacheKey cache_key(const Scenario& scenario) {
+  CacheKey key;
+  key.canonical = canonical_scenario(scenario);
+  key.fingerprint = canonical_signature(key.canonical);
+  return key;
+}
+
+std::uint64_t canonical_signature(const Scenario& canonical) {
+  support::Fnv1a h;
+  h.u64(static_cast<std::uint64_t>(canonical.analysis));
+  h.u64(canonical.widths.size());
+  for (const double w : canonical.widths) h.u64(std::bit_cast<std::uint64_t>(w));
+  h.u64(std::bit_cast<std::uint64_t>(canonical.step));
+  h.u64(static_cast<std::uint64_t>(canonical.f));
+  h.u64(canonical.fa);
+  h.u64(static_cast<std::uint64_t>(canonical.schedule));
+  h.u64(static_cast<std::uint64_t>(canonical.attacked_rule));
+  h.u64(static_cast<std::uint64_t>(canonical.policy));
+  h.u64(canonical.seed);
+  h.u64(canonical.rounds);
+  h.u64(canonical.over_all_sets ? 1 : 0);
+  for (const SensorId id : canonical.attacked_override) h.u64(id);
+  h.separator();
+  for (const SensorId id : canonical.trusted) h.u64(id);
+  return h.value();
+}
+
+ScenarioResult cache_hit_frame(const ScenarioResult& stored, const std::string& scenario_name) {
+  ScenarioResult out = stored;
+  out.scenario = scenario_name;
+  out.status = ResultStatus::kOk;
+  out.attempts = 1;
+  out.degraded = false;
+  out.error.clear();
+  out.from_cache = true;
+  return out;
+}
+
+ResultCache::EntryList::iterator ResultCache::find_entry(const CacheKey& key) {
+  const auto chain = index_.find(key.fingerprint);
+  if (chain == index_.end()) return lru_.end();
+  for (const EntryList::iterator it : chain->second) {
+    // Full struct compare: a fingerprint collision is a miss, never a silent
+    // cross-scenario reuse.
+    if (it->key.canonical == key.canonical) return it;
+  }
+  return lru_.end();
+}
+
+std::optional<ScenarioResult> ResultCache::lookup(const CacheKey& key) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  const auto it = find_entry(key);
+  if (it == lru_.end()) {
+    ++counters_.misses;
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it);  // refresh recency; iterators stay valid
+  ++counters_.hits;
+  return it->result;
+}
+
+bool ResultCache::store(const CacheKey& key, ScenarioResult stored) {
+  // Normalised stored frame: metrics + analysis only.  The requesting name,
+  // attempt count and retry history belong to the run that produced it, not
+  // to the equivalence class.
+  stored.scenario.clear();
+  stored.error.clear();
+  stored.status = ResultStatus::kOk;
+  stored.attempts = 1;
+  stored.degraded = false;
+  stored.from_cache = false;
+
+  const auto existing = find_entry(key);
+  if (existing != lru_.end()) {
+    lru_.splice(lru_.begin(), lru_, existing);
+    return false;
+  }
+  const std::uint64_t bytes = entry_bytes(key, stored);
+  if (bytes > byte_budget_) return false;  // could never fit, even alone
+
+  lru_.push_front(Entry{key, std::move(stored), bytes});
+  index_[key.fingerprint].push_back(lru_.begin());
+  bytes_ += bytes;
+  evict_to_budget();
+  return true;
+}
+
+bool ResultCache::insert(const CacheKey& key, const ScenarioResult& result) {
+  // Only completed full-fidelity runs are cacheable: a failed, timed-out,
+  // cancelled, rejected or degraded frame describes the RUN, not the
+  // scenario's metrics.
+  if (!result.ok() || result.degraded) return false;
+  const std::lock_guard<std::mutex> lock{mutex_};
+  if (!store(key, result)) return false;
+  ++counters_.inserts;
+  return true;
+}
+
+void ResultCache::evict_to_budget() {
+  while (bytes_ > byte_budget_ && !lru_.empty()) {
+    const auto victim = std::prev(lru_.end());
+    auto& chain = index_[victim->key.fingerprint];
+    chain.erase(std::remove(chain.begin(), chain.end(), victim), chain.end());
+    if (chain.empty()) index_.erase(victim->key.fingerprint);
+    bytes_ -= victim->bytes;
+    lru_.erase(victim);
+    ++counters_.evictions;
+  }
+}
+
+CacheStats ResultCache::stats() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  CacheStats stats = counters_;
+  stats.entries = lru_.size();
+  stats.bytes = bytes_;
+  return stats;
+}
+
+void ResultCache::clear() {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+}
+
+ResultCache::LoadReport ResultCache::load_file(const std::string& path) {
+  LoadReport report;
+  std::ifstream in{path};
+  if (!in) return report;  // absent or unreadable: a cold cache, not an error
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    try {
+      const json::JsonValue root = json::parse(line, "ResultCache");
+      json::reject_unknown_keys(root, {"scenario", "result"}, "ResultCache");
+
+      const Scenario parsed = scenario_from_value(json::object_field(root, "scenario"));
+      {
+        // The canonical form clears the name; validate() requires one, so
+        // check a named copy.  A line whose scenario no longer validates
+        // (hand-edited store, older format) is rejected, not trusted.
+        Scenario check = parsed;
+        check.name = "cache-entry";
+        check.validate();
+      }
+      // Re-canonicalise and re-fingerprint instead of trusting the file:
+      // idempotent for lines save_file() wrote, and it keeps a tampered or
+      // stale line from ever answering a real key.
+      CacheKey key = cache_key(parsed);
+
+      const json::JsonValue& frame = json::object_field(root, "result");
+      json::reject_unknown_keys(frame,
+                                {"index", "scenario", "analysis", "status", "attempts",
+                                 "degraded", "from_cache", "metrics", "error"},
+                                "ResultCache");
+      if (json::get_string(frame, "status") != to_string(ResultStatus::kOk) ||
+          !json::get_string(frame, "error").empty() || json::get_bool(frame, "degraded")) {
+        throw std::invalid_argument("ResultCache: stored frames must be completed runs");
+      }
+      ScenarioResult stored;
+      stored.analysis = json::get_string(frame, "analysis");
+      const json::JsonValue& metrics = json::object_field(frame, "metrics");
+      if (metrics.type != json::JsonValue::Type::kObject) {
+        throw std::invalid_argument("ResultCache: 'metrics' must be an object");
+      }
+      for (const auto& [name, value] : metrics.object) {
+        stored.metrics.push_back(Metric{name, metric_value(value)});
+      }
+
+      const std::lock_guard<std::mutex> lock{mutex_};
+      if (store(key, std::move(stored))) ++report.loaded;
+    } catch (const std::exception&) {
+      ++report.rejected;
+    }
+  }
+  return report;
+}
+
+void ResultCache::save_file(const std::string& path) const {
+  std::ostringstream text;
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    // Least-recently-used first: load_file() inserts in line order, so the
+    // reloaded cache ends in the same recency order it was saved with.
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      json::JsonBuilder builder;
+      builder.raw("scenario", it->key.canonical.to_json());
+      builder.raw("result", to_json(0, it->result));
+      text << builder.render() << '\n';
+    }
+  }
+  // Write-then-rename (the sweep-checkpoint discipline): a kill mid-save
+  // leaves the previous store intact instead of a truncated file.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out{tmp, std::ios::trunc};
+    out << text.str();
+    out.flush();
+    if (!out) throw std::runtime_error("ResultCache::save_file: cannot write " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    throw std::runtime_error("ResultCache::save_file: cannot rename " + tmp + " to " + path +
+                             ": " + ec.message());
+  }
+}
+
+}  // namespace arsf::scenario

@@ -1,0 +1,181 @@
+#pragma once
+// Content-addressed result cache: canonical scenario keys, an LRU store and
+// an optional persistent JSONL backing file.
+//
+// PR 5 proved canonicalisation is the biggest lever in this codebase:
+// equal-width sensors are interchangeable, so 816 attacked subsets collapsed
+// to 3 equivalence classes.  This layer generalises the idea from attacked
+// subsets to WHOLE scenarios: canonical_scenario() maps every scenario to a
+// normal form such that two scenarios with the same normal form provably
+// produce bit-identical metrics, and cache_key() pairs that normal form with
+// a cheap field fingerprint.  The Runner consults the cache before scheduling a
+// run (scenario/runner.h RunnerOptions::cache) and run_sweep() groups each
+// chunk of a grid by canonical key so every equivalence class is evaluated
+// once (scenario/sweep.h).
+//
+// Canonical form (src/sim/engine/README.md derives why this is sound):
+//   * identity and execution knobs never reach a metric: name, description,
+//     num_threads and deadline_ms are cleared, f is resolved to its paper
+//     default ceil(n/2)-1.
+//   * per analysis family, every knob the dispatched engines do not read is
+//     reset to its default-constructed value — e.g. the enumerate family
+//     drops rounds/fault/require_undetected/over_all_sets; the worst-case
+//     family drops rounds/fault/policy/policy_options/max_worlds and its
+//     schedule (the fixed-set lane hardcodes the ascending order, the
+//     over-sets lane maximises over subsets); a clean enumerate run
+//     (policy none or fa == 0) additionally drops every attack and schedule
+//     knob because the closed-form clean pass reads none of them.
+//   * the PR 5 exchange argument: on lanes whose metrics are invariant under
+//     a relabeling of sensor ids — the clean enumerate family without a
+//     width-argmax member, and the fixed-set worst case — sensors are sorted
+//     by width with a STABLE id-remap (trusted / fixed_order /
+//     attacked_override remapped alongside, attacked sensors sorted last
+//     among equal widths — equal-width sensors are interchangeable whatever
+//     their attacked status), so "widths {5,1,3}" and "widths {1,3,5}"
+//     share one cache entry.  Lanes where ids are
+//     observable keep their id order: width-argmax exposes a world INDEX
+//     (worlds are enumerated by id), AttackedSetRule::kRandom draws over raw
+//     ids, the over-sets worst case tie-breaks best_set_size in id order,
+//     and the attacker-policy / sampled lanes thread a world-order RNG.
+//
+// The cache itself is a thread-safe LRU keyed by (fingerprint, canonical
+// SCENARIO): the fingerprint is a cheap field hash (canonical_signature) and
+// a hit always confirms with the full Scenario operator==, never just the
+// 64-bit hash, so a fingerprint collision degrades to a miss instead of
+// silently returning another scenario's metrics.  Keys deliberately hold the
+// canonical struct rather than its JSON: keying every run through
+// Scenario::to_json would cost more than the cheap closed-form analyses the
+// cache exists to short-circuit, so serialisation happens only at the
+// persistence boundary.  Eviction is by byte budget, oldest-use first.  Only
+// completed, non-degraded results are ever stored (the Runner enforces this
+// too): a cache hit is bit-identical to the fresh run it replaces, at every
+// thread count.
+//
+// Persistence reuses the repository's durability idioms: save_file() is
+// write-then-rename like sweep checkpoints, one JSONL line per entry
+// embedding the canonical scenario (as JSON, rendered at save time) and the
+// stored frame in JsonlSink's format; load_file() re-validates,
+// re-canonicalises and re-fingerprints every line and rejects anything it
+// cannot prove well-formed (a corrupt line is a miss, never a wrong answer).
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "scenario/analysis.h"
+#include "scenario/scenario.h"
+
+namespace arsf::scenario {
+
+/// The normal form described in the file comment.  Idempotent; the input
+/// must satisfy Scenario::validate() (the Runner keys the cache only after
+/// validation).
+[[nodiscard]] Scenario canonical_scenario(const Scenario& scenario);
+
+/// Cache key: the canonical scenario itself plus its FNV-1a field signature
+/// for cheap bucketing.  Equality of keys is Scenario operator== on the
+/// canonical forms; the fingerprint only narrows the candidate set.
+struct CacheKey {
+  std::uint64_t fingerprint = 0;  ///< canonical_signature(canonical)
+  Scenario canonical;             ///< canonical_scenario(...)
+};
+
+[[nodiscard]] CacheKey cache_key(const Scenario& scenario);
+
+/// Cheap FNV-1a hash over the discriminating fields of an ALREADY canonical
+/// scenario — no JSON serialisation.  This is the CacheKey fingerprint, and
+/// run_sweep uses it directly to bucket a chunk's points before confirming
+/// equality with the full Scenario operator==, so cache interactions and
+/// grid sharing stay profitable even when the points themselves run in
+/// microseconds.  It deliberately hashes a SUBSET of fields (enough to make
+/// collisions rare in practice) and is therefore never used without the
+/// struct compare.
+[[nodiscard]] std::uint64_t canonical_signature(const Scenario& canonical);
+
+/// How a Runner uses its cache.  kReadOnly serves hits but never stores
+/// (e.g. a probe against a shared store); kWriteOnly recomputes everything
+/// and refreshes the store (a cache-warming pass).
+enum class CacheMode { kReadWrite, kReadOnly, kWriteOnly };
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t entries = 0;  ///< resident entries right now
+  std::uint64_t bytes = 0;    ///< resident byte estimate right now
+};
+
+class ResultCache {
+ public:
+  static constexpr std::uint64_t kDefaultByteBudget = 256ull << 20;  // 256 MiB
+
+  explicit ResultCache(std::uint64_t byte_budget = kDefaultByteBudget)
+      : byte_budget_(byte_budget) {}
+
+  /// The stored frame for @p key, or nullopt.  A hit refreshes recency and
+  /// returns the NORMALISED stored frame (empty scenario name, status kOk,
+  /// attempts 1); callers re-label it via cache_hit_frame().
+  [[nodiscard]] std::optional<ScenarioResult> lookup(const CacheKey& key);
+
+  /// Stores @p result under @p key; returns false (and stores nothing) for
+  /// frames that must never be served from cache — failed / timed-out /
+  /// cancelled / rejected / degraded — and for entries over the whole byte
+  /// budget.  An existing entry with the same key is refreshed, not
+  /// duplicated.  Evicts least-recently-used entries to the byte budget.
+  bool insert(const CacheKey& key, const ScenarioResult& result);
+
+  [[nodiscard]] CacheStats stats() const;
+  void clear();
+
+  [[nodiscard]] std::uint64_t byte_budget() const noexcept { return byte_budget_; }
+
+  // ---- persistence ---------------------------------------------------------
+
+  struct LoadReport {
+    std::size_t loaded = 0;    ///< entries accepted into the cache
+    std::size_t rejected = 0;  ///< lines that failed parsing or validation
+  };
+
+  /// Loads a file written by save_file().  A missing or unreadable file is a
+  /// cold cache ({0, 0}); a malformed line is rejected (counted) and never
+  /// aborts the load.  Loaded entries do not count as inserts.
+  LoadReport load_file(const std::string& path);
+
+  /// Atomically (write-then-rename) persists every resident entry, one JSONL
+  /// line per entry, least-recently-used first (so a later load_file ends
+  /// with the same recency order).  Throws std::runtime_error on I/O failure.
+  void save_file(const std::string& path) const;
+
+ private:
+  struct Entry {
+    CacheKey key;
+    ScenarioResult result;  ///< normalised stored frame
+    std::uint64_t bytes = 0;
+  };
+  using EntryList = std::list<Entry>;
+
+  // All private helpers assume mutex_ is held.
+  EntryList::iterator find_entry(const CacheKey& key);
+  bool store(const CacheKey& key, ScenarioResult stored);
+  void evict_to_budget();
+
+  mutable std::mutex mutex_;
+  EntryList lru_;  ///< front = most recently used
+  std::unordered_map<std::uint64_t, std::vector<EntryList::iterator>> index_;
+  std::uint64_t byte_budget_;
+  std::uint64_t bytes_ = 0;
+  CacheStats counters_;  ///< hits/misses/inserts/evictions (entries/bytes derived)
+};
+
+/// The frame a cache hit delivers for @p scenario_name: the stored metrics
+/// and analysis under the requesting scenario's name, status kOk, one
+/// attempt, from_cache set.
+[[nodiscard]] ScenarioResult cache_hit_frame(const ScenarioResult& stored,
+                                             const std::string& scenario_name);
+
+}  // namespace arsf::scenario

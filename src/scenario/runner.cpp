@@ -149,6 +149,30 @@ ScenarioResult Runner::run_one(const Scenario& scenario, bool force_serial,
     return failure_frame(scenario, ResultStatus::kFailed, e.what(), 1);
   }
 
+  // Result cache: key the VALIDATED scenario (canonicalisation assumes a
+  // well-formed input) and serve a hit before admission control ever runs —
+  // a cached answer costs nothing, so there is nothing to admit.  Cache
+  // failures are non-fatal by contract: the "cache" fault site (and any
+  // broken store) downgrades this slot to a fresh, uncached evaluation.
+  CacheKey key;
+  bool cache_armed = false;
+  if (options_.cache != nullptr) {
+    try {
+      if (options_.fault_injector != nullptr) {
+        options_.fault_injector->maybe_fail("cache", static_cast<std::uint64_t>(slot) + 1, 1);
+      }
+      key = cache_key(*effective);
+      cache_armed = true;
+      if (options_.cache_mode != CacheMode::kWriteOnly) {
+        if (const auto hit = options_.cache->lookup(key)) {
+          return cache_hit_frame(*hit, scenario.name);
+        }
+      }
+    } catch (const std::exception&) {
+      cache_armed = false;
+    }
+  }
+
   // Admission control: the estimated_worlds() cost model gates the run
   // before any cycles are spent.  Over budget -> rejected, or re-admitted as
   // the smoke variant when degrading is allowed.
@@ -187,6 +211,14 @@ ScenarioResult Runner::run_one(const Scenario& scenario, bool force_serial,
           analysis_for(effective->analysis).run(*effective, cancellable ? &token : nullptr);
       out.status = attempt > 1 ? ResultStatus::kRetriedOk : ResultStatus::kOk;
       out.attempts = attempt;
+      if (cache_armed && options_.cache_mode != CacheMode::kReadOnly) {
+        try {
+          // insert() itself refuses anything but a completed full-fidelity
+          // frame; a store failure only costs the entry.
+          options_.cache->insert(key, out);
+        } catch (const std::exception&) {
+        }
+      }
       return out;
     } catch (const CancelledError& e) {
       // An external cancel is never retried (the whole batch is going down);

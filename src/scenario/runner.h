@@ -39,7 +39,16 @@
 //     with exponential backoff; success after a retry reports `retried_ok`
 //     with the attempt count.
 //   * Fault injection — RunnerOptions::fault_injector arms the named
-//     "analysis"/"pool" sites (scenario/faultplan.h) for the chaos harness.
+//     "analysis"/"pool"/"cache" sites (scenario/faultplan.h) for the chaos
+//     harness.
+//   * Result cache — RunnerOptions::cache consults the content-addressed
+//     result cache (scenario/result_cache.h) after validation and before
+//     admission control: a hit returns the stored metrics as a frame marked
+//     from_cache (bit-identical to the fresh run by the canonical-key
+//     soundness argument) without spending any cycles.  Only completed,
+//     non-degraded results are inserted.  Cache failures (an injected
+//     "cache" fault, a broken store) are NON-FATAL: the scenario simply
+//     runs fresh.
 //
 // An empty batch short-circuits without touching the thread pool (the sink
 // still receives on_finish(0)).  With capture_errors = false, the exception
@@ -52,6 +61,7 @@
 #include <vector>
 
 #include "scenario/analysis.h"
+#include "scenario/result_cache.h"
 #include "scenario/sink.h"
 #include "sim/engine/cancel.h"
 
@@ -100,11 +110,20 @@ struct RunnerOptions {
   /// Deterministic fault injection for the chaos harness (nullptr = none).
   /// Must outlive the Runner calls it is passed to.
   const FaultInjector* fault_injector = nullptr;
+  /// Content-addressed result cache (nullptr = no caching).  Shared across
+  /// Runners and threads; must outlive the Runner calls it is passed to.
+  ResultCache* cache = nullptr;
+  /// How the cache is used when `cache` is set (see scenario/result_cache.h).
+  CacheMode cache_mode = CacheMode::kReadWrite;
 };
 
 class Runner {
  public:
   explicit Runner(RunnerOptions options = {}) : options_(options) {}
+
+  /// The options this Runner executes with — run_sweep() reads the cache
+  /// wiring off the runner it is handed to share work across grid points.
+  [[nodiscard]] const RunnerOptions& options() const noexcept { return options_; }
 
   /// Runs one scenario with its own num_threads engine fan-out.
   [[nodiscard]] ScenarioResult run(const Scenario& scenario) const;

@@ -266,13 +266,13 @@ std::string Scenario::to_json() const {
   builder.field("attacked_rule", sched::to_string(attacked_rule));
   builder.list("attacked_override", attacked_override);
   builder.field("policy", to_string(policy));
-  builder.raw("policy_options", options.render());
+  builder.object("policy_options", options);
   builder.field("rounds", static_cast<std::uint64_t>(rounds));
   builder.field("seed", seed);
   builder.field("max_worlds", max_worlds);
   builder.field("require_undetected", require_undetected);
   builder.field("over_all_sets", over_all_sets);
-  builder.raw("fault", fault_json.render());
+  builder.object("fault", fault_json);
   builder.field("num_threads", static_cast<std::uint64_t>(num_threads));
   builder.field("deadline_ms", deadline_ms);
   return builder.render();

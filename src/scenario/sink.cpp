@@ -40,6 +40,7 @@ std::string to_json(std::size_t index, const ScenarioResult& result) {
   builder.field("status", to_string(result.status));
   builder.field("attempts", static_cast<std::uint64_t>(result.attempts));
   builder.field("degraded", result.degraded);
+  builder.field("from_cache", result.from_cache);
   builder.raw("metrics", metrics.render());
   builder.field("error", result.error);
   return builder.render();

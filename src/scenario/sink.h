@@ -93,8 +93,8 @@ class JsonlSink final : public ResultSink {
 };
 
 /// Single-line JSON object for one result: {"index":..,"scenario":..,
-/// "analysis":..,"status":..,"attempts":..,"degraded":..,"metrics":{..},
-/// "error":..} (metrics values round-trip).  For a failed slot this is a
+/// "analysis":..,"status":..,"attempts":..,"degraded":..,"from_cache":..,
+/// "metrics":{..},"error":..} (metrics values round-trip).  For a failed slot this is a
 /// self-contained error frame: scenario name, structured status, the
 /// exception's what() and the attempt count all travel in the one line.
 [[nodiscard]] std::string to_json(std::size_t index, const ScenarioResult& result);

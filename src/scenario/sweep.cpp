@@ -9,10 +9,13 @@
 #include <sstream>
 #include <stdexcept>
 #include <string_view>
+#include <unordered_map>
 #include <utility>
 
 #include "scenario/faultplan.h"
 #include "scenario/json.h"
+#include "scenario/result_cache.h"
+#include "support/fnv.h"
 #include "sim/engine/saturating.h"
 #include "sim/engine/world_codec.h"
 #include "sim/enumerate.h"
@@ -71,6 +74,86 @@ std::string widths_segment(const std::vector<double>& widths) {
   return text;
 }
 
+// Per-sweep materialisation cache.  The axis layout, the codec and every
+// per-digit name segment are invariants of the spec, so a grid walk
+// (expand(), run_sweep()'s chunk loop) pays for them once instead of once
+// per point — materialising a point then costs one base copy, a few field
+// assignments and a single pre-sized name concatenation.  at() is
+// byte-identical (names, fields, error text) to the historical per-call
+// construction, which SweepSpec::at still exposes unchanged.
+class GridMaterializer {
+ public:
+  explicit GridMaterializer(const SweepSpec& spec)
+      : spec_(spec), active_(active_axes(spec)), codec_(axis_codec(active_)) {
+    segments_.resize(active_.size());
+    for (std::size_t j = 0; j < active_.size(); ++j) {
+      auto& table = segments_[j];
+      table.reserve(active_[j].radix);
+      for (std::uint64_t d = 0; d < active_[j].radix; ++d) {
+        switch (active_[j].axis) {
+          case kWidths: table.push_back("/" + widths_segment(spec.widths_sets[d])); break;
+          case kFa: table.push_back("/fa=" + std::to_string(spec.fa_values[d])); break;
+          case kStep:
+            table.push_back("/step=" + support::format_number(spec.steps[d], 6));
+            break;
+          case kSched: table.push_back("/sched=" + sched::to_string(spec.schedules[d])); break;
+          case kPolicy: table.push_back("/policy=" + to_string(spec.policies[d])); break;
+          case kSeed: table.push_back("/seed=" + std::to_string(d)); break;
+          case kAxisCount: break;
+        }
+      }
+    }
+    digits_.resize(codec_.digits());
+  }
+
+  [[nodiscard]] std::uint64_t size() const { return codec_.world_count(); }
+
+  [[nodiscard]] Scenario at(std::uint64_t index) {
+    if (index >= codec_.world_count()) fail(spec_.name, "grid index out of range");
+    codec_.decode(index, digits_);
+
+    Scenario scenario = spec_.base;
+    std::size_t name_bytes = spec_.name.size();
+    // Walk the axes in declaration order; axis j's digit is the mirrored slot.
+    for (std::size_t j = 0; j < active_.size(); ++j) {
+      const std::uint64_t digit = digits_[active_.size() - 1 - j];
+      name_bytes += segments_[j][digit].size();
+      switch (active_[j].axis) {
+        case kWidths: scenario.widths = spec_.widths_sets[digit]; break;
+        case kFa: scenario.fa = spec_.fa_values[digit]; break;
+        case kStep: scenario.step = spec_.steps[digit]; break;
+        case kSched: scenario.schedule = spec_.schedules[digit]; break;
+        case kPolicy: scenario.policy = spec_.policies[digit]; break;
+        case kSeed: scenario.seed = spec_.base.seed + digit * spec_.seed_stride; break;
+        case kAxisCount: break;
+      }
+    }
+    std::string point_name;
+    point_name.reserve(name_bytes);
+    point_name += spec_.name;
+    for (std::size_t j = 0; j < active_.size(); ++j) {
+      point_name += segments_[j][digits_[active_.size() - 1 - j]];
+    }
+    scenario.name = std::move(point_name);
+    if (!spec_.description.empty()) scenario.description = spec_.description;
+
+    try {
+      scenario.validate();
+    } catch (const std::invalid_argument& e) {
+      fail(spec_.name,
+           std::string{"grid point "} + std::to_string(index) + " is invalid: " + e.what());
+    }
+    return scenario;
+  }
+
+ private:
+  const SweepSpec& spec_;
+  std::vector<ActiveAxis> active_;
+  WorldCodec codec_;
+  std::vector<std::vector<std::string>> segments_;  ///< [axis slot][digit] → "/k=v"
+  std::vector<std::uint64_t> digits_;               ///< decode scratch
+};
+
 }  // namespace
 
 std::uint64_t SweepSpec::size() const {
@@ -78,62 +161,16 @@ std::uint64_t SweepSpec::size() const {
 }
 
 Scenario SweepSpec::at(std::uint64_t index) const {
-  const std::vector<ActiveAxis> active = active_axes(*this);
-  const WorldCodec codec = axis_codec(active);
-  if (index >= codec.world_count()) fail(name, "grid index out of range");
-
-  std::vector<std::uint64_t> digits(codec.digits());
-  codec.decode(index, digits);
-
-  Scenario scenario = base;
-  std::string point_name = name;
-  // Walk the axes in declaration order; axis j's digit is the mirrored slot.
-  for (std::size_t j = 0; j < active.size(); ++j) {
-    const std::uint64_t digit = digits[active.size() - 1 - j];
-    switch (active[j].axis) {
-      case kWidths:
-        scenario.widths = widths_sets[digit];
-        point_name += "/" + widths_segment(scenario.widths);
-        break;
-      case kFa:
-        scenario.fa = fa_values[digit];
-        point_name += "/fa=" + std::to_string(scenario.fa);
-        break;
-      case kStep:
-        scenario.step = steps[digit];
-        point_name += "/step=" + support::format_number(scenario.step, 6);
-        break;
-      case kSched:
-        scenario.schedule = schedules[digit];
-        point_name += "/sched=" + sched::to_string(scenario.schedule);
-        break;
-      case kPolicy:
-        scenario.policy = policies[digit];
-        point_name += "/policy=" + to_string(scenario.policy);
-        break;
-      case kSeed:
-        scenario.seed = base.seed + digit * seed_stride;
-        point_name += "/seed=" + std::to_string(digit);
-        break;
-      case kAxisCount: break;
-    }
-  }
-  scenario.name = point_name;
-  if (!description.empty()) scenario.description = description;
-
-  try {
-    scenario.validate();
-  } catch (const std::invalid_argument& e) {
-    fail(name, std::string{"grid point "} + std::to_string(index) + " is invalid: " + e.what());
-  }
-  return scenario;
+  GridMaterializer grid{*this};
+  return grid.at(index);
 }
 
 std::vector<Scenario> SweepSpec::expand() const {
-  const std::uint64_t total = size();
+  GridMaterializer grid{*this};
+  const std::uint64_t total = grid.size();
   std::vector<Scenario> scenarios;
   scenarios.reserve(total);
-  for (std::uint64_t i = 0; i < total; ++i) scenarios.push_back(at(i));
+  for (std::uint64_t i = 0; i < total; ++i) scenarios.push_back(grid.at(i));
   return scenarios;
 }
 
@@ -345,15 +382,10 @@ class ShiftSink final : public ResultSink {
 }  // namespace
 
 std::uint64_t sweep_fingerprint(const SweepSpec& spec) {
-  // FNV-1a over the canonical JSON: any semantic change to the sweep —
-  // name, base (smoke caps included), axes — lands in the hash.
-  const std::string text = spec.to_json();
-  std::uint64_t hash = 0xcbf29ce484222325ULL;
-  for (const char ch : text) {
-    hash ^= static_cast<unsigned char>(ch);
-    hash *= 0x100000001b3ULL;
-  }
-  return hash;
+  // Shared FNV-1a (support/fnv.h) over the canonical JSON: any semantic
+  // change to the sweep — name, base (smoke caps included), axes — lands in
+  // the hash.
+  return support::fnv1a(spec.to_json());
 }
 
 void save_sweep_checkpoint(const std::string& path, const SweepCheckpoint& checkpoint) {
@@ -509,7 +541,8 @@ std::size_t run_sweep(const SweepSpec& spec, const Runner& runner, ResultSink& s
     throw std::invalid_argument("run_sweep: chunk_scenarios must be >= 1");
   }
   spec.validate();
-  const std::uint64_t total = spec.size();
+  GridMaterializer grid{spec};
+  const std::uint64_t total = grid.size();
   if (options.resume_from > total) {
     throw std::invalid_argument("run_sweep: resume_from (" +
                                 std::to_string(options.resume_from) +
@@ -538,7 +571,7 @@ std::size_t run_sweep(const SweepSpec& spec, const Runner& runner, ResultSink& s
         cost = carried_cost;
         carried.reset();
       } else {
-        scenario = spec.at(next_index++);
+        scenario = grid.at(next_index++);
         cost = estimated_worlds(scenario);
       }
       if (!chunk.empty() && options.chunk_cost > 0 &&
@@ -552,18 +585,100 @@ std::size_t run_sweep(const SweepSpec& spec, const Runner& runner, ResultSink& s
       chunk.push_back(std::move(scenario));
     }
 
-    // Start the long poles first; emission stays in grid order regardless.
-    std::vector<std::size_t> schedule;
-    if (options.order_by_cost && chunk.size() > 1) {
-      schedule.resize(chunk.size());
-      std::iota(schedule.begin(), schedule.end(), std::size_t{0});
-      std::stable_sort(schedule.begin(), schedule.end(),
-                       [&](std::size_t a, std::size_t b) { return costs[a] > costs[b]; });
+    // Cross-point computation sharing: with a cache wired into the runner,
+    // group the chunk by canonical scenario (scenario/result_cache.h), run
+    // ONE representative per equivalence class, and fan its frame out to
+    // every duplicate grid point — cross-chunk repeats then hit the cache
+    // inside run_one.  Grouping compares canonical STRUCTS (bucketed by a
+    // cheap field hash), not serialised cache keys: struct equality and
+    // canonical-JSON equality define the same classes, and skipping the
+    // per-point serialisation is what keeps sharing profitable on grids of
+    // closed-form clean points that run in microseconds.  Disabled for
+    // kWriteOnly, whose contract is "recompute everything"; a chunk with no
+    // duplicates degenerates to the plain streaming path below (sharing
+    // only changes emission granularity: shared chunks emit after the
+    // chunk's batch completes).
+    const bool share = runner.options().cache != nullptr &&
+                       runner.options().cache_mode != CacheMode::kWriteOnly;
+    std::vector<std::size_t> rep;  // rep[i]: chunk-local representative of point i
+    bool has_duplicates = false;
+    if (share) {
+      std::vector<Scenario> canon;
+      canon.reserve(chunk.size());
+      rep.resize(chunk.size());
+      // Class list, not a hash map: chunks have few classes when sharing
+      // pays off, and a linear signature scan (u64 compares) beats map
+      // allocation even in the all-distinct worst case.
+      std::vector<std::pair<std::uint64_t, std::size_t>> classes;  // (signature, chunk index)
+      for (std::size_t i = 0; i < chunk.size(); ++i) {
+        canon.push_back(canonical_scenario(chunk[i]));
+        const std::uint64_t signature = canonical_signature(canon[i]);
+        rep[i] = i;
+        for (const auto& [class_signature, j] : classes) {
+          // Full struct compare, like the cache's full-text compare: a
+          // signature collision must never merge two different points.
+          if (class_signature == signature && canon[j] == canon[i]) {
+            rep[i] = j;
+            has_duplicates = true;
+            break;
+          }
+        }
+        if (rep[i] == i) classes.emplace_back(signature, i);
+      }
     }
 
-    ShiftSink shifted{sink, static_cast<std::size_t>(chunk_base)};
-    runner.run_batch(std::span<const Scenario>{chunk}, shifted,
-                     std::span<const std::size_t>{schedule});
+    if (!has_duplicates) {
+      // Start the long poles first; emission stays in grid order regardless.
+      std::vector<std::size_t> schedule;
+      if (options.order_by_cost && chunk.size() > 1) {
+        schedule.resize(chunk.size());
+        std::iota(schedule.begin(), schedule.end(), std::size_t{0});
+        std::stable_sort(schedule.begin(), schedule.end(),
+                         [&](std::size_t a, std::size_t b) { return costs[a] > costs[b]; });
+      }
+
+      ShiftSink shifted{sink, static_cast<std::size_t>(chunk_base)};
+      runner.run_batch(std::span<const Scenario>{chunk}, shifted,
+                       std::span<const std::size_t>{schedule});
+    } else {
+      std::vector<const Scenario*> uniques;
+      std::vector<std::uint64_t> unique_costs;
+      std::vector<std::size_t> ordinal(chunk.size(), 0);  // chunk index -> unique slot
+      for (std::size_t i = 0; i < chunk.size(); ++i) {
+        if (rep[i] != i) continue;
+        ordinal[i] = uniques.size();
+        uniques.push_back(&chunk[i]);
+        unique_costs.push_back(costs[i]);
+      }
+      std::vector<std::size_t> schedule;
+      if (options.order_by_cost && uniques.size() > 1) {
+        schedule.resize(uniques.size());
+        std::iota(schedule.begin(), schedule.end(), std::size_t{0});
+        std::stable_sort(schedule.begin(), schedule.end(), [&](std::size_t a, std::size_t b) {
+          return unique_costs[a] > unique_costs[b];
+        });
+      }
+      CollectingSink collected;
+      runner.run_batch(std::span<const Scenario* const>{uniques}, collected,
+                       std::span<const std::size_t>{schedule});
+      const std::vector<ScenarioResult>& frames = collected.results();
+
+      // Fan out in grid order.  A duplicate of a COMPLETED representative
+      // gets the shared metrics as a cache-hit frame under its own name; a
+      // duplicate of a failed/degraded one runs individually (its own
+      // deadline or degrade path must speak for itself).
+      for (std::size_t i = 0; i < chunk.size(); ++i) {
+        const std::size_t slot = static_cast<std::size_t>(chunk_base) + i;
+        if (rep[i] == i) {
+          sink.on_result(slot, frames[ordinal[i]]);
+          continue;
+        }
+        const ScenarioResult& shared = frames[ordinal[rep[i]]];
+        sink.on_result(slot, shared.ok() && !shared.degraded
+                                 ? cache_hit_frame(shared, chunk[i].name)
+                                 : runner.run(chunk[i]));
+      }
+    }
     chunk_base += chunk.size();
 
     if (!options.checkpoint_path.empty()) {

@@ -191,6 +191,15 @@ struct SweepRunOptions {
 /// [resume_from, size()) are materialised and emitted; on_finish still
 /// reports size().  Returns the number of grid points run by THIS
 /// invocation (size() - resume_from).
+///
+/// Cross-point computation sharing: when the runner carries a result cache
+/// (RunnerOptions::cache, mode != kWriteOnly), each chunk is grouped by
+/// canonical key (scenario/result_cache.h) and every equivalence class is
+/// evaluated ONCE, the frame fanned out to all member points in grid order
+/// as cache-hit frames (metrics bit-identical, from_cache set); repeats in
+/// LATER chunks hit the cache inside the Runner.  Results and emission
+/// order are unchanged; chunks that contain duplicates emit once their
+/// batch completes instead of streaming mid-chunk.
 std::size_t run_sweep(const SweepSpec& spec, const Runner& runner, ResultSink& sink,
                       const SweepRunOptions& options = {});
 

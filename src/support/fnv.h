@@ -1,0 +1,63 @@
+#pragma once
+// Shared 64-bit FNV-1a — the one fingerprint primitive of this repository.
+//
+// Three subsystems hash content for identity: sweep resume tokens
+// (scenario/sweep.h `sweep_fingerprint`), deterministic fault-injection
+// decisions (scenario/faultplan.cpp `decision_point`) and the
+// content-addressed result cache (scenario/result_cache.h
+// `canonical_signature`).
+// They must agree on the algorithm — a resume token or a persisted cache
+// written by one build has to verify under the next — so the mixing steps
+// live here once instead of being re-typed per call site.
+//
+// The incremental Fnv1a mixer reproduces faultplan's historical byte
+// sequence exactly: u64 values are folded little-endian byte by byte, and
+// byte(0) doubles as a string/field separator ("ab"+1 must differ from
+// "a"+<b...>).  Changing any of this invalidates every persisted
+// fingerprint; don't.
+
+#include <cstdint>
+#include <string_view>
+
+namespace arsf::support {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+/// Incremental FNV-1a mixer over bytes, u64s and strings.
+class Fnv1a {
+ public:
+  constexpr Fnv1a() = default;
+
+  constexpr Fnv1a& byte(std::uint8_t value) {
+    hash_ ^= value;
+    hash_ *= kFnvPrime;
+    return *this;
+  }
+
+  /// Little-endian byte fold: 8 byte() steps, least-significant first.
+  constexpr Fnv1a& u64(std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) byte(static_cast<std::uint8_t>(value >> (8 * i)));
+    return *this;
+  }
+
+  constexpr Fnv1a& text(std::string_view value) {
+    for (const char ch : value) byte(static_cast<std::uint8_t>(ch));
+    return *this;
+  }
+
+  /// NUL separator between variable-length fields.
+  constexpr Fnv1a& separator() { return byte(0); }
+
+  [[nodiscard]] constexpr std::uint64_t value() const noexcept { return hash_; }
+
+ private:
+  std::uint64_t hash_ = kFnvOffsetBasis;
+};
+
+/// One-shot hash of a string (the sweep-fingerprint / cache-key form).
+[[nodiscard]] constexpr std::uint64_t fnv1a(std::string_view text) {
+  return Fnv1a{}.text(text).value();
+}
+
+}  // namespace arsf::support

@@ -1,0 +1,782 @@
+// Content-addressed result cache tests: canonical-key equivalence (which
+// scenarios provably share metrics, and which must NOT), the LRU store and
+// its byte-budget eviction, persistence round-trips with hostile input,
+// Runner wiring (cache modes, the non-fatal "cache" fault site), cross-point
+// sharing inside run_sweep, and the randomized cache-vs-fresh differential
+// that pins the whole soundness argument: a cached frame is bit-identical to
+// the fresh run it replaces, at every thread count.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "scenario/faultplan.h"
+#include "scenario/registry.h"
+#include "scenario/result_cache.h"
+#include "scenario/runner.h"
+#include "scenario/sink.h"
+#include "scenario/sweep.h"
+#include "support/rng.h"
+
+namespace arsf::scenario {
+namespace {
+
+attack::ExpectationOptions fast_options() {
+  attack::ExpectationOptions options;
+  options.max_joint = 1;
+  options.max_completions = 4;
+  options.candidate_stride = 2;
+  return options;
+}
+
+Scenario clean_enumerate(const std::string& name, std::vector<double> widths) {
+  Scenario s;
+  s.name = name;
+  s.widths = std::move(widths);
+  s.fa = 0;
+  s.policy = PolicyKind::kNone;
+  return s;
+}
+
+void expect_same_key(const Scenario& a, const Scenario& b, const std::string& label) {
+  const CacheKey ka = cache_key(a);
+  const CacheKey kb = cache_key(b);
+  EXPECT_TRUE(ka.canonical == kb.canonical) << label;
+  // The JSON comparison restates the struct one readably on failure.
+  EXPECT_EQ(ka.canonical.to_json(), kb.canonical.to_json()) << label;
+  EXPECT_EQ(ka.fingerprint, kb.fingerprint) << label;
+}
+
+void expect_different_key(const Scenario& a, const Scenario& b, const std::string& label) {
+  const CacheKey ka = cache_key(a);
+  const CacheKey kb = cache_key(b);
+  EXPECT_FALSE(ka.canonical == kb.canonical) << label;
+  EXPECT_NE(ka.canonical.to_json(), kb.canonical.to_json()) << label;
+}
+
+void expect_identical_metrics(const ScenarioResult& a, const ScenarioResult& b,
+                              const std::string& label) {
+  ASSERT_EQ(a.metrics.size(), b.metrics.size()) << label;
+  for (std::size_t m = 0; m < a.metrics.size(); ++m) {
+    EXPECT_EQ(a.metrics[m].key, b.metrics[m].key) << label;
+    // Bit-identical, not approximately equal: the cache serves the SAME
+    // numbers the fresh run would produce.
+    EXPECT_EQ(a.metrics[m].value, b.metrics[m].value) << label << " " << a.metrics[m].key;
+  }
+}
+
+// A temporary path removed on scope exit, for the persistence tests.
+struct TempFile {
+  std::string path;
+  explicit TempFile(const std::string& name)
+      : path((std::filesystem::temp_directory_path() / name).string()) {
+    std::remove(path.c_str());
+  }
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+// ---------------------------------------------------------- canonical key --
+
+TEST(CanonicalKey, IgnoresIdentityAndExecutionKnobs) {
+  Scenario a = clean_enumerate("a", {2, 3, 4});
+  Scenario b = a;
+  b.name = "completely-different";
+  b.description = "same computation, new label";
+  b.num_threads = 7;
+  b.deadline_ms = 5000;
+  expect_same_key(a, b, "name/description/num_threads/deadline are not inputs");
+
+  // f = -1 resolves to the paper default ceil(n/2)-1 = 1 for n = 3.
+  Scenario c = a;
+  c.f = 1;
+  expect_same_key(a, c, "f=-1 and its resolved value are one class");
+  Scenario d = a;
+  d.f = 0;
+  expect_different_key(a, d, "a different resolved f is a different class");
+}
+
+TEST(CanonicalKey, CleanEnumerateCollapsesAttackAndScheduleKnobs) {
+  Scenario a = clean_enumerate("a", {2, 3, 4});
+
+  // policy none with fa > 0 means every sensor still transmits correctly:
+  // same class as fa = 0, whatever the attacked-set choice.
+  Scenario b = a;
+  b.fa = 2;
+  b.attacked_rule = sched::AttackedSetRule::kLargestWidths;
+  b.seed = 123;
+  b.schedule = sched::ScheduleKind::kDescending;
+  expect_same_key(a, b, "clean lane drops attack and schedule knobs");
+
+  // fa = 0 with a live policy selects no attacker either.
+  Scenario c = a;
+  c.policy = PolicyKind::kExpectation;
+  c.policy_options = fast_options();
+  expect_same_key(a, c, "fa=0 neutralises the policy");
+
+  // Sampled-analysis knobs are dead on the exhaustive walk.
+  Scenario d = a;
+  d.rounds = 5;
+  d.require_undetected = false;
+  expect_same_key(a, d, "enumerate ignores rounds/require_undetected");
+
+  // ... but the knobs the walk does read stay live.
+  Scenario e = a;
+  e.step = 0.5;
+  expect_different_key(a, e, "step is live");
+  Scenario g = a;
+  g.max_worlds = 10;
+  expect_different_key(a, g, "max_worlds gates the walk");
+}
+
+TEST(CanonicalKey, CleanEnumerateSortsSensorsByWidthUnlessArgmax) {
+  Scenario a = clean_enumerate("a", {5, 1, 3});
+  Scenario b = clean_enumerate("b", {1, 3, 5});
+  expect_same_key(a, b, "clean enumerate is id-relabeling invariant");
+
+  // width-argmax exposes a world index; worlds enumerate by sensor id.
+  Scenario am_a = a;
+  am_a.analysis = AnalysisKind::kWidthArgmax;
+  Scenario am_b = b;
+  am_b.analysis = AnalysisKind::kWidthArgmax;
+  expect_different_key(am_a, am_b, "argmax keeps sensor order");
+
+  // ... including as a member of a fused bundle.
+  Scenario fu_a = a;
+  fu_a.analysis = AnalysisKind::kFused;
+  fu_a.fused_members = {AnalysisKind::kEnumerate, AnalysisKind::kWidthArgmax};
+  Scenario fu_b = b;
+  fu_b.analysis = fu_a.analysis;
+  fu_b.fused_members = fu_a.fused_members;
+  expect_different_key(fu_a, fu_b, "fused bundle with argmax keeps sensor order");
+
+  Scenario hist_a = a;
+  hist_a.analysis = AnalysisKind::kWidthHistogram;
+  Scenario hist_b = b;
+  hist_b.analysis = AnalysisKind::kWidthHistogram;
+  expect_same_key(hist_a, hist_b, "histogram is a width multiset: remap is sound");
+}
+
+TEST(CanonicalKey, PolicyLaneKeepsSensorOrderAndLiveKnobs) {
+  Scenario a;
+  a.name = "a";
+  a.widths = {5, 1, 3};
+  a.fa = 1;
+  a.policy = PolicyKind::kExpectation;
+  a.policy_options = fast_options();
+
+  // The serial policy walk threads a world-order RNG: no id-remap here.
+  Scenario b = a;
+  b.widths = {1, 3, 5};
+  expect_different_key(a, b, "policy lane keeps sensor order");
+
+  // The seed is dead under a deterministic attacked-set rule...
+  Scenario c = a;
+  c.seed = 999;
+  expect_same_key(a, c, "seed is dead under kSmallestWidths");
+
+  // ... and live when the attacked set itself is drawn from it.
+  Scenario r = a;
+  r.attacked_rule = sched::AttackedSetRule::kRandom;
+  Scenario r2 = r;
+  r2.seed = 999;
+  expect_different_key(r, r2, "seed is live under kRandom");
+
+  // An explicit attacked set makes the rule irrelevant.
+  Scenario o = a;
+  o.attacked_override = {1};
+  Scenario o2 = o;
+  o2.attacked_rule = sched::AttackedSetRule::kLargestWidths;
+  expect_same_key(o, o2, "override wins over the rule");
+
+  Scenario s = a;
+  s.schedule = sched::ScheduleKind::kDescending;
+  expect_different_key(a, s, "schedule is live under a policy");
+  Scenario p = a;
+  p.policy_options.max_joint = 2;
+  expect_different_key(a, p, "policy options are live");
+}
+
+TEST(CanonicalKey, WorstCaseNormalisesDeadKnobsAndRemapsFixedSet) {
+  Scenario a;
+  a.name = "a";
+  a.widths = {5, 1, 3};
+  a.fa = 1;
+  a.attacked_override = {1};  // the width-1 sensor
+  a.analysis = AnalysisKind::kWorstCase;
+
+  // Policy, rounds, schedule: all dead on the clean-world worst-case walk.
+  Scenario b = a;
+  b.policy = PolicyKind::kOracle;
+  b.rounds = 3;
+  b.schedule = sched::ScheduleKind::kDescending;
+  b.max_worlds = 10;
+  expect_same_key(a, b, "worst case ignores policy/rounds/schedule/max_worlds");
+
+  // Fixed-set lane is width-multiset arithmetic: permuted ids with the
+  // override remapped alongside land in the same class.
+  Scenario c = a;
+  c.widths = {1, 3, 5};
+  c.attacked_override = {0};  // still the width-1 sensor
+  expect_same_key(a, c, "fixed-set worst case is id-relabeling invariant");
+
+  // Attacking the width-5 sensor instead is a different computation.
+  Scenario d = a;
+  d.attacked_override = {0};
+  expect_different_key(a, d, "attacked width matters");
+
+  Scenario e = a;
+  e.require_undetected = false;
+  expect_different_key(a, e, "the stealth constraint is live");
+
+  // Over-all-sets tie-breaks best_set_size in id order: no remap, and the
+  // attacked-set choice itself falls away.
+  Scenario o = a;
+  o.over_all_sets = true;
+  o.attacked_override.clear();
+  Scenario o2 = o;
+  o2.widths = {1, 3, 5};
+  expect_different_key(o, o2, "over-sets keeps sensor order");
+  Scenario o3 = o;
+  o3.attacked_rule = sched::AttackedSetRule::kLargestWidths;
+  o3.seed = 77;
+  expect_same_key(o, o3, "over-sets reads no attacked-set choice");
+}
+
+TEST(CanonicalKey, SampledLaneKeepsRoundsSeedAndOrder) {
+  Scenario a;
+  a.name = "a";
+  a.widths = {5, 1, 3};
+  a.fa = 1;
+  a.analysis = AnalysisKind::kMonteCarlo;
+  a.rounds = 100;
+
+  Scenario b = a;
+  b.rounds = 101;
+  expect_different_key(a, b, "rounds are live when sampling");
+  Scenario c = a;
+  c.seed = 31337;
+  expect_different_key(a, c, "the sampling seed is live");
+  Scenario d = a;
+  d.widths = {1, 3, 5};
+  expect_different_key(a, d, "sampled engines draw in id order: no remap");
+
+  Scenario e = a;
+  e.max_worlds = 42;
+  e.require_undetected = false;
+  expect_same_key(a, e, "enumeration-only knobs are dead when sampling");
+
+  // The fault process feeds resilience only.
+  Scenario f = a;
+  f.fault.p_enter = 0.25;
+  expect_same_key(a, f, "monte carlo ignores the fault process");
+  Scenario ra = a;
+  ra.analysis = AnalysisKind::kResilience;
+  Scenario rb = ra;
+  rb.fault.p_enter = 0.25;
+  expect_different_key(ra, rb, "resilience reads the fault process");
+}
+
+// ----------------------------------------------------------------- store ---
+
+ScenarioResult ok_result(const std::string& name, double value) {
+  ScenarioResult r;
+  r.scenario = name;
+  r.analysis = "t";
+  r.metrics = {Metric{"m", value}};
+  return r;
+}
+
+// Manual keys isolate store mechanics from canonicalisation: a distinct
+// @p width makes a distinct canonical struct, while the fingerprint is
+// forced so collision behaviour can be pinned directly.  Every key built
+// this way has the same shape (two widths, analysis "t", one metric "m"),
+// so every entry in the store tests has the same byte estimate.
+CacheKey manual_key(std::uint64_t fingerprint, double width) {
+  CacheKey key;
+  key.canonical = clean_enumerate("", {width, width + 1});
+  key.fingerprint = fingerprint;
+  return key;
+}
+
+TEST(ResultCache, FingerprintCollisionIsAMissNeverReuse) {
+  ResultCache cache;
+  const CacheKey k1 = manual_key(42, 1.0);
+  const CacheKey k2 = manual_key(42, 2.0);  // same fingerprint!
+  ASSERT_TRUE(cache.insert(k1, ok_result("a", 1.0)));
+  EXPECT_FALSE(cache.lookup(k2).has_value()) << "struct compare must reject the collision";
+  const auto hit = cache.lookup(k1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->metric("m"), 1.0);
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(ResultCache, SubsetFingerprintCollisionKeepsRealClassesDistinct) {
+  // require_undetected is deliberately NOT part of canonical_signature: these
+  // two worst-case scenarios share a fingerprint yet are different classes,
+  // so the struct compare is what keeps them apart end to end.
+  Scenario a;
+  a.name = "a";
+  a.widths = {5, 1, 3};
+  a.fa = 1;
+  a.attacked_override = {1};
+  a.analysis = AnalysisKind::kWorstCase;
+  Scenario b = a;
+  b.require_undetected = false;
+
+  const CacheKey ka = cache_key(a);
+  const CacheKey kb = cache_key(b);
+  ASSERT_EQ(ka.fingerprint, kb.fingerprint) << "test premise: a genuine subset-hash collision";
+  ASSERT_FALSE(ka.canonical == kb.canonical);
+
+  ResultCache cache;
+  ASSERT_TRUE(cache.insert(ka, ok_result("a", 1.0)));
+  EXPECT_FALSE(cache.lookup(kb).has_value());
+  ASSERT_TRUE(cache.insert(kb, ok_result("b", 2.0)));
+  EXPECT_EQ(cache.lookup(ka)->metric("m"), 1.0);
+  EXPECT_EQ(cache.lookup(kb)->metric("m"), 2.0);
+}
+
+TEST(ResultCache, LookupNormalisesTheStoredFrame) {
+  ResultCache cache;
+  ScenarioResult r = ok_result("origin", 2.5);
+  r.status = ResultStatus::kRetriedOk;
+  r.attempts = 3;
+  ASSERT_TRUE(cache.insert(manual_key(1, 5.0), r));
+  const auto hit = cache.lookup(manual_key(1, 5.0));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->scenario.empty()) << "the requester's name is not part of the class";
+  EXPECT_EQ(hit->status, ResultStatus::kOk);
+  EXPECT_EQ(hit->attempts, 1u) << "retry history belongs to the run, not the class";
+  EXPECT_FALSE(hit->from_cache);
+
+  const ScenarioResult frame = cache_hit_frame(*hit, "requester");
+  EXPECT_EQ(frame.scenario, "requester");
+  EXPECT_TRUE(frame.from_cache);
+  EXPECT_EQ(frame.status, ResultStatus::kOk);
+  EXPECT_EQ(frame.metric("m"), 2.5);
+}
+
+TEST(ResultCache, InsertRefusesUncacheableFrames) {
+  ResultCache cache;
+  ScenarioResult failed = ok_result("f", 1.0);
+  failed.error = "boom";
+  failed.status = ResultStatus::kFailed;
+  EXPECT_FALSE(cache.insert(manual_key(1, 1.0), failed));
+
+  ScenarioResult degraded = ok_result("d", 1.0);
+  degraded.degraded = true;
+  EXPECT_FALSE(cache.insert(manual_key(2, 2.0), degraded));
+
+  // An entry over the whole budget could never fit, even alone.
+  ResultCache tiny{10};
+  EXPECT_FALSE(tiny.insert(manual_key(3, 3.0), ok_result("c", 1.0)));
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().inserts, 0u);
+}
+
+TEST(ResultCache, LruEvictionByByteBudgetOldestUseFirst) {
+  // Every manual-key entry has the same shape, hence the same byte estimate;
+  // measure it once and size the budget so exactly two entries fit.
+  const std::uint64_t entry = [] {
+    ResultCache probe;
+    EXPECT_TRUE(probe.insert(manual_key(9, 9.0), ok_result("probe", 1.0)));
+    return probe.stats().bytes;
+  }();
+  ASSERT_GT(entry, 0u);
+
+  ResultCache cache{2 * entry + entry / 2};
+  ASSERT_TRUE(cache.insert(manual_key(1, 1.0), ok_result("a", 1.0)));
+  ASSERT_TRUE(cache.insert(manual_key(2, 2.0), ok_result("b", 2.0)));
+  EXPECT_EQ(cache.stats().bytes, 2 * entry);
+
+  // Touch "a" so "b" becomes the least recently used.
+  ASSERT_TRUE(cache.lookup(manual_key(1, 1.0)).has_value());
+  ASSERT_TRUE(cache.insert(manual_key(3, 3.0), ok_result("c", 3.0)));
+
+  EXPECT_FALSE(cache.lookup(manual_key(2, 2.0)).has_value()) << "LRU entry evicted";
+  EXPECT_TRUE(cache.lookup(manual_key(1, 1.0)).has_value()) << "recency was refreshed";
+  EXPECT_TRUE(cache.lookup(manual_key(3, 3.0)).has_value());
+
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.bytes, 2 * entry);
+  EXPECT_EQ(stats.inserts, 3u);
+}
+
+// ----------------------------------------------------------- persistence ---
+
+TEST(ResultCachePersistence, SaveLoadRoundTripServesTheSameMetrics) {
+  const Scenario s1 = clean_enumerate("p1", {2, 3, 4});
+  Scenario s2 = s1;
+  s2.name = "p2";
+  s2.step = 0.5;
+
+  ResultCache cache;
+  ASSERT_TRUE(cache.insert(cache_key(s1), ok_result("p1", 1.25)));
+  ASSERT_TRUE(cache.insert(cache_key(s2), ok_result("p2", 2.5)));
+
+  const TempFile file{"arsf_cache_roundtrip.jsonl"};
+  cache.save_file(file.path);
+
+  ResultCache reloaded;
+  const ResultCache::LoadReport report = reloaded.load_file(file.path);
+  EXPECT_EQ(report.loaded, 2u);
+  EXPECT_EQ(report.rejected, 0u);
+  EXPECT_EQ(reloaded.stats().entries, 2u);
+  EXPECT_EQ(reloaded.stats().inserts, 0u) << "loads are not inserts";
+
+  const auto hit1 = reloaded.lookup(cache_key(s1));
+  ASSERT_TRUE(hit1.has_value());
+  EXPECT_EQ(hit1->metric("m"), 1.25);
+  const auto hit2 = reloaded.lookup(cache_key(s2));
+  ASSERT_TRUE(hit2.has_value());
+  EXPECT_EQ(hit2->metric("m"), 2.5);
+
+  // A permuted-id equivalent of s1 hits the reloaded store too: the load
+  // path re-canonicalises rather than trusting the file.
+  Scenario permuted = s1;
+  permuted.widths = {4, 2, 3};
+  EXPECT_TRUE(reloaded.lookup(cache_key(permuted)).has_value());
+}
+
+TEST(ResultCachePersistence, LoadRejectsCorruptLinesAndMissingFileIsCold) {
+  const Scenario good = clean_enumerate("g", {2, 3});
+  ResultCache source;
+  ASSERT_TRUE(source.insert(cache_key(good), ok_result("g", 7.0)));
+  const TempFile file{"arsf_cache_corrupt.jsonl"};
+  source.save_file(file.path);
+
+  // Append hostile lines: garbage, wrong shape, a failed frame and a
+  // scenario that no longer validates.
+  std::string good_line;
+  {
+    std::ifstream in{file.path};
+    ASSERT_TRUE(static_cast<bool>(std::getline(in, good_line)));
+  }
+  {
+    std::ofstream out{file.path, std::ios::app};
+    out << "this is not json\n";
+    out << "{\"unexpected\":1}\n";
+    std::string failed = good_line;
+    const auto pos = failed.find("\"status\":\"ok\"");
+    ASSERT_NE(pos, std::string::npos);
+    failed.replace(pos, 13, "\"status\":\"failed\"");
+    out << failed << "\n";
+    std::string invalid = good_line;
+    const auto wpos = invalid.find("\"widths\":[2,3]");
+    ASSERT_NE(wpos, std::string::npos);
+    invalid.replace(wpos, 14, "\"widths\":[]");
+    out << invalid << "\n";
+  }
+
+  ResultCache reloaded;
+  const ResultCache::LoadReport report = reloaded.load_file(file.path);
+  EXPECT_EQ(report.loaded, 1u);
+  EXPECT_EQ(report.rejected, 4u);
+  EXPECT_TRUE(reloaded.lookup(cache_key(good)).has_value());
+
+  ResultCache cold;
+  const ResultCache::LoadReport missing = cold.load_file("/nonexistent/arsf-cache.jsonl");
+  EXPECT_EQ(missing.loaded, 0u);
+  EXPECT_EQ(missing.rejected, 0u);
+}
+
+// -------------------------------------------------------------- Runner -----
+
+TEST(RunnerCache, WarmRunServesBitIdenticalFrameWithoutRecomputing) {
+  Scenario scenario = registry().at("table1/r0/ascending");
+  scenario.policy_options = fast_options();
+
+  const ScenarioResult fresh = Runner{}.run(scenario);
+  ASSERT_TRUE(fresh.ok()) << fresh.error;
+
+  ResultCache cache;
+  RunnerOptions options;
+  options.cache = &cache;
+  const Runner cached{options};
+
+  const ScenarioResult cold = cached.run(scenario);
+  ASSERT_TRUE(cold.ok()) << cold.error;
+  EXPECT_FALSE(cold.from_cache);
+  expect_identical_metrics(cold, fresh, "cold == fresh");
+
+  const ScenarioResult warm = cached.run(scenario);
+  ASSERT_TRUE(warm.ok()) << warm.error;
+  EXPECT_TRUE(warm.from_cache);
+  EXPECT_EQ(warm.scenario, scenario.name);
+  EXPECT_EQ(warm.status, ResultStatus::kOk);
+  EXPECT_EQ(warm.attempts, 1u);
+  expect_identical_metrics(warm, fresh, "warm == fresh");
+
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.inserts, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+}
+
+TEST(RunnerCache, ReadOnlyNeverStoresWriteOnlyNeverServes) {
+  Scenario scenario = clean_enumerate("modes", {2, 3, 4});
+
+  ResultCache cache;
+  RunnerOptions read_only;
+  read_only.cache = &cache;
+  read_only.cache_mode = CacheMode::kReadOnly;
+  ASSERT_TRUE(Runner{read_only}.run(scenario).ok());
+  EXPECT_EQ(cache.stats().inserts, 0u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  RunnerOptions write_only;
+  write_only.cache = &cache;
+  write_only.cache_mode = CacheMode::kWriteOnly;
+  const Runner warmer{write_only};
+  ASSERT_TRUE(warmer.run(scenario).ok());
+  EXPECT_EQ(cache.stats().inserts, 1u);
+  const ScenarioResult recomputed = warmer.run(scenario);
+  ASSERT_TRUE(recomputed.ok());
+  EXPECT_FALSE(recomputed.from_cache) << "write-only recomputes even on a warm store";
+  EXPECT_EQ(cache.stats().hits, 0u);
+
+  RunnerOptions read_write;
+  read_write.cache = &cache;
+  const ScenarioResult served = Runner{read_write}.run(scenario);
+  ASSERT_TRUE(served.ok());
+  EXPECT_TRUE(served.from_cache) << "the write-only pass warmed the store";
+}
+
+TEST(RunnerCache, CacheFaultSiteIsNonFatal) {
+  const std::vector<std::string>& sites = fault_sites();
+  EXPECT_NE(std::find(sites.begin(), sites.end(), "cache"), sites.end());
+
+  FaultPlan plan;
+  plan.rules.push_back(FaultRule{"cache", 1, 0.0, 0});
+  ASSERT_NO_THROW(plan.validate());
+  const FaultInjector injector{plan};
+
+  Scenario scenario = clean_enumerate("faulted", {2, 3, 4});
+  ResultCache cache;
+  RunnerOptions options;
+  options.cache = &cache;
+  options.fault_injector = &injector;
+
+  // The injected fault disarms the cache for this run — the scenario still
+  // completes, fresh, and nothing was looked up or stored.
+  const ScenarioResult result = Runner{options}.run(scenario);
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_FALSE(result.from_cache);
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses + stats.inserts, 0u);
+}
+
+// -------------------------------------------------------------- sweep ------
+
+TEST(SweepCache, EquivalentGridPointsAreEvaluatedOnce) {
+  // 2 width sets x 4 seeds = 8 grid points; the clean lane drops the seed,
+  // so there are exactly 2 canonical classes.
+  SweepSpec spec;
+  spec.name = "cachegrid";
+  spec.base = clean_enumerate("base", {2, 3});
+  spec.widths_sets = {{2, 3}, {3, 4}};
+  spec.seed_count = 4;
+
+  CollectingSink plain;
+  run_sweep(spec, Runner{}, plain);
+  ASSERT_EQ(plain.results().size(), 8u);
+
+  ResultCache cache;
+  RunnerOptions options;
+  options.cache = &cache;
+  const Runner cached{options};
+  CollectingSink shared;
+  SweepRunOptions sweep_options;
+  sweep_options.chunk_scenarios = 3;  // force sharing across chunk boundaries too
+  run_sweep(spec, cached, shared, sweep_options);
+  ASSERT_EQ(shared.results().size(), 8u);
+
+  std::size_t fresh_frames = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    const ScenarioResult& a = plain.results()[i];
+    const ScenarioResult& b = shared.results()[i];
+    ASSERT_TRUE(a.ok() && b.ok()) << a.error << b.error;
+    EXPECT_EQ(a.scenario, b.scenario) << "emission order must be the grid order";
+    expect_identical_metrics(b, a, "shared == plain at " + a.scenario);
+    fresh_frames += b.from_cache ? 0 : 1;
+  }
+  EXPECT_EQ(fresh_frames, 2u) << "one fresh evaluation per canonical class";
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.inserts, 2u);
+  EXPECT_EQ(stats.misses, 2u);
+}
+
+// -------------------------------------------------------------- sinks ------
+
+TEST(SinkCache, FromCacheTravelsThroughJsonlAndCsv) {
+  ScenarioResult frame = ok_result("cached-row", 1.5);
+  frame.from_cache = true;
+
+  EXPECT_NE(to_json(0, frame).find("\"from_cache\":true"), std::string::npos);
+  ScenarioResult fresh = ok_result("fresh-row", 1.5);
+  EXPECT_NE(to_json(0, fresh).find("\"from_cache\":false"), std::string::npos);
+
+  std::ostringstream csv;
+  {
+    CsvStreamSink sink{csv};
+    sink.on_result(0, frame);
+    sink.on_result(1, fresh);
+  }
+  EXPECT_NE(csv.str().find("cached-row,t,from_cache,true"), std::string::npos);
+  EXPECT_EQ(csv.str().find("fresh-row,t,from_cache"), std::string::npos)
+      << "fresh rows carry no from_cache marker";
+}
+
+// -------------------------------------------------- randomized differential
+
+// A cheap random but valid scenario drawn across analysis kinds, policies,
+// schedules and attacked-set rules.  Widths are integers on the step-1 grid;
+// duplicate widths are frequent, which exercises the argmax tie-break and
+// the stable remap.
+Scenario random_scenario(support::Rng& rng, std::uint64_t index) {
+  Scenario s;
+  s.name = "diff/" + std::to_string(index);
+  const std::size_t n = static_cast<std::size_t>(rng.uniform_int(2, 4));
+  for (std::size_t i = 0; i < n; ++i) {
+    s.widths.push_back(static_cast<double>(rng.uniform_int(1, 6)));
+  }
+  switch (rng.uniform_int(0, 5)) {
+    case 0: s.analysis = AnalysisKind::kEnumerate; break;
+    case 1: s.analysis = AnalysisKind::kWidthHistogram; break;
+    case 2: s.analysis = AnalysisKind::kDetectionRate; break;
+    case 3: s.analysis = AnalysisKind::kWidthArgmax; break;
+    case 4: s.analysis = AnalysisKind::kWorstCase; break;
+    default:
+      s.analysis = AnalysisKind::kMonteCarlo;
+      s.rounds = 60;
+      break;
+  }
+  // The engines enforce the paper assumption fa <= f (= ceil(n/2)-1 here).
+  s.fa = static_cast<std::size_t>(rng.uniform_int(0, s.resolved_f()));
+  switch (rng.uniform_int(0, 2)) {
+    case 0: s.attacked_rule = sched::AttackedSetRule::kSmallestWidths; break;
+    case 1: s.attacked_rule = sched::AttackedSetRule::kLargestWidths; break;
+    default: s.attacked_rule = sched::AttackedSetRule::kLastSlots; break;
+  }
+  if (rng.chance(0.4)) {
+    s.policy = PolicyKind::kExpectation;
+    s.policy_options = fast_options();
+  } else {
+    s.policy = PolicyKind::kNone;
+  }
+  s.schedule = rng.chance(0.5) ? sched::ScheduleKind::kAscending
+                               : sched::ScheduleKind::kDescending;
+  s.require_undetected = rng.chance(0.8);
+  s.seed = rng.next();
+  s.num_threads = (index % 2 == 0) ? 1u : 0u;
+  return s;
+}
+
+TEST(CacheDifferential, WarmFramesAreBitIdenticalToFreshAcrossThreadCounts) {
+  support::Rng rng{0xcac4edULL};
+  ResultCache cache;
+  RunnerOptions options;
+  options.cache = &cache;
+  const Runner cached{options};
+  const Runner plain;
+
+  constexpr std::uint64_t kScenarios = 220;
+  for (std::uint64_t i = 0; i < kScenarios; ++i) {
+    const Scenario scenario = random_scenario(rng, i);
+    ASSERT_NO_THROW(scenario.validate()) << scenario.name;
+
+    const ScenarioResult fresh = plain.run(scenario);
+    ASSERT_TRUE(fresh.ok()) << scenario.name << ": " << fresh.error;
+
+    const ScenarioResult cold = cached.run(scenario);
+    ASSERT_TRUE(cold.ok()) << scenario.name << ": " << cold.error;
+    expect_identical_metrics(cold, fresh, scenario.name + " cold");
+
+    const ScenarioResult warm = cached.run(scenario);
+    ASSERT_TRUE(warm.ok()) << scenario.name << ": " << warm.error;
+    EXPECT_TRUE(warm.from_cache) << scenario.name;
+    EXPECT_EQ(warm.scenario, scenario.name);
+    expect_identical_metrics(warm, fresh, scenario.name + " warm");
+  }
+  // Distinct random seeds land most draws in distinct classes, but clean
+  // policy-none draws collapse across seeds/schedules: hits > kScenarios
+  // would mean double-serving, hits == kScenarios means every warm run hit.
+  EXPECT_GE(cache.stats().hits, kScenarios);
+}
+
+// The soundness differential for the id-remap: a permuted twin must be
+// SERVED FROM the original's entry, and that served frame must equal the
+// twin's own fresh run — the exchange argument checked end to end.
+TEST(CacheDifferential, PermutedTwinServedFromCacheMatchesItsOwnFreshRun) {
+  support::Rng rng{0x9e37ULL};
+  const Runner plain;
+
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    // n >= 3 keeps f = ceil(n/2)-1 >= 1, so the worst-case lane's fa = 1
+    // stays inside the paper assumption fa <= f.
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(3, 5));
+    std::vector<double> widths;
+    for (std::size_t s = 0; s < n; ++s) {
+      widths.push_back(static_cast<double>(rng.uniform_int(1, 6)));
+    }
+    const std::vector<std::size_t> perm = rng.permutation(n);
+    std::vector<double> permuted(n);
+    std::vector<std::size_t> new_id(n);
+    for (std::size_t slot = 0; slot < n; ++slot) {
+      permuted[slot] = widths[perm[slot]];
+      new_id[perm[slot]] = slot;
+    }
+
+    Scenario original;
+    original.name = "twin/original/" + std::to_string(i);
+    original.widths = widths;
+    Scenario twin;
+    twin.name = "twin/permuted/" + std::to_string(i);
+    twin.widths = permuted;
+
+    if (i % 2 == 0) {
+      // Clean enumerate lane.
+      original.fa = 0;
+      original.policy = PolicyKind::kNone;
+      twin.fa = 0;
+      twin.policy = PolicyKind::kNone;
+    } else {
+      // Fixed-set worst case with an explicit attacked sensor, remapped.
+      const std::size_t attacked = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+      original.analysis = AnalysisKind::kWorstCase;
+      original.fa = 1;
+      original.attacked_override = {attacked};
+      twin.analysis = AnalysisKind::kWorstCase;
+      twin.fa = 1;
+      twin.attacked_override = {new_id[attacked]};
+    }
+
+    ResultCache cache;
+    RunnerOptions options;
+    options.cache = &cache;
+    const Runner cached{options};
+
+    ASSERT_TRUE(cached.run(original).ok()) << original.name;
+    const ScenarioResult served = cached.run(twin);
+    ASSERT_TRUE(served.ok()) << twin.name << ": " << served.error;
+    EXPECT_TRUE(served.from_cache) << twin.name << " must share the original's class";
+
+    const ScenarioResult fresh_twin = plain.run(twin);
+    ASSERT_TRUE(fresh_twin.ok()) << fresh_twin.error;
+    expect_identical_metrics(served, fresh_twin, twin.name);
+  }
+}
+
+}  // namespace
+}  // namespace arsf::scenario

@@ -1,0 +1,254 @@
+// cache_parity_smoke — end-to-end differential for the content-addressed
+// result cache, registered as a ctest in the default run (CMake label
+// "cache_parity_smoke").  Three layers, all compared at the FRAME level
+// (scenario::to_json byte equality, not just metric values):
+//
+//   * registry: every registered scenario (at smoke settings) runs fresh
+//     (no cache), cold (cache armed, miss + insert) and warm (served from
+//     cache); the cold frame must equal the fresh frame byte for byte, and
+//     the warm frame must equal the fresh frame with only from_cache
+//     flipped.
+//   * persistent reload: the warmed store is saved to disk, loaded into a
+//     brand-new cache, and every scenario re-runs against it — the served
+//     frames must be byte-identical to the in-memory warm frames.
+//   * randomized: --iterations seeded random scenarios across analysis
+//     kinds, policies and schedules (engine threads 1 and 0), same
+//     cold/warm frame discipline.
+//
+// An ARSF_SANITIZE=address build registers this same binary with a smaller
+// --iterations (see CMakeLists.txt), so the cache path runs under ASan on
+// every sanitized CI pass.
+//
+//   ./cache_parity_smoke [--iterations N] [--seed S]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "scenario/registry.h"
+#include "scenario/result_cache.h"
+#include "scenario/runner.h"
+#include "scenario/sink.h"
+#include "support/cli.h"
+#include "support/rng.h"
+
+namespace {
+
+using arsf::scenario::AnalysisKind;
+using arsf::scenario::CacheStats;
+using arsf::scenario::ResultCache;
+using arsf::scenario::Runner;
+using arsf::scenario::RunnerOptions;
+using arsf::scenario::Scenario;
+using arsf::scenario::ScenarioResult;
+
+arsf::attack::ExpectationOptions fast_options() {
+  arsf::attack::ExpectationOptions options;
+  options.max_joint = 1;
+  options.max_completions = 8;
+  options.candidate_stride = 2;
+  return options;
+}
+
+// The fresh/cold/warm frame discipline for one scenario against one cache.
+// Returns the number of divergences (0 = parity); prints one line each.
+// @p warm_json, when given, receives the warm frame's JSON for later
+// comparison against a persistent reload.
+int check_frames(const Runner& fresh_runner, const Runner& cached_runner,
+                 const Scenario& scenario, const char* label,
+                 std::string* warm_json = nullptr) {
+  const ScenarioResult fresh = fresh_runner.run(scenario);
+  if (!fresh.ok()) {
+    std::fprintf(stderr, "FAIL %s: fresh run failed: %s\n", label, fresh.error.c_str());
+    return 1;
+  }
+  const std::string fresh_json = arsf::scenario::to_json(0, fresh);
+
+  int failures = 0;
+  ScenarioResult expected_warm = fresh;
+  expected_warm.from_cache = true;
+  const std::string expected_warm_json = arsf::scenario::to_json(0, expected_warm);
+
+  // The first cached run is usually a miss, but an EARLIER scenario from the
+  // same canonical class may already have warmed the store — then the serve
+  // is cross-scenario sharing and must still equal THIS scenario's fresh
+  // frame bit for bit.
+  const ScenarioResult cold = cached_runner.run(scenario);
+  if (arsf::scenario::to_json(0, cold) !=
+      (cold.from_cache ? expected_warm_json : fresh_json)) {
+    std::fprintf(stderr, "FAIL %s: cold frame diverges from fresh\n", label);
+    ++failures;
+  }
+  const ScenarioResult warm = cached_runner.run(scenario);
+  if (!warm.from_cache) {
+    std::fprintf(stderr, "FAIL %s: warm run was not served from cache\n", label);
+    ++failures;
+  }
+  const std::string warm_text = arsf::scenario::to_json(0, warm);
+  if (warm_text != expected_warm_json) {
+    std::fprintf(stderr, "FAIL %s: warm frame diverges from fresh (beyond from_cache)\n",
+                 label);
+    ++failures;
+  }
+  if (warm_json != nullptr) *warm_json = warm_text;
+  return failures;
+}
+
+// Cheap smoke settings shared by every layer: registry smoke caps plus fast
+// policy options and a capped sampling budget.
+Scenario smoke_settings(Scenario scenario) {
+  scenario = arsf::scenario::smoke_variant(std::move(scenario));
+  scenario.policy_options = fast_options();
+  scenario.rounds = std::min<std::size_t>(scenario.rounds, 300);
+  scenario.num_threads = 1;
+  return scenario;
+}
+
+int check_registry(std::vector<Scenario>& warmed, std::vector<std::string>& warm_frames,
+                   ResultCache& cache) {
+  const Runner fresh_runner;
+  RunnerOptions options;
+  options.cache = &cache;
+  const Runner cached_runner{options};
+
+  int failures = 0;
+  std::size_t checked = 0;
+  for (const auto& registered : arsf::scenario::registry().all()) {
+    Scenario scenario = smoke_settings(registered);
+    std::string warm_json;
+    const int diverged =
+        check_frames(fresh_runner, cached_runner, scenario, scenario.name.c_str(), &warm_json);
+    failures += diverged;
+    ++checked;
+    if (diverged == 0) {
+      // Only clean scenarios feed the reload layer; a divergence is already
+      // counted once and would only double-report there.
+      warmed.push_back(std::move(scenario));
+      warm_frames.push_back(std::move(warm_json));
+    }
+  }
+  std::printf("cache_parity_smoke: %zu registry scenarios checked\n", checked);
+  return failures;
+}
+
+// Saves the warmed store, reloads it into a brand-new cache and re-serves
+// every scenario: the frames must be byte-identical to the in-memory warm
+// frames (status ok, one attempt, from_cache set, same metrics bit for bit).
+int check_persistent_reload(const std::vector<Scenario>& warmed,
+                            const std::vector<std::string>& warm_frames,
+                            const ResultCache& cache, std::uint64_t seed) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("arsf_cache_parity_smoke_" + std::to_string(seed) + ".jsonl"))
+          .string();
+  int failures = 0;
+  try {
+    cache.save_file(path);
+    ResultCache reloaded;
+    const ResultCache::LoadReport report = reloaded.load_file(path);
+    if (report.rejected != 0) {
+      std::fprintf(stderr, "FAIL reload: %zu line(s) of our own store rejected\n",
+                   report.rejected);
+      ++failures;
+    }
+
+    RunnerOptions warm_options;
+    warm_options.cache = &reloaded;
+    const Runner warm_runner{warm_options};
+    for (std::size_t i = 0; i < warmed.size(); ++i) {
+      const ScenarioResult served = warm_runner.run(warmed[i]);
+      if (!served.from_cache) {
+        std::fprintf(stderr, "FAIL reload %s: not served from the reloaded store\n",
+                     warmed[i].name.c_str());
+        ++failures;
+        continue;
+      }
+      if (arsf::scenario::to_json(0, served) != warm_frames[i]) {
+        std::fprintf(stderr, "FAIL reload %s: served frame diverges from the warm frame\n",
+                     warmed[i].name.c_str());
+        ++failures;
+      }
+    }
+    std::printf("cache_parity_smoke: %zu scenarios re-served after reload\n", warmed.size());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "FAIL reload: %s\n", e.what());
+    ++failures;
+  }
+  std::remove(path.c_str());
+  return failures;
+}
+
+int check_random_configs(int iterations, std::uint64_t seed) {
+  arsf::support::Rng rng{seed};
+  const Runner fresh_runner;
+  ResultCache cache;
+  RunnerOptions options;
+  options.cache = &cache;
+  const Runner cached_runner{options};
+
+  int failures = 0;
+  for (int i = 0; i < iterations; ++i) {
+    Scenario s;
+    s.name = "smoke/cache-random-" + std::to_string(i);
+    s.description = "seeded random cache draw";
+    const auto n = static_cast<std::size_t>(rng.uniform_int(2, 4));
+    s.widths.resize(n);
+    for (auto& w : s.widths) w = static_cast<double>(rng.uniform_int(1, 6));
+    switch (rng.uniform_int(0, 5)) {
+      case 0: s.analysis = AnalysisKind::kEnumerate; break;
+      case 1: s.analysis = AnalysisKind::kWidthHistogram; break;
+      case 2: s.analysis = AnalysisKind::kDetectionRate; break;
+      case 3: s.analysis = AnalysisKind::kWidthArgmax; break;
+      case 4: s.analysis = AnalysisKind::kWorstCase; break;
+      default:
+        s.analysis = AnalysisKind::kMonteCarlo;
+        s.rounds = 60;
+        break;
+    }
+    s.fa = static_cast<std::size_t>(rng.uniform_int(0, s.resolved_f()));
+    if (rng.chance(0.4)) {
+      s.policy = arsf::scenario::PolicyKind::kExpectation;
+      s.policy_options = fast_options();
+    } else {
+      s.policy = arsf::scenario::PolicyKind::kNone;
+    }
+    s.schedule = rng.chance(0.5) ? arsf::sched::ScheduleKind::kAscending
+                                 : arsf::sched::ScheduleKind::kDescending;
+    s.seed = rng.next();
+    s.num_threads = rng.chance(0.5) ? 1 : 0;
+
+    const std::string label = "random #" + std::to_string(i);
+    failures += check_frames(fresh_runner, cached_runner, s, label.c_str());
+  }
+  const CacheStats stats = cache.stats();
+  std::printf(
+      "cache_parity_smoke: %d random configs checked (%llu hits, %llu misses, %llu inserts)\n",
+      iterations, static_cast<unsigned long long>(stats.hits),
+      static_cast<unsigned long long>(stats.misses),
+      static_cast<unsigned long long>(stats.inserts));
+  return failures;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using Clock = std::chrono::steady_clock;
+  const arsf::support::ArgParser args{argc, argv};
+  const auto iterations = static_cast<int>(args.get_int("iterations", 150));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 0xcac4e5eed));
+
+  const auto start = Clock::now();
+  std::vector<Scenario> warmed;
+  std::vector<std::string> warm_frames;
+  ResultCache cache;
+  int failures = check_registry(warmed, warm_frames, cache);
+  failures += check_persistent_reload(warmed, warm_frames, cache, seed);
+  failures += check_random_configs(iterations, seed);
+  const double seconds = std::chrono::duration<double>(Clock::now() - start).count();
+
+  std::printf("cache_parity_smoke: %d failure(s) in %.2f s\n", failures, seconds);
+  return failures == 0 ? 0 : 1;
+}
