@@ -13,14 +13,28 @@
 // function of (plan seed, site name, stable per-site key, attempt number) —
 // never of a global occurrence counter, wall-clock or thread id.  The stable
 // keys are 1-based so rule `nth` values read naturally:
-//   "analysis"   — input slot + 1 (per attempt: before the analysis runs)
+//   "analysis"   — input slot + 1 (per attempt: before the analysis runs).
+//                  run_sweep's shared-chunk fallback re-runs a grid point
+//                  under its own chunk-local slot, the key it would have
+//                  carried in an unshared chunk batch.
 //   "pool"       — input slot + 1 (task startup inside run_batch's fan-out)
 //   "sink"       — delivered result index + 1 (before sink.on_result)
 //   "checkpoint" — checkpoint save ordinal (1 for the first save, ...)
-//   "cache"      — input slot + 1 (result-cache access inside run_one).  A
-//                  cache fault is NON-FATAL by contract: the run proceeds as
-//                  a fresh (uncached) evaluation, losing only the lookup and
-//                  the insert for that slot.
+//   "cache"      — input slot + 1 (result-cache access inside run_one; same
+//                  fallback keying as "analysis").  A cache fault is
+//                  NON-FATAL by contract: the run proceeds as a fresh
+//                  (uncached) evaluation, losing only the lookup and the
+//                  insert for that slot.
+// The serve layer (src/serve) adds three sites keyed by its own ordinals:
+//   "accept"     — accepted connection ordinal (1-based).  A fault closes
+//                  the connection immediately after accept; the daemon and
+//                  every other connection carry on.
+//   "session"    — per-connection request ordinal (1-based, in arrival
+//                  order).  A fault rejects that request with a kRejected
+//                  error frame instead of scheduling it.
+//   "respond"    — per-connection delivered frame ordinal (1-based).  A
+//                  fault models a broken client pipe: the connection is torn
+//                  down, in-flight requests of that connection cancel.
 // Identical plans therefore fire at identical logical points whether the
 // batch runs on 1 thread or 16, which is what lets the harness diff frames
 // across thread counts byte for byte.
@@ -47,7 +61,8 @@ class InjectedFault : public std::runtime_error {
 /// `nth` fires exactly at key == nth (0 = trigger disabled), `probability`
 /// fires when the seeded hash of (site, key, attempt) lands below it.
 struct FaultRule {
-  std::string site;            ///< "analysis", "pool", "sink", "checkpoint" or "cache"
+  std::string site;            ///< one of fault_sites(): "analysis", "pool", "sink",
+                               ///< "checkpoint", "cache", "accept", "session", "respond"
   std::uint64_t nth = 0;       ///< fire when key == nth (1-based; 0 = off)
   double probability = 0.0;    ///< fire with this chance per (key, attempt)
   /// Highest attempt number the rule still fires on.  The default 1 models a

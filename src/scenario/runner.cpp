@@ -1,6 +1,8 @@
 #include "scenario/runner.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <exception>
 #include <mutex>
 #include <stdexcept>
@@ -105,7 +107,43 @@ ScenarioResult failure_frame(const Scenario& scenario, ResultStatus status,
   return result;
 }
 
+/// Sleeps for @p delay_ms in short slices, polling @p cancel between slices.
+/// Returns false as soon as the token trips — a daemon shutdown must not
+/// stall behind the backoff ladder of a retrying slot.
+bool sleep_observing_cancel(std::uint64_t delay_ms, const CancelToken* cancel) {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point wake = Clock::now() + std::chrono::milliseconds(delay_ms);
+  for (;;) {
+    if (cancel != nullptr && cancel->cancelled()) return false;
+    const Clock::time_point now = Clock::now();
+    if (now >= wake) return true;
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(wake - now);
+    std::this_thread::sleep_for(std::min(remaining, std::chrono::milliseconds{1}));
+  }
+}
+
 }  // namespace
+
+std::uint64_t RetryPolicy::backoff_delay_ms(std::uint32_t attempt) const {
+  const auto cap = static_cast<double>(kMaxDelayMs);
+  double delay = static_cast<double>(base_delay_ms);
+  for (std::uint32_t k = 1; k < attempt; ++k) {
+    delay *= backoff;
+    if (delay >= cap) return kMaxDelayMs;
+  }
+  if (delay >= cap) return kMaxDelayMs;
+  if (!(delay > 0.0)) return 0;  // backoff 0 shrinks the ladder to nothing
+  return static_cast<std::uint64_t>(delay);
+}
+
+Runner::Runner(RunnerOptions options) : options_(options) {
+  // A non-finite backoff factor would poison the compounded delay (NaN
+  // comparisons are all false, so neither the cap nor the zero check could
+  // catch it); a negative one has no sensible sleep semantics at all.
+  if (!std::isfinite(options_.retry.backoff) || options_.retry.backoff < 0.0) {
+    throw std::invalid_argument("RetryPolicy: backoff must be finite and >= 0");
+  }
+}
 
 ScenarioResult Runner::run_degraded(const Scenario& scenario, bool force_serial,
                                     std::uint32_t attempts) const {
@@ -237,11 +275,15 @@ ScenarioResult Runner::run_one(const Scenario& scenario, bool force_serial,
       return failure_frame(scenario, status, e.what(), attempt);
     } catch (const std::exception& e) {
       if (options_.retry.retry_failed && attempt < max_attempts) {
-        if (options_.retry.base_delay_ms > 0) {
-          double delay = static_cast<double>(options_.retry.base_delay_ms);
-          for (std::uint32_t k = 1; k < attempt; ++k) delay *= options_.retry.backoff;
-          std::this_thread::sleep_for(
-              std::chrono::milliseconds(static_cast<std::uint64_t>(delay)));
+        const std::uint64_t delay_ms = options_.retry.backoff_delay_ms(attempt);
+        if (delay_ms > 0 && !sleep_observing_cancel(delay_ms, options_.cancel)) {
+          // The batch cancel tripped mid-backoff: the retry is pointless (a
+          // shutdown is draining the whole batch), so frame the slot like
+          // any externally cancelled scenario — promptly, not after the
+          // remaining ladder.
+          if (!options_.capture_errors) throw CancelledError(false);
+          return failure_frame(scenario, ResultStatus::kCancelled,
+                               CancelledError(false).what(), attempt);
         }
         continue;
       }
@@ -253,6 +295,10 @@ ScenarioResult Runner::run_one(const Scenario& scenario, bool force_serial,
 
 ScenarioResult Runner::run(const Scenario& scenario) const {
   return run_one(scenario, /*force_serial=*/false, /*slot=*/0);
+}
+
+ScenarioResult Runner::run(const Scenario& scenario, std::size_t slot) const {
+  return run_one(scenario, /*force_serial=*/false, slot);
 }
 
 std::vector<ScenarioResult> Runner::run_batch(std::span<const Scenario> scenarios) const {

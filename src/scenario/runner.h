@@ -71,9 +71,18 @@ class FaultInjector;  // scenario/faultplan.h
 
 /// Retry with exponential backoff for per-scenario attempts.
 struct RetryPolicy {
+  /// Ceiling on one backoff sleep.  The compounded delay saturates here
+  /// instead of growing without bound — base_delay_ms * backoff^k overflows
+  /// double -> uint64 conversion (UB) long before it stops being absurd as a
+  /// wait, and no retry ladder should ever out-sleep a deadline by minutes.
+  static constexpr std::uint64_t kMaxDelayMs = 300'000;  // 5 minutes
+
   /// Total attempts per scenario (1 = no retry).
   std::uint32_t max_attempts = 1;
-  /// Sleep before attempt k+1: base_delay_ms * backoff^(k-1) milliseconds.
+  /// Sleep before attempt k+1: base_delay_ms * backoff^(k-1) milliseconds,
+  /// saturating at kMaxDelayMs.  The sleep observes RunnerOptions::cancel:
+  /// a batch cancel mid-backoff frames the slot `cancelled` promptly instead
+  /// of stalling a shutdown behind the whole ladder.
   std::uint64_t base_delay_ms = 0;
   double backoff = 2.0;
   /// Retry attempts that threw (status would be `failed`).
@@ -82,6 +91,14 @@ struct RetryPolicy {
   /// deterministic engine that ran out of budget once will again; this is
   /// for deadlines tracking a contended machine, not the workload.
   bool retry_timed_out = false;
+
+  /// The backoff sleep before attempt @p attempt + 1 in milliseconds:
+  /// base_delay_ms * backoff^(attempt-1), saturating at kMaxDelayMs — the
+  /// double -> uint64 conversion stays in range for ANY (base, backoff,
+  /// attempt) combination a validated policy admits (Runner's constructor
+  /// rejects non-finite and negative backoff factors, which this compound
+  /// could not clamp).
+  [[nodiscard]] std::uint64_t backoff_delay_ms(std::uint32_t attempt) const;
 };
 
 struct RunnerOptions {
@@ -119,7 +136,10 @@ struct RunnerOptions {
 
 class Runner {
  public:
-  explicit Runner(RunnerOptions options = {}) : options_(options) {}
+  /// Validates the options (a RetryPolicy with a non-finite or negative
+  /// backoff factor would compound into an undefined double -> uint64
+  /// conversion) and throws std::invalid_argument on the first problem.
+  explicit Runner(RunnerOptions options = {});
 
   /// The options this Runner executes with — run_sweep() reads the cache
   /// wiring off the runner it is handed to share work across grid points.
@@ -127,6 +147,13 @@ class Runner {
 
   /// Runs one scenario with its own num_threads engine fan-out.
   [[nodiscard]] ScenarioResult run(const Scenario& scenario) const;
+  /// run() with an explicit fault-site keying slot: the "analysis"/"cache"
+  /// fault sites fire on key slot + 1 exactly as if the scenario sat at
+  /// @p slot of a batch.  run_sweep()'s shared-chunk fallback re-runs grid
+  /// point i of a chunk under the same slot key the point would have carried
+  /// in the unshared chunk batch, so identical FaultPlans fire at identical
+  /// logical points whether or not cross-point sharing kicked in.
+  [[nodiscard]] ScenarioResult run(const Scenario& scenario, std::size_t slot) const;
 
   /// Runs every scenario; results in input order (see file comment).
   [[nodiscard]] std::vector<ScenarioResult> run_batch(

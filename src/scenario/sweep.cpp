@@ -674,9 +674,12 @@ std::size_t run_sweep(const SweepSpec& spec, const Runner& runner, ResultSink& s
           continue;
         }
         const ScenarioResult& shared = frames[ordinal[rep[i]]];
+        // The fallback re-run keys the "analysis"/"cache" fault sites by the
+        // point's own chunk-local slot — the key it would have carried in an
+        // unshared chunk batch — never the hardcoded slot 0 of plain run().
         sink.on_result(slot, shared.ok() && !shared.degraded
                                  ? cache_hit_frame(shared, chunk[i].name)
-                                 : runner.run(chunk[i]));
+                                 : runner.run(chunk[i], i));
       }
     }
     chunk_base += chunk.size();

@@ -1,0 +1,148 @@
+#include "serve/protocol.h"
+
+#include <algorithm>
+
+#include "scenario/json.h"
+#include "sim/engine/saturating.h"
+
+namespace arsf::serve {
+
+namespace json = scenario::json;
+using sim::engine::saturating_add;
+using sim::engine::saturating_mul;
+
+Request parse_request(const std::string& line) {
+  json::JsonValue root;
+  try {
+    root = json::parse(line, "request");
+  } catch (const std::exception& e) {
+    throw RequestError("", e.what());
+  }
+  if (root.type != json::JsonValue::Type::kObject) {
+    throw RequestError("", "request JSON: expected one object per line");
+  }
+
+  // Pull the transport-level request_id OUT of the object before handing it
+  // to the scenario/sweep builders, whose strict unknown-key rejection would
+  // otherwise (correctly) refuse it.
+  std::string request_id;
+  bool found = false;
+  for (auto it = root.object.begin(); it != root.object.end(); ++it) {
+    if (it->first != "request_id") continue;
+    if (it->second.type != json::JsonValue::Type::kString) {
+      throw RequestError("", "request JSON: request_id must be a string");
+    }
+    request_id = it->second.string;
+    root.object.erase(it);
+    found = true;
+    break;
+  }
+  if (!found || request_id.empty()) {
+    throw RequestError(request_id, "request JSON: missing or empty request_id");
+  }
+
+  Request request;
+  request.request_id = request_id;
+  try {
+    if (root.has("base")) {
+      request.is_sweep = true;
+      request.sweep = scenario::sweep_from_value(root);
+      request.sweep.validate();
+    } else {
+      request.scenario = scenario::scenario_from_value(root);
+      request.scenario.validate();
+    }
+  } catch (const std::exception& e) {
+    throw RequestError(request_id, e.what());
+  }
+  return request;
+}
+
+std::uint64_t request_cost(const Request& request) noexcept {
+  std::uint64_t total = 0;
+  try {
+    if (!request.is_sweep) {
+      total = scenario::estimated_worlds(request.scenario);
+    } else {
+      const std::uint64_t size = request.sweep.size();
+      if (size <= 64) {
+        // Small grid: price every point exactly (an invalid point simply
+        // contributes nothing — the Runner will frame it when it runs).
+        for (std::uint64_t i = 0; i < size; ++i) {
+          try {
+            total = saturating_add(total, scenario::estimated_worlds(request.sweep.at(i)));
+          } catch (const std::exception&) {
+          }
+        }
+      } else {
+        // Huge grid: extrapolate from the base template.  This is a
+        // round-robin WEIGHT, not an admission decision — per-point
+        // admission control still runs inside the Runner.
+        total = saturating_mul(scenario::estimated_worlds(request.sweep.base), size);
+      }
+    }
+  } catch (const std::exception&) {
+    total = 0;
+  }
+  return std::max<std::uint64_t>(1, total);
+}
+
+std::string result_frame(const std::string& request_id, std::size_t index,
+                         const scenario::ScenarioResult& result) {
+  // Splice the id in as the first field of the offline frame, so removing
+  // that one field recovers scenario::to_json(index, result) byte for byte.
+  const std::string rendered = scenario::to_json(index, result);
+  std::string frame = "{\"request_id\":\"" + json::escape(request_id) + "\",";
+  frame.append(rendered, 1, rendered.size() - 1);
+  return frame;
+}
+
+std::string done_frame(const std::string& request_id, std::size_t results,
+                       std::size_t failed) {
+  json::JsonBuilder builder;
+  builder.field("request_id", request_id);
+  builder.field("done", true);
+  builder.field("results", static_cast<std::uint64_t>(results));
+  builder.field("failed", static_cast<std::uint64_t>(failed));
+  return builder.render();
+}
+
+std::string error_frame(const std::string& request_id, const std::string& scenario_name,
+                        scenario::ResultStatus status, const std::string& error) {
+  scenario::ScenarioResult result;
+  result.scenario = scenario_name;
+  result.status = status;
+  result.error = error;
+  return result_frame(request_id, 0, result);
+}
+
+std::optional<std::string> strip_request_id(const std::string& frame) {
+  static constexpr const char kPrefix[] = "{\"request_id\":\"";
+  static constexpr std::size_t kPrefixLen = sizeof(kPrefix) - 1;
+  if (frame.compare(0, kPrefixLen, kPrefix) != 0) return std::nullopt;
+  // Find the id's closing quote, honouring backslash escapes.
+  std::size_t i = kPrefixLen;
+  while (i < frame.size() && frame[i] != '"') {
+    i += frame[i] == '\\' ? 2 : 1;
+  }
+  if (i + 1 >= frame.size() || frame[i] != '"' || frame[i + 1] != ',') return std::nullopt;
+  return "{" + frame.substr(i + 2);
+}
+
+std::optional<std::string> frame_request_id(const std::string& frame) {
+  // Full parse instead of a prefix scan: the id must come back UNESCAPED,
+  // exactly as the client chose it.
+  try {
+    const json::JsonValue root = json::parse(frame, "frame");
+    if (root.type != json::JsonValue::Type::kObject) return std::nullopt;
+    for (const auto& [key, value] : root.object) {
+      if (key == "request_id" && value.type == json::JsonValue::Type::kString) {
+        return value.string;
+      }
+    }
+  } catch (const std::exception&) {
+  }
+  return std::nullopt;
+}
+
+}  // namespace arsf::serve

@@ -1,0 +1,134 @@
+#pragma once
+// Wire protocol of the scenario service daemon (src/serve/server.h).
+//
+// Requests ride the overlay wire format that already exists: one JSON object
+// per line, either a Scenario or a SweepSpec (recognised by its "base" key,
+// exactly like ScenarioRegistry::merge), extended with ONE extra field — a
+// client-chosen, non-empty string "request_id" that keys every response
+// frame back to the request.  The strict parser discipline carries over
+// unchanged: unknown and duplicate keys are rejected, so a typo in a request
+// can never silently fall back to a default.
+//
+// Responses are JSONL frames.  A result frame is scenario::to_json(index,
+// result) with `"request_id":"<id>"` spliced in as the FIRST field — so
+// stripping that one field (strip_request_id()) recovers the offline
+// runner's output byte for byte, which is what tools/serve_smoke.cpp pins.
+// `index` is the index within the request: the grid index for a sweep, 0
+// for a single scenario.  After its last result frame every request gets
+// exactly one done frame {"request_id":..,"done":true,"results":N,
+// "failed":M}; a request that never reached the Runner (parse failure,
+// shutdown, serve-layer fault) gets one synthesized error frame carrying a
+// structured status plus its done frame.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "scenario/scenario.h"
+#include "scenario/sink.h"
+#include "scenario/sweep.h"
+
+namespace arsf::serve {
+
+/// One parsed client request: a Scenario or a SweepSpec tagged with the
+/// client-chosen request id.
+struct Request {
+  std::string request_id;
+  bool is_sweep = false;
+  scenario::Scenario scenario;  ///< valid when !is_sweep
+  scenario::SweepSpec sweep;    ///< valid when is_sweep
+
+  /// The workload's name (scenario name or sweep name), for error frames.
+  [[nodiscard]] const std::string& name() const noexcept {
+    return is_sweep ? sweep.name : scenario.name;
+  }
+};
+
+/// Thrown by parse_request(); carries the request id when it could be
+/// recovered from the malformed line, so the error frame still reaches the
+/// right client-side waiter.
+class RequestError : public std::invalid_argument {
+ public:
+  RequestError(std::string request_id, const std::string& what)
+      : std::invalid_argument(what), request_id_(std::move(request_id)) {}
+
+  [[nodiscard]] const std::string& request_id() const noexcept { return request_id_; }
+
+ private:
+  std::string request_id_;
+};
+
+/// Parses and validates one request line (see the file comment).  Throws
+/// RequestError on a malformed line, a missing/empty/non-string request_id,
+/// or a Scenario/SweepSpec that fails validation.
+[[nodiscard]] Request parse_request(const std::string& line);
+
+/// Scheduling weight of a request for the cost-weighted round-robin: the
+/// scenario's estimated_worlds(), or the sweep's saturating total over its
+/// grid (summed exactly for small grids, extrapolated from the base for
+/// huge ones — a weight, not an admission decision).  Never returns 0.
+[[nodiscard]] std::uint64_t request_cost(const Request& request) noexcept;
+
+/// One result frame: scenario::to_json(index, result) with the request_id
+/// spliced in as the first field.
+[[nodiscard]] std::string result_frame(const std::string& request_id, std::size_t index,
+                                       const scenario::ScenarioResult& result);
+
+/// The terminal frame of a request (exactly one, after the last result).
+[[nodiscard]] std::string done_frame(const std::string& request_id, std::size_t results,
+                                     std::size_t failed);
+
+/// Synthesized single-result frame for a request that never produced real
+/// results: a self-contained error frame with the given status and message
+/// under index 0.  @p scenario_name may be empty (parse failures).
+[[nodiscard]] std::string error_frame(const std::string& request_id,
+                                      const std::string& scenario_name,
+                                      scenario::ResultStatus status, const std::string& error);
+
+/// Inverse of the request_id splice: removes the leading request_id field
+/// from any protocol frame, or std::nullopt when @p frame does not start
+/// with one.  For a result frame the remainder is the embedded
+/// scenario::to_json() text byte for byte; done frames strip too, but their
+/// remainder is the done payload, not a result frame.
+[[nodiscard]] std::optional<std::string> strip_request_id(const std::string& frame);
+
+/// The request id of any frame emitted by this protocol (result, error or
+/// done frames all lead with it), or std::nullopt for foreign text.
+[[nodiscard]] std::optional<std::string> frame_request_id(const std::string& frame);
+
+/// ResultSink adapter over the JSONL wire format: stamps each completed
+/// result with the request id and hands the rendered line to @p emit (the
+/// session's bounded output queue), then emits the done frame from
+/// on_finish().  Counts results and failures on the way through.  @p emit
+/// may throw to abort the producing run (e.g. the connection died); the
+/// exception propagates to the Runner/run_sweep caller.
+class RequestSink final : public scenario::ResultSink {
+ public:
+  using Emit = std::function<void(const std::string& line)>;
+
+  RequestSink(std::string request_id, Emit emit)
+      : request_id_(std::move(request_id)), emit_(std::move(emit)) {}
+
+  void on_result(std::size_t index, const scenario::ScenarioResult& result) override {
+    emit_(result_frame(request_id_, index, result));
+    ++results_;
+    if (!result.ok()) ++failed_;
+  }
+  void on_finish(std::size_t /*total*/) override {
+    emit_(done_frame(request_id_, results_, failed_));
+  }
+
+  [[nodiscard]] std::size_t results() const noexcept { return results_; }
+  [[nodiscard]] std::size_t failed() const noexcept { return failed_; }
+
+ private:
+  std::string request_id_;
+  Emit emit_;
+  std::size_t results_ = 0;
+  std::size_t failed_ = 0;
+};
+
+}  // namespace arsf::serve

@@ -1,0 +1,689 @@
+#include "serve/server.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "scenario/faultplan.h"
+#include "scenario/sweep.h"
+#include "sim/engine/saturating.h"
+
+namespace arsf::serve {
+
+namespace fs = std::filesystem;
+using sim::engine::CancelledError;
+using sim::engine::saturating_add;
+
+namespace {
+
+// Poll period of every transport/worker wait: bounds the reaction latency to
+// flags (stopping_, cancel tokens) that have no condition variable of their
+// own.  Small enough that shutdown feels immediate, large enough to be
+// invisible in profiles.
+constexpr int kPollMs = 50;
+constexpr std::chrono::milliseconds kPollSlice{kPollMs};
+
+void close_fd(int& fd) noexcept {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+}  // namespace
+
+/// One transport attachment: a socket connection (fd >= 0, reader + writer
+/// threads) or a claimed spool file (fd == -1, writer thread only — the
+/// spool thread itself plays reader).  Owned by connections_; never erased
+/// before shutdown, so raw pointers handed to the threads stay valid.
+struct Server::Connection {
+  std::shared_ptr<Session> session;
+  int fd = -1;
+  std::thread reader;
+  std::thread writer;
+  // Spool transport paths (empty for sockets); see the header's spool notes.
+  std::string spool_claimed;  ///< claimed input (NAME.req.claimed)
+  std::string spool_partial;  ///< output in progress (NAME.out.partial)
+  std::string spool_out;      ///< sealed output (NAME.out)
+  std::string spool_done;     ///< sealed input (NAME.req.done)
+};
+
+Server::Server(ServeOptions options) : options_(std::move(options)) {}
+
+Server::~Server() {
+  if (started_ && !stopped_) {
+    request_stop();
+    request_stop();  // second = hard cancel: a destructor must not hang
+    try {
+      wait();
+    } catch (...) {
+    }
+  }
+  close_fd(listen_fd_);
+  close_fd(wake_pipe_[0]);
+  close_fd(wake_pipe_[1]);
+}
+
+void Server::start() {
+  std::lock_guard<std::mutex> lifecycle{lifecycle_mutex_};
+  if (started_) throw std::logic_error("Server::start called twice");
+  if (options_.socket_path.empty() && options_.spool_dir.empty()) {
+    throw std::invalid_argument("Server: configure a socket_path and/or a spool_dir");
+  }
+  if (options_.limits.max_output_frames == 0 || options_.limits.max_queued_requests == 0) {
+    throw std::invalid_argument("Server: session limits must be positive");
+  }
+
+  if (::pipe(wake_pipe_) != 0) {
+    throw std::runtime_error("Server: pipe() failed: " + std::string(std::strerror(errno)));
+  }
+
+  if (options_.cache_bytes > 0) {
+    cache_.emplace(options_.cache_bytes);
+    if (!options_.cache_file.empty()) cache_->load_file(options_.cache_file);
+  }
+
+  if (!options_.socket_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+      throw std::invalid_argument("Server: socket_path too long for sockaddr_un");
+    }
+    std::memcpy(addr.sun_path, options_.socket_path.c_str(), options_.socket_path.size() + 1);
+
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listen_fd_ < 0) {
+      throw std::runtime_error("Server: socket() failed: " + std::string(std::strerror(errno)));
+    }
+    ::unlink(options_.socket_path.c_str());  // stale socket from a dead daemon
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        ::listen(listen_fd_, 64) != 0) {
+      const std::string reason = std::strerror(errno);
+      close_fd(listen_fd_);
+      throw std::runtime_error("Server: cannot listen on '" + options_.socket_path +
+                               "': " + reason);
+    }
+  }
+
+  if (!options_.spool_dir.empty()) {
+    std::error_code ec;
+    fs::create_directories(options_.spool_dir, ec);
+    if (ec) {
+      throw std::runtime_error("Server: cannot create spool_dir '" + options_.spool_dir +
+                               "': " + ec.message());
+    }
+  }
+
+  unsigned workers = options_.workers;
+  if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
+  workers_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  if (listen_fd_ >= 0) accept_thread_ = std::thread([this] { accept_loop(); });
+  if (!options_.spool_dir.empty()) spool_thread_ = std::thread([this] { spool_loop(); });
+  started_ = true;
+}
+
+void Server::request_stop() noexcept {
+  const int prev = stop_requested_.fetch_add(1, std::memory_order_relaxed);
+  // Second call = hard cancel.  CancelToken::cancel() is a relaxed atomic
+  // store, so tripping it straight from a signal handler is safe — and doing
+  // it HERE (not in wait()'s drain loop) unblocks the drain wherever it
+  // happens to be, including a reader join stuck behind a full output queue.
+  if (prev >= 1) shutdown_.cancel();
+  if (wake_pipe_[1] >= 0) {
+    const char byte = prev == 0 ? 'g' : 'h';
+    [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+}
+
+void Server::stop() {
+  request_stop();
+  wait();
+}
+
+void Server::wait() {
+  std::lock_guard<std::mutex> lifecycle{lifecycle_mutex_};
+  if (!started_ || stopped_) return;
+
+  // Block until the first request_stop() byte arrives.  The handler's pipe
+  // write is the wake-up; the atomic is the authority (polled as a backstop
+  // in case request_stop ran before the pipe existed... it cannot, but a
+  // missed byte must not hang the daemon forever).
+  while (stop_requested_.load(std::memory_order_relaxed) == 0) {
+    pollfd pfd{wake_pipe_[0], POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, 200);
+    if (rc > 0 && (pfd.revents & POLLIN) != 0) {
+      char byte = 0;
+      [[maybe_unused]] const ssize_t n = ::read(wake_pipe_[0], &byte, 1);
+      break;
+    }
+  }
+
+  // 1. Stop the intake: no new connections, spool claims or request lines.
+  //    The drain deadline arms FIRST so every blocking step below (reader
+  //    joins included — a reader can sit in push_frame behind a client that
+  //    stopped reading) is bounded when drain_ms is configured.
+  stopping_.store(true, std::memory_order_relaxed);
+  if (options_.drain_ms > 0) {
+    shutdown_.set_deadline_after(std::chrono::milliseconds(options_.drain_ms));
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (spool_thread_.joinable()) spool_thread_.join();
+  // connections_ is append-only and both appenders just exited: safe to
+  // iterate without the scheduler lock from here on.
+  for (const auto& conn : connections_) {
+    if (conn->reader.joinable()) conn->reader.join();
+  }
+
+  // 2. Queued-but-never-started requests get their kCancelled frames.
+  drain_queued_requests();
+
+  // 3. Wait for the in-flight tail: each request finishes under its own
+  //    deadline, the armed drain deadline, or a hard request_stop() (which
+  //    trips the shutdown token directly).
+  {
+    std::unique_lock<std::mutex> lock{sched_mutex_};
+    while (in_flight_total_ > 0) {
+      drain_cv_.wait_for(lock, kPollSlice);
+    }
+  }
+
+  // 4. Release the pool, flush the writers, seal the transports.
+  workers_exit_.store(true, std::memory_order_relaxed);
+  sched_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  for (const auto& conn : connections_) {
+    maybe_finish_locked(*conn->session);  // lock-free here: all mutators joined
+    if (conn->writer.joinable()) conn->writer.join();
+  }
+  for (const auto& conn : connections_) close_fd(conn->fd);
+
+  if (cache_ && !options_.cache_file.empty()) {
+    try {
+      cache_->save_file(options_.cache_file);
+    } catch (const std::exception&) {
+      // A failed persistence write must not turn a clean drain into a crash.
+    }
+  }
+  close_fd(listen_fd_);
+  if (!options_.socket_path.empty()) ::unlink(options_.socket_path.c_str());
+  stopped_ = true;
+}
+
+ServeStats Server::stats() const {
+  ServeStats s;
+  s.connections_accepted = connections_accepted_.load();
+  s.connections_faulted = connections_faulted_.load();
+  s.spool_files = spool_files_.load();
+  s.requests_accepted = requests_accepted_.load();
+  s.requests_rejected = requests_rejected_.load();
+  s.requests_completed = requests_completed_.load();
+  s.requests_failed = requests_failed_.load();
+  s.requests_cancelled = requests_cancelled_.load();
+  s.frames_written = frames_written_.load();
+  return s;
+}
+
+// ---- transports -------------------------------------------------------------
+
+Server::Connection* Server::add_connection(std::unique_ptr<Connection> conn) {
+  Connection* raw = conn.get();
+  std::lock_guard<std::mutex> lock{sched_mutex_};
+  connections_.push_back(std::move(conn));
+  return raw;
+}
+
+void Server::accept_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, kPollMs);
+    if (rc <= 0 || (pfd.revents & POLLIN) == 0) continue;
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC | SOCK_NONBLOCK);
+    if (fd < 0) continue;
+
+    const std::uint64_t ordinal = connections_accepted_.fetch_add(1) + 1;
+    if (options_.fault_injector != nullptr &&
+        options_.fault_injector->should_fail("accept", ordinal, 1)) {
+      // "accept" fault: the connection is torn down on arrival; the daemon
+      // and every other connection carry on.
+      connections_faulted_.fetch_add(1);
+      ::close(fd);
+      continue;
+    }
+
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->session =
+        std::make_shared<Session>(next_session_id_.fetch_add(1) + 1, options_.limits,
+                                  &shutdown_);
+    Connection* raw = add_connection(std::move(conn));
+    raw->reader = std::thread([this, raw] { reader_loop(raw); });
+    raw->writer = std::thread([this, raw] { writer_loop(raw); });
+  }
+}
+
+void Server::reader_loop(Connection* conn) {
+  Session& session = *conn->session;
+  std::string buffer;
+  char chunk[4096];
+  bool poisoned = false;
+  while (!stopping_.load(std::memory_order_relaxed) && !session.cancelled() && !poisoned) {
+    pollfd pfd{conn->fd, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, kPollMs);
+    if (rc <= 0) continue;
+    const ssize_t n = ::read(conn->fd, chunk, sizeof chunk);
+    if (n == 0) break;  // EOF: client finished submitting
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+      session.cancel();
+      break;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t pos;
+    while ((pos = buffer.find('\n')) != std::string::npos) {
+      const std::string line = buffer.substr(0, pos);
+      buffer.erase(0, pos + 1);
+      handle_request_line(conn, line);
+    }
+    if (buffer.size() > session.limits().max_line_bytes) {
+      // Protocol poison: stop reading (we could never find the line's end),
+      // answer what was already queued, then close.
+      reject(session, std::string{}, std::string{}, scenario::ResultStatus::kRejected,
+             "request line exceeds max_line_bytes");
+      requests_rejected_.fetch_add(1);
+      poisoned = true;
+    }
+  }
+  if (!poisoned && !buffer.empty() && !stopping_.load(std::memory_order_relaxed) &&
+      !session.cancelled()) {
+    handle_request_line(conn, buffer);  // unterminated final line counts
+  }
+  mark_input_closed(session);
+}
+
+bool Server::write_all(int fd, const std::string& data, Session& session) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    if (session.cancelled()) return false;
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
+      pollfd pfd{fd, POLLOUT, 0};
+      (void)::poll(&pfd, 1, kPollMs);
+      continue;
+    }
+    return false;  // broken pipe / hard error
+  }
+  return true;
+}
+
+void Server::writer_loop(Connection* conn) {
+  Session& session = *conn->session;
+  std::string line;
+  while (session.pop_frame(line)) {
+    const std::uint64_t ordinal = session.next_frame_ordinal();
+    if (options_.fault_injector != nullptr &&
+        options_.fault_injector->should_fail("respond", ordinal, 1)) {
+      // "respond" fault: the client's pipe broke — tear the connection down;
+      // its in-flight request observes the cancel and frames kCancelled.
+      session.cancel();
+      break;
+    }
+    line += '\n';
+    if (!write_all(conn->fd, line, session)) {
+      session.cancel();
+      break;
+    }
+    frames_written_.fetch_add(1);
+    sched_cv_.notify_all();  // drained below the bound: session may be eligible
+  }
+  ::shutdown(conn->fd, SHUT_WR);  // flush-and-close handshake for the client
+}
+
+// ---- spool transport --------------------------------------------------------
+
+void Server::spool_loop() {
+  using Clock = std::chrono::steady_clock;
+  auto next_scan = Clock::now();
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    if (Clock::now() >= next_scan) {
+      scan_spool_dir();
+      next_scan = Clock::now() + std::chrono::milliseconds(options_.spool_poll_ms);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        std::min<std::uint64_t>(options_.spool_poll_ms, kPollMs)));
+  }
+}
+
+void Server::scan_spool_dir() {
+  std::error_code ec;
+  fs::directory_iterator it{options_.spool_dir, ec};
+  if (ec) return;
+  for (const fs::directory_entry& entry : it) {
+    if (stopping_.load(std::memory_order_relaxed)) return;
+    std::error_code entry_ec;
+    if (!entry.is_regular_file(entry_ec)) continue;
+    const fs::path path = entry.path();
+    if (path.extension() != ".req") continue;
+
+    // Claim by rename: atomic, and a concurrent daemon instance loses the
+    // race cleanly (its rename fails, it moves on).
+    const std::string input = path.string();
+    const std::string claimed = input + ".claimed";
+    std::error_code rename_ec;
+    fs::rename(input, claimed, rename_ec);
+    if (rename_ec) continue;
+    spool_files_.fetch_add(1);
+
+    const std::string base = input.substr(0, input.size() - 4);  // strip ".req"
+    auto conn = std::make_unique<Connection>();
+    conn->session =
+        std::make_shared<Session>(next_session_id_.fetch_add(1) + 1, options_.limits,
+                                  &shutdown_);
+    conn->spool_claimed = claimed;
+    conn->spool_partial = base + ".out.partial";
+    conn->spool_out = base + ".out";
+    conn->spool_done = input + ".done";
+    Connection* raw = add_connection(std::move(conn));
+    raw->writer = std::thread([this, raw] { spool_writer_loop(raw); });
+
+    // The spool thread plays reader: enqueue every line, then close input.
+    std::ifstream in{claimed};
+    std::string line;
+    while (std::getline(in, line)) {
+      if (stopping_.load(std::memory_order_relaxed) || raw->session->cancelled()) break;
+      handle_request_line(raw, line);
+    }
+    mark_input_closed(*raw->session);
+  }
+}
+
+void Server::spool_writer_loop(Connection* conn) {
+  Session& session = *conn->session;
+  std::ofstream out{conn->spool_partial, std::ios::trunc};
+  bool healthy = out.is_open();
+  if (!healthy) session.cancel();  // nowhere to answer: don't burn compute
+
+  std::string line;
+  while (session.pop_frame(line)) {
+    const std::uint64_t ordinal = session.next_frame_ordinal();
+    if (options_.fault_injector != nullptr &&
+        options_.fault_injector->should_fail("respond", ordinal, 1)) {
+      session.cancel();
+      healthy = false;
+      break;
+    }
+    out << line << '\n';
+    out.flush();
+    if (!out) {
+      session.cancel();
+      healthy = false;
+      break;
+    }
+    frames_written_.fetch_add(1);
+    sched_cv_.notify_all();
+  }
+  out.close();
+
+  if (healthy && session.finished_cleanly()) {
+    // Seal: answers become NAME.out atomically, input becomes NAME.req.done.
+    // A crash or fault instead leaves .claimed/.partial for inspection.
+    std::error_code ec;
+    fs::rename(conn->spool_partial, conn->spool_out, ec);
+    if (!ec) fs::rename(conn->spool_claimed, conn->spool_done, ec);
+  }
+}
+
+// ---- request intake ---------------------------------------------------------
+
+void Server::reject(Session& session, const std::string& request_id, const std::string& name,
+                    scenario::ResultStatus status, const std::string& error) {
+  // Best effort: if the session died the frames are moot anyway.
+  if (!session.push_frame(error_frame(request_id, name, status, error))) return;
+  session.push_frame(done_frame(request_id, 1, 1));
+}
+
+void Server::handle_request_line(Connection* conn, const std::string& line) {
+  Session& session = *conn->session;
+  if (line.find_first_not_of(" \t\r") == std::string::npos) return;  // blank line
+
+  // The arrival ordinal keys the "session" fault site whether or not the
+  // line parses — determinism must not depend on request wellformedness.
+  const std::uint64_t ordinal = session.next_request_ordinal();
+
+  Request request;
+  try {
+    request = parse_request(line);
+  } catch (const RequestError& e) {
+    requests_rejected_.fetch_add(1);
+    reject(session, e.request_id(), std::string{}, scenario::ResultStatus::kRejected,
+           e.what());
+    return;
+  }
+
+  if (options_.fault_injector != nullptr) {
+    try {
+      options_.fault_injector->maybe_fail("session", ordinal, 1);
+    } catch (const scenario::InjectedFault& e) {
+      requests_rejected_.fetch_add(1);
+      reject(session, request.request_id, request.name(),
+             scenario::ResultStatus::kRejected, e.what());
+      return;
+    }
+  }
+
+  enum class Verdict { kQueued, kFull, kStopping };
+  Verdict verdict;
+  {
+    std::lock_guard<std::mutex> lock{sched_mutex_};
+    if (draining_ || stopping_.load(std::memory_order_relaxed)) {
+      verdict = Verdict::kStopping;
+    } else if (session.sched.pending.size() >= options_.limits.max_queued_requests) {
+      verdict = Verdict::kFull;
+    } else {
+      if (session.sched.pending.empty() && !session.sched.in_flight) {
+        // Re-joining the round-robin after idling: normalise to the busiest
+        // peers' floor so a long-idle session cannot bank priority.
+        std::uint64_t min_active = std::numeric_limits<std::uint64_t>::max();
+        for (const auto& c : connections_) {
+          const Session::Sched& peer = c->session->sched;
+          if (!peer.in_flight && peer.pending.empty()) continue;
+          min_active = std::min(min_active, peer.vtime);
+        }
+        if (min_active != std::numeric_limits<std::uint64_t>::max()) {
+          session.sched.vtime = std::max(session.sched.vtime, min_active);
+        }
+      }
+      session.sched.pending.push_back(std::move(request));
+      verdict = Verdict::kQueued;
+    }
+  }
+  switch (verdict) {
+    case Verdict::kQueued:
+      requests_accepted_.fetch_add(1);
+      sched_cv_.notify_one();
+      break;
+    case Verdict::kFull:
+      requests_rejected_.fetch_add(1);
+      reject(session, request.request_id, request.name(),
+             scenario::ResultStatus::kRejected,
+             "request queue full (max_queued_requests)");
+      break;
+    case Verdict::kStopping:
+      requests_cancelled_.fetch_add(1);
+      reject(session, request.request_id, request.name(),
+             scenario::ResultStatus::kCancelled, "daemon stopping");
+      break;
+  }
+}
+
+void Server::mark_input_closed(Session& session) {
+  std::lock_guard<std::mutex> lock{sched_mutex_};
+  session.sched.input_closed = true;
+  maybe_finish_locked(session);
+}
+
+// ---- scheduling + execution -------------------------------------------------
+
+void Server::maybe_finish_locked(Session& session) {
+  Session::Sched& sched = session.sched;
+  if (sched.finished) return;
+  if (!sched.input_closed || !sched.pending.empty() || sched.in_flight) return;
+  sched.finished = true;
+  session.finish_output();
+}
+
+bool Server::pick_next_locked(std::shared_ptr<Session>& session, Request& request) {
+  Connection* best = nullptr;
+  for (const auto& conn : connections_) {
+    Session& s = *conn->session;
+    if (s.sched.in_flight || s.sched.pending.empty()) continue;
+    if (s.cancelled()) {
+      // Dead connection: nobody will read the answers — drop its queue.
+      requests_cancelled_.fetch_add(s.sched.pending.size());
+      s.sched.pending.clear();
+      maybe_finish_locked(s);
+      continue;
+    }
+    if (!s.output_has_room()) continue;  // backpressure: skip, never block here
+    if (best == nullptr || s.sched.vtime < best->session->sched.vtime) best = conn.get();
+  }
+  if (best == nullptr) return false;
+
+  Session& s = *best->session;
+  request = std::move(s.sched.pending.front());
+  s.sched.pending.pop_front();
+  s.sched.in_flight = true;
+  s.sched.vtime = saturating_add(s.sched.vtime, request_cost(request));
+  ++in_flight_total_;
+  session = best->session;
+  return true;
+}
+
+void Server::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Session> session;
+    Request request;
+    {
+      std::unique_lock<std::mutex> lock{sched_mutex_};
+      for (;;) {
+        if (workers_exit_.load(std::memory_order_relaxed)) return;
+        if (!draining_ && pick_next_locked(session, request)) break;
+        sched_cv_.wait_for(lock, kPollSlice);
+      }
+    }
+    execute(session, std::move(request));
+    {
+      std::lock_guard<std::mutex> lock{sched_mutex_};
+      session->sched.in_flight = false;
+      --in_flight_total_;
+      maybe_finish_locked(*session);
+    }
+    sched_cv_.notify_all();
+    drain_cv_.notify_all();
+  }
+}
+
+void Server::execute(const std::shared_ptr<Session>& session, Request request) {
+  RequestSink sink{request.request_id, [&session](const std::string& line) {
+                     if (!session->push_frame(line)) {
+                       // Connection gone or daemon hard-stopping: abort the
+                       // producing run through the sink-exception path.
+                       throw CancelledError(false);
+                     }
+                   }};
+
+  scenario::RunnerOptions runner_options;
+  // One request = one serial execution lane: the scenario's engine fan-out is
+  // forced to 1 so a worker blocked on backpressure can never sit on the
+  // shared engine ThreadPool; the daemon's parallelism is requests-across-
+  // workers.  num_threads never reaches a frame or a cache key, so the
+  // answers stay byte-identical to any offline thread count.
+  runner_options.num_threads = 1;
+  runner_options.capture_errors = true;
+  runner_options.default_deadline_ms = options_.default_deadline_ms;
+  runner_options.admission_budget = options_.admission_budget;
+  runner_options.degrade = options_.degrade;
+  runner_options.retry = options_.retry;
+  runner_options.cancel = session->token();
+  runner_options.fault_injector = options_.fault_injector;
+  runner_options.cache = cache_ ? &*cache_ : nullptr;
+
+  try {
+    const scenario::Runner runner{runner_options};
+    if (request.is_sweep) {
+      request.sweep.base.num_threads = 1;
+      scenario::SweepRunOptions sweep_options;
+      sweep_options.chunk_scenarios = options_.chunk_scenarios;
+      scenario::run_sweep(request.sweep, runner, sink, sweep_options);
+    } else {
+      request.scenario.num_threads = 1;
+      sink.on_result(0, runner.run(request.scenario));
+      sink.on_finish(1);
+    }
+    requests_completed_.fetch_add(1);
+  } catch (const CancelledError&) {
+    requests_cancelled_.fetch_add(1);
+  } catch (const std::exception& e) {
+    // Sweep materialisation / sink failures that are not cancellation: close
+    // the request with a structured error frame (best effort — the session
+    // may be gone).
+    requests_failed_.fetch_add(1);
+    if (session->push_frame(error_frame(request.request_id, request.name(),
+                                        scenario::ResultStatus::kFailed, e.what()))) {
+      session->push_frame(
+          done_frame(request.request_id, sink.results() + 1, sink.failed() + 1));
+    }
+  }
+}
+
+// ---- shutdown ---------------------------------------------------------------
+
+void Server::drain_queued_requests() {
+  std::vector<std::pair<std::shared_ptr<Session>, Request>> dropped;
+  {
+    std::lock_guard<std::mutex> lock{sched_mutex_};
+    draining_ = true;
+    for (const auto& conn : connections_) {
+      Session& session = *conn->session;
+      session.sched.input_closed = true;
+      while (!session.sched.pending.empty()) {
+        dropped.emplace_back(conn->session, std::move(session.sched.pending.front()));
+        session.sched.pending.pop_front();
+      }
+      // maybe_finish deliberately NOT here: the kCancelled frames below must
+      // reach the output queue before it is sealed.
+    }
+  }
+  for (auto& [session, request] : dropped) {
+    requests_cancelled_.fetch_add(1);
+    reject(*session, request.request_id, request.name(),
+           scenario::ResultStatus::kCancelled,
+           "daemon stopping: request cancelled before execution");
+  }
+  {
+    std::lock_guard<std::mutex> lock{sched_mutex_};
+    for (const auto& conn : connections_) maybe_finish_locked(*conn->session);
+  }
+}
+
+}  // namespace arsf::serve

@@ -1,0 +1,224 @@
+#pragma once
+// The scenario service daemon: a long-running server that accepts
+// line-delimited JSON requests (serve/protocol.h) over a Unix-domain stream
+// socket and/or a watched spool directory, executes them on the existing
+// fault-tolerant execution layer, and streams JSONL response frames back.
+//
+// The daemon is deliberately a THIN shell over the robustness layer the
+// repository already has — it adds transports and multi-client scheduling,
+// never new execution semantics:
+//   * admission control / deadlines / retry / degrade are the Runner's own
+//     (RunnerOptions built from ServeOptions per request), so an over-budget
+//     request gets the same kRejected frame the offline runner emits;
+//   * every request runs under the session's CancelToken, which is a child
+//     of the daemon-wide shutdown token — SIGINT/SIGTERM (request_stop())
+//     drains gracefully: accepting stops, queued requests get kCancelled
+//     error frames, in-flight requests finish under their own deadlines
+//     (optionally bounded by ServeOptions::drain_ms, which arms a deadline
+//     on the shutdown token).  A second request_stop() cancels outright.
+//   * the content-addressed ResultCache is shared across ALL connections,
+//     so two clients sweeping overlapping grids share evaluations exactly
+//     like the chunks of one offline sweep do.
+//
+// Scheduling: each connection is a strict FIFO and has AT MOST ONE request
+// in flight, so one connection's frames always arrive in its own submission
+// order.  Across connections a worker pool drains the FIFOs cost-weighted
+// round-robin: the eligible session with the least accumulated
+// request_cost() virtual time runs next, so a client streaming huge sweeps
+// cannot starve one running cheap enumerations.  Eligibility includes the
+// backpressure gate: a session whose bounded output queue is full (slow or
+// dead reader) is simply not scheduled, and a worker mid-request blocks in
+// push_frame() — each request executes with a serial engine fan-out
+// (parallelism comes from concurrent requests across the pool), so a
+// blocked worker never captures the shared engine ThreadPool.
+//
+// Spool mode (--spool): files dropped into the directory as NAME.req (one
+// request line each, write-then-rename like every durable file in this
+// repo) are claimed by renaming to NAME.req.claimed, answered into
+// NAME.out (written as NAME.out.partial, renamed when complete), and the
+// input sealed as NAME.req.done.  A crash leaves .claimed/.partial pairs
+// for inspection instead of half-written .out files.
+//
+// Fault injection: the "accept" / "session" / "respond" serve sites
+// (scenario/faultplan.h) key on connection / request / frame ordinals and
+// model torn-down connections, rejected requests and broken client pipes.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "scenario/result_cache.h"
+#include "scenario/runner.h"
+#include "serve/protocol.h"
+#include "serve/session.h"
+#include "sim/engine/cancel.h"
+
+namespace arsf::scenario {
+class FaultInjector;  // scenario/faultplan.h
+}
+
+namespace arsf::serve {
+
+struct ServeOptions {
+  /// Unix-domain stream socket to listen on (empty = no socket transport).
+  /// A stale file at this path is unlinked at start.
+  std::string socket_path;
+  /// Watched spool directory (empty = no spool transport).  Created if
+  /// missing.  At least one transport must be configured.
+  std::string spool_dir;
+  /// Request executor threads (0 = hardware concurrency).
+  unsigned workers = 0;
+
+  // Per-request execution policy, applied through RunnerOptions — identical
+  // semantics (and identical frames) to the offline runner's flags.
+  std::uint64_t default_deadline_ms = 0;  ///< for requests without their own
+  std::uint64_t admission_budget = 0;     ///< estimated_worlds() gate (0 = off)
+  bool degrade = false;                   ///< smoke-variant re-admission
+  scenario::RetryPolicy retry;
+
+  /// Shared result cache budget in bytes (0 = no cache).
+  std::uint64_t cache_bytes = 0;
+  /// Persistent cache store: loaded at start(), saved on clean shutdown
+  /// (empty = in-memory only; ignored when cache_bytes == 0).
+  std::string cache_file;
+
+  /// Graceful-stop bound: this many ms after request_stop(), a deadline on
+  /// the shutdown token cancels whatever is still in flight (0 = in-flight
+  /// requests are bounded only by their own deadlines).
+  std::uint64_t drain_ms = 0;
+
+  /// Sweep chunking for sweep requests (SweepRunOptions::chunk_scenarios).
+  std::size_t chunk_scenarios = 256;
+  /// Spool directory scan period.
+  std::uint64_t spool_poll_ms = 50;
+
+  SessionLimits limits;
+
+  /// Serve-site fault injection for the chaos harness (nullptr = none).
+  /// Also forwarded to the Runner, arming the execution-layer sites.
+  const scenario::FaultInjector* fault_injector = nullptr;
+};
+
+/// Monotonic daemon counters (snapshot via Server::stats()).
+struct ServeStats {
+  std::uint64_t connections_accepted = 0;  ///< socket accepts (incl. faulted)
+  std::uint64_t connections_faulted = 0;   ///< torn down by the "accept" site
+  std::uint64_t spool_files = 0;           ///< spool requests claimed
+  std::uint64_t requests_accepted = 0;     ///< parsed and queued
+  std::uint64_t requests_rejected = 0;     ///< parse/limit/fault rejections
+  std::uint64_t requests_completed = 0;    ///< ran to a done frame
+  std::uint64_t requests_failed = 0;       ///< aborted by a non-cancel error
+  std::uint64_t requests_cancelled = 0;    ///< shutdown / dead-connection drops
+  std::uint64_t frames_written = 0;        ///< frames delivered to transports
+};
+
+class Server {
+ public:
+  explicit Server(ServeOptions options);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the transports and spawns the accept/spool/worker threads.
+  /// Throws std::invalid_argument on bad options and std::runtime_error on
+  /// transport setup failure.
+  void start();
+
+  /// Blocks until a request_stop() arrives, then runs the drain sequence
+  /// (see file comment) to completion and returns.  Call from the thread
+  /// that owns the daemon's lifetime (the entry point's main thread).
+  void wait();
+
+  /// Initiates shutdown.  Async-signal-safe (atomic increment + pipe
+  /// write): call it straight from a SIGINT/SIGTERM handler.  First call
+  /// drains gracefully; a second call hard-cancels in-flight work.
+  void request_stop() noexcept;
+
+  /// request_stop() + wait(), for in-process embedders (tests).
+  void stop();
+
+  [[nodiscard]] ServeStats stats() const;
+  [[nodiscard]] const ServeOptions& options() const noexcept { return options_; }
+  /// The shared result cache, when enabled (tests inspect hit counts).
+  [[nodiscard]] scenario::ResultCache* cache() noexcept {
+    return cache_ ? &*cache_ : nullptr;
+  }
+
+ private:
+  struct Connection;
+
+  // Transport threads.
+  void accept_loop();
+  void spool_loop();
+  void scan_spool_dir();
+  void reader_loop(Connection* conn);
+  void writer_loop(Connection* conn);
+  void spool_writer_loop(Connection* conn);
+  [[nodiscard]] bool write_all(int fd, const std::string& data, Session& session);
+
+  // Request intake (reader / spool threads).
+  void handle_request_line(Connection* conn, const std::string& line);
+  void reject(Session& session, const std::string& request_id, const std::string& name,
+              scenario::ResultStatus status, const std::string& error);
+
+  // Scheduling + execution (worker threads).
+  void worker_loop();
+  [[nodiscard]] bool pick_next_locked(std::shared_ptr<Session>& session, Request& request);
+  void execute(const std::shared_ptr<Session>& session, Request request);
+  void maybe_finish_locked(Session& session);
+  void mark_input_closed(Session& session);
+
+  // Shutdown sequence (wait()).
+  void drain_queued_requests();
+
+  Connection* add_connection(std::unique_ptr<Connection> conn);
+
+  ServeOptions options_;
+  std::optional<scenario::ResultCache> cache_;
+  sim::engine::CancelToken shutdown_;  ///< parent of every session token
+
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+
+  std::atomic<int> stop_requested_{0};     ///< 0 running, 1 graceful, >1 hard
+  std::atomic<bool> stopping_{false};      ///< transports + readers exit
+  std::atomic<bool> workers_exit_{false};  ///< workers exit (after drain)
+
+  std::thread accept_thread_;
+  std::thread spool_thread_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex sched_mutex_;
+  std::condition_variable sched_cv_;  ///< workers: work available / re-check
+  std::condition_variable drain_cv_;  ///< wait(): in-flight count changed
+  /// All connections ever opened; guarded by sched_mutex_ for mutation.
+  /// Entries are never erased before shutdown, so raw Connection pointers
+  /// handed to transport threads stay valid.
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::size_t in_flight_total_ = 0;  ///< guarded by sched_mutex_
+  bool draining_ = false;            ///< guarded by sched_mutex_
+  std::atomic<std::uint64_t> next_session_id_{0};  ///< accept + spool threads
+
+  bool started_ = false;
+  bool stopped_ = false;
+  std::mutex lifecycle_mutex_;  ///< serialises start()/wait()/stop()
+
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> connections_faulted_{0};
+  std::atomic<std::uint64_t> spool_files_{0};
+  std::atomic<std::uint64_t> requests_accepted_{0};
+  std::atomic<std::uint64_t> requests_rejected_{0};
+  std::atomic<std::uint64_t> requests_completed_{0};
+  std::atomic<std::uint64_t> requests_failed_{0};
+  std::atomic<std::uint64_t> requests_cancelled_{0};
+  std::atomic<std::uint64_t> frames_written_{0};
+};
+
+}  // namespace arsf::serve

@@ -1,0 +1,76 @@
+#include "serve/session.h"
+
+#include <chrono>
+
+namespace arsf::serve {
+
+namespace {
+// Bound on every blocking wait: the waits poll the cancel token at this
+// cadence instead of trusting wake-ups alone, so a parent (daemon) cancel or
+// an armed drain deadline — neither of which knows this session's condition
+// variables — still unblocks them promptly.
+constexpr std::chrono::milliseconds kPollSlice{20};
+}  // namespace
+
+bool Session::push_frame(const std::string& line) {
+  std::unique_lock<std::mutex> lock{mutex_};
+  for (;;) {
+    if (token_.cancelled()) return false;
+    if (finished_) return false;
+    if (queue_.size() < limits_.max_output_frames) break;
+    space_cv_.wait_for(lock, kPollSlice);
+  }
+  queue_.push_back(line);
+  ++frames_pushed_;
+  frame_cv_.notify_one();
+  return true;
+}
+
+bool Session::pop_frame(std::string& line) {
+  std::unique_lock<std::mutex> lock{mutex_};
+  for (;;) {
+    if (token_.cancelled()) return false;
+    if (!queue_.empty()) {
+      line = std::move(queue_.front());
+      queue_.pop_front();
+      space_cv_.notify_all();
+      return true;
+    }
+    if (finished_) return false;
+    frame_cv_.wait_for(lock, kPollSlice);
+  }
+}
+
+void Session::finish_output() {
+  {
+    std::lock_guard<std::mutex> lock{mutex_};
+    finished_ = true;
+  }
+  frame_cv_.notify_all();
+  space_cv_.notify_all();
+}
+
+void Session::cancel() noexcept {
+  token_.cancel();
+  // Wake both sides; the queue content is abandoned (the transport is gone
+  // or the daemon is hard-stopping, either way nobody will read it).
+  frame_cv_.notify_all();
+  space_cv_.notify_all();
+}
+
+bool Session::finished_cleanly() const {
+  std::lock_guard<std::mutex> lock{mutex_};
+  return finished_ && !token_.cancelled();
+}
+
+bool Session::output_has_room() const {
+  std::lock_guard<std::mutex> lock{mutex_};
+  return queue_.size() < limits_.max_output_frames;
+}
+
+std::size_t Session::frames_pushed() const {
+  std::lock_guard<std::mutex> lock{mutex_};
+  return frames_pushed_;
+}
+
+}  // namespace arsf::serve

@@ -1,0 +1,137 @@
+#pragma once
+// One client of the scenario service daemon: the per-connection state shared
+// by the socket and spool transports (src/serve/server.h).
+//
+// A Session owns two queues.  The REQUEST side is a plain FIFO drained by
+// the server's cost-weighted round-robin scheduler — it lives in the
+// `sched` struct below and is guarded by the server's scheduler mutex, so
+// eligibility of all sessions can be inspected atomically when a worker
+// picks its next request.  The OUTPUT side is a bounded frame queue with
+// its own mutex: the writer thread drains it to the transport, and a
+// producer (the worker streaming a request's results) BLOCKS in
+// push_frame() while it is full.  That block is the backpressure contract:
+// a slow reader stalls only the worker serving that connection — the
+// daemon executes every request with a serial engine fan-out, so the
+// shared engine ThreadPool is never captured — and the scheduler refuses
+// to start the connection's next request while the queue is full
+// (output_has_room()), so a dead client cannot pile up unread frames.
+//
+// Cancellation: every session carries a CancelToken chained to the
+// daemon-wide shutdown token.  The blocking waits poll the token (bounded
+// wait_for slices) rather than relying on wake-ups alone, so a parent
+// cancel or an armed drain deadline unblocks them even when nobody calls
+// cancel() on this specific session.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+
+#include "serve/protocol.h"
+#include "sim/engine/cancel.h"
+
+namespace arsf::serve {
+
+/// Per-connection bounds; all enforced by the session/server machinery.
+struct SessionLimits {
+  /// Requests a connection may hold queued (FIFO) before new ones are
+  /// rejected with a kRejected error frame.
+  std::size_t max_queued_requests = 64;
+  /// Bounded output queue: a producer blocks once this many frames are
+  /// unread, and the scheduler skips the connection until the writer
+  /// drains below the bound.
+  std::size_t max_output_frames = 256;
+  /// Longest accepted request line; a longer one poisons the connection
+  /// (protocol error frame, then teardown).
+  std::size_t max_line_bytes = 1 << 20;
+};
+
+class Session {
+ public:
+  Session(std::uint64_t id, const SessionLimits& limits,
+          const sim::engine::CancelToken* server_cancel)
+      : id_(id), limits_(limits), token_(server_cancel) {}
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+  [[nodiscard]] const SessionLimits& limits() const noexcept { return limits_; }
+  /// The per-session cancel token (child of the daemon shutdown token);
+  /// handed to the Runner as the external batch cancel of this session's
+  /// requests.
+  [[nodiscard]] const sim::engine::CancelToken* token() const noexcept { return &token_; }
+
+  // ---- output queue --------------------------------------------------------
+
+  /// Appends one response frame; blocks while the queue is full.  Returns
+  /// false — frame dropped — once the session is cancelled or finished
+  /// (the producer should abort its request).
+  bool push_frame(const std::string& line);
+
+  /// Writer side: pops the next frame, blocking until one exists.  Returns
+  /// false when the stream is over: cancelled (abandon the transport) or
+  /// finished AND fully drained (flush and close gracefully —
+  /// finished_cleanly() distinguishes the two).
+  bool pop_frame(std::string& line);
+
+  /// No frame will ever be pushed again; pop_frame() drains what is left
+  /// and then returns false.
+  void finish_output();
+
+  /// Trips the session token and wakes every blocked queue operation —
+  /// client disconnect, respond fault, or daemon hard stop.
+  void cancel() noexcept;
+
+  [[nodiscard]] bool cancelled() const noexcept { return token_.cancelled(); }
+  /// True once finish_output() ran without the session being cancelled:
+  /// the writer may seal its transport (e.g. rename a spool .partial file).
+  [[nodiscard]] bool finished_cleanly() const;
+
+  /// Scheduling gate: false while the output queue is at its bound.
+  [[nodiscard]] bool output_has_room() const;
+
+  [[nodiscard]] std::size_t frames_pushed() const;
+
+  // ---- fault-site ordinals (scenario/faultplan.h) --------------------------
+
+  /// 1-based arrival ordinal of the next request line ("session" site key).
+  std::uint64_t next_request_ordinal() noexcept { return ++request_ordinal_; }
+  /// 1-based ordinal of the next delivered frame ("respond" site key).
+  std::uint64_t next_frame_ordinal() noexcept { return ++frame_ordinal_; }
+
+  // ---- scheduling state ----------------------------------------------------
+  // Guarded by the SERVER's scheduler mutex, never by the session's own —
+  // the scheduler must see all sessions' queues consistently when picking.
+  struct Sched {
+    std::deque<Request> pending;  ///< FIFO of parsed, not-yet-started requests
+    bool input_closed = false;    ///< reader saw EOF: no more requests will arrive
+    bool in_flight = false;       ///< a worker is executing this session's request
+    bool finished = false;        ///< finish_output() has been issued
+    /// Accumulated cost-weighted service (virtual time).  The scheduler
+    /// picks the eligible session with the smallest vtime and charges it
+    /// request_cost() on dispatch, so a connection that just ran an
+    /// 85M-world sweep waits behind everyone's microsecond enumerations.
+    std::uint64_t vtime = 0;
+  };
+  Sched sched;
+
+ private:
+  const std::uint64_t id_;
+  const SessionLimits limits_;
+  sim::engine::CancelToken token_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable frame_cv_;  ///< writer waits: queue non-empty / over
+  std::condition_variable space_cv_;  ///< producer waits: room / cancelled
+  std::deque<std::string> queue_;
+  bool finished_ = false;
+  std::size_t frames_pushed_ = 0;
+
+  std::atomic<std::uint64_t> request_ordinal_{0};
+  std::atomic<std::uint64_t> frame_ordinal_{0};
+};
+
+}  // namespace arsf::serve

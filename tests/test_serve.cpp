@@ -1,0 +1,380 @@
+// Serve-layer tests: the wire protocol of the scenario service daemon
+// (serve/protocol.h) plus the bugfix regressions that ride this PR —
+// cancel-observing retry backoff, backoff-delay saturation/validation, and
+// the chunk-local slot keying of run_sweep's shared-chunk fallback.  The
+// daemon itself (sockets, scheduler, shutdown) is exercised end to end by
+// tools/serve_smoke.cpp; these tests pin the pieces that have meaning
+// without a live socket.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "scenario/faultplan.h"
+#include "scenario/result_cache.h"
+#include "scenario/runner.h"
+#include "scenario/sink.h"
+#include "scenario/sweep.h"
+#include "serve/protocol.h"
+#include "sim/engine/cancel.h"
+
+namespace arsf::serve {
+namespace {
+
+using scenario::CollectingSink;
+using scenario::FaultInjector;
+using scenario::FaultPlan;
+using scenario::FaultRule;
+using scenario::PolicyKind;
+using scenario::ResultCache;
+using scenario::ResultStatus;
+using scenario::RetryPolicy;
+using scenario::Runner;
+using scenario::RunnerOptions;
+using scenario::Scenario;
+using scenario::ScenarioResult;
+using scenario::SweepSpec;
+using sim::engine::CancelToken;
+
+Scenario cheap_scenario(const std::string& name, double w0) {
+  Scenario s;
+  s.name = name;
+  s.widths = {w0, 2, 3};
+  s.fa = 0;
+  s.policy = PolicyKind::kNone;
+  return s;
+}
+
+/// The client-side splice: a wire request is the overlay JSON with
+/// request_id prepended as the first field (ids here are escape-free).
+std::string with_request_id(const std::string& json, const std::string& id) {
+  return "{\"request_id\":\"" + id + "\"," + json.substr(1);
+}
+
+// ------------------------------------------------------- parse_request ----
+
+TEST(ServeProtocol, ParsesScenarioRequest) {
+  const Scenario s = cheap_scenario("serve/proto-one", 5);
+  const Request request = parse_request(with_request_id(s.to_json(), "rid-1"));
+  EXPECT_EQ(request.request_id, "rid-1");
+  EXPECT_FALSE(request.is_sweep);
+  EXPECT_EQ(request.scenario.name, "serve/proto-one");
+  EXPECT_EQ(request.name(), "serve/proto-one");
+}
+
+TEST(ServeProtocol, ParsesSweepRequestByBaseKey) {
+  SweepSpec spec;
+  spec.name = "serve/proto-sweep";
+  spec.base = cheap_scenario("serve/proto-base", 5);
+  spec.steps = {1.0, 0.5};
+  const Request request = parse_request(with_request_id(spec.to_json(), "rid-2"));
+  EXPECT_EQ(request.request_id, "rid-2");
+  EXPECT_TRUE(request.is_sweep);
+  EXPECT_EQ(request.sweep.name, "serve/proto-sweep");
+  EXPECT_EQ(request.sweep.size(), 2u);
+  EXPECT_EQ(request.name(), "serve/proto-sweep");
+}
+
+TEST(ServeProtocol, MissingOrEmptyRequestIdIsRejected) {
+  const std::string plain = cheap_scenario("serve/proto-noid", 5).to_json();
+  EXPECT_THROW((void)parse_request(plain), RequestError);
+  EXPECT_THROW((void)parse_request(with_request_id(plain, "")), RequestError);
+}
+
+TEST(ServeProtocol, NonStringRequestIdIsRejected) {
+  const std::string plain = cheap_scenario("serve/proto-intid", 5).to_json();
+  const std::string line = "{\"request_id\":7," + plain.substr(1);
+  EXPECT_THROW((void)parse_request(line), RequestError);
+}
+
+TEST(ServeProtocol, MalformedLineIsRejected) {
+  EXPECT_THROW((void)parse_request("not json"), RequestError);
+  EXPECT_THROW((void)parse_request("[]"), RequestError);
+  EXPECT_THROW((void)parse_request(""), RequestError);
+}
+
+TEST(ServeProtocol, RequestErrorCarriesRecoveredId) {
+  // The id parses fine but the scenario is bogus — the error must still be
+  // routable back to the client-side waiter for that id.
+  try {
+    (void)parse_request(R"({"request_id":"rid-x","name":"bad"})");
+    FAIL() << "invalid scenario must throw";
+  } catch (const RequestError& e) {
+    EXPECT_EQ(e.request_id(), "rid-x");
+  }
+}
+
+TEST(ServeProtocol, UnknownKeysStayRejected) {
+  // The strict overlay-parser discipline must survive the request_id splice:
+  // a typo cannot silently fall back to a default.
+  const std::string plain = cheap_scenario("serve/proto-typo", 5).to_json();
+  const std::string line = "{\"request_id\":\"rid-t\",\"bogus\":1," + plain.substr(1);
+  try {
+    (void)parse_request(line);
+    FAIL() << "unknown key must throw";
+  } catch (const RequestError& e) {
+    EXPECT_EQ(e.request_id(), "rid-t");
+  }
+}
+
+// -------------------------------------------------------- request_cost ----
+
+TEST(ServeProtocol, RequestCostIsPositiveAndGrowsWithGrid) {
+  Request single;
+  single.scenario = cheap_scenario("serve/cost-one", 5);
+  const std::uint64_t one = request_cost(single);
+  EXPECT_GE(one, 1u);
+
+  Request sweep;
+  sweep.is_sweep = true;
+  sweep.sweep.name = "serve/cost-sweep";
+  sweep.sweep.base = cheap_scenario("serve/cost-base", 5);
+  sweep.sweep.steps = {1.0, 0.5, 0.25};
+  EXPECT_GT(request_cost(sweep), one);
+
+  Request broken;  // unpriceable request: still a valid (minimal) weight
+  EXPECT_GE(request_cost(broken), 1u);
+}
+
+// --------------------------------------------------------------- frames ----
+
+TEST(ServeProtocol, ResultFrameStripsBackToOfflineBytes) {
+  ScenarioResult result;
+  result.scenario = "serve/frame-one";
+  result.analysis = "enumerate";
+  result.metrics = {{"worlds", 42.0}, {"err", 0.5}};
+  const std::string frame = result_frame("rid-f", 7, result);
+  EXPECT_EQ(frame_request_id(frame).value_or(""), "rid-f");
+  ASSERT_TRUE(strip_request_id(frame).has_value());
+  EXPECT_EQ(*strip_request_id(frame), scenario::to_json(7, result));
+}
+
+TEST(ServeProtocol, EscapedRequestIdRoundTrips) {
+  ScenarioResult result;
+  result.scenario = "serve/frame-esc";
+  const std::string id = "a\"b\\c";  // forces escaping inside the splice
+  const std::string frame = result_frame(id, 0, result);
+  EXPECT_EQ(frame_request_id(frame).value_or(""), id);
+  ASSERT_TRUE(strip_request_id(frame).has_value());
+  EXPECT_EQ(*strip_request_id(frame), scenario::to_json(0, result));
+}
+
+TEST(ServeProtocol, ForeignTextHasNoRequestId) {
+  EXPECT_FALSE(strip_request_id("{\"done\":true}").has_value());
+  EXPECT_FALSE(strip_request_id("garbage").has_value());
+  EXPECT_FALSE(frame_request_id("garbage").has_value());
+  EXPECT_FALSE(frame_request_id("[1,2]").has_value());
+}
+
+TEST(ServeProtocol, DoneFrameCarriesCounts) {
+  const std::string done = done_frame("rid-d", 3, 1);
+  EXPECT_EQ(frame_request_id(done).value_or(""), "rid-d");
+  ASSERT_TRUE(strip_request_id(done).has_value());
+  const std::string rest = *strip_request_id(done);
+  EXPECT_NE(rest.find("\"done\":true"), std::string::npos) << rest;
+  EXPECT_NE(rest.find("\"results\":3"), std::string::npos) << rest;
+  EXPECT_NE(rest.find("\"failed\":1"), std::string::npos) << rest;
+}
+
+TEST(ServeProtocol, ErrorFrameIsASelfContainedResultFrame) {
+  const std::string frame =
+      error_frame("rid-e", "serve/frame-err", ResultStatus::kRejected, "too big");
+  ScenarioResult expected;
+  expected.scenario = "serve/frame-err";
+  expected.status = ResultStatus::kRejected;
+  expected.error = "too big";
+  EXPECT_EQ(frame_request_id(frame).value_or(""), "rid-e");
+  ASSERT_TRUE(strip_request_id(frame).has_value());
+  EXPECT_EQ(*strip_request_id(frame), scenario::to_json(0, expected));
+}
+
+TEST(ServeProtocol, RequestSinkCountsAndTerminates) {
+  std::vector<std::string> lines;
+  RequestSink sink{"rid-s", [&](const std::string& line) { lines.push_back(line); }};
+  ScenarioResult ok;
+  ok.scenario = "serve/sink-ok";
+  ScenarioResult bad;
+  bad.scenario = "serve/sink-bad";
+  bad.status = ResultStatus::kFailed;
+  bad.error = "boom";
+  sink.on_result(0, ok);
+  sink.on_result(1, bad);
+  sink.on_finish(2);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], result_frame("rid-s", 0, ok));
+  EXPECT_EQ(lines[1], result_frame("rid-s", 1, bad));
+  EXPECT_EQ(lines[2], done_frame("rid-s", 2, 1));
+  EXPECT_EQ(sink.results(), 2u);
+  EXPECT_EQ(sink.failed(), 1u);
+}
+
+// ------------------------------------------- backoff delay saturation ----
+// Regression: the compounded delay used to be converted double -> uint64
+// without a ceiling, which is undefined behaviour once base * backoff^k
+// exceeds uint64 range.  The ladder now saturates at RetryPolicy::kMaxDelayMs
+// and the Runner constructor rejects policies the clamp cannot save.
+
+TEST(RetryBackoff, ExponentialLadder) {
+  RetryPolicy retry;
+  retry.base_delay_ms = 100;
+  retry.backoff = 2.0;
+  EXPECT_EQ(retry.backoff_delay_ms(1), 100u);
+  EXPECT_EQ(retry.backoff_delay_ms(2), 200u);
+  EXPECT_EQ(retry.backoff_delay_ms(3), 400u);
+}
+
+TEST(RetryBackoff, SaturatesAtCeilingInsteadOfOverflowing) {
+  RetryPolicy retry;
+  retry.base_delay_ms = 1000;
+  retry.backoff = 1e12;  // one step past base already dwarfs uint64 range
+  EXPECT_EQ(retry.backoff_delay_ms(2), RetryPolicy::kMaxDelayMs);
+  EXPECT_EQ(retry.backoff_delay_ms(50), RetryPolicy::kMaxDelayMs);
+
+  RetryPolicy huge_base;
+  huge_base.base_delay_ms = std::numeric_limits<std::uint64_t>::max();
+  huge_base.backoff = 2.0;
+  EXPECT_EQ(huge_base.backoff_delay_ms(1), RetryPolicy::kMaxDelayMs);
+}
+
+TEST(RetryBackoff, ZeroBaseAndZeroBackoffSleepNothing) {
+  RetryPolicy zero_base;
+  zero_base.base_delay_ms = 0;
+  EXPECT_EQ(zero_base.backoff_delay_ms(1), 0u);
+  EXPECT_EQ(zero_base.backoff_delay_ms(5), 0u);
+
+  RetryPolicy zero_backoff;
+  zero_backoff.base_delay_ms = 100;
+  zero_backoff.backoff = 0.0;
+  EXPECT_EQ(zero_backoff.backoff_delay_ms(1), 100u);
+  EXPECT_EQ(zero_backoff.backoff_delay_ms(2), 0u);
+}
+
+TEST(RetryBackoff, RunnerRejectsUnclampablePolicies) {
+  for (const double bad : {std::numeric_limits<double>::infinity(),
+                           std::numeric_limits<double>::quiet_NaN(), -1.0}) {
+    RunnerOptions options;
+    options.retry.backoff = bad;
+    EXPECT_THROW((Runner{options}), std::invalid_argument) << "backoff " << bad;
+  }
+}
+
+// ------------------------------------------- cancel-observing backoff ----
+// Regression: the retry backoff used to sleep the full exponential delay
+// unconditionally, so a batch cancel (or daemon shutdown) stalled behind
+// the whole ladder.  The sleep now polls the cancel token and frames the
+// slot kCancelled promptly.
+
+TEST(RetryBackoff, CancelDuringBackoffFramesPromptly) {
+  FaultPlan plan;
+  plan.seed = 11;
+  FaultRule rule;
+  rule.site = "analysis";
+  rule.probability = 1.0;  // every attempt of every slot throws
+  rule.attempt_limit = 0;  // persistent: retries keep failing into backoff
+  plan.rules = {rule};
+  const FaultInjector injector{plan};
+
+  const std::vector<Scenario> batch = {cheap_scenario("serve/backoff-a", 5),
+                                       cheap_scenario("serve/backoff-b", 7)};
+  for (const unsigned threads : {1u, 0u}) {
+    CancelToken cancel;
+    RunnerOptions options;
+    options.num_threads = threads;
+    options.retry.max_attempts = 3;
+    options.retry.base_delay_ms = 60'000;  // the old bug: a full minute stall
+    options.cancel = &cancel;
+    options.fault_injector = &injector;
+    const Runner runner{options};
+
+    std::thread trip{[&cancel] {
+      std::this_thread::sleep_for(std::chrono::milliseconds{100});
+      cancel.cancel();
+    }};
+    const auto start = std::chrono::steady_clock::now();
+    const std::vector<ScenarioResult> results = runner.run_batch(batch);
+    const auto elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+    trip.join();
+
+    ASSERT_EQ(results.size(), batch.size()) << "threads " << threads;
+    for (const ScenarioResult& result : results) {
+      EXPECT_EQ(result.status, ResultStatus::kCancelled)
+          << "threads " << threads << " scenario " << result.scenario;
+    }
+    // Well under base_delay_ms: the frame must arrive when the cancel trips
+    // (~100ms + one poll slice), not after the 60s backoff expires.  The
+    // bound is generous for sanitized builders.
+    EXPECT_LT(elapsed_ms, 10'000) << "threads " << threads;
+  }
+}
+
+// --------------------------------------------- fallback slot keying ----
+// Regression: run_sweep's shared-chunk fallback re-ran every member of a
+// failed equivalence class as `runner.run(chunk[i])` — hardcoding fault-site
+// slot 0 — so a FaultPlan keyed on a specific slot fired on the WRONG grid
+// points once cross-point sharing kicked in.  The fallback now threads the
+// chunk-local slot through run(scenario, slot).
+
+TEST(SweepFallbackKeying, FallbackRerunsCarryChunkLocalSlotKeys) {
+  SweepSpec spec;
+  spec.name = "serve/fallback";
+  spec.base = cheap_scenario("serve/fallback-base", 5);
+  // Points 0 and 1 are canonically equal (one equivalence class evaluated
+  // once, at unique slot 0 -> "analysis" key 1); point 2 is its own class
+  // (unique slot 1 -> key 2).
+  spec.widths_sets = {{5, 2, 3}, {5, 2, 3}, {7, 2, 3}};
+
+  FaultPlan plan;
+  plan.seed = 3;
+  FaultRule rule;
+  rule.site = "analysis";
+  rule.nth = 1;            // fire exactly at key 1 ...
+  rule.attempt_limit = 0;  // ... on every attempt (persistent failure)
+  plan.rules = {rule};
+  const FaultInjector injector{plan};
+
+  std::vector<std::string> baseline;
+  for (const unsigned threads : {1u, 0u}) {
+    ResultCache cache{16ull << 20};  // fresh per run: no cross-run hits
+    RunnerOptions options;
+    options.num_threads = threads;
+    options.fault_injector = &injector;
+    options.cache = &cache;
+    const Runner runner{options};
+
+    CollectingSink sink;
+    scenario::run_sweep(spec, runner, sink);
+    const std::vector<ScenarioResult>& results = sink.results();
+    ASSERT_EQ(results.size(), 3u) << "threads " << threads;
+
+    // The shared evaluation of class {0, 1} fails at key 1, so both members
+    // fall back to individual re-runs.  Point 0 re-runs at its own slot 0
+    // (key 1: still fails); point 1 re-runs at slot 1 (key 2: SUCCEEDS).
+    // The old hardcoded slot-0 keying failed point 1 too.
+    EXPECT_EQ(results[0].status, ResultStatus::kFailed) << "threads " << threads;
+    EXPECT_EQ(results[1].status, ResultStatus::kOk)
+        << "threads " << threads
+        << ": fallback re-run must carry its chunk-local slot key, not slot 0";
+    EXPECT_EQ(results[2].status, ResultStatus::kOk) << "threads " << threads;
+    EXPECT_FALSE(results[1].from_cache) << "fallback re-runs are fresh evaluations";
+
+    std::vector<std::string> frames;
+    frames.reserve(results.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      frames.push_back(scenario::to_json(i, results[i]));
+    }
+    if (baseline.empty()) {
+      baseline = frames;
+    } else {
+      EXPECT_EQ(baseline, frames) << "frames must be bit-identical across thread counts";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace arsf::serve

@@ -1,0 +1,146 @@
+// arsf_serve: the scenario service daemon (src/serve/server.h).
+//
+//   ./arsf_serve --socket /tmp/arsf.sock
+//   ./arsf_serve --socket /tmp/arsf.sock --spool /var/spool/arsf
+//                --workers 8 --deadline-ms 2000 --budget 100000000
+//                --retries 1 --cache 268435456 --cache-file cache.jsonl
+//                --drain-ms 5000
+//
+// Clients write one JSON request per line to the socket — a Scenario or a
+// SweepSpec in the overlay wire format plus a client-chosen "request_id" —
+// and read JSONL response frames keyed by that id (serve/protocol.h).
+// Files dropped into --spool as NAME.req are answered into NAME.out.
+//
+// SIGINT/SIGTERM drain gracefully: in-flight requests finish under their
+// own deadlines (bounded by --drain-ms when set), queued requests get
+// kCancelled frames.  A second signal hard-cancels.
+//
+// --fault-plan FILE arms the deterministic chaos sites ("accept"/"session"/
+// "respond" plus the execution-layer sites) from a FaultPlan JSON file —
+// test tooling, not a production knob.
+
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "scenario/faultplan.h"
+#include "serve/server.h"
+#include "support/cli.h"
+
+namespace {
+
+arsf::serve::Server* g_server = nullptr;
+
+void on_signal(int /*signum*/) {
+  if (g_server != nullptr) g_server->request_stop();
+}
+
+void print_usage(const std::string& program) {
+  std::fprintf(stderr,
+               "usage: %s [--socket PATH] [--spool DIR] [--workers N]\n"
+               "          [--deadline-ms N] [--budget WORLDS] [--retries N] [--degrade]\n"
+               "          [--cache BYTES] [--cache-file FILE] [--drain-ms N]\n"
+               "          [--chunk N] [--max-queued N] [--max-output-frames N]\n"
+               "          [--spool-poll-ms N] [--fault-plan FILE] [--stats]\n"
+               "at least one of --socket / --spool is required\n",
+               program.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  arsf::support::ArgParser args{argc, argv};
+  arsf::serve::ServeOptions options;
+  options.socket_path = args.get_string("socket", "");
+  options.spool_dir = args.get_string("spool", "");
+  options.workers = static_cast<unsigned>(args.get_int("workers", 0));
+  options.default_deadline_ms = static_cast<std::uint64_t>(args.get_int("deadline-ms", 0));
+  options.admission_budget = static_cast<std::uint64_t>(args.get_int("budget", 0));
+  options.degrade = args.get_bool("degrade", false);
+  options.retry.max_attempts = static_cast<std::uint32_t>(args.get_int("retries", 0)) + 1;
+  options.cache_bytes = static_cast<std::uint64_t>(args.get_int("cache", 0));
+  options.cache_file = args.get_string("cache-file", "");
+  options.drain_ms = static_cast<std::uint64_t>(args.get_int("drain-ms", 0));
+  options.chunk_scenarios = static_cast<std::size_t>(args.get_int("chunk", 256));
+  options.limits.max_queued_requests =
+      static_cast<std::size_t>(args.get_int("max-queued", 64));
+  options.limits.max_output_frames =
+      static_cast<std::size_t>(args.get_int("max-output-frames", 256));
+  options.spool_poll_ms = static_cast<std::uint64_t>(args.get_int("spool-poll-ms", 50));
+  const std::string fault_plan_path = args.get_string("fault-plan", "");
+  const bool print_stats = args.get_bool("stats", false);
+
+  const std::vector<std::string> unknown = args.unknown();
+  if (!unknown.empty()) {
+    for (const std::string& name : unknown) {
+      std::fprintf(stderr, "unknown option: --%s\n", name.c_str());
+    }
+    print_usage(args.program());
+    return 2;
+  }
+  if (options.socket_path.empty() && options.spool_dir.empty()) {
+    print_usage(args.program());
+    return 2;
+  }
+
+  std::optional<arsf::scenario::FaultInjector> injector;
+  if (!fault_plan_path.empty()) {
+    std::ifstream in{fault_plan_path};
+    if (!in) {
+      std::fprintf(stderr, "cannot read fault plan '%s'\n", fault_plan_path.c_str());
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+      injector.emplace(arsf::scenario::FaultPlan::from_json(text.str()));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "invalid fault plan: %s\n", e.what());
+      return 2;
+    }
+    options.fault_injector = &*injector;
+  }
+
+  arsf::serve::Server server{std::move(options)};
+  g_server = &server;
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  try {
+    server.start();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "arsf_serve: %s\n", e.what());
+    return 1;
+  }
+  if (!server.options().socket_path.empty()) {
+    std::fprintf(stderr, "arsf_serve: listening on %s\n",
+                 server.options().socket_path.c_str());
+  }
+  if (!server.options().spool_dir.empty()) {
+    std::fprintf(stderr, "arsf_serve: watching spool %s\n",
+                 server.options().spool_dir.c_str());
+  }
+  server.wait();
+
+  if (print_stats) {
+    const arsf::serve::ServeStats stats = server.stats();
+    std::fprintf(stderr,
+                 "arsf_serve: connections=%llu (faulted %llu) spool=%llu "
+                 "requests accepted=%llu rejected=%llu completed=%llu "
+                 "failed=%llu cancelled=%llu frames=%llu\n",
+                 static_cast<unsigned long long>(stats.connections_accepted),
+                 static_cast<unsigned long long>(stats.connections_faulted),
+                 static_cast<unsigned long long>(stats.spool_files),
+                 static_cast<unsigned long long>(stats.requests_accepted),
+                 static_cast<unsigned long long>(stats.requests_rejected),
+                 static_cast<unsigned long long>(stats.requests_completed),
+                 static_cast<unsigned long long>(stats.requests_failed),
+                 static_cast<unsigned long long>(stats.requests_cancelled),
+                 static_cast<unsigned long long>(stats.frames_written));
+  }
+  g_server = nullptr;
+  return 0;
+}
