@@ -8,8 +8,9 @@
 namespace arsf::scenario {
 
 const std::vector<std::string>& fault_sites() {
-  static const std::vector<std::string> sites{"analysis", "pool",    "sink",   "checkpoint",
-                                              "cache",    "accept",  "session", "respond"};
+  static const std::vector<std::string> sites{"analysis", "pool",    "sink",    "checkpoint",
+                                              "cache",    "accept",  "session", "respond",
+                                              "journal",  "crash"};
   return sites;
 }
 

@@ -35,6 +35,16 @@
 //   "respond"    — per-connection delivered frame ordinal (1-based).  A
 //                  fault models a broken client pipe: the connection is torn
 //                  down, in-flight requests of that connection cancel.
+// The durability layer (serve/journal.h) adds two more:
+//   "journal"    — journal append ordinal (1-based).  A fault SKIPS the
+//                  durable append (counted via Journal::appends_failed());
+//                  the daemon's in-memory state and the request carry on —
+//                  durability degrades, correctness does not.
+//   "crash"      — durable-event ordinal (1-based, shared across journal
+//                  appends AND frame-spool appends).  After the keyed event
+//                  hits disk the process SIGKILLs ITSELF — the seeded kill
+//                  point of tools/recovery_smoke.cpp.  NEVER arm "crash" in
+//                  an in-process test; it is for forked daemons only.
 // Identical plans therefore fire at identical logical points whether the
 // batch runs on 1 thread or 16, which is what lets the harness diff frames
 // across thread counts byte for byte.
@@ -62,7 +72,8 @@ class InjectedFault : public std::runtime_error {
 /// fires when the seeded hash of (site, key, attempt) lands below it.
 struct FaultRule {
   std::string site;            ///< one of fault_sites(): "analysis", "pool", "sink",
-                               ///< "checkpoint", "cache", "accept", "session", "respond"
+                               ///< "checkpoint", "cache", "accept", "session",
+                               ///< "respond", "journal", "crash"
   std::uint64_t nth = 0;       ///< fire when key == nth (1-based; 0 = off)
   double probability = 0.0;    ///< fire with this chance per (key, attempt)
   /// Highest attempt number the rule still fires on.  The default 1 models a

@@ -325,6 +325,18 @@ void ResultCache::clear() {
 
 ResultCache::LoadReport ResultCache::load_file(const std::string& path) {
   LoadReport report;
+  {
+    // Record the store's mtime up front so maybe_reload() treats the
+    // just-loaded contents as current.
+    std::error_code ec;
+    const auto mtime = std::filesystem::last_write_time(path, ec);
+    const std::lock_guard<std::mutex> lock{mutex_};
+    if (!ec) {
+      last_store_mtime_ = mtime;
+    } else {
+      last_store_mtime_.reset();
+    }
+  }
   std::ifstream in{path};
   if (!in) return report;  // absent or unreadable: a cold cache, not an error
 
@@ -333,6 +345,15 @@ ResultCache::LoadReport ResultCache::load_file(const std::string& path) {
     if (line.empty()) continue;
     try {
       const json::JsonValue root = json::parse(line, "ResultCache");
+      if (root.type == json::JsonValue::Type::kObject && root.has("cache_generation")) {
+        // The reload-protocol header: adopt a newer generation, count the
+        // line as neither loaded nor rejected.
+        json::reject_unknown_keys(root, {"cache_generation"}, "ResultCache");
+        const std::uint64_t generation = json::get_uint(root, "cache_generation");
+        const std::lock_guard<std::mutex> lock{mutex_};
+        if (generation > generation_) generation_ = generation;
+        continue;
+      }
       json::reject_unknown_keys(root, {"scenario", "result"}, "ResultCache");
 
       const Scenario parsed = scenario_from_value(json::object_field(root, "scenario"));
@@ -381,6 +402,10 @@ void ResultCache::save_file(const std::string& path) const {
   std::ostringstream text;
   {
     const std::lock_guard<std::mutex> lock{mutex_};
+    ++generation_;
+    json::JsonBuilder header;
+    header.field("cache_generation", generation_);
+    text << header.render() << '\n';
     // Least-recently-used first: load_file() inserts in line order, so the
     // reloaded cache ends in the same recency order it was saved with.
     for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
@@ -405,6 +430,29 @@ void ResultCache::save_file(const std::string& path) const {
     throw std::runtime_error("ResultCache::save_file: cannot rename " + tmp + " to " + path +
                              ": " + ec.message());
   }
+  std::error_code mtime_ec;
+  const auto mtime = std::filesystem::last_write_time(path, mtime_ec);
+  const std::lock_guard<std::mutex> lock{mutex_};
+  if (!mtime_ec) last_store_mtime_ = mtime;
+}
+
+ResultCache::ReloadReport ResultCache::maybe_reload(const std::string& path) {
+  ReloadReport report;
+  std::error_code ec;
+  const auto mtime = std::filesystem::last_write_time(path, ec);
+  if (ec) return report;  // no store (yet): nothing to pick up
+  {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    if (last_store_mtime_.has_value() && *last_store_mtime_ == mtime) return report;
+  }
+  report.reloaded = true;
+  report.load = load_file(path);
+  return report;
+}
+
+std::uint64_t ResultCache::generation() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return generation_;
 }
 
 }  // namespace arsf::scenario

@@ -57,8 +57,16 @@
 // stored frame in JsonlSink's format; load_file() re-validates,
 // re-canonicalises and re-fingerprints every line and rejects anything it
 // cannot prove well-formed (a corrupt line is a miss, never a wrong answer).
+//
+// Reload protocol: save_file() stamps the store with a
+// `{"cache_generation":N}` header line (N bumped per save) and both save and
+// load record the file's mtime.  maybe_reload() re-loads the store only when
+// that mtime has changed, which is how a long-running daemon picks up
+// entries written by another process without a restart.  Stores without a
+// header (older format) still load — they simply carry generation 0.
 
 #include <cstdint>
+#include <filesystem>
 #include <list>
 #include <mutex>
 #include <optional>
@@ -148,8 +156,24 @@ class ResultCache {
 
   /// Atomically (write-then-rename) persists every resident entry, one JSONL
   /// line per entry, least-recently-used first (so a later load_file ends
-  /// with the same recency order).  Throws std::runtime_error on I/O failure.
+  /// with the same recency order), under a `{"cache_generation":N}` header
+  /// line.  Throws std::runtime_error on I/O failure.
   void save_file(const std::string& path) const;
+
+  struct ReloadReport {
+    bool reloaded = false;  ///< the store's mtime changed and a load ran
+    LoadReport load;
+  };
+
+  /// Re-loads @p path only when its mtime differs from the one recorded at
+  /// the last load_file / save_file of this cache — the daemon's cheap poll
+  /// for externally-written entries.  A missing store is a no-op.
+  ReloadReport maybe_reload(const std::string& path);
+
+  /// Store generation: bumped on every save_file(); load_file() adopts a
+  /// newer header generation from the file.  0 = never persisted (or a
+  /// headerless legacy store).
+  [[nodiscard]] std::uint64_t generation() const;
 
  private:
   struct Entry {
@@ -170,6 +194,10 @@ class ResultCache {
   std::uint64_t byte_budget_;
   std::uint64_t bytes_ = 0;
   CacheStats counters_;  ///< hits/misses/inserts/evictions (entries/bytes derived)
+  // Reload-protocol state; mutable because save_file() is logically const
+  // (the cached entries do not change) yet stamps the store it writes.
+  mutable std::uint64_t generation_ = 0;
+  mutable std::optional<std::filesystem::file_time_type> last_store_mtime_;
 };
 
 /// The frame a cache hit delivers for @p scenario_name: the stored metrics

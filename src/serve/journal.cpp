@@ -1,0 +1,439 @@
+#include "serve/journal.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+#include <utility>
+
+#include "scenario/faultplan.h"
+#include "scenario/json.h"
+#include "serve/protocol.h"
+#include "support/fnv.h"
+
+namespace arsf::serve {
+
+namespace fs = std::filesystem;
+namespace json = scenario::json;
+
+namespace {
+
+bool write_fully(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::optional<JournalState> state_from_event(const std::string& event) {
+  if (event == "running") return JournalState::kRunning;
+  if (event == "done") return JournalState::kDone;
+  if (event == "failed") return JournalState::kFailed;
+  if (event == "cancelled") return JournalState::kCancelled;
+  return std::nullopt;
+}
+
+std::string accepted_event(const JournalRecord& record) {
+  json::JsonBuilder builder;
+  builder.field("event", "accepted");
+  builder.field("request_id", record.request_id);
+  builder.field("origin", record.origin);
+  builder.field("line", record.line);
+  return builder.render();
+}
+
+std::string state_event(const JournalRecord& record) {
+  json::JsonBuilder builder;
+  builder.field("event", to_string(record.state));
+  builder.field("request_id", record.request_id);
+  builder.field("results", record.results);
+  builder.field("failed", record.failed);
+  return builder.render();
+}
+
+/// Complete (newline-terminated), parseable lines of a JSONL file, stopping
+/// at the first torn or non-JSON line — the shared tail discipline of the
+/// journal and the frame spool.
+std::vector<std::string> read_complete_lines(const std::string& path) {
+  std::vector<std::string> lines;
+  std::ifstream in{path, std::ios::binary};
+  if (!in) return lines;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) break;  // torn tail: dropped
+    std::string line = text.substr(start, nl - start);
+    start = nl + 1;
+    if (line.empty()) continue;
+    try {
+      (void)json::parse(line, "frame spool");
+    } catch (const std::exception&) {
+      break;  // everything past a corrupt line is untrustworthy
+    }
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+}  // namespace
+
+std::string to_string(JournalState state) {
+  switch (state) {
+    case JournalState::kAccepted:
+      return "accepted";
+    case JournalState::kRunning:
+      return "running";
+    case JournalState::kDone:
+      return "done";
+    case JournalState::kFailed:
+      return "failed";
+    case JournalState::kCancelled:
+      return "cancelled";
+  }
+  return "accepted";
+}
+
+bool is_terminal(JournalState state) noexcept {
+  return state == JournalState::kDone || state == JournalState::kFailed ||
+         state == JournalState::kCancelled;
+}
+
+bool frame_is_done(const std::string& frame) {
+  const std::optional<std::string> stripped = strip_request_id(frame);
+  return stripped.has_value() && stripped->rfind("{\"done\":true,", 0) == 0;
+}
+
+Journal::Journal(std::string state_dir)
+    : dir_(std::move(state_dir)),
+      path_(dir_ + "/journal.jsonl"),
+      frames_dir_(dir_ + "/frames") {}
+
+Journal::~Journal() {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  if (fd_ >= 0) ::close(fd_);
+  for (auto& [id, fd] : frame_fds_) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+JournalRecord& Journal::upsert_locked(const std::string& request_id) {
+  const auto it = index_.find(request_id);
+  if (it != index_.end()) return records_[it->second];
+  index_.emplace(request_id, records_.size());
+  records_.push_back(JournalRecord{});
+  records_.back().request_id = request_id;
+  return records_.back();
+}
+
+JournalLoadReport Journal::open() {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  std::error_code ec;
+  fs::create_directories(frames_dir_, ec);
+  if (ec) {
+    throw std::runtime_error("Journal: cannot create state dir '" + dir_ +
+                             "': " + ec.message());
+  }
+
+  JournalLoadReport report;
+  std::string text;
+  {
+    std::ifstream in{path_, std::ios::binary};
+    if (in) {
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      text = buffer.str();
+    }
+  }
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) {
+      ++report.rejected;  // torn tail: a crash mid-append — dropped, counted
+      break;
+    }
+    const std::string line = text.substr(start, nl - start);
+    start = nl + 1;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    try {
+      const json::JsonValue root = json::parse(line, "journal");
+      if (root.type != json::JsonValue::Type::kObject) {
+        throw std::invalid_argument("journal: expected one event object per line");
+      }
+      const std::string event = json::get_string(root, "event");
+      if (event == "accepted") {
+        json::reject_unknown_keys(root, {"event", "request_id", "origin", "line"},
+                                  "journal");
+        const std::string id = json::get_string(root, "request_id");
+        if (id.empty()) throw std::invalid_argument("journal: empty request_id");
+        JournalRecord& rec = upsert_locked(id);
+        rec.state = JournalState::kAccepted;
+        rec.origin = json::get_string(root, "origin");
+        rec.line = json::get_string(root, "line");
+        rec.results = 0;
+        rec.failed = 0;
+      } else if (const std::optional<JournalState> state = state_from_event(event)) {
+        json::reject_unknown_keys(root, {"event", "request_id", "results", "failed"},
+                                  "journal");
+        const std::string id = json::get_string(root, "request_id");
+        if (id.empty()) throw std::invalid_argument("journal: empty request_id");
+        JournalRecord& rec = upsert_locked(id);
+        rec.state = *state;
+        rec.results = json::get_uint(root, "results");
+        rec.failed = json::get_uint(root, "failed");
+      } else {
+        throw std::invalid_argument("journal: unknown event '" + event + "'");
+      }
+    } catch (const std::exception&) {
+      ++report.rejected;  // corrupt line: never replayed, never fatal
+    }
+  }
+  report.records = records_.size();
+
+  compact_locked();
+
+  // Frame/checkpoint files that belong to no live record are leftovers of a
+  // deleted journal — remove them so a stale spool can never replay into a
+  // future request that happens to reuse the id.
+  std::unordered_set<std::string> keep;
+  keep.reserve(records_.size());
+  for (const JournalRecord& rec : records_) keep.insert(frame_file_stem(rec.request_id));
+  std::error_code iter_ec;
+  fs::directory_iterator it{frames_dir_, iter_ec};
+  if (!iter_ec) {
+    for (const fs::directory_entry& entry : it) {
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".jsonl" && ext != ".progress") continue;
+      if (keep.count(entry.path().stem().string()) > 0) continue;
+      std::error_code remove_ec;
+      fs::remove(entry.path(), remove_ec);
+    }
+  }
+  return report;
+}
+
+void Journal::compact() {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  compact_locked();
+}
+
+void Journal::compact_locked() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  std::ostringstream text;
+  for (const JournalRecord& rec : records_) {
+    text << accepted_event(rec) << '\n';
+    if (rec.state != JournalState::kAccepted) text << state_event(rec) << '\n';
+  }
+  // Write-then-rename (the sweep-checkpoint / cache-store discipline): a
+  // kill mid-compaction leaves the previous journal intact.
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream out{tmp, std::ios::trunc | std::ios::binary};
+    out << text.str();
+    out.flush();
+    if (!out) throw std::runtime_error("Journal: cannot write " + tmp);
+  }
+  std::error_code ec;
+  fs::rename(tmp, path_, ec);
+  if (ec) {
+    throw std::runtime_error("Journal: cannot rename " + tmp + " to " + path_ + ": " +
+                             ec.message());
+  }
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+  if (fd_ < 0) {
+    throw std::runtime_error("Journal: cannot reopen " + path_ + " for append: " +
+                             std::strerror(errno));
+  }
+}
+
+void Journal::append_event_locked(const std::string& line) {
+  ++append_ordinal_;
+  if (injector_ != nullptr && injector_->should_fail("journal", append_ordinal_, 1)) {
+    // Injected append failure: durability degrades (this event would be lost
+    // by a crash), the daemon's in-memory state and the request carry on.
+    ++appends_failed_;
+    return;
+  }
+  if (fd_ < 0) {
+    ++appends_failed_;
+    return;
+  }
+  const std::string data = line + '\n';
+  if (!write_fully(fd_, data.data(), data.size())) {
+    ++appends_failed_;
+    return;
+  }
+  ::fsync(fd_);
+}
+
+void Journal::durable_event_locked() {
+  ++durable_ordinal_;
+  if (injector_ != nullptr && injector_->should_fail("crash", durable_ordinal_, 1)) {
+    // The kill-and-recover harness's seeded kill point: the event above is
+    // durable, then the daemon dies as hard as a machine can — no unwinding,
+    // no destructors, no flushes.
+    ::kill(::getpid(), SIGKILL);
+  }
+}
+
+void Journal::record_accepted(const std::string& request_id, const std::string& origin,
+                              const std::string& line) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  JournalRecord& rec = upsert_locked(request_id);
+  rec.state = JournalState::kAccepted;
+  rec.origin = origin;
+  rec.line = line;
+  rec.results = 0;
+  rec.failed = 0;
+  append_event_locked(accepted_event(rec));
+  durable_event_locked();
+}
+
+void Journal::record_state(const std::string& request_id, JournalState state,
+                           std::uint64_t results, std::uint64_t failed) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  JournalRecord& rec = upsert_locked(request_id);
+  rec.state = state;
+  rec.results = results;
+  rec.failed = failed;
+  append_event_locked(state_event(rec));
+  durable_event_locked();
+}
+
+std::optional<JournalRecord> Journal::find(const std::string& request_id) const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  const auto it = index_.find(request_id);
+  if (it == index_.end()) return std::nullopt;
+  return records_[it->second];
+}
+
+std::vector<JournalRecord> Journal::incomplete() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  std::vector<JournalRecord> result;
+  for (const JournalRecord& rec : records_) {
+    if (!is_terminal(rec.state)) result.push_back(rec);
+  }
+  return result;
+}
+
+std::size_t Journal::size() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return records_.size();
+}
+
+std::uint64_t Journal::appends_failed() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return appends_failed_;
+}
+
+// ---- frame spool ------------------------------------------------------------
+
+std::string Journal::frame_file_stem(const std::string& request_id) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof buffer, "%016llx",
+                static_cast<unsigned long long>(support::fnv1a(request_id)));
+  return std::string{buffer};
+}
+
+std::string Journal::frame_path(const std::string& request_id) const {
+  return frames_dir_ + "/" + frame_file_stem(request_id) + ".jsonl";
+}
+
+std::string Journal::checkpoint_path(const std::string& request_id) const {
+  return frames_dir_ + "/" + frame_file_stem(request_id) + ".progress";
+}
+
+int Journal::frame_fd_locked(const std::string& request_id) {
+  const auto it = frame_fds_.find(request_id);
+  if (it != frame_fds_.end()) return it->second;
+  const int fd = ::open(frame_path(request_id).c_str(),
+                        O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  frame_fds_.emplace(request_id, fd);
+  return fd;
+}
+
+void Journal::append_frame(const std::string& request_id, const std::string& frame) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  const int fd = frame_fd_locked(request_id);
+  if (fd < 0) {
+    ++appends_failed_;
+  } else {
+    const std::string data = frame + '\n';
+    if (!write_fully(fd, data.data(), data.size())) ++appends_failed_;
+  }
+  durable_event_locked();
+}
+
+void Journal::sync_frames(const std::string& request_id) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  const auto it = frame_fds_.find(request_id);
+  if (it != frame_fds_.end() && it->second >= 0) ::fsync(it->second);
+}
+
+void Journal::close_frames(const std::string& request_id) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  const auto it = frame_fds_.find(request_id);
+  if (it != frame_fds_.end()) {
+    if (it->second >= 0) ::close(it->second);
+    frame_fds_.erase(it);
+  }
+}
+
+std::vector<std::string> Journal::read_frames(const std::string& request_id) const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return read_complete_lines(frame_path(request_id));
+}
+
+void Journal::truncate_frames(const std::string& request_id, std::size_t keep) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  const auto it = frame_fds_.find(request_id);
+  if (it != frame_fds_.end()) {
+    if (it->second >= 0) ::close(it->second);
+    frame_fds_.erase(it);  // the rename below would orphan the cached fd
+  }
+  const std::string path = frame_path(request_id);
+  if (keep == 0) {
+    std::error_code ec;
+    fs::remove(path, ec);
+    return;
+  }
+  std::vector<std::string> lines = read_complete_lines(path);
+  if (lines.size() > keep) lines.resize(keep);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out{tmp, std::ios::trunc | std::ios::binary};
+    for (const std::string& line : lines) out << line << '\n';
+    out.flush();
+    if (!out) return;  // keep the old (longer) file rather than lose frames
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+}
+
+void Journal::reset_frames(const std::string& request_id) {
+  truncate_frames(request_id, 0);
+  const std::lock_guard<std::mutex> lock{mutex_};
+  std::error_code ec;
+  fs::remove(checkpoint_path(request_id), ec);
+}
+
+}  // namespace arsf::serve

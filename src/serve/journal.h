@@ -1,0 +1,173 @@
+#pragma once
+// Durable request journal of the scenario service daemon (serve/server.h):
+// the write-ahead log that makes the daemon crash-safe.
+//
+// Every admitted request is appended to `<state_dir>/journal.jsonl` as a
+// line-JSON event and walked through the state machine
+//
+//     accepted -> running -> done | failed | cancelled
+//
+// with each transition appended (and fsync'd) before the daemon acts on it.
+// On startup open() replays the log, drops a torn or corrupt tail exactly
+// like the ResultCache store does (rejected lines are COUNTED, never
+// replayed, and never abort startup), and compacts the survivors
+// write-then-rename so every restart begins from a clean minimal file.  The
+// server then re-queues every non-terminal record under its original
+// request_id and answers re-submissions of terminal ids from the frame
+// spool below — exactly-once completion frames across any number of kills.
+//
+// Frame spool: alongside the journal, every response frame of a journaled
+// request is appended to `<state_dir>/frames/<fnv64(request_id)>.jsonl` at
+// emit time (write(2) per line: a SIGKILL can never lose an acknowledged
+// frame; fsync happens at terminal events).  A request whose frame file
+// ends with its done frame is COMPLETE regardless of what the journal or a
+// leftover sweep checkpoint claims — replaying that file byte for byte IS
+// the recovery, which is what keeps recovered answers identical to an
+// uninterrupted run.  For sweeps, `<stem>.progress` next to the frame file
+// holds the PR 5 fingerprinted checkpoint (scenario/sweep.h); the server
+// truncates the frame file to the checkpointed index and resumes only the
+// missing tail.
+//
+// Fault sites (scenario/faultplan.h): "journal" models a failed durable
+// append — the event is skipped and counted (appends_failed()), in-memory
+// state and the daemon carry on, durability degrades but correctness does
+// not.  "crash" is the kill-and-recover harness's seeded kill point: after
+// the keyed durable event (journal + frame appends share one 1-based
+// ordinal) the process SIGKILLs ITSELF.  Never arm "crash" in-process.
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace arsf::scenario {
+class FaultInjector;  // scenario/faultplan.h
+}
+
+namespace arsf::serve {
+
+enum class JournalState { kAccepted, kRunning, kDone, kFailed, kCancelled };
+
+[[nodiscard]] std::string to_string(JournalState state);
+/// Done / failed / cancelled: no further transition will be journaled.
+/// (Recovery still re-runs a CANCELLED id on re-submission — cancellation is
+/// a terminal fact about the previous attempt, not a reusable answer.)
+[[nodiscard]] bool is_terminal(JournalState state) noexcept;
+
+/// The live view of one journaled request (last-writer-wins over events).
+struct JournalRecord {
+  std::string request_id;
+  JournalState state = JournalState::kAccepted;
+  std::string origin;  ///< "socket" | "spool" — which transport admitted it
+  std::string line;    ///< the raw request line, replayable via parse_request
+  std::uint64_t results = 0;  ///< done-frame counts, valid at terminal states
+  std::uint64_t failed = 0;
+};
+
+struct JournalLoadReport {
+  std::size_t records = 0;   ///< live records after replay
+  std::size_t rejected = 0;  ///< torn / corrupt / orphaned lines dropped
+};
+
+class Journal {
+ public:
+  explicit Journal(std::string state_dir);
+  ~Journal();
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Arms the "journal" / "crash" fault sites (nullptr = none).  Call before
+  /// open(): compaction and recovery appends are durable events too.
+  void set_fault_injector(const scenario::FaultInjector* injector) noexcept {
+    injector_ = injector;
+  }
+
+  /// Creates the state directory tree, replays the journal (a torn or
+  /// corrupt tail is dropped and counted, never fatal), compacts it
+  /// write-then-rename, removes frame/checkpoint files that belong to no
+  /// live record, and opens the append fd.  Throws std::runtime_error only
+  /// when the directory or the compacted file cannot be created at all.
+  JournalLoadReport open();
+
+  /// Rewrites the journal as one accepted (+ one state) event per live
+  /// record, write-then-rename, and reopens the append fd.
+  void compact();
+
+  // ---- events (each an fsync'd single-line append) -------------------------
+
+  /// First event of a request id — or a re-accept of a known non-terminal id
+  /// after a restart (the line/origin are refreshed; last writer wins).
+  void record_accepted(const std::string& request_id, const std::string& origin,
+                       const std::string& line);
+  /// State transition; @p results / @p failed are recorded for terminal
+  /// states (the done-frame counts).  Unknown ids get a synthetic record so
+  /// an out-of-order event is never silently dropped.
+  void record_state(const std::string& request_id, JournalState state,
+                    std::uint64_t results = 0, std::uint64_t failed = 0);
+
+  [[nodiscard]] std::optional<JournalRecord> find(const std::string& request_id) const;
+  /// Non-terminal records in journal (first-seen) order — the restart
+  /// re-queue list.
+  [[nodiscard]] std::vector<JournalRecord> incomplete() const;
+  [[nodiscard]] std::size_t size() const;
+  /// Durable appends skipped or failed (the "journal" fault site plus real
+  /// write errors).  Monotonic.
+  [[nodiscard]] std::uint64_t appends_failed() const;
+
+  // ---- frame spool ---------------------------------------------------------
+
+  /// Filesystem-safe stem for a request id: 16 hex digits of FNV-1a(id).
+  [[nodiscard]] static std::string frame_file_stem(const std::string& request_id);
+  [[nodiscard]] std::string frame_path(const std::string& request_id) const;
+  /// The sweep resume token location for a request (scenario/sweep.h
+  /// save/load_sweep_checkpoint).
+  [[nodiscard]] std::string checkpoint_path(const std::string& request_id) const;
+
+  /// Appends one frame line (unbuffered write(2) — SIGKILL-durable).
+  void append_frame(const std::string& request_id, const std::string& frame);
+  /// fsync the frame file (terminal events; checkpoints imply durable frames
+  /// only up to the write(2) guarantee, which is what the SIGKILL harness
+  /// exercises).
+  void sync_frames(const std::string& request_id);
+  /// Closes the cached append fd (call at terminal events).
+  void close_frames(const std::string& request_id);
+  /// Every COMPLETE line of the frame file, in order.  Reading stops at the
+  /// first torn (unterminated) or non-JSON line; a missing file is empty.
+  [[nodiscard]] std::vector<std::string> read_frames(const std::string& request_id) const;
+  /// Truncates the frame file to its first @p keep lines, write-then-rename
+  /// (sweep resume: cut back to the checkpointed index).
+  void truncate_frames(const std::string& request_id, std::size_t keep);
+  /// Removes the frame file and checkpoint outright (fresh re-run).
+  void reset_frames(const std::string& request_id);
+
+ private:
+  void append_event_locked(const std::string& line);
+  void compact_locked();
+  JournalRecord& upsert_locked(const std::string& request_id);
+  /// Ticks the shared durable-event ordinal and honours the "crash" site.
+  void durable_event_locked();
+  int frame_fd_locked(const std::string& request_id);
+
+  std::string dir_;
+  std::string path_;
+  std::string frames_dir_;
+  const scenario::FaultInjector* injector_ = nullptr;
+
+  mutable std::mutex mutex_;
+  int fd_ = -1;
+  std::vector<JournalRecord> records_;  ///< journal (first-seen) order
+  std::unordered_map<std::string, std::size_t> index_;  ///< id -> records_ slot
+  std::unordered_map<std::string, int> frame_fds_;
+  std::uint64_t append_ordinal_ = 0;   ///< "journal" site key (1-based)
+  std::uint64_t durable_ordinal_ = 0;  ///< "crash" site key (1-based)
+  std::uint64_t appends_failed_ = 0;
+};
+
+/// True when @p frame is a protocol done frame (the marker that a frame
+/// spool holds a COMPLETE answer).
+[[nodiscard]] bool frame_is_done(const std::string& frame);
+
+}  // namespace arsf::serve

@@ -124,6 +124,14 @@ class RequestSink final : public scenario::ResultSink {
   [[nodiscard]] std::size_t results() const noexcept { return results_; }
   [[nodiscard]] std::size_t failed() const noexcept { return failed_; }
 
+  /// Seeds the counters with frames already delivered from a recovered spool
+  /// (sweep resume): the eventual done frame must count the WHOLE run, not
+  /// just the tail re-evaluated after the restart.
+  void resume_counts(std::size_t results, std::size_t failed) noexcept {
+    results_ = results;
+    failed_ = failed;
+  }
+
  private:
   std::string request_id_;
   Emit emit_;

@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -17,12 +18,14 @@
 #include <utility>
 
 #include "scenario/faultplan.h"
+#include "scenario/json.h"
 #include "scenario/sweep.h"
 #include "sim/engine/saturating.h"
 
 namespace arsf::serve {
 
 namespace fs = std::filesystem;
+namespace json = scenario::json;
 using sim::engine::CancelledError;
 using sim::engine::saturating_add;
 
@@ -85,6 +88,10 @@ void Server::start() {
   if (options_.limits.max_output_frames == 0 || options_.limits.max_queued_requests == 0) {
     throw std::invalid_argument("Server: session limits must be positive");
   }
+  if (options_.cache_reload_ms > 0 &&
+      (options_.cache_bytes == 0 || options_.cache_file.empty())) {
+    throw std::invalid_argument("Server: cache_reload_ms requires cache_bytes and cache_file");
+  }
 
   if (::pipe(wake_pipe_) != 0) {
     throw std::runtime_error("Server: pipe() failed: " + std::string(std::strerror(errno)));
@@ -93,6 +100,17 @@ void Server::start() {
   if (options_.cache_bytes > 0) {
     cache_.emplace(options_.cache_bytes);
     if (!options_.cache_file.empty()) cache_->load_file(options_.cache_file);
+  }
+
+  if (!options_.state_dir.empty()) {
+    journal_.emplace(options_.state_dir);
+    journal_->set_fault_injector(options_.fault_injector);
+    const JournalLoadReport report = journal_->open();
+    journal_rejected_.store(report.rejected);
+    if (report.rejected > 0) {
+      std::fprintf(stderr, "arsf_serve: journal: dropped %zu torn/corrupt line(s)\n",
+                   report.rejected);
+    }
   }
 
   if (!options_.socket_path.empty()) {
@@ -124,7 +142,13 @@ void Server::start() {
       throw std::runtime_error("Server: cannot create spool_dir '" + options_.spool_dir +
                                "': " + ec.message());
     }
+    reclaim_spool_dir();
   }
+
+  // Re-queue journaled work BEFORE any transport can submit: a client
+  // re-submitting a recovered id must find it active (follower) or already
+  // answered, never racing a half-registered recovery.
+  requeue_incomplete();
 
   unsigned workers = options_.workers;
   if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
@@ -134,6 +158,9 @@ void Server::start() {
   }
   if (listen_fd_ >= 0) accept_thread_ = std::thread([this] { accept_loop(); });
   if (!options_.spool_dir.empty()) spool_thread_ = std::thread([this] { spool_loop(); });
+  if (cache_ && options_.cache_reload_ms > 0) {
+    reload_thread_ = std::thread([this] { cache_reload_loop(); });
+  }
   started_ = true;
 }
 
@@ -183,6 +210,7 @@ void Server::wait() {
   }
   if (accept_thread_.joinable()) accept_thread_.join();
   if (spool_thread_.joinable()) spool_thread_.join();
+  if (reload_thread_.joinable()) reload_thread_.join();
   // connections_ is append-only and both appenders just exited: safe to
   // iterate without the scheduler lock from here on.
   for (const auto& conn : connections_) {
@@ -209,7 +237,11 @@ void Server::wait() {
     if (worker.joinable()) worker.join();
   }
   for (const auto& conn : connections_) {
-    maybe_finish_locked(*conn->session);  // lock-free here: all mutators joined
+    // Lock-free here: all mutators joined.  Any follower gate still armed is
+    // unsettleable (no worker will ever settle it) — clear it so the writer
+    // join below cannot hang a shutdown.
+    conn->session->sched.waiting = 0;
+    maybe_finish_locked(*conn->session);
     if (conn->writer.joinable()) conn->writer.join();
   }
   for (const auto& conn : connections_) close_fd(conn->fd);
@@ -237,7 +269,134 @@ ServeStats Server::stats() const {
   s.requests_failed = requests_failed_.load();
   s.requests_cancelled = requests_cancelled_.load();
   s.frames_written = frames_written_.load();
+  s.spool_reclaimed = spool_reclaimed_.load();
+  s.journal_recovered = journal_recovered_.load();
+  s.journal_rejected = journal_rejected_.load();
+  s.requests_deduped = requests_deduped_.load();
+  s.sweeps_resumed = sweeps_resumed_.load();
+  s.cache_reloads = cache_reloads_.load();
   return s;
+}
+
+// ---- crash recovery ---------------------------------------------------------
+
+void Server::reclaim_spool_dir() {
+  // Collect first, act second: renaming while a directory_iterator walks the
+  // same directory is implementation-defined territory.
+  std::vector<std::string> claimed;
+  std::vector<std::string> partial;
+  std::error_code ec;
+  fs::directory_iterator it{options_.spool_dir, ec};
+  if (ec) return;
+  for (const fs::directory_entry& entry : it) {
+    std::error_code entry_ec;
+    if (!entry.is_regular_file(entry_ec)) continue;
+    const std::string path = entry.path().string();
+    const auto ends_with = [&path](const char* suffix) {
+      const std::size_t n = std::strlen(suffix);
+      return path.size() > n && path.compare(path.size() - n, n, suffix) == 0;
+    };
+    if (ends_with(".req.claimed")) claimed.push_back(path);
+    if (ends_with(".out.partial")) partial.push_back(path);
+  }
+  for (const std::string& path : claimed) {
+    // A .req.claimed is a request a dead daemon took but never sealed: give
+    // it back to the spool (rename to .req) so this instance re-claims it.
+    const std::string original = path.substr(0, path.size() - std::strlen(".claimed"));
+    std::error_code rename_ec;
+    fs::rename(path, original, rename_ec);
+    if (!rename_ec) {
+      spool_reclaimed_.fetch_add(1);
+      std::fprintf(stderr, "arsf_serve: reclaimed orphaned spool input %s -> %s\n",
+                   path.c_str(), original.c_str());
+    }
+  }
+  for (const std::string& path : partial) {
+    // A .out.partial may stop mid-frame: never trust it, rebuild the answer.
+    std::error_code remove_ec;
+    fs::remove(path, remove_ec);
+    if (!remove_ec) {
+      spool_reclaimed_.fetch_add(1);
+      std::fprintf(stderr, "arsf_serve: removed orphaned spool output %s\n", path.c_str());
+    }
+  }
+}
+
+void Server::requeue_incomplete() {
+  if (!journal_) return;
+  std::vector<JournalRecord> todo;
+  for (const JournalRecord& record : journal_->incomplete()) {
+    // Spool-origin requests re-arrive on their own: reclaim_spool_dir() put
+    // the .req file back and the spool scan will re-claim and re-submit it
+    // under the same request_id.
+    if (record.origin == "spool") continue;
+    todo.push_back(record);
+  }
+  if (todo.empty()) return;
+
+  // One recovery connection carries every re-queued socket request.  Its
+  // writer discards frames — the original client is gone; the run exists to
+  // finish the journaled work, and a re-submitting client is answered from
+  // the frame spool (or joins as a follower while the run is active).
+  auto conn = std::make_unique<Connection>();
+  conn->session = std::make_shared<Session>(next_session_id_.fetch_add(1) + 1,
+                                            options_.limits, &shutdown_);
+  Connection* raw = add_connection(std::move(conn));
+  raw->writer = std::thread([raw] {
+    std::string line;
+    while (raw->session->pop_frame(line)) {
+    }
+  });
+
+  std::uint64_t queued = 0;
+  for (const JournalRecord& record : todo) {
+    Request request;
+    try {
+      request = parse_request(record.line);
+    } catch (const std::exception& e) {
+      // The journaled line no longer parses (it parsed once to be admitted —
+      // so a corrupted or hand-edited journal).  Close the id out as failed
+      // so it cannot be re-queued forever.
+      journal_->reset_frames(record.request_id);
+      journal_->append_frame(record.request_id,
+                             error_frame(record.request_id, std::string{},
+                                         scenario::ResultStatus::kFailed, e.what()));
+      journal_->append_frame(record.request_id, done_frame(record.request_id, 1, 1));
+      journal_->sync_frames(record.request_id);
+      journal_->record_state(record.request_id, JournalState::kFailed, 1, 1);
+      journal_->close_frames(record.request_id);
+      requests_failed_.fetch_add(1);
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock{sched_mutex_};
+      active_.insert(record.request_id);
+      raw->session->sched.pending.push_back(std::move(request));
+    }
+    ++queued;
+    std::fprintf(stderr, "arsf_serve: recovery: re-queued request '%s' (was %s)\n",
+                 record.request_id.c_str(), to_string(record.state).c_str());
+  }
+  journal_recovered_.store(queued);
+  requests_accepted_.fetch_add(queued);
+  mark_input_closed(*raw->session);
+}
+
+void Server::cache_reload_loop() {
+  using Clock = std::chrono::steady_clock;
+  auto next = Clock::now() + std::chrono::milliseconds(options_.cache_reload_ms);
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(kPollSlice);
+    if (Clock::now() < next) continue;
+    next = Clock::now() + std::chrono::milliseconds(options_.cache_reload_ms);
+    const scenario::ResultCache::ReloadReport report =
+        cache_->maybe_reload(options_.cache_file);
+    if (report.reloaded) {
+      cache_reloads_.fetch_add(1);
+      std::fprintf(stderr, "arsf_serve: cache store reloaded (%zu loaded, %zu rejected)\n",
+                   report.load.loaded, report.load.rejected);
+    }
+  }
 }
 
 // ---- transports -------------------------------------------------------------
@@ -491,14 +650,72 @@ void Server::handle_request_line(Connection* conn, const std::string& line) {
     }
   }
 
-  enum class Verdict { kQueued, kFull, kStopping };
+  // Journal dedup only has an identity to key on when the client supplied a
+  // request_id — anonymous requests are admitted exactly as before (and are
+  // not crash-safe: an id is the unit of exactly-once recovery).
+  const bool journaled = journal_.has_value() && !request.request_id.empty();
+
+  enum class Verdict { kQueued, kFull, kStopping, kFollower, kReplay };
   Verdict verdict;
-  {
+  bool force_queue = false;  // a degraded replay falls back to a fresh run
+  bool claimed = false;      // the id was inserted into active_ (and journaled)
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock{sched_mutex_};
+      if (draining_ || stopping_.load(std::memory_order_relaxed)) {
+        verdict = Verdict::kStopping;
+      } else if (journaled && active_.count(request.request_id) > 0) {
+        // The id is already queued or running: this submission becomes a
+        // FOLLOWER of the one active run instead of executing twice.
+        followers_[request.request_id].push_back(conn->session);
+        ++session.sched.waiting;
+        verdict = Verdict::kFollower;
+      } else if (journaled && !force_queue &&
+                 [this, &request] {
+                   const std::optional<JournalRecord> rec = journal_->find(request.request_id);
+                   return rec && (rec->state == JournalState::kDone ||
+                                  rec->state == JournalState::kFailed);
+                 }()) {
+        verdict = Verdict::kReplay;
+      } else if (session.sched.pending.size() >= options_.limits.max_queued_requests) {
+        verdict = Verdict::kFull;
+      } else {
+        // Claim the id now; the pending push happens after the journal
+        // append below so no worker can start an unjournaled request.
+        if (journaled) {
+          active_.insert(request.request_id);
+          claimed = true;
+        }
+        verdict = Verdict::kQueued;
+      }
+    }
+    if (verdict != Verdict::kReplay) break;
+    // Terminal id: answer from the frame spool — exactly-once across kills.
+    const std::vector<std::string> frames = journal_->read_frames(request.request_id);
+    if (!frames.empty() && frame_is_done(frames.back())) {
+      requests_deduped_.fetch_add(1);
+      for (const std::string& frame : frames) {
+        if (!session.push_frame(frame)) break;
+      }
+      return;
+    }
+    // The journal says done but the frame spool cannot prove it (lost or
+    // torn): fall back to a fresh run — it reproduces the same answer.
+    force_queue = true;
+  }
+
+  if (verdict == Verdict::kQueued) {
+    if (journaled) {
+      // The durable accept happens OUTSIDE the scheduler lock (it fsyncs);
+      // the active_ claim above keeps the id's admission single-flight.
+      journal_->record_accepted(request.request_id,
+                                conn->spool_claimed.empty() ? "socket" : "spool", line);
+    }
     std::lock_guard<std::mutex> lock{sched_mutex_};
     if (draining_ || stopping_.load(std::memory_order_relaxed)) {
+      // The daemon started draining between the two critical sections: the
+      // request must not enter pending (the drain already swept it).
       verdict = Verdict::kStopping;
-    } else if (session.sched.pending.size() >= options_.limits.max_queued_requests) {
-      verdict = Verdict::kFull;
     } else {
       if (session.sched.pending.empty() && !session.sched.in_flight) {
         // Re-joining the round-robin after idling: normalise to the busiest
@@ -514,25 +731,54 @@ void Server::handle_request_line(Connection* conn, const std::string& line) {
         }
       }
       session.sched.pending.push_back(std::move(request));
-      verdict = Verdict::kQueued;
     }
   }
+
   switch (verdict) {
     case Verdict::kQueued:
       requests_accepted_.fetch_add(1);
       sched_cv_.notify_one();
       break;
+    case Verdict::kFollower:
+      requests_deduped_.fetch_add(1);
+      break;  // frames arrive when the active run settles
     case Verdict::kFull:
       requests_rejected_.fetch_add(1);
       reject(session, request.request_id, request.name(),
              scenario::ResultStatus::kRejected,
              "request queue full (max_queued_requests)");
       break;
-    case Verdict::kStopping:
+    case Verdict::kStopping: {
+      std::vector<std::shared_ptr<Session>> followers;
+      if (claimed) {
+        // The id was claimed (and its accept journaled) before the drain
+        // began: release the claim, journal the cancel, settle anyone who
+        // registered as a follower in the window.
+        {
+          std::lock_guard<std::mutex> lock{sched_mutex_};
+          active_.erase(request.request_id);
+          const auto it = followers_.find(request.request_id);
+          if (it != followers_.end()) {
+            followers = std::move(it->second);
+            followers_.erase(it);
+          }
+        }
+        journal_->record_state(request.request_id, JournalState::kCancelled);
+      }
       requests_cancelled_.fetch_add(1);
       reject(session, request.request_id, request.name(),
              scenario::ResultStatus::kCancelled, "daemon stopping");
+      for (const std::shared_ptr<Session>& follower : followers) {
+        reject(*follower, request.request_id, request.name(),
+               scenario::ResultStatus::kCancelled, "daemon stopping");
+        std::lock_guard<std::mutex> lock{sched_mutex_};
+        --follower->sched.waiting;
+        maybe_finish_locked(*follower);
+      }
       break;
+    }
+    case Verdict::kReplay:
+      break;  // unreachable: handled in the loop
   }
 }
 
@@ -547,20 +793,28 @@ void Server::mark_input_closed(Session& session) {
 void Server::maybe_finish_locked(Session& session) {
   Session::Sched& sched = session.sched;
   if (sched.finished) return;
-  if (!sched.input_closed || !sched.pending.empty() || sched.in_flight) return;
+  if (!sched.input_closed || !sched.pending.empty() || sched.in_flight ||
+      sched.waiting > 0) {
+    return;
+  }
   sched.finished = true;
   session.finish_output();
 }
 
-bool Server::pick_next_locked(std::shared_ptr<Session>& session, Request& request) {
+bool Server::pick_next_locked(std::shared_ptr<Session>& session, Request& request,
+                              std::vector<DroppedRequest>& dropped) {
   Connection* best = nullptr;
   for (const auto& conn : connections_) {
     Session& s = *conn->session;
     if (s.sched.in_flight || s.sched.pending.empty()) continue;
     if (s.cancelled()) {
-      // Dead connection: nobody will read the answers — drop its queue.
-      requests_cancelled_.fetch_add(s.sched.pending.size());
-      s.sched.pending.clear();
+      // Dead connection: nobody will read the answers — drop its queue.  The
+      // journal bookkeeping (cancel events, follower settlement) happens in
+      // cancel_dropped(), outside this lock: journal appends fsync.
+      while (!s.sched.pending.empty()) {
+        dropped.push_back({conn->session, std::move(s.sched.pending.front())});
+        s.sched.pending.pop_front();
+      }
       maybe_finish_locked(s);
       continue;
     }
@@ -583,34 +837,224 @@ void Server::worker_loop() {
   for (;;) {
     std::shared_ptr<Session> session;
     Request request;
+    std::vector<DroppedRequest> dropped;
+    bool have = false;
     {
       std::unique_lock<std::mutex> lock{sched_mutex_};
       for (;;) {
         if (workers_exit_.load(std::memory_order_relaxed)) return;
-        if (!draining_ && pick_next_locked(session, request)) break;
+        if (!draining_) have = pick_next_locked(session, request, dropped);
+        if (have || !dropped.empty()) break;
         sched_cv_.wait_for(lock, kPollSlice);
       }
     }
+    cancel_dropped(dropped, "connection closed: request cancelled before execution");
+    if (!have) continue;
+
+    const std::string request_id = request.request_id;
+    const bool journaled = journal_.has_value() && !request_id.empty();
     execute(session, std::move(request));
+
+    std::vector<std::shared_ptr<Session>> followers;
     {
       std::lock_guard<std::mutex> lock{sched_mutex_};
       session->sched.in_flight = false;
       --in_flight_total_;
+      if (journaled) {
+        // Release the id atomically with popping its followers: a submission
+        // arriving after this block sees the settled journal, never a lost
+        // follower slot.
+        active_.erase(request_id);
+        const auto it = followers_.find(request_id);
+        if (it != followers_.end()) {
+          followers = std::move(it->second);
+          followers_.erase(it);
+        }
+      }
       maybe_finish_locked(*session);
     }
+    if (journaled) settle_followers(request_id, std::move(followers));
     sched_cv_.notify_all();
     drain_cv_.notify_all();
   }
 }
 
+void Server::settle_followers(const std::string& request_id,
+                              std::vector<std::shared_ptr<Session>> followers) {
+  if (followers.empty()) return;
+  const std::vector<std::string> frames = journal_->read_frames(request_id);
+  const bool complete = !frames.empty() && frame_is_done(frames.back());
+  for (const std::shared_ptr<Session>& follower : followers) {
+    if (complete) {
+      for (const std::string& frame : frames) {
+        if (!follower->push_frame(frame)) break;
+      }
+    } else {
+      // The active run settled without a done frame (cancelled): tell the
+      // follower the truth instead of replaying a partial answer.
+      reject(*follower, request_id, std::string{}, scenario::ResultStatus::kCancelled,
+             "deduplicated request did not complete");
+    }
+    std::lock_guard<std::mutex> lock{sched_mutex_};
+    --follower->sched.waiting;
+    maybe_finish_locked(*follower);
+  }
+  sched_cv_.notify_all();
+}
+
+void Server::cancel_dropped(std::vector<DroppedRequest>& dropped, const std::string& reason) {
+  for (DroppedRequest& item : dropped) {
+    requests_cancelled_.fetch_add(1);
+    const bool journaled = journal_.has_value() && !item.request.request_id.empty();
+    std::vector<std::shared_ptr<Session>> followers;
+    if (journaled) {
+      {
+        std::lock_guard<std::mutex> lock{sched_mutex_};
+        active_.erase(item.request.request_id);
+        const auto it = followers_.find(item.request.request_id);
+        if (it != followers_.end()) {
+          followers = std::move(it->second);
+          followers_.erase(it);
+        }
+      }
+      journal_->record_state(item.request.request_id, JournalState::kCancelled);
+    }
+    reject(*item.session, item.request.request_id, item.request.name(),
+           scenario::ResultStatus::kCancelled, reason);
+    for (const std::shared_ptr<Session>& follower : followers) {
+      reject(*follower, item.request.request_id, item.request.name(),
+             scenario::ResultStatus::kCancelled, reason);
+      std::lock_guard<std::mutex> lock{sched_mutex_};
+      --follower->sched.waiting;
+      maybe_finish_locked(*follower);
+    }
+  }
+}
+
+void Server::prepare_recovery(Request& request, std::vector<std::string>& prefix,
+                              std::size_t& resume_from, std::size_t& prefix_failed,
+                              bool& already_complete) {
+  const std::string& id = request.request_id;
+  std::vector<std::string> frames = journal_->read_frames(id);
+
+  if (!frames.empty() && frame_is_done(frames.back())) {
+    // A frame spool ending with its done frame IS the complete answer,
+    // whatever the journal claims — the crash may have hit between the done
+    // frame landing and the terminal journal event (or between checkpoint
+    // removal and the done event).  Replaying it byte for byte is the
+    // recovery; reconcile the journal to match.
+    already_complete = true;
+    const std::optional<JournalRecord> record = journal_->find(id);
+    if (!record || !is_terminal(record->state)) {
+      std::uint64_t results = 1;
+      std::uint64_t failed = 0;
+      try {
+        const json::JsonValue root = json::parse(frames.back(), "done frame");
+        results = json::get_uint(root, "results");
+        failed = json::get_uint(root, "failed");
+      } catch (const std::exception&) {
+      }
+      journal_->record_state(id, JournalState::kDone, results, failed);
+    }
+    journal_->close_frames(id);
+    prefix = std::move(frames);
+    return;
+  }
+
+  if (!request.is_sweep) {
+    // Scenarios are single-shot: any partial frames are simply re-derived.
+    journal_->reset_frames(id);
+    return;
+  }
+
+  // Sweep resume: the fingerprint must be computed over the spec EXACTLY as
+  // it will run (execute() forces the serial lane), or a checkpoint written
+  // by this daemon would never match on restart.
+  request.sweep.base.num_threads = 1;
+  const std::uint64_t fingerprint = scenario::sweep_fingerprint(request.sweep);
+  std::optional<scenario::SweepCheckpoint> checkpoint;
+  try {
+    checkpoint = scenario::load_sweep_checkpoint(journal_->checkpoint_path(id));
+  } catch (const std::exception&) {
+    checkpoint.reset();  // corrupt token: dropped (fresh run), never fatal
+  }
+  const std::uint64_t grid = request.sweep.size();
+  if (checkpoint && checkpoint->spec_fingerprint == fingerprint &&
+      checkpoint->next_index > 0 && checkpoint->next_index <= grid &&
+      checkpoint->next_index <= frames.size()) {
+    // Everything below next_index was flushed before the checkpoint was
+    // written; frames past it may exist (the killed run got into the next
+    // chunk) but were never acknowledged as a checkpoint — cut back to the
+    // boundary and re-emit only the tail.
+    const std::size_t keep = static_cast<std::size_t>(checkpoint->next_index);
+    journal_->truncate_frames(id, keep);
+    frames.resize(keep);
+    for (const std::string& frame : frames) {
+      try {
+        const json::JsonValue root = json::parse(frame, "recovered frame");
+        if (json::get_string(root, "status") !=
+            scenario::to_string(scenario::ResultStatus::kOk)) {
+          ++prefix_failed;
+        }
+      } catch (const std::exception&) {
+        ++prefix_failed;
+      }
+    }
+    prefix = std::move(frames);
+    resume_from = keep;
+    sweeps_resumed_.fetch_add(1);
+    std::fprintf(stderr,
+                 "arsf_serve: resuming sweep request '%s' at grid index %zu/%llu\n",
+                 id.c_str(), keep, static_cast<unsigned long long>(grid));
+  } else {
+    journal_->reset_frames(id);
+  }
+}
+
 void Server::execute(const std::shared_ptr<Session>& session, Request request) {
-  RequestSink sink{request.request_id, [&session](const std::string& line) {
+  const bool journaled = journal_.has_value() && !request.request_id.empty();
+  const std::string id = request.request_id;
+
+  std::vector<std::string> prefix;
+  std::size_t resume_from = 0;
+  std::size_t prefix_failed = 0;
+  if (journaled) {
+    bool already_complete = false;
+    prepare_recovery(request, prefix, resume_from, prefix_failed, already_complete);
+    if (already_complete) {
+      for (const std::string& frame : prefix) {
+        if (!session->push_frame(frame)) break;
+      }
+      requests_completed_.fetch_add(1);
+      return;
+    }
+    // Replay the recovered prefix to this session before resuming the run,
+    // so the client's stream is byte-identical to an uninterrupted one.
+    for (const std::string& frame : prefix) {
+      if (!session->push_frame(frame)) {
+        // Session died during the replay: the frames stay spooled for the
+        // next attempt; journal the cancel.
+        journal_->record_state(id, JournalState::kCancelled);
+        journal_->close_frames(id);
+        requests_cancelled_.fetch_add(1);
+        return;
+      }
+    }
+    journal_->record_state(id, JournalState::kRunning);
+  }
+
+  RequestSink sink{request.request_id,
+                   [this, &session, &id, journaled](const std::string& line) {
+                     // Durability first: the frame spool must always be a
+                     // superset of what any client has seen.
+                     if (journaled) journal_->append_frame(id, line);
                      if (!session->push_frame(line)) {
                        // Connection gone or daemon hard-stopping: abort the
                        // producing run through the sink-exception path.
                        throw CancelledError(false);
                      }
                    }};
+  sink.resume_counts(prefix.size(), prefix_failed);
 
   scenario::RunnerOptions runner_options;
   // One request = one serial execution lane: the scenario's engine fan-out is
@@ -634,32 +1078,59 @@ void Server::execute(const std::shared_ptr<Session>& session, Request request) {
       request.sweep.base.num_threads = 1;
       scenario::SweepRunOptions sweep_options;
       sweep_options.chunk_scenarios = options_.chunk_scenarios;
+      if (journaled) {
+        // Checkpoint next to the frame spool after every flushed chunk; a
+        // restart resumes at the recorded boundary (prepare_recovery above).
+        sweep_options.checkpoint_path = journal_->checkpoint_path(id);
+        sweep_options.checkpoint_output = journal_->frame_path(id);
+        sweep_options.resume_from = resume_from;
+        sweep_options.fault_injector = options_.fault_injector;
+      }
       scenario::run_sweep(request.sweep, runner, sink, sweep_options);
     } else {
       request.scenario.num_threads = 1;
       sink.on_result(0, runner.run(request.scenario));
       sink.on_finish(1);
     }
+    if (journaled) {
+      journal_->sync_frames(id);
+      journal_->record_state(id, JournalState::kDone, sink.results(), sink.failed());
+      journal_->close_frames(id);
+    }
     requests_completed_.fetch_add(1);
   } catch (const CancelledError&) {
+    if (journaled) {
+      journal_->record_state(id, JournalState::kCancelled);
+      journal_->close_frames(id);
+    }
     requests_cancelled_.fetch_add(1);
   } catch (const std::exception& e) {
     // Sweep materialisation / sink failures that are not cancellation: close
     // the request with a structured error frame (best effort — the session
     // may be gone).
     requests_failed_.fetch_add(1);
-    if (session->push_frame(error_frame(request.request_id, request.name(),
-                                        scenario::ResultStatus::kFailed, e.what()))) {
-      session->push_frame(
-          done_frame(request.request_id, sink.results() + 1, sink.failed() + 1));
+    const std::string error = error_frame(request.request_id, request.name(),
+                                          scenario::ResultStatus::kFailed, e.what());
+    const std::string done =
+        done_frame(request.request_id, sink.results() + 1, sink.failed() + 1);
+    if (journaled) {
+      // Spool the failure frames too, so the file ends with its done frame
+      // and a re-submission replays the failure instead of re-executing.
+      journal_->append_frame(id, error);
+      journal_->append_frame(id, done);
+      journal_->sync_frames(id);
+      journal_->record_state(id, JournalState::kFailed, sink.results() + 1,
+                            sink.failed() + 1);
+      journal_->close_frames(id);
     }
+    if (session->push_frame(error)) session->push_frame(done);
   }
 }
 
 // ---- shutdown ---------------------------------------------------------------
 
 void Server::drain_queued_requests() {
-  std::vector<std::pair<std::shared_ptr<Session>, Request>> dropped;
+  std::vector<DroppedRequest> dropped;
   {
     std::lock_guard<std::mutex> lock{sched_mutex_};
     draining_ = true;
@@ -667,19 +1138,16 @@ void Server::drain_queued_requests() {
       Session& session = *conn->session;
       session.sched.input_closed = true;
       while (!session.sched.pending.empty()) {
-        dropped.emplace_back(conn->session, std::move(session.sched.pending.front()));
+        dropped.push_back({conn->session, std::move(session.sched.pending.front())});
         session.sched.pending.pop_front();
       }
       // maybe_finish deliberately NOT here: the kCancelled frames below must
       // reach the output queue before it is sealed.
     }
   }
-  for (auto& [session, request] : dropped) {
-    requests_cancelled_.fetch_add(1);
-    reject(*session, request.request_id, request.name(),
-           scenario::ResultStatus::kCancelled,
-           "daemon stopping: request cancelled before execution");
-  }
+  // Journals the cancels (cancelled is terminal: the next start does NOT
+  // re-queue these — a client re-submits to re-run) and settles followers.
+  cancel_dropped(dropped, "daemon stopping: request cancelled before execution");
   {
     std::lock_guard<std::mutex> lock{sched_mutex_};
     for (const auto& conn : connections_) maybe_finish_locked(*conn->session);

@@ -36,12 +36,30 @@
 // request line each, write-then-rename like every durable file in this
 // repo) are claimed by renaming to NAME.req.claimed, answered into
 // NAME.out (written as NAME.out.partial, renamed when complete), and the
-// input sealed as NAME.req.done.  A crash leaves .claimed/.partial pairs
-// for inspection instead of half-written .out files.
+// input sealed as NAME.req.done.  A crash leaves .claimed/.partial pairs;
+// the next start() reclaims them (rename .req.claimed back to .req, delete
+// .out.partial) so no spool request is ever orphaned.
+//
+// Crash safety (state_dir): with a state directory configured, every
+// admitted request that carries a request_id is journaled through
+// serve/journal.h (accepted -> running -> done|failed|cancelled) and its
+// response frames are spooled durably as they are emitted.  On start() the
+// journal is replayed: incomplete socket-origin requests are re-queued
+// under their original ids (spool-origin ones re-arrive through their
+// reclaimed .req files), terminal ids re-submitted by a client are answered
+// straight from the frame spool (requests_deduped), and a re-submission of
+// an id that is currently queued/running becomes a FOLLOWER — it receives
+// the one active run's frames when that run settles instead of executing
+// twice.  Sweep requests checkpoint through the PR 5 fingerprinted resume
+// tokens (scenario/sweep.h) next to their frame spool, so a restarted
+// daemon re-evaluates only grid points past the last checkpoint and the
+// recovered frame stream is byte-identical to an uninterrupted run.
 //
 // Fault injection: the "accept" / "session" / "respond" serve sites
 // (scenario/faultplan.h) key on connection / request / frame ordinals and
-// model torn-down connections, rejected requests and broken client pipes.
+// model torn-down connections, rejected requests and broken client pipes;
+// "journal" / "crash" (serve/journal.h) model lost durable appends and
+// SIGKILL kill points for the recovery harness (tools/recovery_smoke.cpp).
 
 #include <atomic>
 #include <condition_variable>
@@ -52,10 +70,13 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "scenario/result_cache.h"
 #include "scenario/runner.h"
+#include "serve/journal.h"
 #include "serve/protocol.h"
 #include "serve/session.h"
 #include "sim/engine/cancel.h"
@@ -99,6 +120,17 @@ struct ServeOptions {
   /// Spool directory scan period.
   std::uint64_t spool_poll_ms = 50;
 
+  /// Durable state directory (request journal + frame spool + sweep
+  /// checkpoints; see the crash-safety notes above).  Empty = no journal:
+  /// the daemon runs exactly as before, with no crash-safety.  Only
+  /// requests that carry a request_id are journaled — an id is the unit of
+  /// exactly-once recovery.
+  std::string state_dir;
+  /// Cache store reload poll period in ms (0 = off): the daemon re-loads
+  /// cache_file whenever its mtime changes, picking up externally-written
+  /// entries without a restart.  Requires cache_bytes > 0 and a cache_file.
+  std::uint64_t cache_reload_ms = 0;
+
   SessionLimits limits;
 
   /// Serve-site fault injection for the chaos harness (nullptr = none).
@@ -117,6 +149,12 @@ struct ServeStats {
   std::uint64_t requests_failed = 0;       ///< aborted by a non-cancel error
   std::uint64_t requests_cancelled = 0;    ///< shutdown / dead-connection drops
   std::uint64_t frames_written = 0;        ///< frames delivered to transports
+  std::uint64_t spool_reclaimed = 0;       ///< orphaned .claimed/.partial reclaimed at boot
+  std::uint64_t journal_recovered = 0;     ///< incomplete requests re-queued at boot
+  std::uint64_t journal_rejected = 0;      ///< torn/corrupt journal lines dropped at boot
+  std::uint64_t requests_deduped = 0;      ///< ids answered from the journal/frame spool
+  std::uint64_t sweeps_resumed = 0;        ///< sweep runs resumed from a checkpoint
+  std::uint64_t cache_reloads = 0;         ///< cache store reloads (mtime changed)
 };
 
 class Server {
@@ -150,6 +188,9 @@ class Server {
   [[nodiscard]] scenario::ResultCache* cache() noexcept {
     return cache_ ? &*cache_ : nullptr;
   }
+  /// The durable request journal, when a state_dir is configured (tests
+  /// inspect records and frame spools).
+  [[nodiscard]] Journal* journal() noexcept { return journal_ ? &*journal_ : nullptr; }
 
  private:
   struct Connection;
@@ -169,11 +210,35 @@ class Server {
               scenario::ResultStatus status, const std::string& error);
 
   // Scheduling + execution (worker threads).
+  struct DroppedRequest {
+    std::shared_ptr<Session> session;
+    Request request;
+  };
   void worker_loop();
-  [[nodiscard]] bool pick_next_locked(std::shared_ptr<Session>& session, Request& request);
+  [[nodiscard]] bool pick_next_locked(std::shared_ptr<Session>& session, Request& request,
+                                      std::vector<DroppedRequest>& dropped);
   void execute(const std::shared_ptr<Session>& session, Request request);
   void maybe_finish_locked(Session& session);
   void mark_input_closed(Session& session);
+
+  // Crash recovery (journal mode).
+  void reclaim_spool_dir();
+  void requeue_incomplete();
+  /// Reconciles @p request with its journal record + frame spool before a
+  /// run: fills the replayable @p prefix, the sweep @p resume_from index and
+  /// @p prefix_failed count; sets @p already_complete when the frame spool
+  /// already ends with the done frame (the prefix then IS the whole answer).
+  void prepare_recovery(Request& request, std::vector<std::string>& prefix,
+                        std::size_t& resume_from, std::size_t& prefix_failed,
+                        bool& already_complete);
+  /// Delivers the settled outcome of @p request_id to its follower sessions
+  /// (journal dedup) and releases their waiting gates.
+  void settle_followers(const std::string& request_id,
+                        std::vector<std::shared_ptr<Session>> followers);
+  /// Journals + answers requests dropped without execution (dead connection,
+  /// drain), releasing any followers of their ids.
+  void cancel_dropped(std::vector<DroppedRequest>& dropped, const std::string& reason);
+  void cache_reload_loop();
 
   // Shutdown sequence (wait()).
   void drain_queued_requests();
@@ -182,6 +247,7 @@ class Server {
 
   ServeOptions options_;
   std::optional<scenario::ResultCache> cache_;
+  std::optional<Journal> journal_;
   sim::engine::CancelToken shutdown_;  ///< parent of every session token
 
   int listen_fd_ = -1;
@@ -193,6 +259,7 @@ class Server {
 
   std::thread accept_thread_;
   std::thread spool_thread_;
+  std::thread reload_thread_;
   std::vector<std::thread> workers_;
 
   mutable std::mutex sched_mutex_;
@@ -204,6 +271,10 @@ class Server {
   std::vector<std::unique_ptr<Connection>> connections_;
   std::size_t in_flight_total_ = 0;  ///< guarded by sched_mutex_
   bool draining_ = false;            ///< guarded by sched_mutex_
+  /// Journal dedup (guarded by sched_mutex_): ids currently queued or
+  /// executing, and the sessions waiting to receive each id's outcome.
+  std::unordered_set<std::string> active_;
+  std::unordered_map<std::string, std::vector<std::shared_ptr<Session>>> followers_;
   std::atomic<std::uint64_t> next_session_id_{0};  ///< accept + spool threads
 
   bool started_ = false;
@@ -219,6 +290,12 @@ class Server {
   std::atomic<std::uint64_t> requests_failed_{0};
   std::atomic<std::uint64_t> requests_cancelled_{0};
   std::atomic<std::uint64_t> frames_written_{0};
+  std::atomic<std::uint64_t> spool_reclaimed_{0};
+  std::atomic<std::uint64_t> journal_recovered_{0};
+  std::atomic<std::uint64_t> journal_rejected_{0};
+  std::atomic<std::uint64_t> requests_deduped_{0};
+  std::atomic<std::uint64_t> sweeps_resumed_{0};
+  std::atomic<std::uint64_t> cache_reloads_{0};
 };
 
 }  // namespace arsf::serve

@@ -110,6 +110,10 @@ class Session {
     bool input_closed = false;    ///< reader saw EOF: no more requests will arrive
     bool in_flight = false;       ///< a worker is executing this session's request
     bool finished = false;        ///< finish_output() has been issued
+    /// Requests of this session registered as FOLLOWERS of an id already
+    /// active elsewhere (journal dedup): their frames arrive when the active
+    /// run settles, so the session must not finish while any are pending.
+    std::size_t waiting = 0;
     /// Accumulated cost-weighted service (virtual time).  The scheduler
     /// picks the eligible session with the smallest vtime and charges it
     /// request_cost() on dispatch, so a connection that just ran an

@@ -1,0 +1,494 @@
+// Tests for the durable request journal and frame spool (src/serve/journal.h)
+// plus the crash-recovery behaviour of the Server built on top of them:
+// replay across reopen, hand-corrupted files (torn tails never abort, only
+// count), escaped request ids, the "journal" fault site, and in-process
+// kill-free restarts of the spool transport (dedup across restart, corrupt
+// sweep checkpoint -> clean full re-run).  The with-SIGKILL variants of the
+// same guarantees live in tools/recovery_smoke.cpp.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "scenario/faultplan.h"
+#include "scenario/scenario.h"
+#include "scenario/sweep.h"
+#include "serve/journal.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+namespace arsf::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+// A temporary state directory removed on scope exit.
+struct TempDir {
+  std::string path;
+  explicit TempDir(const std::string& name)
+      : path((fs::temp_directory_path() / (name + "." + std::to_string(::getpid())))
+                 .string()) {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in{path};
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+void append_raw(const std::string& path, const std::string& text) {
+  std::ofstream out{path, std::ios::app | std::ios::binary};
+  out << text;
+}
+
+std::size_t line_count(const std::string& path) {
+  std::ifstream in{path};
+  std::size_t lines = 0;
+  std::string line;
+  while (std::getline(in, line)) ++lines;
+  return lines;
+}
+
+// ----------------------------------------------------------- state machine --
+
+TEST(Journal, RoundTripsRecordsAcrossReopen) {
+  const TempDir dir{"arsf_journal_roundtrip"};
+  {
+    Journal journal{dir.path};
+    const JournalLoadReport empty = journal.open();
+    EXPECT_EQ(empty.records, 0u);
+    EXPECT_EQ(empty.rejected, 0u);
+    journal.record_accepted("r-1", "socket", "{\"request_id\":\"r-1\",\"name\":\"a\"}");
+    journal.record_accepted("r-2", "spool", "{\"request_id\":\"r-2\",\"name\":\"b\"}");
+    journal.record_state("r-1", JournalState::kRunning);
+    journal.record_state("r-1", JournalState::kDone, 7, 2);
+  }
+  Journal reopened{dir.path};
+  const JournalLoadReport report = reopened.open();
+  EXPECT_EQ(report.records, 2u);
+  EXPECT_EQ(report.rejected, 0u);
+
+  const std::optional<JournalRecord> done = reopened.find("r-1");
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(done->state, JournalState::kDone);
+  EXPECT_EQ(done->origin, "socket");
+  EXPECT_EQ(done->line, "{\"request_id\":\"r-1\",\"name\":\"a\"}");
+  EXPECT_EQ(done->results, 7u);
+  EXPECT_EQ(done->failed, 2u);
+  EXPECT_TRUE(is_terminal(done->state));
+
+  const std::vector<JournalRecord> incomplete = reopened.incomplete();
+  ASSERT_EQ(incomplete.size(), 1u);
+  EXPECT_EQ(incomplete[0].request_id, "r-2");
+  EXPECT_EQ(incomplete[0].state, JournalState::kAccepted);
+  EXPECT_FALSE(is_terminal(incomplete[0].state));
+}
+
+TEST(Journal, IncompleteKeepsJournalOrderAndSkipsTerminals) {
+  const TempDir dir{"arsf_journal_order"};
+  Journal journal{dir.path};
+  (void)journal.open();
+  journal.record_accepted("c", "socket", "{}");
+  journal.record_accepted("a", "socket", "{}");
+  journal.record_accepted("b", "socket", "{}");
+  journal.record_state("a", JournalState::kFailed, 1, 1);
+  const std::vector<JournalRecord> incomplete = journal.incomplete();
+  ASSERT_EQ(incomplete.size(), 2u);
+  EXPECT_EQ(incomplete[0].request_id, "c");  // first-seen order, not sorted
+  EXPECT_EQ(incomplete[1].request_id, "b");
+  EXPECT_EQ(journal.size(), 3u);
+}
+
+TEST(Journal, ReAcceptRefreshesLineAndOrigin) {
+  const TempDir dir{"arsf_journal_reaccept"};
+  Journal journal{dir.path};
+  (void)journal.open();
+  journal.record_accepted("r", "socket", "old-line");
+  journal.record_accepted("r", "spool", "new-line");
+  const std::optional<JournalRecord> record = journal.find("r");
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->origin, "spool");
+  EXPECT_EQ(record->line, "new-line");
+  EXPECT_EQ(journal.size(), 1u);  // last writer wins, no duplicate record
+}
+
+TEST(Journal, UnknownIdStateEventGetsSyntheticRecord) {
+  const TempDir dir{"arsf_journal_synthetic"};
+  Journal journal{dir.path};
+  (void)journal.open();
+  journal.record_state("ghost", JournalState::kCancelled);
+  const std::optional<JournalRecord> record = journal.find("ghost");
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->state, JournalState::kCancelled);
+}
+
+TEST(Journal, EscapedRequestIdsRoundTripThroughReplay) {
+  const TempDir dir{"arsf_journal_escaped"};
+  const std::string id = "dup \"two\"\\slash\nnewline\ttab";
+  const std::string line = "{\"request_id\":\"quoted \\\"stuff\\\"\"}";
+  {
+    Journal journal{dir.path};
+    (void)journal.open();
+    journal.record_accepted(id, "socket", line);
+    journal.record_state(id, JournalState::kDone, 1, 0);
+  }
+  Journal reopened{dir.path};
+  const JournalLoadReport report = reopened.open();
+  EXPECT_EQ(report.rejected, 0u);
+  const std::optional<JournalRecord> record = reopened.find(id);
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->request_id, id);
+  EXPECT_EQ(record->line, line);
+  // The frame stem is filesystem-safe regardless of what the id contains.
+  const std::string stem = Journal::frame_file_stem(id);
+  EXPECT_EQ(stem.size(), 16u);
+  EXPECT_EQ(stem.find_first_not_of("0123456789abcdef"), std::string::npos);
+}
+
+// ------------------------------------------------- corruption and the tail --
+
+TEST(Journal, TornFinalLineIsDroppedCountedAndCompactedAway) {
+  const TempDir dir{"arsf_journal_torn"};
+  const std::string journal_path = dir.path + "/journal.jsonl";
+  {
+    Journal journal{dir.path};
+    (void)journal.open();
+    journal.record_accepted("r-1", "socket", "{}");
+    journal.record_state("r-1", JournalState::kRunning);
+  }
+  // A SIGKILL mid-append leaves an unterminated tail.
+  append_raw(journal_path, "{\"event\":\"done\",\"request_id\":\"r-1\",\"resu");
+
+  Journal reopened{dir.path};
+  const JournalLoadReport report = reopened.open();
+  EXPECT_EQ(report.records, 1u);
+  EXPECT_EQ(report.rejected, 1u);  // counted, never fatal
+  const std::optional<JournalRecord> record = reopened.find("r-1");
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->state, JournalState::kRunning);  // the torn done never applied
+
+  // open() compacts write-then-rename: the torn done event is gone from disk
+  // and a third open sees a clean file.
+  const std::string text = read_file(journal_path);
+  EXPECT_EQ(text.find("\"event\":\"done\""), std::string::npos);
+  EXPECT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+  Journal third{dir.path};
+  const JournalLoadReport clean = third.open();
+  EXPECT_EQ(clean.records, 1u);
+  EXPECT_EQ(clean.rejected, 0u);
+}
+
+TEST(Journal, CorruptMiddleLineIsSkippedNotFatal) {
+  const TempDir dir{"arsf_journal_corrupt_middle"};
+  const std::string journal_path = dir.path + "/journal.jsonl";
+  std::ofstream out{journal_path};
+  out << R"({"event":"accepted","request_id":"r-1","origin":"socket","line":"{}"})" << '\n';
+  out << "this is not json\n";
+  out << R"({"event":"accepted","request_id":"r-2","origin":"socket","line":"{}"})" << '\n';
+  out << R"({"event":"done","request_id":"r-2","results":3,"failed":0})" << '\n';
+  out << R"({"event":"accepted","bogus_key":true})" << '\n';  // strict keys reject
+  out.close();
+
+  Journal journal{dir.path};
+  const JournalLoadReport report = journal.open();
+  EXPECT_EQ(report.records, 2u);
+  EXPECT_EQ(report.rejected, 2u);
+  ASSERT_TRUE(journal.find("r-2").has_value());
+  EXPECT_EQ(journal.find("r-2")->state, JournalState::kDone);
+  EXPECT_EQ(journal.find("r-2")->results, 3u);
+  ASSERT_TRUE(journal.find("r-1").has_value());
+  EXPECT_EQ(journal.find("r-1")->state, JournalState::kAccepted);
+}
+
+TEST(Journal, CompactionShrinksEventHistoryToOneOrTwoLinesPerRecord) {
+  const TempDir dir{"arsf_journal_compact"};
+  const std::string journal_path = dir.path + "/journal.jsonl";
+  {
+    Journal journal{dir.path};
+    (void)journal.open();
+    journal.record_accepted("r", "socket", "{}");
+    for (int i = 0; i < 10; ++i) journal.record_state("r", JournalState::kRunning);
+    journal.record_state("r", JournalState::kDone, 1, 0);
+  }
+  EXPECT_GE(line_count(journal_path), 12u);  // the raw event history
+  Journal reopened{dir.path};
+  (void)reopened.open();
+  EXPECT_EQ(line_count(journal_path), 2u);  // accepted + terminal state
+}
+
+// ------------------------------------------------------------- frame spool --
+
+TEST(Journal, FrameSpoolAppendsReadsAndTruncates) {
+  const TempDir dir{"arsf_journal_frames"};
+  Journal journal{dir.path};
+  (void)journal.open();
+  journal.record_accepted("r", "socket", "{}");
+  journal.append_frame("r", "{\"frame\":0}");
+  journal.append_frame("r", "{\"frame\":1}");
+  journal.append_frame("r", "{\"frame\":2}");
+  journal.sync_frames("r");
+
+  const std::vector<std::string> frames = journal.read_frames("r");
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0], "{\"frame\":0}");
+  EXPECT_EQ(frames[2], "{\"frame\":2}");
+
+  journal.truncate_frames("r", 1);  // sweep resume: cut back to the checkpoint
+  const std::vector<std::string> kept = journal.read_frames("r");
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0], "{\"frame\":0}");
+  journal.append_frame("r", "{\"frame\":11}");  // the tail re-runs after a truncate
+  EXPECT_EQ(journal.read_frames("r").size(), 2u);
+
+  journal.reset_frames("r");
+  EXPECT_TRUE(journal.read_frames("r").empty());
+  EXPECT_FALSE(fs::exists(journal.frame_path("r")));
+}
+
+TEST(Journal, TornFrameTailStopsTheReadButKeepsThePrefix) {
+  const TempDir dir{"arsf_journal_frame_torn"};
+  Journal journal{dir.path};
+  (void)journal.open();
+  journal.record_accepted("r", "socket", "{}");
+  journal.append_frame("r", "{\"a\":1}");
+  journal.append_frame("r", "{\"b\":2}");
+  journal.close_frames("r");
+  append_raw(journal.frame_path("r"), "{\"torn\":");  // no newline: mid-write kill
+  const std::vector<std::string> frames = journal.read_frames("r");
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[1], "{\"b\":2}");
+}
+
+TEST(Journal, FrameIsDoneRecognisesOnlyDoneFrames) {
+  EXPECT_TRUE(frame_is_done(done_frame("id", 3, 1)));
+  EXPECT_TRUE(frame_is_done(done_frame("weird \"id\"\\", 0, 0)));
+  scenario::ScenarioResult result;
+  result.scenario = "x";
+  EXPECT_FALSE(frame_is_done(result_frame("id", 0, result)));
+  EXPECT_FALSE(frame_is_done("not a frame"));
+  EXPECT_FALSE(frame_is_done(""));
+}
+
+TEST(Journal, OpenRemovesFrameFilesOfDeadRecords) {
+  const TempDir dir{"arsf_journal_gc"};
+  std::string live_frames;
+  std::string live_checkpoint;
+  {
+    Journal journal{dir.path};
+    (void)journal.open();
+    journal.record_accepted("live", "socket", "{}");
+    journal.append_frame("live", "frame");
+    journal.close_frames("live");
+    live_frames = journal.frame_path("live");
+    live_checkpoint = journal.checkpoint_path("live");
+    append_raw(live_checkpoint, "token\n");
+    // Orphans: a frame file and a checkpoint that no record owns.
+    append_raw(dir.path + "/frames/deadbeefdeadbeef.jsonl", "orphan\n");
+    append_raw(dir.path + "/frames/deadbeefdeadbeef.progress", "orphan\n");
+  }
+  Journal reopened{dir.path};
+  (void)reopened.open();
+  EXPECT_TRUE(fs::exists(live_frames));
+  EXPECT_TRUE(fs::exists(live_checkpoint));
+  EXPECT_FALSE(fs::exists(dir.path + "/frames/deadbeefdeadbeef.jsonl"));
+  EXPECT_FALSE(fs::exists(dir.path + "/frames/deadbeefdeadbeef.progress"));
+}
+
+// ---------------------------------------------------------- "journal" site --
+
+TEST(Journal, JournalFaultSiteSkipsTheAppendButKeepsInMemoryState) {
+  const TempDir dir{"arsf_journal_fault"};
+  scenario::FaultPlan plan;
+  plan.seed = 7;
+  scenario::FaultRule rule;
+  rule.site = "journal";
+  rule.nth = 2;  // the second durable journal append is dropped
+  plan.rules.push_back(rule);
+  const scenario::FaultInjector injector{plan};
+  {
+    Journal journal{dir.path};
+    journal.set_fault_injector(&injector);
+    (void)journal.open();
+    journal.record_accepted("r-1", "socket", "{}");     // append 1: lands
+    journal.record_state("r-1", JournalState::kDone, 1, 0);  // append 2: dropped
+    EXPECT_EQ(journal.appends_failed(), 1u);
+    // In-memory state carried on: degraded durability, not degraded truth.
+    EXPECT_EQ(journal.find("r-1")->state, JournalState::kDone);
+  }
+  // After a restart the dropped event is simply absent — the request is
+  // incomplete again and will re-run (at-least-once, never lost).
+  Journal reopened{dir.path};
+  (void)reopened.open();
+  ASSERT_TRUE(reopened.find("r-1").has_value());
+  EXPECT_EQ(reopened.find("r-1")->state, JournalState::kAccepted);
+  EXPECT_EQ(reopened.incomplete().size(), 1u);
+}
+
+TEST(Journal, CrashSiteIsRegistered) {
+  const std::vector<std::string> sites = scenario::fault_sites();
+  EXPECT_NE(std::find(sites.begin(), sites.end(), "journal"), sites.end());
+  EXPECT_NE(std::find(sites.begin(), sites.end(), "crash"), sites.end());
+}
+
+// ----------------------------------------------- Server restarts (no kill) --
+
+scenario::Scenario cheap_scenario(const std::string& name) {
+  scenario::Scenario s;
+  s.name = name;
+  s.widths = {5.0, 2.0, 3.0};
+  s.fa = 0;
+  s.policy = scenario::PolicyKind::kNone;
+  s.analysis = scenario::AnalysisKind::kEnumerate;
+  return s;
+}
+
+ServeOptions spool_options(const std::string& spool, const std::string& state) {
+  ServeOptions options;
+  options.spool_dir = spool;
+  options.state_dir = state;
+  options.workers = 2;
+  options.spool_poll_ms = 10;
+  options.chunk_scenarios = 4;
+  return options;
+}
+
+void drop_request(const std::string& spool, const std::string& name,
+                  const std::string& line) {
+  const std::string tmp = spool + "/" + name + ".tmp";
+  std::ofstream out{tmp};
+  out << line << '\n';
+  out.close();
+  fs::rename(tmp, spool + "/" + name + ".req");
+}
+
+std::vector<std::string> wait_for_out(const std::string& path) {
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (!fs::exists(path) && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  std::vector<std::string> lines;
+  std::ifstream in{path};
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+TEST(ServerRecovery, RequestIdDedupAcrossRestart) {
+  const TempDir spool{"arsf_recovery_dedup_spool"};
+  const TempDir state{"arsf_recovery_dedup_state"};
+  const std::string line =
+      "{\"request_id\":\"dup-1\"," + cheap_scenario("dedup/one").to_json().substr(1);
+
+  std::vector<std::string> first;
+  {
+    Server server{spool_options(spool.path, state.path)};
+    server.start();
+    drop_request(spool.path, "job1", line);
+    first = wait_for_out(spool.path + "/job1.out");
+    server.request_stop();
+    server.wait();
+    EXPECT_EQ(server.stats().requests_completed, 1u);
+    EXPECT_EQ(server.stats().requests_deduped, 0u);
+  }
+  ASSERT_EQ(first.size(), 2u);  // one result frame + done
+
+  // Second life, same state dir: the same id is answered from the journal,
+  // byte for byte, without re-executing.
+  {
+    Server server{spool_options(spool.path, state.path)};
+    server.start();
+    drop_request(spool.path, "job2", line);
+    const std::vector<std::string> second = wait_for_out(spool.path + "/job2.out");
+    server.request_stop();
+    server.wait();
+    EXPECT_EQ(second, first);
+    EXPECT_EQ(server.stats().requests_deduped, 1u);
+    EXPECT_EQ(server.stats().requests_completed, 0u);
+  }
+}
+
+TEST(ServerRecovery, CorruptSweepCheckpointFallsBackToCleanFullRerun) {
+  const TempDir spool{"arsf_recovery_ckpt_spool"};
+  const TempDir state{"arsf_recovery_ckpt_state"};
+  scenario::SweepSpec sweep;
+  sweep.name = "recovery/ckpt";
+  sweep.base = cheap_scenario("recovery/ckpt-base");
+  sweep.seed_count = 6;
+  const std::string line =
+      "{\"request_id\":\"sweep-1\"," + sweep.to_json().substr(1);
+
+  // Craft a crashed-looking state dir BY HAND: a socket-origin record that
+  // never finished, two already-spooled frames, and a GARBAGE checkpoint.
+  {
+    Journal journal{state.path};
+    (void)journal.open();
+    journal.record_accepted("sweep-1", "socket", line);
+    journal.record_state("sweep-1", JournalState::kRunning);
+    journal.append_frame("sweep-1", "{\"stale\":0}");
+    journal.append_frame("sweep-1", "{\"stale\":1}");
+    journal.close_frames("sweep-1");
+    append_raw(journal.checkpoint_path("sweep-1"), "not a checkpoint\n");
+  }
+  EXPECT_THROW((void)scenario::load_sweep_checkpoint(
+                   Journal{state.path}.checkpoint_path("sweep-1")),
+               std::runtime_error);
+
+  // The restarted server re-queues the socket-origin record, must NOT trust
+  // the corrupt checkpoint (or the stale frames), and re-runs from scratch.
+  {
+    Server server{spool_options(spool.path, state.path)};
+    server.start();
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    while (server.stats().requests_completed == 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    server.request_stop();
+    server.wait();
+    EXPECT_EQ(server.stats().journal_recovered, 1u);
+    EXPECT_EQ(server.stats().sweeps_resumed, 0u);  // corrupt token = no resume
+    EXPECT_EQ(server.stats().requests_completed, 1u);
+  }
+
+  // The journal now holds a terminal done record counting the WHOLE grid and
+  // a complete frame spool with no trace of the stale frames.
+  Journal journal{state.path};
+  (void)journal.open();
+  const std::optional<JournalRecord> record = journal.find("sweep-1");
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->state, JournalState::kDone);
+  EXPECT_EQ(record->results, sweep.size());
+  EXPECT_EQ(record->failed, 0u);
+  const std::vector<std::string> frames = journal.read_frames("sweep-1");
+  ASSERT_EQ(frames.size(), sweep.size() + 1);  // grid + done frame
+  EXPECT_TRUE(frame_is_done(frames.back()));
+  for (const std::string& frame : frames) {
+    EXPECT_EQ(frame.find("stale"), std::string::npos);
+  }
+  EXPECT_FALSE(fs::exists(journal.checkpoint_path("sweep-1")));
+}
+
+}  // namespace
+}  // namespace arsf::serve

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -456,10 +457,14 @@ TEST(ResultCachePersistence, LoadRejectsCorruptLinesAndMissingFileIsCold) {
   source.save_file(file.path);
 
   // Append hostile lines: garbage, wrong shape, a failed frame and a
-  // scenario that no longer validates.
+  // scenario that no longer validates.  (Line 1 of a saved store is the
+  // generation header; the first ENTRY is line 2.)
   std::string good_line;
   {
     std::ifstream in{file.path};
+    std::string header;
+    ASSERT_TRUE(static_cast<bool>(std::getline(in, header)));
+    ASSERT_NE(header.find("cache_generation"), std::string::npos);
     ASSERT_TRUE(static_cast<bool>(std::getline(in, good_line)));
   }
   {
@@ -488,6 +493,100 @@ TEST(ResultCachePersistence, LoadRejectsCorruptLinesAndMissingFileIsCold) {
   const ResultCache::LoadReport missing = cold.load_file("/nonexistent/arsf-cache.jsonl");
   EXPECT_EQ(missing.loaded, 0u);
   EXPECT_EQ(missing.rejected, 0u);
+}
+
+TEST(ResultCachePersistence, GenerationHeaderIsWrittenSkippedAndAdopted) {
+  const Scenario s = clean_enumerate("gen", {2, 3});
+  ResultCache cache;
+  ASSERT_TRUE(cache.insert(cache_key(s), ok_result("gen", 1.0)));
+  EXPECT_EQ(cache.generation(), 0u);
+
+  const TempFile file{"arsf_cache_generation.jsonl"};
+  cache.save_file(file.path);
+  EXPECT_EQ(cache.generation(), 1u);
+  cache.save_file(file.path);
+  EXPECT_EQ(cache.generation(), 2u) << "every save bumps the generation";
+  {
+    std::ifstream in{file.path};
+    std::string header;
+    ASSERT_TRUE(static_cast<bool>(std::getline(in, header)));
+    EXPECT_EQ(header, "{\"cache_generation\":2}");
+  }
+
+  // The header is metadata: neither loaded nor rejected, and the reader
+  // adopts the newer generation so its own next save supersedes the file.
+  ResultCache reloaded;
+  const ResultCache::LoadReport report = reloaded.load_file(file.path);
+  EXPECT_EQ(report.loaded, 1u);
+  EXPECT_EQ(report.rejected, 0u);
+  EXPECT_EQ(reloaded.generation(), 2u);
+}
+
+TEST(ResultCachePersistence, HeaderlessLegacyStoreStillLoads) {
+  const Scenario s = clean_enumerate("legacy", {2, 3});
+  ResultCache source;
+  ASSERT_TRUE(source.insert(cache_key(s), ok_result("legacy", 3.0)));
+  const TempFile file{"arsf_cache_legacy.jsonl"};
+  source.save_file(file.path);
+
+  // Strip the header: the file now looks like a pre-generation store.
+  std::vector<std::string> lines;
+  {
+    std::ifstream in{file.path};
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  ASSERT_GE(lines.size(), 2u);
+  {
+    std::ofstream out{file.path, std::ios::trunc};
+    for (std::size_t i = 1; i < lines.size(); ++i) out << lines[i] << '\n';
+  }
+
+  ResultCache reloaded;
+  const ResultCache::LoadReport report = reloaded.load_file(file.path);
+  EXPECT_EQ(report.loaded, 1u);
+  EXPECT_EQ(report.rejected, 0u);
+  EXPECT_EQ(reloaded.generation(), 0u);
+  EXPECT_TRUE(reloaded.lookup(cache_key(s)).has_value());
+}
+
+TEST(ResultCachePersistence, MaybeReloadPicksUpExternallyWrittenEntries) {
+  const Scenario first = clean_enumerate("reload-a", {2, 3});
+  const Scenario second = clean_enumerate("reload-b", {2, 3, 4});
+  const TempFile file{"arsf_cache_reload.jsonl"};
+  {
+    ResultCache writer;
+    ASSERT_TRUE(writer.insert(cache_key(first), ok_result("reload-a", 1.0)));
+    writer.save_file(file.path);
+  }
+
+  ResultCache reader;
+  (void)reader.load_file(file.path);
+  EXPECT_FALSE(reader.maybe_reload(file.path).reloaded) << "mtime unchanged: no-op";
+
+  // An external process (another daemon, a sweep job) rewrites the store.
+  {
+    ResultCache writer;
+    (void)writer.load_file(file.path);
+    ASSERT_TRUE(writer.insert(cache_key(second), ok_result("reload-b", 2.0)));
+    writer.save_file(file.path);
+  }
+  // Force a visible mtime step: a same-nanosecond rewrite is legal but
+  // undetectable, and this test pins detection, not clock granularity.
+  std::filesystem::last_write_time(
+      file.path, std::filesystem::file_time_type::clock::now() + std::chrono::seconds(2));
+
+  const ResultCache::ReloadReport report = reader.maybe_reload(file.path);
+  EXPECT_TRUE(report.reloaded);
+  // reload-a is already resident (a duplicate only refreshes recency); only
+  // the externally-added entry counts as loaded.
+  EXPECT_EQ(report.load.loaded, 1u);
+  EXPECT_TRUE(reader.lookup(cache_key(first)).has_value());
+  EXPECT_TRUE(reader.lookup(cache_key(second)).has_value());
+  EXPECT_FALSE(reader.maybe_reload(file.path).reloaded) << "reload records the new mtime";
+
+  ResultCache never_loaded;
+  EXPECT_FALSE(never_loaded.maybe_reload("/nonexistent/arsf-cache.jsonl").reloaded);
 }
 
 // -------------------------------------------------------------- Runner -----

@@ -212,6 +212,23 @@ TEST(ServeProtocol, RequestSinkCountsAndTerminates) {
   EXPECT_EQ(sink.failed(), 1u);
 }
 
+TEST(ServeProtocol, RequestSinkResumeCountsSeedTheDoneFrame) {
+  // Sweep resume after a crash: frames 0..2 (one failed) were already
+  // delivered from the recovered spool; only the tail re-runs through the
+  // sink.  The done frame must count the WHOLE run.
+  std::vector<std::string> lines;
+  RequestSink sink{"rid-r", [&](const std::string& line) { lines.push_back(line); }};
+  sink.resume_counts(3, 1);
+  ScenarioResult tail;
+  tail.scenario = "serve/sink-tail";
+  sink.on_result(3, tail);
+  sink.on_finish(5);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines.back(), done_frame("rid-r", 4, 1));
+  EXPECT_EQ(sink.results(), 4u);
+  EXPECT_EQ(sink.failed(), 1u);
+}
+
 // ------------------------------------------- backoff delay saturation ----
 // Regression: the compounded delay used to be converted double -> uint64
 // without a ceiling, which is undefined behaviour once base * backoff^k

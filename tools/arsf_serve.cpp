@@ -15,9 +15,16 @@
 // own deadlines (bounded by --drain-ms when set), queued requests get
 // kCancelled frames.  A second signal hard-cancels.
 //
+// --state-dir DIR makes the daemon crash-safe: admitted requests with a
+// request_id are journaled, their frames spooled durably, and a restarted
+// daemon re-queues incomplete work, resumes sweeps at their last checkpoint
+// and answers re-submitted ids exactly once (see serve/journal.h).
+// --cache-reload-ms N makes a running daemon re-load --cache-file whenever
+// its mtime changes, picking up externally-written entries live.
+//
 // --fault-plan FILE arms the deterministic chaos sites ("accept"/"session"/
-// "respond" plus the execution-layer sites) from a FaultPlan JSON file —
-// test tooling, not a production knob.
+// "respond"/"journal"/"crash" plus the execution-layer sites) from a
+// FaultPlan JSON file — test tooling, not a production knob.
 
 #include <csignal>
 #include <cstdio>
@@ -43,9 +50,10 @@ void print_usage(const std::string& program) {
   std::fprintf(stderr,
                "usage: %s [--socket PATH] [--spool DIR] [--workers N]\n"
                "          [--deadline-ms N] [--budget WORLDS] [--retries N] [--degrade]\n"
-               "          [--cache BYTES] [--cache-file FILE] [--drain-ms N]\n"
-               "          [--chunk N] [--max-queued N] [--max-output-frames N]\n"
-               "          [--spool-poll-ms N] [--fault-plan FILE] [--stats]\n"
+               "          [--cache BYTES] [--cache-file FILE] [--cache-reload-ms N]\n"
+               "          [--drain-ms N] [--chunk N] [--max-queued N]\n"
+               "          [--max-output-frames N] [--spool-poll-ms N]\n"
+               "          [--state-dir DIR] [--fault-plan FILE] [--stats]\n"
                "at least one of --socket / --spool is required\n",
                program.c_str());
 }
@@ -71,6 +79,9 @@ int main(int argc, char** argv) {
   options.limits.max_output_frames =
       static_cast<std::size_t>(args.get_int("max-output-frames", 256));
   options.spool_poll_ms = static_cast<std::uint64_t>(args.get_int("spool-poll-ms", 50));
+  options.state_dir = args.get_string("state-dir", "");
+  options.cache_reload_ms =
+      static_cast<std::uint64_t>(args.get_int("cache-reload-ms", 0));
   const std::string fault_plan_path = args.get_string("fault-plan", "");
   const bool print_stats = args.get_bool("stats", false);
 
@@ -130,7 +141,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "arsf_serve: connections=%llu (faulted %llu) spool=%llu "
                  "requests accepted=%llu rejected=%llu completed=%llu "
-                 "failed=%llu cancelled=%llu frames=%llu\n",
+                 "failed=%llu cancelled=%llu frames=%llu "
+                 "reclaimed=%llu recovered=%llu journal-rejected=%llu "
+                 "deduped=%llu sweeps-resumed=%llu cache-reloads=%llu\n",
                  static_cast<unsigned long long>(stats.connections_accepted),
                  static_cast<unsigned long long>(stats.connections_faulted),
                  static_cast<unsigned long long>(stats.spool_files),
@@ -139,7 +152,13 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(stats.requests_completed),
                  static_cast<unsigned long long>(stats.requests_failed),
                  static_cast<unsigned long long>(stats.requests_cancelled),
-                 static_cast<unsigned long long>(stats.frames_written));
+                 static_cast<unsigned long long>(stats.frames_written),
+                 static_cast<unsigned long long>(stats.spool_reclaimed),
+                 static_cast<unsigned long long>(stats.journal_recovered),
+                 static_cast<unsigned long long>(stats.journal_rejected),
+                 static_cast<unsigned long long>(stats.requests_deduped),
+                 static_cast<unsigned long long>(stats.sweeps_resumed),
+                 static_cast<unsigned long long>(stats.cache_reloads));
   }
   g_server = nullptr;
   return 0;

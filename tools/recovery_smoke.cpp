@@ -1,0 +1,775 @@
+// recovery_smoke — kill-and-recover chaos harness for the crash-safe
+// scenario service (src/serve/server.h + src/serve/journal.h).  Registered
+// with ctest under the "recovery_smoke" label; part of the default run.
+//
+// Unlike serve_smoke (in-process Server), this harness forks the REAL
+// arsf_serve binary and kills it with SIGKILL at seeded points ("crash"
+// fault site: the daemon SIGKILLs itself right after a keyed durable event —
+// a journal append or a frame-spool append), then restarts it against the
+// same state/spool directories and verifies recovery end to end:
+//
+//   * mid-batch — a 5-request spool job (4 scenarios + a sweep) is killed at
+//     --kill-points seeded ordinals; after the final restart every request
+//     reaches exactly one done frame set BYTE-IDENTICAL to the offline
+//     runner, and no .req.claimed / .out.partial orphans remain.
+//   * mid-sweep — a 40-point sweep is killed mid-grid; before each restart
+//     the PR 5 checkpoint next to the frame spool must hold a real interior
+//     index, and the restarted daemon must log that it resumed AT that index
+//     (proving only the tail was re-evaluated), with the final output
+//     byte-identical to an uninterrupted offline sweep.
+//   * dedup across restart — a socket client's answered ids survive an
+//     EXTERNAL SIGKILL: re-submitting the same ids (including one with JSON
+//     escapes) to the restarted daemon replays the journaled frames
+//     byte-for-byte without re-executing ("deduped=2" in --stats), and a
+//     re-submission racing a recovered in-flight sweep joins it as a
+//     follower instead of double-executing.
+//
+// The daemon runs WITHOUT a result cache here: a crash-resumed run would
+// otherwise legitimately differ from an uninterrupted one in its from_cache
+// bits, breaking byte-comparison (see README "Crash recovery & durability").
+//
+//   ./recovery_smoke --serve-bin PATH [--kill-points N] [--verbose]
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "scenario/faultplan.h"
+#include "scenario/runner.h"
+#include "scenario/sink.h"
+#include "scenario/sweep.h"
+#include "serve/journal.h"
+#include "serve/protocol.h"
+#include "support/cli.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using arsf::scenario::AnalysisKind;
+using arsf::scenario::CollectingSink;
+using arsf::scenario::FaultPlan;
+using arsf::scenario::FaultRule;
+using arsf::scenario::PolicyKind;
+using arsf::scenario::Runner;
+using arsf::scenario::RunnerOptions;
+using arsf::scenario::Scenario;
+using arsf::scenario::ScenarioResult;
+using arsf::scenario::SweepRunOptions;
+using arsf::scenario::SweepSpec;
+using arsf::serve::done_frame;
+using arsf::serve::frame_request_id;
+using arsf::serve::strip_request_id;
+
+int failures = 0;
+bool g_verbose = false;
+
+void expect(bool ok, const std::string& what) {
+  if (!ok) {
+    ++failures;
+    std::fprintf(stderr, "FAIL: %s\n", what.c_str());
+  }
+}
+
+void note(const std::string& what) {
+  if (g_verbose) std::fprintf(stderr, "  %s\n", what.c_str());
+}
+
+std::string temp_path(const std::string& stem) {
+  return (fs::temp_directory_path() / (stem + "." + std::to_string(::getpid()))).string();
+}
+
+// ---- request material -------------------------------------------------------
+
+/// Microsecond-cheap exact enumeration (closed-form clean pass).
+Scenario cheap(const std::string& name, double w0) {
+  Scenario s;
+  s.name = name;
+  s.widths = {w0, 2.0, 3.0};
+  s.fa = 0;
+  s.policy = PolicyKind::kNone;
+  s.analysis = AnalysisKind::kEnumerate;
+  return s;
+}
+
+std::string with_request_id(const std::string& descriptor_json, const std::string& id) {
+  return "{\"request_id\":\"" + id + "\"," + descriptor_json.substr(1);
+}
+
+/// The 40-point sweep of the mid-sweep phase (seed axis; every point cheap).
+SweepSpec wide_sweep() {
+  SweepSpec sweep;
+  sweep.name = "recovery/sweep";
+  sweep.base = cheap("recovery/sweep-base", 11.0);
+  sweep.seed_count = 40;
+  sweep.seed_stride = 1;
+  return sweep;
+}
+
+// ---- offline oracle ---------------------------------------------------------
+// The daemon-equivalent execution policy: serial lane, captured errors, no
+// cache (see the file comment), no admission budget.
+
+struct ExpectedFrames {
+  std::vector<std::string> frames;
+  std::size_t failed = 0;
+};
+
+RunnerOptions oracle_options() {
+  RunnerOptions options;
+  options.num_threads = 1;
+  options.capture_errors = true;
+  return options;
+}
+
+ExpectedFrames offline_scenario(const Scenario& s) {
+  ExpectedFrames expected;
+  const ScenarioResult result = Runner{oracle_options()}.run(s);
+  expected.frames.push_back(arsf::scenario::to_json(0, result));
+  expected.failed = result.ok() ? 0 : 1;
+  return expected;
+}
+
+ExpectedFrames offline_sweep(const SweepSpec& spec) {
+  ExpectedFrames expected;
+  CollectingSink sink;
+  const Runner runner{oracle_options()};
+  arsf::scenario::run_sweep(spec, runner, sink, SweepRunOptions{});
+  for (std::size_t i = 0; i < sink.results().size(); ++i) {
+    expected.frames.push_back(arsf::scenario::to_json(i, sink.results()[i]));
+    if (!sink.results()[i].ok()) ++expected.failed;
+  }
+  return expected;
+}
+
+void verify_request(const std::string& label, const std::string& id,
+                    const std::vector<std::string>& got, const ExpectedFrames& expected) {
+  expect(got.size() == expected.frames.size() + 1,
+         label + ": expected " + std::to_string(expected.frames.size()) +
+             " result frames + done, got " + std::to_string(got.size()));
+  if (got.size() != expected.frames.size() + 1) return;
+  for (std::size_t i = 0; i < expected.frames.size(); ++i) {
+    const std::optional<std::string> stripped = strip_request_id(got[i]);
+    expect(stripped.has_value() && *stripped == expected.frames[i],
+           label + ": frame " + std::to_string(i) +
+               " must be byte-identical to the offline runner");
+  }
+  expect(got.back() == done_frame(id, expected.frames.size(), expected.failed),
+         label + ": done frame counts");
+}
+
+// ---- daemon process control -------------------------------------------------
+
+std::string write_crash_plan(const std::string& path, std::uint64_t nth) {
+  FaultPlan plan;
+  plan.seed = 7;
+  FaultRule rule;
+  rule.site = "crash";
+  rule.nth = nth;
+  plan.rules.push_back(rule);
+  std::ofstream out{path, std::ios::trunc};
+  out << plan.to_json() << '\n';
+  return path;
+}
+
+pid_t spawn_daemon(const std::string& bin, const std::vector<std::string>& args,
+                   const std::string& log_path) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  const int log_fd = ::open(log_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (log_fd >= 0) {
+    ::dup2(log_fd, 2);
+    ::close(log_fd);
+  }
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>(bin.c_str()));
+  for (const std::string& arg : args) argv.push_back(const_cast<char*>(arg.c_str()));
+  argv.push_back(nullptr);
+  ::execv(bin.c_str(), argv.data());
+  _exit(127);
+}
+
+/// Reaps @p pid within @p timeout_ms; false = still running (not reaped).
+bool wait_exit(pid_t pid, int timeout_ms, int& status) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    const pid_t rc = ::waitpid(pid, &status, WNOHANG);
+    if (rc == pid) return true;
+    if (rc < 0 && errno != EINTR) return false;
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+/// SIGTERM + reap; expects a clean (exit 0) shutdown.
+void stop_daemon(pid_t pid, const std::string& label) {
+  if (pid <= 0) return;
+  ::kill(pid, SIGTERM);
+  int status = 0;
+  if (!wait_exit(pid, 60'000, status)) {
+    ::kill(pid, SIGKILL);
+    (void)wait_exit(pid, 10'000, status);
+    expect(false, label + ": daemon did not drain on SIGTERM");
+    return;
+  }
+  expect(WIFEXITED(status) && WEXITSTATUS(status) == 0,
+         label + ": daemon exits cleanly on SIGTERM");
+}
+
+bool file_contains(const std::string& path, const std::string& needle) {
+  std::ifstream in{path};
+  if (!in) return false;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str().find(needle) != std::string::npos;
+}
+
+/// Waits until the journal holds >= @p count terminal "done" events.  The
+/// client can see a done FRAME a beat before the journal's done EVENT is
+/// fsync'd (frame spool first, journal second) — an external SIGKILL racing
+/// that window would land the restart in the frame-reconcile path instead of
+/// the replay path, which is correct but not what the dedup assertions pin.
+bool wait_for_journal_done(const std::string& journal_path, std::size_t count) {
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::ifstream in{journal_path};
+    std::ostringstream text;
+    text << in.rdbuf();
+    const std::string haystack = text.str();
+    std::size_t seen = 0;
+    for (std::size_t pos = haystack.find("\"event\":\"done\""); pos != std::string::npos;
+         pos = haystack.find("\"event\":\"done\"", pos + 1)) {
+      ++seen;
+    }
+    if (seen >= count) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return false;
+}
+
+/// Group every frame of a spool .out file by request id.
+std::map<std::string, std::vector<std::string>> read_out_file(const std::string& path) {
+  std::map<std::string, std::vector<std::string>> got;
+  std::ifstream in{path};
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::optional<std::string> id = frame_request_id(line);
+    expect(id.has_value(), "every answered line is a protocol frame: " + line);
+    if (id.has_value()) got[*id].push_back(line);
+  }
+  return got;
+}
+
+void expect_no_orphans(const std::string& spool_dir, const std::string& label) {
+  std::error_code ec;
+  for (const fs::directory_entry& entry : fs::directory_iterator{spool_dir, ec}) {
+    const std::string name = entry.path().filename().string();
+    expect(name.find(".claimed") == std::string::npos &&
+               name.find(".partial") == std::string::npos,
+           label + ": no .claimed/.partial orphan, found " + name);
+  }
+}
+
+struct Workspace {
+  std::string spool;
+  std::string state;
+  explicit Workspace(const std::string& tag)
+      : spool(temp_path("arsf_recovery_" + tag + "_spool")),
+        state(temp_path("arsf_recovery_" + tag + "_state")) {
+    fs::create_directories(spool);
+    fs::create_directories(state);
+  }
+  ~Workspace() {
+    std::error_code ec;
+    fs::remove_all(spool, ec);
+    fs::remove_all(state, ec);
+  }
+};
+
+/// Runs the spool job at @p spool/@p job until @p out exists: each armed
+/// restart runs under a "crash" plan from @p kill_ordinals (the daemon
+/// SIGKILLs itself at that durable event), the final restart runs unarmed.
+/// Returns the number of SIGKILL deaths observed.
+int run_until_complete(const std::string& serve_bin, const Workspace& ws,
+                       const std::string& out_path, const std::vector<std::uint64_t>& kills,
+                       const std::string& tag, std::vector<std::string>& logs) {
+  int killed = 0;
+  const std::string plan_path = temp_path("arsf_recovery_" + tag + "_plan.json");
+  for (std::size_t round = 0;; ++round) {
+    std::vector<std::string> args{"--spool",   ws.spool,   "--state-dir", ws.state,
+                                  "--workers", "2",        "--spool-poll-ms", "20",
+                                  "--chunk",   "8",        "--stats"};
+    const bool armed = round < kills.size();
+    if (armed) {
+      write_crash_plan(plan_path, kills[round]);
+      args.push_back("--fault-plan");
+      args.push_back(plan_path);
+    }
+    const std::string log_path =
+        temp_path("arsf_recovery_" + tag + "_log" + std::to_string(round));
+    logs.push_back(log_path);
+    const pid_t pid = spawn_daemon(serve_bin, args, log_path);
+    expect(pid > 0, tag + ": fork");
+    if (pid <= 0) return killed;
+    note(tag + ": round " + std::to_string(round) +
+         (armed ? " armed crash@" + std::to_string(kills[round]) : " unarmed"));
+
+    // Wait for either the seeded death or the sealed output.
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(120);
+    int status = 0;
+    bool exited = false;
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (wait_exit(pid, 0, status)) {
+        exited = true;
+        break;
+      }
+      if (fs::exists(out_path)) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    if (exited) {
+      expect(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL,
+             tag + ": round " + std::to_string(round) +
+                 " daemon must die by its seeded SIGKILL");
+      if (WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL) ++killed;
+      continue;  // restart (next round may be unarmed)
+    }
+    if (!fs::exists(out_path)) {
+      expect(false, tag + ": neither death nor output within the deadline");
+      ::kill(pid, SIGKILL);
+      (void)wait_exit(pid, 10'000, status);
+      return killed;
+    }
+    // Completed: even an armed daemon may finish when recovery replays
+    // everything without reaching the kill ordinal.
+    stop_daemon(pid, tag + ": round " + std::to_string(round));
+    return killed;
+  }
+}
+
+// ---- socket client (phase: dedup) -------------------------------------------
+
+class Client {
+ public:
+  explicit Client(const std::string& socket_path) {
+    // The daemon binds asynchronously after fork: retry briefly.
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (std::chrono::steady_clock::now() < deadline) {
+      fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+      sockaddr_un addr{};
+      addr.sun_family = AF_UNIX;
+      std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+      if (fd_ >= 0 &&
+          ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0) {
+        return;
+      }
+      if (fd_ >= 0) ::close(fd_);
+      fd_ = -1;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+
+  bool send_line(const std::string& line) {
+    std::string data = line;
+    data += '\n';
+    std::size_t off = 0;
+    while (off < data.size()) {
+      const ssize_t n = ::send(fd_, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return false;
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  std::optional<std::string> read_line(int timeout_ms = 120'000) {
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+      const std::size_t pos = buffer_.find('\n');
+      if (pos != std::string::npos) {
+        std::string line = buffer_.substr(0, pos);
+        buffer_.erase(0, pos + 1);
+        return line;
+      }
+      if (eof_) return std::nullopt;
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline - Clock::now());
+      if (remaining.count() <= 0) return std::nullopt;
+      pollfd pfd{fd_, POLLIN, 0};
+      const int rc =
+          ::poll(&pfd, 1, static_cast<int>(std::min<long long>(remaining.count(), 200)));
+      if (rc <= 0) continue;
+      char chunk[4096];
+      const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+      if (n == 0) {
+        eof_ = true;
+        if (buffer_.empty()) return std::nullopt;
+        continue;
+      }
+      if (n < 0) {
+        if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+        eof_ = true;
+        return std::nullopt;
+      }
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  bool collect(const std::set<std::string>& ids,
+               std::map<std::string, std::vector<std::string>>& out,
+               int timeout_ms = 120'000) {
+    std::set<std::string> pending = ids;
+    while (!pending.empty()) {
+      const std::optional<std::string> line = read_line(timeout_ms);
+      if (!line.has_value()) return false;
+      const std::optional<std::string> id = frame_request_id(*line);
+      if (!id.has_value()) return false;
+      out[*id].push_back(*line);
+      const std::optional<std::string> stripped = strip_request_id(*line);
+      if (stripped.has_value() && stripped->rfind("{\"done\":true,", 0) == 0) {
+        pending.erase(*id);
+      }
+    }
+    return true;
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+  bool eof_ = false;
+};
+
+// ---- phase: mid-batch kills -------------------------------------------------
+
+void run_batch_phase(const std::string& serve_bin, int kill_points) {
+  const Workspace ws{"batch"};
+
+  struct Submission {
+    std::string id;
+    std::string line;
+    ExpectedFrames expected;
+  };
+  std::vector<Submission> batch;
+  const auto add = [&batch](const std::string& id, const Scenario& s) {
+    batch.push_back({id, with_request_id(s.to_json(), id), offline_scenario(s)});
+  };
+  add("r-a", cheap("recovery/a", 5.0));
+  add("r-b", cheap("recovery/b", 7.0));
+  add("r-c", cheap("recovery/c", 4.0));
+  add("r-d", cheap("recovery/d", 6.0));
+  SweepSpec sweep;
+  sweep.name = "recovery/mini-sweep";
+  sweep.base = cheap("recovery/mini-base", 9.0);
+  sweep.steps = {1.0, 0.5, 0.25, 0.2, 0.1, 0.05};  // each divides widths {9,2,3}
+  sweep.seed_count = 0;
+  batch.push_back({"r-sweep", with_request_id(sweep.to_json(), "r-sweep"),
+                   offline_sweep(sweep)});
+
+  {
+    std::ofstream out{fs::path(ws.spool) / "job1.tmp"};
+    for (const Submission& submission : batch) out << submission.line << '\n';
+  }
+  fs::rename(fs::path(ws.spool) / "job1.tmp", fs::path(ws.spool) / "job1.req");
+
+  // Durable-event ordinals early in the batch: accepts land first, then
+  // running transitions and frame appends interleave — every pick is a kill
+  // in the middle of admitted-but-unfinished work.
+  std::vector<std::uint64_t> kills;
+  for (int i = 0; i < kill_points; ++i) kills.push_back(2 + 5 * static_cast<std::uint64_t>(i));
+
+  std::vector<std::string> logs;
+  const std::string out_path = (fs::path(ws.spool) / "job1.out").string();
+  const int killed = run_until_complete(serve_bin, ws, out_path, kills, "batch", logs);
+  expect(killed >= 1, "batch: at least one seeded SIGKILL must land");
+
+  const std::map<std::string, std::vector<std::string>> got = read_out_file(out_path);
+  expect(got.size() == batch.size(), "batch: all " + std::to_string(batch.size()) +
+                                         " request ids answered, got " +
+                                         std::to_string(got.size()));
+  for (const Submission& submission : batch) {
+    const auto it = got.find(submission.id);
+    expect(it != got.end(), "batch: id " + submission.id + " answered");
+    if (it == got.end()) continue;
+    std::size_t done_frames = 0;
+    for (const std::string& frame : it->second) {
+      const std::optional<std::string> stripped = strip_request_id(frame);
+      if (stripped.has_value() && stripped->rfind("{\"done\":true,", 0) == 0) ++done_frames;
+    }
+    expect(done_frames == 1, "batch/" + submission.id + ": exactly one done frame, got " +
+                                 std::to_string(done_frames));
+    verify_request("batch/" + submission.id, submission.id, it->second,
+                   submission.expected);
+  }
+  expect(fs::exists(fs::path(ws.spool) / "job1.req.done"), "batch: input sealed");
+  expect_no_orphans(ws.spool, "batch");
+}
+
+// ---- phase: mid-sweep kills -------------------------------------------------
+
+void run_sweep_phase(const std::string& serve_bin, int kill_points) {
+  const Workspace ws{"sweep"};
+  const SweepSpec sweep = wide_sweep();
+  const ExpectedFrames expected = offline_sweep(sweep);
+  const std::uint64_t grid = sweep.size();
+  expect(grid == 40, "sweep: 40 grid points");
+
+  {
+    std::ofstream out{fs::path(ws.spool) / "sweep.tmp"};
+    out << with_request_id(sweep.to_json(), "sweep-1") << '\n';
+  }
+  fs::rename(fs::path(ws.spool) / "sweep.tmp", fs::path(ws.spool) / "sweep.req");
+
+  // Durable events: 1 accept + 1 running + 40 frame appends + 1 done.  These
+  // ordinals land deep inside the frame stream — kills mid-chunk, past at
+  // least one --chunk 8 checkpoint.
+  std::vector<std::uint64_t> kills;
+  for (int i = 0; i < kill_points; ++i) {
+    kills.push_back(14 + 12 * static_cast<std::uint64_t>(i));
+  }
+
+  // Run round by round so the checkpoint can be inspected BETWEEN restarts.
+  const std::string checkpoint_path =
+      ws.state + "/frames/" + arsf::serve::Journal::frame_file_stem("sweep-1") +
+      ".progress";
+  const std::string out_path = (fs::path(ws.spool) / "sweep.out").string();
+  const std::string plan_path = temp_path("arsf_recovery_sweep_plan.json");
+  int killed = 0;
+  for (std::size_t round = 0;; ++round) {
+    // Before an armed restart: the previous kill must have left a real
+    // interior checkpoint (the resume token of PR 5's machinery).
+    std::optional<arsf::scenario::SweepCheckpoint> checkpoint;
+    if (killed > 0) {
+      try {
+        checkpoint = arsf::scenario::load_sweep_checkpoint(checkpoint_path);
+      } catch (const std::exception& e) {
+        expect(false, std::string{"sweep: checkpoint unreadable: "} + e.what());
+      }
+      expect(checkpoint.has_value() && checkpoint->next_index > 0 &&
+                 checkpoint->next_index < grid,
+             "sweep: interior checkpoint after kill, next_index " +
+                 std::to_string(checkpoint ? checkpoint->next_index : 0));
+    }
+
+    std::vector<std::string> args{"--spool",   ws.spool,   "--state-dir", ws.state,
+                                  "--workers", "2",        "--spool-poll-ms", "20",
+                                  "--chunk",   "8",        "--stats"};
+    const bool armed = round < kills.size();
+    if (armed) {
+      write_crash_plan(plan_path, kills[round]);
+      args.push_back("--fault-plan");
+      args.push_back(plan_path);
+    }
+    const std::string log_path = temp_path("arsf_recovery_sweep_log" + std::to_string(round));
+    const pid_t pid = spawn_daemon(serve_bin, args, log_path);
+    expect(pid > 0, "sweep: fork");
+    if (pid <= 0) return;
+
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(120);
+    int status = 0;
+    bool exited = false;
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (wait_exit(pid, 0, status)) {
+        exited = true;
+        break;
+      }
+      if (fs::exists(out_path)) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+
+    // A restart that found a checkpoint must have resumed AT it: only the
+    // tail past next_index is re-evaluated.  (The kill ordinals are all deep
+    // in the frame stream, so even a killed round logged the resume first.)
+    if (checkpoint.has_value()) {
+      const std::string resumed_at =
+          "resuming sweep request 'sweep-1' at grid index " +
+          std::to_string(checkpoint->next_index) + "/" + std::to_string(grid);
+      expect(file_contains(log_path, resumed_at),
+             "sweep: round " + std::to_string(round) + " log proves \"" + resumed_at +
+                 "\"");
+    }
+
+    if (exited) {
+      expect(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL,
+             "sweep: round " + std::to_string(round) + " daemon must die by SIGKILL");
+      if (WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL) ++killed;
+      continue;
+    }
+    if (!fs::exists(out_path)) {
+      expect(false, "sweep: neither death nor output within the deadline");
+      ::kill(pid, SIGKILL);
+      (void)wait_exit(pid, 10'000, status);
+      return;
+    }
+    stop_daemon(pid, "sweep: final round");
+    break;
+  }
+  expect(killed >= 1, "sweep: at least one seeded SIGKILL must land");
+
+  const std::map<std::string, std::vector<std::string>> got = read_out_file(out_path);
+  const auto it = got.find("sweep-1");
+  expect(it != got.end(), "sweep: sweep-1 answered");
+  if (it != got.end()) {
+    verify_request("sweep/sweep-1", "sweep-1", it->second, expected);
+  }
+  expect(!fs::exists(checkpoint_path), "sweep: checkpoint removed on completion");
+  expect_no_orphans(ws.spool, "sweep");
+}
+
+// ---- phase: request_id dedup across restart ---------------------------------
+
+void run_dedup_phase(const std::string& serve_bin) {
+  const Workspace ws{"dedup"};
+  const std::string socket_path = temp_path("arsf_recovery_dedup.sock");
+  const std::vector<std::string> args{"--socket", socket_path, "--state-dir", ws.state,
+                                      "--workers", "2", "--stats"};
+
+  const Scenario plain = cheap("recovery/dup", 6.0);
+  const ExpectedFrames plain_expected = offline_scenario(plain);
+  const std::string plain_line = with_request_id(plain.to_json(), "dup-1");
+  // Escaped id: quotes and a backslash must round-trip through the journal.
+  const std::string escaped_id = "dup \"two\"\\slash";
+  const std::string escaped_line =
+      "{\"request_id\":\"dup \\\"two\\\"\\\\slash\"," + plain.to_json().substr(1);
+
+  // First life: answer both ids, then die without warning.
+  const std::string log1 = temp_path("arsf_recovery_dedup_log1");
+  const pid_t first = spawn_daemon(serve_bin, args, log1);
+  expect(first > 0, "dedup: fork");
+  std::map<std::string, std::vector<std::string>> before;
+  {
+    Client client{socket_path};
+    expect(client.connected(), "dedup: first connect");
+    client.send_line(plain_line);
+    client.send_line(escaped_line);
+    expect(client.collect({"dup-1", escaped_id}, before), "dedup: first answers");
+    verify_request("dedup/first/dup-1", "dup-1", before["dup-1"], plain_expected);
+    verify_request("dedup/first/escaped", escaped_id, before[escaped_id], plain_expected);
+  }
+  expect(wait_for_journal_done(ws.state + "/journal.jsonl", 2),
+         "dedup: both terminal events journaled before the kill");
+  ::kill(first, SIGKILL);  // an EXTERNAL kill, not a drain
+  int status = 0;
+  expect(wait_exit(first, 10'000, status), "dedup: first daemon reaped");
+
+  // Second life: the same ids must be answered from the journal, byte for
+  // byte, without re-executing.
+  const std::string log2 = temp_path("arsf_recovery_dedup_log2");
+  const pid_t second = spawn_daemon(serve_bin, args, log2);
+  expect(second > 0, "dedup: second fork");
+  {
+    Client client{socket_path};
+    expect(client.connected(), "dedup: second connect");
+    client.send_line(plain_line);
+    client.send_line(escaped_line);
+    std::map<std::string, std::vector<std::string>> after;
+    expect(client.collect({"dup-1", escaped_id}, after), "dedup: second answers");
+    expect(after["dup-1"] == before["dup-1"],
+           "dedup: dup-1 replayed byte-identical across the restart");
+    expect(after[escaped_id] == before[escaped_id],
+           "dedup: escaped id replayed byte-identical across the restart");
+  }
+  stop_daemon(second, "dedup: second daemon");
+  expect(file_contains(log2, "deduped=2"),
+         "dedup: second daemon stats prove 2 replays, 0 re-executions");
+
+  // Third life: kill the daemon MID-sweep (seeded), restart, and re-submit
+  // the same id while the recovered run is (or just was) executing — the
+  // client must get the full byte-identical answer either way (follower or
+  // replay), never a double execution.
+  const SweepSpec sweep = wide_sweep();
+  const ExpectedFrames sweep_expected = offline_sweep(sweep);
+  const std::string sweep_line = with_request_id(sweep.to_json(), "sock-sweep");
+  const std::string plan_path =
+      write_crash_plan(temp_path("arsf_recovery_dedup_plan.json"), 20);
+  std::vector<std::string> armed_args = args;
+  armed_args.push_back("--fault-plan");
+  armed_args.push_back(plan_path);
+  armed_args.push_back("--chunk");
+  armed_args.push_back("8");
+  const std::string log3 = temp_path("arsf_recovery_dedup_log3");
+  const pid_t third = spawn_daemon(serve_bin, armed_args, log3);
+  expect(third > 0, "dedup: third fork");
+  {
+    Client client{socket_path};
+    expect(client.connected(), "dedup: third connect");
+    client.send_line(sweep_line);
+    // The daemon SIGKILLs itself mid-grid; the client sees the stream die.
+    while (client.read_line(60'000).has_value()) {
+    }
+  }
+  expect(wait_exit(third, 60'000, status) && WIFSIGNALED(status) &&
+             WTERMSIG(status) == SIGKILL,
+         "dedup: third daemon dies by its seeded SIGKILL");
+
+  const std::string log4 = temp_path("arsf_recovery_dedup_log4");
+  std::vector<std::string> final_args = args;
+  final_args.push_back("--chunk");
+  final_args.push_back("8");
+  const pid_t fourth = spawn_daemon(serve_bin, final_args, log4);
+  expect(fourth > 0, "dedup: fourth fork");
+  {
+    Client client{socket_path};
+    expect(client.connected(), "dedup: fourth connect");
+    client.send_line(sweep_line);  // races the recovered re-queued run
+    std::map<std::string, std::vector<std::string>> got;
+    expect(client.collect({"sock-sweep"}, got), "dedup: recovered sweep answered");
+    verify_request("dedup/sock-sweep", "sock-sweep", got["sock-sweep"], sweep_expected);
+  }
+  stop_daemon(fourth, "dedup: fourth daemon");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const arsf::support::ArgParser args{argc, argv};
+  const std::string serve_bin = args.get_string("serve-bin", "");
+  const int kill_points = static_cast<int>(args.get_int("kill-points", 3));
+  g_verbose = args.get_bool("verbose", false);
+  const std::vector<std::string> unknown = args.unknown();
+  for (const std::string& name : unknown) {
+    std::fprintf(stderr, "unknown option: --%s\n", name.c_str());
+  }
+  if (!unknown.empty()) return 2;
+  if (serve_bin.empty() || !fs::exists(serve_bin)) {
+    std::fprintf(stderr, "usage: %s --serve-bin PATH [--kill-points N] [--verbose]\n",
+                 args.program().c_str());
+    return 2;
+  }
+
+  run_batch_phase(serve_bin, kill_points);
+  run_sweep_phase(serve_bin, kill_points);
+  run_dedup_phase(serve_bin);
+
+  if (failures != 0) {
+    std::fprintf(stderr, "recovery_smoke: %d failure(s)\n", failures);
+    return 1;
+  }
+  std::printf("recovery_smoke: OK\n");
+  return 0;
+}
